@@ -1,0 +1,50 @@
+//! Bench Q3 — scaling: feature ranking and entity ranking latency as the
+//! knowledge graph grows (the paper's challenge (2)), plus the extent
+//! intersection microbenchmark that dominates the smoothed path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pivote_bench::{film_seeds, kg_with_films};
+use pivote_core::{extent, Expander, RankingConfig, SfQuery};
+use pivote_kg::EntityId;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranking_scaling");
+    group.sample_size(10);
+    for films in [500usize, 2_000, 8_000] {
+        let kg = kg_with_films(films);
+        let seeds = film_seeds(&kg, 3);
+        let expander = Expander::new(&kg, RankingConfig::default());
+        // warm the context cache so steady-state latency is measured
+        let _ = expander.ranker().rank_features(&seeds);
+
+        group.bench_with_input(BenchmarkId::new("rank_features", films), &films, |b, _| {
+            b.iter(|| black_box(expander.ranker().rank_features(black_box(&seeds))))
+        });
+        let features = expander.ranker().rank_features(&seeds);
+        group.bench_with_input(BenchmarkId::new("rank_entities", films), &films, |b, _| {
+            b.iter(|| black_box(expander.ranker().rank_entities(&seeds, &features)))
+        });
+        group.bench_with_input(BenchmarkId::new("expand_full", films), &films, |b, _| {
+            let q = SfQuery::from_seeds(seeds.clone());
+            b.iter(|| black_box(expander.expand(&q, 20, 15)))
+        });
+    }
+    group.finish();
+
+    // the sorted-set intersection hot loop
+    let mut micro = c.benchmark_group("extent_intersection");
+    let small: Vec<EntityId> = (0..64u32).map(|i| EntityId::new(i * 97)).collect();
+    let large: Vec<EntityId> = (0..100_000u32).map(EntityId::new).collect();
+    micro.bench_function("gallop_64_vs_100k", |b| {
+        b.iter(|| black_box(extent::intersect_len(black_box(&small), black_box(&large))))
+    });
+    let mid: Vec<EntityId> = (0..50_000u32).map(|i| EntityId::new(i * 2)).collect();
+    micro.bench_function("merge_50k_vs_100k", |b| {
+        b.iter(|| black_box(extent::intersect_len(black_box(&mid), black_box(&large))))
+    });
+    micro.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench Q2 (efficiency side) — query latency of the paper's
+//! mixture-of-LM retrieval vs the BM25F baseline, on short name queries
+//! and longer mixed queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pivote_bench::{bench_kg, flagship_film};
+use pivote_search::{Scorer, SearchConfig, SearchEngine};
+use std::hint::black_box;
+
+fn bench_search(c: &mut Criterion) {
+    let kg = bench_kg();
+    let engine = SearchEngine::build(&kg, SearchConfig::default());
+    let flagship = flagship_film(&kg);
+    let name_query = kg.display_name(flagship);
+    let long_query = format!("{name_query} american drama film");
+
+    let mut group = c.benchmark_group("search_engines");
+    group.bench_function("lm_mixture_name_query", |b| {
+        b.iter(|| black_box(engine.search_with(black_box(&name_query), 20, Scorer::MixtureLm)))
+    });
+    group.bench_function("bm25f_name_query", |b| {
+        b.iter(|| black_box(engine.search_with(black_box(&name_query), 20, Scorer::Bm25)))
+    });
+    group.bench_function("lm_mixture_long_query", |b| {
+        b.iter(|| black_box(engine.search_with(black_box(&long_query), 20, Scorer::MixtureLm)))
+    });
+    group.bench_function("bm25f_long_query", |b| {
+        b.iter(|| black_box(engine.search_with(black_box(&long_query), 20, Scorer::Bm25)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

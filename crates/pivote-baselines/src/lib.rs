@@ -1,0 +1,138 @@
+//! # pivote-baselines — comparison systems for the PivotE experiments
+//!
+//! The paper positions PivotE against keyword/SPARQL entity search
+//! systems (§4) and builds its recommendations on the set-expansion work
+//! of \[1\]/\[6\]. To give the reproduction a measurable comparison shape,
+//! this crate implements the standard entity-set-expansion baselines
+//! behind one trait:
+//!
+//! - [`JaccardExpansion`] — neighbour-set Jaccard similarity;
+//! - [`PprExpansion`] — personalized PageRank (random walk with restart);
+//! - [`FreqOverlapExpansion`] — raw shared-feature counting;
+//! - [`PivotEExpansion`] — the paper's model ([`pivote_core`]) adapted to
+//!   the same trait for side-by-side evaluation.
+//!
+//! The keyword-search baseline (BM25F) lives in `pivote-search` as
+//! `Scorer::Bm25`.
+
+#![warn(missing_docs)]
+
+pub mod freq;
+pub mod jaccard;
+pub mod ppr;
+
+use pivote_core::{Expander, RankingConfig};
+use pivote_kg::{EntityId, KnowledgeGraph};
+
+pub use freq::FreqOverlapExpansion;
+pub use jaccard::JaccardExpansion;
+pub use ppr::PprExpansion;
+
+/// A seed-set entity expansion method.
+pub trait EntityExpansion {
+    /// Short identifier used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Top-`k` entities similar to `seeds`, best first, seeds excluded.
+    fn expand(&self, kg: &KnowledgeGraph, seeds: &[EntityId], k: usize) -> Vec<(EntityId, f64)>;
+}
+
+/// The paper's ranking model behind the common baseline trait.
+#[derive(Debug, Clone, Copy)]
+pub struct PivotEExpansion {
+    /// The ranking configuration (use the ablation builders of
+    /// [`RankingConfig`] to produce A1/A2 variants).
+    pub config: RankingConfig,
+    /// Display name (to distinguish ablations in tables).
+    pub label: &'static str,
+}
+
+impl Default for PivotEExpansion {
+    fn default() -> Self {
+        Self {
+            config: RankingConfig::default(),
+            label: "pivote",
+        }
+    }
+}
+
+impl PivotEExpansion {
+    /// The A1 ablation (no error tolerance).
+    pub fn without_error_tolerance() -> Self {
+        Self {
+            config: RankingConfig::default().without_error_tolerance(),
+            label: "pivote-noet",
+        }
+    }
+
+    /// The A2 ablation (no discriminability).
+    pub fn without_discriminability() -> Self {
+        Self {
+            config: RankingConfig::default().without_discriminability(),
+            label: "pivote-nod",
+        }
+    }
+}
+
+impl EntityExpansion for PivotEExpansion {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn expand(&self, kg: &KnowledgeGraph, seeds: &[EntityId], k: usize) -> Vec<(EntityId, f64)> {
+        let expander = Expander::new(kg, self.config);
+        expander
+            .expand_seeds(seeds, k, 0)
+            .entities
+            .into_iter()
+            .map(|re| (re.entity, re.score))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivote_kg::{generate, DatagenConfig};
+
+    #[test]
+    fn all_baselines_run_on_generated_kg() {
+        let kg = generate(&DatagenConfig::tiny());
+        let film = kg.type_id("Film").unwrap();
+        let seeds = &kg.type_extent(film)[..2];
+        let methods: Vec<Box<dyn EntityExpansion>> = vec![
+            Box::new(JaccardExpansion),
+            Box::new(PprExpansion::default()),
+            Box::new(FreqOverlapExpansion),
+            Box::new(PivotEExpansion::default()),
+        ];
+        for m in &methods {
+            let out = m.expand(&kg, seeds, 5);
+            assert!(!out.is_empty(), "{} returned nothing", m.name());
+            assert!(out.len() <= 5);
+            assert!(
+                out.windows(2).all(|w| w[0].1 >= w[1].1),
+                "{} not sorted",
+                m.name()
+            );
+            assert!(
+                out.iter().all(|(e, _)| !seeds.contains(e)),
+                "{} leaked a seed",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ablation_labels_differ() {
+        assert_eq!(PivotEExpansion::default().name(), "pivote");
+        assert_eq!(
+            PivotEExpansion::without_error_tolerance().name(),
+            "pivote-noet"
+        );
+        assert_eq!(
+            PivotEExpansion::without_discriminability().name(),
+            "pivote-nod"
+        );
+    }
+}

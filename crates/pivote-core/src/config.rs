@@ -1,0 +1,92 @@
+//! Ranking configuration, including the ablation switches called out in
+//! DESIGN.md (§7).
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the path-based ranking model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankingConfig {
+    /// Error-tolerant estimation (paper §2.3.1): when a seed does not
+    /// match a feature, fall back to `p(π|c*)`, the feature's density in
+    /// the seed's best category/type context. Ablation A1 turns this off,
+    /// making `p(π|e)` a hard 0/1 indicator.
+    pub error_tolerant: bool,
+    /// Use the IDF-style discriminability `d(π) = 1/‖E(π)‖`. Ablation A2
+    /// replaces it with a constant 1.
+    pub use_discriminability: bool,
+    /// Include `rdf:type` extents alongside categories when searching for
+    /// the best context `c*`.
+    pub use_types_as_context: bool,
+    /// Apply error-tolerant smoothing when scoring *candidate* entities
+    /// too (not just seeds). More recall, more cost.
+    pub smooth_candidates: bool,
+    /// Skip features whose extent is smaller than this. The default of 2
+    /// drops singleton features: an extent that contains only the seed
+    /// itself cannot recommend a new entity, yet its `d(π) = 1` would
+    /// dominate `Φ(Q)` for small seed sets.
+    pub min_extent: usize,
+    /// Skip features whose extent exceeds this size — extremely frequent
+    /// features carry negligible weight (`d(π)` ≈ 0) but cost the most to
+    /// process.
+    pub max_extent: usize,
+    /// How many top-ranked features form `Φ(Q)` for entity scoring and
+    /// feature recommendation.
+    pub top_features: usize,
+    /// Cap on candidate entities gathered from feature extents.
+    pub max_candidates: usize,
+    /// Remove the seeds themselves from the recommended entities.
+    pub exclude_seeds: bool,
+}
+
+impl Default for RankingConfig {
+    fn default() -> Self {
+        Self {
+            error_tolerant: true,
+            use_discriminability: true,
+            use_types_as_context: true,
+            smooth_candidates: true,
+            min_extent: 2,
+            max_extent: 50_000,
+            top_features: 60,
+            max_candidates: 10_000,
+            exclude_seeds: true,
+        }
+    }
+}
+
+impl RankingConfig {
+    /// The A1 ablation: exact matching only.
+    pub fn without_error_tolerance(mut self) -> Self {
+        self.error_tolerant = false;
+        self
+    }
+
+    /// The A2 ablation: uniform feature weight instead of `1/‖E(π)‖`.
+    pub fn without_discriminability(mut self) -> Self {
+        self.use_discriminability = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_the_full_model() {
+        let c = RankingConfig::default();
+        assert!(c.error_tolerant);
+        assert!(c.use_discriminability);
+        assert!(c.exclude_seeds);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = RankingConfig::default()
+            .without_error_tolerance()
+            .without_discriminability();
+        assert!(!c.error_tolerant);
+        assert!(!c.use_discriminability);
+        assert!(c.use_types_as_context); // untouched
+    }
+}

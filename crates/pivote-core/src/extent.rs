@@ -1,0 +1,187 @@
+//! Sorted-set operations over extent slices.
+//!
+//! Extents (`E(π)`, `E(c)`, `E(t)`) are sorted, deduplicated `EntityId`
+//! slices. The ranking model's hot loop is `‖E(π) ∩ E(c*)‖`; this module
+//! provides a merge intersection that switches to galloping (exponential
+//! probe + binary search) when one side is much smaller, which is the
+//! common case (a specific feature against a broad category).
+
+use pivote_kg::EntityId;
+
+/// When `|small| * GALLOP_FACTOR < |large|`, gallop instead of merging.
+const GALLOP_FACTOR: usize = 16;
+
+/// Size of the intersection of two sorted, deduplicated slices.
+pub fn intersect_len(a: &[EntityId], b: &[EntityId]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    if small.len() * GALLOP_FACTOR < large.len() {
+        gallop_intersect_len(small, large)
+    } else {
+        merge_intersect_len(small, large)
+    }
+}
+
+/// Materialized intersection of two sorted, deduplicated slices.
+pub fn intersect(a: &[EntityId], b: &[EntityId]) -> Vec<EntityId> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(small.len().min(large.len()));
+    let mut rest = large;
+    for &x in small {
+        let pos = rest.partition_point(|&y| y < x);
+        rest = &rest[pos..];
+        if rest.first() == Some(&x) {
+            out.push(x);
+            rest = &rest[1..];
+        }
+    }
+    out
+}
+
+fn merge_intersect_len(a: &[EntityId], b: &[EntityId]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut n = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+fn gallop_intersect_len(small: &[EntityId], large: &[EntityId]) -> usize {
+    let mut n = 0;
+    let mut rest = large;
+    for &x in small {
+        // exponential probe
+        let mut hi = 1;
+        while hi < rest.len() && rest[hi] < x {
+            hi *= 2;
+        }
+        let window = &rest[..hi.min(rest.len())];
+        let lo = window.partition_point(|&y| y < x);
+        rest = &rest[lo..];
+        if rest.first() == Some(&x) {
+            n += 1;
+            rest = &rest[1..];
+        }
+        if rest.is_empty() {
+            break;
+        }
+    }
+    n
+}
+
+/// Union of two sorted, deduplicated slices.
+pub fn union(a: &[EntityId], b: &[EntityId]) -> Vec<EntityId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Whether a sorted slice contains `x`.
+#[inline]
+pub fn contains(a: &[EntityId], x: EntityId) -> bool {
+    a.binary_search(&x).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().map(|&x| EntityId::new(x)).collect()
+    }
+
+    #[test]
+    fn small_cases() {
+        assert_eq!(intersect_len(&ids(&[]), &ids(&[1, 2])), 0);
+        assert_eq!(intersect_len(&ids(&[1]), &ids(&[1])), 1);
+        assert_eq!(intersect_len(&ids(&[1, 3, 5]), &ids(&[2, 3, 4, 5])), 2);
+        assert_eq!(intersect(&ids(&[1, 3, 5]), &ids(&[2, 3, 4, 5])), ids(&[3, 5]));
+    }
+
+    #[test]
+    fn gallop_path_is_exercised() {
+        let small = ids(&[0, 500, 999]);
+        let large: Vec<EntityId> = (0..1000).map(EntityId::new).collect();
+        assert_eq!(intersect_len(&small, &large), 3);
+        let miss = ids(&[1000, 2000]);
+        assert_eq!(intersect_len(&miss, &large), 0);
+    }
+
+    #[test]
+    fn union_merges() {
+        assert_eq!(union(&ids(&[1, 3]), &ids(&[2, 3, 4])), ids(&[1, 2, 3, 4]));
+        assert_eq!(union(&ids(&[]), &ids(&[1])), ids(&[1]));
+    }
+
+    #[test]
+    fn contains_works() {
+        let a = ids(&[1, 4, 9]);
+        assert!(contains(&a, EntityId::new(4)));
+        assert!(!contains(&a, EntityId::new(5)));
+    }
+
+    fn sorted_ids() -> impl Strategy<Value = Vec<EntityId>> {
+        proptest::collection::btree_set(0u32..500, 0..100)
+            .prop_map(|s| s.into_iter().map(EntityId::new).collect())
+    }
+
+    proptest! {
+        /// Both intersection paths agree with the naive definition.
+        #[test]
+        fn prop_intersect_matches_naive(a in sorted_ids(), b in sorted_ids()) {
+            let naive: Vec<EntityId> =
+                a.iter().copied().filter(|x| b.contains(x)).collect();
+            prop_assert_eq!(intersect_len(&a, &b), naive.len());
+            prop_assert_eq!(intersect(&a, &b), naive);
+        }
+
+        /// Union matches the naive definition and stays sorted/deduped.
+        #[test]
+        fn prop_union_matches_naive(a in sorted_ids(), b in sorted_ids()) {
+            let mut naive: Vec<EntityId> = a.iter().chain(b.iter()).copied().collect();
+            naive.sort_unstable();
+            naive.dedup();
+            prop_assert_eq!(union(&a, &b), naive);
+        }
+
+        /// Intersection is symmetric and bounded by the smaller side.
+        #[test]
+        fn prop_intersect_symmetric(a in sorted_ids(), b in sorted_ids()) {
+            prop_assert_eq!(intersect_len(&a, &b), intersect_len(&b, &a));
+            prop_assert!(intersect_len(&a, &b) <= a.len().min(b.len()));
+        }
+    }
+}

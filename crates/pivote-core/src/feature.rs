@@ -1,0 +1,213 @@
+//! Semantic features (SFs) — the paper's central concept.
+//!
+//! A semantic feature is a predicate anchored at an entity, in one of two
+//! directions (paper §2.3):
+//!
+//! - `<anchor, p, x>` — the variable is the *object* of the anchor
+//!   ([`Direction::FromAnchor`]); e.g. `Forrest_Gump:starring→` describes
+//!   "the actors starring in Forrest Gump".
+//! - `<x, p, anchor>` — the variable is the *subject*
+//!   ([`Direction::ToAnchor`]); e.g. `Tom_Hanks:starring` describes "the
+//!   films that have Tom Hanks as a star", the paper's running example.
+//!
+//! `E(π)` — the extent of a feature — is the set of entities matching the
+//! pattern. Thanks to the store's CSR layout it is a zero-copy sorted
+//! slice.
+
+use pivote_kg::{EntityId, KnowledgeGraph, PredicateId};
+use serde::{Deserialize, Serialize};
+
+/// Which side of the anchored triple pattern the variable is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Pattern `<anchor, p, x>`: extent = objects of the anchor.
+    FromAnchor,
+    /// Pattern `<x, p, anchor>`: extent = subjects pointing at the anchor.
+    ToAnchor,
+}
+
+/// A semantic feature `anchor:predicate` with a direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SemanticFeature {
+    /// The anchor entity (e.g. `Tom_Hanks`).
+    pub anchor: EntityId,
+    /// The predicate (e.g. `starring`).
+    pub predicate: PredicateId,
+    /// Variable position.
+    pub direction: Direction,
+}
+
+impl SemanticFeature {
+    /// Feature `<anchor, p, x>`.
+    pub fn from_anchor(anchor: EntityId, predicate: PredicateId) -> Self {
+        Self {
+            anchor,
+            predicate,
+            direction: Direction::FromAnchor,
+        }
+    }
+
+    /// Feature `<x, p, anchor>` — the paper's `Tom_Hanks:starring` form.
+    pub fn to_anchor(anchor: EntityId, predicate: PredicateId) -> Self {
+        Self {
+            anchor,
+            predicate,
+            direction: Direction::ToAnchor,
+        }
+    }
+
+    /// The extent `E(π)`: all entities matching the pattern, as a sorted
+    /// entity-id slice borrowed from the store.
+    #[inline]
+    pub fn extent<'kg>(&self, kg: &'kg KnowledgeGraph) -> &'kg [EntityId] {
+        match self.direction {
+            Direction::FromAnchor => kg.objects(self.anchor, self.predicate),
+            Direction::ToAnchor => kg.subjects(self.anchor, self.predicate),
+        }
+    }
+
+    /// `‖E(π)‖`.
+    #[inline]
+    pub fn extent_size(&self, kg: &KnowledgeGraph) -> usize {
+        self.extent(kg).len()
+    }
+
+    /// Whether `e ⊨ π` (binary search on the extent).
+    #[inline]
+    pub fn matches(&self, kg: &KnowledgeGraph, e: EntityId) -> bool {
+        self.extent(kg).binary_search(&e).is_ok()
+    }
+
+    /// Render as the paper's `anchor:predicate` notation, with `←`
+    /// marking the from-anchor direction (the paper's default/"shorted"
+    /// form is to-anchor).
+    pub fn display(&self, kg: &KnowledgeGraph) -> String {
+        let anchor = kg.entity_name(self.anchor);
+        let pred = kg.predicate_name(self.predicate);
+        match self.direction {
+            Direction::ToAnchor => format!("{anchor}:{pred}"),
+            Direction::FromAnchor => format!("{anchor}:{pred}→"),
+        }
+    }
+}
+
+/// All semantic features an entity *has*: every edge of `e`, viewed from
+/// the neighbour's side.
+///
+/// If `<e, p, o>` is a statement, then `e ⊨ (o:p, ToAnchor)`; if
+/// `<s, p, e>` is a statement, then `e ⊨ (s:p, FromAnchor)`.
+/// Duplicate features (parallel edges) are removed.
+pub fn features_of(kg: &KnowledgeGraph, e: EntityId) -> Vec<SemanticFeature> {
+    let mut out: Vec<SemanticFeature> = kg
+        .out_edges(e)
+        .map(|(p, o)| SemanticFeature::to_anchor(o, p))
+        .chain(
+            kg.in_edges(e)
+                .map(|(p, s)| SemanticFeature::from_anchor(s, p)),
+        )
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivote_kg::KgBuilder;
+
+    fn kg() -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        let gump = b.entity("Forrest_Gump");
+        let apollo = b.entity("Apollo_13");
+        let hanks = b.entity("Tom_Hanks");
+        let sinise = b.entity("Gary_Sinise");
+        let starring = b.predicate("starring");
+        b.triple(gump, starring, hanks);
+        b.triple(gump, starring, sinise);
+        b.triple(apollo, starring, hanks);
+        b.finish()
+    }
+
+    #[test]
+    fn to_anchor_extent_is_films_starring_hanks() {
+        let kg = kg();
+        let hanks = kg.entity("Tom_Hanks").unwrap();
+        let starring = kg.predicate("starring").unwrap();
+        let sf = SemanticFeature::to_anchor(hanks, starring);
+        let extent = sf.extent(&kg);
+        assert_eq!(extent.len(), 2);
+        assert!(extent.contains(&kg.entity("Forrest_Gump").unwrap()));
+        assert!(extent.contains(&kg.entity("Apollo_13").unwrap()));
+        assert!(extent.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn from_anchor_extent_is_cast() {
+        let kg = kg();
+        let gump = kg.entity("Forrest_Gump").unwrap();
+        let starring = kg.predicate("starring").unwrap();
+        let sf = SemanticFeature::from_anchor(gump, starring);
+        assert_eq!(sf.extent_size(&kg), 2);
+    }
+
+    #[test]
+    fn matches_uses_extent_membership() {
+        let kg = kg();
+        let hanks = kg.entity("Tom_Hanks").unwrap();
+        let sinise = kg.entity("Gary_Sinise").unwrap();
+        let starring = kg.predicate("starring").unwrap();
+        let gump = kg.entity("Forrest_Gump").unwrap();
+        let apollo = kg.entity("Apollo_13").unwrap();
+        let hanks_sf = SemanticFeature::to_anchor(hanks, starring);
+        let sinise_sf = SemanticFeature::to_anchor(sinise, starring);
+        assert!(hanks_sf.matches(&kg, gump));
+        assert!(hanks_sf.matches(&kg, apollo));
+        assert!(sinise_sf.matches(&kg, gump));
+        assert!(!sinise_sf.matches(&kg, apollo));
+    }
+
+    #[test]
+    fn features_of_covers_both_directions() {
+        let kg = kg();
+        let gump = kg.entity("Forrest_Gump").unwrap();
+        let hanks = kg.entity("Tom_Hanks").unwrap();
+        let starring = kg.predicate("starring").unwrap();
+        let fs = features_of(&kg, gump);
+        // gump has two out-edges -> two ToAnchor features
+        assert_eq!(fs.len(), 2);
+        assert!(fs.contains(&SemanticFeature::to_anchor(hanks, starring)));
+        // hanks has two in-edges -> two FromAnchor features
+        let fs_h = features_of(&kg, hanks);
+        assert_eq!(fs_h.len(), 2);
+        assert!(fs_h
+            .iter()
+            .all(|sf| sf.direction == Direction::FromAnchor));
+    }
+
+    #[test]
+    fn entity_always_matches_its_own_features() {
+        let kg = kg();
+        for name in ["Forrest_Gump", "Apollo_13", "Tom_Hanks", "Gary_Sinise"] {
+            let e = kg.entity(name).unwrap();
+            for sf in features_of(&kg, e) {
+                assert!(sf.matches(&kg, e), "{} should match {}", name, sf.display(&kg));
+            }
+        }
+    }
+
+    #[test]
+    fn display_notation() {
+        let kg = kg();
+        let hanks = kg.entity("Tom_Hanks").unwrap();
+        let starring = kg.predicate("starring").unwrap();
+        assert_eq!(
+            SemanticFeature::to_anchor(hanks, starring).display(&kg),
+            "Tom_Hanks:starring"
+        );
+        assert_eq!(
+            SemanticFeature::from_anchor(hanks, starring).display(&kg),
+            "Tom_Hanks:starring→"
+        );
+    }
+}

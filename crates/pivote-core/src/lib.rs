@@ -1,0 +1,46 @@
+//! # pivote-core — the PivotE recommendation engine (paper §2.3)
+//!
+//! The primary contribution of the paper: path-based ranking of semantic
+//! features and entities for entity-oriented exploratory search.
+//!
+//! - [`feature`]: semantic features `anchor:predicate` in both directions
+//!   and their extents `E(π)`;
+//! - [`extent`]: sorted-set algebra over extents (the ranking hot loop);
+//! - [`ranking`]: `r(π,Q) = d(π)·c(π,Q)` and
+//!   `r(e,Q) = Σ p(π|e)·r(π,Q)` with error-tolerant category smoothing;
+//! - [`expansion`]: entity set expansion over structured queries (seeds +
+//!   required features + type filter) — the *investigation* operation;
+//! - [`heatmap`]: the seven-level entity × feature correlation matrix of
+//!   Fig. 3-f;
+//! - [`explain`]: textual explanations of entity-pair and cell
+//!   correlations;
+//! - [`config`]: model switches, including the A1/A2 ablations.
+//!
+//! ```
+//! use pivote_core::{Expander, RankingConfig, SfQuery};
+//! use pivote_kg::{generate, DatagenConfig};
+//!
+//! let kg = generate(&DatagenConfig::tiny());
+//! let film = kg.type_id("Film").unwrap();
+//! let seed = kg.type_extent(film)[0];
+//! let expander = Expander::new(&kg, RankingConfig::default());
+//! let result = expander.expand(&SfQuery::from_seeds(vec![seed]), 10, 10);
+//! assert!(!result.features.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod explain;
+pub mod expansion;
+pub mod extent;
+pub mod feature;
+pub mod heatmap;
+pub mod ranking;
+
+pub use config::RankingConfig;
+pub use explain::{explain_cell, explain_pair, CellExplanation, PairExplanation};
+pub use expansion::{diversify_features, Expander, ExpansionResult, SfQuery};
+pub use feature::{features_of, Direction, SemanticFeature};
+pub use heatmap::{HeatMap, HEAT_LEVELS};
+pub use ranking::{RankedEntity, RankedFeature, Ranker};

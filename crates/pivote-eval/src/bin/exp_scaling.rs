@@ -1,0 +1,62 @@
+//! Experiment Q3: efficiency at knowledge-graph scale (the paper's
+//! challenge (2): "millions of entities … recommend relevant entities and
+//! semantic features effectively and efficiently").
+//!
+//! Sweeps the synthetic KG size and reports wall-clock latency of the
+//! three interactive operations: feature ranking, entity ranking, and
+//! the full matrix (both + heat map).
+//!
+//! Usage: `cargo run --release -p pivote-eval --bin exp_scaling [max_films]`
+
+use pivote_core::{Expander, HeatMap, RankingConfig, SfQuery};
+use pivote_kg::{generate, DatagenConfig, EntityId};
+use std::time::Instant;
+
+fn main() {
+    let max_films: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16_000);
+    let mut sizes = vec![1_000usize, 2_000, 4_000, 8_000, 16_000, 32_000];
+    sizes.retain(|&s| s <= max_films);
+
+    println!("== Q3: interactive-operation latency vs KG size ==");
+    println!(
+        "{:>8} {:>9} {:>9} {:>13} {:>13} {:>13}",
+        "films", "entities", "triples", "rank_feat_ms", "rank_ent_ms", "matrix_ms"
+    );
+    for films in sizes {
+        let kg = generate(&DatagenConfig::scaled(films, 7));
+        let expander = Expander::new(&kg, RankingConfig::default());
+        let film = kg.type_id("Film").expect("Film type");
+        let seeds: Vec<EntityId> = kg.type_extent(film)[..3].to_vec();
+
+        // warm the context cache once so measurements reflect steady state
+        let _ = expander.ranker().rank_features(&seeds);
+
+        let t = Instant::now();
+        let features = expander.ranker().rank_features(&seeds);
+        let feat_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let entities = expander.ranker().rank_entities(&seeds, &features);
+        let ent_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let res = expander.expand(&SfQuery::from_seeds(seeds.clone()), 20, 15);
+        let axis: Vec<EntityId> = res.entities.iter().map(|re| re.entity).collect();
+        let _hm = HeatMap::compute(expander.ranker(), &axis, &res.features);
+        let matrix_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        println!(
+            "{:>8} {:>9} {:>9} {:>13.2} {:>13.2} {:>13.2}",
+            films,
+            kg.entity_count(),
+            kg.triple_count(),
+            feat_ms,
+            ent_ms,
+            matrix_ms
+        );
+        let _ = entities;
+    }
+}

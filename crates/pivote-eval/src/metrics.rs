@@ -1,0 +1,181 @@
+//! Standard ranked-retrieval metrics (binary relevance).
+
+use pivote_kg::EntityId;
+use std::collections::HashSet;
+
+/// Precision at cutoff `k`: relevant among the first `k` / `k`.
+pub fn precision_at_k(ranked: &[EntityId], relevant: &HashSet<EntityId>, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|e| relevant.contains(e))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Recall at cutoff `k`: relevant among the first `k` / total relevant.
+pub fn recall_at_k(ranked: &[EntityId], relevant: &HashSet<EntityId>, k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|e| relevant.contains(e))
+        .count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// R-precision: precision at `R = |relevant|`.
+pub fn r_precision(ranked: &[EntityId], relevant: &HashSet<EntityId>) -> f64 {
+    precision_at_k(ranked, relevant, relevant.len())
+}
+
+/// Average precision over the full ranking (normalized by `|relevant|`).
+pub fn average_precision(ranked: &[EntityId], relevant: &HashSet<EntityId>) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, e) in ranked.iter().enumerate() {
+        if relevant.contains(e) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Normalized discounted cumulative gain at cutoff `k` with binary gains.
+pub fn ndcg_at_k(ranked: &[EntityId], relevant: &HashSet<EntityId>, k: usize) -> f64 {
+    if relevant.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let dcg: f64 = ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, e)| relevant.contains(*e))
+        .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    let ideal: f64 = (0..relevant.len().min(k))
+        .map(|i| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    dcg / ideal
+}
+
+/// Reciprocal rank of the single `target` (0 when absent).
+pub fn reciprocal_rank(ranked: &[EntityId], target: EntityId) -> f64 {
+    ranked
+        .iter()
+        .position(|&e| e == target)
+        .map(|i| 1.0 / (i + 1) as f64)
+        .unwrap_or(0.0)
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().map(|&x| EntityId::new(x)).collect()
+    }
+
+    fn set(v: &[u32]) -> HashSet<EntityId> {
+        v.iter().map(|&x| EntityId::new(x)).collect()
+    }
+
+    #[test]
+    fn precision_recall_hand_computed() {
+        let ranked = ids(&[1, 9, 2, 8, 3]);
+        let rel = set(&[1, 2, 3]);
+        assert!((precision_at_k(&ranked, &rel, 2) - 0.5).abs() < 1e-12);
+        assert!((precision_at_k(&ranked, &rel, 5) - 0.6).abs() < 1e-12);
+        assert!((recall_at_k(&ranked, &rel, 2) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((recall_at_k(&ranked, &rel, 5) - 1.0).abs() < 1e-12);
+        assert!((r_precision(&ranked, &rel) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_hand_computed() {
+        let ranked = ids(&[1, 9, 2]);
+        let rel = set(&[1, 2, 3]);
+        // hits at ranks 1 (1/1) and 3 (2/3); divided by |rel| = 3
+        let expected = (1.0 + 2.0 / 3.0) / 3.0;
+        assert!((average_precision(&ranked, &rel) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let ranked = ids(&[1, 2, 3]);
+        let rel = set(&[1, 2, 3]);
+        assert!((average_precision(&ranked, &rel) - 1.0).abs() < 1e-12);
+        assert!((ndcg_at_k(&ranked, &rel, 3) - 1.0).abs() < 1e-12);
+        assert!((r_precision(&ranked, &rel) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_prefers_early_hits() {
+        let rel = set(&[1]);
+        let early = ndcg_at_k(&ids(&[1, 2, 3]), &rel, 3);
+        let late = ndcg_at_k(&ids(&[2, 3, 1]), &rel, 3);
+        assert!(early > late);
+        assert!(late > 0.0);
+    }
+
+    #[test]
+    fn reciprocal_rank_cases() {
+        let ranked = ids(&[5, 6, 7]);
+        assert_eq!(reciprocal_rank(&ranked, EntityId::new(5)), 1.0);
+        assert!((reciprocal_rank(&ranked, EntityId::new(7)) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(reciprocal_rank(&ranked, EntityId::new(99)), 0.0);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let rel = set(&[1]);
+        assert_eq!(precision_at_k(&[], &rel, 0), 0.0);
+        assert_eq!(recall_at_k(&[], &HashSet::new(), 5), 0.0);
+        assert_eq!(average_precision(&[], &HashSet::new()), 0.0);
+        assert_eq!(ndcg_at_k(&[], &rel, 0), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    proptest! {
+        /// All metrics stay within [0, 1] for duplicate-free rankings
+        /// (the precondition every retrieval method in this repo meets).
+        #[test]
+        fn prop_metrics_bounded(
+            ranked in proptest::collection::hash_set(0u32..50, 0..30),
+            rel in proptest::collection::hash_set(0u32..50, 0..20),
+            k in 0usize..40,
+        ) {
+            let ranked: Vec<u32> = ranked.into_iter().collect();
+            let ranked = ids(&ranked);
+            let rel: HashSet<EntityId> = rel.into_iter().map(EntityId::new).collect();
+            for v in [
+                precision_at_k(&ranked, &rel, k),
+                recall_at_k(&ranked, &rel, k),
+                average_precision(&ranked, &rel),
+                ndcg_at_k(&ranked, &rel, k),
+                r_precision(&ranked, &rel),
+            ] {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "metric out of range: {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! User actions — every interaction the PivotE interface supports (§2.1).
+//!
+//! The paper's UI turns clicks into query updates: "The queries are
+//! dynamically formulated by tracing the users' dynamic clicking
+//! (exploration) behaviors." Each variant corresponds to one affordance
+//! of Fig. 3.
+
+use pivote_core::SemanticFeature;
+use pivote_kg::EntityId;
+use serde::{Deserialize, Serialize};
+
+/// One user interaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UserAction {
+    /// Type keywords into the query area (Fig. 3-a) and submit.
+    SubmitKeywords {
+        /// The raw keyword string.
+        query: String,
+    },
+    /// Click an entity in the recommendation area (Fig. 3-c): add it as
+    /// an example seed — the *investigation* operation.
+    ClickEntity {
+        /// The clicked entity.
+        entity: EntityId,
+    },
+    /// Select a semantic feature (Fig. 3-e): add it as a required query
+    /// condition.
+    SelectFeature {
+        /// The selected feature.
+        feature: SemanticFeature,
+    },
+    /// Remove a seed from the query area (Fig. 3-b).
+    RemoveSeed {
+        /// The seed to drop.
+        entity: EntityId,
+    },
+    /// Remove a required feature from the query area (Fig. 3-b).
+    RemoveFeature {
+        /// The feature to drop.
+        feature: SemanticFeature,
+    },
+    /// Double-click a feature/entity image: pivot the x-axis into the
+    /// anchor's domain — the *browse* operation (§3.2).
+    Pivot {
+        /// The feature to pivot through.
+        feature: SemanticFeature,
+    },
+    /// Click an entity name to inspect its profile (Fig. 3-d).
+    LookupEntity {
+        /// The entity to present.
+        entity: EntityId,
+    },
+    /// Revisit a historical query from the timeline (Fig. 3-g).
+    RevisitQuery {
+        /// Timeline index to restore.
+        index: usize,
+    },
+    /// Clear the whole query.
+    ClearQuery,
+}
+
+impl UserAction {
+    /// Short verb used in timeline summaries and path-edge labels.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            UserAction::SubmitKeywords { .. } => "search",
+            UserAction::ClickEntity { .. } => "investigate",
+            UserAction::SelectFeature { .. } => "refine",
+            UserAction::RemoveSeed { .. } | UserAction::RemoveFeature { .. } => "remove",
+            UserAction::Pivot { .. } => "pivot",
+            UserAction::LookupEntity { .. } => "lookup",
+            UserAction::RevisitQuery { .. } => "revisit",
+            UserAction::ClearQuery => "clear",
+        }
+    }
+
+    /// Whether the action changes the current query (and therefore the
+    /// recommendations).
+    pub fn mutates_query(&self) -> bool {
+        !matches!(self, UserAction::LookupEntity { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_cover_all_variants() {
+        let a = UserAction::SubmitKeywords {
+            query: "tom hanks".into(),
+        };
+        assert_eq!(a.verb(), "search");
+        assert!(a.mutates_query());
+        let l = UserAction::LookupEntity {
+            entity: EntityId::new(0),
+        };
+        assert_eq!(l.verb(), "lookup");
+        assert!(!l.mutates_query());
+    }
+
+    #[test]
+    fn actions_serialize() {
+        let a = UserAction::ClickEntity {
+            entity: EntityId::new(3),
+        };
+        let json = serde_json::to_string(&a).unwrap();
+        let back: UserAction = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,225 @@
+//! The exploratory path (paper Fig. 4): a graph of visited query states
+//! and inspected entities, with edges labeled by the action that moved
+//! the user between them.
+//!
+//! "Users can click the 'view' button if they want to view the
+//! exploratory search path and search content."
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of a path node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A query state (corresponds to a timeline entry).
+    Query,
+    /// An entity the user looked up.
+    Entity,
+}
+
+/// One node of the exploratory path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathNode {
+    /// Node id (dense, insertion order).
+    pub id: usize,
+    /// Query state or inspected entity.
+    pub kind: NodeKind,
+    /// Display label.
+    pub label: String,
+    /// For query nodes: the timeline index holding the full query.
+    pub timeline_index: Option<usize>,
+}
+
+/// One edge: the action that led from one node to another.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathEdge {
+    /// Source node id.
+    pub from: usize,
+    /// Destination node id.
+    pub to: usize,
+    /// Action verb ("search", "investigate", "pivot", "lookup",
+    /// "revisit", …).
+    pub action: String,
+}
+
+/// The exploratory path graph of one session.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationPath {
+    nodes: Vec<PathNode>,
+    edges: Vec<PathEdge>,
+    /// The node the user is currently at.
+    current: Option<usize>,
+}
+
+impl ExplorationPath {
+    /// Empty path.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node and connect it from the current node (if any) with
+    /// `action`. The new node becomes current. Returns its id.
+    pub fn advance(
+        &mut self,
+        kind: NodeKind,
+        label: impl Into<String>,
+        timeline_index: Option<usize>,
+        action: impl Into<String>,
+    ) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(PathNode {
+            id,
+            kind,
+            label: label.into(),
+            timeline_index,
+        });
+        if let Some(cur) = self.current {
+            self.edges.push(PathEdge {
+                from: cur,
+                to: id,
+                action: action.into(),
+            });
+        }
+        self.current = Some(id);
+        id
+    }
+
+    /// Add a side branch (e.g. an entity lookup) without moving the
+    /// current pointer. Returns the new node id.
+    pub fn branch(
+        &mut self,
+        kind: NodeKind,
+        label: impl Into<String>,
+        action: impl Into<String>,
+    ) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(PathNode {
+            id,
+            kind,
+            label: label.into(),
+            timeline_index: None,
+        });
+        if let Some(cur) = self.current {
+            self.edges.push(PathEdge {
+                from: cur,
+                to: id,
+                action: action.into(),
+            });
+        }
+        id
+    }
+
+    /// Jump back to an existing node (revisit), adding a revisit edge.
+    pub fn jump_to(&mut self, node: usize) {
+        if node >= self.nodes.len() {
+            return;
+        }
+        if let Some(cur) = self.current {
+            if cur != node {
+                self.edges.push(PathEdge {
+                    from: cur,
+                    to: node,
+                    action: "revisit".to_owned(),
+                });
+            }
+        }
+        self.current = Some(node);
+    }
+
+    /// Find the query node recorded for a timeline index.
+    pub fn node_for_timeline(&self, timeline_index: usize) -> Option<usize> {
+        self.nodes
+            .iter()
+            .find(|n| n.timeline_index == Some(timeline_index))
+            .map(|n| n.id)
+    }
+
+    /// All nodes in insertion order.
+    pub fn nodes(&self) -> &[PathNode] {
+        &self.nodes
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> &[PathEdge] {
+        &self.edges
+    }
+
+    /// The node the user is at, if any.
+    pub fn current(&self) -> Option<usize> {
+        self.current
+    }
+
+    /// The main trail: query nodes in visit order (ignoring lookups).
+    pub fn query_trail(&self) -> Vec<&PathNode> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Query)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_links_nodes() {
+        let mut p = ExplorationPath::new();
+        let a = p.advance(NodeKind::Query, "q0", Some(0), "search");
+        let b = p.advance(NodeKind::Query, "q1", Some(1), "investigate");
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(p.edges().len(), 1);
+        assert_eq!(p.edges()[0].action, "investigate");
+        assert_eq!(p.current(), Some(1));
+    }
+
+    #[test]
+    fn branch_keeps_current() {
+        let mut p = ExplorationPath::new();
+        p.advance(NodeKind::Query, "q0", Some(0), "search");
+        let e = p.branch(NodeKind::Entity, "Forrest Gump", "lookup");
+        assert_eq!(p.current(), Some(0));
+        assert_eq!(p.nodes()[e].kind, NodeKind::Entity);
+        assert_eq!(p.edges().last().unwrap().action, "lookup");
+    }
+
+    #[test]
+    fn jump_to_adds_revisit_edge() {
+        let mut p = ExplorationPath::new();
+        p.advance(NodeKind::Query, "q0", Some(0), "search");
+        p.advance(NodeKind::Query, "q1", Some(1), "pivot");
+        p.jump_to(0);
+        assert_eq!(p.current(), Some(0));
+        assert_eq!(p.edges().last().unwrap().action, "revisit");
+        // jumping to self or out of range is a no-op edge-wise
+        let edges = p.edges().len();
+        p.jump_to(0);
+        p.jump_to(99);
+        assert_eq!(p.edges().len(), edges);
+    }
+
+    #[test]
+    fn query_trail_filters_lookups() {
+        let mut p = ExplorationPath::new();
+        p.advance(NodeKind::Query, "q0", Some(0), "search");
+        p.branch(NodeKind::Entity, "e", "lookup");
+        p.advance(NodeKind::Query, "q1", Some(1), "investigate");
+        assert_eq!(p.query_trail().len(), 2);
+    }
+
+    #[test]
+    fn node_for_timeline_lookup() {
+        let mut p = ExplorationPath::new();
+        p.advance(NodeKind::Query, "q0", Some(7), "search");
+        assert_eq!(p.node_for_timeline(7), Some(0));
+        assert_eq!(p.node_for_timeline(8), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut p = ExplorationPath::new();
+        p.advance(NodeKind::Query, "q0", Some(0), "search");
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ExplorationPath = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

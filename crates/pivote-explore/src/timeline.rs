@@ -1,0 +1,116 @@
+//! The query timeline (Fig. 3-g): every query state the session has
+//! visited, revisitable by index.
+//!
+//! "Users can revisit the queries in the timeline … supports them to
+//! compare the information by conveniently revisiting historical
+//! queries."
+
+use crate::query::ExplorationQuery;
+use serde::{Deserialize, Serialize};
+
+/// One timeline entry: a query state plus how the user got there.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineEntry {
+    /// Position in the timeline (0-based).
+    pub index: usize,
+    /// The verb of the action that produced this state.
+    pub action: String,
+    /// The query state after the action.
+    pub query: ExplorationQuery,
+    /// One-line human-readable description.
+    pub summary: String,
+}
+
+/// The append-only query history of a session.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    entries: Vec<TimelineEntry>,
+}
+
+impl Timeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a new query state; returns its index.
+    pub fn record(
+        &mut self,
+        action: impl Into<String>,
+        query: ExplorationQuery,
+        summary: impl Into<String>,
+    ) -> usize {
+        let index = self.entries.len();
+        self.entries.push(TimelineEntry {
+            index,
+            action: action.into(),
+            query,
+            summary: summary.into(),
+        });
+        index
+    }
+
+    /// Entry at `index`.
+    pub fn get(&self, index: usize) -> Option<&TimelineEntry> {
+        self.entries.get(index)
+    }
+
+    /// Most recent entry.
+    pub fn last(&self) -> Option<&TimelineEntry> {
+        self.entries.last()
+    }
+
+    /// Number of recorded states.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TimelineEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_revisit() {
+        let mut t = Timeline::new();
+        let q1 = ExplorationQuery::keywords("a");
+        let q2 = ExplorationQuery::keywords("b");
+        let i1 = t.record("search", q1.clone(), "q1");
+        let i2 = t.record("search", q2.clone(), "q2");
+        assert_eq!((i1, i2), (0, 1));
+        assert_eq!(t.get(0).unwrap().query, q1);
+        assert_eq!(t.get(1).unwrap().query, q2);
+        assert_eq!(t.last().unwrap().index, 1);
+        assert!(t.get(2).is_none());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_chronological() {
+        let mut t = Timeline::new();
+        for i in 0..3 {
+            t.record("search", ExplorationQuery::keywords(format!("q{i}")), "");
+        }
+        let idx: Vec<usize> = t.iter().map(|e| e.index).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut t = Timeline::new();
+        t.record("search", ExplorationQuery::keywords("x"), "x");
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Timeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,746 @@
+//! Deterministic synthetic DBpedia-like knowledge graph generator.
+//!
+//! The paper runs PivotE over DBpedia/Freebase. Those dumps are not
+//! redistributable here, so this module generates a multi-domain movie
+//! knowledge graph with the same *statistical* structure the ranking model
+//! consumes: types statistically coupled through specific relations
+//! (Film—starring→Actor, Film—director→Director, …), Zipfian popularity
+//! (a few prolific actors/directors, a long tail), Wikipedia-style
+//! categories ("American films", "Films directed by X", "1990s films"),
+//! labels, typed literals, and redirect aliases (the paper's "Geenbow" →
+//! Forrest Gump example).
+//!
+//! Everything is driven by a seeded RNG: the same [`DatagenConfig`]
+//! produces the same graph, triple for triple, which the experiment
+//! harness relies on.
+
+use crate::id::EntityId;
+use crate::store::{KgBuilder, KnowledgeGraph};
+use crate::triple::Literal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Scale and shape parameters for [`generate`].
+#[derive(Debug, Clone)]
+pub struct DatagenConfig {
+    /// RNG seed; equal configs produce identical graphs.
+    pub seed: u64,
+    /// Number of films — the primary domain. Other domain sizes derive
+    /// from this unless overridden.
+    pub films: usize,
+    /// Number of actors.
+    pub actors: usize,
+    /// Number of directors.
+    pub directors: usize,
+    /// Number of writers.
+    pub writers: usize,
+    /// Number of music composers.
+    pub composers: usize,
+    /// Number of cities.
+    pub cities: usize,
+    /// Number of universities.
+    pub universities: usize,
+    /// Number of studios.
+    pub studios: usize,
+    /// Number of books (some films are `basedOn` a book).
+    pub books: usize,
+    /// Number of book authors.
+    pub authors: usize,
+    /// Number of awards.
+    pub awards: usize,
+    /// Zipf exponent controlling popularity skew (1.0 ≈ classic Zipf).
+    pub zipf_exponent: f64,
+    /// Cast size range per film (inclusive).
+    pub cast_range: (usize, usize),
+    /// Probability that an entity gets a misspelled redirect alias.
+    pub alias_probability: f64,
+}
+
+impl DatagenConfig {
+    /// ~60 entities; unit-test sized.
+    pub fn tiny() -> Self {
+        Self::scaled(12, 7)
+    }
+
+    /// ~1.3k entities; integration-test sized.
+    pub fn small() -> Self {
+        Self::scaled(300, 7)
+    }
+
+    /// ~9k entities; example/eval sized.
+    pub fn medium() -> Self {
+        Self::scaled(2_000, 7)
+    }
+
+    /// ~90k entities; scaling benches.
+    pub fn large() -> Self {
+        Self::scaled(20_000, 7)
+    }
+
+    /// Derive all domain sizes from a film count.
+    pub fn scaled(films: usize, seed: u64) -> Self {
+        let at_least = |v: usize, min: usize| v.max(min);
+        Self {
+            seed,
+            films,
+            actors: at_least(films * 2, 8),
+            directors: at_least(films / 4, 3),
+            writers: at_least(films / 3, 3),
+            composers: at_least(films / 6, 2),
+            cities: at_least(films / 10, 4),
+            universities: at_least(films / 25, 2),
+            studios: at_least(films / 20, 2),
+            books: at_least(films / 8, 2),
+            authors: at_least(films / 12, 2),
+            awards: at_least(films / 50, 2).min(40),
+            zipf_exponent: 1.05,
+            cast_range: (2, 6),
+            alias_probability: 0.12,
+        }
+    }
+
+    /// Override the seed, keeping every other parameter.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for DatagenConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// Zipf-distributed sampler over ranks `0..n` via inverse-CDF binary
+/// search. Rank 0 is the most popular.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero ranks");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+const GENRES: &[&str] = &[
+    "Drama", "Comedy", "Thriller", "Romance", "Action", "Science_fiction", "Horror", "War",
+    "Western", "Musical", "Crime", "Adventure", "Mystery", "Fantasy",
+];
+
+/// (country resource name, adjective used in category names)
+const COUNTRIES: &[(&str, &str)] = &[
+    ("United_States", "American"),
+    ("United_Kingdom", "British"),
+    ("France", "French"),
+    ("Germany", "German"),
+    ("Italy", "Italian"),
+    ("Japan", "Japanese"),
+    ("India", "Indian"),
+    ("Canada", "Canadian"),
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "Tom", "Gary", "Robert", "Sally", "Robin", "Mykelti", "Rebecca", "Michael", "Kurt", "Bill",
+    "Ed", "Kathleen", "Gene", "David", "Laura", "Grace", "Henry", "Nora", "Walter", "Iris",
+    "Paul", "Clara", "Victor", "Ruth", "Oscar", "Elena", "Frank", "Maya", "Louis", "Vera",
+    "Arthur", "Stella", "Hugo", "Ada", "Felix", "June", "Max", "Pearl", "Leo", "Faye",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Hanks", "Sinise", "Zemeckis", "Field", "Wright", "Williamson", "Holm", "Keaton", "Russell",
+    "Paxton", "Harris", "Quinlan", "Mercer", "Ashford", "Bellamy", "Crane", "Dunmore", "Ellery",
+    "Fontaine", "Garrick", "Hollis", "Ingram", "Jarvis", "Kessler", "Lindqvist", "Marchetti",
+    "Novak", "Ostrowski", "Pemberton", "Quigley", "Rousseau", "Santoro", "Thackeray", "Ullman",
+    "Vance", "Whitfield", "Yates", "Zielinski", "Ames", "Barrow", "Coyle", "Drummond", "Eastman",
+    "Falk", "Grady", "Hartwell", "Irwin", "Joplin", "Kirby", "Lowell",
+];
+
+const TITLE_ADJ: &[&str] = &[
+    "Silent", "Golden", "Broken", "Distant", "Crimson", "Hidden", "Last", "First", "Burning",
+    "Frozen", "Endless", "Forgotten", "Hollow", "Pale", "Restless", "Savage", "Quiet", "Wild",
+    "Lonely", "Gilded", "Shattered", "Velvet", "Iron", "Amber", "Midnight", "Electric",
+];
+
+const TITLE_NOUN: &[&str] = &[
+    "Harbor", "River", "Promise", "Garden", "Empire", "Letter", "Road", "Summer", "Winter",
+    "Shadow", "Horizon", "Station", "Orchard", "Voyage", "Reckoning", "Cartographer", "Lantern",
+    "Parade", "Tide", "Meridian", "Compass", "Archive", "Sparrow", "Monument", "Carousel",
+    "Signal", "Harvest", "Labyrinth", "Overture", "Pilgrim", "Vigil", "Mosaic",
+];
+
+const BOOK_NOUN: &[&str] = &[
+    "Chronicle", "Testament", "Memoir", "Ballad", "Atlas", "Manifesto", "Diary", "Elegy",
+    "Fable", "Almanac",
+];
+
+/// Unique-name allocator: appends a numeric disambiguator on collision,
+/// mirroring Wikipedia's `Title_(1994_film)` convention.
+struct Namer {
+    used: HashSet<String>,
+}
+
+impl Namer {
+    fn new() -> Self {
+        Self {
+            used: HashSet::new(),
+        }
+    }
+
+    fn claim(&mut self, base: String, kind: &str) -> String {
+        if self.used.insert(base.clone()) {
+            return base;
+        }
+        for i in 2.. {
+            let candidate = format!("{base}_({kind}_{i})");
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+        unreachable!()
+    }
+}
+
+fn person_name(pool_offset: usize, i: usize) -> String {
+    let idx = pool_offset + i;
+    let first = FIRST_NAMES[idx % FIRST_NAMES.len()];
+    let last = LAST_NAMES[(idx / FIRST_NAMES.len()) % LAST_NAMES.len()];
+    format!("{first}_{last}")
+}
+
+fn misspell(name: &str, rng: &mut impl Rng) -> String {
+    let display = name.replace('_', " ");
+    let chars: Vec<char> = display.chars().collect();
+    if chars.len() < 4 {
+        return format!("{display}n");
+    }
+    let mut out: Vec<char> = chars.clone();
+    match rng.gen_range(0..3u8) {
+        0 => {
+            // drop an interior character
+            let i = rng.gen_range(1..out.len() - 1);
+            out.remove(i);
+        }
+        1 => {
+            // swap two adjacent interior characters
+            let i = rng.gen_range(1..out.len() - 2);
+            out.swap(i, i + 1);
+        }
+        _ => {
+            // double an interior character
+            let i = rng.gen_range(1..out.len() - 1);
+            let c = out[i];
+            out.insert(i, c);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// A generated person: entity id plus the country/city it was wired to,
+/// used for category assignment.
+struct Person {
+    id: EntityId,
+    country: usize,
+    birth_year: i32,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_people(
+    b: &mut KgBuilder,
+    namer: &mut Namer,
+    rng: &mut StdRng,
+    count: usize,
+    pool_offset: usize,
+    type_name: &str,
+    cities: &[(EntityId, usize)],
+    universities: &[EntityId],
+    city_zipf: &Zipf,
+    awards: &[EntityId],
+) -> Vec<Person> {
+    let birth_place = b.predicate("birthPlace");
+    let alma_mater = b.predicate("almaMater");
+    let award_p = b.predicate("award");
+    let birth_date = b.predicate("birthDate");
+    let mut people = Vec::with_capacity(count);
+    for i in 0..count {
+        let name = namer.claim(person_name(pool_offset, i), "person");
+        let e = b.entity(&name);
+        b.label(e, name.replace('_', " "));
+        b.typed(e, type_name);
+        b.typed(e, "Person");
+        let (city, country) = cities[city_zipf.sample(rng) % cities.len()];
+        b.triple(e, birth_place, city);
+        let birth_year = rng.gen_range(1920..=1995);
+        b.literal_triple(
+            e,
+            birth_date,
+            Literal::date(birth_year, rng.gen_range(1..=12), rng.gen_range(1..=28)),
+        );
+        if !universities.is_empty() && rng.gen_bool(0.35) {
+            let u = universities[rng.gen_range(0..universities.len())];
+            b.triple(e, alma_mater, u);
+        }
+        if !awards.is_empty() && rng.gen_bool(0.08) {
+            let a = awards[rng.gen_range(0..awards.len())];
+            b.triple(e, award_p, a);
+        }
+        people.push(Person {
+            id: e,
+            country,
+            birth_year,
+        });
+    }
+    people
+}
+
+/// Generate a synthetic movie-domain knowledge graph.
+pub fn generate(config: &DatagenConfig) -> KnowledgeGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = KgBuilder::new();
+    let mut namer = Namer::new();
+
+    // --- static scaffolding -------------------------------------------
+    let country_ids: Vec<EntityId> = COUNTRIES
+        .iter()
+        .map(|(name, _)| {
+            let e = b.entity(name);
+            b.label(e, name.replace('_', " "));
+            b.typed(e, "Country");
+            e
+        })
+        .collect();
+
+    let genre_ids: Vec<EntityId> = GENRES
+        .iter()
+        .map(|name| {
+            let e = b.entity(name);
+            b.label(e, name.replace('_', " "));
+            b.typed(e, "Genre");
+            e
+        })
+        .collect();
+
+    let country_p = b.predicate("country");
+    let located_in = b.predicate("locatedIn");
+
+    let cities: Vec<(EntityId, usize)> = (0..config.cities)
+        .map(|i| {
+            let country = i % COUNTRIES.len();
+            let name = namer.claim(
+                format!("{}_{}", TITLE_NOUN[i % TITLE_NOUN.len()], "City"),
+                "city",
+            );
+            let e = b.entity(&name);
+            b.label(e, name.replace('_', " "));
+            b.typed(e, "City");
+            b.triple(e, country_p, country_ids[country]);
+            (e, country)
+        })
+        .collect();
+
+    let universities: Vec<EntityId> = (0..config.universities)
+        .map(|i| {
+            let name = namer.claim(
+                format!("University_of_{}", TITLE_NOUN[(i * 3 + 1) % TITLE_NOUN.len()]),
+                "university",
+            );
+            let e = b.entity(&name);
+            b.label(e, name.replace('_', " "));
+            b.typed(e, "University");
+            let (city, _) = cities[i % cities.len()];
+            b.triple(e, located_in, city);
+            e
+        })
+        .collect();
+
+    let studios: Vec<(EntityId, usize)> = (0..config.studios)
+        .map(|i| {
+            let country = i % COUNTRIES.len().min(3); // studios concentrate
+            let name = namer.claim(
+                format!("{}_Pictures", TITLE_ADJ[(i * 5 + 2) % TITLE_ADJ.len()]),
+                "studio",
+            );
+            let e = b.entity(&name);
+            b.label(e, name.replace('_', " "));
+            b.typed(e, "Studio");
+            b.triple(e, country_p, country_ids[country]);
+            (e, country)
+        })
+        .collect();
+
+    let awards: Vec<EntityId> = (0..config.awards)
+        .map(|i| {
+            let name = namer.claim(
+                format!(
+                    "{}_{}_Award",
+                    TITLE_ADJ[(i * 7 + 3) % TITLE_ADJ.len()],
+                    TITLE_NOUN[(i * 11 + 5) % TITLE_NOUN.len()]
+                ),
+                "award",
+            );
+            let e = b.entity(&name);
+            b.label(e, name.replace('_', " "));
+            b.typed(e, "Award");
+            e
+        })
+        .collect();
+
+    // --- people pools --------------------------------------------------
+    let city_zipf = Zipf::new(config.cities.max(1), config.zipf_exponent);
+    let actors = make_people(
+        &mut b, &mut namer, &mut rng, config.actors, 0, "Actor", &cities, &universities,
+        &city_zipf, &awards,
+    );
+    let directors = make_people(
+        &mut b, &mut namer, &mut rng, config.directors, 211, "Director", &cities, &universities,
+        &city_zipf, &awards,
+    );
+    let writers = make_people(
+        &mut b, &mut namer, &mut rng, config.writers, 503, "Writer", &cities, &universities,
+        &city_zipf, &awards,
+    );
+    let composers = make_people(
+        &mut b, &mut namer, &mut rng, config.composers, 811, "MusicComposer", &cities,
+        &universities, &city_zipf, &awards,
+    );
+    let authors = make_people(
+        &mut b, &mut namer, &mut rng, config.authors, 1301, "Author", &cities, &universities,
+        &city_zipf, &awards,
+    );
+
+    // Sparse spouse edges among actors (Person↔Person coupling).
+    let spouse = b.predicate("spouse");
+    for i in (0..actors.len().saturating_sub(1)).step_by(9) {
+        b.triple(actors[i].id, spouse, actors[i + 1].id);
+    }
+
+    // --- books ----------------------------------------------------------
+    let author_p = b.predicate("author");
+    let genre_p = b.predicate("genre");
+    let book_zipf = Zipf::new(config.authors.max(1), config.zipf_exponent);
+    let books: Vec<EntityId> = (0..config.books)
+        .map(|i| {
+            let name = namer.claim(
+                format!(
+                    "The_{}_{}",
+                    TITLE_ADJ[(i * 13 + 1) % TITLE_ADJ.len()],
+                    BOOK_NOUN[i % BOOK_NOUN.len()]
+                ),
+                "book",
+            );
+            let e = b.entity(&name);
+            b.label(e, name.replace('_', " "));
+            b.typed(e, "Book");
+            let a = &authors[book_zipf.sample(&mut rng) % authors.len()];
+            b.triple(e, author_p, a.id);
+            b.triple(e, genre_p, genre_ids[rng.gen_range(0..genre_ids.len())]);
+            e
+        })
+        .collect();
+
+    // --- films: the primary domain ---------------------------------------
+    let starring = b.predicate("starring");
+    let director_p = b.predicate("director");
+    let writer_p = b.predicate("writer");
+    let composer_p = b.predicate("musicComposer");
+    let studio_p = b.predicate("studio");
+    let based_on = b.predicate("basedOn");
+    let award_p = b.predicate("award");
+    let runtime_p = b.predicate("runtime");
+    let release_p = b.predicate("releaseDate");
+    let gross_p = b.predicate("gross");
+    let abstract_p = b.predicate("abstract");
+
+    let actor_zipf = Zipf::new(config.actors.max(1), config.zipf_exponent);
+    let director_zipf = Zipf::new(config.directors.max(1), config.zipf_exponent);
+    let writer_zipf = Zipf::new(config.writers.max(1), config.zipf_exponent);
+    let composer_zipf = Zipf::new(config.composers.max(1), config.zipf_exponent);
+
+    for i in 0..config.films {
+        let adj = TITLE_ADJ[rng.gen_range(0..TITLE_ADJ.len())];
+        let noun = TITLE_NOUN[rng.gen_range(0..TITLE_NOUN.len())];
+        let base = match rng.gen_range(0..4u8) {
+            0 => format!("The_{noun}"),
+            1 => format!("{adj}_{noun}"),
+            2 => format!("The_{adj}_{noun}"),
+            _ => format!(
+                "{noun}_of_the_{}",
+                TITLE_NOUN[rng.gen_range(0..TITLE_NOUN.len())]
+            ),
+        };
+        let name = namer.claim(base, "film");
+        let film = b.entity(&name);
+        b.label(film, name.replace('_', " "));
+        b.typed(film, "Film");
+        b.typed(film, "Work");
+
+        let dir = &directors[director_zipf.sample(&mut rng) % config.directors.max(1)];
+        b.triple(film, director_p, dir.id);
+
+        let cast_n = rng.gen_range(config.cast_range.0..=config.cast_range.1);
+        let mut cast: Vec<usize> = Vec::with_capacity(cast_n);
+        while cast.len() < cast_n.min(config.actors) {
+            let a = actor_zipf.sample(&mut rng) % config.actors.max(1);
+            if !cast.contains(&a) {
+                cast.push(a);
+            }
+        }
+        for &a in &cast {
+            b.triple(film, starring, actors[a].id);
+        }
+
+        for _ in 0..rng.gen_range(1..=2usize) {
+            let w = writer_zipf.sample(&mut rng) % config.writers.max(1);
+            b.triple(film, writer_p, writers[w].id);
+        }
+        let comp = composer_zipf.sample(&mut rng) % config.composers.max(1);
+        b.triple(film, composer_p, composers[comp].id);
+
+        // Country correlates with the director's country 70% of the time,
+        // giving the type-coupling stats a realistic signal.
+        let country = if rng.gen_bool(0.7) {
+            dir.country
+        } else {
+            rng.gen_range(0..COUNTRIES.len())
+        };
+        b.triple(film, country_p, country_ids[country]);
+
+        let (studio, _) = studios[rng.gen_range(0..studios.len())];
+        b.triple(film, studio_p, studio);
+
+        let n_genres = rng.gen_range(1..=2usize);
+        let g0 = rng.gen_range(0..genre_ids.len());
+        b.triple(film, genre_p, genre_ids[g0]);
+        if n_genres == 2 {
+            b.triple(film, genre_p, genre_ids[(g0 + 1 + i) % genre_ids.len()]);
+        }
+
+        if rng.gen_bool(0.10) && !books.is_empty() {
+            b.triple(film, based_on, books[rng.gen_range(0..books.len())]);
+        }
+        if rng.gen_bool(0.05) && !awards.is_empty() {
+            b.triple(film, award_p, awards[rng.gen_range(0..awards.len())]);
+        }
+
+        let year = rng.gen_range(1960..=2019);
+        let runtime = rng.gen_range(80..=190i64);
+        b.literal_triple(film, runtime_p, Literal::integer(runtime));
+        b.literal_triple(
+            film,
+            release_p,
+            Literal::date(year, rng.gen_range(1..=12), rng.gen_range(1..=28)),
+        );
+        b.literal_triple(
+            film,
+            gross_p,
+            Literal::integer(rng.gen_range(1..=900) * 1_000_000),
+        );
+        let (_, country_adj) = COUNTRIES[country];
+        b.literal_triple(
+            film,
+            abstract_p,
+            Literal::string(format!(
+                "{} is a {} {} {} film directed by {} with a runtime of {} minutes.",
+                name.replace('_', " "),
+                year,
+                country_adj,
+                GENRES[g0].replace('_', " ").to_lowercase(),
+                person_name(211, directors.iter().position(|d| d.id == dir.id).unwrap_or(0))
+                    .replace('_', " "),
+                runtime,
+            )),
+        );
+
+        // --- film categories (ground-truth classes for eval) -------------
+        b.categorized(film, &format!("{country_adj} films"));
+        b.categorized(film, &format!("{}s films", year - year % 10));
+        b.categorized(
+            film,
+            &format!("{} films", GENRES[g0].replace('_', " ")),
+        );
+        let dir_name = b.entity_display_name_hint(dir.id);
+        b.categorized(film, &format!("Films directed by {dir_name}"));
+    }
+
+    // --- person categories ----------------------------------------------
+    for (people, noun) in [
+        (&actors, "actors"),
+        (&directors, "film directors"),
+        (&writers, "screenwriters"),
+        (&composers, "film score composers"),
+        (&authors, "novelists"),
+    ] {
+        for p in people.iter() {
+            let (_, adj) = COUNTRIES[p.country];
+            b.categorized(p.id, &format!("{adj} {noun}"));
+            b.categorized(
+                p.id,
+                &format!("People born in the {}s", p.birth_year - p.birth_year % 10),
+            );
+        }
+    }
+
+    // --- redirect aliases -------------------------------------------------
+    let n_entities = b.entity_count();
+    for raw in 0..n_entities as u32 {
+        if rng.gen_bool(config.alias_probability) {
+            let e = EntityId::new(raw);
+            let alias = misspell(b.entity_name_hint(e), &mut rng);
+            b.redirect(alias, e);
+        }
+    }
+
+    b.finish()
+}
+
+impl KgBuilder {
+    /// Datagen helper: display name of an already-interned entity
+    /// (label-style, underscores replaced). Exposed for generator use only.
+    fn entity_display_name_hint(&self, e: EntityId) -> String {
+        self.entity_name_hint(e).replace('_', " ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            let r = z.sample(&mut rng);
+            assert!(r < 100);
+            counts[r] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "rank 0 should dominate rank 50");
+        assert!(counts[0] > counts[10], "rank 0 should beat rank 10");
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&DatagenConfig::tiny());
+        let b = generate(&DatagenConfig::tiny());
+        assert_eq!(a.entity_count(), b.entity_count());
+        assert_eq!(a.triple_count(), b.triple_count());
+        assert_eq!(
+            crate::ntriples::serialize(&a),
+            crate::ntriples::serialize(&b)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&DatagenConfig::tiny());
+        let b = generate(&DatagenConfig::tiny().with_seed(99));
+        assert_ne!(
+            crate::ntriples::serialize(&a),
+            crate::ntriples::serialize(&b)
+        );
+    }
+
+    #[test]
+    fn every_film_has_director_and_cast() {
+        let kg = generate(&DatagenConfig::tiny());
+        let film = kg.type_id("Film").unwrap();
+        let starring = kg.predicate("starring").unwrap();
+        let director = kg.predicate("director").unwrap();
+        for &f in kg.type_extent(film) {
+            assert!(!kg.objects(f, director).is_empty(), "film without director");
+            assert!(kg.objects(f, starring).len() >= 2, "film with tiny cast");
+        }
+    }
+
+    #[test]
+    fn expected_domains_exist() {
+        let kg = generate(&DatagenConfig::tiny());
+        for t in [
+            "Film", "Actor", "Director", "Writer", "MusicComposer", "Author", "Book", "City",
+            "Country", "Genre", "Studio", "University", "Award", "Person", "Work",
+        ] {
+            let tid = kg.type_id(t).unwrap_or_else(|| panic!("missing type {t}"));
+            assert!(!kg.type_extent(tid).is_empty(), "empty extent for {t}");
+        }
+    }
+
+    #[test]
+    fn categories_are_populated() {
+        let kg = generate(&DatagenConfig::small());
+        // At least one country-film category should have many members.
+        let big = kg
+            .category_ids()
+            .map(|c| kg.category_extent(c).len())
+            .max()
+            .unwrap();
+        assert!(big >= 10, "largest category only has {big} members");
+    }
+
+    #[test]
+    fn zipf_popularity_shows_in_actor_degrees() {
+        let kg = generate(&DatagenConfig::small());
+        let starring = kg.predicate("starring").unwrap();
+        let actor = kg.type_id("Actor").unwrap();
+        let mut degrees: Vec<usize> = kg
+            .type_extent(actor)
+            .iter()
+            .map(|&a| kg.subjects(a, starring).len())
+            .collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top = degrees[0];
+        let median = degrees[degrees.len() / 2];
+        assert!(
+            top >= median.max(1) * 5,
+            "expected skew, got top={top} median={median}"
+        );
+    }
+
+    #[test]
+    fn aliases_are_generated() {
+        let kg = generate(&DatagenConfig::small());
+        let with_alias = kg
+            .entity_ids()
+            .filter(|&e| !kg.aliases(e).is_empty())
+            .count();
+        assert!(with_alias > 0, "no redirect aliases generated");
+    }
+
+    #[test]
+    fn films_have_literals_and_abstract() {
+        let kg = generate(&DatagenConfig::tiny());
+        let film = kg.type_id("Film").unwrap();
+        let f = kg.type_extent(film)[0];
+        let lits: Vec<_> = kg.literals(f).collect();
+        assert!(lits.len() >= 4, "expected runtime/release/gross/abstract");
+        let abstract_p = kg.predicate("abstract").unwrap();
+        assert!(lits.iter().any(|(p, _)| *p == abstract_p));
+    }
+}

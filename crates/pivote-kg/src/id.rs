@@ -1,0 +1,115 @@
+//! Dense integer identifiers for knowledge-graph objects.
+//!
+//! Every resource in the graph is dictionary-encoded into a dense `u32`
+//! namespace so that extents (`E(π)`, `E(c)`, `E(t)`) can be represented as
+//! sorted `u32` slices and intersected without hashing. Separate newtypes
+//! keep the namespaces from being mixed up at compile time.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw dense index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index widened for slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            #[inline]
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// An entity (RDF resource) in the knowledge graph, e.g. `Forrest_Gump`.
+    EntityId
+);
+define_id!(
+    /// A predicate (RDF property), e.g. `starring`.
+    PredicateId
+);
+define_id!(
+    /// An entity type, e.g. `Film`. Types come from `rdf:type` statements
+    /// but live in their own dense namespace for fast extent lookups.
+    TypeId
+);
+define_id!(
+    /// A category, e.g. `American films` (`dct:subject` in DBpedia).
+    CategoryId
+);
+define_id!(
+    /// A literal value attached to an entity.
+    LiteralId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let e = EntityId::new(7);
+        assert_eq!(e.raw(), 7);
+        assert_eq!(e.index(), 7usize);
+        assert_eq!(u32::from(e), 7);
+        assert_eq!(EntityId::from(7u32), e);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(EntityId::new(1) < EntityId::new(2));
+        assert!(PredicateId::new(0) < PredicateId::new(100));
+    }
+
+    #[test]
+    fn display_includes_namespace() {
+        assert_eq!(EntityId::new(3).to_string(), "EntityId(3)");
+        assert_eq!(TypeId::new(0).to_string(), "TypeId(0)");
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&EntityId::new(12)).unwrap();
+        assert_eq!(json, "12");
+        let back: EntityId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, EntityId::new(12));
+    }
+}

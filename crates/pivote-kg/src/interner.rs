@@ -1,0 +1,152 @@
+//! String interning: bijective mapping between names and dense `u32` ids.
+//!
+//! The store dictionary-encodes every entity/predicate/type/category name
+//! once, so all downstream structures work on compact integer ids. Lookup
+//! by name is a single hash probe; lookup by id is an array index.
+
+use std::collections::HashMap;
+
+/// A bijective `String <-> u32` interner.
+///
+/// Ids are assigned densely in insertion order starting at zero, which is
+/// what lets extents be plain sorted `u32` slices.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    by_name: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty interner with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            by_name: HashMap::with_capacity(cap),
+            names: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Intern `name`, returning its dense id. Repeated calls with the same
+    /// name return the same id.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow: more than u32::MAX names");
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve an id back to its name. Panics if `id` was never issued.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Resolve an id back to its name, returning `None` for unknown ids.
+    pub fn try_resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("Forrest_Gump");
+        let b = i.intern("Forrest_Gump");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_insertion() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.intern("b"), 1);
+        assert_eq!(i.intern("c"), 2);
+        assert_eq!(i.resolve(1), "b");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        i.intern("x");
+        assert_eq!(i.get("x"), Some(0));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn try_resolve_handles_unknown() {
+        let i = Interner::new();
+        assert_eq!(i.try_resolve(0), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut i = Interner::new();
+        for name in ["x", "y", "z"] {
+            i.intern(name);
+        }
+        let collected: Vec<_> = i.iter().map(|(id, n)| (id, n.to_owned())).collect();
+        assert_eq!(
+            collected,
+            vec![(0, "x".into()), (1, "y".into()), (2, "z".into())]
+        );
+    }
+
+    proptest! {
+        /// Interning any set of strings is a bijection: resolving the id of
+        /// a name gives the name back, and equal names share an id.
+        #[test]
+        fn prop_bijection(names in proptest::collection::vec("[a-zA-Z0-9_]{1,12}", 0..64)) {
+            let mut i = Interner::new();
+            let ids: Vec<u32> = names.iter().map(|n| i.intern(n)).collect();
+            for (name, id) in names.iter().zip(&ids) {
+                prop_assert_eq!(i.resolve(*id), name.as_str());
+                prop_assert_eq!(i.get(name), Some(*id));
+            }
+            // distinct ids <=> distinct names
+            let mut uniq_names = names.clone();
+            uniq_names.sort();
+            uniq_names.dedup();
+            let mut uniq_ids = ids.clone();
+            uniq_ids.sort_unstable();
+            uniq_ids.dedup();
+            prop_assert_eq!(uniq_names.len(), uniq_ids.len());
+            prop_assert_eq!(i.len(), uniq_names.len());
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! N-Triples reading and writing.
+//!
+//! Supports the subset of N-Triples that DBpedia dumps use: IRI subjects
+//! and predicates; IRI or literal objects; literals with optional language
+//! tags or `^^<datatype>` annotations. Well-known predicates
+//! ([`crate::schema`]) are routed into the store's dedicated indexes
+//! (types, categories, labels, aliases) instead of generic edges, matching
+//! how PivotE treats DBpedia input.
+
+use crate::schema;
+use crate::store::{KgBuilder, KnowledgeGraph};
+use crate::triple::{Literal, LiteralKind};
+use std::fmt::Write as _;
+
+/// A parse error with 1-based line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the error occurred.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Term {
+    Iri(String),
+    Literal(Literal),
+}
+
+/// Parse an N-Triples document into a fresh [`KgBuilder`].
+///
+/// Comments (`# ...`) and blank lines are skipped. Returns the builder so
+/// callers can add more statements before freezing.
+pub fn parse_into_builder(input: &str) -> Result<KgBuilder, ParseError> {
+    let mut b = KgBuilder::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        parse_line(line, lineno + 1, &mut b)?;
+    }
+    Ok(b)
+}
+
+/// Parse an N-Triples document straight into a frozen [`KnowledgeGraph`].
+pub fn parse(input: &str) -> Result<KnowledgeGraph, ParseError> {
+    Ok(parse_into_builder(input)?.finish())
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_line(line: &str, lineno: usize, b: &mut KgBuilder) -> Result<(), ParseError> {
+    let mut rest = line;
+    let subject = match take_term(&mut rest, lineno)? {
+        Term::Iri(iri) => iri,
+        Term::Literal(_) => return Err(err(lineno, "subject must be an IRI")),
+    };
+    let predicate = match take_term(&mut rest, lineno)? {
+        Term::Iri(iri) => iri,
+        Term::Literal(_) => return Err(err(lineno, "predicate must be an IRI")),
+    };
+    let object = take_term(&mut rest, lineno)?;
+    let rest = rest.trim_start();
+    if !rest.starts_with('.') {
+        return Err(err(lineno, "statement must end with '.'"));
+    }
+
+    match (predicate.as_str(), object) {
+        // Redirect/disambiguation subjects are alias pages, not entities
+        // of the graph proper — they become alias strings on the target,
+        // so `parse(serialize(kg))` preserves the entity count.
+        (schema::DBO_REDIRECT, Term::Iri(o)) => {
+            let alias = schema::local_name(&subject).replace('_', " ");
+            let target = b.entity(schema::local_name(&o));
+            b.redirect(alias, target);
+        }
+        (schema::DBO_DISAMBIGUATES, Term::Iri(o)) => {
+            let alias = schema::local_name(&subject).replace('_', " ");
+            let target = b.entity(schema::local_name(&o));
+            b.disambiguation(alias, target);
+        }
+        (schema::RDF_TYPE, Term::Iri(o)) => {
+            let s = b.entity(schema::local_name(&subject));
+            b.typed(s, schema::local_name(&o));
+        }
+        (schema::RDFS_LABEL, Term::Literal(l)) => {
+            let s = b.entity(schema::local_name(&subject));
+            b.label(s, l.lexical);
+        }
+        (schema::DCT_SUBJECT, Term::Iri(o)) => {
+            let s = b.entity(schema::local_name(&subject));
+            b.categorized(s, &schema::category_name(&o).replace('_', " "));
+        }
+        (_, Term::Iri(o)) => {
+            let s = b.entity(schema::local_name(&subject));
+            let p = b.predicate(schema::local_name(&predicate));
+            let o = b.entity(schema::local_name(&o));
+            b.triple(s, p, o);
+        }
+        (_, Term::Literal(l)) => {
+            let s = b.entity(schema::local_name(&subject));
+            let p = b.predicate(schema::local_name(&predicate));
+            b.literal_triple(s, p, l);
+        }
+    }
+    Ok(())
+}
+
+/// Consume one term (IRI or literal) from the front of `rest`.
+fn take_term(rest: &mut &str, lineno: usize) -> Result<Term, ParseError> {
+    *rest = rest.trim_start();
+    let bytes = rest.as_bytes();
+    match bytes.first() {
+        Some(b'<') => {
+            let end = rest
+                .find('>')
+                .ok_or_else(|| err(lineno, "unterminated IRI"))?;
+            let iri = rest[1..end].to_owned();
+            if iri.is_empty() {
+                return Err(err(lineno, "empty IRI"));
+            }
+            *rest = &rest[end + 1..];
+            Ok(Term::Iri(iri))
+        }
+        Some(b'"') => {
+            let (lexical, consumed) = take_quoted(rest, lineno)?;
+            *rest = &rest[consumed..];
+            // optional language tag or datatype
+            let mut kind = LiteralKind::String;
+            if let Some(stripped) = rest.strip_prefix('@') {
+                let end = stripped
+                    .find([' ', '\t'])
+                    .unwrap_or(stripped.len());
+                *rest = &stripped[end..];
+            } else if let Some(stripped) = rest.strip_prefix("^^<") {
+                let end = stripped
+                    .find('>')
+                    .ok_or_else(|| err(lineno, "unterminated datatype IRI"))?;
+                let dt = &stripped[..end];
+                kind = datatype_kind(dt);
+                *rest = &stripped[end + 1..];
+            }
+            Ok(Term::Literal(Literal { lexical, kind }))
+        }
+        Some(_) => Err(err(lineno, format!("unexpected term start: {rest:.20}"))),
+        None => Err(err(lineno, "unexpected end of statement")),
+    }
+}
+
+/// Parse a double-quoted string with `\"`, `\\`, `\n`, `\t`, `\r` escapes.
+/// Returns the unescaped content and how many input bytes were consumed
+/// (including both quotes).
+fn take_quoted(input: &str, lineno: usize) -> Result<(String, usize), ParseError> {
+    debug_assert!(input.starts_with('"'));
+    let mut out = String::new();
+    let mut chars = input.char_indices().skip(1).peekable();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, i + 1)),
+            '\\' => {
+                let (_, esc) = chars
+                    .next()
+                    .ok_or_else(|| err(lineno, "dangling escape"))?;
+                out.push(match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    '"' => '"',
+                    '\\' => '\\',
+                    other => return Err(err(lineno, format!("unknown escape \\{other}"))),
+                });
+            }
+            other => out.push(other),
+        }
+    }
+    Err(err(lineno, "unterminated string literal"))
+}
+
+fn datatype_kind(dt: &str) -> LiteralKind {
+    match schema::local_name(dt) {
+        "integer" | "int" | "long" | "nonNegativeInteger" => LiteralKind::Integer,
+        "double" | "float" | "decimal" => LiteralKind::Double,
+        "date" => LiteralKind::Date,
+        _ => LiteralKind::String,
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn datatype_iri(kind: LiteralKind) -> Option<&'static str> {
+    match kind {
+        LiteralKind::String => None,
+        LiteralKind::Integer => Some("http://www.w3.org/2001/XMLSchema#integer"),
+        LiteralKind::Double => Some("http://www.w3.org/2001/XMLSchema#double"),
+        LiteralKind::Date => Some("http://www.w3.org/2001/XMLSchema#date"),
+    }
+}
+
+/// Serialize a knowledge graph to N-Triples, inverse of [`parse`].
+///
+/// Types, categories, labels and aliases are written back with their
+/// well-known predicates so that `parse(serialize(kg))` reconstructs the
+/// same logical graph.
+pub fn serialize(kg: &KnowledgeGraph) -> String {
+    let mut out = String::new();
+    let ent = |name: &str| format!("<{}{}>", schema::NS_RESOURCE, name);
+    for e in kg.entity_ids() {
+        let s = ent(kg.entity_name(e));
+        if let Some(label) = kg.label(e) {
+            let _ = writeln!(out, "{s} <{}> \"{}\" .", schema::RDFS_LABEL, escape(label));
+        }
+        for t in kg.types_of(e) {
+            let _ = writeln!(
+                out,
+                "{s} <{}> <{}{}> .",
+                schema::RDF_TYPE,
+                schema::NS_ONTOLOGY,
+                kg.type_name(t)
+            );
+        }
+        for c in kg.categories_of(e) {
+            let _ = writeln!(
+                out,
+                "{s} <{}> <{}{}> .",
+                schema::DCT_SUBJECT,
+                schema::NS_CATEGORY,
+                kg.category_name(c).replace(' ', "_")
+            );
+        }
+        for alias in kg.aliases(e) {
+            let _ = writeln!(
+                out,
+                "{} <{}> {s} .",
+                ent(&alias.replace(' ', "_")),
+                schema::DBO_REDIRECT
+            );
+        }
+        for (p, o) in kg.out_edges(e) {
+            let _ = writeln!(
+                out,
+                "{s} <{}{}> {} .",
+                schema::NS_ONTOLOGY,
+                kg.predicate_name(p),
+                ent(kg.entity_name(o))
+            );
+        }
+        for (p, l) in kg.literals(e) {
+            let dt = match datatype_iri(l.kind) {
+                Some(iri) => format!("^^<{iri}>"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "{s} <{}{}> \"{}\"{dt} .",
+                schema::NS_ONTOLOGY,
+                kg.predicate_name(p),
+                escape(&l.lexical)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# a comment
+<http://dbpedia.org/resource/Forrest_Gump> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://dbpedia.org/ontology/Film> .
+<http://dbpedia.org/resource/Forrest_Gump> <http://www.w3.org/2000/01/rdf-schema#label> "Forrest Gump"@en .
+<http://dbpedia.org/resource/Forrest_Gump> <http://dbpedia.org/ontology/starring> <http://dbpedia.org/resource/Tom_Hanks> .
+<http://dbpedia.org/resource/Forrest_Gump> <http://purl.org/dc/terms/subject> <http://dbpedia.org/resource/Category:American_films> .
+<http://dbpedia.org/resource/Forrest_Gump> <http://dbpedia.org/ontology/runtime> "142"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://dbpedia.org/resource/Geenbow> <http://dbpedia.org/ontology/wikiPageRedirects> <http://dbpedia.org/resource/Forrest_Gump> .
+"#;
+
+    #[test]
+    fn parses_dbpedia_style_sample() {
+        let kg = parse(SAMPLE).unwrap();
+        let gump = kg.entity("Forrest_Gump").unwrap();
+        assert_eq!(kg.label(gump), Some("Forrest Gump"));
+        assert!(kg.type_id("Film").is_some());
+        assert_eq!(kg.category_name(kg.categories_of(gump).next().unwrap()), "American films");
+        let starring = kg.predicate("starring").unwrap();
+        assert_eq!(kg.objects(gump, starring).len(), 1);
+        let lit: Vec<_> = kg.literals(gump).collect();
+        assert_eq!(lit[0].1.as_integer(), Some(142));
+        assert_eq!(kg.aliases(gump), &["Geenbow".to_owned()]);
+    }
+
+    #[test]
+    fn rejects_literal_subject() {
+        let e = parse(r#""x" <http://p> <http://o> ."#).unwrap_err();
+        assert!(e.message.contains("subject"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        let e = parse("<http://s> <http://p> <http://o>").unwrap_err();
+        assert!(e.message.contains("'.'"));
+    }
+
+    #[test]
+    fn rejects_unterminated_iri_and_string() {
+        assert!(parse("<http://s <http://p> <http://o> .").is_err());
+        assert!(parse(r#"<http://s> <http://p> "oops ."#).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_escape() {
+        let e = parse(r#"<http://s> <http://p> "bad\q" ."#).unwrap_err();
+        assert!(e.message.contains("escape"));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let src = r#"<http://s> <http://p> "line\nbreak \"quoted\" tab\t" ."#;
+        let kg = parse(src).unwrap();
+        let s = kg.entity("s").unwrap();
+        let (_, lit) = kg.literals(s).next().unwrap();
+        assert_eq!(lit.lexical, "line\nbreak \"quoted\" tab\t");
+    }
+
+    #[test]
+    fn serialize_then_parse_preserves_structure() {
+        let kg = parse(SAMPLE).unwrap();
+        let nt = serialize(&kg);
+        let kg2 = parse(&nt).unwrap();
+        assert_eq!(kg2.entity_count(), kg.entity_count());
+        assert_eq!(kg2.relation_count(), kg.relation_count());
+        assert_eq!(kg2.type_count(), kg.type_count());
+        assert_eq!(kg2.category_count(), kg.category_count());
+        let gump = kg2.entity("Forrest_Gump").unwrap();
+        assert_eq!(kg2.label(gump), Some("Forrest Gump"));
+        assert_eq!(kg2.aliases(gump), &["Geenbow".to_owned()]);
+        let lit: Vec<_> = kg2.literals(gump).collect();
+        assert_eq!(lit[0].1.as_integer(), Some(142));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let kg = parse("").unwrap();
+        assert_eq!(kg.entity_count(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Well-known vocabulary: the handful of predicates that get special
+//! treatment when loading RDF data, plus URI helpers.
+//!
+//! PivotE follows the DBpedia conventions: `rdf:type` labels entities with
+//! types, `dct:subject` assigns Wikipedia categories, `rdfs:label` carries
+//! display names, and `dbo:wikiPageRedirects` / `dbo:wikiPageDisambiguates`
+//! provide the "similar entity names" used by the search engine's
+//! five-field representation (Table 1 of the paper).
+
+/// `rdf:type` — routed into the type index rather than stored as an edge.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+/// `rdfs:label` — routed into the label table.
+pub const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+/// `dct:subject` — routed into the category index.
+pub const DCT_SUBJECT: &str = "http://purl.org/dc/terms/subject";
+/// `dbo:wikiPageRedirects` — the subject becomes an alias of the object.
+pub const DBO_REDIRECT: &str = "http://dbpedia.org/ontology/wikiPageRedirects";
+/// `dbo:wikiPageDisambiguates` — the subject becomes an alias of the object.
+pub const DBO_DISAMBIGUATES: &str = "http://dbpedia.org/ontology/wikiPageDisambiguates";
+
+/// DBpedia resource namespace, used when serializing entities.
+pub const NS_RESOURCE: &str = "http://dbpedia.org/resource/";
+/// DBpedia ontology namespace, used when serializing predicates and types.
+pub const NS_ONTOLOGY: &str = "http://dbpedia.org/ontology/";
+/// Category namespace (`Category:` resources).
+pub const NS_CATEGORY: &str = "http://dbpedia.org/resource/Category:";
+
+/// Extract the local name of a URI: the substring after the last `#` or
+/// `/`. Returns the whole string when no separator exists.
+pub fn local_name(uri: &str) -> &str {
+    let cut = uri.rfind(['#', '/']).map(|i| i + 1).unwrap_or(0);
+    &uri[cut..]
+}
+
+/// Strip the category namespace (handles both `Category:X` local names and
+/// full category URIs), returning the bare category name.
+pub fn category_name(uri: &str) -> &str {
+    let local = local_name(uri);
+    local.strip_prefix("Category:").unwrap_or(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_name_extraction() {
+        assert_eq!(local_name("http://dbpedia.org/resource/Forrest_Gump"), "Forrest_Gump");
+        assert_eq!(local_name("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"), "type");
+        assert_eq!(local_name("plain"), "plain");
+        assert_eq!(local_name(""), "");
+    }
+
+    #[test]
+    fn category_name_strips_prefix() {
+        assert_eq!(
+            category_name("http://dbpedia.org/resource/Category:American_films"),
+            "American_films"
+        );
+        assert_eq!(category_name("http://x/Y"), "Y");
+    }
+}

@@ -1,0 +1,243 @@
+//! Type-coupling statistics: which entity types are statistically coupled
+//! through which relations.
+//!
+//! This is the structure behind Fig. 1-b of the paper ("a view of entity
+//! types"): films couple to actors via `starring`, to directors via
+//! `director`, and so on. PivotE uses these couplings as the *pivot*
+//! directions — from a domain of entities, the coupled types are the
+//! candidate domains a user can browse into.
+
+use crate::id::{PredicateId, TypeId};
+use crate::store::KnowledgeGraph;
+use std::collections::HashMap;
+
+/// One observed coupling: subject type —predicate→ object type, with its
+/// support count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coupling {
+    /// Type of the subject side.
+    pub subject_type: TypeId,
+    /// The relation.
+    pub predicate: PredicateId,
+    /// Type of the object side.
+    pub object_type: TypeId,
+    /// Number of triples supporting this coupling.
+    pub count: u64,
+}
+
+/// Aggregated type-coupling statistics of a knowledge graph.
+#[derive(Debug, Clone)]
+pub struct TypeCouplingStats {
+    counts: HashMap<(TypeId, PredicateId, TypeId), u64>,
+    /// Triples per subject type (for normalization).
+    per_subject_type: HashMap<TypeId, u64>,
+}
+
+impl TypeCouplingStats {
+    /// Scan every entity-to-entity triple once and tally couplings. An
+    /// entity with multiple types contributes one count per (subject type ×
+    /// object type) combination, matching how DBpedia types overlap.
+    pub fn compute(kg: &KnowledgeGraph) -> Self {
+        let mut counts: HashMap<(TypeId, PredicateId, TypeId), u64> = HashMap::new();
+        let mut per_subject_type: HashMap<TypeId, u64> = HashMap::new();
+        for s in kg.entity_ids() {
+            let s_types: Vec<TypeId> = kg.types_of(s).collect();
+            if s_types.is_empty() {
+                continue;
+            }
+            for (p, o) in kg.out_edges(s) {
+                for &st in &s_types {
+                    *per_subject_type.entry(st).or_default() += 1;
+                    for ot in kg.types_of(o) {
+                        *counts.entry((st, p, ot)).or_default() += 1;
+                    }
+                }
+            }
+        }
+        Self {
+            counts,
+            per_subject_type,
+        }
+    }
+
+    /// Support of one specific coupling.
+    pub fn count(&self, subject_type: TypeId, predicate: PredicateId, object_type: TypeId) -> u64 {
+        self.counts
+            .get(&(subject_type, predicate, object_type))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All couplings sorted by descending support.
+    pub fn top_couplings(&self, limit: usize) -> Vec<Coupling> {
+        let mut all: Vec<Coupling> = self
+            .counts
+            .iter()
+            .map(|(&(st, p, ot), &count)| Coupling {
+                subject_type: st,
+                predicate: p,
+                object_type: ot,
+                count,
+            })
+            .collect();
+        all.sort_unstable_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| (a.subject_type, a.predicate, a.object_type).cmp(&(
+                    b.subject_type,
+                    b.predicate,
+                    b.object_type,
+                )))
+        });
+        all.truncate(limit);
+        all
+    }
+
+    /// Couplings whose subject side is `t`, sorted by descending support.
+    /// These are the outgoing pivot directions from domain `t`.
+    pub fn couplings_from(&self, t: TypeId) -> Vec<Coupling> {
+        let mut out: Vec<Coupling> = self
+            .counts
+            .iter()
+            .filter(|((st, _, _), _)| *st == t)
+            .map(|(&(st, p, ot), &count)| Coupling {
+                subject_type: st,
+                predicate: p,
+                object_type: ot,
+                count,
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| (a.predicate, a.object_type).cmp(&(b.predicate, b.object_type)))
+        });
+        out
+    }
+
+    /// Types reachable from `t` (over any predicate) with their total
+    /// support, sorted descending — the "adjacent domains" of Fig. 1-b.
+    pub fn coupled_types(&self, t: TypeId) -> Vec<(TypeId, u64)> {
+        let mut agg: HashMap<TypeId, u64> = HashMap::new();
+        for ((st, _, ot), &count) in &self.counts {
+            if *st == t {
+                *agg.entry(*ot).or_default() += count;
+            }
+        }
+        let mut out: Vec<(TypeId, u64)> = agg.into_iter().collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Conditional strength of a coupling: the fraction of `t`-subject
+    /// triples (counted per subject type) that land on `object_type` via
+    /// `predicate`. In `[0, 1]`.
+    pub fn strength(&self, subject_type: TypeId, predicate: PredicateId, object_type: TypeId) -> f64 {
+        let n = self.count(subject_type, predicate, object_type);
+        let d = self
+            .per_subject_type
+            .get(&subject_type)
+            .copied()
+            .unwrap_or(0);
+        if d == 0 {
+            0.0
+        } else {
+            n as f64 / d as f64
+        }
+    }
+
+    /// Number of distinct couplings observed.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no couplings were observed.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::KgBuilder;
+
+    fn kg() -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        let f1 = b.entity("f1");
+        let f2 = b.entity("f2");
+        let a1 = b.entity("a1");
+        let a2 = b.entity("a2");
+        let d1 = b.entity("d1");
+        let starring = b.predicate("starring");
+        let director = b.predicate("director");
+        for f in [f1, f2] {
+            b.typed(f, "Film");
+            b.triple(f, starring, a1);
+            b.triple(f, director, d1);
+        }
+        b.triple(f1, starring, a2);
+        b.typed(a1, "Actor");
+        b.typed(a2, "Actor");
+        b.typed(d1, "Director");
+        b.finish()
+    }
+
+    #[test]
+    fn counts_couplings() {
+        let kg = kg();
+        let stats = TypeCouplingStats::compute(&kg);
+        let film = kg.type_id("Film").unwrap();
+        let actor = kg.type_id("Actor").unwrap();
+        let director = kg.type_id("Director").unwrap();
+        let starring = kg.predicate("starring").unwrap();
+        let director_p = kg.predicate("director").unwrap();
+        assert_eq!(stats.count(film, starring, actor), 3);
+        assert_eq!(stats.count(film, director_p, director), 2);
+        assert_eq!(stats.count(actor, starring, film), 0);
+    }
+
+    #[test]
+    fn top_couplings_sorted_by_support() {
+        let kg = kg();
+        let stats = TypeCouplingStats::compute(&kg);
+        let top = stats.top_couplings(10);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].count >= top[1].count);
+        assert_eq!(top[0].count, 3);
+    }
+
+    #[test]
+    fn coupled_types_from_film() {
+        let kg = kg();
+        let stats = TypeCouplingStats::compute(&kg);
+        let film = kg.type_id("Film").unwrap();
+        let coupled = stats.coupled_types(film);
+        assert_eq!(coupled.len(), 2);
+        assert_eq!(kg.type_name(coupled[0].0), "Actor");
+    }
+
+    #[test]
+    fn strength_is_normalized() {
+        let kg = kg();
+        let stats = TypeCouplingStats::compute(&kg);
+        let film = kg.type_id("Film").unwrap();
+        let actor = kg.type_id("Actor").unwrap();
+        let starring = kg.predicate("starring").unwrap();
+        let s = stats.strength(film, starring, actor);
+        // 3 of 5 Film-subject triples are starring→Actor
+        assert!((s - 0.6).abs() < 1e-9, "strength={s}");
+    }
+
+    #[test]
+    fn untyped_entities_are_skipped() {
+        let mut b = KgBuilder::new();
+        let x = b.entity("x");
+        let y = b.entity("y");
+        let p = b.predicate("p");
+        b.triple(x, p, y);
+        let kg = b.finish();
+        let stats = TypeCouplingStats::compute(&kg);
+        assert!(stats.is_empty());
+    }
+}

@@ -1,0 +1,831 @@
+//! The in-memory knowledge graph store.
+//!
+//! [`KgBuilder`] accumulates statements in any order; [`KgBuilder::finish`]
+//! freezes them into an immutable [`KnowledgeGraph`] with compressed
+//! sparse-row (CSR) adjacency in both directions, per-predicate runs sorted
+//! by target id, and sorted extent lists for every type and category.
+//!
+//! The layout is chosen for the hot loops of the PivotE ranking model
+//! (`pivote-core`): a semantic-feature extent `E(π)` is exactly one
+//! per-predicate run of the CSR (already sorted by entity id), and
+//! `‖E(π) ∩ E(c)‖` becomes a linear/galloping merge of two sorted slices
+//! with no hashing.
+
+use crate::id::{CategoryId, EntityId, LiteralId, PredicateId, TypeId};
+use crate::interner::Interner;
+use crate::triple::{Literal, Object, Triple};
+
+/// CSR adjacency: per source entity, a run of `(predicate, target)` pairs
+/// sorted by `(predicate, target)`, so the targets of one predicate form a
+/// contiguous slice sorted by entity id.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct EdgeCsr {
+    offsets: Vec<u32>,
+    preds: Vec<PredicateId>,
+    targets: Vec<EntityId>,
+}
+
+impl EdgeCsr {
+    fn build(n_sources: usize, mut edges: Vec<(u32, PredicateId, EntityId)>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        let mut offsets = vec![0u32; n_sources + 1];
+        for &(s, _, _) in &edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut preds = Vec::with_capacity(edges.len());
+        let mut targets = Vec::with_capacity(edges.len());
+        for (_, p, t) in edges {
+            preds.push(p);
+            targets.push(t);
+        }
+        Self {
+            offsets,
+            preds,
+            targets,
+        }
+    }
+
+    #[inline]
+    fn range(&self, e: EntityId) -> std::ops::Range<usize> {
+        self.offsets[e.index()] as usize..self.offsets[e.index() + 1] as usize
+    }
+
+    /// All `(predicate, target)` pairs of `e`.
+    pub(crate) fn row(&self, e: EntityId) -> impl Iterator<Item = (PredicateId, EntityId)> + '_ {
+        let r = self.range(e);
+        self.preds[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.targets[r].iter().copied())
+    }
+
+    /// Targets of `e` under predicate `p`: a sorted slice of entity ids.
+    pub(crate) fn with_pred(&self, e: EntityId, p: PredicateId) -> &[EntityId] {
+        let r = self.range(e);
+        let preds = &self.preds[r.clone()];
+        let lo = preds.partition_point(|&q| q < p);
+        let hi = preds.partition_point(|&q| q <= p);
+        &self.targets[r.start + lo..r.start + hi]
+    }
+
+    /// Distinct predicates appearing on `e`'s row.
+    pub(crate) fn preds_of(&self, e: EntityId) -> Vec<PredicateId> {
+        let r = self.range(e);
+        let mut out: Vec<PredicateId> = self.preds[r].to_vec();
+        out.dedup();
+        out
+    }
+
+    pub(crate) fn degree(&self, e: EntityId) -> usize {
+        self.range(e).len()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.preds.len()
+    }
+}
+
+/// CSR for literal-valued statements: per entity, `(predicate, literal)`
+/// pairs sorted by predicate.
+#[derive(Debug, Default, Clone)]
+struct LiteralCsr {
+    offsets: Vec<u32>,
+    preds: Vec<PredicateId>,
+    lits: Vec<LiteralId>,
+}
+
+impl LiteralCsr {
+    fn build(n_sources: usize, mut edges: Vec<(u32, PredicateId, LiteralId)>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        let mut offsets = vec![0u32; n_sources + 1];
+        for &(s, _, _) in &edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut preds = Vec::with_capacity(edges.len());
+        let mut lits = Vec::with_capacity(edges.len());
+        for (_, p, l) in edges {
+            preds.push(p);
+            lits.push(l);
+        }
+        Self {
+            offsets,
+            preds,
+            lits,
+        }
+    }
+
+    #[inline]
+    fn range(&self, e: EntityId) -> std::ops::Range<usize> {
+        self.offsets[e.index()] as usize..self.offsets[e.index() + 1] as usize
+    }
+
+    fn row(&self, e: EntityId) -> impl Iterator<Item = (PredicateId, LiteralId)> + '_ {
+        let r = self.range(e);
+        self.preds[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.lits[r].iter().copied())
+    }
+}
+
+/// Per-entity membership lists (types or categories), CSR-encoded.
+#[derive(Debug, Default, Clone)]
+struct Membership {
+    offsets: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl Membership {
+    fn build(n_sources: usize, mut pairs: Vec<(u32, u32)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut offsets = vec![0u32; n_sources + 1];
+        for &(s, _) in &pairs {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let items = pairs.into_iter().map(|(_, t)| t).collect();
+        Self { offsets, items }
+    }
+
+    fn row(&self, e: EntityId) -> &[u32] {
+        &self.items[self.offsets[e.index()] as usize..self.offsets[e.index() + 1] as usize]
+    }
+}
+
+/// Mutable accumulator for building a [`KnowledgeGraph`].
+#[derive(Debug, Default)]
+pub struct KgBuilder {
+    entities: Interner,
+    predicates: Interner,
+    types: Interner,
+    categories: Interner,
+    literals: Vec<Literal>,
+    labels: Vec<Option<String>>,
+    entity_edges: Vec<(u32, PredicateId, EntityId)>,
+    literal_edges: Vec<(u32, PredicateId, LiteralId)>,
+    entity_types: Vec<(u32, u32)>,
+    entity_categories: Vec<(u32, u32)>,
+    redirects: Vec<(u32, String)>,
+    disambiguations: Vec<(u32, String)>,
+}
+
+impl KgBuilder {
+    /// A fresh, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern (or look up) the entity called `name` and return its id.
+    pub fn entity(&mut self, name: &str) -> EntityId {
+        let id = self.entities.intern(name);
+        if id as usize >= self.labels.len() {
+            self.labels.resize(id as usize + 1, None);
+        }
+        EntityId::new(id)
+    }
+
+    /// Intern (or look up) the predicate called `name`.
+    pub fn predicate(&mut self, name: &str) -> PredicateId {
+        PredicateId::new(self.predicates.intern(name))
+    }
+
+    /// Set the human-readable label (`rdfs:label`) of an entity.
+    pub fn label(&mut self, e: EntityId, label: impl Into<String>) {
+        self.labels[e.index()] = Some(label.into());
+    }
+
+    /// Add an entity-to-entity statement `<s, p, o>`.
+    pub fn triple(&mut self, s: EntityId, p: PredicateId, o: EntityId) {
+        self.entity_edges.push((s.raw(), p, o));
+    }
+
+    /// Add a literal-valued statement `<s, p, "literal">`.
+    pub fn literal_triple(&mut self, s: EntityId, p: PredicateId, value: Literal) {
+        let lid = LiteralId::new(self.literals.len() as u32);
+        self.literals.push(value);
+        self.literal_edges.push((s.raw(), p, lid));
+    }
+
+    /// Assert `rdf:type` membership: `e` is a `type_name`.
+    pub fn typed(&mut self, e: EntityId, type_name: &str) -> TypeId {
+        let t = self.types.intern(type_name);
+        self.entity_types.push((e.raw(), t));
+        TypeId::new(t)
+    }
+
+    /// Assert category membership (`dct:subject`): `e` is in `category`.
+    pub fn categorized(&mut self, e: EntityId, category: &str) -> CategoryId {
+        let c = self.categories.intern(category);
+        self.entity_categories.push((e.raw(), c));
+        CategoryId::new(c)
+    }
+
+    /// Record a redirect alias (e.g. the misspelling "Geenbow" redirects to
+    /// Forrest_Gump). Aliases feed the "similar entity names" search field.
+    pub fn redirect(&mut self, alias: impl Into<String>, target: EntityId) {
+        self.redirects.push((target.raw(), alias.into()));
+    }
+
+    /// Record a disambiguation alias pointing at `target`.
+    pub fn disambiguation(&mut self, alias: impl Into<String>, target: EntityId) {
+        self.disambiguations.push((target.raw(), alias.into()));
+    }
+
+    /// Number of entities interned so far.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Name of an already-interned entity (pre-freeze lookup).
+    pub fn entity_name_hint(&self, e: EntityId) -> &str {
+        self.entities.resolve(e.raw())
+    }
+
+    /// Freeze into an immutable, indexed [`KnowledgeGraph`].
+    pub fn finish(self) -> KnowledgeGraph {
+        let n = self.entities.len();
+        let inverted: Vec<(u32, PredicateId, EntityId)> = self
+            .entity_edges
+            .iter()
+            .map(|&(s, p, o)| (o.raw(), p, EntityId::new(s)))
+            .collect();
+        let out = EdgeCsr::build(n, self.entity_edges);
+        let inc = EdgeCsr::build(n, inverted);
+        let lit = LiteralCsr::build(n, self.literal_edges);
+
+        let mut type_extents: Vec<Vec<EntityId>> = vec![Vec::new(); self.types.len()];
+        for &(e, t) in &self.entity_types {
+            type_extents[t as usize].push(EntityId::new(e));
+        }
+        for ext in &mut type_extents {
+            ext.sort_unstable();
+            ext.dedup();
+        }
+        let mut cat_extents: Vec<Vec<EntityId>> = vec![Vec::new(); self.categories.len()];
+        for &(e, c) in &self.entity_categories {
+            cat_extents[c as usize].push(EntityId::new(e));
+        }
+        for ext in &mut cat_extents {
+            ext.sort_unstable();
+            ext.dedup();
+        }
+        let entity_types = Membership::build(n, self.entity_types);
+        let entity_cats = Membership::build(n, self.entity_categories);
+
+        let mut aliases: Vec<Vec<String>> = vec![Vec::new(); n];
+        for (e, alias) in self.redirects.into_iter().chain(self.disambiguations) {
+            aliases[e as usize].push(alias);
+        }
+        for a in &mut aliases {
+            a.sort();
+            a.dedup();
+        }
+
+        let mut pred_freq = vec![0u64; self.predicates.len()];
+        for i in 0..out.len() {
+            pred_freq[out.preds[i].index()] += 1;
+        }
+        for p in &lit.preds {
+            pred_freq[p.index()] += 1;
+        }
+
+        KnowledgeGraph {
+            entities: self.entities,
+            predicates: self.predicates,
+            types: self.types,
+            categories: self.categories,
+            literals: self.literals,
+            labels: self.labels,
+            out,
+            inc,
+            lit,
+            entity_types,
+            type_extents,
+            entity_cats,
+            cat_extents,
+            aliases,
+            pred_freq,
+        }
+    }
+}
+
+/// An immutable, fully indexed knowledge graph.
+///
+/// All extent-returning methods (`objects`, `subjects`, `type_extent`,
+/// `category_extent`) return slices **sorted by entity id with no
+/// duplicates** — the invariant the ranking layer's set intersections rely
+/// on.
+#[derive(Debug)]
+pub struct KnowledgeGraph {
+    entities: Interner,
+    predicates: Interner,
+    types: Interner,
+    categories: Interner,
+    literals: Vec<Literal>,
+    labels: Vec<Option<String>>,
+    out: EdgeCsr,
+    inc: EdgeCsr,
+    lit: LiteralCsr,
+    entity_types: Membership,
+    type_extents: Vec<Vec<EntityId>>,
+    entity_cats: Membership,
+    cat_extents: Vec<Vec<EntityId>>,
+    aliases: Vec<Vec<String>>,
+    pred_freq: Vec<u64>,
+}
+
+impl KnowledgeGraph {
+    /// Number of entities.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of distinct predicates.
+    pub fn predicate_count(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Number of distinct types.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of distinct categories.
+    pub fn category_count(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Total statements: entity edges + literal edges + type + category
+    /// assertions.
+    pub fn triple_count(&self) -> usize {
+        self.out.len() + self.lit.preds.len() + self.entity_types.items.len()
+            + self.entity_cats.items.len()
+    }
+
+    /// Number of entity-to-entity statements only.
+    pub fn relation_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Resolve an entity by name.
+    pub fn entity(&self, name: &str) -> Option<EntityId> {
+        self.entities.get(name).map(EntityId::new)
+    }
+
+    /// The canonical name of an entity (e.g. `Forrest_Gump`).
+    pub fn entity_name(&self, e: EntityId) -> &str {
+        self.entities.resolve(e.raw())
+    }
+
+    /// The `rdfs:label` of an entity, if set.
+    pub fn label(&self, e: EntityId) -> Option<&str> {
+        self.labels[e.index()].as_deref()
+    }
+
+    /// Human-readable display name: the label if present, else the entity
+    /// name with underscores replaced by spaces.
+    pub fn display_name(&self, e: EntityId) -> String {
+        match self.label(e) {
+            Some(l) => l.to_owned(),
+            None => self.entity_name(e).replace('_', " "),
+        }
+    }
+
+    /// Resolve a predicate by name.
+    pub fn predicate(&self, name: &str) -> Option<PredicateId> {
+        self.predicates.get(name).map(PredicateId::new)
+    }
+
+    /// The name of a predicate (e.g. `starring`).
+    pub fn predicate_name(&self, p: PredicateId) -> &str {
+        self.predicates.resolve(p.raw())
+    }
+
+    /// Resolve a type by name.
+    pub fn type_id(&self, name: &str) -> Option<TypeId> {
+        self.types.get(name).map(TypeId::new)
+    }
+
+    /// The name of a type (e.g. `Film`).
+    pub fn type_name(&self, t: TypeId) -> &str {
+        self.types.resolve(t.raw())
+    }
+
+    /// Resolve a category by name.
+    pub fn category_id(&self, name: &str) -> Option<CategoryId> {
+        self.categories.get(name).map(CategoryId::new)
+    }
+
+    /// The name of a category (e.g. `American films`).
+    pub fn category_name(&self, c: CategoryId) -> &str {
+        self.categories.resolve(c.raw())
+    }
+
+    /// Outgoing `(predicate, object-entity)` pairs of `e`.
+    pub fn out_edges(&self, e: EntityId) -> impl Iterator<Item = (PredicateId, EntityId)> + '_ {
+        self.out.row(e)
+    }
+
+    /// Incoming `(predicate, subject-entity)` pairs of `e`.
+    pub fn in_edges(&self, e: EntityId) -> impl Iterator<Item = (PredicateId, EntityId)> + '_ {
+        self.inc.row(e)
+    }
+
+    /// Objects of `<e, p, ?x>` — sorted, deduplicated entity ids. This is
+    /// the extent of the semantic feature `e:p→`.
+    pub fn objects(&self, e: EntityId, p: PredicateId) -> &[EntityId] {
+        self.out.with_pred(e, p)
+    }
+
+    /// Subjects of `<?x, p, e>` — sorted, deduplicated entity ids. This is
+    /// the extent of the semantic feature `e:p←`.
+    pub fn subjects(&self, e: EntityId, p: PredicateId) -> &[EntityId] {
+        self.inc.with_pred(e, p)
+    }
+
+    /// Distinct predicates on outgoing edges of `e`.
+    pub fn out_predicates(&self, e: EntityId) -> Vec<PredicateId> {
+        self.out.preds_of(e)
+    }
+
+    /// Distinct predicates on incoming edges of `e`.
+    pub fn in_predicates(&self, e: EntityId) -> Vec<PredicateId> {
+        self.inc.preds_of(e)
+    }
+
+    /// Out-degree + in-degree over entity edges (used by the PPR baseline).
+    pub fn degree(&self, e: EntityId) -> usize {
+        self.out.degree(e) + self.inc.degree(e)
+    }
+
+    /// Literal statements `(predicate, literal)` of `e`.
+    pub fn literals(&self, e: EntityId) -> impl Iterator<Item = (PredicateId, &Literal)> + '_ {
+        self.lit.row(e).map(|(p, l)| (p, &self.literals[l.index()]))
+    }
+
+    /// Resolve a literal id.
+    pub fn literal(&self, l: LiteralId) -> &Literal {
+        &self.literals[l.index()]
+    }
+
+    /// Types of `e`, sorted by type id.
+    pub fn types_of(&self, e: EntityId) -> impl Iterator<Item = TypeId> + '_ {
+        self.entity_types.row(e).iter().map(|&t| TypeId::new(t))
+    }
+
+    /// Categories of `e`, sorted by category id.
+    pub fn categories_of(&self, e: EntityId) -> impl Iterator<Item = CategoryId> + '_ {
+        self.entity_cats.row(e).iter().map(|&c| CategoryId::new(c))
+    }
+
+    /// All entities of type `t`, sorted by entity id.
+    pub fn type_extent(&self, t: TypeId) -> &[EntityId] {
+        &self.type_extents[t.index()]
+    }
+
+    /// All entities in category `c`, sorted by entity id.
+    pub fn category_extent(&self, c: CategoryId) -> &[EntityId] {
+        &self.cat_extents[c.index()]
+    }
+
+    /// Whether `e` has type `t` (binary search on the extent's complement —
+    /// the per-entity row, which is tiny).
+    pub fn has_type(&self, e: EntityId, t: TypeId) -> bool {
+        self.entity_types.row(e).binary_search(&t.raw()).is_ok()
+    }
+
+    /// Whether `e` is in category `c`.
+    pub fn has_category(&self, e: EntityId, c: CategoryId) -> bool {
+        self.entity_cats.row(e).binary_search(&c.raw()).is_ok()
+    }
+
+    /// Redirect + disambiguation aliases of `e` ("similar entity names").
+    pub fn aliases(&self, e: EntityId) -> &[String] {
+        &self.aliases[e.index()]
+    }
+
+    /// How many statements (entity or literal valued) use predicate `p`.
+    pub fn predicate_frequency(&self, p: PredicateId) -> u64 {
+        self.pred_freq[p.index()]
+    }
+
+    /// Iterate every entity id.
+    pub fn entity_ids(&self) -> impl Iterator<Item = EntityId> {
+        (0..self.entities.len() as u32).map(EntityId::new)
+    }
+
+    /// Iterate every predicate id.
+    pub fn predicate_ids(&self) -> impl Iterator<Item = PredicateId> {
+        (0..self.predicates.len() as u32).map(PredicateId::new)
+    }
+
+    /// Iterate every type id.
+    pub fn type_ids(&self) -> impl Iterator<Item = TypeId> {
+        (0..self.types.len() as u32).map(TypeId::new)
+    }
+
+    /// Iterate every category id.
+    pub fn category_ids(&self) -> impl Iterator<Item = CategoryId> {
+        (0..self.categories.len() as u32).map(CategoryId::new)
+    }
+
+    /// Iterate all entity-to-entity triples (for serialization and stats).
+    pub fn entity_triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.entity_ids().flat_map(move |s| {
+            self.out
+                .row(s)
+                .map(move |(p, o)| Triple::new(s, p, Object::Entity(o)))
+        })
+    }
+
+    /// Iterate all literal triples as `(subject, predicate, literal)`.
+    pub fn literal_triples(&self) -> impl Iterator<Item = (EntityId, PredicateId, &Literal)> + '_ {
+        self.entity_ids().flat_map(move |s| {
+            self.lit
+                .row(s)
+                .map(move |(p, l)| (s, p, &self.literals[l.index()]))
+        })
+    }
+
+    /// Aggregate size/shape statistics of the graph.
+    pub fn summary(&self) -> GraphSummary {
+        let mut max_out = 0usize;
+        let mut max_in = 0usize;
+        for e in self.entity_ids() {
+            max_out = max_out.max(self.out.degree(e));
+            max_in = max_in.max(self.inc.degree(e));
+        }
+        GraphSummary {
+            entities: self.entity_count(),
+            predicates: self.predicate_count(),
+            types: self.type_count(),
+            categories: self.category_count(),
+            relation_triples: self.relation_count(),
+            literal_triples: self.lit.preds.len(),
+            avg_degree: if self.entity_count() == 0 {
+                0.0
+            } else {
+                2.0 * self.relation_count() as f64 / self.entity_count() as f64
+            },
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+        }
+    }
+}
+
+/// Aggregate statistics returned by [`KnowledgeGraph::summary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphSummary {
+    /// Number of entities.
+    pub entities: usize,
+    /// Number of distinct predicates.
+    pub predicates: usize,
+    /// Number of distinct types.
+    pub types: usize,
+    /// Number of distinct categories.
+    pub categories: usize,
+    /// Entity-to-entity statements.
+    pub relation_triples: usize,
+    /// Literal-valued statements.
+    pub literal_triples: usize,
+    /// Mean (in+out) entity degree.
+    pub avg_degree: f64,
+    /// Largest out-degree (hub fan-out).
+    pub max_out_degree: usize,
+    /// Largest in-degree (hub fan-in).
+    pub max_in_degree: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example in miniature.
+    pub(crate) fn toy_kg() -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        let gump = b.entity("Forrest_Gump");
+        let apollo = b.entity("Apollo_13_(film)");
+        let hanks = b.entity("Tom_Hanks");
+        let sinise = b.entity("Gary_Sinise");
+        let zemeckis = b.entity("Robert_Zemeckis");
+        let starring = b.predicate("starring");
+        let director = b.predicate("director");
+        b.label(gump, "Forrest Gump");
+        b.triple(gump, starring, hanks);
+        b.triple(gump, starring, sinise);
+        b.triple(apollo, starring, hanks);
+        b.triple(apollo, starring, sinise);
+        b.triple(gump, director, zemeckis);
+        b.typed(gump, "Film");
+        b.typed(apollo, "Film");
+        b.typed(hanks, "Actor");
+        b.typed(sinise, "Actor");
+        b.typed(zemeckis, "Director");
+        b.categorized(gump, "American films");
+        b.categorized(apollo, "American films");
+        let runtime = b.predicate("runtime");
+        b.literal_triple(gump, runtime, Literal::integer(142));
+        b.redirect("Geenbow", gump);
+        b.finish()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let kg = toy_kg();
+        assert_eq!(kg.entity_count(), 5);
+        assert_eq!(kg.predicate_count(), 3);
+        assert_eq!(kg.type_count(), 3);
+        assert_eq!(kg.category_count(), 1);
+        assert_eq!(kg.relation_count(), 5);
+        // 5 relations + 1 literal + 5 type + 2 category assertions
+        assert_eq!(kg.triple_count(), 13);
+    }
+
+    #[test]
+    fn objects_and_subjects_are_sorted_extents() {
+        let kg = toy_kg();
+        let gump = kg.entity("Forrest_Gump").unwrap();
+        let hanks = kg.entity("Tom_Hanks").unwrap();
+        let starring = kg.predicate("starring").unwrap();
+        let cast = kg.objects(gump, starring);
+        assert_eq!(cast.len(), 2);
+        assert!(cast.windows(2).all(|w| w[0] < w[1]));
+        // films starring Tom Hanks = extent of SF Tom_Hanks:starring←
+        let films = kg.subjects(hanks, starring);
+        assert_eq!(films.len(), 2);
+        assert!(films.contains(&gump));
+    }
+
+    #[test]
+    fn duplicate_triples_are_deduplicated() {
+        let mut b = KgBuilder::new();
+        let a = b.entity("a");
+        let c = b.entity("c");
+        let p = b.predicate("p");
+        b.triple(a, p, c);
+        b.triple(a, p, c);
+        let kg = b.finish();
+        assert_eq!(kg.relation_count(), 1);
+    }
+
+    #[test]
+    fn type_and_category_extents() {
+        let kg = toy_kg();
+        let film = kg.type_id("Film").unwrap();
+        let ext = kg.type_extent(film);
+        assert_eq!(ext.len(), 2);
+        assert!(ext.windows(2).all(|w| w[0] < w[1]));
+        let cat = kg.category_id("American films").unwrap();
+        assert_eq!(kg.category_extent(cat).len(), 2);
+        let gump = kg.entity("Forrest_Gump").unwrap();
+        assert!(kg.has_type(gump, film));
+        assert!(kg.has_category(gump, cat));
+        let actor = kg.type_id("Actor").unwrap();
+        assert!(!kg.has_type(gump, actor));
+    }
+
+    #[test]
+    fn labels_aliases_literals() {
+        let kg = toy_kg();
+        let gump = kg.entity("Forrest_Gump").unwrap();
+        let hanks = kg.entity("Tom_Hanks").unwrap();
+        assert_eq!(kg.label(gump), Some("Forrest Gump"));
+        assert_eq!(kg.display_name(hanks), "Tom Hanks");
+        assert_eq!(kg.aliases(gump), &["Geenbow".to_owned()]);
+        let lits: Vec<_> = kg.literals(gump).collect();
+        assert_eq!(lits.len(), 1);
+        assert_eq!(lits[0].1.as_integer(), Some(142));
+    }
+
+    #[test]
+    fn predicate_statistics() {
+        let kg = toy_kg();
+        let starring = kg.predicate("starring").unwrap();
+        let runtime = kg.predicate("runtime").unwrap();
+        assert_eq!(kg.predicate_frequency(starring), 4);
+        assert_eq!(kg.predicate_frequency(runtime), 1);
+    }
+
+    #[test]
+    fn degree_counts_both_directions() {
+        let kg = toy_kg();
+        let hanks = kg.entity("Tom_Hanks").unwrap();
+        assert_eq!(kg.degree(hanks), 2); // two incoming starring edges
+        let gump = kg.entity("Forrest_Gump").unwrap();
+        assert_eq!(kg.degree(gump), 3); // three outgoing edges
+    }
+
+    #[test]
+    fn triple_iteration_matches_counts() {
+        let kg = toy_kg();
+        assert_eq!(kg.entity_triples().count(), kg.relation_count());
+        assert_eq!(kg.literal_triples().count(), 1);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let kg = KgBuilder::new().finish();
+        assert_eq!(kg.entity_count(), 0);
+        assert_eq!(kg.triple_count(), 0);
+        assert_eq!(kg.entity_triples().count(), 0);
+    }
+
+    #[test]
+    fn out_predicates_deduplicated() {
+        let kg = toy_kg();
+        let gump = kg.entity("Forrest_Gump").unwrap();
+        let preds = kg.out_predicates(gump);
+        assert_eq!(preds.len(), 2); // starring, director
+    }
+
+    #[test]
+    fn summary_reports_shape() {
+        let kg = toy_kg();
+        let s = kg.summary();
+        assert_eq!(s.entities, 5);
+        assert_eq!(s.relation_triples, 5);
+        assert_eq!(s.literal_triples, 1);
+        assert_eq!(s.max_out_degree, 3); // Forrest_Gump
+        assert_eq!(s.max_in_degree, 2); // Tom_Hanks / Gary_Sinise
+        assert!((s.avg_degree - 2.0).abs() < 1e-12);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random edge lists over a small id space.
+        fn edges() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+            proptest::collection::vec((0u8..12, 0u8..4, 0u8..12), 0..64)
+        }
+
+        fn build(edges: &[(u8, u8, u8)]) -> KnowledgeGraph {
+            let mut b = KgBuilder::new();
+            // pre-intern a stable entity set
+            for i in 0..12u8 {
+                b.entity(&format!("e{i}"));
+            }
+            for &(s, p, o) in edges {
+                let s = b.entity(&format!("e{s}"));
+                let p = b.predicate(&format!("p{p}"));
+                let o = b.entity(&format!("e{o}"));
+                b.triple(s, p, o);
+            }
+            b.finish()
+        }
+
+        proptest! {
+            /// Adjacency symmetry: o ∈ objects(s,p) ⟺ s ∈ subjects(o,p),
+            /// and both sides are sorted and deduplicated.
+            #[test]
+            fn prop_out_in_symmetry(edges in edges()) {
+                let kg = build(&edges);
+                for s in kg.entity_ids() {
+                    for (p, o) in kg.out_edges(s) {
+                        prop_assert!(kg.subjects(o, p).binary_search(&s).is_ok());
+                    }
+                    for (p, src) in kg.in_edges(s) {
+                        prop_assert!(kg.objects(src, p).binary_search(&s).is_ok());
+                    }
+                    for p in kg.out_predicates(s) {
+                        let objs = kg.objects(s, p);
+                        prop_assert!(objs.windows(2).all(|w| w[0] < w[1]));
+                    }
+                }
+            }
+
+            /// The triple count seen through iteration equals the count
+            /// after sort+dedup of the input.
+            #[test]
+            fn prop_triple_count_is_dedup_count(edges in edges()) {
+                let kg = build(&edges);
+                let mut uniq = edges.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                prop_assert_eq!(kg.relation_count(), uniq.len());
+                prop_assert_eq!(kg.entity_triples().count(), uniq.len());
+            }
+
+            /// Degrees are consistent with edge iteration.
+            #[test]
+            fn prop_degree_matches_edges(edges in edges()) {
+                let kg = build(&edges);
+                for e in kg.entity_ids() {
+                    let expected = kg.out_edges(e).count() + kg.in_edges(e).count();
+                    prop_assert_eq!(kg.degree(e), expected);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Triples, objects and literal values.
+//!
+//! The store keeps the classic RDF view `<s, p, o>` where `o` is either
+//! another entity or a literal. Literals carry a small datatype tag so the
+//! search engine can render attribute text ("142 minutes") and experiments
+//! can generate typed values deterministically.
+
+use crate::id::{EntityId, LiteralId, PredicateId};
+use serde::{Deserialize, Serialize};
+
+/// The object position of a triple: an entity or a literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Object {
+    /// Link to another entity.
+    Entity(EntityId),
+    /// A literal value, stored in the literal table.
+    Literal(LiteralId),
+}
+
+impl Object {
+    /// The entity id if this object is an entity.
+    #[inline]
+    pub fn as_entity(self) -> Option<EntityId> {
+        match self {
+            Object::Entity(e) => Some(e),
+            Object::Literal(_) => None,
+        }
+    }
+
+    /// The literal id if this object is a literal.
+    #[inline]
+    pub fn as_literal(self) -> Option<LiteralId> {
+        match self {
+            Object::Literal(l) => Some(l),
+            Object::Entity(_) => None,
+        }
+    }
+}
+
+/// A single statement `<s, p, o>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Triple {
+    /// Subject entity.
+    pub subject: EntityId,
+    /// Predicate.
+    pub predicate: PredicateId,
+    /// Object: entity or literal.
+    pub object: Object,
+}
+
+impl Triple {
+    /// Construct a triple.
+    #[inline]
+    pub fn new(subject: EntityId, predicate: PredicateId, object: Object) -> Self {
+        Self {
+            subject,
+            predicate,
+            object,
+        }
+    }
+}
+
+/// Datatype tag of a literal value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LiteralKind {
+    /// Plain string (optionally language-tagged in N-Triples).
+    String,
+    /// Integer (`xsd:integer`).
+    Integer,
+    /// Floating point (`xsd:double`).
+    Double,
+    /// Calendar date (`xsd:date`), stored lexically as `YYYY-MM-DD`.
+    Date,
+}
+
+/// A literal value: lexical form plus datatype tag.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Literal {
+    /// Lexical form, e.g. `"142"` or `"Forrest Gump"`.
+    pub lexical: String,
+    /// Datatype tag.
+    pub kind: LiteralKind,
+}
+
+impl Literal {
+    /// A plain string literal.
+    pub fn string(s: impl Into<String>) -> Self {
+        Self {
+            lexical: s.into(),
+            kind: LiteralKind::String,
+        }
+    }
+
+    /// An integer literal.
+    pub fn integer(v: i64) -> Self {
+        Self {
+            lexical: v.to_string(),
+            kind: LiteralKind::Integer,
+        }
+    }
+
+    /// A double literal.
+    pub fn double(v: f64) -> Self {
+        Self {
+            lexical: format!("{v}"),
+            kind: LiteralKind::Double,
+        }
+    }
+
+    /// A date literal from year/month/day (lexical `YYYY-MM-DD`).
+    pub fn date(year: i32, month: u32, day: u32) -> Self {
+        Self {
+            lexical: format!("{year:04}-{month:02}-{day:02}"),
+            kind: LiteralKind::Date,
+        }
+    }
+
+    /// Parse the lexical form as an integer, if the tag says so.
+    pub fn as_integer(&self) -> Option<i64> {
+        matches!(self.kind, LiteralKind::Integer)
+            .then(|| self.lexical.parse().ok())
+            .flatten()
+    }
+
+    /// Parse the lexical form as a double (Integer literals widen too).
+    pub fn as_double(&self) -> Option<f64> {
+        matches!(self.kind, LiteralKind::Double | LiteralKind::Integer)
+            .then(|| self.lexical.parse().ok())
+            .flatten()
+    }
+}
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.lexical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_accessors() {
+        let e = Object::Entity(EntityId::new(1));
+        let l = Object::Literal(LiteralId::new(2));
+        assert_eq!(e.as_entity(), Some(EntityId::new(1)));
+        assert_eq!(e.as_literal(), None);
+        assert_eq!(l.as_literal(), Some(LiteralId::new(2)));
+        assert_eq!(l.as_entity(), None);
+    }
+
+    #[test]
+    fn literal_constructors_and_parsing() {
+        assert_eq!(Literal::integer(142).as_integer(), Some(142));
+        assert_eq!(Literal::integer(142).as_double(), Some(142.0));
+        assert_eq!(Literal::double(1.5).as_double(), Some(1.5));
+        assert_eq!(Literal::double(1.5).as_integer(), None);
+        assert_eq!(Literal::string("x").as_integer(), None);
+        assert_eq!(Literal::date(1994, 7, 6).lexical, "1994-07-06");
+    }
+
+    #[test]
+    fn triple_ordering_is_spo() {
+        let a = Triple::new(
+            EntityId::new(0),
+            PredicateId::new(1),
+            Object::Entity(EntityId::new(0)),
+        );
+        let b = Triple::new(
+            EntityId::new(0),
+            PredicateId::new(2),
+            Object::Entity(EntityId::new(0)),
+        );
+        let c = Triple::new(
+            EntityId::new(1),
+            PredicateId::new(0),
+            Object::Entity(EntityId::new(0)),
+        );
+        assert!(a < b && b < c);
+    }
+}

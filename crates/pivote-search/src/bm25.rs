@@ -1,0 +1,125 @@
+//! BM25F-style scorer — the keyword-search baseline PivotE is compared
+//! against (the "traditional search systems" of §4, e.g. Pilot's
+//! keyword entity search).
+//!
+//! Term frequencies from the five fields are combined with field weights
+//! into a pseudo-frequency, then scored with the usual BM25 saturation
+//! and a cross-field IDF.
+
+use crate::fields::Field;
+use crate::index::FieldedIndex;
+use crate::lm::FieldWeights;
+
+/// BM25F parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Bm25 {
+    /// Term-frequency saturation.
+    pub k1: f64,
+    /// Length normalization strength in `[0, 1]`.
+    pub b: f64,
+    /// Field weights (same shape as the LM mixture weights).
+    pub weights: FieldWeights,
+}
+
+impl Default for Bm25 {
+    fn default() -> Self {
+        Self {
+            k1: 1.2,
+            b: 0.75,
+            weights: FieldWeights::default(),
+        }
+    }
+}
+
+impl Bm25 {
+    /// BM25F score of `doc` for the analyzed query `terms`.
+    pub fn score(&self, index: &FieldedIndex, doc: u32, terms: &[String]) -> f64 {
+        let n = index.doc_count() as f64;
+        let mut score = 0.0;
+        for term in terms {
+            // pseudo term frequency: field-weighted, length-normalized
+            let mut pseudo_tf = 0.0;
+            let mut df_union = 0usize;
+            for field in Field::ALL {
+                let w = self.weights.0[field.index()];
+                if w == 0.0 {
+                    continue;
+                }
+                let fi = index.field(field);
+                let Some(posting) = fi.posting(term) else {
+                    continue;
+                };
+                df_union = df_union.max(posting.df());
+                let tf = f64::from(posting.tf(doc));
+                if tf == 0.0 {
+                    continue;
+                }
+                let avg = fi.avg_len().max(1e-9);
+                let norm = 1.0 - self.b + self.b * f64::from(fi.doc_len(doc)) / avg;
+                pseudo_tf += w * tf / norm;
+            }
+            if pseudo_tf == 0.0 {
+                continue;
+            }
+            let idf = ((n - df_union as f64 + 0.5) / (df_union as f64 + 0.5) + 1.0).ln();
+            score += idf * pseudo_tf / (self.k1 + pseudo_tf);
+        }
+        score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivote_kg::KgBuilder;
+    use pivote_text::Analyzer;
+
+    fn index() -> (pivote_kg::KnowledgeGraph, FieldedIndex) {
+        let mut b = KgBuilder::new();
+        let a = b.entity("Alpha_Film");
+        let c = b.entity("Beta_Film");
+        let d = b.entity("Unrelated");
+        b.label(a, "Alpha Film");
+        b.label(c, "Beta Film");
+        b.label(d, "Unrelated Thing");
+        let kg = b.finish();
+        let idx = FieldedIndex::build(&kg, &Analyzer::default(), 16);
+        (kg, idx)
+    }
+
+    #[test]
+    fn matching_doc_outscores_nonmatching() {
+        let (kg, idx) = index();
+        let bm = Bm25::default();
+        let terms = vec!["alpha".to_owned()];
+        let a = kg.entity("Alpha_Film").unwrap().raw();
+        let d = kg.entity("Unrelated").unwrap().raw();
+        assert!(bm.score(&idx, a, &terms) > bm.score(&idx, d, &terms));
+        assert_eq!(bm.score(&idx, d, &terms), 0.0);
+    }
+
+    #[test]
+    fn more_matched_terms_score_higher() {
+        let (kg, idx) = index();
+        let bm = Bm25::default();
+        let a = kg.entity("Alpha_Film").unwrap().raw();
+        let one = bm.score(&idx, a, &[s("alpha")]);
+        let two = bm.score(&idx, a, &[s("alpha"), s("film")]);
+        assert!(two > one);
+    }
+
+    #[test]
+    fn rare_term_has_higher_idf_weight() {
+        let (kg, idx) = index();
+        let bm = Bm25::default();
+        let a = kg.entity("Alpha_Film").unwrap().raw();
+        // "alpha" appears once in the collection, "film" twice.
+        let rare = bm.score(&idx, a, &[s("alpha")]);
+        let common = bm.score(&idx, a, &[s("film")]);
+        assert!(rare > common);
+    }
+
+    fn s(v: &str) -> String {
+        v.to_owned()
+    }
+}

@@ -1,0 +1,247 @@
+//! Per-field inverted index with the collection statistics the retrieval
+//! models need (term/collection frequencies, document and average lengths).
+
+use crate::fields::{Field, FiveFieldRepr};
+use pivote_kg::{EntityId, KnowledgeGraph};
+use pivote_text::Analyzer;
+use std::collections::HashMap;
+
+/// Postings of one term within one field.
+#[derive(Debug, Clone, Default)]
+pub struct Posting {
+    /// `(entity raw id, term frequency)` sorted by entity id.
+    pub docs: Vec<(u32, u32)>,
+    /// Collection frequency: total occurrences across all documents.
+    pub cf: u64,
+}
+
+impl Posting {
+    /// Term frequency in one document (0 when absent).
+    pub fn tf(&self, doc: u32) -> u32 {
+        match self.docs.binary_search_by_key(&doc, |&(d, _)| d) {
+            Ok(i) => self.docs[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Document frequency: number of documents containing the term.
+    pub fn df(&self) -> usize {
+        self.docs.len()
+    }
+}
+
+/// Inverted index for one field.
+#[derive(Debug, Default)]
+pub struct FieldIndex {
+    postings: HashMap<String, Posting>,
+    doc_len: Vec<u32>,
+    total_len: u64,
+}
+
+impl FieldIndex {
+    /// Postings of `term`, if any document contains it.
+    pub fn posting(&self, term: &str) -> Option<&Posting> {
+        self.postings.get(term)
+    }
+
+    /// Token count of document `doc` in this field.
+    pub fn doc_len(&self, doc: u32) -> u32 {
+        self.doc_len.get(doc as usize).copied().unwrap_or(0)
+    }
+
+    /// Total tokens in this field across the collection.
+    pub fn total_len(&self) -> u64 {
+        self.total_len
+    }
+
+    /// Average field length over all documents.
+    pub fn avg_len(&self) -> f64 {
+        if self.doc_len.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.doc_len.len() as f64
+        }
+    }
+
+    /// Collection language-model probability `p(t | C_field)`, with
+    /// add-epsilon flooring so unseen terms keep a tiny nonzero mass.
+    pub fn collection_prob(&self, term: &str) -> f64 {
+        let cf = self.posting(term).map(|p| p.cf).unwrap_or(0) as f64;
+        let total = self.total_len.max(1) as f64;
+        (cf + 0.01) / (total + 0.01 * (self.postings.len().max(1) as f64))
+    }
+
+    /// Number of distinct terms.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+/// The full five-field index over every entity of a knowledge graph.
+#[derive(Debug)]
+pub struct FieldedIndex {
+    fields: [FieldIndex; 5],
+    n_docs: usize,
+}
+
+impl FieldedIndex {
+    /// Index every entity of `kg`. `max_related` caps the related-names
+    /// field per entity (see [`FiveFieldRepr::build`]).
+    pub fn build(kg: &KnowledgeGraph, analyzer: &Analyzer, max_related: usize) -> Self {
+        let n = kg.entity_count();
+        let mut fields: [FieldIndex; 5] = Default::default();
+        for f in &mut fields {
+            f.doc_len = vec![0; n];
+        }
+        // term -> tf accumulation per doc, reused across docs
+        let mut tf_buf: HashMap<String, u32> = HashMap::new();
+        for e in kg.entity_ids() {
+            let repr = FiveFieldRepr::build(kg, e, max_related);
+            for field in Field::ALL {
+                let fi = &mut fields[field.index()];
+                tf_buf.clear();
+                let mut len = 0u32;
+                for snippet in repr.field(field) {
+                    for token in analyzer.analyze(snippet) {
+                        *tf_buf.entry(token).or_insert(0) += 1;
+                        len += 1;
+                    }
+                }
+                fi.doc_len[e.index()] = len;
+                fi.total_len += u64::from(len);
+                for (term, tf) in tf_buf.drain() {
+                    let posting = fi.postings.entry(term).or_default();
+                    posting.docs.push((e.raw(), tf));
+                    posting.cf += u64::from(tf);
+                }
+            }
+        }
+        // entity_ids iterates in ascending order, so postings are sorted.
+        debug_assert!(fields.iter().all(|f| f
+            .postings
+            .values()
+            .all(|p| p.docs.windows(2).all(|w| w[0].0 < w[1].0))));
+        Self { fields, n_docs: n }
+    }
+
+    /// The index of one field.
+    pub fn field(&self, f: Field) -> &FieldIndex {
+        &self.fields[f.index()]
+    }
+
+    /// Number of indexed documents (= entities).
+    pub fn doc_count(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Union of candidate documents containing `term` in any field.
+    pub fn candidates(&self, terms: &[String]) -> Vec<EntityId> {
+        let mut docs: Vec<u32> = Vec::new();
+        for term in terms {
+            for field in &self.fields {
+                if let Some(p) = field.posting(term) {
+                    docs.extend(p.docs.iter().map(|&(d, _)| d));
+                }
+            }
+        }
+        docs.sort_unstable();
+        docs.dedup();
+        docs.into_iter().map(EntityId::new).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivote_kg::{KgBuilder, KnowledgeGraph, Literal};
+
+    fn kg() -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        let gump = b.entity("Forrest_Gump");
+        let apollo = b.entity("Apollo_13");
+        let hanks = b.entity("Tom_Hanks");
+        b.label(gump, "Forrest Gump");
+        b.label(apollo, "Apollo 13");
+        b.label(hanks, "Tom Hanks");
+        let starring = b.predicate("starring");
+        b.triple(gump, starring, hanks);
+        b.triple(apollo, starring, hanks);
+        let runtime = b.predicate("runtime");
+        b.literal_triple(gump, runtime, Literal::string("142 minutes"));
+        b.categorized(gump, "American films");
+        b.categorized(apollo, "American films");
+        b.finish()
+    }
+
+    fn index() -> (KnowledgeGraph, FieldedIndex) {
+        let kg = kg();
+        let idx = FieldedIndex::build(&kg, &Analyzer::default(), 64);
+        (kg, idx)
+    }
+
+    #[test]
+    fn doc_count_equals_entities() {
+        let (kg, idx) = index();
+        assert_eq!(idx.doc_count(), kg.entity_count());
+    }
+
+    #[test]
+    fn names_field_finds_gump() {
+        let (kg, idx) = index();
+        let gump = kg.entity("Forrest_Gump").unwrap();
+        let p = idx.field(Field::Names).posting("gump").unwrap();
+        assert_eq!(p.df(), 1);
+        assert_eq!(p.tf(gump.raw()), 1);
+    }
+
+    #[test]
+    fn categories_field_shared_between_films() {
+        let (_, idx) = index();
+        let p = idx.field(Field::Categories).posting("american").unwrap();
+        assert_eq!(p.df(), 2);
+        assert_eq!(p.cf, 2);
+    }
+
+    #[test]
+    fn related_names_field_connects_hanks_to_films() {
+        let (kg, idx) = index();
+        let hanks = kg.entity("Tom_Hanks").unwrap();
+        // "gump" appears in the related-names field of Tom_Hanks (incoming edge)
+        let p = idx.field(Field::RelatedNames).posting("gump").unwrap();
+        assert!(p.tf(hanks.raw()) > 0);
+    }
+
+    #[test]
+    fn collection_prob_positive_even_for_unseen() {
+        let (_, idx) = index();
+        let seen = idx.field(Field::Names).collection_prob("gump");
+        let unseen = idx.field(Field::Names).collection_prob("zzzz");
+        assert!(seen > unseen);
+        assert!(unseen > 0.0);
+    }
+
+    #[test]
+    fn doc_lengths_accumulate() {
+        let (kg, idx) = index();
+        let gump = kg.entity("Forrest_Gump").unwrap();
+        assert_eq!(idx.field(Field::Names).doc_len(gump.raw()), 2); // forrest gump
+        assert!(idx.field(Field::Names).avg_len() > 0.0);
+    }
+
+    #[test]
+    fn candidates_union_across_fields() {
+        let (kg, idx) = index();
+        let cands = idx.candidates(&["gump".to_owned()]);
+        // Forrest_Gump (names) + Tom_Hanks (related names)
+        assert!(cands.contains(&kg.entity("Forrest_Gump").unwrap()));
+        assert!(cands.contains(&kg.entity("Tom_Hanks").unwrap()));
+    }
+
+    #[test]
+    fn empty_graph_index() {
+        let kg = KgBuilder::new().finish();
+        let idx = FieldedIndex::build(&kg, &Analyzer::default(), 64);
+        assert_eq!(idx.doc_count(), 0);
+        assert!(idx.candidates(&["x".to_owned()]).is_empty());
+    }
+}

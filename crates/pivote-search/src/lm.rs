@@ -1,0 +1,179 @@
+//! Mixture of language models — the paper's retrieval model (§2.2).
+//!
+//! "The mixture of language models (i.e., a multi-fielded extension of the
+//! query likelihood retrieval model, where the retrieval score of a
+//! structured document is a linear combination of probabilities of query
+//! terms in the language models calculated for each document field)" —
+//! i.e. the Ogilvie–Callan fielded extension of Ponte & Croft \[4\]:
+//!
+//! ```text
+//! score(e, q) = Σ_{t ∈ q} log Σ_{f ∈ fields} w_f · p(t | θ_{e,f})
+//! ```
+//!
+//! with per-field smoothing of `p(t | θ_{e,f})` against the field's
+//! collection model (Dirichlet or Jelinek–Mercer).
+
+use crate::fields::Field;
+use crate::index::FieldedIndex;
+use serde::{Deserialize, Serialize};
+
+/// Smoothing of the per-field document language model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Smoothing {
+    /// Dirichlet prior smoothing with pseudo-count `mu`.
+    Dirichlet {
+        /// Pseudo-count mass of the collection model.
+        mu: f64,
+    },
+    /// Jelinek–Mercer interpolation with weight `lambda` on the collection
+    /// model.
+    JelinekMercer {
+        /// Collection-model interpolation weight in `[0, 1]`.
+        lambda: f64,
+    },
+}
+
+impl Default for Smoothing {
+    fn default() -> Self {
+        Smoothing::Dirichlet { mu: 100.0 }
+    }
+}
+
+impl Smoothing {
+    /// Smoothed `p(t | θ_{e,f})` given the raw term frequency, the field
+    /// length of the document, and the collection probability of the term.
+    #[inline]
+    pub fn prob(&self, tf: u32, doc_len: u32, collection_prob: f64) -> f64 {
+        match *self {
+            Smoothing::Dirichlet { mu } => {
+                (f64::from(tf) + mu * collection_prob) / (f64::from(doc_len) + mu)
+            }
+            Smoothing::JelinekMercer { lambda } => {
+                let ml = if doc_len == 0 {
+                    0.0
+                } else {
+                    f64::from(tf) / f64::from(doc_len)
+                };
+                (1.0 - lambda) * ml + lambda * collection_prob
+            }
+        }
+    }
+}
+
+/// Per-field interpolation weights of the mixture, in [`Field::ALL`]
+/// order. They are renormalized at scoring time, so any positive vector
+/// works.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FieldWeights(pub [f64; 5]);
+
+impl Default for FieldWeights {
+    /// Weights favouring name matches, with meaningful mass on categories
+    /// and related/similar names — the standard fielded-entity-search
+    /// profile.
+    fn default() -> Self {
+        FieldWeights([0.40, 0.10, 0.20, 0.15, 0.15])
+    }
+}
+
+impl FieldWeights {
+    /// Put all weight on a single field (the single-field LM baseline).
+    pub fn single(field: Field) -> Self {
+        let mut w = [0.0; 5];
+        w[field.index()] = 1.0;
+        FieldWeights(w)
+    }
+
+    /// Uniform weights across all five fields.
+    pub fn uniform() -> Self {
+        FieldWeights([0.2; 5])
+    }
+
+    fn normalized(&self) -> [f64; 5] {
+        let sum: f64 = self.0.iter().sum();
+        if sum <= 0.0 {
+            return [0.2; 5];
+        }
+        let mut out = self.0;
+        for v in &mut out {
+            *v /= sum;
+        }
+        out
+    }
+}
+
+/// The mixture-of-LM scorer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MixtureLm {
+    /// Field interpolation weights.
+    pub weights: FieldWeights,
+    /// Per-field smoothing rule.
+    pub smoothing: Smoothing,
+}
+
+impl MixtureLm {
+    /// Log-likelihood score of one document for analyzed query `terms`.
+    ///
+    /// Returns the sum over terms of the log of the weighted field
+    /// mixture. Documents sharing no term still get a finite background
+    /// score, so callers should restrict scoring to candidate documents.
+    pub fn score(&self, index: &FieldedIndex, doc: u32, terms: &[String]) -> f64 {
+        let w = self.weights.normalized();
+        let mut score = 0.0;
+        for term in terms {
+            let mut mix = 0.0;
+            for field in Field::ALL {
+                let weight = w[field.index()];
+                if weight == 0.0 {
+                    continue;
+                }
+                let fi = index.field(field);
+                let tf = fi.posting(term).map(|p| p.tf(doc)).unwrap_or(0);
+                let p = self.smoothing.prob(tf, fi.doc_len(doc), fi.collection_prob(term));
+                mix += weight * p;
+            }
+            // mix > 0 because collection probs are floored.
+            score += mix.max(f64::MIN_POSITIVE).ln();
+        }
+        score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirichlet_smoothing_blends_toward_collection() {
+        let s = Smoothing::Dirichlet { mu: 10.0 };
+        // empty doc: pure collection probability
+        assert!((s.prob(0, 0, 0.5) - 0.5).abs() < 1e-12);
+        // matching term beats background
+        assert!(s.prob(3, 10, 0.01) > s.prob(0, 10, 0.01));
+        // longer doc dilutes
+        assert!(s.prob(1, 10, 0.01) > s.prob(1, 100, 0.01));
+    }
+
+    #[test]
+    fn jm_smoothing_interpolates() {
+        let s = Smoothing::JelinekMercer { lambda: 0.5 };
+        let p = s.prob(5, 10, 0.2);
+        assert!((p - (0.5 * 0.5 + 0.5 * 0.2)).abs() < 1e-12);
+        // zero-length doc falls back to collection only
+        assert!((s.prob(0, 0, 0.2) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let w = FieldWeights([2.0, 0.0, 0.0, 0.0, 0.0]).normalized();
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        let degenerate = FieldWeights([0.0; 5]).normalized();
+        assert!((degenerate.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_field_weights() {
+        let w = FieldWeights::single(Field::Categories);
+        assert_eq!(w.0[Field::Categories.index()], 1.0);
+        assert_eq!(w.0.iter().sum::<f64>(), 1.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! A small query language for fielded search: plain keywords plus
+//! `field:term` restrictions, e.g.
+//!
+//! ```text
+//! gump cat:american similar:geenbow
+//! ```
+//!
+//! Restricted terms are scored against a single field of the five-field
+//! representation; free terms use the full mixture. Field prefixes:
+//! `name:`/`names:`, `attr:`/`attributes:`, `cat:`/`categories:`,
+//! `similar:`, `related:`.
+
+use crate::fields::Field;
+use pivote_text::Analyzer;
+
+/// One analyzed query term, optionally restricted to a field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTerm {
+    /// The analyzed token.
+    pub term: String,
+    /// `Some(field)` for `field:term` syntax, `None` for free terms.
+    pub field: Option<Field>,
+}
+
+/// A parsed structured query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedQuery {
+    /// All terms in input order.
+    pub terms: Vec<QueryTerm>,
+}
+
+impl ParsedQuery {
+    /// Whether no usable terms remain after analysis.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Just the token strings (for candidate gathering).
+    pub fn term_strings(&self) -> Vec<String> {
+        self.terms.iter().map(|t| t.term.clone()).collect()
+    }
+}
+
+fn field_for_prefix(prefix: &str) -> Option<Field> {
+    match prefix {
+        "name" | "names" => Some(Field::Names),
+        "attr" | "attribute" | "attributes" => Some(Field::Attributes),
+        "cat" | "category" | "categories" => Some(Field::Categories),
+        "similar" | "alias" => Some(Field::SimilarNames),
+        "related" => Some(Field::RelatedNames),
+        _ => None,
+    }
+}
+
+/// Parse a raw query string. Unknown prefixes are treated as literal
+/// text (`foo:bar` with unknown `foo` analyzes both tokens as free
+/// terms).
+pub fn parse_query(analyzer: &Analyzer, raw: &str) -> ParsedQuery {
+    let mut terms = Vec::new();
+    for chunk in raw.split_whitespace() {
+        let (field, body) = match chunk.split_once(':') {
+            Some((prefix, rest)) => match field_for_prefix(&prefix.to_lowercase()) {
+                Some(f) => (Some(f), rest),
+                None => (None, chunk),
+            },
+            None => (None, chunk),
+        };
+        for token in analyzer.analyze(body) {
+            terms.push(QueryTerm {
+                term: token,
+                field,
+            });
+        }
+    }
+    ParsedQuery { terms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_terms_are_free() {
+        let q = parse_query(&Analyzer::default(), "forrest gump");
+        assert_eq!(q.terms.len(), 2);
+        assert!(q.terms.iter().all(|t| t.field.is_none()));
+    }
+
+    #[test]
+    fn field_prefixes_restrict() {
+        let q = parse_query(&Analyzer::default(), "gump cat:american similar:geenbow");
+        assert_eq!(q.terms.len(), 3);
+        assert_eq!(q.terms[0].field, None);
+        assert_eq!(q.terms[1].field, Some(Field::Categories));
+        assert_eq!(q.terms[2].field, Some(Field::SimilarNames));
+    }
+
+    #[test]
+    fn unknown_prefix_is_literal() {
+        let q = parse_query(&Analyzer::default(), "http:example");
+        // "http" and "example" both analyzed as free terms
+        assert!(q.terms.iter().all(|t| t.field.is_none()));
+        assert_eq!(q.terms.len(), 2);
+    }
+
+    #[test]
+    fn prefix_aliases() {
+        for (p, f) in [
+            ("name", Field::Names),
+            ("names", Field::Names),
+            ("attr", Field::Attributes),
+            ("categories", Field::Categories),
+            ("alias", Field::SimilarNames),
+            ("related", Field::RelatedNames),
+        ] {
+            let q = parse_query(&Analyzer::default(), &format!("{p}:gump"));
+            assert_eq!(q.terms[0].field, Some(f), "prefix {p}");
+        }
+    }
+
+    #[test]
+    fn stopwords_removed_even_in_fields() {
+        let q = parse_query(&Analyzer::default(), "cat:the");
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Abstract syntax of the supported SPARQL subset:
+//!
+//! ```sparql
+//! PREFIX dbo: <http://dbpedia.org/ontology/>
+//! SELECT DISTINCT ?film ?director WHERE {
+//!   ?film dbo:starring dbr:Tom_Hanks .
+//!   ?film dbo:director ?director .
+//!   ?film rdf:type dbo:Film .
+//! } LIMIT 10
+//! ```
+//!
+//! Basic graph patterns over IRIs, variables and plain literals, with
+//! `DISTINCT` and `LIMIT`. No OPTIONAL/FILTER/UNION — the subset is the
+//! structured-access baseline the paper's introduction contrasts
+//! exploratory search against, not a full SPARQL implementation.
+
+use serde::{Deserialize, Serialize};
+
+/// A term of a triple pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// `?name`.
+    Var(String),
+    /// `<http://...>` or a resolved prefixed name — stored as the full
+    /// IRI.
+    Iri(String),
+    /// `"plain literal"`.
+    Literal(String),
+}
+
+impl Term {
+    /// The variable name if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One `s p o .` pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TriplePattern {
+    /// Subject term.
+    pub subject: Term,
+    /// Predicate term.
+    pub predicate: Term,
+    /// Object term.
+    pub object: Term,
+}
+
+impl TriplePattern {
+    /// Variables mentioned by this pattern.
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        [&self.subject, &self.predicate, &self.object]
+            .into_iter()
+            .filter_map(Term::as_var)
+    }
+}
+
+/// A parsed `SELECT` query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectQuery {
+    /// Projected variable names, in order; empty means `SELECT *`.
+    pub projection: Vec<String>,
+    /// Whether `DISTINCT` was given.
+    pub distinct: bool,
+    /// The basic graph pattern.
+    pub patterns: Vec<TriplePattern>,
+    /// `LIMIT`, if given.
+    pub limit: Option<usize>,
+}
+
+impl SelectQuery {
+    /// All variables appearing anywhere in the pattern, deduplicated in
+    /// first-appearance order.
+    pub fn pattern_vars(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for p in &self.patterns {
+            for v in p.vars() {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.to_owned());
+                }
+            }
+        }
+        out
+    }
+
+    /// The effective projection: the explicit list, or all pattern
+    /// variables for `SELECT *`.
+    pub fn effective_projection(&self) -> Vec<String> {
+        if self.projection.is_empty() {
+            self.pattern_vars()
+        } else {
+            self.projection.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_vars_dedup_in_order() {
+        let q = SelectQuery {
+            projection: vec![],
+            distinct: false,
+            patterns: vec![
+                TriplePattern {
+                    subject: Term::Var("film".into()),
+                    predicate: Term::Iri("p".into()),
+                    object: Term::Var("actor".into()),
+                },
+                TriplePattern {
+                    subject: Term::Var("film".into()),
+                    predicate: Term::Var("rel".into()),
+                    object: Term::Literal("x".into()),
+                },
+            ],
+            limit: None,
+        };
+        assert_eq!(q.pattern_vars(), vec!["film", "actor", "rel"]);
+        assert_eq!(q.effective_projection(), vec!["film", "actor", "rel"]);
+    }
+
+    #[test]
+    fn term_as_var() {
+        assert_eq!(Term::Var("x".into()).as_var(), Some("x"));
+        assert_eq!(Term::Iri("i".into()).as_var(), None);
+        assert_eq!(Term::Literal("l".into()).as_var(), None);
+    }
+}

@@ -1,0 +1,663 @@
+//! Basic-graph-pattern evaluation over a [`KnowledgeGraph`].
+//!
+//! A classic backtracking join: patterns are evaluated most-bound-first,
+//! each binding extension enumerated straight from the store's indexes
+//! (CSR adjacency, type/category extents, label table). The well-known
+//! predicates `rdf:type`, `dct:subject` and `rdfs:label` are routed to
+//! their dedicated indexes, mirroring how `pivote_kg::ntriples` loads
+//! them.
+
+use crate::ast::{SelectQuery, Term, TriplePattern};
+use pivote_kg::{schema, EntityId, KnowledgeGraph, PredicateId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bound value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// An entity.
+    Entity(EntityId),
+    /// A plain literal (lexical form).
+    Literal(String),
+}
+
+impl Value {
+    /// Render using graph names.
+    pub fn display(&self, kg: &KnowledgeGraph) -> String {
+        match self {
+            Value::Entity(e) => kg.entity_name(*e).to_owned(),
+            Value::Literal(l) => format!("{l:?}"),
+        }
+    }
+}
+
+/// Query results: projected variables and rows aligned with them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResultSet {
+    /// Variable names, in projection order.
+    pub vars: Vec<String>,
+    /// One row per solution; columns align with `vars`. A column is
+    /// `None` when the projected variable does not occur in the pattern.
+    pub rows: Vec<Vec<Option<Value>>>,
+}
+
+impl ResultSet {
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a fixed-width text table.
+    pub fn to_table(&self, kg: &KnowledgeGraph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.vars.join("\t"));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| match v {
+                    Some(v) => v.display(kg),
+                    None => "-".to_owned(),
+                })
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("\t"));
+        }
+        out
+    }
+}
+
+type Bindings = HashMap<String, Value>;
+
+/// Execute a parsed query against a graph.
+pub fn execute(kg: &KnowledgeGraph, query: &SelectQuery) -> ResultSet {
+    let projection = query.effective_projection();
+    let mut rows: Vec<Vec<Option<Value>>> = Vec::new();
+    let mut bindings: Bindings = HashMap::new();
+    let mut remaining: Vec<&TriplePattern> = query.patterns.iter().collect();
+    // Without DISTINCT we can stop as soon as LIMIT rows are found.
+    let early_stop = if query.distinct {
+        usize::MAX
+    } else {
+        query.limit.unwrap_or(usize::MAX)
+    };
+    solve(kg, &mut remaining, &mut bindings, &mut |b| {
+        rows.push(
+            projection
+                .iter()
+                .map(|v| b.get(v).cloned())
+                .collect::<Vec<_>>(),
+        );
+        rows.len() < early_stop
+    });
+    if query.distinct {
+        rows.sort();
+        rows.dedup();
+    }
+    if let Some(limit) = query.limit {
+        rows.truncate(limit);
+    }
+    ResultSet {
+        vars: projection,
+        rows,
+    }
+}
+
+/// Parse and execute in one step.
+pub fn query(kg: &KnowledgeGraph, src: &str) -> Result<ResultSet, crate::parser::SparqlError> {
+    let q = crate::parser::parse(src)?;
+    Ok(execute(kg, &q))
+}
+
+/// Recursive backtracking join. `emit` returns `false` to stop early.
+fn solve(
+    kg: &KnowledgeGraph,
+    remaining: &mut Vec<&TriplePattern>,
+    bindings: &mut Bindings,
+    emit: &mut dyn FnMut(&Bindings) -> bool,
+) -> bool {
+    if remaining.is_empty() {
+        return emit(bindings);
+    }
+    // pick the most-bound pattern next (greedy selectivity heuristic)
+    let (idx, _) = remaining
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, p)| bound_score(p, bindings))
+        .expect("non-empty remaining");
+    let pattern = remaining.swap_remove(idx);
+    // Materialize the extensions first: enumeration borrows the bindings
+    // immutably, the recursion below mutates them.
+    let mut extensions: Vec<Vec<(String, Value)>> = Vec::new();
+    enumerate(kg, pattern, bindings, &mut |new_bindings| {
+        extensions.push(new_bindings);
+        true
+    });
+    let mut keep_going = true;
+    for new_bindings in extensions {
+        for (k, v) in &new_bindings {
+            bindings.insert(k.clone(), v.clone());
+        }
+        keep_going = solve(kg, remaining, bindings, emit);
+        for (k, _) in &new_bindings {
+            bindings.remove(k);
+        }
+        if !keep_going {
+            break;
+        }
+    }
+    // restore for the caller's backtracking
+    remaining.push(pattern);
+    keep_going
+}
+
+fn bound_score(p: &TriplePattern, b: &Bindings) -> usize {
+    let t = |term: &Term| match term {
+        Term::Var(v) => usize::from(b.contains_key(v)),
+        _ => 1,
+    };
+    t(&p.subject) * 4 + t(&p.predicate) * 2 + t(&p.object)
+}
+
+/// Resolve a term under current bindings.
+enum Resolved {
+    Entity(EntityId),
+    Literal(String),
+    Unbound(String),
+    /// An IRI naming nothing in this graph — the pattern cannot match.
+    NoMatch,
+}
+
+fn resolve_node(kg: &KnowledgeGraph, term: &Term, b: &Bindings) -> Resolved {
+    match term {
+        Term::Var(v) => match b.get(v) {
+            Some(Value::Entity(e)) => Resolved::Entity(*e),
+            Some(Value::Literal(l)) => Resolved::Literal(l.clone()),
+            None => Resolved::Unbound(v.clone()),
+        },
+        Term::Iri(iri) => match kg.entity(schema::local_name(iri)) {
+            Some(e) => Resolved::Entity(e),
+            None => Resolved::NoMatch,
+        },
+        Term::Literal(l) => Resolved::Literal(l.clone()),
+    }
+}
+
+/// Enumerate all extensions of `bindings` matching `pattern`, calling
+/// `each` with the *newly bound* variables. `each` returns `false` to
+/// stop enumeration.
+fn enumerate(
+    kg: &KnowledgeGraph,
+    pattern: &TriplePattern,
+    bindings: &Bindings,
+    each: &mut dyn FnMut(Vec<(String, Value)>) -> bool,
+) {
+    match &pattern.predicate {
+        Term::Iri(iri) if iri == schema::RDF_TYPE => {
+            enumerate_type(kg, pattern, bindings, each);
+        }
+        Term::Iri(iri) if iri == schema::DCT_SUBJECT => {
+            enumerate_category(kg, pattern, bindings, each);
+        }
+        Term::Iri(iri) if iri == schema::RDFS_LABEL => {
+            enumerate_label(kg, pattern, bindings, each);
+        }
+        Term::Iri(iri) => {
+            let Some(p) = kg.predicate(schema::local_name(iri)) else {
+                return;
+            };
+            enumerate_edge(kg, pattern, Some(p), bindings, each);
+        }
+        Term::Var(_) => {
+            enumerate_edge(kg, pattern, None, bindings, each);
+        }
+        Term::Literal(_) => {} // literal predicates never match
+    }
+}
+
+/// `?s p ?o` over stored edges (entity and literal objects), with the
+/// predicate either fixed or a variable to bind.
+fn enumerate_edge(
+    kg: &KnowledgeGraph,
+    pattern: &TriplePattern,
+    fixed_p: Option<PredicateId>,
+    bindings: &Bindings,
+    each: &mut dyn FnMut(Vec<(String, Value)>) -> bool,
+) {
+    let pred_var = pattern.predicate.as_var().map(str::to_owned);
+    let subject = resolve_node(kg, &pattern.subject, bindings);
+    let object = resolve_node(kg, &pattern.object, bindings);
+
+    let visit = |s: EntityId,
+                     p: PredicateId,
+                     o: Value,
+                     each: &mut dyn FnMut(Vec<(String, Value)>) -> bool|
+     -> bool {
+        let mut new_bindings: Vec<(String, Value)> = Vec::with_capacity(3);
+        if let Resolved::Unbound(v) = resolve_node(kg, &pattern.subject, bindings) {
+            new_bindings.push((v, Value::Entity(s)));
+        }
+        if let Some(pv) = &pred_var {
+            if !bindings.contains_key(pv) {
+                new_bindings.push((pv.clone(), Value::Literal(kg.predicate_name(p).to_owned())));
+            } else {
+                return true; // bound predicate vars over edges unsupported; skip
+            }
+        }
+        if let Resolved::Unbound(v) = resolve_node(kg, &pattern.object, bindings) {
+            new_bindings.push((v, o));
+        }
+        each(new_bindings)
+    };
+
+    match (&subject, &object) {
+        (Resolved::NoMatch, _) | (_, Resolved::NoMatch) => {}
+        // fully or partially bound subject
+        (Resolved::Entity(s), _) => {
+            let s = *s;
+            for (p, o) in kg.out_edges(s) {
+                if fixed_p.is_some_and(|fp| fp != p) {
+                    continue;
+                }
+                if let Resolved::Entity(oe) = object {
+                    if oe != o {
+                        continue;
+                    }
+                }
+                if matches!(object, Resolved::Literal(_)) {
+                    continue;
+                }
+                if !visit(s, p, Value::Entity(o), each) {
+                    return;
+                }
+            }
+            for (p, lit) in kg.literals(s) {
+                if fixed_p.is_some_and(|fp| fp != p) {
+                    continue;
+                }
+                match &object {
+                    Resolved::Literal(want) if *want != lit.lexical => continue,
+                    Resolved::Entity(_) => continue,
+                    _ => {}
+                }
+                if !visit(s, p, Value::Literal(lit.lexical.clone()), each) {
+                    return;
+                }
+            }
+        }
+        // object entity bound, subject free: walk incoming edges
+        (Resolved::Unbound(_), Resolved::Entity(o)) => {
+            let o = *o;
+            for (p, s) in kg.in_edges(o) {
+                if fixed_p.is_some_and(|fp| fp != p) {
+                    continue;
+                }
+                if !visit(s, p, Value::Entity(o), each) {
+                    return;
+                }
+            }
+        }
+        // object literal bound, subject free: scan literal statements
+        (Resolved::Unbound(_), Resolved::Literal(want)) => {
+            for (s, p, lit) in kg.literal_triples() {
+                if fixed_p.is_some_and(|fp| fp != p) {
+                    continue;
+                }
+                if lit.lexical != *want {
+                    continue;
+                }
+                if !visit(s, p, Value::Literal(lit.lexical.clone()), each) {
+                    return;
+                }
+            }
+        }
+        // both free: full scan
+        (Resolved::Unbound(_), Resolved::Unbound(_)) => {
+            for s in kg.entity_ids() {
+                for (p, o) in kg.out_edges(s) {
+                    if fixed_p.is_some_and(|fp| fp != p) {
+                        continue;
+                    }
+                    if !visit(s, p, Value::Entity(o), each) {
+                        return;
+                    }
+                }
+                for (p, lit) in kg.literals(s) {
+                    if fixed_p.is_some_and(|fp| fp != p) {
+                        continue;
+                    }
+                    if !visit(s, p, Value::Literal(lit.lexical.clone()), each) {
+                        return;
+                    }
+                }
+            }
+        }
+        (Resolved::Literal(_), _) => {} // literal subjects never match
+    }
+}
+
+fn enumerate_type(
+    kg: &KnowledgeGraph,
+    pattern: &TriplePattern,
+    bindings: &Bindings,
+    each: &mut dyn FnMut(Vec<(String, Value)>) -> bool,
+) {
+    let subject = resolve_node(kg, &pattern.subject, bindings);
+    match (&subject, &pattern.object) {
+        (Resolved::NoMatch, _) => {}
+        (Resolved::Entity(s), Term::Iri(type_iri)) => {
+            if let Some(t) = kg.type_id(schema::local_name(type_iri)) {
+                if kg.has_type(*s, t) {
+                    each(Vec::new());
+                }
+            }
+        }
+        (Resolved::Entity(s), Term::Var(v)) => {
+            if bindings.contains_key(v) {
+                return; // type values bind as entity-less names; no rebind
+            }
+            for t in kg.types_of(*s) {
+                if !each(vec![(
+                    v.clone(),
+                    Value::Literal(kg.type_name(t).to_owned()),
+                )]) {
+                    return;
+                }
+            }
+        }
+        (Resolved::Unbound(sv), Term::Iri(type_iri)) => {
+            if let Some(t) = kg.type_id(schema::local_name(type_iri)) {
+                for &e in kg.type_extent(t) {
+                    if !each(vec![(sv.clone(), Value::Entity(e))]) {
+                        return;
+                    }
+                }
+            }
+        }
+        (Resolved::Unbound(sv), Term::Var(tv)) => {
+            for t in kg.type_ids() {
+                for &e in kg.type_extent(t) {
+                    if !each(vec![
+                        (sv.clone(), Value::Entity(e)),
+                        (tv.clone(), Value::Literal(kg.type_name(t).to_owned())),
+                    ]) {
+                        return;
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn enumerate_category(
+    kg: &KnowledgeGraph,
+    pattern: &TriplePattern,
+    bindings: &Bindings,
+    each: &mut dyn FnMut(Vec<(String, Value)>) -> bool,
+) {
+    let subject = resolve_node(kg, &pattern.subject, bindings);
+    let cat_of_iri = |iri: &str| kg.category_id(&schema::category_name(iri).replace('_', " "));
+    match (&subject, &pattern.object) {
+        (Resolved::NoMatch, _) => {}
+        (Resolved::Entity(s), Term::Iri(iri)) => {
+            if let Some(c) = cat_of_iri(iri) {
+                if kg.has_category(*s, c) {
+                    each(Vec::new());
+                }
+            }
+        }
+        (Resolved::Entity(s), Term::Var(v)) => {
+            if bindings.contains_key(v) {
+                return;
+            }
+            for c in kg.categories_of(*s) {
+                if !each(vec![(
+                    v.clone(),
+                    Value::Literal(kg.category_name(c).to_owned()),
+                )]) {
+                    return;
+                }
+            }
+        }
+        (Resolved::Unbound(sv), Term::Iri(iri)) => {
+            if let Some(c) = cat_of_iri(iri) {
+                for &e in kg.category_extent(c) {
+                    if !each(vec![(sv.clone(), Value::Entity(e))]) {
+                        return;
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn enumerate_label(
+    kg: &KnowledgeGraph,
+    pattern: &TriplePattern,
+    bindings: &Bindings,
+    each: &mut dyn FnMut(Vec<(String, Value)>) -> bool,
+) {
+    let subject = resolve_node(kg, &pattern.subject, bindings);
+    match (&subject, &pattern.object) {
+        (Resolved::NoMatch, _) => {}
+        (Resolved::Entity(s), Term::Literal(want)) if kg.label(*s) == Some(want.as_str()) => {
+            each(Vec::new());
+        }
+        (Resolved::Entity(s), Term::Var(v)) => {
+            if bindings.contains_key(v) {
+                return;
+            }
+            if let Some(l) = kg.label(*s) {
+                each(vec![(v.clone(), Value::Literal(l.to_owned()))]);
+            }
+        }
+        (Resolved::Unbound(sv), Term::Literal(want)) => {
+            for e in kg.entity_ids() {
+                if kg.label(e) == Some(want.as_str())
+                    && !each(vec![(sv.clone(), Value::Entity(e))])
+                {
+                    return;
+                }
+            }
+        }
+        (Resolved::Unbound(sv), Term::Var(v)) => {
+            for e in kg.entity_ids() {
+                if let Some(l) = kg.label(e) {
+                    if !each(vec![
+                        (sv.clone(), Value::Entity(e)),
+                        (v.clone(), Value::Literal(l.to_owned())),
+                    ]) {
+                        return;
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivote_kg::{KgBuilder, Literal};
+
+    fn kg() -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        let gump = b.entity("Forrest_Gump");
+        let apollo = b.entity("Apollo_13");
+        let green = b.entity("Green_Mile");
+        let hanks = b.entity("Tom_Hanks");
+        let sinise = b.entity("Gary_Sinise");
+        let zemeckis = b.entity("Robert_Zemeckis");
+        let starring = b.predicate("starring");
+        let director = b.predicate("director");
+        b.label(gump, "Forrest Gump");
+        b.label(hanks, "Tom Hanks");
+        b.triple(gump, starring, hanks);
+        b.triple(gump, starring, sinise);
+        b.triple(apollo, starring, hanks);
+        b.triple(apollo, starring, sinise);
+        b.triple(green, starring, hanks);
+        b.triple(gump, director, zemeckis);
+        for f in [gump, apollo, green] {
+            b.typed(f, "Film");
+            b.categorized(f, "American films");
+        }
+        b.typed(hanks, "Actor");
+        let runtime = b.predicate("runtime");
+        b.literal_triple(gump, runtime, Literal::integer(142));
+        b.finish()
+    }
+
+    fn names(kg: &KnowledgeGraph, rs: &ResultSet, var: usize) -> Vec<String> {
+        rs.rows
+            .iter()
+            .filter_map(|row| row[var].as_ref())
+            .map(|v| match v {
+                Value::Entity(e) => kg.entity_name(*e).to_owned(),
+                Value::Literal(l) => l.clone(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn films_starring_tom_hanks() {
+        let kg = kg();
+        let rs = query(
+            &kg,
+            "SELECT ?film WHERE { ?film dbo:starring dbr:Tom_Hanks }",
+        )
+        .unwrap();
+        let mut got = names(&kg, &rs, 0);
+        got.sort();
+        assert_eq!(got, vec!["Apollo_13", "Forrest_Gump", "Green_Mile"]);
+    }
+
+    #[test]
+    fn join_two_patterns() {
+        let kg = kg();
+        // films starring both Hanks and Sinise
+        let rs = query(
+            &kg,
+            "SELECT DISTINCT ?f WHERE { ?f dbo:starring dbr:Tom_Hanks . ?f dbo:starring dbr:Gary_Sinise }",
+        )
+        .unwrap();
+        let mut got = names(&kg, &rs, 0);
+        got.sort();
+        assert_eq!(got, vec!["Apollo_13", "Forrest_Gump"]);
+    }
+
+    #[test]
+    fn type_pattern_with_a_keyword() {
+        let kg = kg();
+        let rs = query(&kg, "SELECT ?f WHERE { ?f a dbo:Film }").unwrap();
+        assert_eq!(rs.len(), 3);
+        // bound-subject check
+        let rs = query(
+            &kg,
+            "SELECT * WHERE { dbr:Tom_Hanks a dbo:Actor }",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1, "fully bound type check should yield one row");
+        let rs = query(&kg, "SELECT * WHERE { dbr:Tom_Hanks a dbo:Film }").unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn category_pattern() {
+        let kg = kg();
+        let rs = query(
+            &kg,
+            "SELECT ?f WHERE { ?f dct:subject dbr:Category:American_films }",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn label_lookup_both_directions() {
+        let kg = kg();
+        let rs = query(
+            &kg,
+            "SELECT ?e WHERE { ?e rdfs:label \"Forrest Gump\" }",
+        )
+        .unwrap();
+        assert_eq!(names(&kg, &rs, 0), vec!["Forrest_Gump"]);
+        let rs = query(&kg, "SELECT ?l WHERE { dbr:Tom_Hanks rdfs:label ?l }").unwrap();
+        assert_eq!(names(&kg, &rs, 0), vec!["Tom Hanks"]);
+    }
+
+    #[test]
+    fn literal_object_pattern() {
+        let kg = kg();
+        let rs = query(
+            &kg,
+            "SELECT ?f WHERE { ?f dbo:runtime \"142\" }",
+        )
+        .unwrap();
+        assert_eq!(names(&kg, &rs, 0), vec!["Forrest_Gump"]);
+    }
+
+    #[test]
+    fn variable_predicate_enumerates_edges() {
+        let kg = kg();
+        let rs = query(&kg, "SELECT ?p ?o WHERE { dbr:Forrest_Gump ?p ?o }").unwrap();
+        // 3 entity edges + 1 literal edge
+        assert_eq!(rs.len(), 4);
+        let preds = names(&kg, &rs, 0);
+        assert!(preds.contains(&"starring".to_owned()));
+        assert!(preds.contains(&"runtime".to_owned()));
+    }
+
+    #[test]
+    fn limit_and_distinct() {
+        let kg = kg();
+        let rs = query(&kg, "SELECT ?f WHERE { ?f dbo:starring ?a } LIMIT 2").unwrap();
+        assert_eq!(rs.len(), 2);
+        // without distinct, Gump appears twice (two actors)
+        let rs = query(&kg, "SELECT ?f WHERE { ?f dbo:starring ?a }").unwrap();
+        assert_eq!(rs.len(), 5);
+        let rs = query(&kg, "SELECT DISTINCT ?f WHERE { ?f dbo:starring ?a }").unwrap();
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn unknown_entities_and_predicates_yield_empty() {
+        let kg = kg();
+        for q in [
+            "SELECT ?f WHERE { ?f dbo:starring dbr:Nobody }",
+            "SELECT ?f WHERE { ?f dbo:nonexistent ?x }",
+            "SELECT ?f WHERE { ?f a dbo:Spaceship }",
+        ] {
+            assert!(query(&kg, q).unwrap().is_empty(), "{q}");
+        }
+    }
+
+    #[test]
+    fn three_way_join_with_projection_order() {
+        let kg = kg();
+        let rs = query(
+            &kg,
+            "SELECT ?d ?a WHERE { ?f dbo:director ?d . ?f dbo:starring ?a . ?f a dbo:Film }",
+        )
+        .unwrap();
+        assert_eq!(rs.vars, vec!["d", "a"]);
+        assert_eq!(rs.len(), 2); // Gump only: (Zemeckis, Hanks), (Zemeckis, Sinise)
+        assert!(names(&kg, &rs, 0).iter().all(|d| d == "Robert_Zemeckis"));
+    }
+
+    #[test]
+    fn result_table_renders() {
+        let kg = kg();
+        let rs = query(&kg, "SELECT ?l WHERE { dbr:Forrest_Gump rdfs:label ?l }").unwrap();
+        let table = rs.to_table(&kg);
+        assert!(table.starts_with("l\n"));
+        assert!(table.contains("Forrest Gump"));
+    }
+}

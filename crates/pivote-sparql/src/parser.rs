@@ -1,0 +1,427 @@
+//! Hand-rolled parser for the SPARQL subset (see [`crate::ast`]).
+//!
+//! Supports `PREFIX` declarations, full IRIs in angle brackets, prefixed
+//! names (`dbo:starring`), variables (`?x`), plain string literals,
+//! `SELECT [DISTINCT] (?v… | *) WHERE { patterns }` and `LIMIT n`.
+//! The well-known `a` keyword abbreviates `rdf:type`.
+
+use crate::ast::{SelectQuery, Term, TriplePattern};
+use std::collections::HashMap;
+
+/// Parse error with byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparqlError {
+    /// Byte offset into the query string.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SPARQL parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+const RDF_TYPE_IRI: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Keyword(String), // uppercased
+    Var(String),
+    Iri(String),
+    Prefixed(String, String),
+    Literal(String),
+    Number(usize),
+    LBrace,
+    RBrace,
+    Dot,
+    Star,
+    A,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> SparqlError {
+        SparqlError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let rest = self.rest();
+            let trimmed = rest.trim_start();
+            self.pos += rest.len() - trimmed.len();
+            if self.rest().starts_with('#') {
+                match self.rest().find('\n') {
+                    Some(nl) => self.pos += nl + 1,
+                    None => self.pos = self.src.len(),
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<(usize, Token)>, SparqlError> {
+        self.skip_ws();
+        let start = self.pos;
+        let rest = self.rest();
+        let mut chars = rest.chars();
+        let Some(c) = chars.next() else {
+            return Ok(None);
+        };
+        let token = match c {
+            '{' => {
+                self.pos += 1;
+                Token::LBrace
+            }
+            '}' => {
+                self.pos += 1;
+                Token::RBrace
+            }
+            '.' => {
+                self.pos += 1;
+                Token::Dot
+            }
+            '*' => {
+                self.pos += 1;
+                Token::Star
+            }
+            '?' | '$' => {
+                let name: String = chars
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if name.is_empty() {
+                    return Err(self.error("empty variable name"));
+                }
+                self.pos += 1 + name.len();
+                Token::Var(name)
+            }
+            '<' => {
+                let end = rest
+                    .find('>')
+                    .ok_or_else(|| self.error("unterminated IRI"))?;
+                let iri = rest[1..end].to_owned();
+                self.pos += end + 1;
+                Token::Iri(iri)
+            }
+            '"' => {
+                let body = &rest[1..];
+                let end = body
+                    .find('"')
+                    .ok_or_else(|| self.error("unterminated literal"))?;
+                let lit = body[..end].to_owned();
+                self.pos += end + 2;
+                Token::Literal(lit)
+            }
+            c if c.is_ascii_digit() => {
+                let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+                self.pos += digits.len();
+                Token::Number(digits.parse().map_err(|_| self.error("bad number"))?)
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let word: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '-')
+                    .collect();
+                self.pos += word.len();
+                // prefixed name?
+                if self.rest().starts_with(':') {
+                    self.pos += 1;
+                    // ':' is allowed inside the local part so DBpedia
+                    // `Category:Name` resources work as prefixed names.
+                    let local: String = self
+                        .rest()
+                        .chars()
+                        .take_while(|c| {
+                            c.is_alphanumeric()
+                                || matches!(*c, '_' | '-' | '(' | ')' | ',' | '\'' | ':')
+                        })
+                        .collect();
+                    self.pos += local.len();
+                    Token::Prefixed(word, local)
+                } else if word == "a" {
+                    Token::A
+                } else {
+                    Token::Keyword(word.to_uppercase())
+                }
+            }
+            other => return Err(self.error(format!("unexpected character {other:?}"))),
+        };
+        Ok(Some((start, token)))
+    }
+}
+
+/// Parse a query string into a [`SelectQuery`].
+pub fn parse(src: &str) -> Result<SelectQuery, SparqlError> {
+    let mut lexer = Lexer::new(src);
+    let mut tokens: Vec<(usize, Token)> = Vec::new();
+    while let Some(t) = lexer.next_token()? {
+        tokens.push(t);
+    }
+    Parser {
+        tokens,
+        pos: 0,
+        prefixes: HashMap::new(),
+    }
+    .parse_query()
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|(o, _)| *o)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: impl Into<String>) -> SparqlError {
+        SparqlError {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SparqlError> {
+        match self.next() {
+            Some(Token::Keyword(k)) if k == kw => Ok(()),
+            other => Err(self.error(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<SelectQuery, SparqlError> {
+        // PREFIX declarations
+        while matches!(self.peek(), Some(Token::Keyword(k)) if k == "PREFIX") {
+            self.next();
+            let name = match self.next() {
+                // `dbo:` lexes as Prefixed("dbo", "") when followed by space
+                Some(Token::Prefixed(p, local)) if local.is_empty() => p,
+                other => return Err(self.error(format!("expected prefix name, found {other:?}"))),
+            };
+            let iri = match self.next() {
+                Some(Token::Iri(iri)) => iri,
+                other => return Err(self.error(format!("expected IRI, found {other:?}"))),
+            };
+            self.prefixes.insert(name, iri);
+        }
+        // built-in prefixes for convenience
+        for (name, iri) in [
+            ("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#"),
+            ("rdfs", "http://www.w3.org/2000/01/rdf-schema#"),
+            ("dbo", "http://dbpedia.org/ontology/"),
+            ("dbr", "http://dbpedia.org/resource/"),
+            ("dct", "http://purl.org/dc/terms/"),
+        ] {
+            self.prefixes
+                .entry(name.to_owned())
+                .or_insert_with(|| iri.to_owned());
+        }
+
+        self.expect_keyword("SELECT")?;
+        let mut distinct = false;
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == "DISTINCT") {
+            self.next();
+            distinct = true;
+        }
+        let mut projection = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Var(_)) => {
+                    if let Some(Token::Var(v)) = self.next() {
+                        projection.push(v);
+                    }
+                }
+                Some(Token::Star) => {
+                    self.next();
+                    break;
+                }
+                Some(Token::Keyword(k)) if k == "WHERE" => break,
+                other => return Err(self.error(format!("expected ?var, * or WHERE, found {other:?}"))),
+            }
+        }
+        self.expect_keyword("WHERE")?;
+        match self.next() {
+            Some(Token::LBrace) => {}
+            other => return Err(self.error(format!("expected '{{', found {other:?}"))),
+        }
+        let mut patterns = Vec::new();
+        loop {
+            if matches!(self.peek(), Some(Token::RBrace)) {
+                self.next();
+                break;
+            }
+            let subject = self.parse_term()?;
+            let predicate = self.parse_term()?;
+            let object = self.parse_term()?;
+            patterns.push(TriplePattern {
+                subject,
+                predicate,
+                object,
+            });
+            match self.peek() {
+                Some(Token::Dot) => {
+                    self.next();
+                }
+                Some(Token::RBrace) => {}
+                other => return Err(self.error(format!("expected '.' or '}}', found {other:?}"))),
+            }
+        }
+        if patterns.is_empty() {
+            return Err(self.error("empty graph pattern"));
+        }
+        let mut limit = None;
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == "LIMIT") {
+            self.next();
+            match self.next() {
+                Some(Token::Number(n)) => limit = Some(n),
+                other => return Err(self.error(format!("expected number after LIMIT, found {other:?}"))),
+            }
+        }
+        if self.peek().is_some() {
+            return Err(self.error("trailing tokens after query"));
+        }
+        Ok(SelectQuery {
+            projection,
+            distinct,
+            patterns,
+            limit,
+        })
+    }
+
+    fn parse_term(&mut self) -> Result<Term, SparqlError> {
+        match self.next() {
+            Some(Token::Var(v)) => Ok(Term::Var(v)),
+            Some(Token::Iri(iri)) => Ok(Term::Iri(iri)),
+            Some(Token::Prefixed(p, local)) => {
+                let base = self
+                    .prefixes
+                    .get(&p)
+                    .ok_or_else(|| self.error(format!("unknown prefix {p:?}")))?;
+                Ok(Term::Iri(format!("{base}{local}")))
+            }
+            Some(Token::Literal(l)) => Ok(Term::Literal(l)),
+            Some(Token::A) => Ok(Term::Iri(RDF_TYPE_IRI.to_owned())),
+            other => Err(self.error(format!("expected term, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_style_query() {
+        let q = parse(
+            r#"
+            PREFIX dbo: <http://dbpedia.org/ontology/>
+            PREFIX dbr: <http://dbpedia.org/resource/>
+            SELECT DISTINCT ?film WHERE {
+              ?film dbo:starring dbr:Tom_Hanks .
+              ?film a dbo:Film .
+            } LIMIT 10
+            "#,
+        )
+        .unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.projection, vec!["film"]);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.patterns.len(), 2);
+        assert_eq!(
+            q.patterns[0].object,
+            Term::Iri("http://dbpedia.org/resource/Tom_Hanks".into())
+        );
+        assert_eq!(
+            q.patterns[1].predicate,
+            Term::Iri(RDF_TYPE_IRI.into())
+        );
+    }
+
+    #[test]
+    fn select_star_and_multi_patterns() {
+        let q = parse(
+            "SELECT * WHERE { ?f dbo:starring ?a . ?f dbo:director ?d }",
+        )
+        .unwrap();
+        assert!(q.projection.is_empty());
+        assert_eq!(q.effective_projection(), vec!["f", "a", "d"]);
+    }
+
+    #[test]
+    fn literal_objects_and_comments() {
+        let q = parse(
+            "# find by label\nSELECT ?e WHERE { ?e rdfs:label \"Forrest Gump\" . }",
+        )
+        .unwrap();
+        assert_eq!(q.patterns[0].object, Term::Literal("Forrest Gump".into()));
+    }
+
+    #[test]
+    fn parenthesised_local_names() {
+        let q = parse("SELECT ?x WHERE { ?x dbo:starring dbr:Apollo_13_(film) }").unwrap();
+        assert_eq!(
+            q.patterns[0].object,
+            Term::Iri("http://dbpedia.org/resource/Apollo_13_(film)".into())
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        for (src, needle) in [
+            ("SELECT ?x { ?x ?p ?o }", "WHERE"),
+            ("SELECT ?x WHERE { }", "empty"),
+            ("SELECT ?x WHERE { ?x unknown:p ?o }", "unknown prefix"),
+            ("SELECT ?x WHERE { ?x <open ?o }", "unterminated IRI"),
+            ("SELECT ?x WHERE { ?x dbo:p \"open }", "unterminated literal"),
+            ("SELECT ?x WHERE { ?x dbo:p ?o } LIMIT ?x", "number"),
+            ("SELECT ?x WHERE { ?x dbo:p ?o } garbage", "trailing"),
+        ] {
+            let err = parse(src).expect_err(src);
+            assert!(
+                err.message.to_lowercase().contains(&needle.to_lowercase()),
+                "{src}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_pattern_is_an_error() {
+        assert!(parse("SELECT ?x WHERE { }").is_err());
+    }
+}

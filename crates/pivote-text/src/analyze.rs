@@ -1,0 +1,95 @@
+//! The analysis chain: tokenize → stopword filter → light stem.
+//!
+//! Both the indexer and the query parser must run the *same* chain, so it
+//! is packaged as a configurable [`Analyzer`] value that the search engine
+//! stores and reuses.
+
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::tokenize;
+
+/// Configurable text analysis chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Analyzer {
+    /// Remove stopwords after tokenization.
+    pub remove_stopwords: bool,
+    /// Apply the light stemmer to each remaining token.
+    pub stem: bool,
+}
+
+impl Default for Analyzer {
+    /// The configuration used by the PivotE search engine: stopwords
+    /// removed, light stemming on.
+    fn default() -> Self {
+        Self {
+            remove_stopwords: true,
+            stem: true,
+        }
+    }
+}
+
+impl Analyzer {
+    /// An analyzer that only tokenizes (for exact-name fields).
+    pub fn plain() -> Self {
+        Self {
+            remove_stopwords: false,
+            stem: false,
+        }
+    }
+
+    /// Run the chain over `text`.
+    pub fn analyze(&self, text: &str) -> Vec<String> {
+        tokenize(text)
+            .filter(|t| !(self.remove_stopwords && is_stopword(t)))
+            .map(|t| if self.stem { stem(&t) } else { t })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_chain_removes_stopwords_and_stems() {
+        let a = Analyzer::default();
+        assert_eq!(
+            a.analyze("The films of the American directors"),
+            vec!["film", "american", "director"]
+        );
+    }
+
+    #[test]
+    fn plain_chain_preserves_everything() {
+        let a = Analyzer::plain();
+        assert_eq!(
+            a.analyze("The Films"),
+            vec!["the", "films"]
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(Analyzer::default().analyze("").is_empty());
+        assert!(Analyzer::default().analyze("the of and").is_empty());
+    }
+
+    proptest! {
+        /// The chain never emits empty tokens and always lowercases.
+        #[test]
+        fn prop_tokens_nonempty_lowercase(s in ".{0,80}") {
+            for t in Analyzer::default().analyze(&s) {
+                prop_assert!(!t.is_empty());
+                prop_assert_eq!(t.clone(), t.to_lowercase());
+            }
+        }
+
+        /// Analyzing is deterministic.
+        #[test]
+        fn prop_deterministic(s in ".{0,80}") {
+            let a = Analyzer::default();
+            prop_assert_eq!(a.analyze(&s), a.analyze(&s));
+        }
+    }
+}

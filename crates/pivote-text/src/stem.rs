@@ -1,0 +1,88 @@
+//! A light suffix stemmer (s-stemmer plus a few common endings).
+//!
+//! Entity search mostly matches names, where aggressive stemming hurts, so
+//! this intentionally does much less than full Porter: plural stripping
+//! and the `-ing`/`-ed`/`-ly` endings on long-enough words.
+
+/// Stem one lowercase token.
+pub fn stem(token: &str) -> String {
+    let t = token;
+    // Plural s-stemmer rules (Harman 1991).
+    if let Some(base) = t.strip_suffix("ies") {
+        if base.len() >= 2 {
+            return format!("{base}y");
+        }
+    }
+    if let Some(base) = t.strip_suffix("es") {
+        if base.len() >= 3 && (base.ends_with("ss") || base.ends_with('x') || base.ends_with("ch") || base.ends_with("sh")) {
+            return base.to_owned();
+        }
+    }
+    if let Some(base) = t.strip_suffix('s') {
+        if base.len() >= 3 && !base.ends_with('s') && !base.ends_with('u') && !base.ends_with('i') {
+            return base.to_owned();
+        }
+    }
+    if let Some(base) = t.strip_suffix("ing") {
+        if base.len() >= 4 {
+            return base.to_owned();
+        }
+    }
+    if let Some(base) = t.strip_suffix("ed") {
+        if base.len() >= 4 {
+            return base.to_owned();
+        }
+    }
+    if let Some(base) = t.strip_suffix("ly") {
+        if base.len() >= 4 {
+            return base.to_owned();
+        }
+    }
+    t.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plurals() {
+        assert_eq!(stem("films"), "film");
+        assert_eq!(stem("actors"), "actor");
+        assert_eq!(stem("categories"), "category");
+        assert_eq!(stem("boxes"), "box");
+        assert_eq!(stem("classes"), "class");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("as"), "as");
+        assert_eq!(stem("us"), "us");
+    }
+
+    #[test]
+    fn ing_ed_ly() {
+        assert_eq!(stem("starring"), "starr");
+        assert_eq!(stem("directed"), "direct");
+        assert_eq!(stem("quietly"), "quiet");
+        // too short to strip
+        assert_eq!(stem("ring"), "ring");
+        assert_eq!(stem("red"), "red");
+    }
+
+    #[test]
+    fn names_mostly_survive() {
+        assert_eq!(stem("hanks"), "hank"); // plural-ish names do strip
+        assert_eq!(stem("gump"), "gump");
+        assert_eq!(stem("zemeckis"), "zemeckis"); // ends in 's' preceded by 'i'... check
+    }
+
+    #[test]
+    fn idempotent_on_own_output() {
+        for w in ["films", "categories", "starring", "directed", "running"] {
+            let once = stem(w);
+            assert_eq!(stem(&once), once, "stem not idempotent for {w}");
+        }
+    }
+}

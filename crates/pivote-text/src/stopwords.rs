@@ -1,0 +1,37 @@
+//! A small English stopword list tuned for entity labels and abstracts.
+
+/// Stopwords removed from indexed text and queries.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "her", "his",
+    "in", "is", "it", "its", "of", "on", "or", "she", "that", "the", "they", "this", "to",
+    "was", "were", "will", "with",
+];
+
+/// Whether `token` (already lowercased) is a stopword.
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.binary_search(&token).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_for_binary_search() {
+        assert!(STOPWORDS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "of", "and", "in"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["film", "gump", "hanks", "142"] {
+            assert!(!is_stopword(w));
+        }
+    }
+}

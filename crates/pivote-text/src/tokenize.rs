@@ -1,0 +1,78 @@
+//! Unicode-light tokenization for entity text.
+//!
+//! The search engine indexes labels, literals and category names. Tokens
+//! are maximal runs of alphanumeric characters, lowercased; underscores
+//! are treated as separators because DBpedia resource names use them as
+//! spaces (`Forrest_Gump`).
+
+/// Iterator over lowercase tokens of a string.
+pub struct Tokens<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Iterator for Tokens<'a> {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        // skip separators
+        let start = self
+            .rest
+            .char_indices()
+            .find(|(_, c)| c.is_alphanumeric())?
+            .0;
+        self.rest = &self.rest[start..];
+        let end = self
+            .rest
+            .char_indices()
+            .find(|(_, c)| !c.is_alphanumeric())
+            .map(|(i, _)| i)
+            .unwrap_or(self.rest.len());
+        let token = self.rest[..end].to_lowercase();
+        self.rest = &self.rest[end..];
+        Some(token)
+    }
+}
+
+/// Tokenize `text` into lowercase alphanumeric tokens.
+pub fn tokenize(text: &str) -> Tokens<'_> {
+    Tokens { rest: text }
+}
+
+/// Tokenize into a `Vec` (convenience).
+pub fn tokenize_vec(text: &str) -> Vec<String> {
+    tokenize(text).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_underscores() {
+        assert_eq!(
+            tokenize_vec("Forrest_Gump (1994 film)"),
+            vec!["forrest", "gump", "1994", "film"]
+        );
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize_vec("Tom HANKS"), vec!["tom", "hanks"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(tokenize_vec("").is_empty());
+        assert!(tokenize_vec("--- !!! ...").is_empty());
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(tokenize_vec("142 minutes"), vec!["142", "minutes"]);
+    }
+
+    #[test]
+    fn handles_unicode() {
+        assert_eq!(tokenize_vec("Amélie Poulain"), vec!["amélie", "poulain"]);
+    }
+}

@@ -1,0 +1,50 @@
+//! The seven-level heat palette (paper: "the darker the color, the
+//! stronger the semantic correlation").
+
+/// Hex colors for levels 0..=6, light to dark (single-hue blue ramp).
+pub const HEAT_PALETTE: [&str; 7] = [
+    "#f7fbff", // 0: none
+    "#deebf7", // 1
+    "#c6dbef", // 2
+    "#9ecae1", // 3
+    "#6baed6", // 4
+    "#3182bd", // 5
+    "#08519c", // 6: strongest
+];
+
+/// ASCII glyphs for levels 0..=6, light to dark.
+pub const HEAT_GLYPHS: [char; 7] = [' ', '.', ':', '-', '=', '#', '@'];
+
+/// Color for a level (clamped).
+pub fn heat_color(level: u8) -> &'static str {
+    HEAT_PALETTE[(level as usize).min(6)]
+}
+
+/// Glyph for a level (clamped).
+pub fn heat_glyph(level: u8) -> char {
+    HEAT_GLYPHS[(level as usize).min(6)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palette_has_seven_distinct_levels() {
+        let mut colors = HEAT_PALETTE.to_vec();
+        colors.sort_unstable();
+        colors.dedup();
+        assert_eq!(colors.len(), 7);
+        let mut glyphs = HEAT_GLYPHS.to_vec();
+        glyphs.sort_unstable();
+        glyphs.dedup();
+        assert_eq!(glyphs.len(), 7);
+    }
+
+    #[test]
+    fn out_of_range_levels_clamp() {
+        assert_eq!(heat_color(200), HEAT_PALETTE[6]);
+        assert_eq!(heat_glyph(9), HEAT_GLYPHS[6]);
+        assert_eq!(heat_glyph(0), ' ');
+    }
+}

@@ -1,0 +1,166 @@
+//! Exploratory-path rendering (Fig. 4): ASCII trail, Graphviz DOT and
+//! SVG.
+
+use crate::svg::{escape, SvgDoc};
+use pivote_explore::{ExplorationPath, NodeKind};
+use std::fmt::Write as _;
+
+/// Render the path as an indented ASCII trail: the main query sequence
+/// with lookup branches.
+pub fn path_ascii(path: &ExplorationPath) -> String {
+    let mut out = String::new();
+    for node in path.nodes() {
+        match node.kind {
+            NodeKind::Query => {
+                let marker = if path.current() == Some(node.id) {
+                    "●"
+                } else {
+                    "○"
+                };
+                let incoming = path
+                    .edges()
+                    .iter()
+                    .filter(|e| e.to == node.id)
+                    .map(|e| e.action.as_str())
+                    .next()
+                    .unwrap_or("start");
+                let _ = writeln!(out, "{marker} [{incoming}] {}", node.label);
+            }
+            NodeKind::Entity => {
+                let _ = writeln!(out, "  └─(lookup) {}", node.label);
+            }
+        }
+    }
+    out
+}
+
+/// Render the path as Graphviz DOT.
+pub fn path_dot(path: &ExplorationPath) -> String {
+    let mut out = String::from("digraph exploration {\n  rankdir=LR;\n");
+    for node in path.nodes() {
+        let shape = match node.kind {
+            NodeKind::Query => "box",
+            NodeKind::Entity => "ellipse",
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [shape={shape} label=\"{}\"];",
+            node.id,
+            node.label.replace('"', "'")
+        );
+    }
+    for edge in path.edges() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"];",
+            edge.from, edge.to, edge.action
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render the path as a horizontal SVG node-link diagram.
+pub fn path_svg(path: &ExplorationPath) -> String {
+    const BOX_W: f64 = 170.0;
+    const BOX_H: f64 = 34.0;
+    const GAP_X: f64 = 60.0;
+    const ROW_QUERY: f64 = 40.0;
+    const ROW_ENTITY: f64 = 120.0;
+    let n = path.nodes().len().max(1) as f64;
+    let width = 20.0 + n * (BOX_W + GAP_X);
+    let mut doc = SvgDoc::new(width.ceil() as u32, 200);
+
+    // deterministic x by node id, y by kind
+    let pos = |id: usize| -> (f64, f64) {
+        let node = &path.nodes()[id];
+        let x = 10.0 + id as f64 * (BOX_W + GAP_X);
+        let y = match node.kind {
+            NodeKind::Query => ROW_QUERY,
+            NodeKind::Entity => ROW_ENTITY,
+        };
+        (x, y)
+    };
+    for edge in path.edges() {
+        let (x1, y1) = pos(edge.from);
+        let (x2, y2) = pos(edge.to);
+        doc.arrow(
+            x1 + BOX_W,
+            y1 + BOX_H / 2.0,
+            x2,
+            y2 + BOX_H / 2.0,
+            "#555555",
+        );
+        doc.text(
+            (x1 + BOX_W + x2) / 2.0,
+            (y1 + y2) / 2.0 + BOX_H / 2.0 - 6.0,
+            8.0,
+            "middle",
+            &edge.action,
+        );
+    }
+    for node in path.nodes() {
+        let (x, y) = pos(node.id);
+        let fill = match node.kind {
+            NodeKind::Query => "#eef5ff",
+            NodeKind::Entity => "#fff7e6",
+        };
+        doc.rect(x, y, BOX_W, BOX_H, fill, Some("#333333"));
+        let mut label = node.label.clone();
+        if label.len() > 26 {
+            label.truncate(25);
+            label.push('…');
+        }
+        doc.text(x + BOX_W / 2.0, y + BOX_H / 2.0 + 3.0, 8.5, "middle", &label);
+    }
+    let _ = escape; // escape handled inside SvgDoc::text
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_path() -> ExplorationPath {
+        let mut p = ExplorationPath::new();
+        p.advance(NodeKind::Query, "keywords: \"forrest gump\"", Some(0), "search");
+        p.advance(NodeKind::Query, "seeds: Forrest Gump", Some(1), "investigate");
+        p.branch(NodeKind::Entity, "Tom Hanks", "lookup");
+        p.advance(NodeKind::Query, "features: Tom_Hanks:starring", Some(2), "pivot");
+        p
+    }
+
+    #[test]
+    fn ascii_trail_marks_current_and_branches() {
+        let text = path_ascii(&sample_path());
+        assert!(text.contains("● [pivot]"), "{text}");
+        assert!(text.contains("○ [start]"), "{text}");
+        assert!(text.contains("└─(lookup) Tom Hanks"), "{text}");
+    }
+
+    #[test]
+    fn dot_lists_all_nodes_and_edges() {
+        let p = sample_path();
+        let dot = path_dot(&p);
+        assert_eq!(dot.matches("shape=box").count(), 3);
+        assert_eq!(dot.matches("shape=ellipse").count(), 1);
+        assert_eq!(dot.matches("->").count(), p.edges().len());
+        assert!(dot.contains("label=\"pivot\""));
+    }
+
+    #[test]
+    fn svg_draws_every_node() {
+        let p = sample_path();
+        let svg = path_svg(&p);
+        assert_eq!(svg.matches("<rect").count(), p.nodes().len());
+        assert!(svg.contains("marker-end"));
+    }
+
+    #[test]
+    fn empty_path_renders() {
+        let p = ExplorationPath::new();
+        assert_eq!(path_ascii(&p), "");
+        assert!(path_dot(&p).contains("digraph"));
+        assert!(path_svg(&p).contains("</svg>"));
+    }
+}

@@ -1,0 +1,119 @@
+//! A minimal SVG document builder — enough for grid heat maps, node-link
+//! path diagrams and labeled boxes, with XML escaping.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: u32,
+    height: u32,
+    body: String,
+}
+
+/// Escape text for inclusion in XML content or attributes.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+impl SvgDoc {
+    /// Create a document with the given pixel dimensions.
+    pub fn new(width: u32, height: u32) -> Self {
+        Self {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Filled rectangle with optional stroke.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
+        let stroke_attr = match stroke {
+            Some(s) => format!(" stroke=\"{s}\" stroke-width=\"0.5\""),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            self.body,
+            "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"{h:.1}\" fill=\"{fill}\"{stroke_attr}/>"
+        );
+    }
+
+    /// Text anchored at `(x, y)`.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, content: &str) {
+        let _ = writeln!(
+            self.body,
+            "<text x=\"{x:.1}\" y=\"{y:.1}\" font-size=\"{size:.1}\" font-family=\"monospace\" text-anchor=\"{anchor}\">{}</text>",
+            escape(content)
+        );
+    }
+
+    /// Straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str) {
+        let _ = writeln!(
+            self.body,
+            "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" stroke=\"{stroke}\" stroke-width=\"1\"/>"
+        );
+    }
+
+    /// Line with an arrowhead marker (for path edges).
+    pub fn arrow(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str) {
+        let _ = writeln!(
+            self.body,
+            "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" stroke=\"{stroke}\" stroke-width=\"1\" marker-end=\"url(#arrow)\"/>"
+        );
+    }
+
+    /// Finish the document.
+    pub fn finish(self) -> String {
+        format!(
+            concat!(
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" ",
+                "viewBox=\"0 0 {w} {h}\">\n",
+                "<defs><marker id=\"arrow\" viewBox=\"0 0 10 10\" refX=\"9\" refY=\"5\" ",
+                "markerWidth=\"6\" markerHeight=\"6\" orient=\"auto-start-reverse\">",
+                "<path d=\"M 0 0 L 10 5 L 0 10 z\"/></marker></defs>\n",
+                "{body}</svg>\n"
+            ),
+            w = self.width,
+            h = self.height,
+            body = self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn document_structure() {
+        let mut doc = SvgDoc::new(100, 50);
+        doc.rect(0.0, 0.0, 10.0, 10.0, "#ff0000", Some("#000"));
+        doc.text(5.0, 5.0, 8.0, "middle", "A&B");
+        doc.line(0.0, 0.0, 100.0, 50.0, "#333");
+        doc.arrow(0.0, 0.0, 50.0, 25.0, "#333");
+        let svg = doc.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("A&amp;B"));
+        assert!(svg.contains("marker-end"));
+        assert!(svg.contains("width=\"100\""));
+    }
+}

@@ -1,0 +1,121 @@
+//! Type-view rendering (Fig. 1-b): the domains coupled to a type and the
+//! relations coupling them, from [`TypeCouplingStats`].
+
+use crate::svg::SvgDoc;
+use pivote_kg::{KnowledgeGraph, TypeCouplingStats, TypeId};
+use std::fmt::Write as _;
+
+/// ASCII view of the couplings out of one type, strongest first.
+pub fn typeview_ascii(
+    kg: &KnowledgeGraph,
+    stats: &TypeCouplingStats,
+    t: TypeId,
+    limit: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "[{}]", kg.type_name(t));
+    for c in stats.couplings_from(t).into_iter().take(limit) {
+        let _ = writeln!(
+            out,
+            "  ──{}→ [{}]  ({} triples, strength {:.3})",
+            kg.predicate_name(c.predicate),
+            kg.type_name(c.object_type),
+            c.count,
+            stats.strength(c.subject_type, c.predicate, c.object_type),
+        );
+    }
+    out
+}
+
+/// SVG star diagram: the source type in the middle, coupled types around
+/// it, edges labeled with predicates.
+pub fn typeview_svg(
+    kg: &KnowledgeGraph,
+    stats: &TypeCouplingStats,
+    t: TypeId,
+    limit: usize,
+) -> String {
+    const W: u32 = 640;
+    const H: u32 = 480;
+    const BOX_W: f64 = 110.0;
+    const BOX_H: f64 = 28.0;
+    let couplings: Vec<_> = stats.couplings_from(t).into_iter().take(limit).collect();
+    let mut doc = SvgDoc::new(W, H);
+    let cx = W as f64 / 2.0 - BOX_W / 2.0;
+    let cy = H as f64 / 2.0 - BOX_H / 2.0;
+    let n = couplings.len().max(1) as f64;
+    for (i, c) in couplings.iter().enumerate() {
+        let angle = (i as f64 / n) * std::f64::consts::TAU;
+        let r = 170.0;
+        let x = cx + r * angle.cos();
+        let y = cy + r * angle.sin() * 0.8;
+        doc.arrow(
+            cx + BOX_W / 2.0,
+            cy + BOX_H / 2.0,
+            x + BOX_W / 2.0,
+            y + BOX_H / 2.0,
+            "#888888",
+        );
+        doc.text(
+            (cx + x) / 2.0 + BOX_W / 2.0,
+            (cy + y) / 2.0 + BOX_H / 2.0 - 4.0,
+            8.0,
+            "middle",
+            kg.predicate_name(c.predicate),
+        );
+        doc.rect(x, y, BOX_W, BOX_H, "#f0fff0", Some("#333333"));
+        doc.text(
+            x + BOX_W / 2.0,
+            y + BOX_H / 2.0 + 3.0,
+            9.0,
+            "middle",
+            kg.type_name(c.object_type),
+        );
+    }
+    doc.rect(cx, cy, BOX_W, BOX_H, "#eef5ff", Some("#000000"));
+    doc.text(
+        cx + BOX_W / 2.0,
+        cy + BOX_H / 2.0 + 3.0,
+        10.0,
+        "middle",
+        kg.type_name(t),
+    );
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivote_kg::{generate, DatagenConfig};
+
+    #[test]
+    fn ascii_lists_film_couplings() {
+        let kg = generate(&DatagenConfig::tiny());
+        let stats = TypeCouplingStats::compute(&kg);
+        let film = kg.type_id("Film").unwrap();
+        let text = typeview_ascii(&kg, &stats, film, 10);
+        assert!(text.starts_with("[Film]"));
+        assert!(text.contains("starring"), "{text}");
+        assert!(text.contains("Actor"), "{text}");
+        assert!(text.contains("director"), "{text}");
+    }
+
+    #[test]
+    fn limit_truncates_ascii() {
+        let kg = generate(&DatagenConfig::tiny());
+        let stats = TypeCouplingStats::compute(&kg);
+        let film = kg.type_id("Film").unwrap();
+        let text = typeview_ascii(&kg, &stats, film, 2);
+        assert_eq!(text.lines().count(), 3); // header + 2 couplings
+    }
+
+    #[test]
+    fn svg_has_center_plus_satellites() {
+        let kg = generate(&DatagenConfig::tiny());
+        let stats = TypeCouplingStats::compute(&kg);
+        let film = kg.type_id("Film").unwrap();
+        let svg = typeview_svg(&kg, &stats, film, 5);
+        assert_eq!(svg.matches("<rect").count(), 6); // 5 satellites + center
+        assert!(svg.contains("Film"));
+    }
+}

@@ -1,0 +1,83 @@
+//! F2 — the architecture of Fig. 2: user interface ↔ search engine ↔
+//! recommendation engine, wired through one `Session` and exercised end
+//! to end.
+
+use pivote::prelude::*;
+
+fn kg() -> KnowledgeGraph {
+    generate(&DatagenConfig::small())
+}
+
+#[test]
+fn search_engine_feeds_recommendation_engine() {
+    let kg = kg();
+    let mut session = Session::with_defaults(&kg);
+
+    // UI -> search engine: keyword query.
+    let film = kg.type_id("Film").unwrap();
+    let target = kg.type_extent(film)[0];
+    let view = session.submit_keywords(&kg.display_name(target));
+    assert!(!view.entities.is_empty(), "search produced no entities");
+    assert_eq!(view.entities[0].entity, target, "label query must rank its entity first");
+
+    // search result -> recommendation engine: click = investigate.
+    let view = session.click_entity(target);
+    assert!(!view.entities.is_empty(), "expansion produced no entities");
+    assert!(!view.features.is_empty(), "expansion produced no features");
+
+    // recommendation -> explanation: the heat map covers both axes and
+    // quantizes into the paper's seven levels.
+    let hm = &view.heatmap;
+    assert_eq!(hm.width(), view.entities.len());
+    assert_eq!(hm.height(), view.features.len());
+    assert!(hm.levels.iter().all(|&l| l < 7));
+    assert!(
+        hm.levels.iter().any(|&l| l > 0),
+        "heat map is entirely blank"
+    );
+}
+
+#[test]
+fn every_ui_area_of_fig3_is_populated() {
+    let kg = kg();
+    let mut session = Session::with_defaults(&kg);
+    let film = kg.type_id("Film").unwrap();
+    let seed = kg.type_extent(film)[0];
+    session.click_entity(seed);
+    session.lookup(session.view().entities[0].entity);
+
+    let view = session.view();
+    assert!(!view.query.is_empty(), "query area (a/b)");
+    assert!(!view.entities.is_empty(), "entity recommendation area (c)");
+    assert!(view.focus.is_some(), "entity presentation area (d)");
+    assert!(!view.features.is_empty(), "feature recommendation area (e)");
+    assert!(view.heatmap.width() > 0, "explanation area (f)");
+    assert!(!session.timeline().is_empty(), "timeline (g)");
+
+    // The rendered screen mentions every area.
+    let screen = render_view(&kg, view);
+    for marker in ["Fig 3-c", "Fig 3-d", "Fig 3-e", "Fig 3-f"] {
+        assert!(screen.contains(marker), "missing {marker}");
+    }
+}
+
+#[test]
+fn recommendations_are_deterministic_across_sessions() {
+    let kg = kg();
+    let film = kg.type_id("Film").unwrap();
+    let seed = kg.type_extent(film)[0];
+
+    let mut s1 = Session::with_defaults(&kg);
+    let mut s2 = Session::with_defaults(&kg);
+    let v1 = s1.click_entity(seed).clone();
+    let v2 = s2.click_entity(seed).clone();
+    assert_eq!(
+        v1.entities.iter().map(|re| re.entity).collect::<Vec<_>>(),
+        v2.entities.iter().map(|re| re.entity).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        v1.features.iter().map(|rf| rf.feature).collect::<Vec<_>>(),
+        v2.features.iter().map(|rf| rf.feature).collect::<Vec<_>>()
+    );
+    assert_eq!(v1.heatmap.levels, v2.heatmap.levels);
+}

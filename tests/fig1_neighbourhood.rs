@@ -1,0 +1,66 @@
+//! F1a — Fig. 1-a: the local structure around an entity. A film's
+//! semantic features must expose its properties "in many aspects" and
+//! identify the search directions (Actor, Director, …).
+
+use pivote::prelude::*;
+use std::collections::HashSet;
+
+#[test]
+fn film_features_cover_the_expected_aspects() {
+    let kg = generate(&DatagenConfig::small());
+    let film = kg.type_id("Film").unwrap();
+    let f = kg.type_extent(film)[0];
+    let feats = features_of(&kg, f);
+    assert!(feats.len() >= 5, "films should have a rich feature set");
+
+    let predicates: HashSet<&str> = feats
+        .iter()
+        .map(|sf| kg.predicate_name(sf.predicate))
+        .collect();
+    for expected in ["starring", "director", "genre", "country", "studio"] {
+        assert!(
+            predicates.contains(expected),
+            "missing aspect {expected}, have {predicates:?}"
+        );
+    }
+}
+
+#[test]
+fn feature_extents_identify_search_directions() {
+    // Fig. 1 caption: features "identify the possible search directions
+    // (e.g., Actor and Director) for further exploration". The anchors of
+    // a film's features are exactly the adjacent-domain entities.
+    let kg = generate(&DatagenConfig::small());
+    let film = kg.type_id("Film").unwrap();
+    let actor = kg.type_id("Actor").unwrap();
+    let director = kg.type_id("Director").unwrap();
+    let f = kg.type_extent(film)[0];
+
+    let anchor_types: HashSet<TypeId> = features_of(&kg, f)
+        .iter()
+        .flat_map(|sf| kg.types_of(sf.anchor).collect::<Vec<_>>())
+        .collect();
+    assert!(anchor_types.contains(&actor), "Actor direction missing");
+    assert!(anchor_types.contains(&director), "Director direction missing");
+}
+
+#[test]
+fn two_hop_neighbourhood_is_reachable_through_extents() {
+    // Forrest_Gump -> Tom_Hanks:starring -> other films: the extent of a
+    // shared-anchor feature is the 2-hop co-starring neighbourhood.
+    let kg = generate(&DatagenConfig::small());
+    let starring = kg.predicate("starring").unwrap();
+    let actor = kg.type_id("Actor").unwrap();
+    let popular = *kg
+        .type_extent(actor)
+        .iter()
+        .max_by_key(|&&a| kg.subjects(a, starring).len())
+        .unwrap();
+    let sf = SemanticFeature::to_anchor(popular, starring);
+    let films = sf.extent(&kg);
+    assert!(films.len() >= 2, "popular actor should star in many films");
+    // every member of the extent matches the feature
+    for &f in films {
+        assert!(sf.matches(&kg, f));
+    }
+}
