@@ -1,17 +1,23 @@
 //! Bench Q3 — scaling: feature ranking and entity ranking latency as the
-//! knowledge graph grows (the paper's challenge (2)), plus the extent
-//! intersection microbenchmark that dominates the smoothed path.
+//! knowledge graph grows (the paper's challenge (2)), the sequential vs
+//! parallel QueryContext comparison, plus the extent intersection
+//! microbenchmark that dominates the smoothed path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pivote_bench::{film_seeds, kg_with_films};
-use pivote_core::{extent, Expander, RankingConfig, SfQuery};
+use pivote_core::{extent, Expander, QueryContext, RankingConfig, SfQuery};
 use pivote_kg::EntityId;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ranking_scaling");
     group.sample_size(10);
-    for films in [500usize, 2_000, 8_000] {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sizes = [500usize, 2_000, 8_000];
+    for films in sizes {
         let kg = kg_with_films(films);
         let seeds = film_seeds(&kg, 3);
         let expander = Expander::new(&kg, RankingConfig::default());
@@ -29,6 +35,22 @@ fn bench_scaling(c: &mut Criterion) {
             let q = SfQuery::from_seeds(seeds.clone());
             b.iter(|| black_box(expander.expand(&q, 20, 15)))
         });
+
+        // sequential (1 worker) vs parallel (all cores) through the shared
+        // QueryContext, warmed identically — the multi-core speedup of the
+        // execution layer at each scale. On a single-core host the second
+        // variant still runs (with 2 workers) so the fan-out overhead is
+        // visible; the speedup itself needs real cores.
+        for threads in [1usize, cores.max(2)] {
+            let ctx = Arc::new(QueryContext::with_threads(&kg, threads));
+            let par_expander = Expander::with_context(Arc::clone(&ctx), RankingConfig::default());
+            let features = par_expander.ranker().rank_features(&seeds);
+            group.bench_with_input(
+                BenchmarkId::new(format!("rank_entities_threads_{threads}"), films),
+                &films,
+                |b, _| b.iter(|| black_box(par_expander.ranker().rank_entities(&seeds, &features))),
+            );
+        }
     }
     group.finish();
 
@@ -42,6 +64,20 @@ fn bench_scaling(c: &mut Criterion) {
     let mid: Vec<EntityId> = (0..50_000u32).map(|i| EntityId::new(i * 2)).collect();
     micro.bench_function("merge_50k_vs_100k", |b| {
         b.iter(|| black_box(extent::intersect_len(black_box(&mid), black_box(&large))))
+    });
+    micro.bench_function("materialize_merge_50k_vs_100k", |b| {
+        b.iter(|| black_box(extent::intersect(black_box(&mid), black_box(&large))))
+    });
+    micro.bench_function("materialize_gallop_64_vs_100k", |b| {
+        b.iter(|| black_box(extent::intersect(black_box(&small), black_box(&large))))
+    });
+    let a: Vec<EntityId> = (0..30_000u32).map(|i| EntityId::new(i * 3)).collect();
+    let views: Vec<&[EntityId]> = vec![&a, &mid, &large];
+    micro.bench_function("intersect_k_3way", |b| {
+        b.iter(|| black_box(extent::intersect_k(black_box(&views))))
+    });
+    micro.bench_function("union_k_3way", |b| {
+        b.iter(|| black_box(extent::union_k(black_box(&views))))
     });
     micro.finish();
 }

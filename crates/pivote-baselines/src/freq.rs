@@ -5,10 +5,11 @@
 //! weighting or error tolerance. Isolates the contribution of the
 //! ranking model itself (every candidate here is scored by raw overlap).
 
-use crate::EntityExpansion;
-use pivote_core::features_of;
-use pivote_kg::{EntityId, KnowledgeGraph};
+use crate::{select_top_k, EntityExpansion};
+use pivote_core::{features_of, QueryContext};
+use pivote_kg::EntityId;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The raw-overlap baseline.
 #[derive(Debug, Default, Clone, Copy)]
@@ -19,16 +20,20 @@ impl EntityExpansion for FreqOverlapExpansion {
         "freq-overlap"
     }
 
-    fn expand(&self, kg: &KnowledgeGraph, seeds: &[EntityId], k: usize) -> Vec<(EntityId, f64)> {
+    fn expand_in(
+        &self,
+        ctx: &Arc<QueryContext<'_>>,
+        seeds: &[EntityId],
+        k: usize,
+    ) -> Vec<(EntityId, f64)> {
+        let kg = ctx.kg();
         if seeds.is_empty() || k == 0 {
             return Vec::new();
         }
         // count, per candidate, how many of the seeds' features it has
         let mut counts: HashMap<EntityId, f64> = HashMap::new();
-        let mut seed_features: Vec<pivote_core::SemanticFeature> = seeds
-            .iter()
-            .flat_map(|&s| features_of(kg, s))
-            .collect();
+        let mut seed_features: Vec<pivote_core::SemanticFeature> =
+            seeds.iter().flat_map(|&s| features_of(kg, s)).collect();
         seed_features.sort_unstable();
         seed_features.dedup();
         for sf in seed_features {
@@ -36,17 +41,7 @@ impl EntityExpansion for FreqOverlapExpansion {
                 *counts.entry(e).or_default() += 1.0;
             }
         }
-        let mut scored: Vec<(EntityId, f64)> = counts
-            .into_iter()
-            .filter(|(e, _)| !seeds.contains(e))
-            .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
-        scored.truncate(k);
-        scored
+        select_top_k(counts.into_iter().filter(|(e, _)| !seeds.contains(e)), k)
     }
 }
 

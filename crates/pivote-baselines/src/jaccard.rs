@@ -6,9 +6,11 @@
 //! directions and extent statistics. PivotE's semantic features should
 //! beat it exactly where relation semantics matter.
 
-use crate::EntityExpansion;
-use pivote_core::extent::{intersect_len, union};
+use crate::{select_top_k, EntityExpansion};
+use pivote_core::extent::intersect_len;
+use pivote_core::QueryContext;
 use pivote_kg::{EntityId, KnowledgeGraph};
+use std::sync::Arc;
 
 /// The Jaccard baseline.
 #[derive(Debug, Default, Clone, Copy)]
@@ -31,12 +33,17 @@ impl EntityExpansion for JaccardExpansion {
         "jaccard"
     }
 
-    fn expand(&self, kg: &KnowledgeGraph, seeds: &[EntityId], k: usize) -> Vec<(EntityId, f64)> {
+    fn expand_in(
+        &self,
+        ctx: &Arc<QueryContext<'_>>,
+        seeds: &[EntityId],
+        k: usize,
+    ) -> Vec<(EntityId, f64)> {
+        let kg = ctx.kg();
         if seeds.is_empty() || k == 0 {
             return Vec::new();
         }
-        let seed_neigh: Vec<Vec<EntityId>> =
-            seeds.iter().map(|&s| neighbours(kg, s)).collect();
+        let seed_neigh: Vec<Vec<EntityId>> = seeds.iter().map(|&s| neighbours(kg, s)).collect();
         // candidates: 2-hop — entities adjacent to any seed neighbour
         let mut candidates: Vec<EntityId> = Vec::new();
         for n in &seed_neigh {
@@ -48,29 +55,22 @@ impl EntityExpansion for JaccardExpansion {
         candidates.dedup();
         candidates.retain(|c| !seeds.contains(c));
 
-        let mut scored: Vec<(EntityId, f64)> = candidates
-            .into_iter()
-            .filter_map(|c| {
-                let cn = neighbours(kg, c);
-                let mut total = 0.0;
-                for sn in &seed_neigh {
-                    let inter = intersect_len(&cn, sn) as f64;
-                    let uni = union(&cn, sn).len() as f64;
-                    if uni > 0.0 {
-                        total += inter / uni;
-                    }
+        // per-candidate similarity is pure — fan it out over the context's
+        // scoped worker threads; |A ∪ B| = |A| + |B| − |A ∩ B| avoids materializing
+        // the union
+        let scored = ctx.par_map(&candidates, |&c| {
+            let cn = neighbours(kg, c);
+            let mut total = 0.0;
+            for sn in &seed_neigh {
+                let inter = intersect_len(&cn, sn) as f64;
+                let uni = cn.len() as f64 + sn.len() as f64 - inter;
+                if uni > 0.0 {
+                    total += inter / uni;
                 }
-                let score = total / seed_neigh.len() as f64;
-                (score > 0.0).then_some((c, score))
-            })
-            .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
+            }
+            (c, total / seed_neigh.len() as f64)
         });
-        scored.truncate(k);
-        scored
+        select_top_k(scored.into_iter().filter(|&(_, s)| s > 0.0), k)
     }
 }
 

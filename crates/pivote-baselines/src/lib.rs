@@ -12,6 +12,16 @@
 //! - [`PivotEExpansion`] — the paper's model ([`pivote_core`]) adapted to
 //!   the same trait for side-by-side evaluation.
 //!
+//! Every method executes through the shared
+//! [`QueryContext`](pivote_core::QueryContext) substrate —
+//! [`EntityExpansion::expand_in`] — so candidate scoring parallelizes
+//! through the same scoped-thread fan-out, top-k selection uses the same
+//! bounded heap, and
+//! the PivotE variants reuse the context's memoized `p(π|c)` densities.
+//! [`EntityExpansion::expand`] is a convenience wrapper constructing a
+//! private context; the evaluation harness builds one context per graph
+//! and shares it across all methods and ablations.
+//!
 //! The keyword-search baseline (BM25F) lives in `pivote-search` as
 //! `Scorer::Bm25`.
 
@@ -21,8 +31,9 @@ pub mod freq;
 pub mod jaccard;
 pub mod ppr;
 
-use pivote_core::{Expander, RankingConfig};
+use pivote_core::{Expander, QueryContext, RankingConfig};
 use pivote_kg::{EntityId, KnowledgeGraph};
+use std::sync::Arc;
 
 pub use freq::FreqOverlapExpansion;
 pub use jaccard::JaccardExpansion;
@@ -33,8 +44,29 @@ pub trait EntityExpansion {
     /// Short identifier used in experiment tables.
     fn name(&self) -> &'static str;
 
-    /// Top-`k` entities similar to `seeds`, best first, seeds excluded.
-    fn expand(&self, kg: &KnowledgeGraph, seeds: &[EntityId], k: usize) -> Vec<(EntityId, f64)>;
+    /// Top-`k` entities similar to `seeds`, best first, seeds excluded,
+    /// executed on a shared [`QueryContext`].
+    fn expand_in(
+        &self,
+        ctx: &Arc<QueryContext<'_>>,
+        seeds: &[EntityId],
+        k: usize,
+    ) -> Vec<(EntityId, f64)>;
+
+    /// [`EntityExpansion::expand_in`] with a fresh private context.
+    fn expand(&self, kg: &KnowledgeGraph, seeds: &[EntityId], k: usize) -> Vec<(EntityId, f64)> {
+        let ctx = Arc::new(QueryContext::new(kg));
+        self.expand_in(&ctx, seeds, k)
+    }
+}
+
+/// Order scored candidates best-first — `(score desc, id asc)` — keeping
+/// only the top `k`, via the context's bounded-heap selection.
+pub(crate) fn select_top_k(
+    scored: impl Iterator<Item = (EntityId, f64)>,
+    k: usize,
+) -> Vec<(EntityId, f64)> {
+    pivote_core::top_k_ranked(scored, k, |&(_, s)| s, |a, b| a.0.cmp(&b.0))
 }
 
 /// The paper's ranking model behind the common baseline trait.
@@ -79,8 +111,15 @@ impl EntityExpansion for PivotEExpansion {
         self.label
     }
 
-    fn expand(&self, kg: &KnowledgeGraph, seeds: &[EntityId], k: usize) -> Vec<(EntityId, f64)> {
-        let expander = Expander::new(kg, self.config);
+    fn expand_in(
+        &self,
+        ctx: &Arc<QueryContext<'_>>,
+        seeds: &[EntityId],
+        k: usize,
+    ) -> Vec<(EntityId, f64)> {
+        // the context's p(π|c) cache is config-independent, so ablation
+        // variants sharing one context share all memoized densities
+        let expander = Expander::with_context(Arc::clone(ctx), self.config);
         expander
             .expand_seeds(seeds, k, 0)
             .entities
@@ -120,6 +159,36 @@ mod tests {
                 "{} leaked a seed",
                 m.name()
             );
+        }
+    }
+
+    #[test]
+    fn shared_context_matches_private_context() {
+        let kg = generate(&DatagenConfig::tiny());
+        let film = kg.type_id("Film").unwrap();
+        let seeds = &kg.type_extent(film)[..2];
+        let shared = Arc::new(QueryContext::new(&kg));
+        let methods: Vec<Box<dyn EntityExpansion>> = vec![
+            Box::new(JaccardExpansion),
+            Box::new(PprExpansion::default()),
+            Box::new(FreqOverlapExpansion),
+            Box::new(PivotEExpansion::default()),
+            Box::new(PivotEExpansion::without_error_tolerance()),
+            Box::new(PivotEExpansion::without_discriminability()),
+        ];
+        for m in &methods {
+            let private = m.expand(&kg, seeds, 5);
+            let through_shared = m.expand_in(&shared, seeds, 5);
+            assert_eq!(
+                private.len(),
+                through_shared.len(),
+                "{} result size changed under a shared context",
+                m.name()
+            );
+            for (a, b) in private.iter().zip(&through_shared) {
+                assert_eq!(a.0, b.0, "{} entity order diverged", m.name());
+                assert!((a.1 - b.1).abs() < 1e-12, "{} score diverged", m.name());
+            }
         }
     }
 

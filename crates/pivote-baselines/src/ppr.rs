@@ -5,8 +5,10 @@
 //! connectivity but not the *semantics* of relations: a film and its
 //! shooting location can outrank a film with the same cast.
 
-use crate::EntityExpansion;
+use crate::{select_top_k, EntityExpansion};
+use pivote_core::QueryContext;
 use pivote_kg::{EntityId, KnowledgeGraph};
+use std::sync::Arc;
 
 /// Personalized PageRank via power iteration.
 #[derive(Debug, Clone, Copy)]
@@ -76,26 +78,26 @@ impl EntityExpansion for PprExpansion {
         "ppr"
     }
 
-    fn expand(&self, kg: &KnowledgeGraph, seeds: &[EntityId], k: usize) -> Vec<(EntityId, f64)> {
+    fn expand_in(
+        &self,
+        ctx: &Arc<QueryContext<'_>>,
+        seeds: &[EntityId],
+        k: usize,
+    ) -> Vec<(EntityId, f64)> {
+        let kg = ctx.kg();
         if seeds.is_empty() || k == 0 {
             return Vec::new();
         }
+        // power iteration is a sequential global scatter; only the final
+        // selection runs through the context's bounded heap
         let scores = self.scores(kg, seeds);
-        let mut scored: Vec<(EntityId, f64)> = scores
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &s)| {
+        select_top_k(
+            scores.iter().enumerate().filter_map(|(i, &s)| {
                 let e = EntityId::new(i as u32);
                 (s > 0.0 && !seeds.contains(&e)).then_some((e, s))
-            })
-            .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
-        scored.truncate(k);
-        scored
+            }),
+            k,
+        )
     }
 }
 

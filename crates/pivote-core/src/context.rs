@@ -1,0 +1,687 @@
+//! The shared query-execution layer.
+//!
+//! Every query operation in this workspace — feature ranking
+//! (`r(π,Q) = d(π)·c(π,Q)`), entity ranking, ESE expansion, heat maps,
+//! explanations, session replay, and the comparison baselines — bottoms
+//! out in the same primitives: extent lookups, `p(π|c)` density
+//! estimates, candidate scoring, and top-k selection. [`QueryContext`]
+//! owns those primitives once per knowledge graph so all engines share
+//! one memoized, parallel substrate instead of re-deriving state behind
+//! private caches:
+//!
+//! - **Feature interning**: semantic features are mapped to dense
+//!   [`FeatureId`]s with their extent slices resolved once, so hot loops
+//!   index instead of re-walking the CSR store, and cache keys are dense
+//!   integer pairs instead of hashed structs.
+//! - **Probability cache**: `p(π|c) = ‖E(π) ∩ E(c)‖ / ‖E(c)‖` is a pure
+//!   graph quantity (independent of any [`RankingConfig`]), cached in a
+//!   sharded map keyed by `(FeatureId, ContextId)` — readers on the hot
+//!   path take a shard read lock only, so parallel scoring never
+//!   serializes behind one global mutex.
+//! - **Parallel scoring**: [`QueryContext::par_map`] fans pure per-item
+//!   work out over scoped worker threads in deterministic chunk order, so
+//!   parallel results are bit-identical to sequential ones.
+//! - **Bounded top-k**: [`top_k_ranked`] selects the best `k` by
+//!   `(score desc, id asc)` with a size-`k` binary heap instead of
+//!   sorting the full candidate set.
+//!
+//! Ranking *logic* stays in [`crate::ranking::Ranker`] and friends; they
+//! hold an `Arc<QueryContext>` and pass their [`RankingConfig`] into the
+//! context methods, which is what lets one context serve the full model
+//! and its ablations (and every baseline) concurrently over one graph.
+
+use crate::config::RankingConfig;
+use crate::extent::{intersect_len, union_k};
+use crate::feature::{features_of, SemanticFeature};
+use crate::ranking::{RankedEntity, RankedFeature};
+use pivote_kg::{CategoryId, EntityId, KnowledgeGraph, TypeId};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::RwLock;
+
+/// Dense handle of an interned [`SemanticFeature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FeatureId(u32);
+
+impl FeatureId {
+    /// The raw dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A smoothing context: a category or a type, densely numbered
+/// (categories first, then types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Ctx {
+    /// Wikipedia-style category.
+    Cat(CategoryId),
+    /// `rdf:type` class.
+    Type(TypeId),
+}
+
+/// Number of probability-cache shards (power of two).
+const SHARDS: usize = 64;
+
+/// Below this many items, parallel fan-out costs more than it saves.
+const MIN_PARALLEL_ITEMS: usize = 192;
+
+/// Multiply-xor hasher for the dense `u64` cache keys — the keys are
+/// already well-distributed dense pairs, so a full SipHash is wasted
+/// work on the hot path.
+#[derive(Default)]
+pub struct DenseKeyHasher(u64);
+
+impl Hasher for DenseKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let mut x = self.0 ^ v;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        self.0 = x ^ (x >> 31);
+    }
+}
+
+type DenseMap = HashMap<u64, f64, BuildHasherDefault<DenseKeyHasher>>;
+
+/// Feature interner: feature → dense id, plus the resolved extent handle
+/// per id so hot loops never re-walk the store.
+struct FeatureTable<'kg> {
+    ids: HashMap<SemanticFeature, u32>,
+    extents: Vec<&'kg [EntityId]>,
+}
+
+/// The shared, memoized, parallel execution substrate for one graph.
+///
+/// Cheap to construct; all interior state is lazily filled and
+/// thread-safe, so one context (behind an [`std::sync::Arc`]) serves
+/// every engine and every worker thread of a query session.
+pub struct QueryContext<'kg> {
+    kg: &'kg KnowledgeGraph,
+    threads: usize,
+    features: RwLock<FeatureTable<'kg>>,
+    /// `p(π|c)` cache, sharded by key hash. Values are config-independent.
+    prob_shards: Vec<RwLock<DenseMap>>,
+    /// Dense context numbering: categories `0..cat_count`, then types.
+    cat_count: usize,
+}
+
+impl<'kg> QueryContext<'kg> {
+    /// Context over `kg` with one worker per available core.
+    pub fn new(kg: &'kg KnowledgeGraph) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(kg, threads)
+    }
+
+    /// Context with an explicit worker-thread count (`0` is clamped to 1;
+    /// `1` disables parallel fan-out entirely).
+    pub fn with_threads(kg: &'kg KnowledgeGraph, threads: usize) -> Self {
+        Self {
+            kg,
+            threads: threads.max(1),
+            features: RwLock::new(FeatureTable {
+                ids: HashMap::new(),
+                extents: Vec::new(),
+            }),
+            prob_shards: (0..SHARDS)
+                .map(|_| RwLock::new(DenseMap::default()))
+                .collect(),
+            cat_count: kg.category_count(),
+        }
+    }
+
+    /// The knowledge graph this context reads.
+    #[inline]
+    pub fn kg(&self) -> &'kg KnowledgeGraph {
+        self.kg
+    }
+
+    /// Configured worker-thread count.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of cached `p(π|c)` probabilities (diagnostics).
+    pub fn cached_probability_count(&self) -> usize {
+        self.prob_shards
+            .iter()
+            .map(|s| s.read().expect("prob shard poisoned").len())
+            .sum()
+    }
+
+    // ---- interning -----------------------------------------------------
+
+    /// Intern a feature, resolving its extent handle on first sight.
+    pub fn intern(&self, sf: SemanticFeature) -> FeatureId {
+        if let Some(&id) = self
+            .features
+            .read()
+            .expect("feature table poisoned")
+            .ids
+            .get(&sf)
+        {
+            return FeatureId(id);
+        }
+        let mut table = self.features.write().expect("feature table poisoned");
+        if let Some(&id) = table.ids.get(&sf) {
+            return FeatureId(id);
+        }
+        let id = table.extents.len() as u32;
+        table.extents.push(sf.extent(self.kg));
+        table.ids.insert(sf, id);
+        FeatureId(id)
+    }
+
+    /// The extent handle of an interned feature.
+    pub fn extent(&self, id: FeatureId) -> &'kg [EntityId] {
+        self.features
+            .read()
+            .expect("feature table poisoned")
+            .extents[id.index()]
+    }
+
+    // ---- probability cache ---------------------------------------------
+
+    #[inline]
+    fn ctx_index(&self, ctx: Ctx) -> usize {
+        match ctx {
+            Ctx::Cat(c) => c.index(),
+            Ctx::Type(t) => self.cat_count + t.index(),
+        }
+    }
+
+    /// Cached `p(π|c) = ‖E(π) ∩ E(c)‖ / ‖E(c)‖`.
+    pub(crate) fn p_feature_given_ctx(&self, sf: SemanticFeature, ctx: Ctx) -> f64 {
+        let fid = self.intern(sf);
+        let key = ((fid.0 as u64) << 32) | self.ctx_index(ctx) as u64;
+        let mut h = DenseKeyHasher::default();
+        h.write_u64(key);
+        // shard by middle hash bits: hashbrown uses the low bits for the
+        // bucket index and the top 7 as the SIMD control tag, so taking
+        // either end would degrade the in-shard tables
+        let shard = &self.prob_shards[(h.finish() >> 32) as usize & (SHARDS - 1)];
+        if let Some(&p) = shard.read().expect("prob shard poisoned").get(&key) {
+            return p;
+        }
+        let ctx_extent = match ctx {
+            Ctx::Cat(c) => self.kg.category_extent(c),
+            Ctx::Type(t) => self.kg.type_extent(t),
+        };
+        let p = if ctx_extent.is_empty() {
+            0.0
+        } else {
+            intersect_len(self.extent(fid), ctx_extent) as f64 / ctx_extent.len() as f64
+        };
+        shard.write().expect("prob shard poisoned").insert(key, p);
+        p
+    }
+
+    /// Cached `p(π|c)` for one category context.
+    pub fn p_for_category(&self, sf: SemanticFeature, c: CategoryId) -> f64 {
+        self.p_feature_given_ctx(sf, Ctx::Cat(c))
+    }
+
+    /// Cached `p(π|t)` for one type context.
+    pub fn p_for_type(&self, sf: SemanticFeature, t: TypeId) -> f64 {
+        self.p_feature_given_ctx(sf, Ctx::Type(t))
+    }
+
+    /// `p(π|c*) = max_c p(π|c)` over the categories (and, when configured,
+    /// types) of `e`.
+    pub fn p_feature_given_best_context(
+        &self,
+        config: &RankingConfig,
+        sf: SemanticFeature,
+        e: EntityId,
+    ) -> f64 {
+        let mut best = 0.0f64;
+        for c in self.kg.categories_of(e) {
+            best = best.max(self.p_feature_given_ctx(sf, Ctx::Cat(c)));
+        }
+        if config.use_types_as_context {
+            for t in self.kg.types_of(e) {
+                best = best.max(self.p_feature_given_ctx(sf, Ctx::Type(t)));
+            }
+        }
+        best
+    }
+
+    /// `p(π|e)`: 1 for an exact match, otherwise the error-tolerant
+    /// context estimate (or 0 when error tolerance is disabled).
+    pub fn p_feature_given_entity(
+        &self,
+        config: &RankingConfig,
+        sf: SemanticFeature,
+        e: EntityId,
+    ) -> f64 {
+        if sf.matches(self.kg, e) {
+            return 1.0;
+        }
+        if !config.error_tolerant {
+            return 0.0;
+        }
+        self.p_feature_given_best_context(config, sf, e)
+    }
+
+    // ---- ranking model -------------------------------------------------
+
+    /// `d(π)`: inverse extent size (or 1 under the A2 ablation).
+    pub fn discriminability(&self, config: &RankingConfig, sf: SemanticFeature) -> f64 {
+        if !config.use_discriminability {
+            return 1.0;
+        }
+        let n = sf.extent_size(self.kg);
+        if n == 0 {
+            0.0
+        } else {
+            1.0 / n as f64
+        }
+    }
+
+    /// `c(π, Q) = ∏_{e∈Q} p(π|e)`.
+    pub fn commonality(
+        &self,
+        config: &RankingConfig,
+        sf: SemanticFeature,
+        seeds: &[EntityId],
+    ) -> f64 {
+        let mut c = 1.0;
+        for &e in seeds {
+            c *= self.p_feature_given_entity(config, sf, e);
+            if c == 0.0 {
+                break;
+            }
+        }
+        c
+    }
+
+    /// The candidate feature pool: the union of the seeds' own features,
+    /// filtered by extent size.
+    pub fn candidate_features(
+        &self,
+        config: &RankingConfig,
+        seeds: &[EntityId],
+    ) -> Vec<SemanticFeature> {
+        let mut all: Vec<SemanticFeature> = seeds
+            .iter()
+            .flat_map(|&e| features_of(self.kg, e))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.retain(|sf| {
+            let n = sf.extent_size(self.kg);
+            n >= config.min_extent.max(1) && n <= config.max_extent
+        });
+        all
+    }
+
+    /// Rank all candidate features of the query: `Φ(Q)` scored by
+    /// `r(π, Q)`, descending, zero-scored features dropped. Scoring is
+    /// fanned out over the worker threads.
+    pub fn rank_features(&self, config: &RankingConfig, seeds: &[EntityId]) -> Vec<RankedFeature> {
+        self.rank_features_top_k(config, seeds, usize::MAX)
+    }
+
+    /// [`QueryContext::rank_features`] with bounded heap selection of the
+    /// best `k`.
+    pub fn rank_features_top_k(
+        &self,
+        config: &RankingConfig,
+        seeds: &[EntityId],
+        k: usize,
+    ) -> Vec<RankedFeature> {
+        let candidates = self.candidate_features(config, seeds);
+        let scored = self.par_map(&candidates, |&sf| {
+            let d = self.discriminability(config, sf);
+            let c = if d > 0.0 {
+                self.commonality(config, sf, seeds)
+            } else {
+                0.0
+            };
+            RankedFeature {
+                feature: sf,
+                score: d * c,
+                discriminability: d,
+                commonality: c,
+            }
+        });
+        top_k_ranked(
+            scored.into_iter().filter(|rf| rf.score > 0.0),
+            k,
+            |rf| rf.score,
+            |a, b| a.feature.cmp(&b.feature),
+        )
+    }
+
+    /// Gather candidate entities: the union of the extents of the top
+    /// features, in feature-score order, capped at `max_candidates`, with
+    /// seeds removed when configured.
+    pub fn candidate_entities(
+        &self,
+        config: &RankingConfig,
+        seeds: &[EntityId],
+        features: &[RankedFeature],
+    ) -> Vec<EntityId> {
+        let top = &features[..features.len().min(config.top_features)];
+        let cap = config.max_candidates.saturating_mul(4);
+        let mut picked: Vec<&[EntityId]> = Vec::with_capacity(top.len());
+        let mut total = 0usize;
+        for rf in top {
+            picked.push(rf.feature.extent(self.kg));
+            total += picked.last().expect("just pushed").len();
+            if total >= cap {
+                break;
+            }
+        }
+        let mut cands = union_k(&picked);
+        if config.exclude_seeds {
+            cands.retain(|e| !seeds.contains(e));
+        }
+        cands.truncate(config.max_candidates);
+        cands
+    }
+
+    /// `r(e, Q)` for one entity over a scored feature set.
+    pub fn score_entity(
+        &self,
+        config: &RankingConfig,
+        e: EntityId,
+        features: &[RankedFeature],
+    ) -> f64 {
+        let mut score = 0.0;
+        for rf in features {
+            let p = if rf.feature.matches(self.kg, e) {
+                1.0
+            } else if config.error_tolerant && config.smooth_candidates {
+                self.p_feature_given_best_context(config, rf.feature, e)
+            } else {
+                0.0
+            };
+            score += p * rf.score;
+        }
+        score
+    }
+
+    /// Rank candidate entities by `r(e, Q)`: parallel scoring, full sort.
+    pub fn rank_entities(
+        &self,
+        config: &RankingConfig,
+        seeds: &[EntityId],
+        features: &[RankedFeature],
+    ) -> Vec<RankedEntity> {
+        self.rank_entities_top_k(config, seeds, features, usize::MAX, |_| true)
+    }
+
+    /// Rank candidate entities with a pre-score filter and bounded top-k
+    /// selection. The filter runs *before* scoring, so expensive smoothing
+    /// is never spent on entities a hard query condition already excludes.
+    ///
+    /// Parallel and sequential execution produce bit-identical results:
+    /// per-entity scores are pure functions of the graph, candidates are
+    /// chunked in order, and the `(score desc, id asc)` selection order is
+    /// total (entity ids are unique).
+    pub fn rank_entities_top_k<F>(
+        &self,
+        config: &RankingConfig,
+        seeds: &[EntityId],
+        features: &[RankedFeature],
+        k: usize,
+        filter: F,
+    ) -> Vec<RankedEntity>
+    where
+        F: Fn(EntityId) -> bool + Sync,
+    {
+        let top = &features[..features.len().min(config.top_features)];
+        let mut candidates = self.candidate_entities(config, seeds, features);
+        candidates.retain(|&e| filter(e));
+        self.score_and_select(config, candidates, top, k)
+    }
+
+    /// Score an explicit candidate set in parallel and select the top `k`.
+    pub fn score_and_select(
+        &self,
+        config: &RankingConfig,
+        candidates: Vec<EntityId>,
+        features: &[RankedFeature],
+        k: usize,
+    ) -> Vec<RankedEntity> {
+        let scored = self.par_map(&candidates, |&e| RankedEntity {
+            entity: e,
+            score: self.score_entity(config, e, features),
+        });
+        top_k_ranked(
+            scored.into_iter(),
+            k,
+            |re| re.score,
+            |a, b| a.entity.cmp(&b.entity),
+        )
+    }
+
+    // ---- parallel substrate --------------------------------------------
+
+    /// Map a pure function over a slice using the context's worker
+    /// threads. Chunks are assigned and concatenated in slice order, so
+    /// the output is identical to a sequential `iter().map().collect()`.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.par_map_with(self.threads, items, f)
+    }
+
+    /// [`QueryContext::par_map`] with an explicit thread count.
+    pub fn par_map_with<T, U, F>(&self, threads: usize, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let threads = threads.max(1).min(items.len().max(1));
+        if threads == 1 || items.len() < MIN_PARALLEL_ITEMS {
+            return items.iter().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(threads);
+        let mut out: Vec<U> = Vec::with_capacity(items.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("scoring worker panicked"));
+            }
+        });
+        out
+    }
+}
+
+/// Select the `k` best items by `(score desc, id asc)` using a bounded
+/// binary heap — O(n log k) instead of a full O(n log n) sort — and
+/// return them best-first. Equal scores fall back to `tie` ascending;
+/// the combined order must be total (true here: ids are unique), which
+/// makes the result identical to sort-then-truncate.
+pub fn top_k_ranked<T, I, S, C>(items: I, k: usize, score: S, tie: C) -> Vec<T>
+where
+    I: Iterator<Item = T>,
+    S: Fn(&T) -> f64,
+    C: Fn(&T, &T) -> std::cmp::Ordering,
+{
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    // rank order: higher score first, then `tie` ascending
+    let better = |a: &T, b: &T| -> Ordering {
+        score(a)
+            .partial_cmp(&score(b))
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| tie(b, a))
+    };
+
+    struct Entry<T, F>(T, F);
+    impl<T, F: Fn(&T, &T) -> Ordering> PartialEq for Entry<T, F> {
+        fn eq(&self, other: &Self) -> bool {
+            (self.1)(&self.0, &other.0) == Ordering::Equal
+        }
+    }
+    impl<T, F: Fn(&T, &T) -> Ordering> Eq for Entry<T, F> {}
+    impl<T, F: Fn(&T, &T) -> Ordering> PartialOrd for Entry<T, F> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<T, F: Fn(&T, &T) -> Ordering> Ord for Entry<T, F> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // reversed: BinaryHeap is a max-heap, we want the *worst* kept
+            // item on top for cheap eviction
+            (self.1)(&other.0, &self.0)
+        }
+    }
+
+    if k == 0 {
+        return Vec::new();
+    }
+    if k == usize::MAX {
+        // unbounded: plain sort is faster than heap churn
+        let mut all: Vec<T> = items.collect();
+        all.sort_unstable_by(|a, b| better(b, a));
+        return all;
+    }
+
+    // cap the upfront allocation: k is caller-supplied and may be huge
+    // ("give me everything"); the heap grows if items really exceed this
+    let mut heap: BinaryHeap<Entry<T, _>> =
+        BinaryHeap::with_capacity(k.saturating_add(1).min(1024));
+    for item in items {
+        if heap.len() < k {
+            heap.push(Entry(item, &better));
+        } else if let Some(worst) = heap.peek() {
+            if better(&item, &worst.0) == Ordering::Greater {
+                heap.pop();
+                heap.push(Entry(item, &better));
+            }
+        }
+    }
+    let mut out: Vec<T> = heap.into_iter().map(|e| e.0).collect();
+    out.sort_unstable_by(|a, b| better(b, a));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivote_kg::{generate, DatagenConfig, KgBuilder};
+
+    fn toy() -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        let f1 = b.entity("f1");
+        let f2 = b.entity("f2");
+        let f3 = b.entity("f3");
+        let a = b.entity("A");
+        let bb = b.entity("B");
+        let starring = b.predicate("starring");
+        b.triple(f1, starring, a);
+        b.triple(f1, starring, bb);
+        b.triple(f2, starring, a);
+        b.triple(f2, starring, bb);
+        b.triple(f3, starring, bb);
+        for f in [f1, f2, f3] {
+            b.categorized(f, "films");
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn interning_is_stable_and_shared() {
+        let kg = toy();
+        let ctx = QueryContext::new(&kg);
+        let sf =
+            SemanticFeature::to_anchor(kg.entity("A").unwrap(), kg.predicate("starring").unwrap());
+        let id1 = ctx.intern(sf);
+        let id2 = ctx.intern(sf);
+        assert_eq!(id1, id2);
+        assert_eq!(ctx.extent(id1), sf.extent(&kg));
+    }
+
+    #[test]
+    fn probability_cache_fills_once() {
+        let kg = toy();
+        let ctx = QueryContext::new(&kg);
+        let cfg = RankingConfig::default();
+        let sf =
+            SemanticFeature::to_anchor(kg.entity("A").unwrap(), kg.predicate("starring").unwrap());
+        let f3 = kg.entity("f3").unwrap();
+        let p1 = ctx.p_feature_given_entity(&cfg, sf, f3);
+        let cached = ctx.cached_probability_count();
+        let p2 = ctx.p_feature_given_entity(&cfg, sf, f3);
+        assert_eq!(p1, p2);
+        assert!((p1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ctx.cached_probability_count(), cached, "no recompute");
+    }
+
+    #[test]
+    fn par_map_matches_sequential_order() {
+        let kg = toy();
+        let ctx = QueryContext::with_threads(&kg, 4);
+        let items: Vec<u32> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x as u64 * 3).collect();
+        let par = ctx.par_map(&items, |&x| x as u64 * 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn top_k_matches_sort_truncate() {
+        let items: Vec<(u32, f64)> = (0..500u32)
+            .map(|i| (i, ((i.wrapping_mul(2_654_435_761) % 997) as f64) / 997.0))
+            .collect();
+        let mut full = items.clone();
+        full.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        for k in [0, 1, 7, 100, 499, 500, 1000] {
+            let picked = top_k_ranked(items.iter().copied(), k, |it| it.1, |a, b| a.0.cmp(&b.0));
+            assert_eq!(picked, full[..k.min(full.len())].to_vec(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn top_k_breaks_score_ties_by_id() {
+        let items = vec![(9u32, 1.0), (3, 1.0), (7, 1.0), (5, 0.5)];
+        let picked = top_k_ranked(items.into_iter(), 2, |it| it.1, |a, b| a.0.cmp(&b.0));
+        assert_eq!(picked, vec![(3, 1.0), (7, 1.0)]);
+    }
+
+    #[test]
+    fn one_context_serves_multiple_configs() {
+        let kg = generate(&DatagenConfig::tiny());
+        let ctx = QueryContext::new(&kg);
+        let film = kg.type_id("Film").unwrap();
+        let seeds = &kg.type_extent(film)[..2];
+        let full = RankingConfig::default();
+        let ablated = RankingConfig::default().without_discriminability();
+        let rf_full = ctx.rank_features(&full, seeds);
+        let rf_ablated = ctx.rank_features(&ablated, seeds);
+        assert!(!rf_full.is_empty());
+        assert!(!rf_ablated.is_empty());
+        assert!(rf_ablated.iter().all(|rf| rf.discriminability == 1.0));
+        assert!(rf_full.iter().any(|rf| rf.discriminability < 1.0));
+    }
+}

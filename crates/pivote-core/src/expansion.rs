@@ -8,11 +8,13 @@
 //! two recommendation areas of the PivotE interface (Fig. 3-c and 3-e).
 
 use crate::config::RankingConfig;
-use crate::extent::{contains, intersect};
+use crate::context::QueryContext;
+use crate::extent::{contains, intersect_k};
 use crate::feature::SemanticFeature;
 use crate::ranking::{RankedEntity, RankedFeature, Ranker};
 use pivote_kg::{EntityId, KnowledgeGraph, TypeId};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A structured exploration query.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -92,8 +94,10 @@ pub fn diversify_features(
     if max_per_predicate == 0 {
         return features.to_vec();
     }
-    let mut counts: std::collections::HashMap<(pivote_kg::PredicateId, crate::feature::Direction), usize> =
-        std::collections::HashMap::new();
+    let mut counts: std::collections::HashMap<
+        (pivote_kg::PredicateId, crate::feature::Direction),
+        usize,
+    > = std::collections::HashMap::new();
     let mut kept = Vec::with_capacity(features.len());
     let mut spilled = Vec::new();
     for rf in features {
@@ -110,7 +114,8 @@ pub fn diversify_features(
     kept
 }
 
-/// The expansion engine: a thin orchestration layer over [`Ranker`].
+/// The expansion engine: a thin orchestration layer over [`Ranker`],
+/// running on a shared [`QueryContext`].
 pub struct Expander<'kg> {
     ranker: Ranker<'kg>,
 }
@@ -120,16 +125,28 @@ pub struct Expander<'kg> {
 const PSEUDO_SEEDS: usize = 5;
 
 impl<'kg> Expander<'kg> {
-    /// Create an expander over `kg`.
+    /// Create an expander over `kg` with a fresh private context.
     pub fn new(kg: &'kg KnowledgeGraph, config: RankingConfig) -> Self {
         Self {
             ranker: Ranker::new(kg, config),
         }
     }
 
+    /// Create an expander sharing an existing execution context.
+    pub fn with_context(ctx: Arc<QueryContext<'kg>>, config: RankingConfig) -> Self {
+        Self {
+            ranker: Ranker::with_context(ctx, config),
+        }
+    }
+
     /// The underlying ranker.
     pub fn ranker(&self) -> &Ranker<'kg> {
         &self.ranker
+    }
+
+    /// The shared execution context.
+    pub fn context(&self) -> &Arc<QueryContext<'kg>> {
+        self.ranker.context()
     }
 
     /// Expand a seed set: top-`k_entities` similar entities and
@@ -140,14 +157,16 @@ impl<'kg> Expander<'kg> {
         k_entities: usize,
         k_features: usize,
     ) -> ExpansionResult {
-        self.expand(
-            &SfQuery::from_seeds(seeds.to_vec()),
-            k_entities,
-            k_features,
-        )
+        self.expand(&SfQuery::from_seeds(seeds.to_vec()), k_entities, k_features)
     }
 
     /// Expand a structured query.
+    ///
+    /// All hard query conditions (required-feature membership, type
+    /// filter) are applied to the candidate pool *before* scoring, so the
+    /// context never spends smoothing work on entities the query already
+    /// excludes, and the final top-`k_entities` selection runs through the
+    /// context's bounded heap.
     pub fn expand(&self, query: &SfQuery, k_entities: usize, k_features: usize) -> ExpansionResult {
         if query.is_empty() {
             return ExpansionResult {
@@ -156,18 +175,15 @@ impl<'kg> Expander<'kg> {
             };
         }
         let kg = self.ranker.kg();
+        let ctx = self.ranker.context();
+        let config = self.ranker.config();
 
-        // Hard filter: intersection of required-feature extents.
+        // Hard filter: k-way intersection of required-feature extents.
         let filter: Option<Vec<EntityId>> = if query.required.is_empty() {
             None
         } else {
-            let mut iter = query.required.iter();
-            let first = iter.next().expect("non-empty required");
-            let mut acc: Vec<EntityId> = first.extent(kg).to_vec();
-            for sf in iter {
-                acc = intersect(&acc, sf.extent(kg));
-            }
-            Some(acc)
+            let extents: Vec<&[EntityId]> = query.required.iter().map(|sf| sf.extent(kg)).collect();
+            Some(intersect_k(&extents))
         };
 
         // Seeds for the ranking model: the query's seeds, or — for pure
@@ -182,39 +198,30 @@ impl<'kg> Expander<'kg> {
             members
         };
 
-        let features = self.ranker.rank_features(&seeds);
-        let mut entities = self.ranker.rank_entities(&seeds, &features);
+        // Feature pool: enough for Φ(Q) scoring and the caller's ask.
+        let feature_budget = config.top_features.max(k_features);
+        let features = self.ranker.rank_features_top_k(&seeds, feature_budget);
+        let top = &features[..features.len().min(config.top_features)];
 
+        // Candidate pool with every hard condition applied pre-scoring.
+        let mut candidates = ctx.candidate_entities(config, &seeds, &features);
         if let Some(filter) = &filter {
-            entities.retain(|re| contains(filter, re.entity));
+            candidates.retain(|&e| contains(filter, e));
             // Feature-only queries must return every filter member even if
-            // the ranker's candidate pool missed some (tiny extents).
+            // the ranker's candidate pool missed some (tiny extents) or
+            // claimed them as pseudo-seeds.
             if query.seeds.is_empty() {
-                let have: Vec<EntityId> = entities.iter().map(|re| re.entity).collect();
-                let top =
-                    &features[..features.len().min(self.ranker.config().top_features)];
-                for &e in filter {
-                    if !have.contains(&e) {
-                        entities.push(RankedEntity {
-                            entity: e,
-                            score: self.ranker.score_entity(e, top),
-                        });
-                    }
-                }
-                entities.sort_unstable_by(|a, b| {
-                    b.score
-                        .partial_cmp(&a.score)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| a.entity.cmp(&b.entity))
-                });
+                candidates = crate::extent::union(&candidates, filter);
             }
         }
         if let Some(t) = query.type_filter {
-            entities.retain(|re| kg.has_type(re.entity, t));
+            candidates.retain(|&e| kg.has_type(e, t));
         }
 
+        let entities = ctx.score_and_select(config, candidates, top, k_entities);
+
         ExpansionResult {
-            entities: entities.into_iter().take(k_entities).collect(),
+            entities,
             features: features.into_iter().take(k_features).collect(),
         }
     }
@@ -276,15 +283,16 @@ mod tests {
         let kg = toy();
         let ex = Expander::new(&kg, RankingConfig::default());
         let f1 = kg.entity("f1").unwrap();
-        let bsf = SemanticFeature::to_anchor(
-            kg.entity("B").unwrap(),
-            kg.predicate("starring").unwrap(),
-        );
+        let bsf =
+            SemanticFeature::to_anchor(kg.entity("B").unwrap(), kg.predicate("starring").unwrap());
         let q = SfQuery::from_seeds(vec![f1]).with_feature(bsf);
         let res = ex.expand(&q, 10, 10);
         // seeds excluded, filtered to B's films: f2, f3
         let got: Vec<EntityId> = res.entities.iter().map(|re| re.entity).collect();
-        assert_eq!(got, vec![kg.entity("f2").unwrap(), kg.entity("f3").unwrap()]);
+        assert_eq!(
+            got,
+            vec![kg.entity("f2").unwrap(), kg.entity("f3").unwrap()]
+        );
     }
 
     #[test]
@@ -325,11 +333,7 @@ mod tests {
         let ex = Expander::new(&kg, RankingConfig::default());
         let film = kg.type_id("Film").unwrap();
         let seeds = &kg.type_extent(film)[..2.min(kg.type_extent(film).len())];
-        let res = ex.expand(
-            &SfQuery::from_seeds(seeds.to_vec()).with_type(film),
-            10,
-            10,
-        );
+        let res = ex.expand(&SfQuery::from_seeds(seeds.to_vec()).with_type(film), 10, 10);
         for re in &res.entities {
             assert!(kg.has_type(re.entity, film));
             assert!(!seeds.contains(&re.entity), "seed leaked into results");

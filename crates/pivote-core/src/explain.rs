@@ -112,6 +112,10 @@ pub enum CellExplanation {
 }
 
 /// Explain one cell of the heat map.
+///
+/// The per-context densities come from the shared
+/// [`crate::context::QueryContext`] probability cache, so explaining a
+/// cell of an already-computed heat map costs only the argmax scan.
 pub fn explain_cell(ranker: &Ranker<'_>, sf: SemanticFeature, e: EntityId) -> CellExplanation {
     let kg = ranker.kg();
     if sf.matches(kg, e) {
@@ -120,26 +124,18 @@ pub fn explain_cell(ranker: &Ranker<'_>, sf: SemanticFeature, e: EntityId) -> Ce
     if !ranker.config().error_tolerant {
         return CellExplanation::None;
     }
-    // recompute the argmax context (the ranker only caches the max value)
+    // the ranker caches only the max density; rescan for the argmax name
+    let ctx = ranker.context();
     let mut best: Option<(String, f64)> = None;
-    let sf_extent = sf.extent(kg);
     for c in kg.categories_of(e) {
-        let ext = kg.category_extent(c);
-        if ext.is_empty() {
-            continue;
-        }
-        let p = crate::extent::intersect_len(sf_extent, ext) as f64 / ext.len() as f64;
+        let p = ctx.p_for_category(sf, c);
         if best.as_ref().map(|(_, bp)| p > *bp).unwrap_or(p > 0.0) {
             best = Some((kg.category_name(c).to_owned(), p));
         }
     }
     if ranker.config().use_types_as_context {
         for t in kg.types_of(e) {
-            let ext = kg.type_extent(t);
-            if ext.is_empty() {
-                continue;
-            }
-            let p = crate::extent::intersect_len(sf_extent, ext) as f64 / ext.len() as f64;
+            let p = ctx.p_for_type(sf, t);
             if best.as_ref().map(|(_, bp)| p > *bp).unwrap_or(p > 0.0) {
                 best = Some((kg.type_name(t).to_owned(), p));
             }
@@ -231,7 +227,10 @@ mod tests {
         let gump = kg.entity("Forrest_Gump").unwrap();
         let sinise = kg.entity("Gary_Sinise").unwrap();
         let sf = SemanticFeature::to_anchor(sinise, kg.predicate("starring").unwrap());
-        assert_eq!(explain_cell(&ranker, sf, gump), CellExplanation::DirectMatch);
+        assert_eq!(
+            explain_cell(&ranker, sf, gump),
+            CellExplanation::DirectMatch
+        );
     }
 
     #[test]

@@ -180,9 +180,7 @@ mod tests {
         // hanks has two in-edges -> two FromAnchor features
         let fs_h = features_of(&kg, hanks);
         assert_eq!(fs_h.len(), 2);
-        assert!(fs_h
-            .iter()
-            .all(|sf| sf.direction == Direction::FromAnchor));
+        assert!(fs_h.iter().all(|sf| sf.direction == Direction::FromAnchor));
     }
 
     #[test]
@@ -191,7 +189,12 @@ mod tests {
         for name in ["Forrest_Gump", "Apollo_13", "Tom_Hanks", "Gary_Sinise"] {
             let e = kg.entity(name).unwrap();
             for sf in features_of(&kg, e) {
-                assert!(sf.matches(&kg, e), "{} should match {}", name, sf.display(&kg));
+                assert!(
+                    sf.matches(&kg, e),
+                    "{} should match {}",
+                    name,
+                    sf.display(&kg)
+                );
             }
         }
     }

@@ -32,14 +32,19 @@ impl HeatMap {
     ///
     /// `features` should be the query's ranked features (carrying
     /// `r(π, Q)` in their `score`); `entities` the recommended entities.
+    /// Rows are computed in parallel on the ranker's shared
+    /// [`crate::context::QueryContext`]; the memoized `p(π|c)` densities
+    /// mean cells explaining already-ranked entities are cache hits.
     pub fn compute(ranker: &Ranker<'_>, entities: &[EntityId], features: &[RankedFeature]) -> Self {
-        let mut values = Vec::with_capacity(entities.len() * features.len());
-        for rf in features {
-            for &e in entities {
-                let p = ranker.p_feature_given_entity(rf.feature, e);
-                values.push(p * rf.score);
-            }
-        }
+        let ctx = ranker.context();
+        let config = ranker.config();
+        let rows = ctx.par_map(features, |rf| {
+            entities
+                .iter()
+                .map(|&e| ctx.p_feature_given_entity(config, rf.feature, e) * rf.score)
+                .collect::<Vec<f64>>()
+        });
+        let values: Vec<f64> = rows.into_iter().flatten().collect();
         let levels = quantize(&values);
         Self {
             entities: entities.to_vec(),

@@ -5,7 +5,12 @@
 //!
 //! - [`feature`]: semantic features `anchor:predicate` in both directions
 //!   and their extents `E(π)`;
-//! - [`extent`]: sorted-set algebra over extents (the ranking hot loop);
+//! - [`extent`]: sorted-set algebra over extents (the ranking hot loop),
+//!   including the k-way union/intersection primitives;
+//! - [`context`]: the shared [`QueryContext`] execution layer — interned
+//!   extents, the sharded `p(π|c)` probability cache, parallel candidate
+//!   scoring and bounded top-k selection — that every query engine in the
+//!   workspace (core, explore, baselines, eval) runs through;
 //! - [`ranking`]: `r(π,Q) = d(π)·c(π,Q)` and
 //!   `r(e,Q) = Σ p(π|e)·r(π,Q)` with error-tolerant category smoothing;
 //! - [`expansion`]: entity set expansion over structured queries (seeds +
@@ -31,16 +36,18 @@
 #![warn(missing_docs)]
 
 pub mod config;
-pub mod explain;
+pub mod context;
 pub mod expansion;
+pub mod explain;
 pub mod extent;
 pub mod feature;
 pub mod heatmap;
 pub mod ranking;
 
 pub use config::RankingConfig;
-pub use explain::{explain_cell, explain_pair, CellExplanation, PairExplanation};
+pub use context::{top_k_ranked, FeatureId, QueryContext};
 pub use expansion::{diversify_features, Expander, ExpansionResult, SfQuery};
+pub use explain::{explain_cell, explain_pair, CellExplanation, PairExplanation};
 pub use feature::{features_of, Direction, SemanticFeature};
 pub use heatmap::{HeatMap, HEAT_LEVELS};
 pub use ranking::{RankedEntity, RankedFeature, Ranker};

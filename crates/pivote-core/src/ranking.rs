@@ -12,14 +12,20 @@
 //! - **Entity ranking** (§2.3.2):
 //!   `r(e, Q) = Σ_{π ∈ Φ(Q)} p(π|e) · r(π, Q)` over the top-ranked feature
 //!   set `Φ(Q)`.
+//!
+//! [`Ranker`] owns the *model*: a [`RankingConfig`] applied through a
+//! shared [`QueryContext`], which provides memoized probabilities,
+//! interned extents, parallel scoring and bounded top-k selection. Several
+//! rankers (e.g. the A1/A2 ablations, or every baseline in
+//! `pivote-baselines`) can share one context over the same graph — the
+//! cached `p(π|c)` densities are pure graph quantities.
 
 use crate::config::RankingConfig;
-use crate::extent::intersect_len;
-use crate::feature::{features_of, SemanticFeature};
-use parking_lot::Mutex;
-use pivote_kg::{CategoryId, EntityId, KnowledgeGraph, TypeId};
+use crate::context::QueryContext;
+use crate::feature::SemanticFeature;
+use pivote_kg::{EntityId, KnowledgeGraph};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A feature with its ranking-model scores.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -43,35 +49,28 @@ pub struct RankedEntity {
     pub score: f64,
 }
 
-/// Context used by the error-tolerant estimate: a category or a type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Context {
-    Cat(CategoryId),
-    Type(TypeId),
-}
-
-/// The ranking engine. Cheap to construct; owns only a probability cache.
+/// The ranking engine: a [`RankingConfig`] bound to a shared
+/// [`QueryContext`]. Cheap to construct; all memoized state lives in the
+/// context so clones/ablations sharing a context also share the caches.
 pub struct Ranker<'kg> {
-    kg: &'kg KnowledgeGraph,
+    ctx: Arc<QueryContext<'kg>>,
     config: RankingConfig,
-    /// Cache of `p(π|context)`; the same (feature, category) pair is
-    /// probed once per query for every seed/candidate in that category.
-    ctx_cache: Mutex<HashMap<(SemanticFeature, Context), f64>>,
 }
 
 impl<'kg> Ranker<'kg> {
-    /// Create a ranker over `kg`.
+    /// Create a ranker over `kg` with a fresh private context.
     pub fn new(kg: &'kg KnowledgeGraph, config: RankingConfig) -> Self {
-        Self {
-            kg,
-            config,
-            ctx_cache: Mutex::new(HashMap::new()),
-        }
+        Self::with_context(Arc::new(QueryContext::new(kg)), config)
+    }
+
+    /// Create a ranker sharing an existing execution context.
+    pub fn with_context(ctx: Arc<QueryContext<'kg>>, config: RankingConfig) -> Self {
+        Self { ctx, config }
     }
 
     /// The knowledge graph this ranker reads.
     pub fn kg(&self) -> &'kg KnowledgeGraph {
-        self.kg
+        self.ctx.kg()
     }
 
     /// The active configuration.
@@ -79,116 +78,42 @@ impl<'kg> Ranker<'kg> {
         &self.config
     }
 
+    /// The shared execution context.
+    pub fn context(&self) -> &Arc<QueryContext<'kg>> {
+        &self.ctx
+    }
+
     /// `d(π)`: inverse extent size, the IDF-style discriminability.
     pub fn discriminability(&self, sf: SemanticFeature) -> f64 {
-        if !self.config.use_discriminability {
-            return 1.0;
-        }
-        let n = sf.extent_size(self.kg);
-        if n == 0 {
-            0.0
-        } else {
-            1.0 / n as f64
-        }
+        self.ctx.discriminability(&self.config, sf)
     }
 
     /// `p(π|e)`: 1 for an exact match, otherwise the error-tolerant
     /// context estimate (or 0 when error tolerance is disabled).
     pub fn p_feature_given_entity(&self, sf: SemanticFeature, e: EntityId) -> f64 {
-        if sf.matches(self.kg, e) {
-            return 1.0;
-        }
-        if !self.config.error_tolerant {
-            return 0.0;
-        }
-        self.p_feature_given_best_context(sf, e)
-    }
-
-    /// `p(π|c*) = max_c ‖E(π) ∩ E(c)‖ / ‖E(c)‖` over the categories (and
-    /// optionally types) of `e`.
-    fn p_feature_given_best_context(&self, sf: SemanticFeature, e: EntityId) -> f64 {
-        let mut best = 0.0f64;
-        for c in self.kg.categories_of(e) {
-            best = best.max(self.p_feature_given_context(sf, Context::Cat(c)));
-        }
-        if self.config.use_types_as_context {
-            for t in self.kg.types_of(e) {
-                best = best.max(self.p_feature_given_context(sf, Context::Type(t)));
-            }
-        }
-        best
-    }
-
-    fn p_feature_given_context(&self, sf: SemanticFeature, ctx: Context) -> f64 {
-        if let Some(&p) = self.ctx_cache.lock().get(&(sf, ctx)) {
-            return p;
-        }
-        let ctx_extent = match ctx {
-            Context::Cat(c) => self.kg.category_extent(c),
-            Context::Type(t) => self.kg.type_extent(t),
-        };
-        let p = if ctx_extent.is_empty() {
-            0.0
-        } else {
-            intersect_len(sf.extent(self.kg), ctx_extent) as f64 / ctx_extent.len() as f64
-        };
-        self.ctx_cache.lock().insert((sf, ctx), p);
-        p
+        self.ctx.p_feature_given_entity(&self.config, sf, e)
     }
 
     /// `c(π, Q) = ∏_{e∈Q} p(π|e)`.
     pub fn commonality(&self, sf: SemanticFeature, seeds: &[EntityId]) -> f64 {
-        let mut c = 1.0;
-        for &e in seeds {
-            c *= self.p_feature_given_entity(sf, e);
-            if c == 0.0 {
-                break;
-            }
-        }
-        c
+        self.ctx.commonality(&self.config, sf, seeds)
     }
 
     /// The candidate feature pool: the union of the seeds' own features,
     /// filtered by extent size.
     pub fn candidate_features(&self, seeds: &[EntityId]) -> Vec<SemanticFeature> {
-        let mut all: Vec<SemanticFeature> = seeds
-            .iter()
-            .flat_map(|&e| features_of(self.kg, e))
-            .collect();
-        all.sort_unstable();
-        all.dedup();
-        all.retain(|sf| {
-            let n = sf.extent_size(self.kg);
-            n >= self.config.min_extent.max(1) && n <= self.config.max_extent
-        });
-        all
+        self.ctx.candidate_features(&self.config, seeds)
     }
 
     /// Rank all candidate features of the query: `Φ(Q)` scored by
     /// `r(π, Q)`, descending, zero-scored features dropped.
     pub fn rank_features(&self, seeds: &[EntityId]) -> Vec<RankedFeature> {
-        let mut ranked: Vec<RankedFeature> = self
-            .candidate_features(seeds)
-            .into_iter()
-            .filter_map(|sf| {
-                let d = self.discriminability(sf);
-                let c = self.commonality(sf, seeds);
-                let score = d * c;
-                (score > 0.0).then_some(RankedFeature {
-                    feature: sf,
-                    score,
-                    discriminability: d,
-                    commonality: c,
-                })
-            })
-            .collect();
-        ranked.sort_unstable_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.feature.cmp(&b.feature))
-        });
-        ranked
+        self.ctx.rank_features(&self.config, seeds)
+    }
+
+    /// The best `k` features only, selected with a bounded heap.
+    pub fn rank_features_top_k(&self, seeds: &[EntityId], k: usize) -> Vec<RankedFeature> {
+        self.ctx.rank_features_top_k(&self.config, seeds, k)
     }
 
     /// Gather candidate entities: the union of the extents of the top
@@ -199,110 +124,65 @@ impl<'kg> Ranker<'kg> {
         seeds: &[EntityId],
         features: &[RankedFeature],
     ) -> Vec<EntityId> {
-        let top = &features[..features.len().min(self.config.top_features)];
-        let mut cands: Vec<EntityId> = Vec::new();
-        for rf in top {
-            cands.extend_from_slice(rf.feature.extent(self.kg));
-            if cands.len() >= self.config.max_candidates.saturating_mul(4) {
-                break;
-            }
-        }
-        cands.sort_unstable();
-        cands.dedup();
-        if self.config.exclude_seeds {
-            cands.retain(|e| !seeds.contains(e));
-        }
-        cands.truncate(self.config.max_candidates);
-        cands
+        self.ctx.candidate_entities(&self.config, seeds, features)
     }
 
     /// `r(e, Q)` for one entity over a scored feature set.
     pub fn score_entity(&self, e: EntityId, features: &[RankedFeature]) -> f64 {
-        let mut score = 0.0;
-        for rf in features {
-            let p = if rf.feature.matches(self.kg, e) {
-                1.0
-            } else if self.config.error_tolerant && self.config.smooth_candidates {
-                self.p_feature_given_best_context(rf.feature, e)
-            } else {
-                0.0
-            };
-            score += p * rf.score;
-        }
-        score
+        self.ctx.score_entity(&self.config, e, features)
     }
 
     /// Rank candidate entities by `r(e, Q)` over the top features,
-    /// descending with entity-id tiebreak.
+    /// descending with entity-id tiebreak. Scoring runs on the context's
+    /// worker threads; the result is bit-identical to a sequential pass.
     pub fn rank_entities(
         &self,
         seeds: &[EntityId],
         features: &[RankedFeature],
     ) -> Vec<RankedEntity> {
-        let top = &features[..features.len().min(self.config.top_features)];
-        let mut out: Vec<RankedEntity> = self
-            .candidate_entities(seeds, features)
-            .into_iter()
-            .map(|e| RankedEntity {
-                entity: e,
-                score: self.score_entity(e, top),
-            })
-            .collect();
-        sort_ranked_entities(&mut out);
-        out
+        self.ctx.rank_entities(&self.config, seeds, features)
     }
 
-    /// [`Ranker::rank_entities`] with candidate scoring fanned out over
-    /// `threads` worker threads. Produces exactly the same ranking —
-    /// scoring is a pure function and the context cache is shared behind
-    /// a mutex — but overlaps the extent intersections of the smoothed
-    /// path, which dominate on large graphs.
+    /// The best `k` entities only, with an optional pre-score filter
+    /// applied before any smoothing work is spent.
+    pub fn rank_entities_top_k<F>(
+        &self,
+        seeds: &[EntityId],
+        features: &[RankedFeature],
+        k: usize,
+        filter: F,
+    ) -> Vec<RankedEntity>
+    where
+        F: Fn(EntityId) -> bool + Sync,
+    {
+        self.ctx
+            .rank_entities_top_k(&self.config, seeds, features, k, filter)
+    }
+
+    /// [`Ranker::rank_entities`] with an explicit worker-thread count
+    /// (kept for scaling experiments; `1` forces the sequential path).
+    /// Produces exactly the same ranking as the sequential path.
     pub fn rank_entities_parallel(
         &self,
         seeds: &[EntityId],
         features: &[RankedFeature],
         threads: usize,
     ) -> Vec<RankedEntity> {
-        let threads = threads.max(1);
-        if threads == 1 {
-            return self.rank_entities(seeds, features);
-        }
         let top = &features[..features.len().min(self.config.top_features)];
-        let candidates = self.candidate_entities(seeds, features);
-        let chunk = candidates.len().div_ceil(threads).max(1);
-        let mut out: Vec<RankedEntity> = Vec::with_capacity(candidates.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .chunks(chunk)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|&e| RankedEntity {
-                                entity: e,
-                                score: self.score_entity(e, top),
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                out.extend(h.join().expect("scoring worker panicked"));
-            }
-        });
-        sort_ranked_entities(&mut out);
-        out
+        let candidates = self.ctx.candidate_entities(&self.config, seeds, features);
+        let scored = self
+            .ctx
+            .par_map_with(threads.max(1), &candidates, |&e| RankedEntity {
+                entity: e,
+                score: self.ctx.score_entity(&self.config, e, top),
+            });
+        crate::context::top_k_ranked(
+            scored.into_iter(),
+            usize::MAX,
+            |re| re.score,
+            |a, b| a.entity.cmp(&b.entity),
+        )
     }
-}
-
-/// Descending score with entity-id tiebreak — the canonical result order.
-fn sort_ranked_entities(out: &mut [RankedEntity]) {
-    out.sort_unstable_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.entity.cmp(&b.entity))
-    });
 }
 
 #[cfg(test)]
@@ -425,6 +305,18 @@ mod tests {
     }
 
     #[test]
+    fn rank_features_top_k_is_a_prefix_of_full_ranking() {
+        let kg = kg();
+        let r = Ranker::new(&kg, RankingConfig::default());
+        let f1 = kg.entity("f1").unwrap();
+        let full = r.rank_features(&[f1]);
+        for k in 0..=full.len() + 1 {
+            let topk = r.rank_features_top_k(&[f1], k);
+            assert_eq!(topk, full[..k.min(full.len())].to_vec(), "k={k}");
+        }
+    }
+
+    #[test]
     fn rank_entities_hand_computed() {
         let kg = kg();
         let r = Ranker::new(&kg, RankingConfig::default());
@@ -437,10 +329,18 @@ mod tests {
         assert_eq!(ranked.len(), 2);
         assert_eq!(ranked[0].entity, f2);
         // r(f2) = 1*0.5 + 1*(1/3) = 5/6
-        assert!((ranked[0].score - 5.0 / 6.0).abs() < 1e-12, "{}", ranked[0].score);
+        assert!(
+            (ranked[0].score - 5.0 / 6.0).abs() < 1e-12,
+            "{}",
+            ranked[0].score
+        );
         assert_eq!(ranked[1].entity, f3);
         // r(f3) = (2/3)*0.5 + 1*(1/3) = 2/3
-        assert!((ranked[1].score - 2.0 / 3.0).abs() < 1e-12, "{}", ranked[1].score);
+        assert!(
+            (ranked[1].score - 2.0 / 3.0).abs() < 1e-12,
+            "{}",
+            ranked[1].score
+        );
     }
 
     #[test]
@@ -516,7 +416,7 @@ mod tests {
         let r = Ranker::new(&kg, RankingConfig::default());
         let f1 = kg.entity("f1").unwrap();
         let features = r.rank_features(&[f1]);
-        let seq = r.rank_entities(&[f1], &features);
+        let seq = r.rank_entities_parallel(&[f1], &features, 1);
         for threads in [1, 2, 4, 16] {
             let par = r.rank_entities_parallel(&[f1], &features, threads);
             assert_eq!(seq.len(), par.len());
@@ -525,6 +425,9 @@ mod tests {
                 assert!((a.score - b.score).abs() < 1e-12);
             }
         }
+        // the default (auto-threaded) path agrees too
+        let auto = r.rank_entities(&[f1], &features);
+        assert_eq!(seq, auto);
     }
 
     #[test]
@@ -534,6 +437,28 @@ mod tests {
         let f1 = kg.entity("f1").unwrap();
         let features = r.rank_features(&[f1]);
         assert!(!r.rank_entities_parallel(&[f1], &features, 0).is_empty());
+    }
+
+    #[test]
+    fn rankers_sharing_a_context_agree_with_private_contexts() {
+        let kg = kg();
+        let ctx = Arc::new(QueryContext::new(&kg));
+        let shared_full = Ranker::with_context(Arc::clone(&ctx), RankingConfig::default());
+        let shared_hard = Ranker::with_context(
+            Arc::clone(&ctx),
+            RankingConfig::default().without_error_tolerance(),
+        );
+        let private_full = Ranker::new(&kg, RankingConfig::default());
+        let private_hard = Ranker::new(&kg, RankingConfig::default().without_error_tolerance());
+        let f1 = kg.entity("f1").unwrap();
+        assert_eq!(
+            shared_full.rank_features(&[f1]),
+            private_full.rank_features(&[f1])
+        );
+        assert_eq!(
+            shared_hard.rank_features(&[f1]),
+            private_hard.rank_features(&[f1])
+        );
     }
 
     #[test]

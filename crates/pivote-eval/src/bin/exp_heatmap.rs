@@ -21,7 +21,10 @@ fn main() {
     let seeds = &kg.type_extent(film)[..2];
     let report = run_heatmap_report(&kg, seeds, 20, 15);
 
-    println!("== Q4: heat-map structure (matrix {}x{}) ==", report.dims.0, report.dims.1);
+    println!(
+        "== Q4: heat-map structure (matrix {}x{}) ==",
+        report.dims.0, report.dims.1
+    );
     println!("{:>5} {:>8} {:>14}", "level", "cells", "direct-match%");
     for l in 0..7 {
         println!(

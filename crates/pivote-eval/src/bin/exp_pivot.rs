@@ -18,7 +18,10 @@ fn main() {
     let kg = generate(&DatagenConfig::scaled(films, 7));
 
     println!("== Q5: pivot destinations vs type-coupling statistics ==");
-    println!("{:<14} {:>9} {:>9} {:>9}", "source type", "pivots", "coupled", "success");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9}",
+        "source type", "pivots", "coupled", "success"
+    );
     for type_name in ["Film", "Actor", "Director", "Book"] {
         let Some(t) = kg.type_id(type_name) else {
             continue;

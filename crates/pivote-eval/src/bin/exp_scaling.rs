@@ -4,13 +4,52 @@
 //!
 //! Sweeps the synthetic KG size and reports wall-clock latency of the
 //! three interactive operations: feature ranking, entity ranking, and
-//! the full matrix (both + heat map).
+//! the full matrix (both + heat map) — for the sequential (1-thread) and
+//! parallel (all-cores) [`pivote_core::QueryContext`], so the speedup of
+//! the shared execution layer is visible per scale.
 //!
 //! Usage: `cargo run --release -p pivote-eval --bin exp_scaling [max_films]`
 
-use pivote_core::{Expander, HeatMap, RankingConfig, SfQuery};
-use pivote_kg::{generate, DatagenConfig, EntityId};
+use pivote_core::{Expander, HeatMap, QueryContext, RankingConfig, SfQuery};
+use pivote_kg::{generate, DatagenConfig, EntityId, KnowledgeGraph};
+use std::sync::Arc;
 use std::time::Instant;
+
+struct Measured {
+    feat_ms: f64,
+    ent_ms: f64,
+    matrix_ms: f64,
+}
+
+fn measure(kg: &KnowledgeGraph, seeds: &[EntityId], threads: usize) -> Measured {
+    let expander = Expander::with_context(
+        Arc::new(QueryContext::with_threads(kg, threads)),
+        RankingConfig::default(),
+    );
+    // warm the context cache once so measurements reflect steady state
+    let _ = expander.ranker().rank_features(seeds);
+
+    let t = Instant::now();
+    let features = expander.ranker().rank_features(seeds);
+    let feat_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let entities = expander.ranker().rank_entities(seeds, &features);
+    let ent_ms = t.elapsed().as_secs_f64() * 1e3;
+    let _ = entities;
+
+    let t = Instant::now();
+    let res = expander.expand(&SfQuery::from_seeds(seeds.to_vec()), 20, 15);
+    let axis: Vec<EntityId> = res.entities.iter().map(|re| re.entity).collect();
+    let _hm = HeatMap::compute(expander.ranker(), &axis, &res.features);
+    let matrix_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    Measured {
+        feat_ms,
+        ent_ms,
+        matrix_ms,
+    }
+}
 
 fn main() {
     let max_films: usize = std::env::args()
@@ -19,44 +58,35 @@ fn main() {
         .unwrap_or(16_000);
     let mut sizes = vec![1_000usize, 2_000, 4_000, 8_000, 16_000, 32_000];
     sizes.retain(|&s| s <= max_films);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     println!("== Q3: interactive-operation latency vs KG size ==");
     println!(
-        "{:>8} {:>9} {:>9} {:>13} {:>13} {:>13}",
-        "films", "entities", "triples", "rank_feat_ms", "rank_ent_ms", "matrix_ms"
+        "{:>8} {:>9} {:>9} {:>4} {:>13} {:>13} {:>13}",
+        "films", "entities", "triples", "thr", "rank_feat_ms", "rank_ent_ms", "matrix_ms"
     );
     for films in sizes {
         let kg = generate(&DatagenConfig::scaled(films, 7));
-        let expander = Expander::new(&kg, RankingConfig::default());
         let film = kg.type_id("Film").expect("Film type");
         let seeds: Vec<EntityId> = kg.type_extent(film)[..3].to_vec();
 
-        // warm the context cache once so measurements reflect steady state
-        let _ = expander.ranker().rank_features(&seeds);
-
-        let t = Instant::now();
-        let features = expander.ranker().rank_features(&seeds);
-        let feat_ms = t.elapsed().as_secs_f64() * 1e3;
-
-        let t = Instant::now();
-        let entities = expander.ranker().rank_entities(&seeds, &features);
-        let ent_ms = t.elapsed().as_secs_f64() * 1e3;
-
-        let t = Instant::now();
-        let res = expander.expand(&SfQuery::from_seeds(seeds.clone()), 20, 15);
-        let axis: Vec<EntityId> = res.entities.iter().map(|re| re.entity).collect();
-        let _hm = HeatMap::compute(expander.ranker(), &axis, &res.features);
-        let matrix_ms = t.elapsed().as_secs_f64() * 1e3;
-
-        println!(
-            "{:>8} {:>9} {:>9} {:>13.2} {:>13.2} {:>13.2}",
-            films,
-            kg.entity_count(),
-            kg.triple_count(),
-            feat_ms,
-            ent_ms,
-            matrix_ms
-        );
-        let _ = entities;
+        for threads in [1, cores] {
+            let m = measure(&kg, &seeds, threads);
+            println!(
+                "{:>8} {:>9} {:>9} {:>4} {:>13.2} {:>13.2} {:>13.2}",
+                films,
+                kg.entity_count(),
+                kg.triple_count(),
+                threads,
+                m.feat_ms,
+                m.ent_ms,
+                m.matrix_ms
+            );
+            if cores == 1 {
+                break;
+            }
+        }
     }
 }

@@ -40,10 +40,12 @@ pub fn ese_classes(
         .category_ids()
         .filter_map(|c| {
             let members = kg.category_extent(c);
-            (min_size..=max_size).contains(&members.len()).then(|| EseClass {
-                name: kg.category_name(c).to_owned(),
-                members: members.to_vec(),
-            })
+            (min_size..=max_size)
+                .contains(&members.len())
+                .then(|| EseClass {
+                    name: kg.category_name(c).to_owned(),
+                    members: members.to_vec(),
+                })
         })
         .collect();
     classes.sort_by(|a, b| {

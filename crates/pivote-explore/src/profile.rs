@@ -83,11 +83,7 @@ impl EntityProfile {
             let _ = writeln!(out, "{p}: {v}");
         }
         if !self.top_features.is_empty() {
-            let feats: Vec<&str> = self
-                .top_features
-                .iter()
-                .map(|(f, _)| f.as_str())
-                .collect();
+            let feats: Vec<&str> = self.top_features.iter().map(|(f, _)| f.as_str()).collect();
             let _ = writeln!(out, "features: {}", feats.join(", "));
         }
         if !self.aliases.is_empty() {
@@ -154,7 +150,13 @@ mod tests {
         let ranker = Ranker::new(&kg, RankingConfig::default());
         let gump = kg.entity("Forrest_Gump").unwrap();
         let text = build_profile(&ranker, gump, 5).render();
-        for needle in ["Forrest Gump", "Film", "runtime: 142", "Geenbow", "wikipedia"] {
+        for needle in [
+            "Forrest Gump",
+            "Film",
+            "runtime: 142",
+            "Geenbow",
+            "wikipedia",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

@@ -73,21 +73,11 @@ impl ExplorationQuery {
             parts.push(format!("keywords: {k:?}"));
         }
         if !self.sf.seeds.is_empty() {
-            let names: Vec<String> = self
-                .sf
-                .seeds
-                .iter()
-                .map(|&e| kg.display_name(e))
-                .collect();
+            let names: Vec<String> = self.sf.seeds.iter().map(|&e| kg.display_name(e)).collect();
             parts.push(format!("seeds: {}", names.join(", ")));
         }
         if !self.sf.required.is_empty() {
-            let feats: Vec<String> = self
-                .sf
-                .required
-                .iter()
-                .map(|sf| sf.display(kg))
-                .collect();
+            let feats: Vec<String> = self.sf.required.iter().map(|sf| sf.display(kg)).collect();
             parts.push(format!("features: {}", feats.join(", ")));
         }
         if let Some(t) = self.sf.type_filter {

@@ -56,6 +56,21 @@ pub fn replay(session: &mut Session<'_>, log: &ActionLog) -> usize {
     log.actions.len()
 }
 
+/// Replay a log onto a *fresh* session that shares an existing
+/// [`QueryContext`](pivote_core::QueryContext) — every `p(π|c)` density
+/// the original session memoized is a cache hit during the replay, which
+/// is what makes reproducing demo scenarios and "revisit historical
+/// queries" cheap.
+pub fn replay_with_context<'kg>(
+    ctx: &std::sync::Arc<pivote_core::QueryContext<'kg>>,
+    config: crate::session::SessionConfig,
+    log: &ActionLog,
+) -> Session<'kg> {
+    let mut session = Session::with_context(std::sync::Arc::clone(ctx), config);
+    replay(&mut session, log);
+    session
+}
+
 /// Aggregate statistics of an exploration session, computed from its
 /// log and timeline — what the demo's path "view" summarizes.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -119,12 +134,7 @@ mod tests {
         let kg = generate(&DatagenConfig::tiny());
         let s = scripted(&kg);
         assert_eq!(s.action_log().len(), 4);
-        let verbs: Vec<&str> = s
-            .action_log()
-            .actions
-            .iter()
-            .map(|a| a.verb())
-            .collect();
+        let verbs: Vec<&str> = s.action_log().actions.iter().map(|a| a.verb()).collect();
         assert_eq!(verbs, vec!["search", "investigate", "lookup", "pivot"]);
     }
 
@@ -152,6 +162,34 @@ mod tests {
                 .iter()
                 .map(|re| re.entity)
                 .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn replay_on_shared_context_reproduces_the_session() {
+        let kg = generate(&DatagenConfig::tiny());
+        let original = scripted(&kg);
+        let replayed = super::replay_with_context(
+            original.query_context(),
+            crate::session::SessionConfig::default(),
+            original.action_log(),
+        );
+        assert_eq!(replayed.view().query, original.view().query);
+        assert_eq!(replayed.timeline(), original.timeline());
+        assert_eq!(
+            replayed
+                .view()
+                .entities
+                .iter()
+                .map(|re| re.entity)
+                .collect::<Vec<_>>(),
+            original
+                .view()
+                .entities
+                .iter()
+                .map(|re| re.entity)
+                .collect::<Vec<_>>(),
+            "shared-context replay must be bit-identical"
         );
     }
 

@@ -13,11 +13,13 @@ use crate::profile::{build_profile, EntityProfile};
 use crate::query::ExplorationQuery;
 use crate::timeline::Timeline;
 use pivote_core::{
-    Expander, HeatMap, RankedEntity, RankedFeature, RankingConfig, SemanticFeature, SfQuery,
+    Expander, HeatMap, QueryContext, RankedEntity, RankedFeature, RankingConfig, SemanticFeature,
+    SfQuery,
 };
 use pivote_kg::{EntityId, KnowledgeGraph, TypeId};
 use pivote_search::{SearchConfig, SearchEngine};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Session tunables.
 #[derive(Debug, Clone, Copy)]
@@ -115,12 +117,20 @@ pub struct Session<'kg> {
 }
 
 impl<'kg> Session<'kg> {
-    /// Build a session (indexes the graph for search).
+    /// Build a session (indexes the graph for search) with a fresh
+    /// [`QueryContext`] shared by every engine the session drives.
     pub fn new(kg: &'kg KnowledgeGraph, config: SessionConfig) -> Self {
+        Self::with_context(Arc::new(QueryContext::new(kg)), config)
+    }
+
+    /// Build a session on an existing execution context — replayed or
+    /// concurrent sessions over one graph share its memoized state.
+    pub fn with_context(ctx: Arc<QueryContext<'kg>>, config: SessionConfig) -> Self {
+        let kg = ctx.kg();
         Self {
             kg,
             search: SearchEngine::build(kg, config.search),
-            expander: Expander::new(kg, config.ranking),
+            expander: Expander::with_context(ctx, config.ranking),
             config,
             timeline: Timeline::new(),
             path: ExplorationPath::new(),
@@ -132,6 +142,12 @@ impl<'kg> Session<'kg> {
     /// Session with default configuration.
     pub fn with_defaults(kg: &'kg KnowledgeGraph) -> Self {
         Self::new(kg, SessionConfig::default())
+    }
+
+    /// The shared query-execution context (probability caches, worker
+    /// pool) every engine of this session runs on.
+    pub fn query_context(&self) -> &Arc<QueryContext<'kg>> {
+        self.expander.context()
     }
 
     /// The current view.
@@ -218,10 +234,7 @@ impl<'kg> Session<'kg> {
                 // domain.
                 let mut sf = SfQuery::from_features(vec![feature]);
                 sf.type_filter = self.dominant_type(feature);
-                self.view.query = ExplorationQuery {
-                    keywords: None,
-                    sf,
-                };
+                self.view.query = ExplorationQuery { keywords: None, sf };
                 self.recompute();
                 self.record(&action);
             }
@@ -352,8 +365,7 @@ impl<'kg> Session<'kg> {
                     hits.iter()
                         .map(|h| h.entity)
                         .filter(|&e| {
-                            e == top.entity
-                                || self.kg.types_of(e).any(|t| top_types.contains(&t))
+                            e == top.entity || self.kg.types_of(e).any(|t| top_types.contains(&t))
                         })
                         .take(self.config.pseudo_seeds_from_search)
                         .collect()
@@ -508,7 +520,11 @@ mod tests {
             direction: Direction::FromAnchor,
         };
         let view = s.pivot(sf);
-        assert_eq!(view.query.sf.type_filter, Some(actor), "pivot lands in Actor");
+        assert_eq!(
+            view.query.sf.type_filter,
+            Some(actor),
+            "pivot lands in Actor"
+        );
         for re in &view.entities {
             assert!(kg.has_type(re.entity, actor));
         }
@@ -528,11 +544,7 @@ mod tests {
         assert_eq!(s.view().query, q_before);
         assert_eq!(s.timeline().len(), timeline_before);
         // but the path gained an entity node
-        assert!(s
-            .path()
-            .nodes()
-            .iter()
-            .any(|n| n.kind == NodeKind::Entity));
+        assert!(s.path().nodes().iter().any(|n| n.kind == NodeKind::Entity));
     }
 
     #[test]
@@ -614,10 +626,7 @@ mod tests {
         assert_eq!(s2.timeline(), s.timeline());
         assert_eq!(s2.export_state(), state);
         // restored session recomputes the same recommendations
-        assert_eq!(
-            s2.view().entities.len(),
-            s.view().entities.len()
-        );
+        assert_eq!(s2.view().entities.len(), s.view().entities.len());
     }
 
     #[test]
@@ -639,12 +648,7 @@ mod tests {
         s.pivot(sf);
         let trail = s.path().query_trail();
         assert_eq!(trail.len(), 3, "search, investigate, pivot");
-        let verbs: Vec<&str> = s
-            .path()
-            .edges()
-            .iter()
-            .map(|e| e.action.as_str())
-            .collect();
+        let verbs: Vec<&str> = s.path().edges().iter().map(|e| e.action.as_str()).collect();
         assert!(verbs.contains(&"investigate"));
         assert!(verbs.contains(&"lookup"));
         assert!(verbs.contains(&"pivot"));

@@ -144,8 +144,20 @@ impl Zipf {
 }
 
 const GENRES: &[&str] = &[
-    "Drama", "Comedy", "Thriller", "Romance", "Action", "Science_fiction", "Horror", "War",
-    "Western", "Musical", "Crime", "Adventure", "Mystery", "Fantasy",
+    "Drama",
+    "Comedy",
+    "Thriller",
+    "Romance",
+    "Action",
+    "Science_fiction",
+    "Horror",
+    "War",
+    "Western",
+    "Musical",
+    "Crime",
+    "Adventure",
+    "Mystery",
+    "Fantasy",
 ];
 
 /// (country resource name, adjective used in category names)
@@ -162,36 +174,139 @@ const COUNTRIES: &[(&str, &str)] = &[
 
 const FIRST_NAMES: &[&str] = &[
     "Tom", "Gary", "Robert", "Sally", "Robin", "Mykelti", "Rebecca", "Michael", "Kurt", "Bill",
-    "Ed", "Kathleen", "Gene", "David", "Laura", "Grace", "Henry", "Nora", "Walter", "Iris",
-    "Paul", "Clara", "Victor", "Ruth", "Oscar", "Elena", "Frank", "Maya", "Louis", "Vera",
-    "Arthur", "Stella", "Hugo", "Ada", "Felix", "June", "Max", "Pearl", "Leo", "Faye",
+    "Ed", "Kathleen", "Gene", "David", "Laura", "Grace", "Henry", "Nora", "Walter", "Iris", "Paul",
+    "Clara", "Victor", "Ruth", "Oscar", "Elena", "Frank", "Maya", "Louis", "Vera", "Arthur",
+    "Stella", "Hugo", "Ada", "Felix", "June", "Max", "Pearl", "Leo", "Faye",
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Hanks", "Sinise", "Zemeckis", "Field", "Wright", "Williamson", "Holm", "Keaton", "Russell",
-    "Paxton", "Harris", "Quinlan", "Mercer", "Ashford", "Bellamy", "Crane", "Dunmore", "Ellery",
-    "Fontaine", "Garrick", "Hollis", "Ingram", "Jarvis", "Kessler", "Lindqvist", "Marchetti",
-    "Novak", "Ostrowski", "Pemberton", "Quigley", "Rousseau", "Santoro", "Thackeray", "Ullman",
-    "Vance", "Whitfield", "Yates", "Zielinski", "Ames", "Barrow", "Coyle", "Drummond", "Eastman",
-    "Falk", "Grady", "Hartwell", "Irwin", "Joplin", "Kirby", "Lowell",
+    "Hanks",
+    "Sinise",
+    "Zemeckis",
+    "Field",
+    "Wright",
+    "Williamson",
+    "Holm",
+    "Keaton",
+    "Russell",
+    "Paxton",
+    "Harris",
+    "Quinlan",
+    "Mercer",
+    "Ashford",
+    "Bellamy",
+    "Crane",
+    "Dunmore",
+    "Ellery",
+    "Fontaine",
+    "Garrick",
+    "Hollis",
+    "Ingram",
+    "Jarvis",
+    "Kessler",
+    "Lindqvist",
+    "Marchetti",
+    "Novak",
+    "Ostrowski",
+    "Pemberton",
+    "Quigley",
+    "Rousseau",
+    "Santoro",
+    "Thackeray",
+    "Ullman",
+    "Vance",
+    "Whitfield",
+    "Yates",
+    "Zielinski",
+    "Ames",
+    "Barrow",
+    "Coyle",
+    "Drummond",
+    "Eastman",
+    "Falk",
+    "Grady",
+    "Hartwell",
+    "Irwin",
+    "Joplin",
+    "Kirby",
+    "Lowell",
 ];
 
 const TITLE_ADJ: &[&str] = &[
-    "Silent", "Golden", "Broken", "Distant", "Crimson", "Hidden", "Last", "First", "Burning",
-    "Frozen", "Endless", "Forgotten", "Hollow", "Pale", "Restless", "Savage", "Quiet", "Wild",
-    "Lonely", "Gilded", "Shattered", "Velvet", "Iron", "Amber", "Midnight", "Electric",
+    "Silent",
+    "Golden",
+    "Broken",
+    "Distant",
+    "Crimson",
+    "Hidden",
+    "Last",
+    "First",
+    "Burning",
+    "Frozen",
+    "Endless",
+    "Forgotten",
+    "Hollow",
+    "Pale",
+    "Restless",
+    "Savage",
+    "Quiet",
+    "Wild",
+    "Lonely",
+    "Gilded",
+    "Shattered",
+    "Velvet",
+    "Iron",
+    "Amber",
+    "Midnight",
+    "Electric",
 ];
 
 const TITLE_NOUN: &[&str] = &[
-    "Harbor", "River", "Promise", "Garden", "Empire", "Letter", "Road", "Summer", "Winter",
-    "Shadow", "Horizon", "Station", "Orchard", "Voyage", "Reckoning", "Cartographer", "Lantern",
-    "Parade", "Tide", "Meridian", "Compass", "Archive", "Sparrow", "Monument", "Carousel",
-    "Signal", "Harvest", "Labyrinth", "Overture", "Pilgrim", "Vigil", "Mosaic",
+    "Harbor",
+    "River",
+    "Promise",
+    "Garden",
+    "Empire",
+    "Letter",
+    "Road",
+    "Summer",
+    "Winter",
+    "Shadow",
+    "Horizon",
+    "Station",
+    "Orchard",
+    "Voyage",
+    "Reckoning",
+    "Cartographer",
+    "Lantern",
+    "Parade",
+    "Tide",
+    "Meridian",
+    "Compass",
+    "Archive",
+    "Sparrow",
+    "Monument",
+    "Carousel",
+    "Signal",
+    "Harvest",
+    "Labyrinth",
+    "Overture",
+    "Pilgrim",
+    "Vigil",
+    "Mosaic",
 ];
 
 const BOOK_NOUN: &[&str] = &[
-    "Chronicle", "Testament", "Memoir", "Ballad", "Atlas", "Manifesto", "Diary", "Elegy",
-    "Fable", "Almanac",
+    "Chronicle",
+    "Testament",
+    "Memoir",
+    "Ballad",
+    "Atlas",
+    "Manifesto",
+    "Diary",
+    "Elegy",
+    "Fable",
+    "Almanac",
 ];
 
 /// Unique-name allocator: appends a numeric disambiguator on collision,
@@ -361,7 +476,10 @@ pub fn generate(config: &DatagenConfig) -> KnowledgeGraph {
     let universities: Vec<EntityId> = (0..config.universities)
         .map(|i| {
             let name = namer.claim(
-                format!("University_of_{}", TITLE_NOUN[(i * 3 + 1) % TITLE_NOUN.len()]),
+                format!(
+                    "University_of_{}",
+                    TITLE_NOUN[(i * 3 + 1) % TITLE_NOUN.len()]
+                ),
                 "university",
             );
             let e = b.entity(&name);
@@ -408,24 +526,64 @@ pub fn generate(config: &DatagenConfig) -> KnowledgeGraph {
     // --- people pools --------------------------------------------------
     let city_zipf = Zipf::new(config.cities.max(1), config.zipf_exponent);
     let actors = make_people(
-        &mut b, &mut namer, &mut rng, config.actors, 0, "Actor", &cities, &universities,
-        &city_zipf, &awards,
+        &mut b,
+        &mut namer,
+        &mut rng,
+        config.actors,
+        0,
+        "Actor",
+        &cities,
+        &universities,
+        &city_zipf,
+        &awards,
     );
     let directors = make_people(
-        &mut b, &mut namer, &mut rng, config.directors, 211, "Director", &cities, &universities,
-        &city_zipf, &awards,
+        &mut b,
+        &mut namer,
+        &mut rng,
+        config.directors,
+        211,
+        "Director",
+        &cities,
+        &universities,
+        &city_zipf,
+        &awards,
     );
     let writers = make_people(
-        &mut b, &mut namer, &mut rng, config.writers, 503, "Writer", &cities, &universities,
-        &city_zipf, &awards,
+        &mut b,
+        &mut namer,
+        &mut rng,
+        config.writers,
+        503,
+        "Writer",
+        &cities,
+        &universities,
+        &city_zipf,
+        &awards,
     );
     let composers = make_people(
-        &mut b, &mut namer, &mut rng, config.composers, 811, "MusicComposer", &cities,
-        &universities, &city_zipf, &awards,
+        &mut b,
+        &mut namer,
+        &mut rng,
+        config.composers,
+        811,
+        "MusicComposer",
+        &cities,
+        &universities,
+        &city_zipf,
+        &awards,
     );
     let authors = make_people(
-        &mut b, &mut namer, &mut rng, config.authors, 1301, "Author", &cities, &universities,
-        &city_zipf, &awards,
+        &mut b,
+        &mut namer,
+        &mut rng,
+        config.authors,
+        1301,
+        "Author",
+        &cities,
+        &universities,
+        &city_zipf,
+        &awards,
     );
 
     // Sparse spouse edges among actors (Person↔Person coupling).
@@ -553,7 +711,7 @@ pub fn generate(config: &DatagenConfig) -> KnowledgeGraph {
         b.literal_triple(
             film,
             gross_p,
-            Literal::integer(rng.gen_range(1..=900) * 1_000_000),
+            Literal::integer(rng.gen_range(1..=900i64) * 1_000_000),
         );
         let (_, country_adj) = COUNTRIES[country];
         b.literal_triple(
@@ -565,8 +723,11 @@ pub fn generate(config: &DatagenConfig) -> KnowledgeGraph {
                 year,
                 country_adj,
                 GENRES[g0].replace('_', " ").to_lowercase(),
-                person_name(211, directors.iter().position(|d| d.id == dir.id).unwrap_or(0))
-                    .replace('_', " "),
+                person_name(
+                    211,
+                    directors.iter().position(|d| d.id == dir.id).unwrap_or(0)
+                )
+                .replace('_', " "),
                 runtime,
             )),
         );
@@ -574,10 +735,7 @@ pub fn generate(config: &DatagenConfig) -> KnowledgeGraph {
         // --- film categories (ground-truth classes for eval) -------------
         b.categorized(film, &format!("{country_adj} films"));
         b.categorized(film, &format!("{}s films", year - year % 10));
-        b.categorized(
-            film,
-            &format!("{} films", GENRES[g0].replace('_', " ")),
-        );
+        b.categorized(film, &format!("{} films", GENRES[g0].replace('_', " ")));
         let dir_name = b.entity_display_name_hint(dir.id);
         b.categorized(film, &format!("Films directed by {dir_name}"));
     }
@@ -684,8 +842,21 @@ mod tests {
     fn expected_domains_exist() {
         let kg = generate(&DatagenConfig::tiny());
         for t in [
-            "Film", "Actor", "Director", "Writer", "MusicComposer", "Author", "Book", "City",
-            "Country", "Genre", "Studio", "University", "Award", "Person", "Work",
+            "Film",
+            "Actor",
+            "Director",
+            "Writer",
+            "MusicComposer",
+            "Author",
+            "Book",
+            "City",
+            "Country",
+            "Genre",
+            "Studio",
+            "University",
+            "Award",
+            "Person",
+            "Work",
         ] {
             let tid = kg.type_id(t).unwrap_or_else(|| panic!("missing type {t}"));
             assert!(!kg.type_extent(tid).is_empty(), "empty extent for {t}");

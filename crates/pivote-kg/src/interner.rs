@@ -36,7 +36,8 @@ impl Interner {
         if let Some(&id) = self.by_name.get(name) {
             return id;
         }
-        let id = u32::try_from(self.names.len()).expect("interner overflow: more than u32::MAX names");
+        let id =
+            u32::try_from(self.names.len()).expect("interner overflow: more than u32::MAX names");
         self.names.push(name.to_owned());
         self.by_name.insert(name.to_owned(), id);
         id

@@ -23,7 +23,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "N-Triples parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -143,9 +147,7 @@ fn take_term(rest: &mut &str, lineno: usize) -> Result<Term, ParseError> {
             // optional language tag or datatype
             let mut kind = LiteralKind::String;
             if let Some(stripped) = rest.strip_prefix('@') {
-                let end = stripped
-                    .find([' ', '\t'])
-                    .unwrap_or(stripped.len());
+                let end = stripped.find([' ', '\t']).unwrap_or(stripped.len());
                 *rest = &stripped[end..];
             } else if let Some(stripped) = rest.strip_prefix("^^<") {
                 let end = stripped
@@ -173,9 +175,7 @@ fn take_quoted(input: &str, lineno: usize) -> Result<(String, usize), ParseError
         match c {
             '"' => return Ok((out, i + 1)),
             '\\' => {
-                let (_, esc) = chars
-                    .next()
-                    .ok_or_else(|| err(lineno, "dangling escape"))?;
+                let (_, esc) = chars.next().ok_or_else(|| err(lineno, "dangling escape"))?;
                 out.push(match esc {
                     'n' => '\n',
                     't' => '\t',
@@ -309,7 +309,10 @@ mod tests {
         let gump = kg.entity("Forrest_Gump").unwrap();
         assert_eq!(kg.label(gump), Some("Forrest Gump"));
         assert!(kg.type_id("Film").is_some());
-        assert_eq!(kg.category_name(kg.categories_of(gump).next().unwrap()), "American films");
+        assert_eq!(
+            kg.category_name(kg.categories_of(gump).next().unwrap()),
+            "American films"
+        );
         let starring = kg.predicate("starring").unwrap();
         assert_eq!(kg.objects(gump, starring).len(), 1);
         let lit: Vec<_> = kg.literals(gump).collect();

@@ -45,8 +45,14 @@ mod tests {
 
     #[test]
     fn local_name_extraction() {
-        assert_eq!(local_name("http://dbpedia.org/resource/Forrest_Gump"), "Forrest_Gump");
-        assert_eq!(local_name("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"), "type");
+        assert_eq!(
+            local_name("http://dbpedia.org/resource/Forrest_Gump"),
+            "Forrest_Gump"
+        );
+        assert_eq!(
+            local_name("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+            "type"
+        );
         assert_eq!(local_name("plain"), "plain");
         assert_eq!(local_name(""), "");
     }

@@ -186,7 +186,9 @@ pub fn load(r: &mut impl Read) -> Result<KnowledgeGraph, SnapshotError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(SnapshotError::Format("bad magic — not a PVTE snapshot".into()));
+        return Err(SnapshotError::Format(
+            "bad magic — not a PVTE snapshot".into(),
+        ));
     }
     let version = read_u32(r)?;
     if version != VERSION {
@@ -231,7 +233,9 @@ pub fn load(r: &mut impl Read) -> Result<KnowledgeGraph, SnapshotError> {
         if (id as usize) < n {
             Ok(EntityId::new(id))
         } else {
-            Err(SnapshotError::Format(format!("entity id {id} out of range")))
+            Err(SnapshotError::Format(format!(
+                "entity id {id} out of range"
+            )))
         }
     };
 
@@ -286,7 +290,10 @@ pub fn load(r: &mut impl Read) -> Result<KnowledgeGraph, SnapshotError> {
 }
 
 /// Save to a file path.
-pub fn save_to_path(kg: &KnowledgeGraph, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
+pub fn save_to_path(
+    kg: &KnowledgeGraph,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), SnapshotError> {
     let mut file = io::BufWriter::new(std::fs::File::create(path)?);
     save(kg, &mut file)?;
     file.flush()?;

@@ -81,13 +81,13 @@ impl TypeCouplingStats {
             })
             .collect();
         all.sort_unstable_by(|a, b| {
-            b.count
-                .cmp(&a.count)
-                .then_with(|| (a.subject_type, a.predicate, a.object_type).cmp(&(
+            b.count.cmp(&a.count).then_with(|| {
+                (a.subject_type, a.predicate, a.object_type).cmp(&(
                     b.subject_type,
                     b.predicate,
                     b.object_type,
-                )))
+                ))
+            })
         });
         all.truncate(limit);
         all
@@ -132,7 +132,12 @@ impl TypeCouplingStats {
     /// Conditional strength of a coupling: the fraction of `t`-subject
     /// triples (counted per subject type) that land on `object_type` via
     /// `predicate`. In `[0, 1]`.
-    pub fn strength(&self, subject_type: TypeId, predicate: PredicateId, object_type: TypeId) -> f64 {
+    pub fn strength(
+        &self,
+        subject_type: TypeId,
+        predicate: PredicateId,
+        object_type: TypeId,
+    ) -> f64 {
         let n = self.count(subject_type, predicate, object_type);
         let d = self
             .per_subject_type

@@ -369,7 +369,9 @@ impl KnowledgeGraph {
     /// Total statements: entity edges + literal edges + type + category
     /// assertions.
     pub fn triple_count(&self) -> usize {
-        self.out.len() + self.lit.preds.len() + self.entity_types.items.len()
+        self.out.len()
+            + self.lit.preds.len()
+            + self.entity_types.items.len()
             + self.entity_cats.items.len()
     }
 

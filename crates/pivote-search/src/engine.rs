@@ -200,7 +200,8 @@ mod tests {
         let hits = engine.search(&label, 10);
         assert!(!hits.is_empty());
         assert_eq!(
-            hits[0].entity, f,
+            hits[0].entity,
+            f,
             "query {label:?} should rank its own entity first, got {:?}",
             kg.display_name(hits[0].entity)
         );

@@ -193,7 +193,9 @@ mod tests {
         let kg = kg();
         let hanks = kg.entity("Tom_Hanks").unwrap();
         let r = FiveFieldRepr::build(&kg, hanks, 64);
-        assert!(r.field(Field::RelatedNames).contains(&"Forrest Gump".to_owned()));
+        assert!(r
+            .field(Field::RelatedNames)
+            .contains(&"Forrest Gump".to_owned()));
     }
 
     #[test]

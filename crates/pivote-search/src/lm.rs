@@ -128,7 +128,9 @@ impl MixtureLm {
                 }
                 let fi = index.field(field);
                 let tf = fi.posting(term).map(|p| p.tf(doc)).unwrap_or(0);
-                let p = self.smoothing.prob(tf, fi.doc_len(doc), fi.collection_prob(term));
+                let p = self
+                    .smoothing
+                    .prob(tf, fi.doc_len(doc), fi.collection_prob(term));
                 mix += weight * p;
             }
             // mix > 0 because collection probs are floored.

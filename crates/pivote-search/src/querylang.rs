@@ -66,10 +66,7 @@ pub fn parse_query(analyzer: &Analyzer, raw: &str) -> ParsedQuery {
             None => (None, chunk),
         };
         for token in analyzer.analyze(body) {
-            terms.push(QueryTerm {
-                term: token,
-                field,
-            });
+            terms.push(QueryTerm { term: token, field });
         }
     }
     ParsedQuery { terms }

@@ -233,9 +233,9 @@ fn enumerate_edge(
     let object = resolve_node(kg, &pattern.object, bindings);
 
     let visit = |s: EntityId,
-                     p: PredicateId,
-                     o: Value,
-                     each: &mut dyn FnMut(Vec<(String, Value)>) -> bool|
+                 p: PredicateId,
+                 o: Value,
+                 each: &mut dyn FnMut(Vec<(String, Value)>) -> bool|
      -> bool {
         let mut new_bindings: Vec<(String, Value)> = Vec::with_capacity(3);
         if let Resolved::Unbound(v) = resolve_node(kg, &pattern.subject, bindings) {
@@ -459,8 +459,7 @@ fn enumerate_label(
         }
         (Resolved::Unbound(sv), Term::Literal(want)) => {
             for e in kg.entity_ids() {
-                if kg.label(e) == Some(want.as_str())
-                    && !each(vec![(sv.clone(), Value::Entity(e))])
+                if kg.label(e) == Some(want.as_str()) && !each(vec![(sv.clone(), Value::Entity(e))])
                 {
                     return;
                 }
@@ -559,11 +558,7 @@ mod tests {
         let rs = query(&kg, "SELECT ?f WHERE { ?f a dbo:Film }").unwrap();
         assert_eq!(rs.len(), 3);
         // bound-subject check
-        let rs = query(
-            &kg,
-            "SELECT * WHERE { dbr:Tom_Hanks a dbo:Actor }",
-        )
-        .unwrap();
+        let rs = query(&kg, "SELECT * WHERE { dbr:Tom_Hanks a dbo:Actor }").unwrap();
         assert_eq!(rs.len(), 1, "fully bound type check should yield one row");
         let rs = query(&kg, "SELECT * WHERE { dbr:Tom_Hanks a dbo:Film }").unwrap();
         assert!(rs.is_empty());
@@ -583,11 +578,7 @@ mod tests {
     #[test]
     fn label_lookup_both_directions() {
         let kg = kg();
-        let rs = query(
-            &kg,
-            "SELECT ?e WHERE { ?e rdfs:label \"Forrest Gump\" }",
-        )
-        .unwrap();
+        let rs = query(&kg, "SELECT ?e WHERE { ?e rdfs:label \"Forrest Gump\" }").unwrap();
         assert_eq!(names(&kg, &rs, 0), vec!["Forrest_Gump"]);
         let rs = query(&kg, "SELECT ?l WHERE { dbr:Tom_Hanks rdfs:label ?l }").unwrap();
         assert_eq!(names(&kg, &rs, 0), vec!["Tom Hanks"]);
@@ -596,11 +587,7 @@ mod tests {
     #[test]
     fn literal_object_pattern() {
         let kg = kg();
-        let rs = query(
-            &kg,
-            "SELECT ?f WHERE { ?f dbo:runtime \"142\" }",
-        )
-        .unwrap();
+        let rs = query(&kg, "SELECT ?f WHERE { ?f dbo:runtime \"142\" }").unwrap();
         assert_eq!(names(&kg, &rs, 0), vec!["Forrest_Gump"]);
     }
 

@@ -19,7 +19,11 @@ pub struct SparqlError {
 
 impl std::fmt::Display for SparqlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SPARQL parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "SPARQL parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -272,7 +276,9 @@ impl Parser {
                     break;
                 }
                 Some(Token::Keyword(k)) if k == "WHERE" => break,
-                other => return Err(self.error(format!("expected ?var, * or WHERE, found {other:?}"))),
+                other => {
+                    return Err(self.error(format!("expected ?var, * or WHERE, found {other:?}")))
+                }
             }
         }
         self.expect_keyword("WHERE")?;
@@ -310,7 +316,9 @@ impl Parser {
             self.next();
             match self.next() {
                 Some(Token::Number(n)) => limit = Some(n),
-                other => return Err(self.error(format!("expected number after LIMIT, found {other:?}"))),
+                other => {
+                    return Err(self.error(format!("expected number after LIMIT, found {other:?}")))
+                }
             }
         }
         if self.peek().is_some() {
@@ -367,28 +375,20 @@ mod tests {
             q.patterns[0].object,
             Term::Iri("http://dbpedia.org/resource/Tom_Hanks".into())
         );
-        assert_eq!(
-            q.patterns[1].predicate,
-            Term::Iri(RDF_TYPE_IRI.into())
-        );
+        assert_eq!(q.patterns[1].predicate, Term::Iri(RDF_TYPE_IRI.into()));
     }
 
     #[test]
     fn select_star_and_multi_patterns() {
-        let q = parse(
-            "SELECT * WHERE { ?f dbo:starring ?a . ?f dbo:director ?d }",
-        )
-        .unwrap();
+        let q = parse("SELECT * WHERE { ?f dbo:starring ?a . ?f dbo:director ?d }").unwrap();
         assert!(q.projection.is_empty());
         assert_eq!(q.effective_projection(), vec!["f", "a", "d"]);
     }
 
     #[test]
     fn literal_objects_and_comments() {
-        let q = parse(
-            "# find by label\nSELECT ?e WHERE { ?e rdfs:label \"Forrest Gump\" . }",
-        )
-        .unwrap();
+        let q =
+            parse("# find by label\nSELECT ?e WHERE { ?e rdfs:label \"Forrest Gump\" . }").unwrap();
         assert_eq!(q.patterns[0].object, Term::Literal("Forrest Gump".into()));
     }
 
@@ -408,7 +408,10 @@ mod tests {
             ("SELECT ?x WHERE { }", "empty"),
             ("SELECT ?x WHERE { ?x unknown:p ?o }", "unknown prefix"),
             ("SELECT ?x WHERE { ?x <open ?o }", "unterminated IRI"),
-            ("SELECT ?x WHERE { ?x dbo:p \"open }", "unterminated literal"),
+            (
+                "SELECT ?x WHERE { ?x dbo:p \"open }",
+                "unterminated literal",
+            ),
             ("SELECT ?x WHERE { ?x dbo:p ?o } LIMIT ?x", "number"),
             ("SELECT ?x WHERE { ?x dbo:p ?o } garbage", "trailing"),
         ] {

@@ -63,10 +63,7 @@ mod tests {
     #[test]
     fn plain_chain_preserves_everything() {
         let a = Analyzer::plain();
-        assert_eq!(
-            a.analyze("The Films"),
-            vec!["the", "films"]
-        );
+        assert_eq!(a.analyze("The Films"), vec!["the", "films"]);
     }
 
     #[test]

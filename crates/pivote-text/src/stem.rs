@@ -14,7 +14,12 @@ pub fn stem(token: &str) -> String {
         }
     }
     if let Some(base) = t.strip_suffix("es") {
-        if base.len() >= 3 && (base.ends_with("ss") || base.ends_with('x') || base.ends_with("ch") || base.ends_with("sh")) {
+        if base.len() >= 3
+            && (base.ends_with("ss")
+                || base.ends_with('x')
+                || base.ends_with("ch")
+                || base.ends_with("sh"))
+        {
             return base.to_owned();
         }
     }

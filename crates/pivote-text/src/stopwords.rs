@@ -3,8 +3,8 @@
 /// Stopwords removed from indexed text and queries.
 pub const STOPWORDS: &[&str] = &[
     "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "her", "his",
-    "in", "is", "it", "its", "of", "on", "or", "she", "that", "the", "they", "this", "to",
-    "was", "were", "will", "with",
+    "in", "is", "it", "its", "of", "on", "or", "she", "that", "the", "they", "this", "to", "was",
+    "were", "will", "with",
 ];
 
 /// Whether `token` (already lowercased) is a stopword.

@@ -18,9 +18,11 @@ pub fn heatmap_ascii(kg: &KnowledgeGraph, hm: &HeatMap, max_label: usize) -> Str
     }
     out.push('\n');
     for (row, rf) in hm.features.iter().enumerate() {
+        // char-based truncation: labels can hold multi-byte chars (the
+        // `→` direction marker), where a byte-indexed truncate panics
         let mut label = rf.feature.display(kg);
-        if label.len() > max_label {
-            label.truncate(max_label.saturating_sub(1));
+        if label.chars().count() > max_label {
+            label = label.chars().take(max_label.saturating_sub(1)).collect();
             label.push('…');
         }
         let _ = write!(out, "{label:<max_label$} ");
@@ -87,7 +89,11 @@ pub fn heatmap_html(kg: &KnowledgeGraph, hm: &HeatMap) -> String {
          </style></head><body>\n<h1>entity × semantic-feature correlation</h1>\n<table>\n<tr><th></th>",
     );
     for &e in &hm.entities {
-        let _ = write!(out, "<th class=\"col\">{}</th>", escape(&kg.display_name(e)));
+        let _ = write!(
+            out,
+            "<th class=\"col\">{}</th>",
+            escape(&kg.display_name(e))
+        );
     }
     out.push_str("</tr>\n");
     for (row, rf) in hm.features.iter().enumerate() {
@@ -130,12 +136,9 @@ mod tests {
     fn ascii_has_one_row_per_feature_plus_legend() {
         let (kg, hm) = heatmap();
         let text = heatmap_ascii(&kg, &hm, 30);
-        let grid_rows = text
-            .lines()
-            .take_while(|l| !l.is_empty())
-            .count();
+        let grid_rows = text.lines().take_while(|l| !l.is_empty()).count();
         assert_eq!(grid_rows, hm.height() + 1); // header + rows
-        // legend lists every entity
+                                                // legend lists every entity
         for &e in &hm.entities {
             assert!(text.contains(&kg.display_name(e)));
         }
@@ -145,7 +148,11 @@ mod tests {
     fn ascii_truncates_long_labels() {
         let (kg, hm) = heatmap();
         let text = heatmap_ascii(&kg, &hm, 8);
-        assert!(text.lines().skip(1).take(hm.height()).all(|l| !l.is_empty()));
+        assert!(text
+            .lines()
+            .skip(1)
+            .take(hm.height())
+            .all(|l| !l.is_empty()));
     }
 
     #[test]
@@ -167,5 +174,30 @@ mod tests {
         let rects = svg.matches("<rect").count();
         assert_eq!(rects, hm.width() * hm.height());
         assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn truncation_is_char_boundary_safe() {
+        // FromAnchor labels end in the multi-byte `→`; every truncation
+        // width must cut on a char boundary (this used to panic when the
+        // cut landed inside the arrow). Actor seeds surface FromAnchor
+        // features.
+        let kg = generate(&DatagenConfig::tiny());
+        let actor = kg.type_id("Actor").unwrap();
+        let seed = kg.type_extent(actor)[0];
+        let ex = Expander::new(&kg, RankingConfig::default());
+        let res = ex.expand(&SfQuery::from_seeds(vec![seed]), 6, 5);
+        let entities: Vec<_> = res.entities.iter().map(|re| re.entity).collect();
+        let hm = HeatMap::compute(ex.ranker(), &entities, &res.features);
+        assert!(
+            hm.features
+                .iter()
+                .any(|rf| !rf.feature.display(&kg).is_ascii()),
+            "fixture should include a multi-byte label"
+        );
+        for width in 1..40 {
+            let text = heatmap_ascii(&kg, &hm, width);
+            assert!(!text.is_empty());
+        }
     }
 }

@@ -83,7 +83,13 @@ mod tests {
         s.click_entity(f);
         s.lookup(s.view().entities[0].entity);
         let screen = render_view(&kg, s.view());
-        for area in ["query", "entities (Fig 3-c)", "semantic features (Fig 3-e)", "heat map (Fig 3-f)", "entity presentation (Fig 3-d)"] {
+        for area in [
+            "query",
+            "entities (Fig 3-c)",
+            "semantic features (Fig 3-e)",
+            "heat map (Fig 3-f)",
+            "entity presentation (Fig 3-d)",
+        ] {
             assert!(screen.contains(area), "missing {area}");
         }
     }

@@ -107,11 +107,17 @@ pub fn path_svg(path: &ExplorationPath) -> String {
         };
         doc.rect(x, y, BOX_W, BOX_H, fill, Some("#333333"));
         let mut label = node.label.clone();
-        if label.len() > 26 {
-            label.truncate(25);
+        if label.chars().count() > 26 {
+            label = label.chars().take(25).collect();
             label.push('…');
         }
-        doc.text(x + BOX_W / 2.0, y + BOX_H / 2.0 + 3.0, 8.5, "middle", &label);
+        doc.text(
+            x + BOX_W / 2.0,
+            y + BOX_H / 2.0 + 3.0,
+            8.5,
+            "middle",
+            &label,
+        );
     }
     let _ = escape; // escape handled inside SvgDoc::text
     doc.finish()
@@ -123,10 +129,25 @@ mod tests {
 
     fn sample_path() -> ExplorationPath {
         let mut p = ExplorationPath::new();
-        p.advance(NodeKind::Query, "keywords: \"forrest gump\"", Some(0), "search");
-        p.advance(NodeKind::Query, "seeds: Forrest Gump", Some(1), "investigate");
+        p.advance(
+            NodeKind::Query,
+            "keywords: \"forrest gump\"",
+            Some(0),
+            "search",
+        );
+        p.advance(
+            NodeKind::Query,
+            "seeds: Forrest Gump",
+            Some(1),
+            "investigate",
+        );
         p.branch(NodeKind::Entity, "Tom Hanks", "lookup");
-        p.advance(NodeKind::Query, "features: Tom_Hanks:starring", Some(2), "pivot");
+        p.advance(
+            NodeKind::Query,
+            "features: Tom_Hanks:starring",
+            Some(2),
+            "pivot",
+        );
         p
     }
 

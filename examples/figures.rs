@@ -28,13 +28,19 @@ fn main() {
         .unwrap();
 
     // ---- Table 1 --------------------------------------------------------
-    println!("== Table 1: five-field representation of {} ==", kg.display_name(flagship));
+    println!(
+        "== Table 1: five-field representation of {} ==",
+        kg.display_name(flagship)
+    );
     let engine = SearchEngine::with_defaults(&kg);
     let repr = engine.representation(&kg, flagship);
     println!("{}", repr.to_table(3));
 
     // ---- Fig. 1-a -------------------------------------------------------
-    println!("== Fig. 1-a: local semantic features of {} ==", kg.display_name(flagship));
+    println!(
+        "== Fig. 1-a: local semantic features of {} ==",
+        kg.display_name(flagship)
+    );
     let expander = Expander::new(&kg, RankingConfig::default());
     let mut features = features_of(&kg, flagship);
     features.sort_by(|a, b| {
@@ -45,11 +51,7 @@ fn main() {
             .unwrap()
     });
     for sf in features.iter().take(10) {
-        println!(
-            "  {:<44} ‖E(π)‖ = {}",
-            sf.display(&kg),
-            sf.extent_size(&kg)
-        );
+        println!("  {:<44} ‖E(π)‖ = {}", sf.display(&kg), sf.extent_size(&kg));
     }
     println!();
 
@@ -64,7 +66,10 @@ fn main() {
     .expect("write fig1b");
 
     // ---- Fig. 3 ---------------------------------------------------------
-    println!("== Fig. 3: the matrix interface for seed {} ==", kg.display_name(flagship));
+    println!(
+        "== Fig. 3: the matrix interface for seed {} ==",
+        kg.display_name(flagship)
+    );
     let mut session = Session::with_defaults(&kg);
     session.click_entity(flagship);
     session.lookup(flagship);

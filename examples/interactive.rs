@@ -104,7 +104,10 @@ fn main() {
             },
             "stats" => {
                 let stats = pivote::pivote_explore::session_stats(&kg, &session);
-                println!("{}", serde_json::to_string_pretty(&stats).expect("stats serialize"));
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&stats).expect("stats serialize")
+                );
             }
             "save" => {
                 let file = if arg.is_empty() { "session.json" } else { arg };

@@ -29,7 +29,10 @@ fn main() {
     // 2. The user clicks the film: investigation begins (same-type
     //    expansion, auto type filter).
     let view = session.click_entity(gump);
-    println!("\n-- investigating films similar to {} --", kg.display_name(gump));
+    println!(
+        "\n-- investigating films similar to {} --",
+        kg.display_name(gump)
+    );
     for re in view.entities.iter().take(8) {
         println!("  {:<40} {:.4}", kg.display_name(re.entity), re.score);
     }

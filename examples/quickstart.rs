@@ -27,11 +27,7 @@ fn main() {
 
     // 3. Investigation: expand a seed film into similar films + features.
     let expander = Expander::new(&kg, RankingConfig::default());
-    let result = expander.expand(
-        &SfQuery::from_seeds(vec![flagship]).with_type(film),
-        8,
-        6,
-    );
+    let result = expander.expand(&SfQuery::from_seeds(vec![flagship]).with_type(film), 8, 6);
     println!("\nfilms similar to {:?}:", kg.display_name(flagship));
     for re in &result.entities {
         println!("  {:<40} {:.4}", kg.display_name(re.entity), re.score);

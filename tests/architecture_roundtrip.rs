@@ -18,7 +18,10 @@ fn search_engine_feeds_recommendation_engine() {
     let target = kg.type_extent(film)[0];
     let view = session.submit_keywords(&kg.display_name(target));
     assert!(!view.entities.is_empty(), "search produced no entities");
-    assert_eq!(view.entities[0].entity, target, "label query must rank its entity first");
+    assert_eq!(
+        view.entities[0].entity, target,
+        "label query must rank its entity first"
+    );
 
     // search result -> recommendation engine: click = investigate.
     let view = session.click_entity(target);

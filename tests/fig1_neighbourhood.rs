@@ -41,7 +41,10 @@ fn feature_extents_identify_search_directions() {
         .flat_map(|sf| kg.types_of(sf.anchor).collect::<Vec<_>>())
         .collect();
     assert!(anchor_types.contains(&actor), "Actor direction missing");
-    assert!(anchor_types.contains(&director), "Director direction missing");
+    assert!(
+        anchor_types.contains(&director),
+        "Director direction missing"
+    );
 }
 
 #[test]

@@ -42,11 +42,25 @@ fn rankings_survive_the_roundtrip() {
         .iter()
         .map(|re| kg2.entity_name(re.entity).to_owned())
         .collect();
-    assert_eq!(names1, names2, "entity ranking changed across the round-trip");
+    assert_eq!(
+        names1, names2,
+        "entity ranking changed across the round-trip"
+    );
 
-    let feats1: Vec<String> = r1.features.iter().map(|rf| rf.feature.display(&kg)).collect();
-    let feats2: Vec<String> = r2.features.iter().map(|rf| rf.feature.display(&kg2)).collect();
-    assert_eq!(feats1, feats2, "feature ranking changed across the round-trip");
+    let feats1: Vec<String> = r1
+        .features
+        .iter()
+        .map(|rf| rf.feature.display(&kg))
+        .collect();
+    let feats2: Vec<String> = r2
+        .features
+        .iter()
+        .map(|rf| rf.feature.display(&kg2))
+        .collect();
+    assert_eq!(
+        feats1, feats2,
+        "feature ranking changed across the round-trip"
+    );
     for (a, b) in r1.features.iter().zip(r2.features.iter()) {
         assert!((a.score - b.score).abs() < 1e-12);
     }

@@ -17,7 +17,10 @@ fn sample_loads_with_paper_entities() {
     let kg = sample();
     let gump = kg.entity("Forrest_Gump").expect("Forrest_Gump");
     assert_eq!(kg.label(gump), Some("Forrest Gump"));
-    assert_eq!(kg.aliases(gump), &["Geenbow".to_owned(), "Gumpian".to_owned()]);
+    assert_eq!(
+        kg.aliases(gump),
+        &["Geenbow".to_owned(), "Gumpian".to_owned()]
+    );
     assert!(kg.type_id("Film").is_some());
     assert!(kg.category_id("American films").is_some());
 }
@@ -28,11 +31,7 @@ fn tom_hanks_starring_extent_matches_fig1() {
     let hanks = kg.entity("Tom_Hanks").unwrap();
     let starring = kg.predicate("starring").unwrap();
     let sf = SemanticFeature::to_anchor(hanks, starring);
-    let films: Vec<&str> = sf
-        .extent(&kg)
-        .iter()
-        .map(|&e| kg.entity_name(e))
-        .collect();
+    let films: Vec<&str> = sf.extent(&kg).iter().map(|&e| kg.entity_name(e)).collect();
     assert_eq!(films.len(), 3);
     for f in ["Forrest_Gump", "Apollo_13_(film)", "Cast_Away"] {
         assert!(films.contains(&f), "missing {f}");
@@ -75,11 +74,8 @@ fn find_films_starring_tom_hanks_three_ways() {
         .collect();
 
     // 2. the structured way: SPARQL
-    let rs = pivote_sparql::query(
-        &kg,
-        "SELECT ?f WHERE { ?f dbo:starring dbr:Tom_Hanks }",
-    )
-    .unwrap();
+    let rs =
+        pivote_sparql::query(&kg, "SELECT ?f WHERE { ?f dbo:starring dbr:Tom_Hanks }").unwrap();
     let via_sparql: Vec<EntityId> = rs
         .rows
         .iter()

@@ -51,7 +51,9 @@ fn scenario_entity_investigation() {
     // profile lookup redirects to Wikipedia
     s.lookup(gump);
     let profile = s.view().focus.as_ref().unwrap();
-    assert!(profile.wikipedia_url.starts_with("https://en.wikipedia.org/wiki/"));
+    assert!(profile
+        .wikipedia_url
+        .starts_with("https://en.wikipedia.org/wiki/"));
 }
 
 /// §3.2 Search domain exploration: investigate films, understand the
@@ -71,7 +73,10 @@ fn scenario_search_domain_exploration() {
 
     // the heat map explains the recommendation
     let hm = &s.view().heatmap;
-    assert!(hm.levels.iter().any(|&l| l >= 5), "some strong correlations");
+    assert!(
+        hm.levels.iter().any(|&l| l >= 5),
+        "some strong correlations"
+    );
 
     // explanation between the top two recommended films mentions a shared
     // anchor (the Tom_Hanks/Gary_Sinise pattern of the paper)
@@ -92,10 +97,7 @@ fn scenario_search_domain_exploration() {
     });
     assert_eq!(view.query.sf.type_filter, Some(actor));
     assert!(!view.entities.is_empty());
-    assert!(view
-        .entities
-        .iter()
-        .all(|re| kg.has_type(re.entity, actor)));
+    assert!(view.entities.iter().all(|re| kg.has_type(re.entity, actor)));
 
     // and back out to films of the top actor
     let top_actor = view.entities[0].entity;

@@ -51,11 +51,8 @@ fn type_pattern_equals_type_extent() {
     let kg = kg();
     for type_name in ["Film", "Actor", "Director", "Book"] {
         let t = kg.type_id(type_name).unwrap();
-        let rs = pivote_sparql::query(
-            &kg,
-            &format!("SELECT ?e WHERE {{ ?e a dbo:{type_name} }}"),
-        )
-        .unwrap();
+        let rs = pivote_sparql::query(&kg, &format!("SELECT ?e WHERE {{ ?e a dbo:{type_name} }}"))
+            .unwrap();
         assert_eq!(entities_of(&rs, 0), kg.type_extent(t), "{type_name}");
     }
 }

@@ -1,0 +1,282 @@
+//! Minimal in-repo stand-in for `criterion`.
+//!
+//! Implements the subset of criterion's API the workspace benches use:
+//! `Criterion::benchmark_group`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement: per benchmark, one warmup round sizes the iteration count
+//! so a sample takes ≥ ~25 ms, then `sample_size` samples are timed.
+//! Median, mean and min are printed as a table row on stdout — and, when
+//! the `BENCH_JSON` environment variable names a file, appended to it as
+//! JSON lines for machine consumption (one object per benchmark).
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time of one sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            group: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Register a stand-alone benchmark (implicit group `""`).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            _parent: self,
+            group: String::new(),
+            sample_size: 10,
+        };
+        g.bench_function(id, f);
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&self.group, &id.0, &bencher.samples);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        report(&self.group, &id.0, &bencher.samples);
+        self
+    }
+
+    /// Close the group (report already printed incrementally).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark, optionally parameterized.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// How `iter_batched` amortizes setup cost.
+pub enum BatchSize {
+    /// Fresh setup for every routine call.
+    PerIteration,
+    /// Few large batches (treated like `PerIteration` here).
+    SmallInput,
+    /// One batch per sample (treated like `PerIteration` here).
+    LargeInput,
+}
+
+/// Times closures; collected samples are per-iteration durations.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warmup + calibration: how many iterations fill TARGET_SAMPLE?
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    /// Time `routine` over fresh inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{group}/{id}: median {}  mean {}  min {}  (n={})",
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(min),
+        sorted.len()
+    );
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"group\":\"{group}\",\"bench\":\"{id}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"samples\":{}}}",
+                median.as_nanos(),
+                mean.as_nanos(),
+                min.as_nanos(),
+                sorted.len()
+            );
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Group benchmark functions into one registry function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_calls_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t2");
+        g.sample_size(5);
+        let mut setups = 0u32;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8, 2, 3]
+                },
+                |v| v.len(),
+                BatchSize::PerIteration,
+            )
+        });
+        assert_eq!(setups, 5);
+    }
+}

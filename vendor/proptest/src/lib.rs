@@ -1,0 +1,416 @@
+//! Minimal in-repo stand-in for `proptest`.
+//!
+//! Deterministic randomized property testing: the [`proptest!`] macro
+//! expands each property into a `#[test]` that draws `ProptestConfig::cases`
+//! inputs from [`Strategy`] values and runs the body. The RNG is seeded
+//! from the property's name, so failures reproduce across runs and
+//! machines. No shrinking — a failing case panics with the assertion
+//! message (inputs are in scope, so include them via format args when
+//! helpful).
+//!
+//! Supported strategies — exactly the workspace's usage: integer ranges,
+//! tuples of strategies, regex-like pattern strings (`"[a-z0-9]{1,12}"`,
+//! `".{0,80}"`), `prop_map`, and `collection::{vec, btree_set, hash_set}`.
+
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+
+/// Re-exports used via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Per-property configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic test RNG (xoshiro-style splitmix stream).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed deterministically from a property name.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        // DefaultHasher::new() is keyless and stable for a given std
+        name.hash(&mut h);
+        Self(h.finish() | 1)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Pattern-string strategies: a subset of regex sufficient for the
+/// workspace (`.`, `[a-zA-Z0-9_]` classes with ranges, `{m,n}` repeats,
+/// plain literal characters).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // one unit: '.', a class, or a literal char
+        let pool: Vec<char> = match chars[i] {
+            '.' => {
+                i += 1;
+                // printable ASCII plus a couple of multibyte chars to
+                // stress UTF-8 handling
+                let mut p: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+                p.extend(['é', 'ß', '中', '—']);
+                p
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unterminated character class")
+                    + i;
+                let mut p = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        for c in lo..=hi {
+                            p.push(char::from_u32(c).expect("valid class range"));
+                        }
+                        j += 3;
+                    } else {
+                        p.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                p
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // optional {m,n} repetition
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated repetition")
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("repeat min"),
+                    n.trim().parse::<usize>().expect("repeat max"),
+                ),
+                None => {
+                    let n = spec.trim().parse::<usize>().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let n = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(pool[rng.below(pool.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+    use std::collections::{BTreeSet, HashSet};
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// `BTreeSet` with up to `size` elements.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// `HashSet` with up to `size` elements.
+    pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S> {
+        HashSetStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = sample_size(&self.size, rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = sample_size(&self.size, rng);
+            let mut out = BTreeSet::new();
+            // duplicates shrink the set, like proptest's behavior
+            for _ in 0..target {
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// See [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = sample_size(&self.size, rng);
+            let mut out = HashSet::new();
+            for _ in 0..target {
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    fn sample_size(size: &Range<usize>, rng: &mut TestRng) -> usize {
+        assert!(size.start < size.end, "empty size range");
+        size.start + rng.below((size.end - size.start) as u64) as usize
+    }
+}
+
+pub use collection::{BTreeSetStrategy, HashSetStrategy, VecStrategy};
+
+/// Assert inside a property (panics with context; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define properties: each `fn name(arg in strategy, ...)` block becomes a
+/// `#[test]` running `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+    use crate as proptest;
+
+    #[test]
+    fn pattern_class_with_repeat() {
+        let mut rng = TestRng::from_name("t1");
+        for _ in 0..200 {
+            let s = super::generate_pattern("[a-zA-Z0-9_]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn pattern_dot_repeat_allows_empty() {
+        let mut rng = TestRng::from_name("t2");
+        let mut saw_empty = false;
+        for _ in 0..300 {
+            let s = super::generate_pattern(".{0,3}", &mut rng);
+            assert!(s.chars().count() <= 3);
+            saw_empty |= s.is_empty();
+        }
+        assert!(saw_empty);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_draws_in_range(x in 3u32..17, pair in (0u8..4, 0usize..9)) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(pair.0 < 4 && pair.1 < 9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        /// Config is honored (implicitly: this must terminate fast).
+        #[test]
+        fn configured_cases_run(v in proptest::collection::vec(0u32..10, 0..5)) {
+            prop_assert!(v.len() < 5);
+        }
+    }
+}
