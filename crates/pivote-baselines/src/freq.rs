@@ -6,10 +6,9 @@
 //! ranking model itself (every candidate here is scored by raw overlap).
 
 use crate::{select_top_k, EntityExpansion};
-use pivote_core::{features_of, QueryContext};
+use pivote_core::GraphHandle;
 use pivote_kg::EntityId;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// The raw-overlap baseline.
 #[derive(Debug, Default, Clone, Copy)]
@@ -22,22 +21,21 @@ impl EntityExpansion for FreqOverlapExpansion {
 
     fn expand_in(
         &self,
-        ctx: &Arc<QueryContext<'_>>,
+        handle: &GraphHandle<'_>,
         seeds: &[EntityId],
         k: usize,
     ) -> Vec<(EntityId, f64)> {
-        let kg = ctx.kg();
         if seeds.is_empty() || k == 0 {
             return Vec::new();
         }
         // count, per candidate, how many of the seeds' features it has
         let mut counts: HashMap<EntityId, f64> = HashMap::new();
         let mut seed_features: Vec<pivote_core::SemanticFeature> =
-            seeds.iter().flat_map(|&s| features_of(kg, s)).collect();
+            seeds.iter().flat_map(|&s| handle.features_of(s)).collect();
         seed_features.sort_unstable();
         seed_features.dedup();
         for sf in seed_features {
-            for &e in sf.extent(kg) {
+            for &e in handle.feature_extent(sf).as_ref() {
                 *counts.entry(e).or_default() += 1.0;
             }
         }

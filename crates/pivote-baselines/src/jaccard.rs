@@ -8,25 +8,12 @@
 
 use crate::{select_top_k, EntityExpansion};
 use pivote_core::extent::intersect_len;
-use pivote_core::QueryContext;
-use pivote_kg::{EntityId, KnowledgeGraph};
-use std::sync::Arc;
+use pivote_core::GraphHandle;
+use pivote_kg::EntityId;
 
 /// The Jaccard baseline.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct JaccardExpansion;
-
-/// Sorted, deduplicated neighbour ids (both directions, any predicate).
-fn neighbours(kg: &KnowledgeGraph, e: EntityId) -> Vec<EntityId> {
-    let mut out: Vec<EntityId> = kg
-        .out_edges(e)
-        .map(|(_, o)| o)
-        .chain(kg.in_edges(e).map(|(_, s)| s))
-        .collect();
-    out.sort_unstable();
-    out.dedup();
-    out
-}
 
 impl EntityExpansion for JaccardExpansion {
     fn name(&self) -> &'static str {
@@ -35,20 +22,19 @@ impl EntityExpansion for JaccardExpansion {
 
     fn expand_in(
         &self,
-        ctx: &Arc<QueryContext<'_>>,
+        handle: &GraphHandle<'_>,
         seeds: &[EntityId],
         k: usize,
     ) -> Vec<(EntityId, f64)> {
-        let kg = ctx.kg();
         if seeds.is_empty() || k == 0 {
             return Vec::new();
         }
-        let seed_neigh: Vec<Vec<EntityId>> = seeds.iter().map(|&s| neighbours(kg, s)).collect();
+        let seed_neigh: Vec<Vec<EntityId>> = seeds.iter().map(|&s| handle.neighbours(s)).collect();
         // candidates: 2-hop — entities adjacent to any seed neighbour
         let mut candidates: Vec<EntityId> = Vec::new();
         for n in &seed_neigh {
             for &mid in n {
-                candidates.extend(neighbours(kg, mid));
+                candidates.extend(handle.neighbours(mid));
             }
         }
         candidates.sort_unstable();
@@ -58,8 +44,8 @@ impl EntityExpansion for JaccardExpansion {
         // per-candidate similarity is pure — fan it out over the context's
         // scoped worker threads; |A ∪ B| = |A| + |B| − |A ∩ B| avoids materializing
         // the union
-        let scored = ctx.par_map(&candidates, |&c| {
-            let cn = neighbours(kg, c);
+        let scored = handle.par_map(&candidates, |&c| {
+            let cn = handle.neighbours(c);
             let mut total = 0.0;
             for sn in &seed_neigh {
                 let inter = intersect_len(&cn, sn) as f64;
@@ -77,7 +63,7 @@ impl EntityExpansion for JaccardExpansion {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pivote_kg::KgBuilder;
+    use pivote_kg::{KgBuilder, KnowledgeGraph};
 
     fn kg() -> KnowledgeGraph {
         // f1, f2 share both actors; f3 shares one.

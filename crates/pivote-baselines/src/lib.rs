@@ -12,14 +12,15 @@
 //! - [`PivotEExpansion`] — the paper's model ([`pivote_core`]) adapted to
 //!   the same trait for side-by-side evaluation.
 //!
-//! Every method executes through the shared
-//! [`QueryContext`](pivote_core::QueryContext) substrate —
+//! Every method executes through the shared, backend-agnostic
+//! [`GraphHandle`](pivote_core::GraphHandle) substrate —
 //! [`EntityExpansion::expand_in`] — so candidate scoring parallelizes
 //! through the same scoped-thread fan-out, top-k selection uses the same
-//! bounded heap, and
-//! the PivotE variants reuse the context's memoized `p(π|c)` densities.
+//! bounded heap, the PivotE variants reuse the memoized `p(π|c)`
+//! densities, and every baseline runs unchanged (and bit-identically)
+//! over a single graph or a sharded one.
 //! [`EntityExpansion::expand`] is a convenience wrapper constructing a
-//! private context; the evaluation harness builds one context per graph
+//! private context; the evaluation harness builds one handle per graph
 //! and shares it across all methods and ablations.
 //!
 //! The keyword-search baseline (BM25F) lives in `pivote-search` as
@@ -31,9 +32,8 @@ pub mod freq;
 pub mod jaccard;
 pub mod ppr;
 
-use pivote_core::{Expander, QueryContext, RankingConfig};
+use pivote_core::{Expander, GraphHandle, RankingConfig};
 use pivote_kg::{EntityId, KnowledgeGraph};
-use std::sync::Arc;
 
 pub use freq::FreqOverlapExpansion;
 pub use jaccard::JaccardExpansion;
@@ -45,18 +45,19 @@ pub trait EntityExpansion {
     fn name(&self) -> &'static str;
 
     /// Top-`k` entities similar to `seeds`, best first, seeds excluded,
-    /// executed on a shared [`QueryContext`].
+    /// executed on a shared backend-agnostic [`GraphHandle`] (single
+    /// graph or sharded — results are identical).
     fn expand_in(
         &self,
-        ctx: &Arc<QueryContext<'_>>,
+        handle: &GraphHandle<'_>,
         seeds: &[EntityId],
         k: usize,
     ) -> Vec<(EntityId, f64)>;
 
-    /// [`EntityExpansion::expand_in`] with a fresh private context.
+    /// [`EntityExpansion::expand_in`] with a fresh private single-graph
+    /// context.
     fn expand(&self, kg: &KnowledgeGraph, seeds: &[EntityId], k: usize) -> Vec<(EntityId, f64)> {
-        let ctx = Arc::new(QueryContext::new(kg));
-        self.expand_in(&ctx, seeds, k)
+        self.expand_in(&GraphHandle::single(kg), seeds, k)
     }
 }
 
@@ -113,13 +114,13 @@ impl EntityExpansion for PivotEExpansion {
 
     fn expand_in(
         &self,
-        ctx: &Arc<QueryContext<'_>>,
+        handle: &GraphHandle<'_>,
         seeds: &[EntityId],
         k: usize,
     ) -> Vec<(EntityId, f64)> {
         // the context's p(π|c) cache is config-independent, so ablation
         // variants sharing one context share all memoized densities
-        let expander = Expander::with_context(Arc::clone(ctx), self.config);
+        let expander = Expander::with_handle(handle.clone(), self.config);
         expander
             .expand_seeds(seeds, k, 0)
             .entities
@@ -167,7 +168,7 @@ mod tests {
         let kg = generate(&DatagenConfig::tiny());
         let film = kg.type_id("Film").unwrap();
         let seeds = &kg.type_extent(film)[..2];
-        let shared = Arc::new(QueryContext::new(&kg));
+        let shared = GraphHandle::single(&kg);
         let methods: Vec<Box<dyn EntityExpansion>> = vec![
             Box::new(JaccardExpansion),
             Box::new(PprExpansion::default()),

@@ -6,9 +6,8 @@
 //! shooting location can outrank a film with the same cast.
 
 use crate::{select_top_k, EntityExpansion};
-use pivote_core::QueryContext;
+use pivote_core::GraphHandle;
 use pivote_kg::{EntityId, KnowledgeGraph};
-use std::sync::Arc;
 
 /// Personalized PageRank via power iteration.
 #[derive(Debug, Clone, Copy)]
@@ -29,9 +28,17 @@ impl Default for PprExpansion {
 }
 
 impl PprExpansion {
-    /// Full PPR vector over all entities (indexed by raw entity id).
+    /// Full PPR vector over all entities (indexed by raw entity id),
+    /// computed on a single graph.
     pub fn scores(&self, kg: &KnowledgeGraph, seeds: &[EntityId]) -> Vec<f64> {
-        let n = kg.entity_count();
+        self.scores_in(&GraphHandle::single(kg), seeds)
+    }
+
+    /// Full PPR vector over all entities on any backend. Edge rows come
+    /// from each entity's home shard (complete on both backends), so the
+    /// mass distribution is identical on single and sharded graphs.
+    pub fn scores_in(&self, handle: &GraphHandle<'_>, seeds: &[EntityId]) -> Vec<f64> {
+        let n = handle.entity_count();
         let mut rank = vec![0.0f64; n];
         if n == 0 || seeds.is_empty() {
             return rank;
@@ -44,23 +51,21 @@ impl PprExpansion {
         for _ in 0..self.iterations {
             next.iter_mut().for_each(|v| *v = 0.0);
             let mut dangling = 0.0;
-            for e in kg.entity_ids() {
+            for e in handle.entity_ids() {
                 let r = rank[e.index()];
                 if r == 0.0 {
                     continue;
                 }
-                let deg = kg.degree(e);
+                let deg = handle.degree(e);
                 if deg == 0 {
                     dangling += r;
                     continue;
                 }
                 let share = (1.0 - self.alpha) * r / deg as f64;
-                for (_, o) in kg.out_edges(e) {
-                    next[o.index()] += share;
-                }
-                for (_, s) in kg.in_edges(e) {
-                    next[s.index()] += share;
-                }
+                // zero-alloc scatter: per-target sums are invariant to the
+                // visit order (all of e's shares are the same value), so
+                // both backends produce identical mass
+                handle.for_each_edge(e, |_, n| next[n.index()] += share);
             }
             // teleport mass: restart probability plus dangling mass
             let teleport = self.alpha + (1.0 - self.alpha) * dangling;
@@ -80,17 +85,16 @@ impl EntityExpansion for PprExpansion {
 
     fn expand_in(
         &self,
-        ctx: &Arc<QueryContext<'_>>,
+        handle: &GraphHandle<'_>,
         seeds: &[EntityId],
         k: usize,
     ) -> Vec<(EntityId, f64)> {
-        let kg = ctx.kg();
         if seeds.is_empty() || k == 0 {
             return Vec::new();
         }
         // power iteration is a sequential global scatter; only the final
         // selection runs through the context's bounded heap
-        let scores = self.scores(kg, seeds);
+        let scores = self.scores_in(handle, seeds);
         select_top_k(
             scores.iter().enumerate().filter_map(|(i, &s)| {
                 let e = EntityId::new(i as u32);

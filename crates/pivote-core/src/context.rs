@@ -62,7 +62,7 @@ pub(crate) enum Ctx {
 }
 
 /// Number of probability-cache shards (power of two).
-const SHARDS: usize = 64;
+pub(crate) const SHARDS: usize = 64;
 
 /// Below this many items, parallel fan-out costs more than it saves.
 const MIN_PARALLEL_ITEMS: usize = 192;
@@ -94,7 +94,7 @@ impl Hasher for DenseKeyHasher {
     }
 }
 
-type DenseMap = HashMap<u64, f64, BuildHasherDefault<DenseKeyHasher>>;
+pub(crate) type DenseMap = HashMap<u64, f64, BuildHasherDefault<DenseKeyHasher>>;
 
 /// Feature interner: feature → dense id, plus the resolved extent handle
 /// per id so hot loops never re-walk the store.
@@ -279,6 +279,11 @@ impl<'kg> QueryContext<'kg> {
     }
 
     // ---- ranking model -------------------------------------------------
+    //
+    // LOCKSTEP: ShardedContext (sharded.rs) mirrors these model bodies
+    // over its per-shard primitives; edits to the scoring/filter logic
+    // here must be applied there too (bit-identity is enforced by
+    // tests/sharded_equivalence.rs and tests/golden_sharded.rs).
 
     /// `d(π)`: inverse extent size (or 1 under the A2 ablation).
     pub fn discriminability(&self, config: &RankingConfig, sf: SemanticFeature) -> f64 {
@@ -493,23 +498,64 @@ impl<'kg> QueryContext<'kg> {
         U: Send,
         F: Fn(&T) -> U + Sync,
     {
-        let threads = threads.max(1).min(items.len().max(1));
-        if threads == 1 || items.len() < MIN_PARALLEL_ITEMS {
-            return items.iter().map(f).collect();
-        }
-        let chunk = items.len().div_ceil(threads);
-        let mut out: Vec<U> = Vec::with_capacity(items.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = items
-                .chunks(chunk)
-                .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
-                .collect();
-            for h in handles {
-                out.extend(h.join().expect("scoring worker panicked"));
-            }
-        });
-        out
+        par_map_slice(threads, items, f)
     }
+}
+
+/// Map a pure function over a slice on scoped worker threads. Chunks are
+/// assigned and concatenated in slice order, so the output is identical
+/// to a sequential `iter().map().collect()`. Shared by the single-graph
+/// [`QueryContext`] and the sharded execution layer.
+pub(crate) fn par_map_slice<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    chunked_map(threads, items, MIN_PARALLEL_ITEMS, f)
+}
+
+/// Fan items out over at most `workers` scoped threads (contiguous
+/// chunks, joined in item order). Unlike [`par_map_slice`] there is no
+/// minimum-size threshold — this is the shard fan-out primitive, where
+/// item counts are small (one per shard) but each item is a large unit
+/// of work. `workers == 1` runs inline; chunking keeps the spawned
+/// thread count within the context's configured budget even when there
+/// are more shards than workers.
+pub(crate) fn fan_out<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    chunked_map(workers, items, 0, f)
+}
+
+/// The one scoped-thread chunk-map core behind [`par_map_slice`] and
+/// [`fan_out`]: contiguous chunks over at most `workers` threads, joined
+/// in item order; runs inline below `min_items` or at one worker.
+fn chunked_map<T, U, F>(workers: usize, items: &[T], min_items: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers == 1 || items.len() < min_items {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<U> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("chunk worker panicked"));
+        }
+    });
+    out
 }
 
 /// Select the `k` best items by `(score desc, id asc)` using a bounded

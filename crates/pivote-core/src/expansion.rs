@@ -11,9 +11,11 @@ use crate::config::RankingConfig;
 use crate::context::QueryContext;
 use crate::extent::{contains, intersect_k};
 use crate::feature::SemanticFeature;
+use crate::handle::GraphHandle;
 use crate::ranking::{RankedEntity, RankedFeature, Ranker};
 use pivote_kg::{EntityId, KnowledgeGraph, TypeId};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::sync::Arc;
 
 /// A structured exploration query.
@@ -115,7 +117,7 @@ pub fn diversify_features(
 }
 
 /// The expansion engine: a thin orchestration layer over [`Ranker`],
-/// running on a shared [`QueryContext`].
+/// running on a backend-agnostic [`GraphHandle`].
 pub struct Expander<'kg> {
     ranker: Ranker<'kg>,
 }
@@ -132,10 +134,17 @@ impl<'kg> Expander<'kg> {
         }
     }
 
-    /// Create an expander sharing an existing execution context.
+    /// Create an expander sharing an existing single-graph context.
     pub fn with_context(ctx: Arc<QueryContext<'kg>>, config: RankingConfig) -> Self {
         Self {
             ranker: Ranker::with_context(ctx, config),
+        }
+    }
+
+    /// Create an expander over any backend handle (single or sharded).
+    pub fn with_handle(handle: GraphHandle<'kg>, config: RankingConfig) -> Self {
+        Self {
+            ranker: Ranker::with_handle(handle, config),
         }
     }
 
@@ -144,7 +153,16 @@ impl<'kg> Expander<'kg> {
         &self.ranker
     }
 
-    /// The shared execution context.
+    /// The backend-agnostic graph handle.
+    pub fn handle(&self) -> &GraphHandle<'kg> {
+        self.ranker.handle()
+    }
+
+    /// The shared single-graph execution context.
+    ///
+    /// # Panics
+    /// When the expander runs on a sharded backend; use
+    /// [`Expander::handle`].
     pub fn context(&self) -> &Arc<QueryContext<'kg>> {
         self.ranker.context()
     }
@@ -174,16 +192,20 @@ impl<'kg> Expander<'kg> {
                 features: Vec::new(),
             };
         }
-        let kg = self.ranker.kg();
-        let ctx = self.ranker.context();
+        let handle = self.ranker.handle();
         let config = self.ranker.config();
 
         // Hard filter: k-way intersection of required-feature extents.
         let filter: Option<Vec<EntityId>> = if query.required.is_empty() {
             None
         } else {
-            let extents: Vec<&[EntityId]> = query.required.iter().map(|sf| sf.extent(kg)).collect();
-            Some(intersect_k(&extents))
+            let extents: Vec<Cow<'_, [EntityId]>> = query
+                .required
+                .iter()
+                .map(|sf| handle.feature_extent(*sf))
+                .collect();
+            let views: Vec<&[EntityId]> = extents.iter().map(|c| c.as_ref()).collect();
+            Some(intersect_k(&views))
         };
 
         // Seeds for the ranking model: the query's seeds, or — for pure
@@ -192,7 +214,7 @@ impl<'kg> Expander<'kg> {
             query.seeds.clone()
         } else {
             let mut members: Vec<EntityId> = filter.clone().unwrap_or_default();
-            members.sort_by_key(|&e| std::cmp::Reverse(kg.degree(e)));
+            members.sort_by_key(|&e| std::cmp::Reverse(handle.degree(e)));
             members.truncate(PSEUDO_SEEDS);
             members.sort_unstable();
             members
@@ -204,7 +226,7 @@ impl<'kg> Expander<'kg> {
         let top = &features[..features.len().min(config.top_features)];
 
         // Candidate pool with every hard condition applied pre-scoring.
-        let mut candidates = ctx.candidate_entities(config, &seeds, &features);
+        let mut candidates = handle.candidate_entities(config, &seeds, &features);
         if let Some(filter) = &filter {
             candidates.retain(|&e| contains(filter, e));
             // Feature-only queries must return every filter member even if
@@ -215,10 +237,10 @@ impl<'kg> Expander<'kg> {
             }
         }
         if let Some(t) = query.type_filter {
-            candidates.retain(|&e| kg.has_type(e, t));
+            candidates.retain(|&e| handle.has_type(e, t));
         }
 
-        let entities = ctx.score_and_select(config, candidates, top, k_entities);
+        let entities = handle.score_and_select(config, candidates, top, k_entities);
 
         ExpansionResult {
             entities,

@@ -12,7 +12,7 @@
 //!   or the category context that carries the smoothed probability
 //!   ([`explain_cell`]).
 
-use crate::feature::{features_of, SemanticFeature};
+use crate::feature::SemanticFeature;
 use crate::ranking::Ranker;
 use pivote_kg::{EntityId, KnowledgeGraph};
 use serde::{Deserialize, Serialize};
@@ -67,9 +67,9 @@ pub fn explain_pair(
     b: EntityId,
     limit: usize,
 ) -> PairExplanation {
-    let kg = ranker.kg();
-    let fa = features_of(kg, a);
-    let fb = features_of(kg, b);
+    let handle = ranker.handle();
+    let fa = handle.features_of(a);
+    let fb = handle.features_of(b);
     // both lists are sorted; merge-intersect
     let mut shared: Vec<(SemanticFeature, f64)> = Vec::new();
     let mut i = 0;
@@ -117,27 +117,26 @@ pub enum CellExplanation {
 /// [`crate::context::QueryContext`] probability cache, so explaining a
 /// cell of an already-computed heat map costs only the argmax scan.
 pub fn explain_cell(ranker: &Ranker<'_>, sf: SemanticFeature, e: EntityId) -> CellExplanation {
-    let kg = ranker.kg();
-    if sf.matches(kg, e) {
+    let handle = ranker.handle();
+    if handle.feature_matches(sf, e) {
         return CellExplanation::DirectMatch;
     }
     if !ranker.config().error_tolerant {
         return CellExplanation::None;
     }
     // the ranker caches only the max density; rescan for the argmax name
-    let ctx = ranker.context();
     let mut best: Option<(String, f64)> = None;
-    for c in kg.categories_of(e) {
-        let p = ctx.p_for_category(sf, c);
+    for c in handle.categories_of(e) {
+        let p = handle.p_for_category(sf, c);
         if best.as_ref().map(|(_, bp)| p > *bp).unwrap_or(p > 0.0) {
-            best = Some((kg.category_name(c).to_owned(), p));
+            best = Some((handle.category_name(c).to_owned(), p));
         }
     }
     if ranker.config().use_types_as_context {
-        for t in kg.types_of(e) {
-            let p = ctx.p_for_type(sf, t);
+        for t in handle.types_of(e) {
+            let p = handle.p_for_type(sf, t);
             if best.as_ref().map(|(_, bp)| p > *bp).unwrap_or(p > 0.0) {
-                best = Some((kg.type_name(t).to_owned(), p));
+                best = Some((handle.type_name(t).to_owned(), p));
             }
         }
     }

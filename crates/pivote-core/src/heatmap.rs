@@ -33,15 +33,16 @@ impl HeatMap {
     /// `features` should be the query's ranked features (carrying
     /// `r(π, Q)` in their `score`); `entities` the recommended entities.
     /// Rows are computed in parallel on the ranker's shared
-    /// [`crate::context::QueryContext`]; the memoized `p(π|c)` densities
-    /// mean cells explaining already-ranked entities are cache hits.
+    /// [`crate::handle::GraphHandle`] — single or sharded backend alike;
+    /// the memoized `p(π|c)` densities mean cells explaining
+    /// already-ranked entities are cache hits.
     pub fn compute(ranker: &Ranker<'_>, entities: &[EntityId], features: &[RankedFeature]) -> Self {
-        let ctx = ranker.context();
+        let handle = ranker.handle();
         let config = ranker.config();
-        let rows = ctx.par_map(features, |rf| {
+        let rows = handle.par_map(features, |rf| {
             entities
                 .iter()
-                .map(|&e| ctx.p_feature_given_entity(config, rf.feature, e) * rf.score)
+                .map(|&e| handle.p_feature_given_entity(config, rf.feature, e) * rf.score)
                 .collect::<Vec<f64>>()
         });
         let values: Vec<f64> = rows.into_iter().flatten().collect();

@@ -11,6 +11,11 @@
 //!   extents, the sharded `p(π|c)` probability cache, parallel candidate
 //!   scoring and bounded top-k selection — that every query engine in the
 //!   workspace (core, explore, baselines, eval) runs through;
+//! - [`sharded`]: the multi-graph twin — [`ShardedContext`] over a
+//!   `pivote_kg::ShardedGraph`, fanning scoring out per shard and merging
+//!   per-shard top-k heaps into bit-identical global rankings;
+//! - [`handle`]: [`GraphHandle`], the backend-agnostic enum (single |
+//!   sharded) every engine holds;
 //! - [`ranking`]: `r(π,Q) = d(π)·c(π,Q)` and
 //!   `r(e,Q) = Σ p(π|e)·r(π,Q)` with error-tolerant category smoothing;
 //! - [`expansion`]: entity set expansion over structured queries (seeds +
@@ -41,13 +46,17 @@ pub mod expansion;
 pub mod explain;
 pub mod extent;
 pub mod feature;
+pub mod handle;
 pub mod heatmap;
 pub mod ranking;
+pub mod sharded;
 
 pub use config::RankingConfig;
 pub use context::{top_k_ranked, FeatureId, QueryContext};
 pub use expansion::{diversify_features, Expander, ExpansionResult, SfQuery};
 pub use explain::{explain_cell, explain_pair, CellExplanation, PairExplanation};
 pub use feature::{features_of, Direction, SemanticFeature};
+pub use handle::GraphHandle;
 pub use heatmap::{HeatMap, HEAT_LEVELS};
 pub use ranking::{RankedEntity, RankedFeature, Ranker};
+pub use sharded::ShardedContext;

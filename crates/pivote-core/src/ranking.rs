@@ -23,6 +23,7 @@
 use crate::config::RankingConfig;
 use crate::context::QueryContext;
 use crate::feature::SemanticFeature;
+use crate::handle::GraphHandle;
 use pivote_kg::{EntityId, KnowledgeGraph};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -49,11 +50,13 @@ pub struct RankedEntity {
     pub score: f64,
 }
 
-/// The ranking engine: a [`RankingConfig`] bound to a shared
-/// [`QueryContext`]. Cheap to construct; all memoized state lives in the
-/// context so clones/ablations sharing a context also share the caches.
+/// The ranking engine: a [`RankingConfig`] bound to a backend-agnostic
+/// [`GraphHandle`]. Cheap to construct; all memoized state lives in the
+/// handle's context so clones/ablations sharing a handle also share the
+/// caches — and the same ranker code runs over a single graph or a
+/// sharded one.
 pub struct Ranker<'kg> {
-    ctx: Arc<QueryContext<'kg>>,
+    handle: GraphHandle<'kg>,
     config: RankingConfig,
 }
 
@@ -63,14 +66,25 @@ impl<'kg> Ranker<'kg> {
         Self::with_context(Arc::new(QueryContext::new(kg)), config)
     }
 
-    /// Create a ranker sharing an existing execution context.
+    /// Create a ranker sharing an existing single-graph context.
     pub fn with_context(ctx: Arc<QueryContext<'kg>>, config: RankingConfig) -> Self {
-        Self { ctx, config }
+        Self::with_handle(GraphHandle::Single(ctx), config)
     }
 
-    /// The knowledge graph this ranker reads.
+    /// Create a ranker over any backend handle (single or sharded).
+    pub fn with_handle(handle: GraphHandle<'kg>, config: RankingConfig) -> Self {
+        Self { handle, config }
+    }
+
+    /// The knowledge graph this ranker reads — single backend only.
+    ///
+    /// # Panics
+    /// When the ranker runs on a sharded backend (there is no single
+    /// graph to borrow); use [`Ranker::handle`] instead.
     pub fn kg(&self) -> &'kg KnowledgeGraph {
-        self.ctx.kg()
+        self.handle
+            .kg()
+            .expect("Ranker::kg is single-backend only; use Ranker::handle")
     }
 
     /// The active configuration.
@@ -78,42 +92,55 @@ impl<'kg> Ranker<'kg> {
         &self.config
     }
 
-    /// The shared execution context.
+    /// The backend-agnostic graph handle.
+    pub fn handle(&self) -> &GraphHandle<'kg> {
+        &self.handle
+    }
+
+    /// The shared single-graph execution context.
+    ///
+    /// # Panics
+    /// When the ranker runs on a sharded backend; use [`Ranker::handle`].
     pub fn context(&self) -> &Arc<QueryContext<'kg>> {
-        &self.ctx
+        match &self.handle {
+            GraphHandle::Single(ctx) => ctx,
+            GraphHandle::Sharded(_) => {
+                panic!("Ranker::context is single-backend only; use Ranker::handle")
+            }
+        }
     }
 
     /// `d(π)`: inverse extent size, the IDF-style discriminability.
     pub fn discriminability(&self, sf: SemanticFeature) -> f64 {
-        self.ctx.discriminability(&self.config, sf)
+        self.handle.discriminability(&self.config, sf)
     }
 
     /// `p(π|e)`: 1 for an exact match, otherwise the error-tolerant
     /// context estimate (or 0 when error tolerance is disabled).
     pub fn p_feature_given_entity(&self, sf: SemanticFeature, e: EntityId) -> f64 {
-        self.ctx.p_feature_given_entity(&self.config, sf, e)
+        self.handle.p_feature_given_entity(&self.config, sf, e)
     }
 
     /// `c(π, Q) = ∏_{e∈Q} p(π|e)`.
     pub fn commonality(&self, sf: SemanticFeature, seeds: &[EntityId]) -> f64 {
-        self.ctx.commonality(&self.config, sf, seeds)
+        self.handle.commonality(&self.config, sf, seeds)
     }
 
     /// The candidate feature pool: the union of the seeds' own features,
     /// filtered by extent size.
     pub fn candidate_features(&self, seeds: &[EntityId]) -> Vec<SemanticFeature> {
-        self.ctx.candidate_features(&self.config, seeds)
+        self.handle.candidate_features(&self.config, seeds)
     }
 
     /// Rank all candidate features of the query: `Φ(Q)` scored by
     /// `r(π, Q)`, descending, zero-scored features dropped.
     pub fn rank_features(&self, seeds: &[EntityId]) -> Vec<RankedFeature> {
-        self.ctx.rank_features(&self.config, seeds)
+        self.handle.rank_features(&self.config, seeds)
     }
 
     /// The best `k` features only, selected with a bounded heap.
     pub fn rank_features_top_k(&self, seeds: &[EntityId], k: usize) -> Vec<RankedFeature> {
-        self.ctx.rank_features_top_k(&self.config, seeds, k)
+        self.handle.rank_features_top_k(&self.config, seeds, k)
     }
 
     /// Gather candidate entities: the union of the extents of the top
@@ -124,12 +151,13 @@ impl<'kg> Ranker<'kg> {
         seeds: &[EntityId],
         features: &[RankedFeature],
     ) -> Vec<EntityId> {
-        self.ctx.candidate_entities(&self.config, seeds, features)
+        self.handle
+            .candidate_entities(&self.config, seeds, features)
     }
 
     /// `r(e, Q)` for one entity over a scored feature set.
     pub fn score_entity(&self, e: EntityId, features: &[RankedFeature]) -> f64 {
-        self.ctx.score_entity(&self.config, e, features)
+        self.handle.score_entity(&self.config, e, features)
     }
 
     /// Rank candidate entities by `r(e, Q)` over the top features,
@@ -140,7 +168,7 @@ impl<'kg> Ranker<'kg> {
         seeds: &[EntityId],
         features: &[RankedFeature],
     ) -> Vec<RankedEntity> {
-        self.ctx.rank_entities(&self.config, seeds, features)
+        self.handle.rank_entities(&self.config, seeds, features)
     }
 
     /// The best `k` entities only, with an optional pre-score filter
@@ -155,7 +183,7 @@ impl<'kg> Ranker<'kg> {
     where
         F: Fn(EntityId) -> bool + Sync,
     {
-        self.ctx
+        self.handle
             .rank_entities_top_k(&self.config, seeds, features, k, filter)
     }
 
@@ -169,12 +197,14 @@ impl<'kg> Ranker<'kg> {
         threads: usize,
     ) -> Vec<RankedEntity> {
         let top = &features[..features.len().min(self.config.top_features)];
-        let candidates = self.ctx.candidate_entities(&self.config, seeds, features);
+        let candidates = self
+            .handle
+            .candidate_entities(&self.config, seeds, features);
         let scored = self
-            .ctx
+            .handle
             .par_map_with(threads.max(1), &candidates, |&e| RankedEntity {
                 entity: e,
-                score: self.ctx.score_entity(&self.config, e, top),
+                score: self.handle.score_entity(&self.config, e, top),
             });
         crate::context::top_k_ranked(
             scored.into_iter(),

@@ -1,0 +1,771 @@
+//! The sharded query-execution layer.
+//!
+//! [`ShardedContext`] is the multi-graph sibling of
+//! [`QueryContext`](crate::context::QueryContext): one execution substrate
+//! over a [`ShardedGraph`], exposing the same ranking primitives with the
+//! same semantics — and, crucially, **bit-identical results**. Global
+//! model quantities decompose exactly over the range partition
+//! (`pivote_kg::shard` documents the invariants):
+//!
+//! - `‖E(π)‖ = Σᵢ ‖Eᵢ(π) ∩ rangeᵢ‖` — integer sums, so
+//!   `d(π) = 1/‖E(π)‖` is the same `f64` as on the single graph;
+//! - `p(π|c) = (Σᵢ ‖Eᵢ(π) ∩ Eᵢ(c)‖) / (Σᵢ ‖Eᵢ(c)‖)` — per-shard context
+//!   extents are owned-only, so the partial intersections are disjoint
+//!   and the numerator/denominator are the exact global integers;
+//! - `e ⊨ π` is a binary search in `e`'s home shard, which stores every
+//!   triple incident to `e`.
+//!
+//! Entity scoring fans out **per shard** on scoped threads (each shard's
+//! candidates are scored against the shared global probability cache and
+//! reduced to a local bounded top-k heap), and the per-shard heaps are
+//! merged into the global top-k under the same total order
+//! `(score desc, entity-id asc)` — so the merged result equals the
+//! single-graph sort-then-truncate, deterministically, for any shard
+//! count and any `k` (including `k` larger than the candidate count and
+//! shards that own no candidates at all).
+
+use crate::config::RankingConfig;
+use crate::context::{fan_out, par_map_slice, top_k_ranked, DenseKeyHasher, DenseMap, SHARDS};
+use crate::extent::{intersect_len, union_k};
+use crate::feature::{features_of, SemanticFeature};
+use crate::ranking::{RankedEntity, RankedFeature};
+use pivote_kg::{CategoryId, EntityId, ShardedGraph, TypeId};
+use std::collections::HashMap;
+use std::hash::Hasher;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A smoothing context (category or type), densely numbered with the
+/// *global* dictionaries — identical numbering in every shard.
+#[derive(Debug, Clone, Copy)]
+enum Ctx {
+    Cat(CategoryId),
+    Type(TypeId),
+}
+
+/// A feature resolved against every shard.
+struct FeatureEntry<'g> {
+    /// Per shard: the feature's local extent slice (empty when the anchor
+    /// is not present in that shard).
+    extents: Vec<&'g [EntityId]>,
+    /// Per shard: length of the owned prefix, `‖E(π) ∩ rangeᵢ‖`.
+    owned_lens: Vec<usize>,
+    /// `‖E(π)‖ = Σᵢ owned_lens[i]`.
+    global_len: usize,
+    /// The materialized global extent, filled on first use — candidate
+    /// gathering over popular features re-reads it instead of re-running
+    /// the per-shard remap every query.
+    global: OnceLock<Arc<[EntityId]>>,
+}
+
+/// Feature interner over the shard set.
+struct FeatureTable<'g> {
+    ids: HashMap<SemanticFeature, u32>,
+    entries: Vec<FeatureEntry<'g>>,
+}
+
+/// A top feature resolved for one candidate-scoring pass: the dense id
+/// keys the shared probability cache, the extent snapshot serves the
+/// per-candidate match check without re-taking the interner lock.
+struct ResolvedFeature<'g> {
+    fid: u32,
+    score: f64,
+    extents: Vec<&'g [EntityId]>,
+}
+
+/// The shared, memoized execution substrate over a [`ShardedGraph`].
+///
+/// Cheap to construct; all interior state is lazily filled and
+/// thread-safe, so one context (behind an [`std::sync::Arc`]) serves
+/// every engine and every concurrent session, exactly like the
+/// single-graph [`QueryContext`](crate::context::QueryContext).
+pub struct ShardedContext<'g> {
+    sg: &'g ShardedGraph,
+    threads: usize,
+    features: RwLock<FeatureTable<'g>>,
+    /// Global `p(π|c)` cache, sharded by key hash (values are exact global
+    /// quantities, independent of shard count and `RankingConfig`).
+    prob_shards: Vec<RwLock<DenseMap>>,
+    cat_count: usize,
+}
+
+impl<'g> ShardedContext<'g> {
+    /// Context over `sg` with one worker per available core.
+    pub fn new(sg: &'g ShardedGraph) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(sg, threads)
+    }
+
+    /// Context with an explicit worker-thread count (`0` clamps to 1).
+    pub fn with_threads(sg: &'g ShardedGraph, threads: usize) -> Self {
+        Self {
+            sg,
+            threads: threads.max(1),
+            features: RwLock::new(FeatureTable {
+                ids: HashMap::new(),
+                entries: Vec::new(),
+            }),
+            prob_shards: (0..SHARDS)
+                .map(|_| RwLock::new(DenseMap::default()))
+                .collect(),
+            cat_count: sg.category_count(),
+        }
+    }
+
+    /// The sharded graph this context reads.
+    #[inline]
+    pub fn graph(&self) -> &'g ShardedGraph {
+        self.sg
+    }
+
+    /// Configured worker-thread count.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of cached `p(π|c)` probabilities (diagnostics).
+    pub fn cached_probability_count(&self) -> usize {
+        self.prob_shards
+            .iter()
+            .map(|s| s.read().expect("prob shard poisoned").len())
+            .sum()
+    }
+
+    // ---- feature interning ---------------------------------------------
+
+    /// Intern a (global-id) feature, resolving its per-shard extents and
+    /// the exact global extent size on first sight.
+    fn intern(&self, sf: SemanticFeature) -> u32 {
+        if let Some(&id) = self
+            .features
+            .read()
+            .expect("feature table poisoned")
+            .ids
+            .get(&sf)
+        {
+            return id;
+        }
+        // resolve outside the write lock; double-check after acquiring
+        let shards = self.sg.shards();
+        let mut extents: Vec<&'g [EntityId]> = Vec::with_capacity(shards.len());
+        let mut owned_lens = Vec::with_capacity(shards.len());
+        let mut global_len = 0usize;
+        for shard in shards {
+            let extent: &'g [EntityId] = match shard.to_local(sf.anchor) {
+                Some(local) => SemanticFeature {
+                    anchor: local,
+                    ..sf
+                }
+                .extent(shard.graph()),
+                None => &[],
+            };
+            let owned = shard.owned_prefix_len(extent);
+            global_len += owned;
+            extents.push(extent);
+            owned_lens.push(owned);
+        }
+        let mut table = self.features.write().expect("feature table poisoned");
+        if let Some(&id) = table.ids.get(&sf) {
+            return id;
+        }
+        let id = table.entries.len() as u32;
+        table.entries.push(FeatureEntry {
+            extents,
+            owned_lens,
+            global_len,
+            global: OnceLock::new(),
+        });
+        table.ids.insert(sf, id);
+        id
+    }
+
+    /// `‖E(π)‖` — the exact global extent size.
+    pub fn extent_len(&self, sf: SemanticFeature) -> usize {
+        let fid = self.intern(sf);
+        self.features
+            .read()
+            .expect("feature table poisoned")
+            .entries[fid as usize]
+            .global_len
+    }
+
+    /// Materialize the global extent `E(π)`, sorted by global entity id:
+    /// per-shard owned prefixes remapped and concatenated in shard order.
+    pub fn extent_global(&self, sf: SemanticFeature) -> Vec<EntityId> {
+        self.extent_global_shared(sf).to_vec()
+    }
+
+    /// [`ShardedContext::extent_global`] as a shared, memoized slice —
+    /// the remap runs once per feature, later queries clone the `Arc`.
+    fn extent_global_shared(&self, sf: SemanticFeature) -> Arc<[EntityId]> {
+        let fid = self.intern(sf);
+        let table = self.features.read().expect("feature table poisoned");
+        let entry = &table.entries[fid as usize];
+        entry
+            .global
+            .get_or_init(|| {
+                let mut out = Vec::with_capacity(entry.global_len);
+                for ((shard, &extent), &owned) in self
+                    .sg
+                    .shards()
+                    .iter()
+                    .zip(&entry.extents)
+                    .zip(&entry.owned_lens)
+                {
+                    out.extend(extent[..owned].iter().map(|&e| shard.to_global(e)));
+                }
+                out.into()
+            })
+            .clone()
+    }
+
+    /// Whether `e ⊨ π` — a binary search in `e`'s home shard.
+    pub fn matches(&self, sf: SemanticFeature, e: EntityId) -> bool {
+        let fid = self.intern(sf);
+        let si = self.sg.shard_of(e);
+        let local = self.sg.shard(si).to_local(e).expect("owned entity");
+        self.features
+            .read()
+            .expect("feature table poisoned")
+            .entries[fid as usize]
+            .extents[si]
+            .binary_search(&local)
+            .is_ok()
+    }
+
+    /// All semantic features of `e` (global anchors), sorted — identical
+    /// to `features_of` on the unsharded graph.
+    pub fn features_of_entity(&self, e: EntityId) -> Vec<SemanticFeature> {
+        let (shard, local) = self.sg.home(e);
+        let mut out: Vec<SemanticFeature> = features_of(shard.graph(), local)
+            .into_iter()
+            .map(|sf| SemanticFeature {
+                anchor: shard.to_global(sf.anchor),
+                ..sf
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    // ---- probability cache ---------------------------------------------
+
+    #[inline]
+    fn ctx_index(&self, ctx: Ctx) -> usize {
+        match ctx {
+            Ctx::Cat(c) => c.index(),
+            Ctx::Type(t) => self.cat_count + t.index(),
+        }
+    }
+
+    /// Cached global `p(π|c) = ‖E(π) ∩ E(c)‖ / ‖E(c)‖`, assembled from
+    /// exact per-shard partial intersection counts.
+    fn p_feature_given_ctx(&self, sf: SemanticFeature, ctx: Ctx) -> f64 {
+        self.p_by_fid(self.intern(sf), ctx)
+    }
+
+    /// [`ShardedContext::p_feature_given_ctx`] by dense feature id — the
+    /// hot-loop entry that skips re-hashing the feature into the
+    /// interner.
+    fn p_by_fid(&self, fid: u32, ctx: Ctx) -> f64 {
+        let key = ((fid as u64) << 32) | self.ctx_index(ctx) as u64;
+        let mut h = DenseKeyHasher::default();
+        h.write_u64(key);
+        let shard = &self.prob_shards[(h.finish() >> 32) as usize & (SHARDS - 1)];
+        if let Some(&p) = shard.read().expect("prob shard poisoned").get(&key) {
+            return p;
+        }
+        let (num, den) = {
+            let table = self.features.read().expect("feature table poisoned");
+            let entry = &table.entries[fid as usize];
+            let mut num = 0usize;
+            let mut den = 0usize;
+            for (gs, &extent) in self.sg.shards().iter().zip(&entry.extents) {
+                let ctx_extent = match ctx {
+                    Ctx::Cat(c) => gs.graph().category_extent(c),
+                    Ctx::Type(t) => gs.graph().type_extent(t),
+                };
+                // context extents are owned-only, so the intersection
+                // counts exactly the in-range members of E(π)
+                den += ctx_extent.len();
+                num += intersect_len(extent, ctx_extent);
+            }
+            (num, den)
+        };
+        let p = if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        };
+        shard.write().expect("prob shard poisoned").insert(key, p);
+        p
+    }
+
+    /// Cached `p(π|c)` for one category context.
+    pub fn p_for_category(&self, sf: SemanticFeature, c: CategoryId) -> f64 {
+        self.p_feature_given_ctx(sf, Ctx::Cat(c))
+    }
+
+    /// Cached `p(π|t)` for one type context.
+    pub fn p_for_type(&self, sf: SemanticFeature, t: TypeId) -> f64 {
+        self.p_feature_given_ctx(sf, Ctx::Type(t))
+    }
+
+    /// `p(π|c*) = max_c p(π|c)` over the categories (and, when configured,
+    /// types) of `e` — contexts enumerated from `e`'s home shard in global
+    /// dictionary order.
+    pub fn p_feature_given_best_context(
+        &self,
+        config: &RankingConfig,
+        sf: SemanticFeature,
+        e: EntityId,
+    ) -> f64 {
+        self.p_best_ctx_by_fid(config, self.intern(sf), e)
+    }
+
+    /// [`ShardedContext::p_feature_given_best_context`] by dense feature
+    /// id (the probability cache and the per-shard extent table are both
+    /// fid-indexed, so the smoothing loop never re-interns).
+    fn p_best_ctx_by_fid(&self, config: &RankingConfig, fid: u32, e: EntityId) -> f64 {
+        let (shard, local) = self.sg.home(e);
+        let mut best = 0.0f64;
+        for c in shard.graph().categories_of(local) {
+            best = best.max(self.p_by_fid(fid, Ctx::Cat(c)));
+        }
+        if config.use_types_as_context {
+            for t in shard.graph().types_of(local) {
+                best = best.max(self.p_by_fid(fid, Ctx::Type(t)));
+            }
+        }
+        best
+    }
+
+    /// `p(π|e)`: 1 for an exact match, otherwise the error-tolerant
+    /// context estimate (or 0 when error tolerance is disabled).
+    pub fn p_feature_given_entity(
+        &self,
+        config: &RankingConfig,
+        sf: SemanticFeature,
+        e: EntityId,
+    ) -> f64 {
+        if self.matches(sf, e) {
+            return 1.0;
+        }
+        if !config.error_tolerant {
+            return 0.0;
+        }
+        self.p_feature_given_best_context(config, sf, e)
+    }
+
+    // ---- ranking model -------------------------------------------------
+    //
+    // LOCKSTEP: the method bodies below (candidate_features,
+    // rank_features_top_k, commonality, discriminability, score_entity,
+    // candidate_entities cap accounting) mirror QueryContext's in
+    // context.rs line for line, differing only in the extent/membership
+    // primitives. Any edit to the model logic must be made in BOTH files
+    // — the bit-identity contract is enforced by
+    // tests/sharded_equivalence.rs and tests/golden_sharded.rs.
+
+    /// `d(π)`: inverse global extent size (or 1 under the A2 ablation).
+    pub fn discriminability(&self, config: &RankingConfig, sf: SemanticFeature) -> f64 {
+        if !config.use_discriminability {
+            return 1.0;
+        }
+        let n = self.extent_len(sf);
+        if n == 0 {
+            0.0
+        } else {
+            1.0 / n as f64
+        }
+    }
+
+    /// `c(π, Q) = ∏_{e∈Q} p(π|e)`.
+    pub fn commonality(
+        &self,
+        config: &RankingConfig,
+        sf: SemanticFeature,
+        seeds: &[EntityId],
+    ) -> f64 {
+        let mut c = 1.0;
+        for &e in seeds {
+            c *= self.p_feature_given_entity(config, sf, e);
+            if c == 0.0 {
+                break;
+            }
+        }
+        c
+    }
+
+    /// The candidate feature pool — same construction, same order, same
+    /// extent-size filter as the single-graph context.
+    pub fn candidate_features(
+        &self,
+        config: &RankingConfig,
+        seeds: &[EntityId],
+    ) -> Vec<SemanticFeature> {
+        let mut all: Vec<SemanticFeature> = seeds
+            .iter()
+            .flat_map(|&e| self.features_of_entity(e))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.retain(|sf| {
+            let n = self.extent_len(*sf);
+            n >= config.min_extent.max(1) && n <= config.max_extent
+        });
+        all
+    }
+
+    /// Rank all candidate features of the query.
+    pub fn rank_features(&self, config: &RankingConfig, seeds: &[EntityId]) -> Vec<RankedFeature> {
+        self.rank_features_top_k(config, seeds, usize::MAX)
+    }
+
+    /// [`ShardedContext::rank_features`] with bounded heap selection.
+    pub fn rank_features_top_k(
+        &self,
+        config: &RankingConfig,
+        seeds: &[EntityId],
+        k: usize,
+    ) -> Vec<RankedFeature> {
+        let candidates = self.candidate_features(config, seeds);
+        let scored = par_map_slice(self.threads, &candidates, |&sf| {
+            let d = self.discriminability(config, sf);
+            let c = if d > 0.0 {
+                self.commonality(config, sf, seeds)
+            } else {
+                0.0
+            };
+            RankedFeature {
+                feature: sf,
+                score: d * c,
+                discriminability: d,
+                commonality: c,
+            }
+        });
+        top_k_ranked(
+            scored.into_iter().filter(|rf| rf.score > 0.0),
+            k,
+            |rf| rf.score,
+            |a, b| a.feature.cmp(&b.feature),
+        )
+    }
+
+    /// Gather candidate entities — global extents in feature-score order,
+    /// with the same cap accounting as the single-graph context.
+    pub fn candidate_entities(
+        &self,
+        config: &RankingConfig,
+        seeds: &[EntityId],
+        features: &[RankedFeature],
+    ) -> Vec<EntityId> {
+        let top = &features[..features.len().min(config.top_features)];
+        let cap = config.max_candidates.saturating_mul(4);
+        let mut picked: Vec<Arc<[EntityId]>> = Vec::with_capacity(top.len());
+        let mut total = 0usize;
+        for rf in top {
+            let extent = self.extent_global_shared(rf.feature);
+            total += extent.len();
+            picked.push(extent);
+            if total >= cap {
+                break;
+            }
+        }
+        let views: Vec<&[EntityId]> = picked.iter().map(|v| v.as_ref()).collect();
+        let mut cands = union_k(&views);
+        if config.exclude_seeds {
+            cands.retain(|e| !seeds.contains(e));
+        }
+        cands.truncate(config.max_candidates);
+        cands
+    }
+
+    /// `r(e, Q)` for one entity over a scored feature set.
+    pub fn score_entity(
+        &self,
+        config: &RankingConfig,
+        e: EntityId,
+        features: &[RankedFeature],
+    ) -> f64 {
+        let mut score = 0.0;
+        for rf in features {
+            let p = if self.matches(rf.feature, e) {
+                1.0
+            } else if config.error_tolerant && config.smooth_candidates {
+                self.p_feature_given_best_context(config, rf.feature, e)
+            } else {
+                0.0
+            };
+            score += p * rf.score;
+        }
+        score
+    }
+
+    /// Rank candidate entities by `r(e, Q)`.
+    pub fn rank_entities(
+        &self,
+        config: &RankingConfig,
+        seeds: &[EntityId],
+        features: &[RankedFeature],
+    ) -> Vec<RankedEntity> {
+        self.rank_entities_top_k(config, seeds, features, usize::MAX, |_| true)
+    }
+
+    /// Rank candidate entities with a pre-score filter and bounded top-k
+    /// selection — the sharded twin of the single-graph method, with the
+    /// same guarantees.
+    pub fn rank_entities_top_k<F>(
+        &self,
+        config: &RankingConfig,
+        seeds: &[EntityId],
+        features: &[RankedFeature],
+        k: usize,
+        filter: F,
+    ) -> Vec<RankedEntity>
+    where
+        F: Fn(EntityId) -> bool + Sync,
+    {
+        let top = &features[..features.len().min(config.top_features)];
+        let mut candidates = self.candidate_entities(config, seeds, features);
+        candidates.retain(|&e| filter(e));
+        self.score_and_select(config, candidates, top, k)
+    }
+
+    /// Score an explicit candidate set and select the top `k`: candidates
+    /// are routed to their home shards, each shard scores its slice and
+    /// keeps a local bounded top-k heap (on a scoped thread per shard when
+    /// the context is multi-threaded), and the per-shard heaps are merged
+    /// under the total order `(score desc, entity asc)`.
+    ///
+    /// Because the order is total and scores are pure global quantities,
+    /// the merge equals single-graph sort-then-truncate bit-for-bit — for
+    /// empty shards, shards owning no candidates, and `k` exceeding the
+    /// total candidate count alike.
+    pub fn score_and_select(
+        &self,
+        config: &RankingConfig,
+        candidates: Vec<EntityId>,
+        features: &[RankedFeature],
+        k: usize,
+    ) -> Vec<RankedEntity> {
+        // resolve the fixed feature set once: dense ids for the shared
+        // probability cache, a per-shard extent snapshot for the match
+        // check — the per-candidate loop then never touches the feature
+        // interner lock or re-routes the entity
+        let resolved: Vec<ResolvedFeature<'g>> = {
+            let fids: Vec<u32> = features.iter().map(|rf| self.intern(rf.feature)).collect();
+            let table = self.features.read().expect("feature table poisoned");
+            features
+                .iter()
+                .zip(fids)
+                .map(|(rf, fid)| ResolvedFeature {
+                    fid,
+                    score: rf.score,
+                    extents: table.entries[fid as usize].extents.clone(),
+                })
+                .collect()
+        };
+        let n = self.sg.shard_count();
+        let mut by_shard: Vec<(usize, Vec<EntityId>)> = (0..n).map(|i| (i, Vec::new())).collect();
+        for &e in &candidates {
+            by_shard[self.sg.shard_of(e)].1.push(e);
+        }
+        let score_shard = |&(si, ref cands): &(usize, Vec<EntityId>)| -> Vec<RankedEntity> {
+            let shard = self.sg.shard(si);
+            top_k_ranked(
+                cands.iter().map(|&e| {
+                    let local = shard.to_local(e).expect("owned entity");
+                    RankedEntity {
+                        entity: e,
+                        score: self.score_resolved(config, si, local, e, &resolved),
+                    }
+                }),
+                k,
+                |re| re.score,
+                |a, b| a.entity.cmp(&b.entity),
+            )
+        };
+        let shard_tops: Vec<Vec<RankedEntity>> = fan_out(self.threads, &by_shard, score_shard);
+        top_k_ranked(
+            shard_tops.into_iter().flatten(),
+            k,
+            |re| re.score,
+            |a, b| a.entity.cmp(&b.entity),
+        )
+    }
+
+    /// The inner scoring loop of [`ShardedContext::score_and_select`]:
+    /// the same math as [`ShardedContext::score_entity`] (bit-identical
+    /// by construction — same extents, same cached probabilities), but
+    /// over pre-resolved features and a pre-routed candidate.
+    fn score_resolved(
+        &self,
+        config: &RankingConfig,
+        si: usize,
+        local: EntityId,
+        e: EntityId,
+        features: &[ResolvedFeature<'_>],
+    ) -> f64 {
+        let mut score = 0.0;
+        for rf in features {
+            let p = if rf.extents[si].binary_search(&local).is_ok() {
+                1.0
+            } else if config.error_tolerant && config.smooth_candidates {
+                self.p_best_ctx_by_fid(config, rf.fid, e)
+            } else {
+                0.0
+            };
+            score += p * rf.score;
+        }
+        score
+    }
+
+    // ---- parallel substrate --------------------------------------------
+
+    /// Map a pure function over a slice using the context's worker
+    /// threads, in deterministic chunk order.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        par_map_slice(self.threads, items, f)
+    }
+
+    /// [`ShardedContext::par_map`] with an explicit thread count.
+    pub fn par_map_with<T, U, F>(&self, threads: usize, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        par_map_slice(threads, items, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::QueryContext;
+    use pivote_kg::{generate, DatagenConfig, KnowledgeGraph};
+
+    fn fixture() -> KnowledgeGraph {
+        generate(&DatagenConfig::tiny())
+    }
+
+    fn seeds(kg: &KnowledgeGraph, n: usize) -> Vec<EntityId> {
+        let film = kg.type_id("Film").unwrap();
+        kg.type_extent(film)[..n].to_vec()
+    }
+
+    #[test]
+    fn extent_sizes_match_single_graph() {
+        let kg = fixture();
+        let sg = ShardedGraph::from_graph(&kg, 3);
+        let ctx = ShardedContext::with_threads(&sg, 1);
+        for e in kg.entity_ids().take(60) {
+            for sf in features_of(&kg, e) {
+                assert_eq!(
+                    ctx.extent_len(sf),
+                    sf.extent_size(&kg),
+                    "extent size of {}",
+                    sf.display(&kg)
+                );
+                assert_eq!(ctx.extent_global(sf), sf.extent(&kg).to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_match_single_graph_bitwise() {
+        let kg = fixture();
+        let sg = ShardedGraph::from_graph(&kg, 4);
+        let sharded = ShardedContext::with_threads(&sg, 1);
+        let single = QueryContext::with_threads(&kg, 1);
+        let cfg = RankingConfig::default();
+        for e in kg.entity_ids().take(40) {
+            for sf in features_of(&kg, e).into_iter().take(6) {
+                for c in kg.categories_of(e) {
+                    assert!(
+                        (single.p_for_category(sf, c) - sharded.p_for_category(sf, c)).abs() == 0.0
+                    );
+                }
+                for probe in kg.entity_ids().take(20) {
+                    let a = single.p_feature_given_entity(&cfg, sf, probe);
+                    let b = sharded.p_feature_given_entity(&cfg, sf, probe);
+                    assert!((a - b).abs() == 0.0, "p(π|e) diverged: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rankings_match_single_graph_bitwise() {
+        let kg = fixture();
+        let cfg = RankingConfig::default();
+        let single = QueryContext::with_threads(&kg, 1);
+        let seeds = seeds(&kg, 2);
+        let sf_single = single.rank_features(&cfg, &seeds);
+        let re_single = single.rank_entities(&cfg, &seeds, &sf_single);
+        for n in [1, 2, 3, 4] {
+            let sg = ShardedGraph::from_graph(&kg, n);
+            for threads in [1, 2] {
+                let sharded = ShardedContext::with_threads(&sg, threads);
+                let sf = sharded.rank_features(&cfg, &seeds);
+                assert_eq!(sf, sf_single, "features n={n} threads={threads}");
+                let re = sharded.rank_entities(&cfg, &seeds, &sf);
+                assert_eq!(re.len(), re_single.len());
+                for (a, b) in re.iter().zip(&re_single) {
+                    assert_eq!(a.entity, b.entity, "n={n} threads={threads}");
+                    assert!(
+                        (a.score - b.score).abs() == 0.0,
+                        "score not bit-identical: {} vs {}",
+                        a.score,
+                        b.score
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_merge_handles_k_beyond_candidates_and_empty_shards() {
+        let kg = fixture();
+        // more shards than strictly needed → some shards own few/no
+        // candidates; k far beyond the candidate pool
+        let sg = ShardedGraph::from_graph(&kg, 4);
+        let sharded = ShardedContext::with_threads(&sg, 2);
+        let single = QueryContext::with_threads(&kg, 1);
+        let cfg = RankingConfig::default();
+        let seeds = seeds(&kg, 1);
+        let features = single.rank_features(&cfg, &seeds);
+        let full = single.rank_entities(&cfg, &seeds, &features);
+        for k in [0, 1, 3, full.len(), full.len() + 500, usize::MAX] {
+            let got = sharded.rank_entities_top_k(&cfg, &seeds, &features, k, |_| true);
+            let want = &full[..k.min(full.len())];
+            assert_eq!(got.len(), want.len(), "k={k}");
+            for (a, b) in got.iter().zip(want) {
+                assert_eq!(a.entity, b.entity, "k={k}");
+                assert!((a.score - b.score).abs() == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn caches_fill_and_hit() {
+        let kg = fixture();
+        let sg = ShardedGraph::from_graph(&kg, 2);
+        let ctx = ShardedContext::new(&sg);
+        let cfg = RankingConfig::default();
+        let seeds = seeds(&kg, 2);
+        let _ = ctx.rank_features(&cfg, &seeds);
+        let filled = ctx.cached_probability_count();
+        assert!(filled > 0, "smoothing must populate the global cache");
+        let _ = ctx.rank_features(&cfg, &seeds);
+        assert_eq!(ctx.cached_probability_count(), filled, "no recompute");
+    }
+}

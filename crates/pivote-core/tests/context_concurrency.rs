@@ -1,10 +1,14 @@
-//! Concurrency guarantees of the shared QueryContext: parallel and
-//! sequential execution produce bit-identical rankings, concurrent
-//! engines hammering one context agree with isolated engines, and the
-//! bounded top-k selection is a true prefix of the full ranking.
+//! Concurrency guarantees of the shared QueryContext and its sharded
+//! sibling: parallel and sequential execution produce bit-identical
+//! rankings, concurrent engines hammering one context agree with
+//! isolated engines, and the bounded top-k selection is a true prefix of
+//! the full ranking.
 
-use pivote_core::{Expander, QueryContext, RankedEntity, Ranker, RankingConfig, SfQuery};
-use pivote_kg::{generate, DatagenConfig, EntityId, KnowledgeGraph};
+use pivote_core::{
+    Expander, GraphHandle, QueryContext, RankedEntity, Ranker, RankingConfig, SfQuery,
+    ShardedContext,
+};
+use pivote_kg::{generate, shard_counts_from_env, DatagenConfig, EntityId, KnowledgeGraph};
 use std::sync::Arc;
 
 fn seeds_of(kg: &KnowledgeGraph, n: usize) -> Vec<EntityId> {
@@ -120,4 +124,66 @@ fn concurrent_queries_on_one_context_match_isolated_runs() {
         ctx.cached_probability_count() > 0,
         "shared cache should have been populated"
     );
+}
+
+#[test]
+fn concurrent_sessions_on_one_sharded_context_match_sequential_runs() {
+    // Many "sessions" (expansion queries) hammering ONE ShardedContext
+    // concurrently must produce exactly what isolated sequential
+    // single-graph runs produce — the shared global probability cache,
+    // the per-shard feature tables and the heap merge are all exercised
+    // under contention.
+    let kg = generate(&DatagenConfig::small());
+    let film = kg.type_id("Film").expect("Film type");
+    let all_seeds: Vec<Vec<EntityId>> = (0..8)
+        .map(|i| kg.type_extent(film)[i..i + 2].to_vec())
+        .collect();
+
+    // expected results from isolated, sequential single-graph engines
+    let expected: Vec<Vec<RankedEntity>> = all_seeds
+        .iter()
+        .map(|seeds| {
+            let expander = Expander::with_context(
+                Arc::new(QueryContext::with_threads(&kg, 1)),
+                RankingConfig::default(),
+            );
+            expander
+                .expand(&SfQuery::from_seeds(seeds.clone()), 25, 10)
+                .entities
+        })
+        .collect();
+
+    for shards in shard_counts_from_env(&[2, 3]) {
+        let sg = pivote_kg::ShardedGraph::from_graph(&kg, shards);
+        let ctx = Arc::new(ShardedContext::new(&sg));
+        let got: Vec<Vec<RankedEntity>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = all_seeds
+                .iter()
+                .map(|seeds| {
+                    let handle = GraphHandle::Sharded(Arc::clone(&ctx));
+                    scope.spawn(move || {
+                        let expander = Expander::with_handle(handle, RankingConfig::default());
+                        expander
+                            .expand(&SfQuery::from_seeds(seeds.clone()), 25, 10)
+                            .entities
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query thread"))
+                .collect()
+        });
+        for (i, (exp, act)) in expected.iter().zip(&got).enumerate() {
+            assert_same_ranking(
+                exp,
+                act,
+                &format!("concurrent sharded query {i} (shards={shards})"),
+            );
+        }
+        assert!(
+            ctx.cached_probability_count() > 0,
+            "shared sharded cache should have been populated"
+        );
+    }
 }

@@ -3,16 +3,23 @@
 //! semantic features effectively and efficiently").
 //!
 //! Sweeps the synthetic KG size and reports wall-clock latency of the
-//! three interactive operations: feature ranking, entity ranking, and
-//! the full matrix (both + heat map) — for the sequential (1-thread) and
-//! parallel (all-cores) [`pivote_core::QueryContext`], so the speedup of
-//! the shared execution layer is visible per scale.
+//! three interactive operations — feature ranking, entity ranking, and
+//! the full matrix (both + heat map) — for:
+//!
+//! - the single-graph [`pivote_core::QueryContext`] at 1 thread and at
+//!   all cores, and
+//! - the sharded backend ([`pivote_core::ShardedContext`] over a
+//!   [`pivote_kg::ShardedGraph`]) at 1, 2 and 4 shards,
+//!
+//! so both the thread-scaling and the shard-scaling of the shared
+//! execution layer are visible per scale. All rows are also written as
+//! JSON to `BENCH_2.json` (override the path with `BENCH_OUT`).
 //!
 //! Usage: `cargo run --release -p pivote-eval --bin exp_scaling [max_films]`
 
-use pivote_core::{Expander, HeatMap, QueryContext, RankingConfig, SfQuery};
-use pivote_kg::{generate, DatagenConfig, EntityId, KnowledgeGraph};
-use std::sync::Arc;
+use pivote_core::{Expander, GraphHandle, HeatMap, RankingConfig, SfQuery};
+use pivote_kg::{generate, DatagenConfig, EntityId, KnowledgeGraph, ShardedGraph};
+use std::fmt::Write as _;
 use std::time::Instant;
 
 struct Measured {
@@ -21,11 +28,18 @@ struct Measured {
     matrix_ms: f64,
 }
 
-fn measure(kg: &KnowledgeGraph, seeds: &[EntityId], threads: usize) -> Measured {
-    let expander = Expander::with_context(
-        Arc::new(QueryContext::with_threads(kg, threads)),
-        RankingConfig::default(),
-    );
+/// One reported configuration: `shards == 0` is the single-graph backend.
+struct Row {
+    films: usize,
+    entities: usize,
+    triples: usize,
+    shards: usize,
+    threads: usize,
+    m: Measured,
+}
+
+fn measure(handle: &GraphHandle<'_>, seeds: &[EntityId]) -> Measured {
+    let expander = Expander::with_handle(handle.clone(), RankingConfig::default());
     // warm the context cache once so measurements reflect steady state
     let _ = expander.ranker().rank_features(seeds);
 
@@ -51,6 +65,101 @@ fn measure(kg: &KnowledgeGraph, seeds: &[EntityId], threads: usize) -> Measured 
     }
 }
 
+fn print_row(r: &Row) {
+    let backend = if r.shards == 0 {
+        "single".to_owned()
+    } else {
+        format!("shard-{}", r.shards)
+    };
+    println!(
+        "{:>8} {:>9} {:>9} {:>8} {:>4} {:>13.2} {:>13.2} {:>13.2}",
+        r.films, r.entities, r.triples, backend, r.threads, r.m.feat_ms, r.m.ent_ms, r.m.matrix_ms
+    );
+}
+
+fn write_json(rows: &[Row], cores: usize, path: &str) {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"pivote-shard-scaling/1\",");
+    let _ = writeln!(
+        out,
+        "  \"label\": \"Q3 scaling sweep: single vs sharded backend (shards=0 means single)\","
+    );
+    let _ = writeln!(out, "  \"host_cpus\": {cores},");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p pivote-eval --bin exp_scaling\","
+    );
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"films\": {}, \"entities\": {}, \"triples\": {}, \"shards\": {}, \
+             \"threads\": {}, \"rank_features_ms\": {:.3}, \"rank_entities_ms\": {:.3}, \
+             \"matrix_ms\": {:.3}}}{comma}",
+            r.films,
+            r.entities,
+            r.triples,
+            r.shards,
+            r.threads,
+            r.m.feat_ms,
+            r.m.ent_ms,
+            r.m.matrix_ms
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("\nwrote {} rows to {path}", rows.len());
+    }
+}
+
+fn sweep(kg: &KnowledgeGraph, films: usize, cores: usize, rows: &mut Vec<Row>) {
+    let film = kg.type_id("Film").expect("Film type");
+    let seeds: Vec<EntityId> = kg.type_extent(film)[..3].to_vec();
+    let (entities, triples) = (kg.entity_count(), kg.triple_count());
+
+    // single backend: sequential and all-cores
+    let mut thread_counts = vec![1];
+    if cores > 1 {
+        thread_counts.push(cores);
+    }
+    for &threads in &thread_counts {
+        let handle = GraphHandle::single_with_threads(kg, threads);
+        let row = Row {
+            films,
+            entities,
+            triples,
+            shards: 0,
+            threads,
+            m: measure(&handle, &seeds),
+        };
+        print_row(&row);
+        rows.push(row);
+    }
+
+    // sharded backend: 1, 2 and 4 shards (threads = min(shards, cores)
+    // workers drive the per-shard fan-out; on a single-core host this
+    // measures the sharded layer's overhead, not a speedup)
+    for shards in [1usize, 2, 4] {
+        let sg = ShardedGraph::from_graph(kg, shards);
+        let threads = shards.min(cores.max(1));
+        let handle = GraphHandle::sharded_with_threads(&sg, threads);
+        let row = Row {
+            films,
+            entities,
+            triples,
+            shards,
+            threads,
+            m: measure(&handle, &seeds),
+        };
+        print_row(&row);
+        rows.push(row);
+    }
+}
+
 fn main() {
     let max_films: usize = std::env::args()
         .nth(1)
@@ -61,32 +170,24 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_2.json".to_owned());
 
-    println!("== Q3: interactive-operation latency vs KG size ==");
+    println!("== Q3: interactive-operation latency vs KG size and backend ==");
     println!(
-        "{:>8} {:>9} {:>9} {:>4} {:>13} {:>13} {:>13}",
-        "films", "entities", "triples", "thr", "rank_feat_ms", "rank_ent_ms", "matrix_ms"
+        "{:>8} {:>9} {:>9} {:>8} {:>4} {:>13} {:>13} {:>13}",
+        "films",
+        "entities",
+        "triples",
+        "backend",
+        "thr",
+        "rank_feat_ms",
+        "rank_ent_ms",
+        "matrix_ms"
     );
+    let mut rows: Vec<Row> = Vec::new();
     for films in sizes {
         let kg = generate(&DatagenConfig::scaled(films, 7));
-        let film = kg.type_id("Film").expect("Film type");
-        let seeds: Vec<EntityId> = kg.type_extent(film)[..3].to_vec();
-
-        for threads in [1, cores] {
-            let m = measure(&kg, &seeds, threads);
-            println!(
-                "{:>8} {:>9} {:>9} {:>4} {:>13.2} {:>13.2} {:>13.2}",
-                films,
-                kg.entity_count(),
-                kg.triple_count(),
-                threads,
-                m.feat_ms,
-                m.ent_ms,
-                m.matrix_ms
-            );
-            if cores == 1 {
-                break;
-            }
-        }
+        sweep(&kg, films, cores, &mut rows);
     }
+    write_json(&rows, cores, &out_path);
 }

@@ -5,13 +5,12 @@ use crate::groundtruth::{ese_classes, search_cases, seed_trials, QueryKind, Sear
 use crate::metrics;
 use pivote_baselines::EntityExpansion;
 use pivote_core::{
-    explain_cell, CellExplanation, Expander, HeatMap, QueryContext, RankingConfig, SfQuery,
+    explain_cell, CellExplanation, Expander, GraphHandle, HeatMap, RankingConfig, SfQuery,
 };
 use pivote_kg::{EntityId, KnowledgeGraph, TypeCouplingStats};
 use pivote_search::{Scorer, SearchEngine};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
-use std::sync::Arc;
 
 /// Configuration of the ESE quality experiment (Q1, A1, A2).
 #[derive(Debug, Clone)]
@@ -62,17 +61,31 @@ pub struct EseResult {
     pub queries: usize,
 }
 
-/// Run the entity-set-expansion evaluation for every method.
+/// Run the entity-set-expansion evaluation for every method on a fresh
+/// single-graph context.
 ///
 /// All methods (and all PivotE ablations) execute on one shared
-/// [`QueryContext`]: the `p(π|c)` densities memoized by the first trial
+/// [`GraphHandle`]: the `p(π|c)` densities memoized by the first trial
 /// are cache hits for every later trial, method and seed-set size.
 pub fn run_ese_eval(
     kg: &KnowledgeGraph,
     methods: &[&dyn EntityExpansion],
     cfg: &EseEvalConfig,
 ) -> Vec<EseResult> {
-    let ctx = Arc::new(QueryContext::new(kg));
+    run_ese_eval_on(&GraphHandle::single(kg), kg, methods, cfg)
+}
+
+/// [`run_ese_eval`] on an explicit backend handle — the sharded-matrix
+/// entry point. Ground-truth classes are always derived from the source
+/// graph `kg`; only query execution goes through `handle`, so single and
+/// sharded backends are scored on identical queries (and, because the
+/// rankings are bit-identical, produce identical metrics).
+pub fn run_ese_eval_on(
+    handle: &GraphHandle<'_>,
+    kg: &KnowledgeGraph,
+    methods: &[&dyn EntityExpansion],
+    cfg: &EseEvalConfig,
+) -> Vec<EseResult> {
     let classes = ese_classes(kg, cfg.class_size.0, cfg.class_size.1, cfg.max_classes);
     let mut out = Vec::new();
     for method in methods {
@@ -93,7 +106,7 @@ pub fn run_ese_eval(
                         continue;
                     }
                     let ranked: Vec<EntityId> = method
-                        .expand_in(&ctx, &seeds, cfg.k)
+                        .expand_in(handle, &seeds, cfg.k)
                         .into_iter()
                         .map(|(e, _)| e)
                         .collect();
@@ -252,19 +265,29 @@ pub struct HeatmapReport {
     pub dims: (usize, usize),
 }
 
-/// Compute the heat-map report for a seed query.
-///
-/// Expansion, heat-map computation and the per-cell explanations all run
-/// on one [`QueryContext`], so the explanation pass below is pure cache
-/// hits over the densities the heat map already computed.
+/// Compute the heat-map report for a seed query on a fresh single-graph
+/// context.
 pub fn run_heatmap_report(
     kg: &KnowledgeGraph,
     seeds: &[EntityId],
     k_entities: usize,
     k_features: usize,
 ) -> HeatmapReport {
-    let expander =
-        Expander::with_context(Arc::new(QueryContext::new(kg)), RankingConfig::default());
+    run_heatmap_report_on(&GraphHandle::single(kg), seeds, k_entities, k_features)
+}
+
+/// [`run_heatmap_report`] on an explicit backend handle.
+///
+/// Expansion, heat-map computation and the per-cell explanations all run
+/// on one handle, so the explanation pass below is pure cache hits over
+/// the densities the heat map already computed.
+pub fn run_heatmap_report_on(
+    handle: &GraphHandle<'_>,
+    seeds: &[EntityId],
+    k_entities: usize,
+    k_features: usize,
+) -> HeatmapReport {
+    let expander = Expander::with_handle(handle.clone(), RankingConfig::default());
     let res = expander.expand(&SfQuery::from_seeds(seeds.to_vec()), k_entities, k_features);
     let entities: Vec<EntityId> = res.entities.iter().map(|re| re.entity).collect();
     let hm = HeatMap::compute(expander.ranker(), &entities, &res.features);

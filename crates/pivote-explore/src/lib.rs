@@ -32,6 +32,8 @@ pub use events::UserAction;
 pub use path::{ExplorationPath, NodeKind, PathEdge, PathNode};
 pub use profile::{build_profile, EntityProfile};
 pub use query::ExplorationQuery;
-pub use replay::{replay, replay_with_context, session_stats, ActionLog, SessionStats};
+pub use replay::{
+    replay, replay_with_context, replay_with_handle, session_stats, ActionLog, SessionStats,
+};
 pub use session::{Session, SessionConfig, SessionState, ViewState};
 pub use timeline::{Timeline, TimelineEntry};

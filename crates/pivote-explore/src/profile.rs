@@ -6,8 +6,8 @@
 //! reproduced as a URL derived from the entity name; everything else is
 //! assembled from the local graph.
 
-use pivote_core::{features_of, Ranker};
-use pivote_kg::{EntityId, KnowledgeGraph};
+use pivote_core::Ranker;
+use pivote_kg::EntityId;
 use serde::{Deserialize, Serialize};
 
 /// A rendered entity profile.
@@ -35,12 +35,14 @@ pub struct EntityProfile {
 }
 
 /// Build the profile of `e`, keeping the `k_features` most discriminative
-/// features.
+/// features. Runs through the ranker's [`pivote_core::GraphHandle`], so
+/// profiles work identically on single and sharded backends.
 pub fn build_profile(ranker: &Ranker<'_>, e: EntityId, k_features: usize) -> EntityProfile {
-    let kg: &KnowledgeGraph = ranker.kg();
-    let mut feats: Vec<(String, f64)> = features_of(kg, e)
+    let handle = ranker.handle();
+    let mut feats: Vec<(String, f64)> = handle
+        .features_of(e)
         .into_iter()
-        .map(|sf| (sf.display(kg), ranker.discriminability(sf)))
+        .map(|sf| (handle.feature_display(sf), ranker.discriminability(sf)))
         .collect();
     feats.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
@@ -50,20 +52,26 @@ pub fn build_profile(ranker: &Ranker<'_>, e: EntityId, k_features: usize) -> Ent
     feats.truncate(k_features);
     EntityProfile {
         entity: e,
-        name: kg.entity_name(e).to_owned(),
-        label: kg.display_name(e),
-        types: kg.types_of(e).map(|t| kg.type_name(t).to_owned()).collect(),
-        categories: kg
-            .categories_of(e)
-            .map(|c| kg.category_name(c).to_owned())
+        name: handle.entity_name(e).to_owned(),
+        label: handle.display_name(e),
+        types: handle
+            .types_of(e)
+            .into_iter()
+            .map(|t| handle.type_name(t).to_owned())
             .collect(),
-        attributes: kg
+        categories: handle
+            .categories_of(e)
+            .into_iter()
+            .map(|c| handle.category_name(c).to_owned())
+            .collect(),
+        attributes: handle
             .literals(e)
-            .map(|(p, l)| (kg.predicate_name(p).to_owned(), l.lexical.clone()))
+            .into_iter()
+            .map(|(p, l)| (handle.predicate_name(p).to_owned(), l.lexical.clone()))
             .collect(),
         top_features: feats,
-        aliases: kg.aliases(e).to_vec(),
-        wikipedia_url: format!("https://en.wikipedia.org/wiki/{}", kg.entity_name(e)),
+        aliases: handle.aliases(e).to_vec(),
+        wikipedia_url: format!("https://en.wikipedia.org/wiki/{}", handle.entity_name(e)),
     }
 }
 
@@ -98,7 +106,7 @@ impl EntityProfile {
 mod tests {
     use super::*;
     use pivote_core::RankingConfig;
-    use pivote_kg::{KgBuilder, Literal};
+    use pivote_kg::{KgBuilder, KnowledgeGraph, Literal};
 
     fn ranker_kg() -> KnowledgeGraph {
         let mut b = KgBuilder::new();

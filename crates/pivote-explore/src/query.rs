@@ -68,20 +68,43 @@ impl ExplorationQuery {
 
     /// Human-readable one-line summary for the timeline.
     pub fn summary(&self, kg: &KnowledgeGraph) -> String {
+        self.summary_impl(
+            |e| kg.display_name(e),
+            |sf| sf.display(kg),
+            |t| kg.type_name(t).to_owned(),
+        )
+    }
+
+    /// [`ExplorationQuery::summary`] over a backend-agnostic
+    /// [`GraphHandle`] — identical output on single and sharded backends.
+    pub fn summary_with(&self, handle: &pivote_core::GraphHandle<'_>) -> String {
+        self.summary_impl(
+            |e| handle.display_name(e),
+            |sf| handle.feature_display(*sf),
+            |t| handle.type_name(t).to_owned(),
+        )
+    }
+
+    fn summary_impl(
+        &self,
+        display: impl Fn(EntityId) -> String,
+        feat: impl Fn(&SemanticFeature) -> String,
+        tname: impl Fn(TypeId) -> String,
+    ) -> String {
         let mut parts: Vec<String> = Vec::new();
         if let Some(k) = &self.keywords {
             parts.push(format!("keywords: {k:?}"));
         }
         if !self.sf.seeds.is_empty() {
-            let names: Vec<String> = self.sf.seeds.iter().map(|&e| kg.display_name(e)).collect();
+            let names: Vec<String> = self.sf.seeds.iter().map(|&e| display(e)).collect();
             parts.push(format!("seeds: {}", names.join(", ")));
         }
         if !self.sf.required.is_empty() {
-            let feats: Vec<String> = self.sf.required.iter().map(|sf| sf.display(kg)).collect();
+            let feats: Vec<String> = self.sf.required.iter().map(feat).collect();
             parts.push(format!("features: {}", feats.join(", ")));
         }
         if let Some(t) = self.sf.type_filter {
-            parts.push(format!("type: {}", kg.type_name(t)));
+            parts.push(format!("type: {}", tname(t)));
         }
         if parts.is_empty() {
             "(empty)".to_owned()

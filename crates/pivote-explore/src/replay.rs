@@ -71,6 +71,19 @@ pub fn replay_with_context<'kg>(
     session
 }
 
+/// [`replay_with_context`] over any backend handle — the mechanism that
+/// lets a recorded session be reproduced against a sharded deployment of
+/// the same graph (rankings replay bit-identically on both backends).
+pub fn replay_with_handle<'kg>(
+    handle: &pivote_core::GraphHandle<'kg>,
+    config: crate::session::SessionConfig,
+    log: &ActionLog,
+) -> Session<'kg> {
+    let mut session = Session::with_handle(handle.clone(), config);
+    replay(&mut session, log);
+    session
+}
+
 /// Aggregate statistics of an exploration session, computed from its
 /// log and timeline — what the demo's path "view" summarizes.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]

@@ -13,11 +13,11 @@ use crate::profile::{build_profile, EntityProfile};
 use crate::query::ExplorationQuery;
 use crate::timeline::Timeline;
 use pivote_core::{
-    Expander, HeatMap, QueryContext, RankedEntity, RankedFeature, RankingConfig, SemanticFeature,
-    SfQuery,
+    Expander, GraphHandle, HeatMap, QueryContext, RankedEntity, RankedFeature, RankingConfig,
+    SemanticFeature, SfQuery,
 };
-use pivote_kg::{EntityId, KnowledgeGraph, TypeId};
-use pivote_search::{SearchConfig, SearchEngine};
+use pivote_kg::{EntityId, KnowledgeGraph, ShardedGraph, TypeId};
+use pivote_search::{Hit, SearchConfig, SearchEngine};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -104,10 +104,26 @@ pub struct SessionState {
     pub query: ExplorationQuery,
 }
 
-/// An interactive exploration session over one knowledge graph.
+/// The keyword-search component, per backend: one index over the single
+/// graph, or one index per shard with an owned-entity merge.
+enum SearchBackend {
+    /// One engine over the whole graph (boxed: the single-engine variant
+    /// is much larger than the per-shard vector).
+    Single(Box<SearchEngine>),
+    /// One engine per shard (indexed over the shard-local graph). Hits
+    /// are filtered to owned entities (ghosts are re-indexed by their
+    /// home shard), remapped to global ids and merged by
+    /// `(score desc, id asc)`. Scores use per-shard corpus statistics, so
+    /// — unlike the ranking paths — sharded search is deterministic but
+    /// not bit-identical to single-graph search.
+    Sharded(Vec<SearchEngine>),
+}
+
+/// An interactive exploration session over one knowledge graph — single
+/// or sharded backend, behind one [`GraphHandle`].
 pub struct Session<'kg> {
-    kg: &'kg KnowledgeGraph,
-    search: SearchEngine,
+    handle: GraphHandle<'kg>,
+    search: SearchBackend,
     expander: Expander<'kg>,
     config: SessionConfig,
     timeline: Timeline,
@@ -126,11 +142,33 @@ impl<'kg> Session<'kg> {
     /// Build a session on an existing execution context — replayed or
     /// concurrent sessions over one graph share its memoized state.
     pub fn with_context(ctx: Arc<QueryContext<'kg>>, config: SessionConfig) -> Self {
-        let kg = ctx.kg();
+        Self::with_handle(GraphHandle::Single(ctx), config)
+    }
+
+    /// Build a session over a sharded graph with a fresh sharded context.
+    pub fn sharded(sg: &'kg ShardedGraph, config: SessionConfig) -> Self {
+        Self::with_handle(GraphHandle::sharded(sg), config)
+    }
+
+    /// Build a session on any backend handle — every query path (search,
+    /// expansion, heat map, profiles, replay) runs through it unchanged.
+    pub fn with_handle(handle: GraphHandle<'kg>, config: SessionConfig) -> Self {
+        let search = match &handle {
+            GraphHandle::Single(ctx) => {
+                SearchBackend::Single(Box::new(SearchEngine::build(ctx.kg(), config.search)))
+            }
+            GraphHandle::Sharded(ctx) => SearchBackend::Sharded(
+                ctx.graph()
+                    .shards()
+                    .iter()
+                    .map(|s| SearchEngine::build(s.graph(), config.search))
+                    .collect(),
+            ),
+        };
         Self {
-            kg,
-            search: SearchEngine::build(kg, config.search),
-            expander: Expander::with_context(ctx, config.ranking),
+            search,
+            expander: Expander::with_handle(handle.clone(), config.ranking),
+            handle,
             config,
             timeline: Timeline::new(),
             path: ExplorationPath::new(),
@@ -146,8 +184,17 @@ impl<'kg> Session<'kg> {
 
     /// The shared query-execution context (probability caches, worker
     /// pool) every engine of this session runs on.
+    ///
+    /// # Panics
+    /// When the session runs on a sharded backend; use
+    /// [`Session::handle`].
     pub fn query_context(&self) -> &Arc<QueryContext<'kg>> {
         self.expander.context()
+    }
+
+    /// The backend-agnostic graph handle this session runs on.
+    pub fn handle(&self) -> &GraphHandle<'kg> {
+        &self.handle
     }
 
     /// The current view.
@@ -165,14 +212,69 @@ impl<'kg> Session<'kg> {
         &self.path
     }
 
-    /// The knowledge graph under exploration.
+    /// The knowledge graph under exploration — single backend only.
+    ///
+    /// # Panics
+    /// When the session runs on a sharded backend; use
+    /// [`Session::handle`].
     pub fn kg(&self) -> &'kg KnowledgeGraph {
-        self.kg
+        self.handle
+            .kg()
+            .expect("Session::kg is single-backend only; use Session::handle")
     }
 
-    /// The search engine component.
+    /// The search engine component — single backend only.
+    ///
+    /// # Panics
+    /// When the session runs on a sharded backend (search is then a
+    /// per-shard engine set merged by [`Session::search_hits`]).
     pub fn search_engine(&self) -> &SearchEngine {
-        &self.search
+        match &self.search {
+            SearchBackend::Single(engine) => engine,
+            SearchBackend::Sharded(_) => {
+                panic!("Session::search_engine is single-backend only")
+            }
+        }
+    }
+
+    /// Top-`k` keyword hits on whichever search backend this session has.
+    pub fn search_hits(&self, query: &str, k: usize) -> Vec<Hit> {
+        match &self.search {
+            SearchBackend::Single(engine) => engine.search(query, k),
+            SearchBackend::Sharded(engines) => {
+                let sg = self
+                    .handle
+                    .sharded_graph()
+                    .expect("sharded search backend implies sharded handle");
+                let mut hits: Vec<Hit> = engines
+                    .iter()
+                    .zip(sg.shards())
+                    .flat_map(|(engine, shard)| {
+                        // fetch ALL of the shard's matches, not the top k:
+                        // ghost hits are dropped below, and truncating
+                        // before the ghost filter could starve owned
+                        // matches ranked behind k ghosts
+                        engine
+                            .search(query, usize::MAX)
+                            .into_iter()
+                            // drop ghost hits: the home shard re-indexes them
+                            .filter(|h| shard.is_owned(h.entity))
+                            .map(|h| Hit {
+                                entity: shard.to_global(h.entity),
+                                score: h.score,
+                            })
+                    })
+                    .collect();
+                hits.sort_unstable_by(|a, b| {
+                    b.score
+                        .partial_cmp(&a.score)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.entity.cmp(&b.entity))
+                });
+                hits.truncate(k);
+                hits
+            }
+        }
     }
 
     /// The recommendation engine component.
@@ -246,7 +348,7 @@ impl<'kg> Session<'kg> {
                 ));
                 self.path.branch(
                     NodeKind::Entity,
-                    self.kg.display_name(entity),
+                    self.handle.display_name(entity),
                     action.verb(),
                 );
             }
@@ -257,7 +359,7 @@ impl<'kg> Session<'kg> {
                     match self.path.node_for_timeline(index) {
                         Some(node) => self.path.jump_to(node),
                         None => {
-                            let label = self.view.query.summary(self.kg);
+                            let label = self.view.query.summary_with(&self.handle);
                             self.path
                                 .advance(NodeKind::Query, label, Some(index), action.verb());
                         }
@@ -322,7 +424,7 @@ impl<'kg> Session<'kg> {
     // ---- internals -----------------------------------------------------
 
     fn record(&mut self, action: &UserAction) {
-        let summary = self.view.query.summary(self.kg);
+        let summary = self.view.query.summary_with(&self.handle);
         let index = self
             .timeline
             .record(action.verb(), self.view.query.clone(), summary.clone());
@@ -346,7 +448,7 @@ impl<'kg> Session<'kg> {
                 .expand(&q.sf, self.config.k_entities, feature_pool);
             (res.entities, res.features)
         } else if let Some(keywords) = &q.keywords {
-            let hits = self.search.search(keywords, self.config.k_entities);
+            let hits = self.search_hits(keywords, self.config.k_entities);
             let entities: Vec<RankedEntity> = hits
                 .iter()
                 .map(|h| RankedEntity {
@@ -361,11 +463,16 @@ impl<'kg> Session<'kg> {
             // as pseudo-seeds, with a single-seed fallback.
             let pseudo: Vec<EntityId> = match hits.first() {
                 Some(top) => {
-                    let top_types: Vec<TypeId> = self.kg.types_of(top.entity).collect();
+                    let top_types: Vec<TypeId> = self.handle.types_of(top.entity);
                     hits.iter()
                         .map(|h| h.entity)
                         .filter(|&e| {
-                            e == top.entity || self.kg.types_of(e).any(|t| top_types.contains(&t))
+                            e == top.entity
+                                || self
+                                    .handle
+                                    .types_of(e)
+                                    .iter()
+                                    .any(|t| top_types.contains(t))
                         })
                         .take(self.config.pseudo_seeds_from_search)
                         .collect()
@@ -395,22 +502,22 @@ impl<'kg> Session<'kg> {
     fn common_specific_type(&self, seeds: &[EntityId]) -> Option<TypeId> {
         let mut iter = seeds.iter();
         let first = iter.next()?;
-        let mut shared: Vec<TypeId> = self.kg.types_of(*first).collect();
+        let mut shared: Vec<TypeId> = self.handle.types_of(*first);
         for &e in iter {
-            let types: Vec<TypeId> = self.kg.types_of(e).collect();
+            let types: Vec<TypeId> = self.handle.types_of(e);
             shared.retain(|t| types.contains(t));
         }
         shared
             .into_iter()
-            .min_by_key(|&t| self.kg.type_extent(t).len())
+            .min_by_key(|&t| self.handle.type_extent_len(t))
     }
 
     /// The dominant type of a feature's extent — where a pivot lands.
     fn dominant_type(&self, feature: SemanticFeature) -> Option<TypeId> {
-        let extent = feature.extent(self.kg);
+        let extent = self.handle.feature_extent(feature);
         let mut counts: std::collections::HashMap<TypeId, usize> = std::collections::HashMap::new();
-        for &e in extent {
-            for t in self.kg.types_of(e) {
+        for &e in extent.as_ref() {
+            for t in self.handle.types_of(e) {
                 *counts.entry(t).or_default() += 1;
             }
         }
@@ -420,10 +527,9 @@ impl<'kg> Session<'kg> {
                 a.1.cmp(&b.1)
                     // tie: prefer the more specific (smaller) type
                     .then_with(|| {
-                        self.kg
-                            .type_extent(b.0)
-                            .len()
-                            .cmp(&self.kg.type_extent(a.0).len())
+                        self.handle
+                            .type_extent_len(b.0)
+                            .cmp(&self.handle.type_extent_len(a.0))
                     })
                     .then_with(|| b.0.cmp(&a.0))
             })
@@ -609,6 +715,82 @@ mod tests {
             preds.len() >= 3,
             "expected a multi-aspect feature axis, got {} predicates",
             preds.len()
+        );
+    }
+
+    #[test]
+    fn sharded_session_matches_single_session_rankings() {
+        // the same clicks against a sharded backend must produce
+        // bit-identical recommendation areas and heat maps
+        let kg = session_kg();
+        let sg = pivote_kg::ShardedGraph::from_graph(&kg, 3);
+        let film = kg.type_id("Film").unwrap();
+        let f = kg.type_extent(film)[0];
+
+        let mut single = Session::with_defaults(&kg);
+        let mut sharded = Session::sharded(&sg, SessionConfig::default());
+        single.click_entity(f);
+        sharded.click_entity(f);
+
+        let (a, b) = (single.view(), sharded.view());
+        assert_eq!(a.query, b.query, "query state (incl. auto type filter)");
+        assert_eq!(a.entities.len(), b.entities.len());
+        for (x, y) in a.entities.iter().zip(&b.entities) {
+            assert_eq!(x.entity, y.entity);
+            assert!((x.score - y.score).abs() == 0.0, "score not bit-identical");
+        }
+        assert_eq!(a.features.len(), b.features.len());
+        for (x, y) in a.features.iter().zip(&b.features) {
+            assert_eq!(x.feature, y.feature);
+            assert!((x.score - y.score).abs() == 0.0);
+        }
+        assert_eq!(a.heatmap.levels, b.heatmap.levels, "heat-map levels");
+        assert_eq!(a.heatmap.values, b.heatmap.values, "heat-map values");
+        assert_eq!(
+            single.timeline().iter().last().unwrap().summary,
+            sharded.timeline().iter().last().unwrap().summary,
+            "timeline summaries render identically"
+        );
+
+        // profiles assemble from home shards
+        sharded.lookup(f);
+        let profile = sharded.view().focus.as_ref().unwrap();
+        assert_eq!(profile.label, kg.display_name(f));
+
+        // keyword search on the sharded backend: deterministic per-shard
+        // merge that still finds the entity (scores use per-shard corpus
+        // stats, so only membership is asserted)
+        let hits = sharded.search_hits(&kg.display_name(f), 10);
+        assert!(hits.iter().any(|h| h.entity == f), "sharded search miss");
+    }
+
+    #[test]
+    fn replay_onto_sharded_backend_reproduces_rankings() {
+        let kg = session_kg();
+        let sg = pivote_kg::ShardedGraph::from_graph(&kg, 2);
+        let film = kg.type_id("Film").unwrap();
+        let f = kg.type_extent(film)[0];
+        let mut original = Session::with_defaults(&kg);
+        original.click_entity(f);
+        let replayed = crate::replay::replay_with_handle(
+            &pivote_core::GraphHandle::sharded(&sg),
+            SessionConfig::default(),
+            original.action_log(),
+        );
+        assert_eq!(
+            original
+                .view()
+                .entities
+                .iter()
+                .map(|re| re.entity)
+                .collect::<Vec<_>>(),
+            replayed
+                .view()
+                .entities
+                .iter()
+                .map(|re| re.entity)
+                .collect::<Vec<_>>(),
+            "single-backend session must replay identically on shards"
         );
     }
 

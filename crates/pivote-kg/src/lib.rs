@@ -12,6 +12,9 @@
 //! - N-Triples input/output for real DBpedia-style data ([`ntriples`]);
 //! - a deterministic synthetic DBpedia-like generator that substitutes for
 //!   the paper's DBpedia corpus ([`datagen`]);
+//! - entity-id-range sharding — [`ShardedGraph`]/[`ShardRouter`] with a
+//!   shard-local id remap whose invariants make sharded rankings
+//!   bit-identical to single-graph rankings ([`shard`]);
 //! - type-coupling statistics backing the paper's Fig. 1-b type view and
 //!   the pivot operation ([`stats`]).
 //!
@@ -36,6 +39,7 @@ pub mod id;
 pub mod interner;
 pub mod ntriples;
 pub mod schema;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -45,6 +49,7 @@ pub use datagen::{generate, DatagenConfig, Zipf};
 pub use id::{CategoryId, EntityId, LiteralId, PredicateId, TypeId};
 pub use interner::Interner;
 pub use ntriples::{parse, parse_into_builder, serialize, ParseError};
+pub use shard::{shard_counts_from_env, GraphShard, ShardRouter, ShardedGraph};
 pub use snapshot::{load_from_path, save_to_path, SnapshotError};
 pub use stats::{Coupling, TypeCouplingStats};
 pub use store::{GraphSummary, KgBuilder, KnowledgeGraph};

@@ -1,0 +1,742 @@
+//! Range-sharded knowledge graphs.
+//!
+//! [`ShardedGraph`] partitions a [`KnowledgeGraph`] by **entity-id range**
+//! into `N` independent [`KnowledgeGraph`] shards so that query layers can
+//! fan work out per shard and merge bounded top-k results — the seam for
+//! graphs larger than one machine's memory. The partitioning is chosen so
+//! that the ranking model's set algebra decomposes *exactly*:
+//!
+//! - A [`ShardRouter`] maps every global [`EntityId`] to the shard that
+//!   **owns** it (contiguous ranges, so routing is a binary search over
+//!   `N+1` cut points).
+//! - Each shard stores every triple **incident to an owned entity** (a
+//!   triple whose endpoints live in two shards is stored in both). The
+//!   non-owned endpoints interned into a shard are its *ghosts*.
+//! - Shard-local entity ids are remapped densely: owned entities first, in
+//!   ascending global order (`local = global − range.start`), then ghosts
+//!   in ascending global order. Two invariants follow that the execution
+//!   layer (`pivote-core`) relies on:
+//!   1. **Owned prefix**: in any sorted local-id extent slice, the owned
+//!      members form a prefix (`local < owned_count`), so
+//!      `‖E(π) ∩ range_i‖` is one `partition_point`.
+//!   2. **Order preservation**: among owned locals, local order equals
+//!      global order, so per-shard owned extents remapped to global ids
+//!      and concatenated in shard order are globally sorted.
+//! - Types, categories, labels, aliases and literals are stored **only**
+//!   in the owning shard, so context extents (`E(c)`, `E(t)`) are
+//!   disjoint across shards and global counts are plain sums.
+//! - Predicate, type and category dictionaries are replicated into every
+//!   shard in global id order, so those dense ids are **identical** in
+//!   every shard and in the source graph.
+//!
+//! Together these give the exact decompositions
+//! `‖E(π)‖ = Σᵢ ‖Eᵢ(π) ∩ rangeᵢ‖` and
+//! `‖E(π) ∩ E(c)‖ = Σᵢ ‖Eᵢ(π) ∩ Eᵢ(c)‖` (integer sums — no floating
+//! error), which is what makes sharded rankings bit-identical to
+//! single-graph rankings.
+
+use crate::id::{CategoryId, EntityId, PredicateId, TypeId};
+use crate::store::{KgBuilder, KnowledgeGraph};
+use crate::triple::Literal;
+
+/// Shard counts for a test/benchmark matrix, from the `PIVOTE_SHARDS`
+/// environment variable (comma-separated, e.g. `PIVOTE_SHARDS=1,4`), or
+/// `default` when unset/unparsable. This is the hook the CI sharded
+/// matrix uses to run one suite per shard configuration.
+pub fn shard_counts_from_env(default: &[usize]) -> Vec<usize> {
+    match std::env::var("PIVOTE_SHARDS") {
+        Ok(v) => {
+            let parsed: Vec<usize> = v
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&n| n >= 1)
+                .collect();
+            if parsed.is_empty() {
+                default.to_vec()
+            } else {
+                parsed
+            }
+        }
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// Maps global entity ids to shards by contiguous id range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouter {
+    /// `cuts[i]..cuts[i+1]` is the global-id range owned by shard `i`.
+    cuts: Vec<u32>,
+}
+
+impl ShardRouter {
+    /// Uniform ranges: `shards` shards of (up to) `ceil(count/shards)`
+    /// entities each. Trailing shards may be empty when `shards` exceeds
+    /// the entity count — query layers must tolerate empty shards.
+    pub fn uniform(entity_count: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let count = entity_count as u32;
+        let chunk = (entity_count.div_ceil(shards)).max(1) as u32;
+        let cuts = (0..=shards)
+            .map(|i| (i as u32).saturating_mul(chunk).min(count))
+            .collect();
+        Self { cuts }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.cuts.len() - 1
+    }
+
+    /// The shard owning `e`.
+    ///
+    /// # Panics
+    /// If `e` is outside the routed id space.
+    pub fn shard_of(&self, e: EntityId) -> usize {
+        assert!(
+            e.raw() < *self.cuts.last().expect("router has cut points"),
+            "entity {e} outside the routed id space"
+        );
+        self.cuts.partition_point(|&c| c <= e.raw()) - 1
+    }
+
+    /// The global-id range owned by shard `i`.
+    pub fn range(&self, i: usize) -> std::ops::Range<u32> {
+        self.cuts[i]..self.cuts[i + 1]
+    }
+
+    /// Total number of routed entities.
+    pub fn entity_count(&self) -> usize {
+        *self.cuts.last().expect("router has cut points") as usize
+    }
+}
+
+/// One shard: a self-contained [`KnowledgeGraph`] over the owned entity
+/// range plus ghost copies of cross-shard neighbours, with the local ↔
+/// global id remap table.
+#[derive(Debug)]
+pub struct GraphShard {
+    graph: KnowledgeGraph,
+    /// Local id → global id. Owned locals (`0..owned_count`) are the
+    /// shard's range in ascending order; ghost locals follow, also
+    /// ascending in global id.
+    local_to_global: Vec<EntityId>,
+    /// First global id of the owned range (`local = global − base` for
+    /// owned entities).
+    base: u32,
+    owned_count: usize,
+}
+
+impl GraphShard {
+    /// The shard-local graph. All ids in its API are **local**.
+    pub fn graph(&self) -> &KnowledgeGraph {
+        &self.graph
+    }
+
+    /// Number of entities this shard owns (not counting ghosts).
+    pub fn owned_count(&self) -> usize {
+        self.owned_count
+    }
+
+    /// Whether a *local* id is an owned entity (vs a ghost).
+    #[inline]
+    pub fn is_owned(&self, local: EntityId) -> bool {
+        local.index() < self.owned_count
+    }
+
+    /// Map a local id back to the global id space.
+    #[inline]
+    pub fn to_global(&self, local: EntityId) -> EntityId {
+        self.local_to_global[local.index()]
+    }
+
+    /// Map a global id to this shard's local id space, if the entity is
+    /// present here (owned or ghost).
+    pub fn to_local(&self, global: EntityId) -> Option<EntityId> {
+        let owned_end = self.base + self.owned_count as u32;
+        if (self.base..owned_end).contains(&global.raw()) {
+            return Some(EntityId::new(global.raw() - self.base));
+        }
+        self.local_to_global[self.owned_count..]
+            .binary_search(&global)
+            .ok()
+            .map(|i| EntityId::new((self.owned_count + i) as u32))
+    }
+
+    /// Length of the owned prefix of a sorted local-id extent slice —
+    /// exactly `‖E ∩ range‖` for this shard's range (invariant 1 above).
+    #[inline]
+    pub fn owned_prefix_len(&self, extent: &[EntityId]) -> usize {
+        extent.partition_point(|&e| e.index() < self.owned_count)
+    }
+
+    /// Append the owned prefix of a sorted local extent to `out` as
+    /// global ids (stays sorted — invariant 2 above).
+    pub fn extend_owned_global(&self, extent: &[EntityId], out: &mut Vec<EntityId>) {
+        let n = self.owned_prefix_len(extent);
+        out.extend(extent[..n].iter().map(|&e| self.to_global(e)));
+    }
+}
+
+/// A knowledge graph partitioned into range-owned shards.
+///
+/// All public accessors speak **global ids** (the id space of the source
+/// graph); per-shard access via [`ShardedGraph::shard`] speaks local ids.
+#[derive(Debug)]
+pub struct ShardedGraph {
+    router: ShardRouter,
+    shards: Vec<GraphShard>,
+    relation_count: usize,
+    triple_count: usize,
+}
+
+impl ShardedGraph {
+    /// Partition `kg` into `shards` range shards.
+    ///
+    /// Every global entity id is owned by exactly one shard; every triple
+    /// is stored in the shard(s) owning its endpoints; dictionaries for
+    /// predicates, types and categories are replicated in global order so
+    /// their dense ids agree across shards.
+    pub fn from_graph(kg: &KnowledgeGraph, shards: usize) -> Self {
+        let router = ShardRouter::uniform(kg.entity_count(), shards);
+        let n = router.shard_count();
+        let mut triples: Vec<Vec<(EntityId, PredicateId, EntityId)>> = vec![Vec::new(); n];
+        let mut ghosts: Vec<Vec<EntityId>> = vec![Vec::new(); n];
+        for t in kg.entity_triples() {
+            let o = t.object.as_entity().expect("entity triple");
+            let (ss, os) = (router.shard_of(t.subject), router.shard_of(o));
+            triples[ss].push((t.subject, t.predicate, o));
+            if os != ss {
+                triples[os].push((t.subject, t.predicate, o));
+                ghosts[os].push(t.subject);
+                ghosts[ss].push(o);
+            }
+        }
+
+        let built = (0..n)
+            .map(|i| {
+                let range = router.range(i);
+                let base = range.start;
+                let owned_count = range.len();
+                let mut b = KgBuilder::new();
+                // replicate the dictionaries in global id order so dense
+                // predicate/type/category ids match the source graph
+                for p in kg.predicate_ids() {
+                    b.predicate(kg.predicate_name(p));
+                }
+                for t in kg.type_ids() {
+                    b.declare_type(kg.type_name(t));
+                }
+                for c in kg.category_ids() {
+                    b.declare_category(kg.category_name(c));
+                }
+                // owned entities first, ascending; then ghosts, ascending
+                let mut local_to_global: Vec<EntityId> = Vec::with_capacity(owned_count);
+                for g in range.clone() {
+                    let ge = EntityId::new(g);
+                    let le = b.entity(kg.entity_name(ge));
+                    debug_assert_eq!(le.raw(), g - base, "owned locals must be dense");
+                    local_to_global.push(ge);
+                }
+                ghosts[i].sort_unstable();
+                ghosts[i].dedup();
+                for &ge in &ghosts[i] {
+                    b.entity(kg.entity_name(ge));
+                    local_to_global.push(ge);
+                }
+                let ghost_list = &local_to_global[owned_count..];
+                let to_local = |g: EntityId| -> EntityId {
+                    if range.contains(&g.raw()) {
+                        EntityId::new(g.raw() - base)
+                    } else {
+                        let idx = ghost_list.binary_search(&g).expect("ghost interned");
+                        EntityId::new((owned_count + idx) as u32)
+                    }
+                };
+                // owned-only facets: labels, memberships, literals, aliases
+                for g in range.clone() {
+                    let ge = EntityId::new(g);
+                    let le = EntityId::new(g - base);
+                    if let Some(l) = kg.label(ge) {
+                        b.label(le, l);
+                    }
+                    for t in kg.types_of(ge) {
+                        b.typed(le, kg.type_name(t));
+                    }
+                    for c in kg.categories_of(ge) {
+                        b.categorized(le, kg.category_name(c));
+                    }
+                    for (p, lit) in kg.literals(ge) {
+                        b.literal_triple(le, p, lit.clone());
+                    }
+                    for a in kg.aliases(ge) {
+                        b.redirect(a.clone(), le);
+                    }
+                }
+                for &(s, p, o) in &triples[i] {
+                    b.triple(to_local(s), p, to_local(o));
+                }
+                GraphShard {
+                    graph: b.finish(),
+                    local_to_global,
+                    base,
+                    owned_count,
+                }
+            })
+            .collect();
+
+        Self {
+            router,
+            shards: built,
+            relation_count: kg.relation_count(),
+            triple_count: kg.triple_count(),
+        }
+    }
+
+    /// The entity → shard router.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// All shards, in range order.
+    pub fn shards(&self) -> &[GraphShard] {
+        &self.shards
+    }
+
+    /// Shard `i`.
+    pub fn shard(&self, i: usize) -> &GraphShard {
+        &self.shards[i]
+    }
+
+    /// The shard owning global entity `e`.
+    pub fn shard_of(&self, e: EntityId) -> usize {
+        self.router.shard_of(e)
+    }
+
+    /// The owning shard of `e` together with `e`'s local id there.
+    pub fn home(&self, e: EntityId) -> (&GraphShard, EntityId) {
+        let shard = &self.shards[self.router.shard_of(e)];
+        let local = EntityId::new(e.raw() - shard.base);
+        (shard, local)
+    }
+
+    // ---- global-id read API --------------------------------------------
+
+    /// Total number of entities across all shards (ghosts not counted).
+    pub fn entity_count(&self) -> usize {
+        self.router.entity_count()
+    }
+
+    /// Number of distinct predicates (identical in every shard).
+    pub fn predicate_count(&self) -> usize {
+        self.dict().predicate_count()
+    }
+
+    /// Number of distinct types (identical in every shard).
+    pub fn type_count(&self) -> usize {
+        self.dict().type_count()
+    }
+
+    /// Number of distinct categories (identical in every shard).
+    pub fn category_count(&self) -> usize {
+        self.dict().category_count()
+    }
+
+    /// Entity-to-entity statements in the source graph (cross-shard
+    /// triples counted once).
+    pub fn relation_count(&self) -> usize {
+        self.relation_count
+    }
+
+    /// Total statements in the source graph.
+    pub fn triple_count(&self) -> usize {
+        self.triple_count
+    }
+
+    /// Any shard's graph, used for the replicated dictionaries (shard 0
+    /// always exists: the router clamps to ≥ 1 shard).
+    fn dict(&self) -> &KnowledgeGraph {
+        self.shards[0].graph()
+    }
+
+    /// Resolve an entity by name (scans shards; owned interning means the
+    /// home shard always knows the name).
+    pub fn entity(&self, name: &str) -> Option<EntityId> {
+        self.shards
+            .iter()
+            .find_map(|s| s.graph.entity(name).map(|local| s.to_global(local)))
+    }
+
+    /// The canonical name of a global entity.
+    pub fn entity_name(&self, e: EntityId) -> &str {
+        let (shard, local) = self.home(e);
+        shard.graph.entity_name(local)
+    }
+
+    /// The `rdfs:label` of a global entity, if set.
+    pub fn label(&self, e: EntityId) -> Option<&str> {
+        let (shard, local) = self.home(e);
+        shard.graph.label(local)
+    }
+
+    /// Display name (label, else name with underscores as spaces).
+    pub fn display_name(&self, e: EntityId) -> String {
+        let (shard, local) = self.home(e);
+        shard.graph.display_name(local)
+    }
+
+    /// Redirect/disambiguation aliases of a global entity.
+    pub fn aliases(&self, e: EntityId) -> &[String] {
+        let (shard, local) = self.home(e);
+        shard.graph.aliases(local)
+    }
+
+    /// Literal statements of a global entity.
+    pub fn literals(&self, e: EntityId) -> impl Iterator<Item = (PredicateId, &Literal)> + '_ {
+        let (shard, local) = self.home(e);
+        shard.graph.literals(local)
+    }
+
+    /// Resolve a predicate by name.
+    pub fn predicate(&self, name: &str) -> Option<PredicateId> {
+        self.dict().predicate(name)
+    }
+
+    /// The name of a predicate.
+    pub fn predicate_name(&self, p: PredicateId) -> &str {
+        self.dict().predicate_name(p)
+    }
+
+    /// Resolve a type by name.
+    pub fn type_id(&self, name: &str) -> Option<TypeId> {
+        self.dict().type_id(name)
+    }
+
+    /// The name of a type.
+    pub fn type_name(&self, t: TypeId) -> &str {
+        self.dict().type_name(t)
+    }
+
+    /// Resolve a category by name.
+    pub fn category_id(&self, name: &str) -> Option<CategoryId> {
+        self.dict().category_id(name)
+    }
+
+    /// The name of a category.
+    pub fn category_name(&self, c: CategoryId) -> &str {
+        self.dict().category_name(c)
+    }
+
+    /// Types of a global entity (type ids are global in every shard).
+    pub fn types_of(&self, e: EntityId) -> impl Iterator<Item = TypeId> + '_ {
+        let (shard, local) = self.home(e);
+        shard.graph.types_of(local)
+    }
+
+    /// Categories of a global entity.
+    pub fn categories_of(&self, e: EntityId) -> impl Iterator<Item = CategoryId> + '_ {
+        let (shard, local) = self.home(e);
+        shard.graph.categories_of(local)
+    }
+
+    /// Whether global entity `e` has type `t`.
+    pub fn has_type(&self, e: EntityId, t: TypeId) -> bool {
+        let (shard, local) = self.home(e);
+        shard.graph.has_type(local, t)
+    }
+
+    /// Whether global entity `e` is in category `c`.
+    pub fn has_category(&self, e: EntityId, c: CategoryId) -> bool {
+        let (shard, local) = self.home(e);
+        shard.graph.has_category(local, c)
+    }
+
+    /// Degree of a global entity (its home shard stores every incident
+    /// triple, so this equals the single-graph degree).
+    pub fn degree(&self, e: EntityId) -> usize {
+        let (shard, local) = self.home(e);
+        shard.graph.degree(local)
+    }
+
+    /// Outgoing `(predicate, object)` pairs of a global entity, with
+    /// objects remapped to global ids. Complete (home shard stores every
+    /// incident triple), but ordered by the shard-local target ids.
+    pub fn out_edges(&self, e: EntityId) -> Vec<(PredicateId, EntityId)> {
+        let (shard, local) = self.home(e);
+        shard
+            .graph
+            .out_edges(local)
+            .map(|(p, o)| (p, shard.to_global(o)))
+            .collect()
+    }
+
+    /// Incoming `(predicate, subject)` pairs of a global entity, subjects
+    /// remapped to global ids.
+    pub fn in_edges(&self, e: EntityId) -> Vec<(PredicateId, EntityId)> {
+        let (shard, local) = self.home(e);
+        shard
+            .graph
+            .in_edges(local)
+            .map(|(p, s)| (p, shard.to_global(s)))
+            .collect()
+    }
+
+    /// Global extent of type `t`: per-shard owned extents (disjoint and
+    /// locally sorted) concatenated in shard order — globally sorted.
+    pub fn type_extent(&self, t: TypeId) -> Vec<EntityId> {
+        let mut out = Vec::with_capacity(self.type_extent_len(t));
+        for shard in &self.shards {
+            shard.extend_owned_global(shard.graph.type_extent(t), &mut out);
+        }
+        out
+    }
+
+    /// `‖E(t)‖` without materializing the extent.
+    pub fn type_extent_len(&self, t: TypeId) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.graph.type_extent(t).len())
+            .sum()
+    }
+
+    /// Global extent of category `c`, sorted.
+    pub fn category_extent(&self, c: CategoryId) -> Vec<EntityId> {
+        let mut out = Vec::with_capacity(self.category_extent_len(c));
+        for shard in &self.shards {
+            shard.extend_owned_global(shard.graph.category_extent(c), &mut out);
+        }
+        out
+    }
+
+    /// `‖E(c)‖` without materializing the extent.
+    pub fn category_extent_len(&self, c: CategoryId) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.graph.category_extent(c).len())
+            .sum()
+    }
+
+    /// Iterate every global entity id.
+    pub fn entity_ids(&self) -> impl Iterator<Item = EntityId> {
+        (0..self.entity_count() as u32).map(EntityId::new)
+    }
+
+    /// Iterate every type id.
+    pub fn type_ids(&self) -> impl Iterator<Item = TypeId> {
+        (0..self.type_count() as u32).map(TypeId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{generate, DatagenConfig};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn router_uniform_covers_the_id_space() {
+        let r = ShardRouter::uniform(10, 3);
+        assert_eq!(r.shard_count(), 3);
+        assert_eq!(r.entity_count(), 10);
+        let mut seen = 0;
+        for i in 0..3 {
+            seen += r.range(i).len();
+        }
+        assert_eq!(seen, 10);
+        assert_eq!(r.shard_of(EntityId::new(0)), 0);
+        assert_eq!(r.shard_of(EntityId::new(9)), 2);
+        for g in 0..10u32 {
+            let s = r.shard_of(EntityId::new(g));
+            assert!(r.range(s).contains(&g));
+        }
+    }
+
+    #[test]
+    fn router_tolerates_more_shards_than_entities() {
+        let r = ShardRouter::uniform(2, 5);
+        assert_eq!(r.shard_count(), 5);
+        assert_eq!(r.range(0).len() + r.range(1).len(), 2);
+        for i in 2..5 {
+            assert!(r.range(i).is_empty(), "trailing shards are empty");
+        }
+    }
+
+    #[test]
+    fn router_zero_entities() {
+        let r = ShardRouter::uniform(0, 4);
+        assert_eq!(r.shard_count(), 4);
+        assert_eq!(r.entity_count(), 0);
+        for i in 0..4 {
+            assert!(r.range(i).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the routed id space")]
+    fn router_rejects_out_of_space_ids() {
+        ShardRouter::uniform(3, 2).shard_of(EntityId::new(3));
+    }
+
+    fn all_triples(kg: &KnowledgeGraph) -> BTreeSet<(EntityId, PredicateId, EntityId)> {
+        kg.entity_triples()
+            .map(|t| (t.subject, t.predicate, t.object.as_entity().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn shards_reconstruct_the_source_graph() {
+        let kg = generate(&DatagenConfig::tiny());
+        for n in [1, 2, 3, 4] {
+            let sg = ShardedGraph::from_graph(&kg, n);
+            assert_eq!(sg.shard_count(), n);
+            assert_eq!(sg.entity_count(), kg.entity_count());
+            assert_eq!(sg.relation_count(), kg.relation_count());
+            // union of remapped shard triples = source triples
+            let mut got: BTreeSet<(EntityId, PredicateId, EntityId)> = BTreeSet::new();
+            for shard in sg.shards() {
+                for t in shard.graph().entity_triples() {
+                    got.insert((
+                        shard.to_global(t.subject),
+                        t.predicate,
+                        shard.to_global(t.object.as_entity().unwrap()),
+                    ));
+                }
+            }
+            assert_eq!(got, all_triples(&kg), "n={n}");
+        }
+    }
+
+    #[test]
+    fn dictionaries_are_replicated_in_global_order() {
+        let kg = generate(&DatagenConfig::tiny());
+        let sg = ShardedGraph::from_graph(&kg, 3);
+        for shard in sg.shards() {
+            for p in kg.predicate_ids() {
+                assert_eq!(shard.graph().predicate_name(p), kg.predicate_name(p));
+            }
+            for t in kg.type_ids() {
+                assert_eq!(shard.graph().type_name(t), kg.type_name(t));
+            }
+            for c in kg.category_ids() {
+                assert_eq!(shard.graph().category_name(c), kg.category_name(c));
+            }
+        }
+    }
+
+    #[test]
+    fn home_shard_has_complete_rows_and_facets() {
+        let kg = generate(&DatagenConfig::tiny());
+        let sg = ShardedGraph::from_graph(&kg, 4);
+        for e in kg.entity_ids() {
+            assert_eq!(sg.entity_name(e), kg.entity_name(e));
+            assert_eq!(sg.label(e), kg.label(e));
+            assert_eq!(
+                sg.degree(e),
+                kg.degree(e),
+                "degree of {}",
+                kg.entity_name(e)
+            );
+            assert_eq!(sg.aliases(e), kg.aliases(e));
+            let mut got: Vec<_> = sg.out_edges(e);
+            let mut want: Vec<_> = kg.out_edges(e).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want);
+            let got_types: Vec<TypeId> = sg.types_of(e).collect();
+            let want_types: Vec<TypeId> = kg.types_of(e).collect();
+            assert_eq!(got_types, want_types, "type ids must be global");
+            let got_cats: Vec<CategoryId> = sg.categories_of(e).collect();
+            let want_cats: Vec<CategoryId> = kg.categories_of(e).collect();
+            assert_eq!(got_cats, want_cats);
+            assert_eq!(sg.literals(e).count(), kg.literals(e).count());
+        }
+    }
+
+    #[test]
+    fn global_extents_match_and_stay_sorted() {
+        let kg = generate(&DatagenConfig::tiny());
+        for n in [1, 2, 5] {
+            let sg = ShardedGraph::from_graph(&kg, n);
+            for t in kg.type_ids() {
+                let ext = sg.type_extent(t);
+                assert_eq!(ext, kg.type_extent(t).to_vec(), "type extent n={n}");
+                assert_eq!(sg.type_extent_len(t), ext.len());
+            }
+            for c in kg.category_ids() {
+                assert_eq!(sg.category_extent(c), kg.category_extent(c).to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn owned_prefix_invariant_holds_for_feature_extents() {
+        // every per-shard extent slice (CSR run) has its owned members as
+        // a prefix, and summed owned prefixes equal the global extent
+        let kg = generate(&DatagenConfig::tiny());
+        let sg = ShardedGraph::from_graph(&kg, 3);
+        for e in kg.entity_ids() {
+            for p in kg.out_predicates(e) {
+                let global_len = kg.objects(e, p).len();
+                let mut sum = 0;
+                for shard in sg.shards() {
+                    if let Some(local) = shard.to_local(e) {
+                        let extent = shard.graph().objects(local, p);
+                        let k = shard.owned_prefix_len(extent);
+                        assert!(
+                            extent[..k].iter().all(|&x| shard.is_owned(x))
+                                && extent[k..].iter().all(|&x| !shard.is_owned(x)),
+                            "owned members must form a prefix"
+                        );
+                        sum += k;
+                    }
+                }
+                assert_eq!(sum, global_len, "entity {} pred {}", e, p);
+            }
+        }
+    }
+
+    #[test]
+    fn local_global_roundtrip() {
+        let kg = generate(&DatagenConfig::tiny());
+        let sg = ShardedGraph::from_graph(&kg, 4);
+        for e in kg.entity_ids() {
+            let (shard, local) = sg.home(e);
+            assert!(shard.is_owned(local));
+            assert_eq!(shard.to_global(local), e);
+            assert_eq!(shard.to_local(e), Some(local));
+        }
+        // ghosts roundtrip too
+        for shard in sg.shards() {
+            for local_raw in 0..shard.graph().entity_count() as u32 {
+                let local = EntityId::new(local_raw);
+                let g = shard.to_global(local);
+                assert_eq!(shard.to_local(g), Some(local));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_shards_are_valid() {
+        let kg = generate(&DatagenConfig::tiny());
+        let n = kg.entity_count() + 3; // guarantees empty trailing shards
+        let sg = ShardedGraph::from_graph(&kg, n);
+        assert!(sg.shards().iter().any(|s| s.owned_count() == 0));
+        for t in kg.type_ids() {
+            assert_eq!(sg.type_extent(t), kg.type_extent(t).to_vec());
+        }
+    }
+
+    #[test]
+    fn entity_lookup_by_name() {
+        let kg = generate(&DatagenConfig::tiny());
+        let sg = ShardedGraph::from_graph(&kg, 3);
+        for e in kg.entity_ids().take(50) {
+            assert_eq!(sg.entity(kg.entity_name(e)), Some(e));
+        }
+        assert_eq!(sg.entity("no_such_entity_name"), None);
+    }
+}

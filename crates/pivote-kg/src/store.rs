@@ -217,6 +217,20 @@ impl KgBuilder {
         self.literal_edges.push((s.raw(), p, lid));
     }
 
+    /// Intern a type name without asserting any membership. Lets builders
+    /// reproduce an existing graph's dense type numbering (e.g. when
+    /// partitioning a graph into shards) before adding per-entity
+    /// assertions in an arbitrary order.
+    pub fn declare_type(&mut self, type_name: &str) -> TypeId {
+        TypeId::new(self.types.intern(type_name))
+    }
+
+    /// Intern a category name without asserting any membership — the
+    /// category analogue of [`KgBuilder::declare_type`].
+    pub fn declare_category(&mut self, category: &str) -> CategoryId {
+        CategoryId::new(self.categories.intern(category))
+    }
+
     /// Assert `rdf:type` membership: `e` is a `type_name`.
     pub fn typed(&mut self, e: EntityId, type_name: &str) -> TypeId {
         let t = self.types.intern(type_name);
