@@ -34,10 +34,11 @@ use crate::config::RankingConfig;
 use crate::extent::{intersect_len, union_k};
 use crate::feature::{features_of, SemanticFeature};
 use crate::ranking::{RankedEntity, RankedFeature};
-use pivote_kg::{CategoryId, EntityId, KnowledgeGraph, TypeId};
-use std::collections::HashMap;
+use pivote_kg::{AppliedDelta, CategoryId, EntityId, KnowledgeGraph, TypeId};
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Dense handle of an interned [`SemanticFeature`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,14 +52,27 @@ impl FeatureId {
     }
 }
 
-/// A smoothing context: a category or a type, densely numbered
-/// (categories first, then types).
+/// A smoothing context: a category or a type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum Ctx {
     /// Wikipedia-style category.
     Cat(CategoryId),
     /// `rdf:type` class.
     Type(TypeId),
+}
+
+/// Dense cache key of a `(feature, context)` pair: `fid << 33 | kind <<
+/// 32 | raw`, where `kind` distinguishes categories (0) from types (1).
+/// The key is **append-stable**: it does not depend on the category or
+/// type *counts*, so keys survive a live graph growing new dictionary
+/// terms (only the touched entries are invalidated, never rehomed).
+#[inline]
+pub(crate) fn prob_key(fid: u32, ctx: Ctx) -> u64 {
+    let (kind, raw) = match ctx {
+        Ctx::Cat(c) => (0u64, c.raw() as u64),
+        Ctx::Type(t) => (1u64, t.raw() as u64),
+    };
+    ((fid as u64) << 33) | (kind << 32) | raw
 }
 
 /// Number of probability-cache shards (power of two).
@@ -96,11 +110,198 @@ impl Hasher for DenseKeyHasher {
 
 pub(crate) type DenseMap = HashMap<u64, f64, BuildHasherDefault<DenseKeyHasher>>;
 
-/// Feature interner: feature → dense id, plus the resolved extent handle
-/// per id so hot loops never re-walk the store.
-struct FeatureTable<'kg> {
+/// The bijective feature registry inside a [`SharedCache`].
+struct FeatureRegistry {
     ids: HashMap<SemanticFeature, u32>,
-    extents: Vec<&'kg [EntityId]>,
+    features: Vec<SemanticFeature>,
+}
+
+/// The graph-independent, append-surviving half of the execution layer's
+/// memoized state: the feature-id registry and the `p(π|c)` probability
+/// cache, stamped with a generation counter.
+///
+/// A [`QueryContext`] (or
+/// [`ShardedContext`](crate::sharded::ShardedContext)) built with
+/// [`QueryContext::with_cache`] shares this state with every other
+/// context over the same logical graph — across queries, sessions *and
+/// appends*: when the graph grows, [`SharedCache::invalidate`] drops
+/// exactly the densities whose feature or context extents the
+/// [`AppliedDelta`] touched, and everything else stays warm. Feature ids
+/// are stable forever (a feature's identity does not change when its
+/// extent grows), so dense-id cache keys survive too.
+pub struct SharedCache {
+    registry: RwLock<FeatureRegistry>,
+    /// `p(π|c)` cache, sharded by key hash.
+    prob_shards: Vec<RwLock<DenseMap>>,
+    /// Bumped by every [`SharedCache::invalidate`] call.
+    generation: AtomicU64,
+}
+
+impl Default for SharedCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedCache {
+    /// A fresh, empty cache at generation 0.
+    pub fn new() -> Self {
+        Self {
+            registry: RwLock::new(FeatureRegistry {
+                ids: HashMap::new(),
+                features: Vec::new(),
+            }),
+            prob_shards: (0..SHARDS)
+                .map(|_| RwLock::new(DenseMap::default()))
+                .collect(),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The invalidation generation: how many appends this cache has
+    /// absorbed.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Number of interned features.
+    pub fn feature_count(&self) -> usize {
+        self.registry
+            .read()
+            .expect("registry poisoned")
+            .features
+            .len()
+    }
+
+    /// Number of cached `p(π|c)` probabilities.
+    pub fn cached_probability_count(&self) -> usize {
+        self.prob_shards
+            .iter()
+            .map(|s| s.read().expect("prob shard poisoned").len())
+            .sum()
+    }
+
+    /// Dense id of `sf`, interning it on first sight.
+    pub(crate) fn feature_id(&self, sf: SemanticFeature) -> u32 {
+        if let Some(&id) = self
+            .registry
+            .read()
+            .expect("registry poisoned")
+            .ids
+            .get(&sf)
+        {
+            return id;
+        }
+        let mut reg = self.registry.write().expect("registry poisoned");
+        if let Some(&id) = reg.ids.get(&sf) {
+            return id;
+        }
+        let id = reg.features.len() as u32;
+        reg.features.push(sf);
+        reg.ids.insert(sf, id);
+        id
+    }
+
+    /// The feature behind a dense id.
+    pub(crate) fn feature(&self, fid: u32) -> SemanticFeature {
+        self.registry.read().expect("registry poisoned").features[fid as usize]
+    }
+
+    /// The cache shard holding `key` (middle hash bits: hashbrown uses
+    /// the low bits for the bucket index and the top 7 as the SIMD
+    /// control tag, so taking either end would degrade the in-shard
+    /// tables).
+    #[inline]
+    fn shard_for(&self, key: u64) -> &RwLock<DenseMap> {
+        let mut h = DenseKeyHasher::default();
+        h.write_u64(key);
+        &self.prob_shards[(h.finish() >> 32) as usize & (SHARDS - 1)]
+    }
+
+    /// Cached probability for `key`, if present.
+    #[inline]
+    pub(crate) fn prob_get(&self, key: u64) -> Option<f64> {
+        self.shard_for(key)
+            .read()
+            .expect("prob shard poisoned")
+            .get(&key)
+            .copied()
+    }
+
+    /// Insert a computed probability.
+    #[inline]
+    pub(crate) fn prob_insert(&self, key: u64, p: f64) {
+        self.shard_for(key)
+            .write()
+            .expect("prob shard poisoned")
+            .insert(key, p);
+    }
+
+    /// Probe the cache for `p(π|c)` of a category context **without**
+    /// computing or interning anything — the observability hook the
+    /// invalidation tests use.
+    pub fn probe_category(&self, sf: SemanticFeature, c: CategoryId) -> Option<f64> {
+        let reg = self.registry.read().expect("registry poisoned");
+        let fid = *reg.ids.get(&sf)?;
+        drop(reg);
+        self.prob_get(prob_key(fid, Ctx::Cat(c)))
+    }
+
+    /// [`SharedCache::probe_category`] for a type context.
+    pub fn probe_type(&self, sf: SemanticFeature, t: TypeId) -> Option<f64> {
+        let reg = self.registry.read().expect("registry poisoned");
+        let fid = *reg.ids.get(&sf)?;
+        drop(reg);
+        self.prob_get(prob_key(fid, Ctx::Type(t)))
+    }
+
+    /// Drop exactly the cached densities an append touched — entries
+    /// whose feature extent (`touched_out`/`touched_in`) or context
+    /// extent (`touched_types`/`touched_categories`) changed — bump the
+    /// generation, and return how many entries were dropped. Everything
+    /// else survives.
+    pub fn invalidate(&self, delta: &AppliedDelta) -> usize {
+        let touched_fids: HashSet<u64> = {
+            let reg = self.registry.read().expect("registry poisoned");
+            delta
+                .touched_out
+                .iter()
+                .map(|&(e, p)| SemanticFeature::from_anchor(e, p))
+                .chain(
+                    delta
+                        .touched_in
+                        .iter()
+                        .map(|&(e, p)| SemanticFeature::to_anchor(e, p)),
+                )
+                .filter_map(|sf| reg.ids.get(&sf).map(|&id| id as u64))
+                .collect()
+        };
+        let touched_ctxs: HashSet<u64> = delta
+            .touched_categories
+            .iter()
+            .map(|c| c.raw() as u64)
+            .chain(
+                delta
+                    .touched_types
+                    .iter()
+                    .map(|t| (1u64 << 32) | t.raw() as u64),
+            )
+            .collect();
+        let mut dropped = 0usize;
+        if !touched_fids.is_empty() || !touched_ctxs.is_empty() {
+            for shard in &self.prob_shards {
+                let mut map = shard.write().expect("prob shard poisoned");
+                let before = map.len();
+                map.retain(|&key, _| {
+                    !touched_fids.contains(&(key >> 33))
+                        && !touched_ctxs.contains(&(key & ((1u64 << 33) - 1)))
+                });
+                dropped += before - map.len();
+            }
+        }
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        dropped
+    }
 }
 
 /// The shared, memoized, parallel execution substrate for one graph.
@@ -111,11 +312,12 @@ struct FeatureTable<'kg> {
 pub struct QueryContext<'kg> {
     kg: &'kg KnowledgeGraph,
     threads: usize,
-    features: RwLock<FeatureTable<'kg>>,
-    /// `p(π|c)` cache, sharded by key hash. Values are config-independent.
-    prob_shards: Vec<RwLock<DenseMap>>,
-    /// Dense context numbering: categories `0..cat_count`, then types.
-    cat_count: usize,
+    /// Shared (possibly cross-context, append-surviving) memoized state.
+    cache: Arc<SharedCache>,
+    /// Per-context extent resolutions, indexed by dense feature id. The
+    /// slices borrow this context's graph snapshot, so they are exact for
+    /// its lifetime; a context built after an append re-resolves lazily.
+    extents: RwLock<Vec<Option<&'kg [EntityId]>>>,
 }
 
 impl<'kg> QueryContext<'kg> {
@@ -130,17 +332,19 @@ impl<'kg> QueryContext<'kg> {
     /// Context with an explicit worker-thread count (`0` is clamped to 1;
     /// `1` disables parallel fan-out entirely).
     pub fn with_threads(kg: &'kg KnowledgeGraph, threads: usize) -> Self {
+        Self::with_cache(kg, threads, Arc::new(SharedCache::new()))
+    }
+
+    /// Context on an existing [`SharedCache`] — the live-graph entry
+    /// point: every density the cache already holds (from earlier
+    /// queries, earlier sessions, or earlier graph generations whose
+    /// extents were not touched since) is a hit for this context.
+    pub fn with_cache(kg: &'kg KnowledgeGraph, threads: usize, cache: Arc<SharedCache>) -> Self {
         Self {
             kg,
             threads: threads.max(1),
-            features: RwLock::new(FeatureTable {
-                ids: HashMap::new(),
-                extents: Vec::new(),
-            }),
-            prob_shards: (0..SHARDS)
-                .map(|_| RwLock::new(DenseMap::default()))
-                .collect(),
-            cat_count: kg.category_count(),
+            cache,
+            extents: RwLock::new(Vec::new()),
         }
     }
 
@@ -156,66 +360,68 @@ impl<'kg> QueryContext<'kg> {
         self.threads
     }
 
+    /// The shared memoized state behind this context.
+    pub fn cache(&self) -> &Arc<SharedCache> {
+        &self.cache
+    }
+
     /// Number of cached `p(π|c)` probabilities (diagnostics).
     pub fn cached_probability_count(&self) -> usize {
-        self.prob_shards
-            .iter()
-            .map(|s| s.read().expect("prob shard poisoned").len())
-            .sum()
+        self.cache.cached_probability_count()
     }
 
     // ---- interning -----------------------------------------------------
 
     /// Intern a feature, resolving its extent handle on first sight.
     pub fn intern(&self, sf: SemanticFeature) -> FeatureId {
-        if let Some(&id) = self
-            .features
-            .read()
-            .expect("feature table poisoned")
-            .ids
-            .get(&sf)
+        let fid = self.cache.feature_id(sf);
         {
-            return FeatureId(id);
+            let extents = self.extents.read().expect("extent table poisoned");
+            if let Some(Some(_)) = extents.get(fid as usize) {
+                return FeatureId(fid);
+            }
         }
-        let mut table = self.features.write().expect("feature table poisoned");
-        if let Some(&id) = table.ids.get(&sf) {
-            return FeatureId(id);
+        let resolved = sf.extent(self.kg);
+        let mut extents = self.extents.write().expect("extent table poisoned");
+        if extents.len() <= fid as usize {
+            extents.resize(fid as usize + 1, None);
         }
-        let id = table.extents.len() as u32;
-        table.extents.push(sf.extent(self.kg));
-        table.ids.insert(sf, id);
-        FeatureId(id)
+        extents[fid as usize] = Some(resolved);
+        FeatureId(fid)
     }
 
-    /// The extent handle of an interned feature.
+    /// The extent handle of an interned feature, resolved against this
+    /// context's graph snapshot (lazily, if the id was interned by a
+    /// sibling context sharing the same cache).
     pub fn extent(&self, id: FeatureId) -> &'kg [EntityId] {
-        self.features
-            .read()
-            .expect("feature table poisoned")
-            .extents[id.index()]
+        {
+            let extents = self.extents.read().expect("extent table poisoned");
+            if let Some(Some(extent)) = extents.get(id.index()) {
+                return extent;
+            }
+        }
+        let sf = self.cache.feature(id.0);
+        let resolved = sf.extent(self.kg);
+        let mut extents = self.extents.write().expect("extent table poisoned");
+        if extents.len() <= id.index() {
+            extents.resize(id.index() + 1, None);
+        }
+        extents[id.index()] = Some(resolved);
+        resolved
     }
 
     // ---- probability cache ---------------------------------------------
 
-    #[inline]
-    fn ctx_index(&self, ctx: Ctx) -> usize {
-        match ctx {
-            Ctx::Cat(c) => c.index(),
-            Ctx::Type(t) => self.cat_count + t.index(),
-        }
-    }
-
     /// Cached `p(π|c) = ‖E(π) ∩ E(c)‖ / ‖E(c)‖`.
     pub(crate) fn p_feature_given_ctx(&self, sf: SemanticFeature, ctx: Ctx) -> f64 {
-        let fid = self.intern(sf);
-        let key = ((fid.0 as u64) << 32) | self.ctx_index(ctx) as u64;
-        let mut h = DenseKeyHasher::default();
-        h.write_u64(key);
-        // shard by middle hash bits: hashbrown uses the low bits for the
-        // bucket index and the top 7 as the SIMD control tag, so taking
-        // either end would degrade the in-shard tables
-        let shard = &self.prob_shards[(h.finish() >> 32) as usize & (SHARDS - 1)];
-        if let Some(&p) = shard.read().expect("prob shard poisoned").get(&key) {
+        self.p_by_fid(self.intern(sf), ctx)
+    }
+
+    /// [`QueryContext::p_feature_given_ctx`] by dense feature id — the
+    /// hot-loop entry that skips re-hashing the feature.
+    fn p_by_fid(&self, fid: FeatureId, ctx: Ctx) -> f64 {
+        let key = prob_key(fid.0, ctx);
+        if let Some(p) = self.cache.prob_get(key) {
             return p;
         }
         let ctx_extent = match ctx {
@@ -227,8 +433,23 @@ impl<'kg> QueryContext<'kg> {
         } else {
             intersect_len(self.extent(fid), ctx_extent) as f64 / ctx_extent.len() as f64
         };
-        shard.write().expect("prob shard poisoned").insert(key, p);
+        self.cache.prob_insert(key, p);
         p
+    }
+
+    /// `p(π|c*) = max_c p(π|c)` by dense feature id, the smoothing loop
+    /// of the resolved-feature scoring path.
+    fn p_best_ctx_by_fid(&self, config: &RankingConfig, fid: FeatureId, e: EntityId) -> f64 {
+        let mut best = 0.0f64;
+        for c in self.kg.categories_of(e) {
+            best = best.max(self.p_by_fid(fid, Ctx::Cat(c)));
+        }
+        if config.use_types_as_context {
+            for t in self.kg.types_of(e) {
+                best = best.max(self.p_by_fid(fid, Ctx::Type(t)));
+            }
+        }
+        best
     }
 
     /// Cached `p(π|c)` for one category context.
@@ -458,6 +679,14 @@ impl<'kg> QueryContext<'kg> {
     }
 
     /// Score an explicit candidate set in parallel and select the top `k`.
+    ///
+    /// The candidate pass resolves the fixed feature set **once** —
+    /// dense cache ids plus extent slices — so the per-candidate loop is
+    /// a binary search per feature instead of a CSR re-walk (the
+    /// amortization the sharded backend always had; BENCH_2.json showed
+    /// it worth ~2× on `rank_entities`). Bit-identical to scoring via
+    /// [`QueryContext::score_entity`]: same extents, same cached
+    /// probabilities, same fold order.
     pub fn score_and_select(
         &self,
         config: &RankingConfig,
@@ -465,9 +694,26 @@ impl<'kg> QueryContext<'kg> {
         features: &[RankedFeature],
         k: usize,
     ) -> Vec<RankedEntity> {
-        let scored = self.par_map(&candidates, |&e| RankedEntity {
-            entity: e,
-            score: self.score_entity(config, e, features),
+        let resolved: Vec<(FeatureId, f64, &'kg [EntityId])> = features
+            .iter()
+            .map(|rf| {
+                let fid = self.intern(rf.feature);
+                (fid, rf.score, self.extent(fid))
+            })
+            .collect();
+        let scored = self.par_map(&candidates, |&e| {
+            let mut score = 0.0;
+            for &(fid, feature_score, extent) in &resolved {
+                let p = if extent.binary_search(&e).is_ok() {
+                    1.0
+                } else if config.error_tolerant && config.smooth_candidates {
+                    self.p_best_ctx_by_fid(config, fid, e)
+                } else {
+                    0.0
+                };
+                score += p * feature_score;
+            }
+            RankedEntity { entity: e, score }
         });
         top_k_ranked(
             scored.into_iter(),

@@ -16,6 +16,9 @@
 //!   per-shard top-k heaps into bit-identical global rankings;
 //! - [`handle`]: [`GraphHandle`], the backend-agnostic enum (single |
 //!   sharded) every engine holds;
+//! - [`live`]: [`LiveGraph`]/[`LiveShardedGraph`] — append-while-querying
+//!   wrappers whose guard-scoped contexts share one generation-stamped
+//!   [`SharedCache`] across queries, sessions and appends;
 //! - [`ranking`]: `r(π,Q) = d(π)·c(π,Q)` and
 //!   `r(e,Q) = Σ p(π|e)·r(π,Q)` with error-tolerant category smoothing;
 //! - [`expansion`]: entity set expansion over structured queries (seeds +
@@ -48,15 +51,17 @@ pub mod extent;
 pub mod feature;
 pub mod handle;
 pub mod heatmap;
+pub mod live;
 pub mod ranking;
 pub mod sharded;
 
 pub use config::RankingConfig;
-pub use context::{top_k_ranked, FeatureId, QueryContext};
+pub use context::{top_k_ranked, FeatureId, QueryContext, SharedCache};
 pub use expansion::{diversify_features, Expander, ExpansionResult, SfQuery};
 pub use explain::{explain_cell, explain_pair, CellExplanation, PairExplanation};
 pub use feature::{features_of, Direction, SemanticFeature};
 pub use handle::GraphHandle;
 pub use heatmap::{HeatMap, HEAT_LEVELS};
+pub use live::{LiveGraph, LiveReader, LiveShardedGraph, LiveShardedReader};
 pub use ranking::{RankedEntity, RankedFeature, Ranker};
 pub use sharded::ShardedContext;

@@ -1,0 +1,302 @@
+//! Live graphs: append-while-querying ownership wrappers.
+//!
+//! [`LiveGraph`] (and its sharded sibling [`LiveShardedGraph`]) owns a
+//! graph behind an `RwLock` plus one [`SharedCache`], and coordinates the
+//! two halves of the live-store contract:
+//!
+//! - **Queries** take a read guard ([`LiveGraph::read`]) and build a
+//!   cheap [`QueryContext`] over the locked graph sharing the persistent
+//!   cache — so every density memoized by any earlier query (on any
+//!   generation whose extents were not touched since) is a hit.
+//! - **Appends** ([`LiveGraph::append`]) take the write lock, splice the
+//!   [`DeltaBatch`] into the store in place, and invalidate exactly the
+//!   cached densities the [`AppliedDelta`] receipt names — all before any
+//!   new reader can observe the new graph, so a reader's context and the
+//!   cache are always mutually consistent. Readers admitted before the
+//!   append finish against the old extents (they hold the read lock; the
+//!   writer waits), readers admitted after see the new extents and a
+//!   cache scrubbed of everything the delta touched.
+//!
+//! The guard-scoped context is what makes this safe in Rust without
+//! copying the graph: extent slices borrowed by a context can never
+//! outlive the read guard, so no query ever observes a half-spliced row.
+
+use crate::context::{QueryContext, SharedCache};
+use crate::sharded::ShardedContext;
+use pivote_kg::{AppliedDelta, DeltaBatch, KnowledgeGraph, ShardedGraph};
+use std::sync::{Arc, RwLock, RwLockReadGuard};
+
+/// A single in-memory [`KnowledgeGraph`] that can grow while sessions
+/// query it.
+pub struct LiveGraph {
+    kg: RwLock<KnowledgeGraph>,
+    cache: Arc<SharedCache>,
+    threads: usize,
+}
+
+impl LiveGraph {
+    /// Wrap a graph with one worker per available core for its contexts.
+    pub fn new(kg: KnowledgeGraph) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(kg, threads)
+    }
+
+    /// Wrap a graph with an explicit per-context worker-thread count.
+    pub fn with_threads(kg: KnowledgeGraph, threads: usize) -> Self {
+        Self {
+            kg: RwLock::new(kg),
+            cache: Arc::new(SharedCache::new()),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The persistent cross-generation cache (observability: generation
+    /// counter, cached density count, probe methods).
+    pub fn cache(&self) -> &Arc<SharedCache> {
+        &self.cache
+    }
+
+    /// The graph's current mutation generation.
+    pub fn generation(&self) -> u64 {
+        self.kg.read().expect("live graph poisoned").generation()
+    }
+
+    /// Append a batch: write-locks the graph, splices the delta in place
+    /// and drops exactly the touched cache entries before readers can see
+    /// the new extents.
+    pub fn append(&self, delta: &DeltaBatch) -> AppliedDelta {
+        let mut kg = self.kg.write().expect("live graph poisoned");
+        let applied = kg.apply(delta);
+        self.cache.invalidate(&applied);
+        applied
+    }
+
+    /// Take a read guard for one query (or a batch of queries). Appends
+    /// block until every outstanding reader is done.
+    pub fn read(&self) -> LiveReader<'_> {
+        LiveReader {
+            guard: self.kg.read().expect("live graph poisoned"),
+            cache: Arc::clone(&self.cache),
+            threads: self.threads,
+        }
+    }
+
+    /// Unwrap the owned graph (consumes the wrapper).
+    pub fn into_inner(self) -> KnowledgeGraph {
+        self.kg.into_inner().expect("live graph poisoned")
+    }
+}
+
+/// A read guard over a [`LiveGraph`]: the entry point for querying one
+/// consistent graph snapshot.
+pub struct LiveReader<'a> {
+    guard: RwLockReadGuard<'a, KnowledgeGraph>,
+    cache: Arc<SharedCache>,
+    threads: usize,
+}
+
+impl LiveReader<'_> {
+    /// The locked graph snapshot.
+    pub fn kg(&self) -> &KnowledgeGraph {
+        &self.guard
+    }
+
+    /// The snapshot's generation.
+    pub fn generation(&self) -> u64 {
+        self.guard.generation()
+    }
+
+    /// A [`QueryContext`] over this snapshot sharing the live graph's
+    /// persistent cache. Cheap to build (the heavy state lives in the
+    /// cache); scoped to the guard, so it can never observe an append.
+    pub fn ctx(&self) -> QueryContext<'_> {
+        QueryContext::with_cache(&self.guard, self.threads, Arc::clone(&self.cache))
+    }
+
+    /// A backend-agnostic [`GraphHandle`](crate::GraphHandle) over this
+    /// snapshot — every engine in the workspace runs on it unchanged.
+    pub fn handle(&self) -> crate::GraphHandle<'_> {
+        crate::GraphHandle::Single(Arc::new(self.ctx()))
+    }
+}
+
+/// A [`ShardedGraph`] that can grow while sessions query it — the same
+/// contract as [`LiveGraph`], with deltas routed to the owning shard(s).
+pub struct LiveShardedGraph {
+    sg: RwLock<ShardedGraph>,
+    cache: Arc<SharedCache>,
+    threads: usize,
+}
+
+impl LiveShardedGraph {
+    /// Wrap a sharded graph with one worker per available core.
+    pub fn new(sg: ShardedGraph) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(sg, threads)
+    }
+
+    /// Wrap a sharded graph with an explicit worker-thread count.
+    pub fn with_threads(sg: ShardedGraph, threads: usize) -> Self {
+        Self {
+            sg: RwLock::new(sg),
+            cache: Arc::new(SharedCache::new()),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The persistent cross-generation cache.
+    pub fn cache(&self) -> &Arc<SharedCache> {
+        &self.cache
+    }
+
+    /// The graph's current mutation generation.
+    pub fn generation(&self) -> u64 {
+        self.sg.read().expect("live graph poisoned").generation()
+    }
+
+    /// Append a batch under the write lock and invalidate exactly the
+    /// touched cache entries.
+    pub fn append(&self, delta: &DeltaBatch) -> AppliedDelta {
+        let mut sg = self.sg.write().expect("live graph poisoned");
+        let applied = sg.apply(delta);
+        self.cache.invalidate(&applied);
+        applied
+    }
+
+    /// Take a read guard for querying one consistent snapshot.
+    pub fn read(&self) -> LiveShardedReader<'_> {
+        LiveShardedReader {
+            guard: self.sg.read().expect("live graph poisoned"),
+            cache: Arc::clone(&self.cache),
+            threads: self.threads,
+        }
+    }
+
+    /// Unwrap the owned sharded graph.
+    pub fn into_inner(self) -> ShardedGraph {
+        self.sg.into_inner().expect("live graph poisoned")
+    }
+}
+
+/// A read guard over a [`LiveShardedGraph`].
+pub struct LiveShardedReader<'a> {
+    guard: RwLockReadGuard<'a, ShardedGraph>,
+    cache: Arc<SharedCache>,
+    threads: usize,
+}
+
+impl LiveShardedReader<'_> {
+    /// The locked sharded-graph snapshot.
+    pub fn graph(&self) -> &ShardedGraph {
+        &self.guard
+    }
+
+    /// The snapshot's generation.
+    pub fn generation(&self) -> u64 {
+        self.guard.generation()
+    }
+
+    /// A [`ShardedContext`] over this snapshot sharing the persistent
+    /// cache.
+    pub fn ctx(&self) -> ShardedContext<'_> {
+        ShardedContext::with_cache(&self.guard, self.threads, Arc::clone(&self.cache))
+    }
+
+    /// A backend-agnostic [`GraphHandle`](crate::GraphHandle) over this
+    /// snapshot.
+    pub fn handle(&self) -> crate::GraphHandle<'_> {
+        crate::GraphHandle::Sharded(Arc::new(self.ctx()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RankingConfig;
+    use pivote_kg::{generate, DatagenConfig, EntityId};
+
+    fn seeds(kg: &KnowledgeGraph, n: usize) -> Vec<EntityId> {
+        let film = kg.type_id("Film").unwrap();
+        kg.type_extent(film)[..n].to_vec()
+    }
+
+    #[test]
+    fn append_then_query_equals_rebuild_then_query() {
+        let live = LiveGraph::with_threads(generate(&DatagenConfig::tiny()), 1);
+        let (s, names) = {
+            let reader = live.read();
+            let s = seeds(reader.kg(), 2);
+            let names: Vec<String> = (0..4)
+                .map(|i| reader.kg().entity_name(EntityId::new(i)).to_owned())
+                .collect();
+            (s, names)
+        };
+        let mut delta = DeltaBatch::new();
+        delta.triple(&names[0], "brand_new_link", &names[1]).triple(
+            &names[2],
+            "brand_new_link",
+            &names[3],
+        );
+        let receipt = live.append(&delta);
+        assert_eq!(receipt.generation, 1);
+        assert_eq!(live.generation(), 1);
+        assert_eq!(live.cache().generation(), 1);
+
+        // union rebuild: regenerate the base and replay the delta
+        let union = {
+            let mut kg = generate(&DatagenConfig::tiny());
+            kg.apply(&delta);
+            kg
+        };
+        let cfg = RankingConfig::default();
+        let reader = live.read();
+        let live_ctx = reader.ctx();
+        let fresh_ctx = QueryContext::with_threads(&union, 1);
+        let lf = live_ctx.rank_features(&cfg, &s);
+        let ff = fresh_ctx.rank_features(&cfg, &s);
+        assert_eq!(lf, ff, "feature rankings must match the rebuilt union");
+        let le = live_ctx.rank_entities(&cfg, &s, &lf);
+        let fe = fresh_ctx.rank_entities(&cfg, &s, &ff);
+        assert_eq!(le.len(), fe.len());
+        for (a, b) in le.iter().zip(&fe) {
+            assert_eq!(a.entity, b.entity);
+            assert!((a.score - b.score).abs() == 0.0, "score drifted");
+        }
+    }
+
+    #[test]
+    fn sharded_live_graph_appends_and_answers() {
+        let kg = generate(&DatagenConfig::tiny());
+        let s = seeds(&kg, 2);
+        let cfg = RankingConfig::default();
+        let single = QueryContext::with_threads(&kg, 1);
+        let base_features = single.rank_features(&cfg, &s);
+
+        let live = LiveShardedGraph::with_threads(ShardedGraph::from_graph(&kg, 3), 1);
+        {
+            let reader = live.read();
+            let ctx = reader.ctx();
+            assert_eq!(ctx.rank_features(&cfg, &s), base_features);
+        }
+        let mut delta = DeltaBatch::new();
+        delta.triple(
+            kg.entity_name(s[0]).to_owned(),
+            "fresh_live_pred",
+            "Fresh_Live_Entity",
+        );
+        live.append(&delta);
+        assert_eq!(live.generation(), 1);
+
+        let mut union = generate(&DatagenConfig::tiny());
+        union.apply(&delta);
+        let fresh = QueryContext::with_threads(&union, 1);
+        let want = fresh.rank_features(&cfg, &s);
+        let reader = live.read();
+        let got = reader.ctx().rank_features(&cfg, &s);
+        assert_eq!(got, want, "sharded live append must match rebuilt union");
+    }
+}

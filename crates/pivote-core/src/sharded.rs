@@ -25,22 +25,12 @@
 //! shards that own no candidates at all).
 
 use crate::config::RankingConfig;
-use crate::context::{fan_out, par_map_slice, top_k_ranked, DenseKeyHasher, DenseMap, SHARDS};
+use crate::context::{fan_out, par_map_slice, prob_key, top_k_ranked, Ctx, SharedCache};
 use crate::extent::{intersect_len, union_k};
 use crate::feature::{features_of, SemanticFeature};
 use crate::ranking::{RankedEntity, RankedFeature};
 use pivote_kg::{CategoryId, EntityId, ShardedGraph, TypeId};
-use std::collections::HashMap;
-use std::hash::Hasher;
 use std::sync::{Arc, OnceLock, RwLock};
-
-/// A smoothing context (category or type), densely numbered with the
-/// *global* dictionaries — identical numbering in every shard.
-#[derive(Debug, Clone, Copy)]
-enum Ctx {
-    Cat(CategoryId),
-    Type(TypeId),
-}
 
 /// A feature resolved against every shard.
 struct FeatureEntry<'g> {
@@ -57,19 +47,19 @@ struct FeatureEntry<'g> {
     global: OnceLock<Arc<[EntityId]>>,
 }
 
-/// Feature interner over the shard set.
+/// Per-context feature resolutions over the shard set, indexed by the
+/// shared cache's dense feature ids.
 struct FeatureTable<'g> {
-    ids: HashMap<SemanticFeature, u32>,
-    entries: Vec<FeatureEntry<'g>>,
+    entries: Vec<Option<Arc<FeatureEntry<'g>>>>,
 }
 
 /// A top feature resolved for one candidate-scoring pass: the dense id
-/// keys the shared probability cache, the extent snapshot serves the
+/// keys the shared probability cache, the entry snapshot serves the
 /// per-candidate match check without re-taking the interner lock.
 struct ResolvedFeature<'g> {
     fid: u32,
     score: f64,
-    extents: Vec<&'g [EntityId]>,
+    entry: Arc<FeatureEntry<'g>>,
 }
 
 /// The shared, memoized execution substrate over a [`ShardedGraph`].
@@ -81,11 +71,12 @@ struct ResolvedFeature<'g> {
 pub struct ShardedContext<'g> {
     sg: &'g ShardedGraph,
     threads: usize,
+    /// Shared (possibly cross-context, append-surviving) memoized state:
+    /// the feature-id registry and the global `p(π|c)` cache (values are
+    /// exact global quantities, independent of shard count and
+    /// `RankingConfig`).
+    cache: Arc<SharedCache>,
     features: RwLock<FeatureTable<'g>>,
-    /// Global `p(π|c)` cache, sharded by key hash (values are exact global
-    /// quantities, independent of shard count and `RankingConfig`).
-    prob_shards: Vec<RwLock<DenseMap>>,
-    cat_count: usize,
 }
 
 impl<'g> ShardedContext<'g> {
@@ -99,17 +90,20 @@ impl<'g> ShardedContext<'g> {
 
     /// Context with an explicit worker-thread count (`0` clamps to 1).
     pub fn with_threads(sg: &'g ShardedGraph, threads: usize) -> Self {
+        Self::with_cache(sg, threads, Arc::new(SharedCache::new()))
+    }
+
+    /// Context on an existing [`SharedCache`] — the live-graph entry
+    /// point, sharing densities across queries, sessions and appends
+    /// exactly like the single-graph `QueryContext::with_cache`.
+    pub fn with_cache(sg: &'g ShardedGraph, threads: usize, cache: Arc<SharedCache>) -> Self {
         Self {
             sg,
             threads: threads.max(1),
+            cache,
             features: RwLock::new(FeatureTable {
-                ids: HashMap::new(),
                 entries: Vec::new(),
             }),
-            prob_shards: (0..SHARDS)
-                .map(|_| RwLock::new(DenseMap::default()))
-                .collect(),
-            cat_count: sg.category_count(),
         }
     }
 
@@ -125,12 +119,14 @@ impl<'g> ShardedContext<'g> {
         self.threads
     }
 
+    /// The shared memoized state behind this context.
+    pub fn cache(&self) -> &Arc<SharedCache> {
+        &self.cache
+    }
+
     /// Number of cached `p(π|c)` probabilities (diagnostics).
     pub fn cached_probability_count(&self) -> usize {
-        self.prob_shards
-            .iter()
-            .map(|s| s.read().expect("prob shard poisoned").len())
-            .sum()
+        self.cache.cached_probability_count()
     }
 
     // ---- feature interning ---------------------------------------------
@@ -138,14 +134,30 @@ impl<'g> ShardedContext<'g> {
     /// Intern a (global-id) feature, resolving its per-shard extents and
     /// the exact global extent size on first sight.
     fn intern(&self, sf: SemanticFeature) -> u32 {
-        if let Some(&id) = self
-            .features
-            .read()
-            .expect("feature table poisoned")
-            .ids
-            .get(&sf)
+        let fid = self.cache.feature_id(sf);
+        self.ensure_entry(fid, sf);
+        fid
+    }
+
+    /// This context's resolution of feature `fid` against the shard set,
+    /// resolving lazily (ids can arrive from sibling contexts sharing the
+    /// cache).
+    fn entry(&self, fid: u32) -> Arc<FeatureEntry<'g>> {
         {
-            return id;
+            let table = self.features.read().expect("feature table poisoned");
+            if let Some(Some(entry)) = table.entries.get(fid as usize) {
+                return Arc::clone(entry);
+            }
+        }
+        self.ensure_entry(fid, self.cache.feature(fid))
+    }
+
+    fn ensure_entry(&self, fid: u32, sf: SemanticFeature) -> Arc<FeatureEntry<'g>> {
+        {
+            let table = self.features.read().expect("feature table poisoned");
+            if let Some(Some(entry)) = table.entries.get(fid as usize) {
+                return Arc::clone(entry);
+            }
         }
         // resolve outside the write lock; double-check after acquiring
         let shards = self.sg.shards();
@@ -167,28 +179,25 @@ impl<'g> ShardedContext<'g> {
             owned_lens.push(owned);
         }
         let mut table = self.features.write().expect("feature table poisoned");
-        if let Some(&id) = table.ids.get(&sf) {
-            return id;
+        if table.entries.len() <= fid as usize {
+            table.entries.resize_with(fid as usize + 1, || None);
         }
-        let id = table.entries.len() as u32;
-        table.entries.push(FeatureEntry {
+        if let Some(entry) = &table.entries[fid as usize] {
+            return Arc::clone(entry);
+        }
+        let entry = Arc::new(FeatureEntry {
             extents,
             owned_lens,
             global_len,
             global: OnceLock::new(),
         });
-        table.ids.insert(sf, id);
-        id
+        table.entries[fid as usize] = Some(Arc::clone(&entry));
+        entry
     }
 
     /// `‖E(π)‖` — the exact global extent size.
     pub fn extent_len(&self, sf: SemanticFeature) -> usize {
-        let fid = self.intern(sf);
-        self.features
-            .read()
-            .expect("feature table poisoned")
-            .entries[fid as usize]
-            .global_len
+        self.entry(self.intern(sf)).global_len
     }
 
     /// Materialize the global extent `E(π)`, sorted by global entity id:
@@ -200,9 +209,7 @@ impl<'g> ShardedContext<'g> {
     /// [`ShardedContext::extent_global`] as a shared, memoized slice —
     /// the remap runs once per feature, later queries clone the `Arc`.
     fn extent_global_shared(&self, sf: SemanticFeature) -> Arc<[EntityId]> {
-        let fid = self.intern(sf);
-        let table = self.features.read().expect("feature table poisoned");
-        let entry = &table.entries[fid as usize];
+        let entry = self.entry(self.intern(sf));
         entry
             .global
             .get_or_init(|| {
@@ -223,16 +230,10 @@ impl<'g> ShardedContext<'g> {
 
     /// Whether `e ⊨ π` — a binary search in `e`'s home shard.
     pub fn matches(&self, sf: SemanticFeature, e: EntityId) -> bool {
-        let fid = self.intern(sf);
+        let entry = self.entry(self.intern(sf));
         let si = self.sg.shard_of(e);
         let local = self.sg.shard(si).to_local(e).expect("owned entity");
-        self.features
-            .read()
-            .expect("feature table poisoned")
-            .entries[fid as usize]
-            .extents[si]
-            .binary_search(&local)
-            .is_ok()
+        entry.extents[si].binary_search(&local).is_ok()
     }
 
     /// All semantic features of `e` (global anchors), sorted — identical
@@ -252,14 +253,6 @@ impl<'g> ShardedContext<'g> {
 
     // ---- probability cache ---------------------------------------------
 
-    #[inline]
-    fn ctx_index(&self, ctx: Ctx) -> usize {
-        match ctx {
-            Ctx::Cat(c) => c.index(),
-            Ctx::Type(t) => self.cat_count + t.index(),
-        }
-    }
-
     /// Cached global `p(π|c) = ‖E(π) ∩ E(c)‖ / ‖E(c)‖`, assembled from
     /// exact per-shard partial intersection counts.
     fn p_feature_given_ctx(&self, sf: SemanticFeature, ctx: Ctx) -> f64 {
@@ -270,36 +263,29 @@ impl<'g> ShardedContext<'g> {
     /// hot-loop entry that skips re-hashing the feature into the
     /// interner.
     fn p_by_fid(&self, fid: u32, ctx: Ctx) -> f64 {
-        let key = ((fid as u64) << 32) | self.ctx_index(ctx) as u64;
-        let mut h = DenseKeyHasher::default();
-        h.write_u64(key);
-        let shard = &self.prob_shards[(h.finish() >> 32) as usize & (SHARDS - 1)];
-        if let Some(&p) = shard.read().expect("prob shard poisoned").get(&key) {
+        let key = prob_key(fid, ctx);
+        if let Some(p) = self.cache.prob_get(key) {
             return p;
         }
-        let (num, den) = {
-            let table = self.features.read().expect("feature table poisoned");
-            let entry = &table.entries[fid as usize];
-            let mut num = 0usize;
-            let mut den = 0usize;
-            for (gs, &extent) in self.sg.shards().iter().zip(&entry.extents) {
-                let ctx_extent = match ctx {
-                    Ctx::Cat(c) => gs.graph().category_extent(c),
-                    Ctx::Type(t) => gs.graph().type_extent(t),
-                };
-                // context extents are owned-only, so the intersection
-                // counts exactly the in-range members of E(π)
-                den += ctx_extent.len();
-                num += intersect_len(extent, ctx_extent);
-            }
-            (num, den)
-        };
+        let entry = self.entry(fid);
+        let mut num = 0usize;
+        let mut den = 0usize;
+        for (gs, &extent) in self.sg.shards().iter().zip(&entry.extents) {
+            let ctx_extent = match ctx {
+                Ctx::Cat(c) => gs.graph().category_extent(c),
+                Ctx::Type(t) => gs.graph().type_extent(t),
+            };
+            // context extents are owned-only, so the intersection
+            // counts exactly the in-range members of E(π)
+            den += ctx_extent.len();
+            num += intersect_len(extent, ctx_extent);
+        }
         let p = if den == 0 {
             0.0
         } else {
             num as f64 / den as f64
         };
-        shard.write().expect("prob shard poisoned").insert(key, p);
+        self.cache.prob_insert(key, p);
         p
     }
 
@@ -555,19 +541,17 @@ impl<'g> ShardedContext<'g> {
         // probability cache, a per-shard extent snapshot for the match
         // check — the per-candidate loop then never touches the feature
         // interner lock or re-routes the entity
-        let resolved: Vec<ResolvedFeature<'g>> = {
-            let fids: Vec<u32> = features.iter().map(|rf| self.intern(rf.feature)).collect();
-            let table = self.features.read().expect("feature table poisoned");
-            features
-                .iter()
-                .zip(fids)
-                .map(|(rf, fid)| ResolvedFeature {
+        let resolved: Vec<ResolvedFeature<'g>> = features
+            .iter()
+            .map(|rf| {
+                let fid = self.intern(rf.feature);
+                ResolvedFeature {
                     fid,
                     score: rf.score,
-                    extents: table.entries[fid as usize].extents.clone(),
-                })
-                .collect()
-        };
+                    entry: self.entry(fid),
+                }
+            })
+            .collect();
         let n = self.sg.shard_count();
         let mut by_shard: Vec<(usize, Vec<EntityId>)> = (0..n).map(|i| (i, Vec::new())).collect();
         for &e in &candidates {
@@ -611,7 +595,7 @@ impl<'g> ShardedContext<'g> {
     ) -> f64 {
         let mut score = 0.0;
         for rf in features {
-            let p = if rf.extents[si].binary_search(&local).is_ok() {
+            let p = if rf.entry.extents[si].binary_search(&local).is_ok() {
                 1.0
             } else if config.error_tolerant && config.smooth_candidates {
                 self.p_best_ctx_by_fid(config, rf.fid, e)

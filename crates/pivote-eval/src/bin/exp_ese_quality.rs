@@ -11,7 +11,7 @@ use pivote_baselines::{
     EntityExpansion, FreqOverlapExpansion, JaccardExpansion, PivotEExpansion, PprExpansion,
 };
 use pivote_eval::{render_ese_table, run_ese_eval, EseEvalConfig};
-use pivote_kg::{generate, DatagenConfig};
+use pivote_kg::DatagenConfig;
 
 fn main() {
     let films: usize = std::env::args()
@@ -19,7 +19,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(2_000);
     eprintln!("generating synthetic KG ({films} films)…");
-    let kg = generate(&DatagenConfig::scaled(films, 7));
+    let kg = pivote_eval::eval_graph(&DatagenConfig::scaled(films, 7));
     eprintln!(
         "kg: {} entities, {} triples, {} categories",
         kg.entity_count(),

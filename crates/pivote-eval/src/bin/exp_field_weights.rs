@@ -8,7 +8,7 @@
 //! Usage: `cargo run --release -p pivote-eval --bin exp_field_weights [films]`
 
 use pivote_eval::{default_search_cases, render_search_table, run_search_eval, SearchVariant};
-use pivote_kg::{generate, DatagenConfig};
+use pivote_kg::DatagenConfig;
 use pivote_search::{FieldWeights, Scorer, SearchConfig, SearchEngine};
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(2_000);
     eprintln!("generating synthetic KG ({films} films)…");
-    let kg = generate(&DatagenConfig::scaled(films, 7));
+    let kg = pivote_eval::eval_graph(&DatagenConfig::scaled(films, 7));
     let cases = default_search_cases(&kg, 60);
 
     // sweep the names-field mass; the remainder is split over the other

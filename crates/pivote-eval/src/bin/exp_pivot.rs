@@ -8,14 +8,14 @@
 //! Usage: `cargo run --release -p pivote-eval --bin exp_pivot [films]`
 
 use pivote_eval::run_pivot_eval;
-use pivote_kg::{generate, DatagenConfig};
+use pivote_kg::DatagenConfig;
 
 fn main() {
     let films: usize = std::env::args()
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(2_000);
-    let kg = generate(&DatagenConfig::scaled(films, 7));
+    let kg = pivote_eval::eval_graph(&DatagenConfig::scaled(films, 7));
 
     println!("== Q5: pivot destinations vs type-coupling statistics ==");
     println!(

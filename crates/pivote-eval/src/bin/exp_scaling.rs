@@ -15,10 +15,20 @@
 //! execution layer are visible per scale. All rows are also written as
 //! JSON to `BENCH_2.json` (override the path with `BENCH_OUT`).
 //!
+//! A second sweep measures the **incremental store**: the trailing 10% of
+//! each graph's entity triples are split off as a `DeltaBatch` and
+//! appended via `KnowledgeGraph::apply`, against a from-scratch rebuild
+//! of the same union. Each row records wall-clock, the apply's work
+//! counter and its ratio to the graph size — the witness that appending
+//! N triples to a graph of M ≫ N triples does splice-sized work, not an
+//! O(M) rebuild. Rows go to `BENCH_3.json` (override with `BENCH3_OUT`).
+//!
 //! Usage: `cargo run --release -p pivote-eval --bin exp_scaling [max_films]`
 
 use pivote_core::{Expander, GraphHandle, HeatMap, RankingConfig, SfQuery};
-use pivote_kg::{generate, DatagenConfig, EntityId, KnowledgeGraph, ShardedGraph};
+use pivote_kg::{
+    generate, split_incremental, DatagenConfig, EntityId, KnowledgeGraph, ShardedGraph,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -160,6 +170,104 @@ fn sweep(kg: &KnowledgeGraph, films: usize, cores: usize, rows: &mut Vec<Row>) {
     }
 }
 
+/// One append-throughput measurement: delta size, wall-clock of the
+/// in-place apply vs a from-scratch rebuild of the union, and the
+/// apply's work counter.
+struct AppendRow {
+    films: usize,
+    /// Fraction of the entity triples the delta holds (`1 - split`).
+    delta_fraction: f64,
+    base_triples: usize,
+    delta_triples: usize,
+    append_ms: f64,
+    rebuild_ms: f64,
+    work: u64,
+    /// `work / union relation count` — stays ≪ 1 when the splice is
+    /// doing row-proportional work instead of a rebuild.
+    work_ratio: f64,
+}
+
+fn append_sweep(kg: &KnowledgeGraph, films: usize, fraction: f64) -> AppendRow {
+    let (mut base, delta) = split_incremental(kg, fraction);
+    let base_triples = base.relation_count();
+    let t = Instant::now();
+    let receipt = base.apply(&delta);
+    let append_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(base.relation_count(), kg.relation_count(), "union restored");
+
+    // the alternative the incremental store replaces: rebuild everything
+    let t = Instant::now();
+    let rebuilt = split_incremental(kg, 1.0).0;
+    let rebuild_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(rebuilt.relation_count(), kg.relation_count());
+
+    AppendRow {
+        films,
+        delta_fraction: 1.0 - fraction,
+        base_triples,
+        delta_triples: receipt.added_relations,
+        append_ms,
+        rebuild_ms,
+        work: receipt.work,
+        work_ratio: receipt.work as f64 / kg.relation_count().max(1) as f64,
+    }
+}
+
+fn print_append_row(r: &AppendRow) {
+    println!(
+        "{:>8} {:>7.1}% {:>12} {:>12} {:>11.2} {:>11.2} {:>10} {:>10.4}",
+        r.films,
+        r.delta_fraction * 100.0,
+        r.base_triples,
+        r.delta_triples,
+        r.append_ms,
+        r.rebuild_ms,
+        r.work,
+        r.work_ratio
+    );
+}
+
+fn write_append_json(rows: &[AppendRow], cores: usize, path: &str) {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"pivote-append-throughput/1\",");
+    let _ = writeln!(
+        out,
+        "  \"label\": \"incremental store: apply() of the trailing delta_fraction of the \
+         entity triples (bulk 10% and small-batch 0.2% rows per size) vs from-scratch \
+         rebuild; work is the splice's element counter\","
+    );
+    let _ = writeln!(out, "  \"host_cpus\": {cores},");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p pivote-eval --bin exp_scaling\","
+    );
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"films\": {}, \"delta_fraction\": {:.3}, \"base_triples\": {}, \
+             \"delta_triples\": {}, \"append_ms\": {:.3}, \"rebuild_ms\": {:.3}, \
+             \"append_work\": {}, \"work_over_union_triples\": {:.5}}}{comma}",
+            r.films,
+            r.delta_fraction,
+            r.base_triples,
+            r.delta_triples,
+            r.append_ms,
+            r.rebuild_ms,
+            r.work,
+            r.work_ratio
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("\nwrote {} rows to {path}", rows.len());
+    }
+}
+
 fn main() {
     let max_films: usize = std::env::args()
         .nth(1)
@@ -185,9 +293,26 @@ fn main() {
         "matrix_ms"
     );
     let mut rows: Vec<Row> = Vec::new();
+    let mut append_rows: Vec<AppendRow> = Vec::new();
     for films in sizes {
         let kg = generate(&DatagenConfig::scaled(films, 7));
         sweep(&kg, films, cores, &mut rows);
+        // a bulk delta (trailing 10% of the triples) and a small batch
+        // (trailing 0.2%) — the latter is the M ≫ N regime where the
+        // splice's work counter must stay far below the graph size
+        append_rows.push(append_sweep(&kg, films, 0.9));
+        append_rows.push(append_sweep(&kg, films, 0.998));
     }
     write_json(&rows, cores, &out_path);
+
+    println!("\n== incremental store: append (10% and 0.2% deltas) vs from-scratch rebuild ==");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>11} {:>11} {:>10} {:>10}",
+        "films", "delta", "base_tripl", "delta_tripl", "append_ms", "rebuild_ms", "work", "work/M"
+    );
+    for r in &append_rows {
+        print_append_row(r);
+    }
+    let append_out = std::env::var("BENCH3_OUT").unwrap_or_else(|_| "BENCH_3.json".to_owned());
+    write_append_json(&append_rows, cores, &append_out);
 }

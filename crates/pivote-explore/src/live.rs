@@ -1,0 +1,333 @@
+//! Live exploration sessions: explore a graph that grows mid-session.
+//!
+//! A [`LiveSession`] drives the full [`Session`] interaction loop over a
+//! [`LiveGraph`]: every user action runs against a consistent read-locked
+//! snapshot, and [`LiveSession::append`] grows the graph *between*
+//! actions — the paper's fixed-snapshot exploration model extended to a
+//! store serving live traffic. The session's durable state (timeline,
+//! exploratory path, current query, action log) survives appends; the
+//! per-snapshot machinery (query context, extent handles) is rebuilt per
+//! action from the live graph's [`SharedCache`](pivote_core::SharedCache),
+//! so untouched `p(π|c)` densities stay warm across generations. The
+//! keyword-search index is cached per generation and re-indexed only when
+//! an append actually happened.
+//!
+//! Everything a live session does — actions *and* appends — is recorded
+//! in a [`LiveLog`], so [`replay_live`](crate::replay::replay_live) can
+//! reproduce an entire live exploration (growth included) from the same
+//! base graph.
+
+use crate::events::UserAction;
+use crate::path::ExplorationPath;
+use crate::replay::ActionLog;
+use crate::session::{Session, SessionConfig, SessionState, ViewState};
+use crate::timeline::Timeline;
+use pivote_core::LiveGraph;
+use pivote_kg::{AppliedDelta, DeltaBatch};
+use pivote_search::SearchEngine;
+use serde::{Deserialize, Serialize};
+
+/// One event of a live session: a user action or a graph append.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LiveEvent {
+    /// A user action applied to the session.
+    Action(UserAction),
+    /// A delta batch appended to the live graph.
+    Append(DeltaBatch),
+}
+
+/// The ordered record of everything a live session did — the replayable
+/// artifact of an exploration over a growing graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LiveLog {
+    /// Events in application order.
+    pub events: Vec<LiveEvent>,
+}
+
+impl LiveLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialize as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("live log serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// An exploration session over a [`LiveGraph`] that may grow mid-session.
+pub struct LiveSession<'g> {
+    live: &'g LiveGraph,
+    config: SessionConfig,
+    state: SessionState,
+    log: ActionLog,
+    view: ViewState,
+    /// Search index cached with the generation it was built at;
+    /// re-indexed lazily after an append.
+    search: Option<(u64, SearchEngine)>,
+    events: LiveLog,
+}
+
+impl<'g> LiveSession<'g> {
+    /// A fresh live session over `live`.
+    pub fn new(live: &'g LiveGraph, config: SessionConfig) -> Self {
+        Self {
+            live,
+            config,
+            state: SessionState {
+                timeline: Timeline::new(),
+                path: ExplorationPath::new(),
+                query: Default::default(),
+            },
+            log: ActionLog::new(),
+            view: ViewState::empty(),
+            search: None,
+            events: LiveLog::new(),
+        }
+    }
+
+    /// The live graph under exploration.
+    pub fn live(&self) -> &'g LiveGraph {
+        self.live
+    }
+
+    /// The current view.
+    pub fn view(&self) -> &ViewState {
+        &self.view
+    }
+
+    /// The durable session state (timeline, path, current query).
+    pub fn state(&self) -> &SessionState {
+        &self.state
+    }
+
+    /// The user-action log (appends excluded; see [`LiveSession::events`]).
+    pub fn action_log(&self) -> &ActionLog {
+        &self.log
+    }
+
+    /// Every event — actions and appends — in order.
+    pub fn events(&self) -> &LiveLog {
+        &self.events
+    }
+
+    /// Apply one user action against the current graph snapshot and
+    /// return the updated view. The heavy lifting runs on a transient
+    /// [`Session`] scoped to a read guard; timeline/path/query/log and
+    /// the rendered view **move** in and back out (no per-action copies
+    /// of the session history), and the live graph's shared cache keeps
+    /// densities warm.
+    pub fn apply(&mut self, action: UserAction) -> &ViewState {
+        self.events.events.push(LiveEvent::Action(action.clone()));
+        let reader = self.live.read();
+        let generation = reader.generation();
+        let engine = match self.search.take() {
+            Some((built_at, engine)) if built_at == generation => engine,
+            _ => SearchEngine::build(reader.kg(), self.config.search),
+        };
+        let mut session = Session::with_single_engine(reader.handle(), self.config, engine);
+        let state = std::mem::replace(
+            &mut self.state,
+            SessionState {
+                timeline: Timeline::new(),
+                path: ExplorationPath::new(),
+                query: Default::default(),
+            },
+        );
+        session.import_state(
+            state,
+            std::mem::take(&mut self.log),
+            std::mem::replace(&mut self.view, ViewState::empty()),
+        );
+        session.apply(action);
+        let (state, log, view, engine) = session.dissolve();
+        self.state = state;
+        self.log = log;
+        self.view = view;
+        let engine = engine.expect("live sessions run on the single backend");
+        self.search = Some((generation, engine));
+        &self.view
+    }
+
+    /// Append a delta to the live graph (recorded in the event log). The
+    /// view is *not* recomputed — like every store mutation it becomes
+    /// visible at the next action, keeping actions the only points where
+    /// the interface changes under the user.
+    pub fn append(&mut self, delta: &DeltaBatch) -> AppliedDelta {
+        self.events.events.push(LiveEvent::Append(delta.clone()));
+        self.live.append(delta)
+    }
+
+    /// Convenience: submit a keyword query.
+    pub fn submit_keywords(&mut self, q: &str) -> &ViewState {
+        self.apply(UserAction::SubmitKeywords { query: q.into() })
+    }
+
+    /// Convenience: click an entity (investigation).
+    pub fn click_entity(&mut self, entity: pivote_kg::EntityId) -> &ViewState {
+        self.apply(UserAction::ClickEntity { entity })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pivote_kg::{generate, DatagenConfig, EntityId, KnowledgeGraph};
+
+    fn base() -> KnowledgeGraph {
+        generate(&DatagenConfig::tiny())
+    }
+
+    fn film_seed(kg: &KnowledgeGraph) -> EntityId {
+        let film = kg.type_id("Film").unwrap();
+        kg.type_extent(film)[0]
+    }
+
+    fn delta_for(kg: &KnowledgeGraph, seed: EntityId) -> DeltaBatch {
+        // append a brand-new film sharing the seed's entire cast, so an
+        // investigation from the seed must surface it mid-session
+        let starring = kg.predicate("starring").unwrap();
+        let mut d = DeltaBatch::new();
+        for &star in kg.objects(seed, starring) {
+            d.triple(
+                "Fresh_Live_Film",
+                "starring",
+                kg.entity_name(star).to_owned(),
+            );
+        }
+        d.typed("Fresh_Live_Film", "Film")
+            .typed("Fresh_Live_Film", "Work")
+            .label("Fresh_Live_Film", "Fresh Live Film");
+        for c in kg.categories_of(seed) {
+            d.categorized("Fresh_Live_Film", kg.category_name(c).to_owned());
+        }
+        d
+    }
+
+    #[test]
+    fn session_sees_appends_at_the_next_action() {
+        let kg = base();
+        let seed = film_seed(&kg);
+        let delta = delta_for(&kg, seed);
+        let live = LiveGraph::with_threads(base(), 1);
+        let mut s = LiveSession::new(&live, SessionConfig::default());
+
+        s.click_entity(seed);
+        let before: Vec<EntityId> = s.view().entities.iter().map(|re| re.entity).collect();
+        s.append(&delta);
+        // the view does not change until the next action
+        let unchanged: Vec<EntityId> = s.view().entities.iter().map(|re| re.entity).collect();
+        assert_eq!(before, unchanged);
+
+        // re-running the same investigation now reflects the new triples:
+        // results must equal a fresh session over the rebuilt union
+        s.apply(UserAction::RemoveSeed { entity: seed });
+        s.click_entity(seed);
+        let after: Vec<EntityId> = s.view().entities.iter().map(|re| re.entity).collect();
+
+        let mut union = base();
+        union.apply(&delta);
+        let mut fresh = Session::with_defaults(&union);
+        fresh.click_entity(seed);
+        let want: Vec<EntityId> = fresh.view().entities.iter().map(|re| re.entity).collect();
+        assert_eq!(after, want, "post-append view must match the rebuilt union");
+        let new_film = union.entity("Fresh_Live_Film").unwrap();
+        assert!(
+            after.contains(&new_film),
+            "the appended film must surface in the recommendations"
+        );
+    }
+
+    #[test]
+    fn non_recomputing_actions_preserve_the_view() {
+        // a duplicate click is a no-op and a lookup only sets the focus
+        // — neither may wipe the recommendation area (regression: the
+        // transient session must inherit the full rendered view, not
+        // start from empty)
+        let kg = base();
+        let seed = film_seed(&kg);
+        let live = LiveGraph::with_threads(base(), 1);
+        let mut s = LiveSession::new(&live, SessionConfig::default());
+        s.click_entity(seed);
+        let before: Vec<EntityId> = s.view().entities.iter().map(|re| re.entity).collect();
+        assert!(!before.is_empty());
+
+        s.click_entity(seed); // duplicate: no-op in a plain Session
+        let after_dup: Vec<EntityId> = s.view().entities.iter().map(|re| re.entity).collect();
+        assert_eq!(before, after_dup, "duplicate click must not wipe the view");
+
+        s.apply(UserAction::LookupEntity { entity: seed });
+        assert!(s.view().focus.is_some(), "lookup fills the focus");
+        let after_lookup: Vec<EntityId> = s.view().entities.iter().map(|re| re.entity).collect();
+        assert_eq!(before, after_lookup, "lookup must keep the entities");
+    }
+
+    #[test]
+    fn replay_live_reproduces_growth_and_rankings() {
+        let kg = base();
+        let seed = film_seed(&kg);
+        let live = LiveGraph::with_threads(base(), 1);
+        let mut original = LiveSession::new(&live, SessionConfig::default());
+        original.click_entity(seed);
+        original.append(&delta_for(&kg, seed));
+        original.apply(UserAction::RemoveSeed { entity: seed });
+        original.click_entity(seed);
+
+        // serialize the full event log (appends included) and replay it
+        // onto a fresh live graph built from the same base
+        let log = LiveLog::from_json(&original.events().to_json()).unwrap();
+        assert_eq!(&log, original.events());
+        let live2 = LiveGraph::with_threads(base(), 1);
+        let replayed = crate::replay::replay_live(&live2, SessionConfig::default(), &log);
+
+        assert_eq!(live2.generation(), 1, "the append replayed");
+        assert_eq!(replayed.state().timeline, original.state().timeline);
+        assert_eq!(
+            replayed
+                .view()
+                .entities
+                .iter()
+                .map(|re| (re.entity, re.score))
+                .collect::<Vec<_>>(),
+            original
+                .view()
+                .entities
+                .iter()
+                .map(|re| (re.entity, re.score))
+                .collect::<Vec<_>>(),
+            "live replay must reproduce rankings bit-identically"
+        );
+    }
+
+    #[test]
+    fn timeline_and_path_survive_appends() {
+        let kg = base();
+        let seed = film_seed(&kg);
+        let live = LiveGraph::with_threads(base(), 1);
+        let mut s = LiveSession::new(&live, SessionConfig::default());
+        s.submit_keywords(&kg.display_name(seed));
+        s.append(&delta_for(&kg, seed));
+        s.click_entity(seed);
+        assert_eq!(s.state().timeline.len(), 2, "search + investigate");
+        assert_eq!(s.action_log().len(), 2);
+        assert_eq!(s.events().len(), 3, "two actions + one append");
+        // the search index was rebuilt exactly once for the new generation
+        assert_eq!(s.search.as_ref().unwrap().0, 1);
+    }
+}

@@ -84,6 +84,32 @@ pub fn replay_with_handle<'kg>(
     session
 }
 
+/// Replay a [`LiveLog`](crate::live::LiveLog) — user actions *and* graph
+/// appends, in their original order — onto a fresh
+/// [`LiveSession`](crate::live::LiveSession) over `live`. Starting from
+/// the same base graph this reproduces the entire live exploration,
+/// growth included: the replayed session's rankings are bit-identical
+/// because appends are deterministic splices and actions are
+/// deterministic queries.
+pub fn replay_live<'g>(
+    live: &'g pivote_core::LiveGraph,
+    config: crate::session::SessionConfig,
+    log: &crate::live::LiveLog,
+) -> crate::live::LiveSession<'g> {
+    let mut session = crate::live::LiveSession::new(live, config);
+    for event in &log.events {
+        match event {
+            crate::live::LiveEvent::Action(action) => {
+                session.apply(action.clone());
+            }
+            crate::live::LiveEvent::Append(delta) => {
+                session.append(delta);
+            }
+        }
+    }
+    session
+}
+
 /// Aggregate statistics of an exploration session, computed from its
 /// log and timeline — what the demo's path "view" summarizes.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]

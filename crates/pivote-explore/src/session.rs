@@ -76,7 +76,8 @@ pub struct ViewState {
 }
 
 impl ViewState {
-    fn empty() -> Self {
+    /// The blank view (no query, no recommendations, no focus).
+    pub fn empty() -> Self {
         Self {
             query: ExplorationQuery::default(),
             entities: Vec::new(),
@@ -180,6 +181,78 @@ impl<'kg> Session<'kg> {
     /// Session with default configuration.
     pub fn with_defaults(kg: &'kg KnowledgeGraph) -> Self {
         Self::new(kg, SessionConfig::default())
+    }
+
+    /// Build a single-backend session around a **prebuilt** search
+    /// engine, skipping the (expensive) indexing pass — how the
+    /// live-session layer re-homes a session onto a fresh graph snapshot
+    /// without re-indexing when the graph generation hasn't changed.
+    ///
+    /// # Panics
+    /// When `handle` is sharded (sharded search is a per-shard engine
+    /// set; use [`Session::with_handle`]).
+    pub fn with_single_engine(
+        handle: GraphHandle<'kg>,
+        config: SessionConfig,
+        engine: SearchEngine,
+    ) -> Self {
+        assert!(
+            matches!(handle, GraphHandle::Single(_)),
+            "with_single_engine requires a single-backend handle"
+        );
+        Self {
+            search: SearchBackend::Single(Box::new(engine)),
+            expander: Expander::with_handle(handle.clone(), config.ranking),
+            handle,
+            config,
+            timeline: Timeline::new(),
+            path: ExplorationPath::new(),
+            view: ViewState::empty(),
+            log: crate::replay::ActionLog::new(),
+        }
+    }
+
+    /// Restore persistent state (timeline, path), the action log and the
+    /// full current view **without** recomputing — the fast half of a
+    /// live-session re-home. The view carries the query *and* the last
+    /// rendered recommendations, so actions that don't recompute (no-op
+    /// clicks, entity lookups) behave exactly as they would on a
+    /// fixed-snapshot session.
+    pub fn import_state(
+        &mut self,
+        state: SessionState,
+        log: crate::replay::ActionLog,
+        view: ViewState,
+    ) {
+        self.timeline = state.timeline;
+        self.path = state.path;
+        self.view = view;
+        self.view.query = state.query;
+        self.log = log;
+    }
+
+    /// Tear the session into its durable parts — state, log, view, and
+    /// the owned search engine (`Some` on the single backend) — so a
+    /// live session can carry them across graph generations without
+    /// cloning and without keeping this session's graph borrow alive.
+    pub fn dissolve(
+        self,
+    ) -> (
+        SessionState,
+        crate::replay::ActionLog,
+        ViewState,
+        Option<SearchEngine>,
+    ) {
+        let state = SessionState {
+            timeline: self.timeline,
+            path: self.path,
+            query: self.view.query.clone(),
+        };
+        let engine = match self.search {
+            SearchBackend::Single(engine) => Some(*engine),
+            SearchBackend::Sharded(_) => None,
+        };
+        (state, self.log, self.view, engine)
     }
 
     /// The shared query-execution context (probability caches, worker

@@ -1,0 +1,463 @@
+//! Delta batches: the unit of incremental growth for a live graph.
+//!
+//! A [`DeltaBatch`] is an ordered list of name-based statements — new
+//! triples, literal statements, type/category assertions, labels and
+//! aliases, possibly introducing brand-new entities, predicates, types or
+//! categories. Names (not ids) keep a batch independent of any particular
+//! graph's dictionary state, so one batch can be applied to a single
+//! [`KnowledgeGraph`](crate::KnowledgeGraph), to a
+//! [`ShardedGraph`](crate::ShardedGraph), or replayed into a fresh
+//! [`KgBuilder`] — and because the ops are *ordered*, all three intern new
+//! dictionary terms in exactly the same global order, which is what makes
+//! append-then-query bit-identical to rebuild-then-query (the
+//! `incremental_equivalence` suite enforces this).
+//!
+//! [`AppliedDelta`] is the receipt an apply returns: the new-entity id
+//! range, exactly which feature extents and context extents were touched
+//! (the cache-invalidation handle for the execution layers), and a work
+//! counter proving the apply did splice-sized work, not a rebuild.
+
+use crate::id::{CategoryId, EntityId, PredicateId, TypeId};
+use crate::store::{KgBuilder, KnowledgeGraph};
+use crate::triple::Literal;
+use serde::{Deserialize, Serialize};
+
+/// One ordered statement of a [`DeltaBatch`]. All references are by name;
+/// unknown names intern new dictionary entries on apply, in op order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DeltaOp {
+    /// Declare an entity (intern its name without asserting anything).
+    Entity {
+        /// Entity name.
+        name: String,
+    },
+    /// Declare a predicate (intern without asserting any statement) —
+    /// used by the sharded apply to replicate new dictionary terms into
+    /// every shard in global order.
+    DeclarePredicate {
+        /// Predicate name.
+        name: String,
+    },
+    /// Declare a type without asserting membership.
+    DeclareType {
+        /// Type name.
+        name: String,
+    },
+    /// Declare a category without asserting membership.
+    DeclareCategory {
+        /// Category name.
+        name: String,
+    },
+    /// An entity-to-entity statement `<s, p, o>`.
+    Triple {
+        /// Subject entity name.
+        s: String,
+        /// Predicate name.
+        p: String,
+        /// Object entity name.
+        o: String,
+    },
+    /// A literal-valued statement `<s, p, "value">`.
+    LiteralTriple {
+        /// Subject entity name.
+        s: String,
+        /// Predicate name.
+        p: String,
+        /// Literal value.
+        value: Literal,
+    },
+    /// An `rdf:type` assertion.
+    Typed {
+        /// Entity name.
+        entity: String,
+        /// Type name.
+        type_name: String,
+    },
+    /// A category (`dct:subject`) assertion.
+    Categorized {
+        /// Entity name.
+        entity: String,
+        /// Category name.
+        category: String,
+    },
+    /// Set (or overwrite) the `rdfs:label` of an entity.
+    Label {
+        /// Entity name.
+        entity: String,
+        /// The label.
+        label: String,
+    },
+    /// A redirect alias pointing at `target`.
+    Redirect {
+        /// The alias string.
+        alias: String,
+        /// Target entity name.
+        target: String,
+    },
+    /// A disambiguation alias pointing at `target`.
+    Disambiguation {
+        /// The alias string.
+        alias: String,
+        /// Target entity name.
+        target: String,
+    },
+}
+
+/// An ordered batch of statements to append to a live graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeltaBatch {
+    ops: Vec<DeltaOp>,
+}
+
+impl DeltaBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of ops in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The ordered ops.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Drop all ops, keeping the allocation (for batch reuse in
+    /// streaming ingestion loops).
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
+    /// Push a raw op.
+    pub fn push(&mut self, op: DeltaOp) {
+        self.ops.push(op);
+    }
+
+    /// Declare an entity by name.
+    pub fn entity(&mut self, name: impl Into<String>) -> &mut Self {
+        self.ops.push(DeltaOp::Entity { name: name.into() });
+        self
+    }
+
+    /// Declare a predicate by name (dictionary entry only).
+    pub fn declare_predicate(&mut self, name: impl Into<String>) -> &mut Self {
+        self.ops
+            .push(DeltaOp::DeclarePredicate { name: name.into() });
+        self
+    }
+
+    /// Declare a type by name (dictionary entry only).
+    pub fn declare_type(&mut self, name: impl Into<String>) -> &mut Self {
+        self.ops.push(DeltaOp::DeclareType { name: name.into() });
+        self
+    }
+
+    /// Declare a category by name (dictionary entry only).
+    pub fn declare_category(&mut self, name: impl Into<String>) -> &mut Self {
+        self.ops
+            .push(DeltaOp::DeclareCategory { name: name.into() });
+        self
+    }
+
+    /// Add an entity-to-entity statement `<s, p, o>`.
+    pub fn triple(
+        &mut self,
+        s: impl Into<String>,
+        p: impl Into<String>,
+        o: impl Into<String>,
+    ) -> &mut Self {
+        self.ops.push(DeltaOp::Triple {
+            s: s.into(),
+            p: p.into(),
+            o: o.into(),
+        });
+        self
+    }
+
+    /// Add a literal-valued statement.
+    pub fn literal(
+        &mut self,
+        s: impl Into<String>,
+        p: impl Into<String>,
+        value: Literal,
+    ) -> &mut Self {
+        self.ops.push(DeltaOp::LiteralTriple {
+            s: s.into(),
+            p: p.into(),
+            value,
+        });
+        self
+    }
+
+    /// Assert `rdf:type` membership.
+    pub fn typed(&mut self, entity: impl Into<String>, type_name: impl Into<String>) -> &mut Self {
+        self.ops.push(DeltaOp::Typed {
+            entity: entity.into(),
+            type_name: type_name.into(),
+        });
+        self
+    }
+
+    /// Assert category membership.
+    pub fn categorized(
+        &mut self,
+        entity: impl Into<String>,
+        category: impl Into<String>,
+    ) -> &mut Self {
+        self.ops.push(DeltaOp::Categorized {
+            entity: entity.into(),
+            category: category.into(),
+        });
+        self
+    }
+
+    /// Set the label of an entity.
+    pub fn label(&mut self, entity: impl Into<String>, label: impl Into<String>) -> &mut Self {
+        self.ops.push(DeltaOp::Label {
+            entity: entity.into(),
+            label: label.into(),
+        });
+        self
+    }
+
+    /// Record a redirect alias.
+    pub fn redirect(&mut self, alias: impl Into<String>, target: impl Into<String>) -> &mut Self {
+        self.ops.push(DeltaOp::Redirect {
+            alias: alias.into(),
+            target: target.into(),
+        });
+        self
+    }
+
+    /// Record a disambiguation alias.
+    pub fn disambiguation(
+        &mut self,
+        alias: impl Into<String>,
+        target: impl Into<String>,
+    ) -> &mut Self {
+        self.ops.push(DeltaOp::Disambiguation {
+            alias: alias.into(),
+            target: target.into(),
+        });
+        self
+    }
+
+    /// Replay the batch into a [`KgBuilder`], interning names in exactly
+    /// the order [`KnowledgeGraph::apply`] does — the rebuild side of the
+    /// append/rebuild equivalence contract: building `base ops + delta
+    /// ops` from scratch yields the same dense ids (and therefore
+    /// bit-identical rankings) as building `base` and applying the delta.
+    pub fn apply_to_builder(&self, b: &mut KgBuilder) {
+        for op in &self.ops {
+            match op {
+                DeltaOp::Entity { name } => {
+                    b.entity(name);
+                }
+                DeltaOp::DeclarePredicate { name } => {
+                    b.predicate(name);
+                }
+                DeltaOp::DeclareType { name } => {
+                    b.declare_type(name);
+                }
+                DeltaOp::DeclareCategory { name } => {
+                    b.declare_category(name);
+                }
+                DeltaOp::Triple { s, p, o } => {
+                    let s = b.entity(s);
+                    let p = b.predicate(p);
+                    let o = b.entity(o);
+                    b.triple(s, p, o);
+                }
+                DeltaOp::LiteralTriple { s, p, value } => {
+                    let s = b.entity(s);
+                    let p = b.predicate(p);
+                    b.literal_triple(s, p, value.clone());
+                }
+                DeltaOp::Typed { entity, type_name } => {
+                    let e = b.entity(entity);
+                    b.typed(e, type_name);
+                }
+                DeltaOp::Categorized { entity, category } => {
+                    let e = b.entity(entity);
+                    b.categorized(e, category);
+                }
+                DeltaOp::Label { entity, label } => {
+                    let e = b.entity(entity);
+                    b.label(e, label.clone());
+                }
+                DeltaOp::Redirect { alias, target } => {
+                    let t = b.entity(target);
+                    b.redirect(alias.clone(), t);
+                }
+                DeltaOp::Disambiguation { alias, target } => {
+                    let t = b.entity(target);
+                    b.disambiguation(alias.clone(), t);
+                }
+            }
+        }
+    }
+}
+
+/// The receipt of one applied [`DeltaBatch`]: what changed, and how much
+/// work the splice did. This is the invalidation handle the execution
+/// layers consume — a cached `p(π|c)` must be dropped iff `π`'s extent
+/// (`touched_out`/`touched_in`) or `c`'s extent
+/// (`touched_types`/`touched_categories`) was touched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedDelta {
+    /// The graph's generation after this apply (monotonic, starts at 0
+    /// for a freshly built graph).
+    pub generation: u64,
+    /// Raw ids of entities created by this apply (`start..end`, appended
+    /// at the top of the id space).
+    pub new_entities: std::ops::Range<u32>,
+    /// `(s, p)` pairs whose outgoing run gained edges — the extents of
+    /// features `s:p→` that changed. Sorted, deduplicated.
+    pub touched_out: Vec<(EntityId, PredicateId)>,
+    /// `(o, p)` pairs whose incoming run gained edges — the extents of
+    /// features `o:p←` that changed. Sorted, deduplicated.
+    pub touched_in: Vec<(EntityId, PredicateId)>,
+    /// Types whose extent grew. Sorted, deduplicated.
+    pub touched_types: Vec<TypeId>,
+    /// Categories whose extent grew. Sorted, deduplicated.
+    pub touched_categories: Vec<CategoryId>,
+    /// New (deduplicated) entity-to-entity statements actually inserted.
+    pub added_relations: usize,
+    /// Literal statements appended.
+    pub added_literals: usize,
+    /// Elements examined or moved while splicing rows and extents — the
+    /// sublinearity witness: appending N triples to a graph of M ≫ N
+    /// triples does work proportional to the touched rows, not to M.
+    pub work: u64,
+}
+
+impl AppliedDelta {
+    /// Whether the apply changed any extent the ranking model reads.
+    pub fn touched_anything(&self) -> bool {
+        !self.touched_out.is_empty()
+            || !self.touched_in.is_empty()
+            || !self.touched_types.is_empty()
+            || !self.touched_categories.is_empty()
+            || !self.new_entities.is_empty()
+    }
+}
+
+/// Whether the `PIVOTE_INCREMENTAL=1` environment leg is active — the CI
+/// hook that routes graph construction through the append path.
+pub fn incremental_from_env() -> bool {
+    std::env::var("PIVOTE_INCREMENTAL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Split a finished graph into a base graph plus a [`DeltaBatch`] holding
+/// the trailing `1 - fraction` of its entity triples, such that applying
+/// the delta to the base reproduces the original graph's extents (and
+/// hence its rankings) exactly: the base interns every entity in id
+/// order, so the dense id spaces agree.
+pub fn split_incremental(kg: &KnowledgeGraph, fraction: f64) -> (KnowledgeGraph, DeltaBatch) {
+    let mut b = KgBuilder::new();
+    // replicate the full dictionaries and all per-entity facets in id
+    // order, so base ids equal source ids
+    for p in kg.predicate_ids() {
+        b.predicate(kg.predicate_name(p));
+    }
+    for t in kg.type_ids() {
+        b.declare_type(kg.type_name(t));
+    }
+    for c in kg.category_ids() {
+        b.declare_category(kg.category_name(c));
+    }
+    for e in kg.entity_ids() {
+        let le = b.entity(kg.entity_name(e));
+        if let Some(l) = kg.label(e) {
+            b.label(le, l);
+        }
+        for t in kg.types_of(e) {
+            b.typed(le, kg.type_name(t));
+        }
+        for c in kg.categories_of(e) {
+            b.categorized(le, kg.category_name(c));
+        }
+        for (p, lit) in kg.literals(e) {
+            b.literal_triple(le, p, lit.clone());
+        }
+        for a in kg.aliases(e) {
+            b.redirect(a.clone(), le);
+        }
+    }
+    let triples: Vec<_> = kg.entity_triples().collect();
+    let cut = ((triples.len() as f64) * fraction.clamp(0.0, 1.0)) as usize;
+    for t in &triples[..cut] {
+        let o = t.object.as_entity().expect("entity triple");
+        b.triple(t.subject, t.predicate, o);
+    }
+    let mut delta = DeltaBatch::new();
+    for t in &triples[cut..] {
+        let o = t.object.as_entity().expect("entity triple");
+        delta.triple(
+            kg.entity_name(t.subject),
+            kg.predicate_name(t.predicate),
+            kg.entity_name(o),
+        );
+    }
+    (b.finish(), delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_builder_records_ops_in_order() {
+        let mut d = DeltaBatch::new();
+        d.triple("a", "p", "b").typed("a", "T").label("a", "A");
+        assert_eq!(d.len(), 3);
+        assert!(matches!(d.ops()[0], DeltaOp::Triple { .. }));
+        assert!(matches!(d.ops()[2], DeltaOp::Label { .. }));
+    }
+
+    #[test]
+    fn apply_to_builder_replays_everything() {
+        let mut d = DeltaBatch::new();
+        d.triple("a", "p", "b")
+            .literal("a", "len", Literal::integer(7))
+            .typed("a", "T")
+            .categorized("b", "C")
+            .label("a", "The A")
+            .redirect("Ay", "a");
+        let mut b = KgBuilder::new();
+        d.apply_to_builder(&mut b);
+        let kg = b.finish();
+        assert_eq!(kg.entity_count(), 2);
+        assert_eq!(kg.relation_count(), 1);
+        let a = kg.entity("a").unwrap();
+        assert_eq!(kg.label(a), Some("The A"));
+        assert_eq!(kg.aliases(a), &["Ay".to_owned()]);
+        assert!(kg.has_type(a, kg.type_id("T").unwrap()));
+    }
+
+    #[test]
+    fn split_round_trips_through_apply() {
+        let kg = crate::datagen::generate(&crate::datagen::DatagenConfig::tiny());
+        let (mut base, delta) = split_incremental(&kg, 0.5);
+        assert!(base.relation_count() < kg.relation_count());
+        base.apply(&delta);
+        assert_eq!(base.relation_count(), kg.relation_count());
+        assert_eq!(base.entity_count(), kg.entity_count());
+        for e in kg.entity_ids() {
+            assert_eq!(base.entity_name(e), kg.entity_name(e));
+            for p in kg.out_predicates(e) {
+                assert_eq!(base.objects(e, p), kg.objects(e, p));
+            }
+        }
+    }
+}

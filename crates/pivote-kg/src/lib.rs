@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod datagen;
+pub mod delta;
 pub mod id;
 pub mod interner;
 pub mod ntriples;
@@ -46,9 +47,10 @@ pub mod store;
 pub mod triple;
 
 pub use datagen::{generate, DatagenConfig, Zipf};
+pub use delta::{incremental_from_env, split_incremental, AppliedDelta, DeltaBatch, DeltaOp};
 pub use id::{CategoryId, EntityId, LiteralId, PredicateId, TypeId};
 pub use interner::Interner;
-pub use ntriples::{parse, parse_into_builder, serialize, ParseError};
+pub use ntriples::{parse, parse_into_builder, parse_into_delta, serialize, ParseError};
 pub use shard::{shard_counts_from_env, GraphShard, ShardRouter, ShardedGraph};
 pub use snapshot::{load_from_path, save_to_path, SnapshotError};
 pub use stats::{Coupling, TypeCouplingStats};

@@ -7,6 +7,7 @@
 //! (types, categories, labels, aliases) instead of generic edges, matching
 //! how PivotE treats DBpedia input.
 
+use crate::delta::DeltaBatch;
 use crate::schema;
 use crate::store::{KgBuilder, KnowledgeGraph};
 use crate::triple::{Literal, LiteralKind};
@@ -44,14 +45,22 @@ enum Term {
 ///
 /// Comments (`# ...`) and blank lines are skipped. Returns the builder so
 /// callers can add more statements before freezing.
+///
+/// Implemented as per-line delta routing + builder replay (one reused
+/// one-statement batch, so peak memory stays per-line): the bulk-parse
+/// and the incremental-append paths share one statement-routing
+/// implementation and can never diverge.
 pub fn parse_into_builder(input: &str) -> Result<KgBuilder, ParseError> {
     let mut b = KgBuilder::new();
+    let mut line_batch = DeltaBatch::new();
     for (lineno, raw) in input.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        parse_line(line, lineno + 1, &mut b)?;
+        parse_line_delta(line, lineno + 1, &mut line_batch)?;
+        line_batch.apply_to_builder(&mut b);
+        line_batch.clear();
     }
     Ok(b)
 }
@@ -61,6 +70,72 @@ pub fn parse(input: &str) -> Result<KnowledgeGraph, ParseError> {
     Ok(parse_into_builder(input)?.finish())
 }
 
+/// Parse an N-Triples document into a [`DeltaBatch`] for appending to a
+/// live graph via `KnowledgeGraph::apply`/`ShardedGraph::apply`. Each
+/// statement is routed exactly like [`parse`] routes it (types,
+/// categories, labels and aliases into their dedicated ops), in line
+/// order — so parsing a document in two halves and appending the second
+/// half yields the same graph as parsing the whole document.
+pub fn parse_into_delta(input: &str) -> Result<DeltaBatch, ParseError> {
+    let mut d = DeltaBatch::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        parse_line_delta(line, lineno + 1, &mut d)?;
+    }
+    Ok(d)
+}
+
+fn parse_line_delta(line: &str, lineno: usize, d: &mut DeltaBatch) -> Result<(), ParseError> {
+    let (subject, predicate, object) = parse_statement(line, lineno)?;
+    match (predicate.as_str(), object) {
+        // Redirect/disambiguation subjects are alias pages, not entities
+        // of the graph proper — they become alias strings on the target,
+        // so `parse(serialize(kg))` preserves the entity count.
+        (schema::DBO_REDIRECT, Term::Iri(o)) => {
+            d.redirect(
+                schema::local_name(&subject).replace('_', " "),
+                schema::local_name(&o),
+            );
+        }
+        (schema::DBO_DISAMBIGUATES, Term::Iri(o)) => {
+            d.disambiguation(
+                schema::local_name(&subject).replace('_', " "),
+                schema::local_name(&o),
+            );
+        }
+        (schema::RDF_TYPE, Term::Iri(o)) => {
+            d.typed(schema::local_name(&subject), schema::local_name(&o));
+        }
+        (schema::RDFS_LABEL, Term::Literal(l)) => {
+            d.label(schema::local_name(&subject), l.lexical);
+        }
+        (schema::DCT_SUBJECT, Term::Iri(o)) => {
+            d.categorized(
+                schema::local_name(&subject),
+                schema::category_name(&o).replace('_', " "),
+            );
+        }
+        (_, Term::Iri(o)) => {
+            d.triple(
+                schema::local_name(&subject),
+                schema::local_name(&predicate),
+                schema::local_name(&o),
+            );
+        }
+        (_, Term::Literal(l)) => {
+            d.literal(
+                schema::local_name(&subject),
+                schema::local_name(&predicate),
+                l,
+            );
+        }
+    }
+    Ok(())
+}
+
 fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
@@ -68,7 +143,8 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
-fn parse_line(line: &str, lineno: usize, b: &mut KgBuilder) -> Result<(), ParseError> {
+/// Parse one statement into `(subject IRI, predicate IRI, object term)`.
+fn parse_statement(line: &str, lineno: usize) -> Result<(String, String, Term), ParseError> {
     let mut rest = line;
     let subject = match take_term(&mut rest, lineno)? {
         Term::Iri(iri) => iri,
@@ -83,46 +159,7 @@ fn parse_line(line: &str, lineno: usize, b: &mut KgBuilder) -> Result<(), ParseE
     if !rest.starts_with('.') {
         return Err(err(lineno, "statement must end with '.'"));
     }
-
-    match (predicate.as_str(), object) {
-        // Redirect/disambiguation subjects are alias pages, not entities
-        // of the graph proper — they become alias strings on the target,
-        // so `parse(serialize(kg))` preserves the entity count.
-        (schema::DBO_REDIRECT, Term::Iri(o)) => {
-            let alias = schema::local_name(&subject).replace('_', " ");
-            let target = b.entity(schema::local_name(&o));
-            b.redirect(alias, target);
-        }
-        (schema::DBO_DISAMBIGUATES, Term::Iri(o)) => {
-            let alias = schema::local_name(&subject).replace('_', " ");
-            let target = b.entity(schema::local_name(&o));
-            b.disambiguation(alias, target);
-        }
-        (schema::RDF_TYPE, Term::Iri(o)) => {
-            let s = b.entity(schema::local_name(&subject));
-            b.typed(s, schema::local_name(&o));
-        }
-        (schema::RDFS_LABEL, Term::Literal(l)) => {
-            let s = b.entity(schema::local_name(&subject));
-            b.label(s, l.lexical);
-        }
-        (schema::DCT_SUBJECT, Term::Iri(o)) => {
-            let s = b.entity(schema::local_name(&subject));
-            b.categorized(s, &schema::category_name(&o).replace('_', " "));
-        }
-        (_, Term::Iri(o)) => {
-            let s = b.entity(schema::local_name(&subject));
-            let p = b.predicate(schema::local_name(&predicate));
-            let o = b.entity(schema::local_name(&o));
-            b.triple(s, p, o);
-        }
-        (_, Term::Literal(l)) => {
-            let s = b.entity(schema::local_name(&subject));
-            let p = b.predicate(schema::local_name(&predicate));
-            b.literal_triple(s, p, l);
-        }
-    }
-    Ok(())
+    Ok((subject, predicate, object))
 }
 
 /// Consume one term (IRI or literal) from the front of `rest`.

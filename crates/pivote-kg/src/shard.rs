@@ -35,6 +35,7 @@
 //! error), which is what makes sharded rankings bit-identical to
 //! single-graph rankings.
 
+use crate::delta::{AppliedDelta, DeltaBatch};
 use crate::id::{CategoryId, EntityId, PredicateId, TypeId};
 use crate::store::{KgBuilder, KnowledgeGraph};
 use crate::triple::Literal;
@@ -108,6 +109,13 @@ impl ShardRouter {
     pub fn entity_count(&self) -> usize {
         *self.cuts.last().expect("router has cut points") as usize
     }
+
+    /// Append a new trailing shard owning the next `additional` global
+    /// ids — how the sharded apply places entities created by a delta.
+    pub(crate) fn append_range(&mut self, additional: u32) {
+        let last = *self.cuts.last().expect("router has cut points");
+        self.cuts.push(last + additional);
+    }
 }
 
 /// One shard: a self-contained [`KnowledgeGraph`] over the owned entity
@@ -117,9 +125,14 @@ impl ShardRouter {
 pub struct GraphShard {
     graph: KnowledgeGraph,
     /// Local id → global id. Owned locals (`0..owned_count`) are the
-    /// shard's range in ascending order; ghost locals follow, also
-    /// ascending in global id.
+    /// shard's range in ascending order; ghost locals follow in the order
+    /// they were interned (ascending at construction; appended ghosts
+    /// from live deltas arrive in delta order).
     local_to_global: Vec<EntityId>,
+    /// Ghost lookup `(global, local)`, sorted by global id — kept sorted
+    /// under appends so [`GraphShard::to_local`] stays a binary search
+    /// even when deltas intern ghosts out of global order.
+    ghost_lookup: Vec<(EntityId, EntityId)>,
     /// First global id of the owned range (`local = global − base` for
     /// owned entities).
     base: u32,
@@ -156,10 +169,18 @@ impl GraphShard {
         if (self.base..owned_end).contains(&global.raw()) {
             return Some(EntityId::new(global.raw() - self.base));
         }
-        self.local_to_global[self.owned_count..]
-            .binary_search(&global)
+        self.ghost_lookup
+            .binary_search_by_key(&global, |&(g, _)| g)
             .ok()
-            .map(|i| EntityId::new((self.owned_count + i) as u32))
+            .map(|i| self.ghost_lookup[i].1)
+    }
+
+    /// Register a freshly interned ghost local (post-append bookkeeping).
+    fn push_ghost(&mut self, global: EntityId, local: EntityId) {
+        debug_assert_eq!(local.index(), self.local_to_global.len());
+        self.local_to_global.push(global);
+        let at = self.ghost_lookup.partition_point(|&(g, _)| g < global);
+        self.ghost_lookup.insert(at, (global, local));
     }
 
     /// Length of the owned prefix of a sorted local-id extent slice —
@@ -187,6 +208,8 @@ pub struct ShardedGraph {
     shards: Vec<GraphShard>,
     relation_count: usize,
     triple_count: usize,
+    /// Bumped by every [`ShardedGraph::apply`]; 0 for a fresh partition.
+    generation: u64,
 }
 
 impl ShardedGraph {
@@ -275,9 +298,15 @@ impl ShardedGraph {
                 for &(s, p, o) in &triples[i] {
                     b.triple(to_local(s), p, to_local(o));
                 }
+                let ghost_lookup = local_to_global[owned_count..]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &g)| (g, EntityId::new((owned_count + i) as u32)))
+                    .collect();
                 GraphShard {
                     graph: b.finish(),
                     local_to_global,
+                    ghost_lookup,
                     base,
                     owned_count,
                 }
@@ -289,7 +318,439 @@ impl ShardedGraph {
             shards: built,
             relation_count: kg.relation_count(),
             triple_count: kg.triple_count(),
+            generation: 0,
         }
+    }
+
+    /// The mutation generation: 0 for a fresh partition, bumped by every
+    /// [`ShardedGraph::apply`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Append a [`DeltaBatch`], routing every statement to the shard(s)
+    /// that own its endpoints while preserving the remap invariants the
+    /// execution layer relies on:
+    ///
+    /// - Entities created by the delta become a **new trailing shard**
+    ///   owning the appended global-id range (owned locals dense in
+    ///   global order by construction) — existing shards never gain owned
+    ///   entities, so their owned prefixes stay intact.
+    /// - A new triple is stored in the shard(s) owning its endpoints;
+    ///   endpoints foreign to a shard are interned there as ghosts
+    ///   (`local ≥ owned_count`, so the owned-prefix invariant holds no
+    ///   matter the interning order).
+    /// - New predicates/types/categories are declared into **every**
+    ///   shard first, in first-appearance order — the same global order
+    ///   the single-graph apply interns them — so dictionaries stay
+    ///   replicated and dense ids stay identical across shards.
+    /// - Facet statements (types, categories, labels, literals, aliases)
+    ///   go only to the owning shard, keeping context extents disjoint.
+    ///
+    /// Work is proportional to the delta and the touched rows (existing
+    /// shards are patched via [`KnowledgeGraph::apply`]); the receipt is
+    /// a *global-id* [`AppliedDelta`] equivalent to the one the
+    /// single-graph apply of the same batch returns.
+    ///
+    /// Note: every batch that introduces entities appends one shard, so
+    /// a long sequence of tiny deltas grows the shard count (and the
+    /// per-query shard iteration) linearly — re-partition via
+    /// [`ShardedGraph::from_graph`] when the tail shards accumulate
+    /// (compaction is a ROADMAP item).
+    pub fn apply(&mut self, delta: &DeltaBatch) -> AppliedDelta {
+        use crate::delta::DeltaOp;
+        use std::collections::{HashMap, HashSet};
+
+        let old_count = self.router.entity_count() as u32;
+        let n_old_shards = self.shards.len();
+        let mut work: u64 = 0;
+
+        // ---- phase A (read-only): resolve names, dedup statements ------
+        let mut name_ids: HashMap<&str, EntityId> = HashMap::new();
+        let mut new_names: Vec<&str> = Vec::new();
+        let mut next_id = old_count;
+        macro_rules! resolve {
+            ($name:expr) => {{
+                let name: &str = $name;
+                match name_ids.get(name) {
+                    Some(&id) => id,
+                    None => {
+                        let id = match self.entity(name) {
+                            Some(id) => id,
+                            None => {
+                                let id = EntityId::new(next_id);
+                                next_id += 1;
+                                new_names.push(name);
+                                id
+                            }
+                        };
+                        name_ids.insert(name, id);
+                        id
+                    }
+                }
+            }};
+        }
+        // dictionary terms: known ids, or provisional dense ids for new
+        // names in first-appearance order (matches the single-graph
+        // interning order)
+        let mut pred_ids: HashMap<&str, u32> = HashMap::new();
+        let mut new_preds: Vec<&str> = Vec::new();
+        let mut type_known: HashMap<&str, Option<TypeId>> = HashMap::new();
+        let mut new_types: Vec<&str> = Vec::new();
+        let mut cat_known: HashMap<&str, Option<CategoryId>> = HashMap::new();
+        let mut new_cats: Vec<&str> = Vec::new();
+
+        let old_pred_count = self.predicate_count() as u32;
+        // statements kept after deduplication, as indexes into ops
+        let mut kept_triples: Vec<(EntityId, u32, EntityId, usize)> = Vec::new();
+        let mut kept_types: Vec<(EntityId, usize)> = Vec::new();
+        let mut kept_cats: Vec<(EntityId, usize)> = Vec::new();
+        let mut seen_triples: HashSet<(EntityId, u32, EntityId)> = HashSet::new();
+        let mut seen_types: HashSet<(EntityId, &str)> = HashSet::new();
+        let mut seen_cats: HashSet<(EntityId, &str)> = HashSet::new();
+        let mut touched_types: Vec<TypeId> = Vec::new();
+        let mut touched_categories: Vec<CategoryId> = Vec::new();
+        let mut n_literals = 0usize;
+
+        for (idx, op) in delta.ops().iter().enumerate() {
+            match op {
+                DeltaOp::Entity { name } => {
+                    resolve!(name.as_str());
+                }
+                DeltaOp::DeclarePredicate { name } => {
+                    if !pred_ids.contains_key(name.as_str()) && self.predicate(name).is_none() {
+                        pred_ids.insert(name.as_str(), old_pred_count + new_preds.len() as u32);
+                        new_preds.push(name.as_str());
+                    }
+                }
+                DeltaOp::DeclareType { name } => {
+                    let entry = type_known
+                        .entry(name.as_str())
+                        .or_insert_with(|| self.type_id(name));
+                    if entry.is_none() && !new_types.contains(&name.as_str()) {
+                        new_types.push(name.as_str());
+                    }
+                }
+                DeltaOp::DeclareCategory { name } => {
+                    let entry = cat_known
+                        .entry(name.as_str())
+                        .or_insert_with(|| self.category_id(name));
+                    if entry.is_none() && !new_cats.contains(&name.as_str()) {
+                        new_cats.push(name.as_str());
+                    }
+                }
+                DeltaOp::Triple { s, p, o } => {
+                    let s = resolve!(s.as_str());
+                    let o = resolve!(o.as_str());
+                    let pid = match pred_ids.get(p.as_str()) {
+                        Some(&pid) => pid,
+                        None => {
+                            let pid = match self.predicate(p) {
+                                Some(pid) => pid.raw(),
+                                None => {
+                                    let pid = old_pred_count + new_preds.len() as u32;
+                                    new_preds.push(p.as_str());
+                                    pid
+                                }
+                            };
+                            pred_ids.insert(p.as_str(), pid);
+                            pid
+                        }
+                    };
+                    if !seen_triples.insert((s, pid, o)) {
+                        continue; // duplicate within the batch
+                    }
+                    // already stored? check the subject's home shard
+                    if s.raw() < old_count && o.raw() < old_count && pid < old_pred_count {
+                        let (shard, local_s) = self.home(s);
+                        if let Some(local_o) = shard.to_local(o) {
+                            if shard
+                                .graph()
+                                .objects(local_s, PredicateId::new(pid))
+                                .binary_search(&local_o)
+                                .is_ok()
+                            {
+                                continue;
+                            }
+                        }
+                    }
+                    kept_triples.push((s, pid, o, idx));
+                }
+                DeltaOp::LiteralTriple { s, p, .. } => {
+                    resolve!(s.as_str());
+                    if !pred_ids.contains_key(p.as_str()) && self.predicate(p).is_none() {
+                        pred_ids.insert(p.as_str(), old_pred_count + new_preds.len() as u32);
+                        new_preds.push(p.as_str());
+                    }
+                    n_literals += 1;
+                }
+                DeltaOp::Typed { entity, type_name } => {
+                    let e = resolve!(entity.as_str());
+                    let known = *type_known
+                        .entry(type_name.as_str())
+                        .or_insert_with(|| self.type_id(type_name));
+                    if known.is_none() && !new_types.contains(&type_name.as_str()) {
+                        new_types.push(type_name.as_str());
+                    }
+                    if !seen_types.insert((e, type_name.as_str())) {
+                        continue;
+                    }
+                    if let Some(t) = known {
+                        if e.raw() < old_count && self.has_type(e, t) {
+                            continue;
+                        }
+                    }
+                    kept_types.push((e, idx));
+                    let t = known.unwrap_or_else(|| {
+                        TypeId::new(
+                            self.type_count() as u32
+                                + new_types
+                                    .iter()
+                                    .position(|&n| n == type_name.as_str())
+                                    .expect("new type recorded")
+                                    as u32,
+                        )
+                    });
+                    touched_types.push(t);
+                }
+                DeltaOp::Categorized { entity, category } => {
+                    let e = resolve!(entity.as_str());
+                    let known = *cat_known
+                        .entry(category.as_str())
+                        .or_insert_with(|| self.category_id(category));
+                    if known.is_none() && !new_cats.contains(&category.as_str()) {
+                        new_cats.push(category.as_str());
+                    }
+                    if !seen_cats.insert((e, category.as_str())) {
+                        continue;
+                    }
+                    if let Some(c) = known {
+                        if e.raw() < old_count && self.has_category(e, c) {
+                            continue;
+                        }
+                    }
+                    kept_cats.push((e, idx));
+                    let c = known.unwrap_or_else(|| {
+                        CategoryId::new(
+                            self.category_count() as u32
+                                + new_cats
+                                    .iter()
+                                    .position(|&n| n == category.as_str())
+                                    .expect("new category recorded")
+                                    as u32,
+                        )
+                    });
+                    touched_categories.push(c);
+                }
+                DeltaOp::Label { entity, .. } => {
+                    resolve!(entity.as_str());
+                }
+                DeltaOp::Redirect { target, .. } | DeltaOp::Disambiguation { target, .. } => {
+                    resolve!(target.as_str());
+                }
+            }
+        }
+
+        // ---- phase B: distribute to per-shard name-based deltas --------
+        let new_shard_index = n_old_shards; // where new entities live
+        let shard_of = |e: EntityId| -> usize {
+            if e.raw() < old_count {
+                self.router.shard_of(e)
+            } else {
+                new_shard_index
+            }
+        };
+        let mut local_deltas: Vec<DeltaBatch> =
+            vec![DeltaBatch::new(); n_old_shards + usize::from(!new_names.is_empty())];
+        // every shard learns the new dictionary terms first, in global
+        // (first-appearance) order
+        for d in &mut local_deltas {
+            for &p in &new_preds {
+                d.declare_predicate(p);
+            }
+            for &t in &new_types {
+                d.declare_type(t);
+            }
+            for &c in &new_cats {
+                d.declare_category(c);
+            }
+        }
+        let route_facet = |e: EntityId, op: &DeltaOp, deltas: &mut Vec<DeltaBatch>| {
+            deltas[shard_of(e)].push(op.clone());
+        };
+        let triple_by_idx: HashMap<usize, (EntityId, EntityId)> = kept_triples
+            .iter()
+            .map(|&(s, _, o, i)| (i, (s, o)))
+            .collect();
+        let kept_type_idx: HashSet<usize> = kept_types.iter().map(|&(_, i)| i).collect();
+        let kept_cat_idx: HashSet<usize> = kept_cats.iter().map(|&(_, i)| i).collect();
+        for (idx, op) in delta.ops().iter().enumerate() {
+            match op {
+                DeltaOp::Triple { .. } => {
+                    let Some(&(s, o)) = triple_by_idx.get(&idx) else {
+                        continue;
+                    };
+                    let (ss, os) = (shard_of(s), shard_of(o));
+                    local_deltas[ss].push(op.clone());
+                    if os != ss {
+                        local_deltas[os].push(op.clone());
+                    }
+                }
+                DeltaOp::LiteralTriple { s, .. } => {
+                    let e = name_ids[s.as_str()];
+                    route_facet(e, op, &mut local_deltas);
+                }
+                DeltaOp::Typed { entity, .. } => {
+                    if kept_type_idx.contains(&idx) {
+                        route_facet(name_ids[entity.as_str()], op, &mut local_deltas);
+                    }
+                }
+                DeltaOp::Categorized { entity, .. } => {
+                    if kept_cat_idx.contains(&idx) {
+                        route_facet(name_ids[entity.as_str()], op, &mut local_deltas);
+                    }
+                }
+                DeltaOp::Label { entity, .. } => {
+                    route_facet(name_ids[entity.as_str()], op, &mut local_deltas);
+                }
+                DeltaOp::Redirect { target, .. } | DeltaOp::Disambiguation { target, .. } => {
+                    route_facet(name_ids[target.as_str()], op, &mut local_deltas);
+                }
+                DeltaOp::Entity { name } => {
+                    // new entities are declared in their owning shard so
+                    // bare declarations still materialize
+                    let e = name_ids[name.as_str()];
+                    if e.raw() >= old_count {
+                        local_deltas[new_shard_index].push(op.clone());
+                    }
+                }
+                DeltaOp::DeclarePredicate { .. }
+                | DeltaOp::DeclareType { .. }
+                | DeltaOp::DeclareCategory { .. } => {}
+            }
+        }
+
+        // ---- phase C: patch existing shards, then build the new one ----
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n_old_shards {
+            if local_deltas[i].is_empty() {
+                continue;
+            }
+            let applied = self.shards[i].graph.apply(&local_deltas[i]);
+            work += applied.work;
+            for raw in applied.new_entities.clone() {
+                let local = EntityId::new(raw);
+                let global = name_ids[self.shards[i].graph.entity_name(local)];
+                self.shards[i].push_ghost(global, local);
+            }
+        }
+        if !new_names.is_empty() {
+            let delta_ops = &local_deltas[new_shard_index];
+            let mut b = KgBuilder::new();
+            // replicate the updated dictionaries (shard 0 already applied
+            // the declares) in global order
+            let dict = self.shards[0].graph();
+            for p in dict.predicate_ids() {
+                b.predicate(dict.predicate_name(p));
+            }
+            for t in dict.type_ids() {
+                b.declare_type(dict.type_name(t));
+            }
+            for c in dict.category_ids() {
+                b.declare_category(dict.category_name(c));
+            }
+            // owned entities: the appended global range, dense and in
+            // ascending global order
+            let mut local_to_global: Vec<EntityId> = Vec::with_capacity(new_names.len());
+            for (i, &name) in new_names.iter().enumerate() {
+                let le = b.entity(name);
+                debug_assert_eq!(le.raw() as usize, i, "owned locals must be dense");
+                local_to_global.push(EntityId::new(old_count + i as u32));
+            }
+            // ghosts: old entities referenced by this shard's statements,
+            // ascending in global id
+            let mut ghosts: Vec<EntityId> = delta_ops
+                .ops()
+                .iter()
+                .filter_map(|op| match op {
+                    DeltaOp::Triple { s, o, .. } => {
+                        let (s, o) = (name_ids[s.as_str()], name_ids[o.as_str()]);
+                        if s.raw() < old_count {
+                            Some(s)
+                        } else if o.raw() < old_count {
+                            Some(o)
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                })
+                .collect();
+            ghosts.sort_unstable();
+            ghosts.dedup();
+            for &g in &ghosts {
+                b.entity(&self.entity_name_of(g));
+                local_to_global.push(g);
+            }
+            // replay the shard's statements through the builder
+            local_deltas[new_shard_index].apply_to_builder(&mut b);
+            let graph = b.finish();
+            work += graph.triple_count() as u64;
+            let ghost_lookup = local_to_global[new_names.len()..]
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| (g, EntityId::new((new_names.len() + i) as u32)))
+                .collect();
+            self.shards.push(GraphShard {
+                graph,
+                local_to_global,
+                ghost_lookup,
+                base: old_count,
+                owned_count: new_names.len(),
+            });
+            self.router.append_range(new_names.len() as u32);
+        }
+
+        // ---- receipt ---------------------------------------------------
+        self.relation_count += kept_triples.len();
+        self.triple_count += kept_triples.len() + n_literals + kept_types.len() + kept_cats.len();
+        self.generation += 1;
+
+        let mut touched_out: Vec<(EntityId, PredicateId)> = kept_triples
+            .iter()
+            .map(|&(s, p, ..)| (s, PredicateId::new(p)))
+            .collect();
+        touched_out.sort_unstable();
+        touched_out.dedup();
+        let mut touched_in: Vec<(EntityId, PredicateId)> = kept_triples
+            .iter()
+            .map(|&(_, p, o, _)| (o, PredicateId::new(p)))
+            .collect();
+        touched_in.sort_unstable();
+        touched_in.dedup();
+        touched_types.sort_unstable();
+        touched_types.dedup();
+        touched_categories.sort_unstable();
+        touched_categories.dedup();
+
+        AppliedDelta {
+            generation: self.generation,
+            new_entities: old_count..old_count + new_names.len() as u32,
+            touched_out,
+            touched_in,
+            touched_types,
+            touched_categories,
+            added_relations: kept_triples.len(),
+            added_literals: n_literals,
+            work,
+        }
+    }
+
+    /// Name of a global entity without borrowing `self` mutably twice
+    /// (helper for the apply path).
+    fn entity_name_of(&self, e: EntityId) -> String {
+        let (shard, local) = self.home(e);
+        shard.graph.entity_name(local).to_owned()
     }
 
     /// The entity → shard router.
@@ -727,6 +1188,154 @@ mod tests {
         assert!(sg.shards().iter().any(|s| s.owned_count() == 0));
         for t in kg.type_ids() {
             assert_eq!(sg.type_extent(t), kg.type_extent(t).to_vec());
+        }
+    }
+
+    mod apply {
+        use super::*;
+        use crate::delta::DeltaBatch;
+
+        fn delta(kg: &KnowledgeGraph) -> DeltaBatch {
+            let n0 = kg.entity_name(EntityId::new(0)).to_owned();
+            let n1 = kg.entity_name(EntityId::new(1)).to_owned();
+            let last = kg
+                .entity_name(EntityId::new(kg.entity_count() as u32 - 1))
+                .to_owned();
+            let mut d = DeltaBatch::new();
+            d.triple(&n0, "collaborated_with", &n1)
+                .triple("Fresh_Entity_A", "collaborated_with", &n0)
+                .triple("Fresh_Entity_A", "collaborated_with", "Fresh_Entity_B")
+                .triple(&last, "collaborated_with", "Fresh_Entity_B")
+                .typed("Fresh_Entity_A", "Film")
+                .typed(&n0, "Freshly_Minted_Type")
+                .categorized("Fresh_Entity_B", "Fresh category")
+                .label("Fresh_Entity_A", "Fresh Entity A")
+                .literal("Fresh_Entity_A", "runtime", Literal::integer(99))
+                .redirect("FreshA", "Fresh_Entity_A");
+            d
+        }
+
+        #[test]
+        fn sharded_apply_matches_single_graph_apply() {
+            let mut single = generate(&DatagenConfig::tiny());
+            let d = delta(&single);
+            let receipt_single = single.apply(&d);
+
+            for n in [1, 2, 3, 4] {
+                let base = generate(&DatagenConfig::tiny());
+                let mut sg = ShardedGraph::from_graph(&base, n);
+                let receipt = sg.apply(&d);
+
+                // identical receipts (modulo the work counter)
+                assert_eq!(receipt.new_entities, receipt_single.new_entities, "n={n}");
+                assert_eq!(receipt.touched_out, receipt_single.touched_out, "n={n}");
+                assert_eq!(receipt.touched_in, receipt_single.touched_in, "n={n}");
+                assert_eq!(receipt.touched_types, receipt_single.touched_types);
+                assert_eq!(
+                    receipt.touched_categories,
+                    receipt_single.touched_categories
+                );
+                assert_eq!(receipt.added_relations, receipt_single.added_relations);
+                assert_eq!(receipt.added_literals, receipt_single.added_literals);
+
+                // identical logical graph
+                assert_eq!(sg.entity_count(), single.entity_count(), "n={n}");
+                assert_eq!(sg.relation_count(), single.relation_count());
+                assert_eq!(sg.triple_count(), single.triple_count());
+                assert_eq!(sg.predicate_count(), single.predicate_count());
+                assert_eq!(sg.type_count(), single.type_count());
+                assert_eq!(sg.category_count(), single.category_count());
+                let mut got: BTreeSet<(EntityId, PredicateId, EntityId)> = BTreeSet::new();
+                for shard in sg.shards() {
+                    for t in shard.graph().entity_triples() {
+                        got.insert((
+                            shard.to_global(t.subject),
+                            t.predicate,
+                            shard.to_global(t.object.as_entity().unwrap()),
+                        ));
+                    }
+                }
+                assert_eq!(got, all_triples(&single), "n={n}");
+                for e in single.entity_ids() {
+                    assert_eq!(sg.entity_name(e), single.entity_name(e));
+                    assert_eq!(sg.label(e), single.label(e));
+                    assert_eq!(sg.degree(e), single.degree(e), "degree n={n} e={e}");
+                    assert_eq!(sg.aliases(e), single.aliases(e));
+                    let st: Vec<TypeId> = sg.types_of(e).collect();
+                    let kt: Vec<TypeId> = single.types_of(e).collect();
+                    assert_eq!(st, kt);
+                    assert_eq!(sg.literals(e).count(), single.literals(e).count());
+                }
+                for t in single.type_ids() {
+                    assert_eq!(sg.type_extent(t), single.type_extent(t).to_vec());
+                }
+                for c in single.category_ids() {
+                    assert_eq!(sg.category_extent(c), single.category_extent(c).to_vec());
+                }
+                // dictionaries still replicated in every shard
+                for shard in sg.shards() {
+                    for p in single.predicate_ids() {
+                        assert_eq!(shard.graph().predicate_name(p), single.predicate_name(p));
+                    }
+                    for t in single.type_ids() {
+                        assert_eq!(shard.graph().type_name(t), single.type_name(t));
+                    }
+                }
+                // remap invariants hold on every shard, including the
+                // appended one
+                for shard in sg.shards() {
+                    for local_raw in 0..shard.graph().entity_count() as u32 {
+                        let local = EntityId::new(local_raw);
+                        let g = shard.to_global(local);
+                        assert_eq!(shard.to_local(g), Some(local), "roundtrip n={n}");
+                    }
+                }
+                for e in single.entity_ids() {
+                    for p in single.out_predicates(e) {
+                        let mut sum = 0;
+                        for shard in sg.shards() {
+                            if let Some(local) = shard.to_local(e) {
+                                let extent = shard.graph().objects(local, p);
+                                let k = shard.owned_prefix_len(extent);
+                                assert!(
+                                    extent[..k].iter().all(|&x| shard.is_owned(x))
+                                        && extent[k..].iter().all(|&x| !shard.is_owned(x)),
+                                    "owned-prefix invariant broken after apply (n={n})"
+                                );
+                                sum += k;
+                            }
+                        }
+                        assert_eq!(sum, single.objects(e, p).len(), "n={n} e={e} p={p}");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn repeated_appends_accumulate() {
+            let base = generate(&DatagenConfig::tiny());
+            let mut sg = ShardedGraph::from_graph(&base, 2);
+            let shard_count_before = sg.shard_count();
+            let mut d1 = DeltaBatch::new();
+            d1.triple("x1", "p_new", "x2");
+            let r1 = sg.apply(&d1);
+            assert_eq!(sg.generation(), 1);
+            assert_eq!(r1.new_entities.len(), 2);
+            assert_eq!(sg.shard_count(), shard_count_before + 1);
+            let x1 = sg.entity("x1").expect("appended entity routable");
+            assert_eq!(sg.degree(x1), 1);
+            // second delta connects an appended entity to an old one
+            let old = base.entity_name(EntityId::new(0)).to_owned();
+            let mut d2 = DeltaBatch::new();
+            d2.triple("x1", "p_new", &old);
+            let r2 = sg.apply(&d2);
+            assert_eq!(sg.generation(), 2);
+            assert!(r2.new_entities.is_empty());
+            assert_eq!(sg.degree(x1), 2);
+            let p = sg.predicate("p_new").unwrap();
+            let out = sg.out_edges(x1);
+            assert_eq!(out.len(), 2);
+            assert!(out.iter().all(|&(q, _)| q == p));
         }
     }
 

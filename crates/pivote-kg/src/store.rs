@@ -1,9 +1,13 @@
 //! The in-memory knowledge graph store.
 //!
 //! [`KgBuilder`] accumulates statements in any order; [`KgBuilder::finish`]
-//! freezes them into an immutable [`KnowledgeGraph`] with compressed
-//! sparse-row (CSR) adjacency in both directions, per-predicate runs sorted
-//! by target id, and sorted extent lists for every type and category.
+//! freezes them into an indexed [`KnowledgeGraph`] with per-row adjacency
+//! in both directions, per-predicate runs sorted by target id, and sorted
+//! extent lists for every type and category. The frozen graph is *not*
+//! write-only: [`KnowledgeGraph::apply`] splices a
+//! [`DeltaBatch`](crate::delta::DeltaBatch) of new statements into the
+//! touched rows in place (amortized, row-proportional work), which is the
+//! substrate of the live-graph execution layer.
 //!
 //! The layout is chosen for the hot loops of the PivotE ranking model
 //! (`pivote-core`): a semantic-feature extent `E(π)` is exactly one
@@ -11,16 +15,26 @@
 //! `‖E(π) ∩ E(c)‖` becomes a linear/galloping merge of two sorted slices
 //! with no hashing.
 
+use crate::delta::{AppliedDelta, DeltaBatch};
 use crate::id::{CategoryId, EntityId, LiteralId, PredicateId, TypeId};
 use crate::interner::Interner;
 use crate::triple::{Literal, Object, Triple};
 
-/// CSR adjacency: per source entity, a run of `(predicate, target)` pairs
-/// sorted by `(predicate, target)`, so the targets of one predicate form a
-/// contiguous slice sorted by entity id.
+/// Adjacency rows: per source entity, a run of `(predicate, target)`
+/// pairs sorted by `(predicate, target)`, so the targets of one predicate
+/// form a contiguous slice sorted by entity id. Rows are independently
+/// growable, which is what makes [`KnowledgeGraph::apply`] splice new
+/// edges with work proportional to the touched rows instead of
+/// rebuilding the whole index.
 #[derive(Debug, Default, Clone)]
 pub(crate) struct EdgeCsr {
-    offsets: Vec<u32>,
+    rows: Vec<EdgeRow>,
+    total: usize,
+}
+
+/// One entity's adjacency: parallel arrays sorted by `(pred, target)`.
+#[derive(Debug, Default, Clone)]
+struct EdgeRow {
     preds: Vec<PredicateId>,
     targets: Vec<EntityId>,
 }
@@ -29,71 +43,119 @@ impl EdgeCsr {
     fn build(n_sources: usize, mut edges: Vec<(u32, PredicateId, EntityId)>) -> Self {
         edges.sort_unstable();
         edges.dedup();
-        let mut offsets = vec![0u32; n_sources + 1];
-        for &(s, _, _) in &edges {
-            offsets[s as usize + 1] += 1;
+        let mut rows = vec![EdgeRow::default(); n_sources];
+        let total = edges.len();
+        for (s, p, t) in edges {
+            let row = &mut rows[s as usize];
+            row.preds.push(p);
+            row.targets.push(t);
         }
-        for i in 1..offsets.len() {
-            offsets[i] += offsets[i - 1];
-        }
-        let mut preds = Vec::with_capacity(edges.len());
-        let mut targets = Vec::with_capacity(edges.len());
-        for (_, p, t) in edges {
-            preds.push(p);
-            targets.push(t);
-        }
-        Self {
-            offsets,
-            preds,
-            targets,
+        Self { rows, total }
+    }
+
+    /// Grow the source dimension to `n` rows (new rows empty).
+    fn ensure_rows(&mut self, n: usize) {
+        if self.rows.len() < n {
+            self.rows.resize_with(n, EdgeRow::default);
         }
     }
 
-    #[inline]
-    fn range(&self, e: EntityId) -> std::ops::Range<usize> {
-        self.offsets[e.index()] as usize..self.offsets[e.index() + 1] as usize
+    /// Merge sorted, deduplicated `(pred, target)` additions into `e`'s
+    /// row, skipping pairs already present. Newly inserted pairs are
+    /// appended to `inserted`; `work` grows by the number of elements
+    /// examined or moved (row length + additions).
+    fn splice(
+        &mut self,
+        e: EntityId,
+        add: &[(PredicateId, EntityId)],
+        inserted: &mut Vec<(PredicateId, EntityId)>,
+        work: &mut u64,
+    ) {
+        let row = &mut self.rows[e.index()];
+        *work += (row.preds.len() + add.len()) as u64;
+        let mut preds = Vec::with_capacity(row.preds.len() + add.len());
+        let mut targets = Vec::with_capacity(row.targets.len() + add.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < row.preds.len() && j < add.len() {
+            let old = (row.preds[i], row.targets[i]);
+            match old.cmp(&add[j]) {
+                std::cmp::Ordering::Less => {
+                    preds.push(old.0);
+                    targets.push(old.1);
+                    i += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    preds.push(old.0);
+                    targets.push(old.1);
+                    i += 1;
+                    j += 1; // duplicate: already stored
+                }
+                std::cmp::Ordering::Greater => {
+                    preds.push(add[j].0);
+                    targets.push(add[j].1);
+                    inserted.push(add[j]);
+                    j += 1;
+                }
+            }
+        }
+        while i < row.preds.len() {
+            preds.push(row.preds[i]);
+            targets.push(row.targets[i]);
+            i += 1;
+        }
+        while j < add.len() {
+            preds.push(add[j].0);
+            targets.push(add[j].1);
+            inserted.push(add[j]);
+            j += 1;
+        }
+        self.total += preds.len() - row.preds.len();
+        row.preds = preds;
+        row.targets = targets;
     }
 
     /// All `(predicate, target)` pairs of `e`.
     pub(crate) fn row(&self, e: EntityId) -> impl Iterator<Item = (PredicateId, EntityId)> + '_ {
-        let r = self.range(e);
-        self.preds[r.clone()]
-            .iter()
-            .copied()
-            .zip(self.targets[r].iter().copied())
+        let row = &self.rows[e.index()];
+        row.preds.iter().copied().zip(row.targets.iter().copied())
     }
 
     /// Targets of `e` under predicate `p`: a sorted slice of entity ids.
     pub(crate) fn with_pred(&self, e: EntityId, p: PredicateId) -> &[EntityId] {
-        let r = self.range(e);
-        let preds = &self.preds[r.clone()];
-        let lo = preds.partition_point(|&q| q < p);
-        let hi = preds.partition_point(|&q| q <= p);
-        &self.targets[r.start + lo..r.start + hi]
+        let row = &self.rows[e.index()];
+        let lo = row.preds.partition_point(|&q| q < p);
+        let hi = row.preds.partition_point(|&q| q <= p);
+        &row.targets[lo..hi]
     }
 
     /// Distinct predicates appearing on `e`'s row.
     pub(crate) fn preds_of(&self, e: EntityId) -> Vec<PredicateId> {
-        let r = self.range(e);
-        let mut out: Vec<PredicateId> = self.preds[r].to_vec();
+        let mut out: Vec<PredicateId> = self.rows[e.index()].preds.clone();
         out.dedup();
         out
     }
 
     pub(crate) fn degree(&self, e: EntityId) -> usize {
-        self.range(e).len()
+        self.rows[e.index()].preds.len()
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.preds.len()
+        self.total
     }
 }
 
-/// CSR for literal-valued statements: per entity, `(predicate, literal)`
-/// pairs sorted by predicate.
+/// Literal-valued statements: per entity, `(predicate, literal)` pairs
+/// sorted by `(predicate, literal id)`. Per-row storage for the same
+/// append-in-place reason as [`EdgeCsr`].
 #[derive(Debug, Default, Clone)]
 struct LiteralCsr {
-    offsets: Vec<u32>,
+    rows: Vec<LitRow>,
+    total: usize,
+}
+
+/// One entity's literal statements.
+#[derive(Debug, Default, Clone)]
+struct LitRow {
     preds: Vec<PredicateId>,
     lits: Vec<LiteralId>,
 }
@@ -102,64 +164,91 @@ impl LiteralCsr {
     fn build(n_sources: usize, mut edges: Vec<(u32, PredicateId, LiteralId)>) -> Self {
         edges.sort_unstable();
         edges.dedup();
-        let mut offsets = vec![0u32; n_sources + 1];
-        for &(s, _, _) in &edges {
-            offsets[s as usize + 1] += 1;
+        let mut rows = vec![LitRow::default(); n_sources];
+        let total = edges.len();
+        for (s, p, l) in edges {
+            let row = &mut rows[s as usize];
+            row.preds.push(p);
+            row.lits.push(l);
         }
-        for i in 1..offsets.len() {
-            offsets[i] += offsets[i - 1];
-        }
-        let mut preds = Vec::with_capacity(edges.len());
-        let mut lits = Vec::with_capacity(edges.len());
-        for (_, p, l) in edges {
-            preds.push(p);
-            lits.push(l);
-        }
-        Self {
-            offsets,
-            preds,
-            lits,
+        Self { rows, total }
+    }
+
+    fn ensure_rows(&mut self, n: usize) {
+        if self.rows.len() < n {
+            self.rows.resize_with(n, LitRow::default);
         }
     }
 
-    #[inline]
-    fn range(&self, e: EntityId) -> std::ops::Range<usize> {
-        self.offsets[e.index()] as usize..self.offsets[e.index() + 1] as usize
+    /// Insert a fresh literal statement. The literal id is always newly
+    /// allocated (greater than every stored id), so the insertion point
+    /// is the end of `p`'s run.
+    fn insert(&mut self, e: EntityId, p: PredicateId, l: LiteralId, work: &mut u64) {
+        let row = &mut self.rows[e.index()];
+        let at = row.preds.partition_point(|&q| q <= p);
+        *work += (row.preds.len() - at + 1) as u64;
+        row.preds.insert(at, p);
+        row.lits.insert(at, l);
+        self.total += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.total
     }
 
     fn row(&self, e: EntityId) -> impl Iterator<Item = (PredicateId, LiteralId)> + '_ {
-        let r = self.range(e);
-        self.preds[r.clone()]
-            .iter()
-            .copied()
-            .zip(self.lits[r].iter().copied())
+        let row = &self.rows[e.index()];
+        row.preds.iter().copied().zip(row.lits.iter().copied())
     }
 }
 
-/// Per-entity membership lists (types or categories), CSR-encoded.
+/// Per-entity membership lists (types or categories), one sorted row per
+/// entity.
 #[derive(Debug, Default, Clone)]
 struct Membership {
-    offsets: Vec<u32>,
-    items: Vec<u32>,
+    rows: Vec<Vec<u32>>,
+    total: usize,
 }
 
 impl Membership {
     fn build(n_sources: usize, mut pairs: Vec<(u32, u32)>) -> Self {
         pairs.sort_unstable();
         pairs.dedup();
-        let mut offsets = vec![0u32; n_sources + 1];
-        for &(s, _) in &pairs {
-            offsets[s as usize + 1] += 1;
+        let mut rows = vec![Vec::new(); n_sources];
+        let total = pairs.len();
+        for (s, t) in pairs {
+            rows[s as usize].push(t);
         }
-        for i in 1..offsets.len() {
-            offsets[i] += offsets[i - 1];
+        Self { rows, total }
+    }
+
+    fn ensure_rows(&mut self, n: usize) {
+        if self.rows.len() < n {
+            self.rows.resize_with(n, Vec::new);
         }
-        let items = pairs.into_iter().map(|(_, t)| t).collect();
-        Self { offsets, items }
+    }
+
+    /// Sorted-insert `item` into `e`'s row; returns whether it was new.
+    fn insert(&mut self, e: EntityId, item: u32, work: &mut u64) -> bool {
+        let row = &mut self.rows[e.index()];
+        *work += 1;
+        match row.binary_search(&item) {
+            Ok(_) => false,
+            Err(at) => {
+                *work += (row.len() - at) as u64;
+                row.insert(at, item);
+                self.total += 1;
+                true
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.total
     }
 
     fn row(&self, e: EntityId) -> &[u32] {
-        &self.items[self.offsets[e.index()] as usize..self.offsets[e.index() + 1] as usize]
+        &self.rows[e.index()]
     }
 }
 
@@ -307,14 +396,17 @@ impl KgBuilder {
         }
 
         let mut pred_freq = vec![0u64; self.predicates.len()];
-        for i in 0..out.len() {
-            pred_freq[out.preds[i].index()] += 1;
-        }
-        for p in &lit.preds {
-            pred_freq[p.index()] += 1;
+        for e in 0..n as u32 {
+            for (p, _) in out.row(EntityId::new(e)) {
+                pred_freq[p.index()] += 1;
+            }
+            for (p, _) in lit.row(EntityId::new(e)) {
+                pred_freq[p.index()] += 1;
+            }
         }
 
         KnowledgeGraph {
+            generation: 0,
             entities: self.entities,
             predicates: self.predicates,
             types: self.types,
@@ -342,6 +434,8 @@ impl KgBuilder {
 /// on.
 #[derive(Debug)]
 pub struct KnowledgeGraph {
+    /// Bumped by every [`KnowledgeGraph::apply`]; 0 for a fresh build.
+    generation: u64,
     entities: Interner,
     predicates: Interner,
     types: Interner,
@@ -383,10 +477,7 @@ impl KnowledgeGraph {
     /// Total statements: entity edges + literal edges + type + category
     /// assertions.
     pub fn triple_count(&self) -> usize {
-        self.out.len()
-            + self.lit.preds.len()
-            + self.entity_types.items.len()
-            + self.entity_cats.items.len()
+        self.out.len() + self.lit.len() + self.entity_types.len() + self.entity_cats.len()
     }
 
     /// Number of entity-to-entity statements only.
@@ -574,6 +665,210 @@ impl KnowledgeGraph {
         })
     }
 
+    /// The mutation generation: 0 for a freshly built graph, bumped by
+    /// every [`KnowledgeGraph::apply`]. Execution layers stamp their
+    /// caches with this counter.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Append a [`DeltaBatch`] in place: new triples, literal statements,
+    /// type/category assertions, labels and aliases — possibly
+    /// introducing new entities and new dictionary terms, which are
+    /// interned **in op order** (exactly the ids a from-scratch rebuild
+    /// of `base ops + delta ops` would assign, so the appended graph is
+    /// bit-identical to the rebuilt union).
+    ///
+    /// The work done is proportional to the touched rows and extents
+    /// (per-predicate extent splicing), *not* to the size of the graph;
+    /// the returned [`AppliedDelta::work`] counter witnesses this, and
+    /// the receipt lists exactly which feature and context extents
+    /// changed so execution-layer caches can invalidate precisely.
+    pub fn apply(&mut self, delta: &DeltaBatch) -> AppliedDelta {
+        use crate::delta::DeltaOp;
+
+        let mut work: u64 = 0;
+        let base_entities = self.entities.len() as u32;
+
+        // Pass 1: intern every name in op order and resolve ops to dense
+        // ids. New entities/predicates/types/categories get exactly the
+        // ids a rebuild replaying these ops into a KgBuilder would assign.
+        let mut edges: Vec<(EntityId, PredicateId, EntityId)> = Vec::new();
+        let mut lit_adds: Vec<(EntityId, PredicateId, &Literal)> = Vec::new();
+        let mut type_adds: Vec<(EntityId, TypeId)> = Vec::new();
+        let mut cat_adds: Vec<(EntityId, CategoryId)> = Vec::new();
+        let mut label_sets: Vec<(EntityId, &str)> = Vec::new();
+        let mut alias_adds: Vec<(EntityId, &str)> = Vec::new();
+        for op in delta.ops() {
+            match op {
+                DeltaOp::Entity { name } => {
+                    self.entities.intern(name);
+                }
+                DeltaOp::DeclarePredicate { name } => {
+                    self.predicates.intern(name);
+                }
+                DeltaOp::DeclareType { name } => {
+                    self.types.intern(name);
+                }
+                DeltaOp::DeclareCategory { name } => {
+                    self.categories.intern(name);
+                }
+                DeltaOp::Triple { s, p, o } => {
+                    let s = EntityId::new(self.entities.intern(s));
+                    let p = PredicateId::new(self.predicates.intern(p));
+                    let o = EntityId::new(self.entities.intern(o));
+                    edges.push((s, p, o));
+                }
+                DeltaOp::LiteralTriple { s, p, value } => {
+                    let s = EntityId::new(self.entities.intern(s));
+                    let p = PredicateId::new(self.predicates.intern(p));
+                    lit_adds.push((s, p, value));
+                }
+                DeltaOp::Typed { entity, type_name } => {
+                    let e = EntityId::new(self.entities.intern(entity));
+                    let t = TypeId::new(self.types.intern(type_name));
+                    type_adds.push((e, t));
+                }
+                DeltaOp::Categorized { entity, category } => {
+                    let e = EntityId::new(self.entities.intern(entity));
+                    let c = CategoryId::new(self.categories.intern(category));
+                    cat_adds.push((e, c));
+                }
+                DeltaOp::Label { entity, label } => {
+                    let e = EntityId::new(self.entities.intern(entity));
+                    label_sets.push((e, label));
+                }
+                DeltaOp::Redirect { alias, target } | DeltaOp::Disambiguation { alias, target } => {
+                    let t = EntityId::new(self.entities.intern(target));
+                    alias_adds.push((t, alias));
+                }
+            }
+        }
+
+        // Grow every per-entity table to the new entity count.
+        let n = self.entities.len();
+        self.labels.resize(n, None);
+        self.aliases.resize_with(n, Vec::new);
+        self.out.ensure_rows(n);
+        self.inc.ensure_rows(n);
+        self.lit.ensure_rows(n);
+        self.entity_types.ensure_rows(n);
+        self.entity_cats.ensure_rows(n);
+        self.pred_freq.resize(self.predicates.len(), 0);
+        self.type_extents.resize_with(self.types.len(), Vec::new);
+        self.cat_extents
+            .resize_with(self.categories.len(), Vec::new);
+
+        // Pass 2: splice entity edges per touched row, both directions.
+        edges.sort_unstable();
+        edges.dedup();
+        let mut inserted: Vec<(EntityId, PredicateId, EntityId)> = Vec::new();
+        let mut row_adds: Vec<(PredicateId, EntityId)> = Vec::new();
+        let mut row_inserted: Vec<(PredicateId, EntityId)> = Vec::new();
+        let mut i = 0;
+        while i < edges.len() {
+            let s = edges[i].0;
+            row_adds.clear();
+            row_inserted.clear();
+            while i < edges.len() && edges[i].0 == s {
+                row_adds.push((edges[i].1, edges[i].2));
+                i += 1;
+            }
+            self.out.splice(s, &row_adds, &mut row_inserted, &mut work);
+            for &(p, o) in &row_inserted {
+                inserted.push((s, p, o));
+                self.pred_freq[p.index()] += 1;
+            }
+        }
+        // Invert the actually-inserted edges and splice the incoming rows.
+        let mut inverted: Vec<(EntityId, PredicateId, EntityId)> =
+            inserted.iter().map(|&(s, p, o)| (o, p, s)).collect();
+        inverted.sort_unstable();
+        let mut i = 0;
+        while i < inverted.len() {
+            let o = inverted[i].0;
+            row_adds.clear();
+            row_inserted.clear();
+            while i < inverted.len() && inverted[i].0 == o {
+                row_adds.push((inverted[i].1, inverted[i].2));
+                i += 1;
+            }
+            self.inc.splice(o, &row_adds, &mut row_inserted, &mut work);
+            debug_assert_eq!(
+                row_inserted.len(),
+                row_adds.len(),
+                "incoming rows must mirror outgoing rows"
+            );
+        }
+
+        // Literal statements: fresh literal ids in op order.
+        for &(s, p, value) in &lit_adds {
+            let lid = LiteralId::new(self.literals.len() as u32);
+            self.literals.push(value.clone());
+            self.lit.insert(s, p, lid, &mut work);
+            self.pred_freq[p.index()] += 1;
+        }
+
+        // Type / category assertions: membership rows + sorted extents.
+        let mut touched_types: Vec<TypeId> = Vec::new();
+        for &(e, t) in &type_adds {
+            if self.entity_types.insert(e, t.raw(), &mut work) {
+                let ext = &mut self.type_extents[t.index()];
+                let at = ext.partition_point(|&x| x < e);
+                work += (ext.len() - at) as u64 + 1;
+                ext.insert(at, e);
+                touched_types.push(t);
+            }
+        }
+        let mut touched_categories: Vec<CategoryId> = Vec::new();
+        for &(e, c) in &cat_adds {
+            if self.entity_cats.insert(e, c.raw(), &mut work) {
+                let ext = &mut self.cat_extents[c.index()];
+                let at = ext.partition_point(|&x| x < e);
+                work += (ext.len() - at) as u64 + 1;
+                ext.insert(at, e);
+                touched_categories.push(c);
+            }
+        }
+
+        // Labels and aliases.
+        for (e, l) in label_sets {
+            self.labels[e.index()] = Some(l.to_owned());
+        }
+        for (e, alias) in alias_adds {
+            let row = &mut self.aliases[e.index()];
+            if let Err(at) = row.binary_search_by(|a| a.as_str().cmp(alias)) {
+                row.insert(at, alias.to_owned());
+                work += 1;
+            }
+        }
+
+        let mut touched_out: Vec<(EntityId, PredicateId)> =
+            inserted.iter().map(|&(s, p, _)| (s, p)).collect();
+        touched_out.dedup();
+        let mut touched_in: Vec<(EntityId, PredicateId)> =
+            inserted.iter().map(|&(_, p, o)| (o, p)).collect();
+        touched_in.sort_unstable();
+        touched_in.dedup();
+        touched_types.sort_unstable();
+        touched_types.dedup();
+        touched_categories.sort_unstable();
+        touched_categories.dedup();
+
+        self.generation += 1;
+        AppliedDelta {
+            generation: self.generation,
+            new_entities: base_entities..self.entities.len() as u32,
+            touched_out,
+            touched_in,
+            touched_types,
+            touched_categories,
+            added_relations: inserted.len(),
+            added_literals: lit_adds.len(),
+            work,
+        }
+    }
+
     /// Aggregate size/shape statistics of the graph.
     pub fn summary(&self) -> GraphSummary {
         let mut max_out = 0usize;
@@ -588,7 +883,7 @@ impl KnowledgeGraph {
             types: self.type_count(),
             categories: self.category_count(),
             relation_triples: self.relation_count(),
-            literal_triples: self.lit.preds.len(),
+            literal_triples: self.lit.len(),
             avg_degree: if self.entity_count() == 0 {
                 0.0
             } else {
@@ -775,6 +1070,174 @@ mod tests {
         assert_eq!(s.max_out_degree, 3); // Forrest_Gump
         assert_eq!(s.max_in_degree, 2); // Tom_Hanks / Gary_Sinise
         assert!((s.avg_degree - 2.0).abs() < 1e-12);
+    }
+
+    mod apply {
+        use super::*;
+        use crate::delta::DeltaBatch;
+
+        /// The toy graph's build script, reusable as the base half of an
+        /// append-vs-rebuild comparison.
+        fn base_ops(b: &mut KgBuilder) {
+            let gump = b.entity("Forrest_Gump");
+            let apollo = b.entity("Apollo_13_(film)");
+            let hanks = b.entity("Tom_Hanks");
+            let starring = b.predicate("starring");
+            b.triple(gump, starring, hanks);
+            b.triple(apollo, starring, hanks);
+            b.typed(gump, "Film");
+            b.typed(apollo, "Film");
+            b.categorized(gump, "American films");
+        }
+
+        fn delta() -> DeltaBatch {
+            let mut d = DeltaBatch::new();
+            d.triple("Cast_Away", "starring", "Tom_Hanks")
+                .triple("Cast_Away", "director", "Robert_Zemeckis")
+                .typed("Cast_Away", "Film")
+                .typed("Robert_Zemeckis", "Director")
+                .categorized("Cast_Away", "American films")
+                .categorized("Cast_Away", "Survival films")
+                .label("Cast_Away", "Cast Away")
+                .literal("Cast_Away", "runtime", Literal::integer(143))
+                .redirect("CastAway", "Cast_Away");
+            d
+        }
+
+        fn assert_same_graph(a: &KnowledgeGraph, b: &KnowledgeGraph) {
+            assert_eq!(a.entity_count(), b.entity_count());
+            assert_eq!(a.predicate_count(), b.predicate_count());
+            assert_eq!(a.type_count(), b.type_count());
+            assert_eq!(a.category_count(), b.category_count());
+            assert_eq!(a.relation_count(), b.relation_count());
+            assert_eq!(a.triple_count(), b.triple_count());
+            for e in a.entity_ids() {
+                assert_eq!(a.entity_name(e), b.entity_name(e));
+                assert_eq!(a.label(e), b.label(e));
+                assert_eq!(a.aliases(e), b.aliases(e));
+                let ta: Vec<TypeId> = a.types_of(e).collect();
+                let tb: Vec<TypeId> = b.types_of(e).collect();
+                assert_eq!(ta, tb);
+                let ca: Vec<CategoryId> = a.categories_of(e).collect();
+                let cb: Vec<CategoryId> = b.categories_of(e).collect();
+                assert_eq!(ca, cb);
+                for p in a.out_predicates(e) {
+                    assert_eq!(a.objects(e, p), b.objects(e, p));
+                }
+                for p in a.in_predicates(e) {
+                    assert_eq!(a.subjects(e, p), b.subjects(e, p));
+                }
+                assert_eq!(a.literals(e).count(), b.literals(e).count());
+            }
+            for t in a.type_ids() {
+                assert_eq!(a.type_extent(t), b.type_extent(t));
+            }
+            for c in a.category_ids() {
+                assert_eq!(a.category_extent(c), b.category_extent(c));
+            }
+            for p in a.predicate_ids() {
+                assert_eq!(a.predicate_name(p), b.predicate_name(p));
+                assert_eq!(a.predicate_frequency(p), b.predicate_frequency(p));
+            }
+        }
+
+        #[test]
+        fn append_equals_rebuild_of_the_union() {
+            let mut appended = {
+                let mut b = KgBuilder::new();
+                base_ops(&mut b);
+                b.finish()
+            };
+            let receipt = appended.apply(&delta());
+            assert_eq!(receipt.generation, 1);
+            assert_eq!(appended.generation(), 1);
+            assert_eq!(receipt.added_relations, 2);
+            assert_eq!(receipt.added_literals, 1);
+            assert!(!receipt.new_entities.is_empty());
+
+            let rebuilt = {
+                let mut b = KgBuilder::new();
+                base_ops(&mut b);
+                delta().apply_to_builder(&mut b);
+                b.finish()
+            };
+            assert_same_graph(&appended, &rebuilt);
+        }
+
+        #[test]
+        fn duplicate_statements_are_not_reinserted() {
+            let mut kg = {
+                let mut b = KgBuilder::new();
+                base_ops(&mut b);
+                b.finish()
+            };
+            let before_triples = kg.triple_count();
+            let mut d = DeltaBatch::new();
+            d.triple("Forrest_Gump", "starring", "Tom_Hanks")
+                .typed("Forrest_Gump", "Film");
+            let receipt = kg.apply(&d);
+            assert_eq!(receipt.added_relations, 0);
+            assert!(receipt.touched_out.is_empty());
+            assert!(receipt.touched_types.is_empty());
+            assert_eq!(kg.triple_count(), before_triples);
+        }
+
+        #[test]
+        fn receipt_lists_exactly_the_touched_extents() {
+            let mut kg = {
+                let mut b = KgBuilder::new();
+                base_ops(&mut b);
+                b.finish()
+            };
+            let gump = kg.entity("Forrest_Gump").unwrap();
+            let hanks = kg.entity("Tom_Hanks").unwrap();
+            let starring = kg.predicate("starring").unwrap();
+            let mut d = DeltaBatch::new();
+            d.triple("Tom_Hanks", "starring", "Forrest_Gump"); // reversed edge
+            let receipt = kg.apply(&d);
+            assert_eq!(receipt.touched_out, vec![(hanks, starring)]);
+            assert_eq!(receipt.touched_in, vec![(gump, starring)]);
+            assert!(receipt.touched_types.is_empty());
+            assert!(receipt.new_entities.is_empty());
+        }
+
+        #[test]
+        fn append_work_is_sublinear_in_graph_size() {
+            use crate::datagen::{generate, DatagenConfig};
+            let mut kg = generate(&DatagenConfig::small());
+            let m = kg.relation_count() as u64;
+            let mut d = DeltaBatch::new();
+            for i in 0..10u32 {
+                d.triple(
+                    kg.entity_name(EntityId::new(i)).to_owned(),
+                    "appended_pred",
+                    kg.entity_name(EntityId::new(i + 40)).to_owned(),
+                );
+            }
+            let receipt = kg.apply(&d);
+            assert_eq!(receipt.added_relations, 10);
+            assert!(
+                receipt.work < m / 10,
+                "append of 10 triples did {} work on a graph of {} relations — \
+                 that smells like a rebuild",
+                receipt.work,
+                m
+            );
+        }
+
+        #[test]
+        fn appended_entities_are_queryable() {
+            let mut kg = KgBuilder::new().finish();
+            let mut d = DeltaBatch::new();
+            d.triple("a", "p", "b").typed("a", "T").label("a", "The A");
+            kg.apply(&d);
+            let a = kg.entity("a").expect("appended entity resolvable");
+            let p = kg.predicate("p").unwrap();
+            assert_eq!(kg.objects(a, p).len(), 1);
+            assert_eq!(kg.label(a), Some("The A"));
+            assert_eq!(kg.degree(a), 1);
+            assert!(kg.has_type(a, kg.type_id("T").unwrap()));
+        }
     }
 
     mod properties {

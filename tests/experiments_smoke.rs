@@ -13,7 +13,10 @@ use pivote_eval::{
 use pivote_search::{Field, FieldWeights};
 
 fn kg() -> KnowledgeGraph {
-    generate(&DatagenConfig::small())
+    // the construction seam: under PIVOTE_INCREMENTAL=1 the experiment
+    // graph is built through the append path (base + delta splice), and
+    // every quality claim below must hold unchanged
+    pivote_eval::eval_graph(&DatagenConfig::small())
 }
 
 #[test]
