@@ -302,6 +302,21 @@ impl SharedCache {
         self.generation.fetch_add(1, Ordering::SeqCst);
         dropped
     }
+
+    /// Record a compaction (re-partition) of the backing sharded graph:
+    /// bump the generation — observable through
+    /// [`SharedCache::generation`], like an append — and return the new
+    /// value. **Nothing is dropped**: every cached `p(π|c)` is an exact
+    /// global quantity (integer intersection sums over the whole
+    /// partition, identical to the single-graph value bit for bit) and
+    /// every feature id is partition-independent, so re-sharding the
+    /// same logical graph invalidates neither. The only state a
+    /// compaction obsoletes is each context's *shard-local* resolved
+    /// extents — and those are per-context, scoped to a read guard that
+    /// cannot outlive the swap.
+    pub fn note_compaction(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::SeqCst) + 1
+    }
 }
 
 /// The shared, memoized, parallel execution substrate for one graph.

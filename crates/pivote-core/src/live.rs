@@ -23,7 +23,9 @@
 
 use crate::context::{QueryContext, SharedCache};
 use crate::sharded::ShardedContext;
-use pivote_kg::{AppliedDelta, DeltaBatch, KnowledgeGraph, ShardedGraph};
+use pivote_kg::{
+    AppliedDelta, CompactionPolicy, CompactionReceipt, DeltaBatch, KnowledgeGraph, ShardedGraph,
+};
 use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 /// A single in-memory [`KnowledgeGraph`] that can grow while sessions
@@ -167,6 +169,68 @@ impl LiveShardedGraph {
         applied
     }
 
+    /// Re-partition the grown graph into `target_shards` fresh
+    /// entity-id-range shards and swap it in under the write lock — the
+    /// background-reorganization half of the live-store contract.
+    ///
+    /// Readers admitted before the swap finish against the old partition
+    /// (they hold the read lock; the compactor waits); readers admitted
+    /// after see the fresh partition and a **new generation stamp** on
+    /// both the graph and the shared cache. The cache itself migrates
+    /// wholesale: every surviving `p(π|c)` density is an exact global
+    /// quantity independent of the partitioning, and feature ids are
+    /// append-stable, so nothing is dropped
+    /// ([`SharedCache::note_compaction`]) — only each reader context's
+    /// shard-local resolved extents die with their read guards. Because
+    /// compaction changes no extent, answers before and after the swap
+    /// are bit-identical (`tests/compaction_equivalence.rs`).
+    ///
+    /// The offline union rebuild runs under the write lock, so this is a
+    /// stop-the-world pass of roughly `ShardedGraph::from_graph` cost —
+    /// schedule it via [`LiveShardedGraph::maybe_compact`] when the
+    /// [`CompactionPolicy`] says the tail dominates.
+    pub fn compact_in_place(&self, target_shards: usize) -> CompactionReceipt {
+        let mut sg = self.sg.write().expect("live graph poisoned");
+        self.compact_locked(&mut sg, target_shards)
+    }
+
+    /// Compact to `target_shards` iff `policy` judges the graph
+    /// degenerate; returns the receipt when a pass ran. The policy check
+    /// runs under the same write lock as the swap, so a decision is
+    /// never based on a partition another writer just replaced.
+    pub fn maybe_compact(
+        &self,
+        policy: &CompactionPolicy,
+        target_shards: usize,
+    ) -> Option<CompactionReceipt> {
+        let mut sg = self.sg.write().expect("live graph poisoned");
+        if !policy.needs_compaction(&sg) {
+            return None;
+        }
+        Some(self.compact_locked(&mut sg, target_shards))
+    }
+
+    /// The swap itself, under an already-held write guard: re-partition,
+    /// stamp the cache, assemble the receipt.
+    fn compact_locked(&self, sg: &mut ShardedGraph, target_shards: usize) -> CompactionReceipt {
+        let shards_before = sg.shard_count();
+        let trailing_before = sg.trailing_shard_count();
+        *sg = sg.compact(target_shards);
+        self.cache.note_compaction();
+        CompactionReceipt {
+            generation: sg.generation(),
+            shards_before,
+            shards_after: sg.shard_count(),
+            trailing_before,
+            entities: sg.entity_count(),
+        }
+    }
+
+    /// The current shard count (base + trailing).
+    pub fn shard_count(&self) -> usize {
+        self.sg.read().expect("live graph poisoned").shard_count()
+    }
+
     /// Take a read guard for querying one consistent snapshot.
     pub fn read(&self) -> LiveShardedReader<'_> {
         LiveShardedReader {
@@ -298,5 +362,87 @@ mod tests {
         let reader = live.read();
         let got = reader.ctx().rank_features(&cfg, &s);
         assert_eq!(got, want, "sharded live append must match rebuilt union");
+    }
+
+    #[test]
+    fn compact_in_place_swaps_the_partition_and_keeps_the_cache_warm() {
+        let kg = generate(&DatagenConfig::tiny());
+        let s = seeds(&kg, 2);
+        let cfg = RankingConfig::default();
+        let live = LiveShardedGraph::with_threads(ShardedGraph::from_graph(&kg, 2), 1);
+        // grow three trailing shards
+        for i in 0..3 {
+            let mut d = DeltaBatch::new();
+            d.triple(
+                format!("Live_Grown_{i}"),
+                "fresh_live_pred",
+                kg.entity_name(s[0]).to_owned(),
+            );
+            live.append(&d);
+        }
+        assert_eq!(live.shard_count(), 5);
+        // warm the cache and take the pre-compaction answer
+        let (before_f, before_e) = {
+            let reader = live.read();
+            let ctx = reader.ctx();
+            let f = ctx.rank_features(&cfg, &s);
+            let e = ctx.rank_entities(&cfg, &s, &f);
+            (f, e)
+        };
+        let warm = live.cache().cached_probability_count();
+        assert!(warm > 0, "queries must have filled the cache");
+        let gen_before = live.cache().generation();
+
+        let receipt = live.compact_in_place(2);
+        assert_eq!(receipt.shards_before, 5);
+        assert_eq!(receipt.shards_after, 2);
+        assert_eq!(receipt.trailing_before, 3);
+        assert_eq!(live.shard_count(), 2);
+        assert_eq!(live.generation(), 4, "3 appends + 1 compaction");
+        assert_eq!(receipt.generation, 4);
+        // the cache migrated: new generation stamp, zero densities lost
+        assert_eq!(live.cache().generation(), gen_before + 1);
+        assert_eq!(
+            live.cache().cached_probability_count(),
+            warm,
+            "compaction must not drop any surviving density"
+        );
+
+        // post-compaction answers are bit-identical to pre-compaction
+        let reader = live.read();
+        let ctx = reader.ctx();
+        let after_f = ctx.rank_features(&cfg, &s);
+        assert_eq!(after_f, before_f);
+        let after_e = ctx.rank_entities(&cfg, &s, &after_f);
+        assert_eq!(after_e.len(), before_e.len());
+        for (a, b) in after_e.iter().zip(&before_e) {
+            assert_eq!(a.entity, b.entity);
+            assert!((a.score - b.score).abs() == 0.0, "score drifted");
+        }
+        // and no recompute happened for the re-ranking above
+        assert_eq!(live.cache().cached_probability_count(), warm);
+    }
+
+    #[test]
+    fn maybe_compact_obeys_the_policy() {
+        use pivote_kg::CompactionPolicy;
+        let kg = generate(&DatagenConfig::tiny());
+        let live = LiveShardedGraph::with_threads(ShardedGraph::from_graph(&kg, 2), 1);
+        let policy = CompactionPolicy {
+            max_trailing: 1,
+            max_tail_fraction: 1.0,
+        };
+        assert!(live.maybe_compact(&policy, 2).is_none(), "fresh partition");
+        for i in 0..2 {
+            let mut d = DeltaBatch::new();
+            d.entity(format!("Policy_Grown_{i}"));
+            live.append(&d);
+        }
+        let receipt = live
+            .maybe_compact(&policy, 3)
+            .expect("2 trailing > max_trailing=1");
+        assert_eq!(receipt.shards_after, 3);
+        assert_eq!(live.shard_count(), 3);
+        assert!(live.maybe_compact(&policy, 2).is_none(), "tail absorbed");
     }
 }

@@ -23,15 +23,27 @@
 //! N triples to a graph of M ≫ N triples does splice-sized work, not an
 //! O(M) rebuild. Rows go to `BENCH_3.json` (override with `BENCH3_OUT`).
 //!
+//! A third sweep measures **compaction** at the largest size: the
+//! trailing 10% of the entities are re-applied as 1 / 8 / 32
+//! entity-minting batches (`split_growth`), each appending a trailing
+//! shard to a 2-shard partition. Rows record interactive-operation
+//! latency on the degenerate partition, the wall-clock of
+//! `ShardedGraph::compact(2)`, latency on the compacted partition, and —
+//! the acceptance bar — latency on a *fresh* `ShardedGraph::from_graph`
+//! at the same shard count: post-compaction must sit within noise of
+//! fresh. Rows go to `BENCH_4.json` (override with `BENCH4_OUT`).
+//!
 //! Usage: `cargo run --release -p pivote-eval --bin exp_scaling [max_films]`
 
 use pivote_core::{Expander, GraphHandle, HeatMap, RankingConfig, SfQuery};
 use pivote_kg::{
-    generate, split_incremental, DatagenConfig, EntityId, KnowledgeGraph, ShardedGraph,
+    generate, split_growth, split_incremental, DatagenConfig, EntityId, KnowledgeGraph,
+    ShardedGraph,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
 
+#[derive(Clone, Copy)]
 struct Measured {
     feat_ms: f64,
     ent_ms: f64,
@@ -268,6 +280,127 @@ fn write_append_json(rows: &[AppendRow], cores: usize, path: &str) {
     }
 }
 
+/// One compaction measurement: the same interactive operations on the
+/// degenerate (grown) partition, on the compacted partition, and on a
+/// fresh partition of the union, plus the compaction pass's wall-clock.
+struct CompactRow {
+    films: usize,
+    trailing: usize,
+    shards_before: usize,
+    target: usize,
+    threads: usize,
+    pre: Measured,
+    post: Measured,
+    fresh: Measured,
+    compact_ms: f64,
+}
+
+fn compaction_sweep(kg: &KnowledgeGraph, films: usize, cores: usize) -> Vec<CompactRow> {
+    let film = kg.type_id("Film").expect("Film type");
+    let seeds: Vec<EntityId> = kg.type_extent(film)[..3].to_vec();
+    let target = 2usize;
+    let threads = target.min(cores.max(1));
+    // the acceptance bar: a fresh partition of the union at the target
+    // shard count (what compaction is supposed to restore)
+    let fresh_sg = ShardedGraph::from_graph(kg, target);
+    let fresh = measure(
+        &GraphHandle::sharded_with_threads(&fresh_sg, threads),
+        &seeds,
+    );
+
+    [1usize, 8, 32]
+        .into_iter()
+        .map(|trailing| {
+            let (base, batches) = split_growth(kg, 0.9, trailing);
+            let mut sg = ShardedGraph::from_graph(&base, target);
+            for b in &batches {
+                sg.apply(b);
+            }
+            let shards_before = sg.shard_count();
+            // same worker-thread count as the post/fresh measurements,
+            // so the rows isolate partition shape, not parallelism
+            let pre = measure(&GraphHandle::sharded_with_threads(&sg, threads), &seeds);
+            let t = Instant::now();
+            let sg = sg.compact(target);
+            let compact_ms = t.elapsed().as_secs_f64() * 1e3;
+            let post = measure(&GraphHandle::sharded_with_threads(&sg, threads), &seeds);
+            CompactRow {
+                films,
+                trailing: batches.len(),
+                shards_before,
+                target,
+                threads,
+                pre,
+                post,
+                fresh,
+                compact_ms,
+            }
+        })
+        .collect()
+}
+
+fn print_compact_row(r: &CompactRow) {
+    println!(
+        "{:>8} {:>9} {:>7} {:>7} {:>12.2} {:>12.2} {:>12.2} {:>11.2}",
+        r.films,
+        r.trailing,
+        r.shards_before,
+        r.target,
+        r.pre.ent_ms,
+        r.post.ent_ms,
+        r.fresh.ent_ms,
+        r.compact_ms
+    );
+}
+
+fn write_compact_json(rows: &[CompactRow], cores: usize, path: &str) {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"pivote-compaction/1\",");
+    let _ = writeln!(
+        out,
+        "  \"label\": \"live shard compaction: rank latency on a partition grown by N \
+         trailing shards (pre), after ShardedGraph::compact(2) (post), and on a fresh \
+         from_graph at the same shard count; compact_ms is the re-partition wall-clock\","
+    );
+    let _ = writeln!(out, "  \"host_cpus\": {cores},");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p pivote-eval --bin exp_scaling\","
+    );
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"films\": {}, \"trailing_shards\": {}, \"shards_before\": {}, \
+             \"target_shards\": {}, \"threads\": {}, \
+             \"pre_rank_features_ms\": {:.3}, \"pre_rank_entities_ms\": {:.3}, \
+             \"post_rank_features_ms\": {:.3}, \"post_rank_entities_ms\": {:.3}, \
+             \"fresh_rank_features_ms\": {:.3}, \"fresh_rank_entities_ms\": {:.3}, \
+             \"compact_ms\": {:.3}}}{comma}",
+            r.films,
+            r.trailing,
+            r.shards_before,
+            r.target,
+            r.threads,
+            r.pre.feat_ms,
+            r.pre.ent_ms,
+            r.post.feat_ms,
+            r.post.ent_ms,
+            r.fresh.feat_ms,
+            r.fresh.ent_ms,
+            r.compact_ms
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("\nwrote {} rows to {path}", rows.len());
+    }
+}
+
 fn main() {
     let max_films: usize = std::env::args()
         .nth(1)
@@ -294,6 +427,8 @@ fn main() {
     );
     let mut rows: Vec<Row> = Vec::new();
     let mut append_rows: Vec<AppendRow> = Vec::new();
+    let mut compact_rows: Vec<CompactRow> = Vec::new();
+    let last_size = sizes.last().copied();
     for films in sizes {
         let kg = generate(&DatagenConfig::scaled(films, 7));
         sweep(&kg, films, cores, &mut rows);
@@ -302,6 +437,11 @@ fn main() {
         // splice's work counter must stay far below the graph size
         append_rows.push(append_sweep(&kg, films, 0.9));
         append_rows.push(append_sweep(&kg, films, 0.998));
+        // compaction sweep only at the largest size, inside the loop so
+        // the graph is dropped with its iteration (no doubled peak RSS)
+        if Some(films) == last_size {
+            compact_rows = compaction_sweep(&kg, films, cores);
+        }
     }
     write_json(&rows, cores, &out_path);
 
@@ -315,4 +455,27 @@ fn main() {
     }
     let append_out = std::env::var("BENCH3_OUT").unwrap_or_else(|_| "BENCH_3.json".to_owned());
     write_append_json(&append_rows, cores, &append_out);
+
+    // compaction (measured at the largest size, in its loop iteration):
+    // a partition grown degenerate by 1/8/32 trailing shards, compacted
+    // back, against a fresh partition — post-compaction must match fresh
+    if !compact_rows.is_empty() {
+        println!("\n== compaction: degenerate partition vs compact(2) vs fresh from_graph ==");
+        println!(
+            "{:>8} {:>9} {:>7} {:>7} {:>12} {:>12} {:>12} {:>11}",
+            "films",
+            "trailing",
+            "before",
+            "target",
+            "pre_ent_ms",
+            "post_ent_ms",
+            "fresh_ent_ms",
+            "compact_ms"
+        );
+        for r in &compact_rows {
+            print_compact_row(r);
+        }
+        let compact_out = std::env::var("BENCH4_OUT").unwrap_or_else(|_| "BENCH_4.json".to_owned());
+        write_compact_json(&compact_rows, cores, &compact_out);
+    }
 }

@@ -21,9 +21,37 @@ use std::collections::HashSet;
 /// to rebuild-then-query (see `tests/incremental_equivalence.rs`), so
 /// every metric the harness reports must come out unchanged — which is
 /// exactly what the leg verifies.
+///
+/// Under `PIVOTE_COMPACT=1` (the CI compaction leg, taking precedence)
+/// the graph takes the full **append-then-compact** route instead:
+/// generate, split off the trailing 40% of the *entities* as three
+/// entity-minting batches ([`pivote_kg::split_growth`]), apply them
+/// through a 2-shard [`pivote_kg::ShardedGraph`] (each batch appends a
+/// trailing shard), re-partition with `ShardedGraph::compact`, and
+/// union-rebuild with `ShardedGraph::to_graph`. Compaction is
+/// answer-preserving (see `tests/compaction_equivalence.rs`), so this
+/// leg too must reproduce every metric and golden ranking unchanged.
 pub fn eval_graph(cfg: &pivote_kg::DatagenConfig) -> KnowledgeGraph {
     let kg = pivote_kg::generate(cfg);
-    if pivote_kg::incremental_from_env() {
+    if pivote_kg::compact_from_env() {
+        let (base, batches) = pivote_kg::split_growth(&kg, 0.6, 3);
+        let mut sg = pivote_kg::ShardedGraph::from_graph(&base, 2);
+        for batch in &batches {
+            sg.apply(batch);
+        }
+        assert!(
+            sg.trailing_shard_count() > 0,
+            "the growth batches must have appended trailing shards"
+        );
+        let out = sg.compact(2).to_graph();
+        assert_eq!(
+            out.triple_count(),
+            kg.triple_count(),
+            "compacted eval graph must reconstruct the generated graph"
+        );
+        assert_eq!(out.entity_count(), kg.entity_count());
+        out
+    } else if pivote_kg::incremental_from_env() {
         let (mut base, delta) = pivote_kg::split_incremental(&kg, 0.5);
         let receipt = base.apply(&delta);
         assert_eq!(

@@ -30,13 +30,13 @@ pub mod session;
 pub mod timeline;
 
 pub use events::UserAction;
-pub use live::{LiveEvent, LiveLog, LiveSession};
+pub use live::{LiveEvent, LiveLog, LiveSession, LiveShardedSession};
 pub use path::{ExplorationPath, NodeKind, PathEdge, PathNode};
 pub use profile::{build_profile, EntityProfile};
 pub use query::ExplorationQuery;
 pub use replay::{
-    replay, replay_live, replay_with_context, replay_with_handle, session_stats, ActionLog,
-    SessionStats,
+    replay, replay_live, replay_live_sharded, replay_with_context, replay_with_handle,
+    session_stats, ActionLog, SessionStats,
 };
-pub use session::{Session, SessionConfig, SessionState, ViewState};
+pub use session::{SearchBackend, Session, SessionConfig, SessionState, ViewState};
 pub use timeline::{Timeline, TimelineEntry};

@@ -16,24 +16,41 @@
 //! in a [`LiveLog`], so [`replay_live`](crate::replay::replay_live) can
 //! reproduce an entire live exploration (growth included) from the same
 //! base graph.
+//!
+//! [`LiveShardedSession`] is the sharded sibling over a
+//! [`LiveShardedGraph`]: the same contract, extended to partitions that
+//! are **re-partitioned mid-session** — [`LiveShardedSession::compact`]
+//! records a [`LiveEvent::Compact`] and
+//! [`replay_live_sharded`](crate::replay::replay_live_sharded) replays
+//! growth *and* compaction bit-identically.
 
 use crate::events::UserAction;
 use crate::path::ExplorationPath;
 use crate::replay::ActionLog;
-use crate::session::{Session, SessionConfig, SessionState, ViewState};
+use crate::session::{SearchBackend, Session, SessionConfig, SessionState, ViewState};
 use crate::timeline::Timeline;
-use pivote_core::LiveGraph;
-use pivote_kg::{AppliedDelta, DeltaBatch};
+use pivote_core::{LiveGraph, LiveShardedGraph};
+use pivote_kg::{AppliedDelta, CompactionReceipt, DeltaBatch};
 use pivote_search::SearchEngine;
 use serde::{Deserialize, Serialize};
 
-/// One event of a live session: a user action or a graph append.
+/// One event of a live session: a user action, a graph append, or a
+/// compaction of the backing sharded partition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum LiveEvent {
     /// A user action applied to the session.
     Action(UserAction),
     /// A delta batch appended to the live graph.
     Append(DeltaBatch),
+    /// A re-partition of the backing [`LiveShardedGraph`] to
+    /// `target_shards` fresh range shards. Compaction is
+    /// answer-preserving, so replaying it reproduces the exact rankings;
+    /// on a single-graph replay target it is a no-op (a single graph is
+    /// always one partition).
+    Compact {
+        /// The shard count the graph was re-partitioned to.
+        target_shards: usize,
+    },
 }
 
 /// The ordered record of everything a live session did — the replayable
@@ -69,6 +86,39 @@ impl LiveLog {
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(json)
     }
+}
+
+/// Run one action on a transient [`Session`] over a read-guard handle,
+/// moving the durable state (timeline/path/query/log) and the rendered
+/// view in and back out without copies — the shared half of both live
+/// sessions' `apply`. Returns the dissolved [`SearchBackend`] so the
+/// caller can stash its engine(s) for the next action.
+fn drive_transient(
+    state: &mut SessionState,
+    log: &mut ActionLog,
+    view: &mut ViewState,
+    mut session: Session<'_>,
+    action: UserAction,
+) -> SearchBackend {
+    let state_in = std::mem::replace(
+        state,
+        SessionState {
+            timeline: Timeline::new(),
+            path: ExplorationPath::new(),
+            query: Default::default(),
+        },
+    );
+    session.import_state(
+        state_in,
+        std::mem::take(log),
+        std::mem::replace(view, ViewState::empty()),
+    );
+    session.apply(action);
+    let (state_out, log_out, view_out, search) = session.dissolve();
+    *state = state_out;
+    *log = log_out;
+    *view = view_out;
+    search
 }
 
 /// An exploration session over a [`LiveGraph`] that may grow mid-session.
@@ -141,27 +191,18 @@ impl<'g> LiveSession<'g> {
             Some((built_at, engine)) if built_at == generation => engine,
             _ => SearchEngine::build(reader.kg(), self.config.search),
         };
-        let mut session = Session::with_single_engine(reader.handle(), self.config, engine);
-        let state = std::mem::replace(
+        let session = Session::with_single_engine(reader.handle(), self.config, engine);
+        let search = drive_transient(
             &mut self.state,
-            SessionState {
-                timeline: Timeline::new(),
-                path: ExplorationPath::new(),
-                query: Default::default(),
-            },
+            &mut self.log,
+            &mut self.view,
+            session,
+            action,
         );
-        session.import_state(
-            state,
-            std::mem::take(&mut self.log),
-            std::mem::replace(&mut self.view, ViewState::empty()),
-        );
-        session.apply(action);
-        let (state, log, view, engine) = session.dissolve();
-        self.state = state;
-        self.log = log;
-        self.view = view;
-        let engine = engine.expect("live sessions run on the single backend");
-        self.search = Some((generation, engine));
+        let SearchBackend::Single(engine) = search else {
+            unreachable!("live sessions run on the single backend")
+        };
+        self.search = Some((generation, *engine));
         &self.view
     }
 
@@ -172,6 +213,153 @@ impl<'g> LiveSession<'g> {
     pub fn append(&mut self, delta: &DeltaBatch) -> AppliedDelta {
         self.events.events.push(LiveEvent::Append(delta.clone()));
         self.live.append(delta)
+    }
+
+    /// Convenience: submit a keyword query.
+    pub fn submit_keywords(&mut self, q: &str) -> &ViewState {
+        self.apply(UserAction::SubmitKeywords { query: q.into() })
+    }
+
+    /// Convenience: click an entity (investigation).
+    pub fn click_entity(&mut self, entity: pivote_kg::EntityId) -> &ViewState {
+        self.apply(UserAction::ClickEntity { entity })
+    }
+}
+
+/// An exploration session over a [`LiveShardedGraph`] that may grow
+/// *and be re-partitioned* mid-session — the sharded sibling of
+/// [`LiveSession`], with the same durable-state contract: timeline,
+/// exploratory path, query and log survive appends **and compactions**
+/// untouched, because compaction changes no global id and no answer.
+/// The per-shard search-engine set is cached **per shard**: after an
+/// append, only the shards the delta actually touched (plus the new
+/// trailing shard) are re-indexed; a compaction starts a new epoch and
+/// re-indexes the fresh partition wholesale.
+pub struct LiveShardedSession<'g> {
+    live: &'g LiveShardedGraph,
+    config: SessionConfig,
+    state: SessionState,
+    log: ActionLog,
+    view: ViewState,
+    /// Per-shard search engines, each tagged with the local graph
+    /// generation it was built at, all tagged with the compaction epoch.
+    /// Within one epoch shards are only ever appended, so position `i`
+    /// still names the same shard and an engine is stale exactly when
+    /// its shard's local generation moved; across epochs the shard list
+    /// was rebuilt wholesale and nothing is reusable.
+    search: Option<(u64, Vec<(u64, SearchEngine)>)>,
+    events: LiveLog,
+}
+
+impl<'g> LiveShardedSession<'g> {
+    /// A fresh live session over `live`.
+    pub fn new(live: &'g LiveShardedGraph, config: SessionConfig) -> Self {
+        Self {
+            live,
+            config,
+            state: SessionState {
+                timeline: Timeline::new(),
+                path: ExplorationPath::new(),
+                query: Default::default(),
+            },
+            log: ActionLog::new(),
+            view: ViewState::empty(),
+            search: None,
+            events: LiveLog::new(),
+        }
+    }
+
+    /// The live sharded graph under exploration.
+    pub fn live(&self) -> &'g LiveShardedGraph {
+        self.live
+    }
+
+    /// The current view.
+    pub fn view(&self) -> &ViewState {
+        &self.view
+    }
+
+    /// The durable session state (timeline, path, current query).
+    pub fn state(&self) -> &SessionState {
+        &self.state
+    }
+
+    /// The user-action log (appends and compactions excluded; see
+    /// [`LiveShardedSession::events`]).
+    pub fn action_log(&self) -> &ActionLog {
+        &self.log
+    }
+
+    /// Every event — actions, appends and compactions — in order.
+    pub fn events(&self) -> &LiveLog {
+        &self.events
+    }
+
+    /// Apply one user action against the current partition snapshot —
+    /// the same move-state-through-a-transient-[`Session`] dance as the
+    /// single-backend [`LiveSession::apply`], with a per-shard engine
+    /// set instead of one index. Engines are reused per shard: only
+    /// shards whose local generation moved since indexing (the
+    /// delta-touched ones and the appended tail) are rebuilt, unless a
+    /// compaction started a new epoch.
+    pub fn apply(&mut self, action: UserAction) -> &ViewState {
+        self.events.events.push(LiveEvent::Action(action.clone()));
+        let reader = self.live.read();
+        let graph = reader.graph();
+        let epoch = graph.compaction_epoch();
+        let mut cached = match self.search.take() {
+            Some((built_epoch, engines)) if built_epoch == epoch => engines,
+            _ => Vec::new(),
+        }
+        .into_iter();
+        let mut shard_generations = Vec::with_capacity(graph.shard_count());
+        let engines: Vec<SearchEngine> = graph
+            .shards()
+            .iter()
+            .map(|s| {
+                let generation = s.graph().generation();
+                shard_generations.push(generation);
+                match cached.next() {
+                    Some((built_at, engine)) if built_at == generation => engine,
+                    _ => SearchEngine::build(s.graph(), self.config.search),
+                }
+            })
+            .collect();
+        let session = Session::with_search(
+            reader.handle(),
+            self.config,
+            SearchBackend::Sharded(engines),
+        );
+        let search = drive_transient(
+            &mut self.state,
+            &mut self.log,
+            &mut self.view,
+            session,
+            action,
+        );
+        let SearchBackend::Sharded(engines) = search else {
+            unreachable!("sharded live sessions run on the sharded backend")
+        };
+        self.search = Some((epoch, shard_generations.into_iter().zip(engines).collect()));
+        &self.view
+    }
+
+    /// Append a delta to the live graph (recorded in the event log);
+    /// visible at the next action, like every store mutation.
+    pub fn append(&mut self, delta: &DeltaBatch) -> AppliedDelta {
+        self.events.events.push(LiveEvent::Append(delta.clone()));
+        self.live.append(delta)
+    }
+
+    /// Re-partition the live graph to `target_shards` (recorded in the
+    /// event log). The session's durable state is untouched; the next
+    /// action re-indexes search against the fresh partition and answers
+    /// exactly what the uncompacted graph would have answered.
+    pub fn compact(&mut self, target_shards: usize) -> CompactionReceipt {
+        self.events
+            .events
+            .push(LiveEvent::Compact { target_shards });
+        self.live.compact_in_place(target_shards)
     }
 
     /// Convenience: submit a keyword query.
@@ -313,6 +501,185 @@ mod tests {
                 .collect::<Vec<_>>(),
             "live replay must reproduce rankings bit-identically"
         );
+    }
+
+    #[test]
+    fn sharded_session_survives_a_mid_session_compaction() {
+        use pivote_kg::ShardedGraph;
+        let kg = base();
+        let seed = film_seed(&kg);
+        let delta = delta_for(&kg, seed);
+
+        // live path: investigate, append (new trailing shard), compact,
+        // re-investigate
+        let live = LiveShardedGraph::with_threads(ShardedGraph::from_graph(&base(), 3), 1);
+        let mut s = LiveShardedSession::new(&live, SessionConfig::default());
+        s.click_entity(seed);
+        let before: Vec<EntityId> = s.view().entities.iter().map(|re| re.entity).collect();
+        s.append(&delta);
+        assert_eq!(live.shard_count(), 4, "append minted a trailing shard");
+        let receipt = s.compact(2);
+        assert_eq!(receipt.shards_after, 2);
+        assert_eq!(live.shard_count(), 2);
+        // like an append, a compaction does not change the view until
+        // the next action — and the durable state is untouched
+        let unchanged: Vec<EntityId> = s.view().entities.iter().map(|re| re.entity).collect();
+        assert_eq!(before, unchanged);
+        assert_eq!(s.state().timeline.len(), 1);
+        s.apply(UserAction::RemoveSeed { entity: seed });
+        s.click_entity(seed);
+        let after: Vec<(EntityId, f64)> = s
+            .view()
+            .entities
+            .iter()
+            .map(|re| (re.entity, re.score))
+            .collect();
+
+        // ground truth: a fresh sharded session over the rebuilt union
+        // at the compacted shard count
+        let mut union = base();
+        union.apply(&delta);
+        let usg = ShardedGraph::from_graph(&union, 2);
+        let mut fresh = Session::sharded(&usg, SessionConfig::default());
+        fresh.click_entity(seed);
+        let want: Vec<(EntityId, f64)> = fresh
+            .view()
+            .entities
+            .iter()
+            .map(|re| (re.entity, re.score))
+            .collect();
+        assert_eq!(
+            after, want,
+            "post-compaction view must match a fresh partition of the union"
+        );
+        let new_film = union.entity("Fresh_Live_Film").unwrap();
+        assert!(after.iter().any(|&(e, _)| e == new_film));
+        assert_eq!(s.events().len(), 5, "3 actions + append + compact");
+    }
+
+    #[test]
+    fn replay_live_sharded_reproduces_growth_and_compaction() {
+        use pivote_kg::ShardedGraph;
+        let kg = base();
+        let seed = film_seed(&kg);
+        let live = LiveShardedGraph::with_threads(ShardedGraph::from_graph(&base(), 3), 1);
+        let mut original = LiveShardedSession::new(&live, SessionConfig::default());
+        original.click_entity(seed);
+        original.append(&delta_for(&kg, seed));
+        original.compact(2);
+        original.apply(UserAction::RemoveSeed { entity: seed });
+        original.click_entity(seed);
+
+        // serialize the full event log (append + compact included) and
+        // replay it onto a fresh live partition of the same base
+        let log = LiveLog::from_json(&original.events().to_json()).unwrap();
+        assert_eq!(&log, original.events());
+        assert!(log
+            .events
+            .iter()
+            .any(|e| matches!(e, LiveEvent::Compact { target_shards: 2 })));
+        let live2 = LiveShardedGraph::with_threads(ShardedGraph::from_graph(&base(), 3), 1);
+        let replayed = crate::replay::replay_live_sharded(&live2, SessionConfig::default(), &log);
+        assert_eq!(live2.shard_count(), 2, "the compaction replayed");
+        assert_eq!(live2.generation(), 2, "append + compaction");
+        assert_eq!(replayed.state().timeline, original.state().timeline);
+        assert_eq!(
+            replayed
+                .view()
+                .entities
+                .iter()
+                .map(|re| (re.entity, re.score))
+                .collect::<Vec<_>>(),
+            original
+                .view()
+                .entities
+                .iter()
+                .map(|re| (re.entity, re.score))
+                .collect::<Vec<_>>(),
+            "sharded live replay must reproduce rankings bit-identically"
+        );
+
+        // the same log replays onto a *single* live graph too: Compact
+        // is a no-op there and rankings still land bit-identically
+        let live3 = LiveGraph::with_threads(base(), 1);
+        let on_single = crate::replay::replay_live(&live3, SessionConfig::default(), &log);
+        assert_eq!(live3.generation(), 1, "only the append applies");
+        assert_eq!(
+            on_single
+                .view()
+                .entities
+                .iter()
+                .map(|re| (re.entity, re.score))
+                .collect::<Vec<_>>(),
+            original
+                .view()
+                .entities
+                .iter()
+                .map(|re| (re.entity, re.score))
+                .collect::<Vec<_>>(),
+            "a compaction-bearing log must replay identically on the single backend"
+        );
+    }
+
+    #[test]
+    fn sharded_search_reindexes_touched_and_appended_shards_lazily() {
+        use pivote_kg::ShardedGraph;
+        let kg = base();
+        let seed = film_seed(&kg);
+        let live = LiveShardedGraph::with_threads(ShardedGraph::from_graph(&base(), 3), 1);
+        let mut s = LiveShardedSession::new(&live, SessionConfig::default());
+        s.submit_keywords(&kg.display_name(seed));
+        let (epoch, engines) = s.search.as_ref().unwrap();
+        assert_eq!((*epoch, engines.len()), (0, 3), "one engine per shard");
+
+        let mut d = DeltaBatch::new();
+        d.triple(
+            "Fresh_Search_Film",
+            "starring",
+            kg.entity_name(seed).to_owned(),
+        )
+        .typed("Fresh_Search_Film", "Film")
+        .label("Fresh_Search_Film", "Zanzibar Premiere");
+        s.append(&d);
+
+        // the next action re-indexes only the delta-touched shards and
+        // the appended tail — and the new film is immediately findable
+        let view = s.submit_keywords("Zanzibar Premiere");
+        let fresh = {
+            let reader = live.read();
+            reader.graph().entity("Fresh_Search_Film").unwrap()
+        };
+        assert!(
+            view.entities.iter().any(|re| re.entity == fresh),
+            "appended film must be searchable at the next action"
+        );
+        let (epoch, engines) = s.search.as_ref().unwrap();
+        assert_eq!(*epoch, 0, "appends do not change the epoch");
+        assert_eq!(engines.len(), 4, "trailing shard gained an engine");
+        {
+            let reader = live.read();
+            for (i, shard) in reader.graph().shards().iter().enumerate() {
+                assert_eq!(
+                    engines[i].0,
+                    shard.graph().generation(),
+                    "engine {i} must be tagged with its shard's local generation"
+                );
+            }
+            // the untouched shards were NOT re-indexed: their local
+            // generation never moved, so their tags still read 0
+            assert!(
+                engines.iter().any(|&(g, _)| g == 0),
+                "some shard must have been untouched by the delta"
+            );
+        }
+
+        // compaction starts a new epoch: wholesale re-index, same answers
+        s.compact(2);
+        let view = s.submit_keywords("Zanzibar Premiere");
+        assert!(view.entities.iter().any(|re| re.entity == fresh));
+        let (epoch, engines) = s.search.as_ref().unwrap();
+        assert_eq!(*epoch, 1, "compaction bumps the epoch");
+        assert_eq!(engines.len(), 2, "one engine per compacted shard");
     }
 
     #[test]

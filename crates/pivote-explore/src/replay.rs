@@ -91,6 +91,13 @@ pub fn replay_with_handle<'kg>(
 /// growth included: the replayed session's rankings are bit-identical
 /// because appends are deterministic splices and actions are
 /// deterministic queries.
+///
+/// [`LiveEvent::Compact`](crate::live::LiveEvent::Compact) events —
+/// recorded by sharded live sessions — are no-ops here: a single graph
+/// is always one partition, and compaction changes no answer, so a log
+/// containing compactions still replays to bit-identical rankings (the
+/// cross-backend twin of
+/// [`replay_with_handle`]'s single-vs-sharded guarantee).
 pub fn replay_live<'g>(
     live: &'g pivote_core::LiveGraph,
     config: crate::session::SessionConfig,
@@ -104,6 +111,37 @@ pub fn replay_live<'g>(
             }
             crate::live::LiveEvent::Append(delta) => {
                 session.append(delta);
+            }
+            crate::live::LiveEvent::Compact { .. } => {}
+        }
+    }
+    session
+}
+
+/// [`replay_live`] over a [`LiveShardedGraph`](pivote_core::LiveShardedGraph):
+/// replays actions, appends **and compactions** in their original order
+/// onto a fresh [`LiveShardedSession`](crate::live::LiveShardedSession).
+/// Starting from the same base partition this reproduces the entire
+/// exploration — growth and re-partitioning included — with
+/// bit-identical rankings, heat maps and profiles: appends are
+/// deterministic splices, compaction is an answer-preserving offline
+/// rebuild, and actions are deterministic queries.
+pub fn replay_live_sharded<'g>(
+    live: &'g pivote_core::LiveShardedGraph,
+    config: crate::session::SessionConfig,
+    log: &crate::live::LiveLog,
+) -> crate::live::LiveShardedSession<'g> {
+    let mut session = crate::live::LiveShardedSession::new(live, config);
+    for event in &log.events {
+        match event {
+            crate::live::LiveEvent::Action(action) => {
+                session.apply(action.clone());
+            }
+            crate::live::LiveEvent::Append(delta) => {
+                session.append(delta);
+            }
+            crate::live::LiveEvent::Compact { target_shards } => {
+                session.compact(*target_shards);
             }
         }
     }

@@ -106,8 +106,11 @@ pub struct SessionState {
 }
 
 /// The keyword-search component, per backend: one index over the single
-/// graph, or one index per shard with an owned-entity merge.
-enum SearchBackend {
+/// graph, or one index per shard with an owned-entity merge. Public so
+/// the live-session layer can carry prebuilt engines across graph
+/// generations (and across compactions, which change the shard count)
+/// without re-indexing when nothing changed.
+pub enum SearchBackend {
     /// One engine over the whole graph (boxed: the single-engine variant
     /// is much larger than the per-shard vector).
     Single(Box<SearchEngine>),
@@ -190,18 +193,42 @@ impl<'kg> Session<'kg> {
     ///
     /// # Panics
     /// When `handle` is sharded (sharded search is a per-shard engine
-    /// set; use [`Session::with_handle`]).
+    /// set; use [`Session::with_search`]).
     pub fn with_single_engine(
         handle: GraphHandle<'kg>,
         config: SessionConfig,
         engine: SearchEngine,
     ) -> Self {
-        assert!(
-            matches!(handle, GraphHandle::Single(_)),
-            "with_single_engine requires a single-backend handle"
-        );
+        Self::with_search(handle, config, SearchBackend::Single(Box::new(engine)))
+    }
+
+    /// Build a session around a **prebuilt** [`SearchBackend`] — the
+    /// generalization of [`Session::with_single_engine`] that also serves
+    /// the sharded live path, where the engine set is one index per
+    /// shard.
+    ///
+    /// # Panics
+    /// When the backend variant does not match the handle, or a sharded
+    /// engine set's length does not match the graph's shard count (a
+    /// stale set from before an append or a compaction).
+    pub fn with_search(
+        handle: GraphHandle<'kg>,
+        config: SessionConfig,
+        search: SearchBackend,
+    ) -> Self {
+        match (&handle, &search) {
+            (GraphHandle::Single(_), SearchBackend::Single(_)) => {}
+            (GraphHandle::Sharded(ctx), SearchBackend::Sharded(engines)) => {
+                assert_eq!(
+                    engines.len(),
+                    ctx.graph().shard_count(),
+                    "per-shard engine set must match the shard count"
+                );
+            }
+            _ => panic!("search backend variant must match the graph handle"),
+        }
         Self {
-            search: SearchBackend::Single(Box::new(engine)),
+            search,
             expander: Expander::with_handle(handle.clone(), config.ranking),
             handle,
             config,
@@ -232,27 +259,23 @@ impl<'kg> Session<'kg> {
     }
 
     /// Tear the session into its durable parts — state, log, view, and
-    /// the owned search engine (`Some` on the single backend) — so a
-    /// live session can carry them across graph generations without
-    /// cloning and without keeping this session's graph borrow alive.
+    /// the owned [`SearchBackend`] — so a live session can carry them
+    /// across graph generations without cloning and without keeping this
+    /// session's graph borrow alive.
     pub fn dissolve(
         self,
     ) -> (
         SessionState,
         crate::replay::ActionLog,
         ViewState,
-        Option<SearchEngine>,
+        SearchBackend,
     ) {
         let state = SessionState {
             timeline: self.timeline,
             path: self.path,
             query: self.view.query.clone(),
         };
-        let engine = match self.search {
-            SearchBackend::Single(engine) => Some(*engine),
-            SearchBackend::Sharded(_) => None,
-        };
-        (state, self.log, self.view, engine)
+        (state, self.log, self.view, self.search)
     }
 
     /// The shared query-execution context (probability caches, worker

@@ -350,12 +350,83 @@ impl AppliedDelta {
     }
 }
 
+/// The receipt of one compaction pass over a live sharded graph: what
+/// the partition looked like before and after the swap. Compaction is
+/// answer-preserving (no extent changes), so unlike [`AppliedDelta`]
+/// there is nothing to invalidate — the receipt records the new
+/// generation stamp and the de-degeneration it bought.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionReceipt {
+    /// The graph's generation after the compaction (monotonic with the
+    /// append generations).
+    pub generation: u64,
+    /// Shard count before the re-partition.
+    pub shards_before: usize,
+    /// Shard count after (the requested target).
+    pub shards_after: usize,
+    /// How many trailing shards the pass absorbed.
+    pub trailing_before: usize,
+    /// Entities re-homed into the fresh entity-id-range partition (all
+    /// of them — compaction is an offline rebuild).
+    pub entities: usize,
+}
+
+/// Whether the `=1`-valued environment flag `name` is set — the one
+/// parser behind every `PIVOTE_*` CI-leg hook.
+pub(crate) fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| v == "1").unwrap_or(false)
+}
+
 /// Whether the `PIVOTE_INCREMENTAL=1` environment leg is active — the CI
 /// hook that routes graph construction through the append path.
 pub fn incremental_from_env() -> bool {
-    std::env::var("PIVOTE_INCREMENTAL")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    env_flag("PIVOTE_INCREMENTAL")
+}
+
+/// Replicate `kg`'s predicate/type/category dictionaries into `b` in
+/// global id order, so the builder's dense dictionary ids equal the
+/// source graph's — the first half of every id-preserving rebuild
+/// (incremental splits, growth splits, and the sharded union rebuild).
+pub(crate) fn replicate_dictionaries(b: &mut KgBuilder, kg: &KnowledgeGraph) {
+    for p in kg.predicate_ids() {
+        b.predicate(kg.predicate_name(p));
+    }
+    for t in kg.type_ids() {
+        b.declare_type(kg.type_name(t));
+    }
+    for c in kg.category_ids() {
+        b.declare_category(kg.category_name(c));
+    }
+}
+
+/// Intern `e`'s name into `b` and replay all its owned facets — label,
+/// types, categories, literals, aliases — the per-entity half of every
+/// id-preserving rebuild. One implementation, so a new facet kind added
+/// to [`KnowledgeGraph`] has exactly one replay site to extend. Returns
+/// the builder-local id (equal to `e` when entities are replayed in
+/// ascending id order into a fresh builder).
+pub(crate) fn replay_entity_facets(
+    b: &mut KgBuilder,
+    kg: &KnowledgeGraph,
+    e: EntityId,
+) -> EntityId {
+    let le = b.entity(kg.entity_name(e));
+    if let Some(l) = kg.label(e) {
+        b.label(le, l);
+    }
+    for t in kg.types_of(e) {
+        b.typed(le, kg.type_name(t));
+    }
+    for c in kg.categories_of(e) {
+        b.categorized(le, kg.category_name(c));
+    }
+    for (p, lit) in kg.literals(e) {
+        b.literal_triple(le, p, lit.clone());
+    }
+    for a in kg.aliases(e) {
+        b.redirect(a.clone(), le);
+    }
+    le
 }
 
 /// Split a finished graph into a base graph plus a [`DeltaBatch`] holding
@@ -367,32 +438,9 @@ pub fn split_incremental(kg: &KnowledgeGraph, fraction: f64) -> (KnowledgeGraph,
     let mut b = KgBuilder::new();
     // replicate the full dictionaries and all per-entity facets in id
     // order, so base ids equal source ids
-    for p in kg.predicate_ids() {
-        b.predicate(kg.predicate_name(p));
-    }
-    for t in kg.type_ids() {
-        b.declare_type(kg.type_name(t));
-    }
-    for c in kg.category_ids() {
-        b.declare_category(kg.category_name(c));
-    }
+    replicate_dictionaries(&mut b, kg);
     for e in kg.entity_ids() {
-        let le = b.entity(kg.entity_name(e));
-        if let Some(l) = kg.label(e) {
-            b.label(le, l);
-        }
-        for t in kg.types_of(e) {
-            b.typed(le, kg.type_name(t));
-        }
-        for c in kg.categories_of(e) {
-            b.categorized(le, kg.category_name(c));
-        }
-        for (p, lit) in kg.literals(e) {
-            b.literal_triple(le, p, lit.clone());
-        }
-        for a in kg.aliases(e) {
-            b.redirect(a.clone(), le);
-        }
+        replay_entity_facets(&mut b, kg, e);
     }
     let triples: Vec<_> = kg.entity_triples().collect();
     let cut = ((triples.len() as f64) * fraction.clamp(0.0, 1.0)) as usize;
@@ -410,6 +458,94 @@ pub fn split_incremental(kg: &KnowledgeGraph, fraction: f64) -> (KnowledgeGraph,
         );
     }
     (b.finish(), delta)
+}
+
+/// Split a finished graph into a base over its first `base_fraction`
+/// entities plus **up to** `batches` ordered [`DeltaBatch`]es that each
+/// *mint* the next slice of entities — the growth workload that
+/// degenerates a [`ShardedGraph`](crate::ShardedGraph): every returned
+/// batch introduces new entities, so the sharded apply appends one
+/// trailing shard per batch. When the trailing slice holds fewer
+/// entities than `batches` the list is shorter (no empty batches are
+/// fabricated), and `base_fraction >= 1.0` yields an id-identical clone
+/// of `kg` with no batches at all — callers wanting exactly `n`
+/// trailing shards should check `batches.len()`.
+///
+/// The base replicates the full dictionaries (so dense
+/// predicate/type/category ids never move) and holds entities
+/// `0..cut` with all their facets plus every triple internal to them.
+/// Batch `k` declares its entity slice **in ascending id order first**
+/// (so the appended global ids equal the source ids), then the slice's
+/// facets, then every triple whose later endpoint falls in the slice.
+/// Applying all batches therefore reproduces the source graph's extents
+/// — and hence its rankings — exactly, through the single-graph or the
+/// sharded apply alike.
+pub fn split_growth(
+    kg: &KnowledgeGraph,
+    base_fraction: f64,
+    batches: usize,
+) -> (KnowledgeGraph, Vec<DeltaBatch>) {
+    let n = kg.entity_count();
+    let cut = (((n as f64) * base_fraction.clamp(0.0, 1.0)) as usize).min(n);
+    let mut b = KgBuilder::new();
+    replicate_dictionaries(&mut b, kg);
+    for raw in 0..cut as u32 {
+        replay_entity_facets(&mut b, kg, EntityId::new(raw));
+    }
+    let triples: Vec<_> = kg.entity_triples().collect();
+    for t in &triples {
+        let o = t.object.as_entity().expect("entity triple");
+        if (t.subject.index() < cut) && (o.index() < cut) {
+            b.triple(t.subject, t.predicate, o);
+        }
+    }
+    let base = b.finish();
+
+    let batches = batches.max(1);
+    let chunk = (n - cut).div_ceil(batches).max(1);
+    let mut out: Vec<DeltaBatch> = Vec::with_capacity(batches);
+    let mut lo = cut;
+    while lo < n {
+        let hi = (lo + chunk).min(n);
+        let mut d = DeltaBatch::new();
+        // entities first, ascending, so appended ids equal source ids
+        for raw in lo as u32..hi as u32 {
+            d.entity(kg.entity_name(EntityId::new(raw)));
+        }
+        for raw in lo as u32..hi as u32 {
+            let e = EntityId::new(raw);
+            if let Some(l) = kg.label(e) {
+                d.label(kg.entity_name(e), l);
+            }
+            for t in kg.types_of(e) {
+                d.typed(kg.entity_name(e), kg.type_name(t));
+            }
+            for c in kg.categories_of(e) {
+                d.categorized(kg.entity_name(e), kg.category_name(c));
+            }
+            for (p, lit) in kg.literals(e) {
+                d.literal(kg.entity_name(e), kg.predicate_name(p), lit.clone());
+            }
+            for a in kg.aliases(e) {
+                d.redirect(a.clone(), kg.entity_name(e));
+            }
+        }
+        // triples become appendable when their later endpoint exists
+        for t in &triples {
+            let o = t.object.as_entity().expect("entity triple");
+            let latest = t.subject.index().max(o.index());
+            if (lo..hi).contains(&latest) {
+                d.triple(
+                    kg.entity_name(t.subject),
+                    kg.predicate_name(t.predicate),
+                    kg.entity_name(o),
+                );
+            }
+        }
+        out.push(d);
+        lo = hi;
+    }
+    (base, out)
 }
 
 #[cfg(test)]
@@ -443,6 +579,47 @@ mod tests {
         assert_eq!(kg.label(a), Some("The A"));
         assert_eq!(kg.aliases(a), &["Ay".to_owned()]);
         assert!(kg.has_type(a, kg.type_id("T").unwrap()));
+    }
+
+    #[test]
+    fn split_growth_round_trips_and_grows_one_trailing_shard_per_batch() {
+        let kg = crate::datagen::generate(&crate::datagen::DatagenConfig::tiny());
+        let (base, batches) = split_growth(&kg, 0.7, 3);
+        assert_eq!(batches.len(), 3);
+        assert!(base.entity_count() < kg.entity_count());
+
+        // single-graph apply reproduces ids, extents and facets exactly
+        let mut single = split_growth(&kg, 0.7, 3).0;
+        for d in &batches {
+            single.apply(d);
+        }
+        assert_eq!(single.entity_count(), kg.entity_count());
+        assert_eq!(single.relation_count(), kg.relation_count());
+        assert_eq!(single.triple_count(), kg.triple_count());
+        for e in kg.entity_ids() {
+            assert_eq!(single.entity_name(e), kg.entity_name(e), "ids preserved");
+            assert_eq!(single.label(e), kg.label(e));
+            assert_eq!(single.aliases(e), kg.aliases(e));
+            assert_eq!(single.literals(e).count(), kg.literals(e).count());
+            for p in kg.out_predicates(e) {
+                assert_eq!(single.objects(e, p), kg.objects(e, p));
+            }
+        }
+        for t in kg.type_ids() {
+            assert_eq!(single.type_extent(t), kg.type_extent(t));
+        }
+
+        // sharded apply: every batch mints entities, so each appends one
+        // trailing shard — the degeneration compaction exists to undo
+        let mut sg = crate::ShardedGraph::from_graph(&base, 2);
+        for (i, d) in batches.iter().enumerate() {
+            sg.apply(d);
+            assert_eq!(sg.trailing_shard_count(), i + 1);
+        }
+        assert_eq!(sg.entity_count(), kg.entity_count());
+        for t in kg.type_ids() {
+            assert_eq!(sg.type_extent(t), kg.type_extent(t).to_vec());
+        }
     }
 
     #[test]

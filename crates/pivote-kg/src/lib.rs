@@ -47,11 +47,17 @@ pub mod store;
 pub mod triple;
 
 pub use datagen::{generate, DatagenConfig, Zipf};
-pub use delta::{incremental_from_env, split_incremental, AppliedDelta, DeltaBatch, DeltaOp};
+pub use delta::{
+    incremental_from_env, split_growth, split_incremental, AppliedDelta, CompactionReceipt,
+    DeltaBatch, DeltaOp,
+};
 pub use id::{CategoryId, EntityId, LiteralId, PredicateId, TypeId};
 pub use interner::Interner;
 pub use ntriples::{parse, parse_into_builder, parse_into_delta, serialize, ParseError};
-pub use shard::{shard_counts_from_env, GraphShard, ShardRouter, ShardedGraph};
+pub use shard::{
+    compact_from_env, shard_counts_from_env, CompactionPolicy, GraphShard, ShardRouter,
+    ShardedGraph,
+};
 pub use snapshot::{load_from_path, save_to_path, SnapshotError};
 pub use stats::{Coupling, TypeCouplingStats};
 pub use store::{GraphSummary, KgBuilder, KnowledgeGraph};

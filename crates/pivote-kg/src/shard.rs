@@ -40,6 +40,14 @@ use crate::id::{CategoryId, EntityId, PredicateId, TypeId};
 use crate::store::{KgBuilder, KnowledgeGraph};
 use crate::triple::Literal;
 
+/// Whether the `PIVOTE_COMPACT=1` environment leg is active — the CI
+/// hook that routes graph construction through the sharded
+/// append-then-compact path (base partition + delta batches growing
+/// trailing shards + [`ShardedGraph::compact`] + union rebuild).
+pub fn compact_from_env() -> bool {
+    crate::delta::env_flag("PIVOTE_COMPACT")
+}
+
 /// Shard counts for a test/benchmark matrix, from the `PIVOTE_SHARDS`
 /// environment variable (comma-separated, e.g. `PIVOTE_SHARDS=1,4`), or
 /// `default` when unset/unparsable. This is the hook the CI sharded
@@ -208,8 +216,19 @@ pub struct ShardedGraph {
     shards: Vec<GraphShard>,
     relation_count: usize,
     triple_count: usize,
-    /// Bumped by every [`ShardedGraph::apply`]; 0 for a fresh partition.
+    /// Bumped by every [`ShardedGraph::apply`] and every
+    /// [`ShardedGraph::compact`]; 0 for a fresh partition.
     generation: u64,
+    /// Shard count of the last deliberate partition
+    /// ([`ShardedGraph::from_graph`] or [`ShardedGraph::compact`]);
+    /// shards beyond this are the *trailing* shards appended by deltas.
+    base_shards: usize,
+    /// Number of compaction passes this partition descends from (0 for
+    /// `from_graph`). Within one epoch shards are only ever appended —
+    /// never reordered, resized or replaced — which is what lets
+    /// per-shard derived state (e.g. search indexes) be reused
+    /// positionally across appends but never across a re-partition.
+    compaction_epoch: u64,
 }
 
 impl ShardedGraph {
@@ -243,15 +262,7 @@ impl ShardedGraph {
                 let mut b = KgBuilder::new();
                 // replicate the dictionaries in global id order so dense
                 // predicate/type/category ids match the source graph
-                for p in kg.predicate_ids() {
-                    b.predicate(kg.predicate_name(p));
-                }
-                for t in kg.type_ids() {
-                    b.declare_type(kg.type_name(t));
-                }
-                for c in kg.category_ids() {
-                    b.declare_category(kg.category_name(c));
-                }
+                crate::delta::replicate_dictionaries(&mut b, kg);
                 // owned entities first, ascending; then ghosts, ascending
                 let mut local_to_global: Vec<EntityId> = Vec::with_capacity(owned_count);
                 for g in range.clone() {
@@ -275,25 +286,11 @@ impl ShardedGraph {
                         EntityId::new((owned_count + idx) as u32)
                     }
                 };
-                // owned-only facets: labels, memberships, literals, aliases
+                // owned-only facets: labels, memberships, literals,
+                // aliases (b.entity returns the interned owned local)
                 for g in range.clone() {
-                    let ge = EntityId::new(g);
-                    let le = EntityId::new(g - base);
-                    if let Some(l) = kg.label(ge) {
-                        b.label(le, l);
-                    }
-                    for t in kg.types_of(ge) {
-                        b.typed(le, kg.type_name(t));
-                    }
-                    for c in kg.categories_of(ge) {
-                        b.categorized(le, kg.category_name(c));
-                    }
-                    for (p, lit) in kg.literals(ge) {
-                        b.literal_triple(le, p, lit.clone());
-                    }
-                    for a in kg.aliases(ge) {
-                        b.redirect(a.clone(), le);
-                    }
+                    let le = crate::delta::replay_entity_facets(&mut b, kg, EntityId::new(g));
+                    debug_assert_eq!(le.raw(), g - base);
                 }
                 for &(s, p, o) in &triples[i] {
                     b.triple(to_local(s), p, to_local(o));
@@ -313,19 +310,102 @@ impl ShardedGraph {
             })
             .collect();
 
+        let base_shards = router.shard_count();
         Self {
             router,
             shards: built,
             relation_count: kg.relation_count(),
             triple_count: kg.triple_count(),
             generation: 0,
+            base_shards,
+            compaction_epoch: 0,
         }
     }
 
+    /// Number of compaction passes this partition descends from —
+    /// bumped by [`ShardedGraph::compact`], untouched by appends. A
+    /// changed epoch means the shard list was rebuilt wholesale, so any
+    /// per-shard derived state (per-shard search indexes, say) keyed by
+    /// shard position is invalid; within one epoch, per-shard state
+    /// stays valid as long as that shard's local
+    /// [`KnowledgeGraph::generation`] is unchanged.
+    pub fn compaction_epoch(&self) -> u64 {
+        self.compaction_epoch
+    }
+
     /// The mutation generation: 0 for a fresh partition, bumped by every
-    /// [`ShardedGraph::apply`].
+    /// [`ShardedGraph::apply`] and every [`ShardedGraph::compact`].
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Number of *trailing* shards: shards appended by deltas since the
+    /// last deliberate partition ([`ShardedGraph::from_graph`] or
+    /// [`ShardedGraph::compact`]). Every query fans out over
+    /// base + trailing shards, so a growing tail degrades per-query
+    /// latency linearly — the quantity [`CompactionPolicy`] watches.
+    pub fn trailing_shard_count(&self) -> usize {
+        self.shards.len() - self.base_shards
+    }
+
+    /// Fraction of all owned entities living in trailing shards
+    /// (0.0 for a freshly partitioned or just-compacted graph).
+    pub fn tail_owned_fraction(&self) -> f64 {
+        let tail: usize = self.shards[self.base_shards..]
+            .iter()
+            .map(|s| s.owned_count())
+            .sum();
+        tail as f64 / self.entity_count().max(1) as f64
+    }
+
+    /// Materialize the logical single graph this partition represents —
+    /// the union-rebuild half of compaction. Dense ids are preserved
+    /// exactly: dictionaries are replayed in global id order, entities in
+    /// ascending global id order with their owned facets, then every
+    /// entity triple once (from its subject's home shard, which stores
+    /// all incident triples). The result is id-identical to the
+    /// [`KnowledgeGraph`] that `from_graph` + the applied deltas
+    /// logically describe, so rankings over it are bit-identical.
+    pub fn to_graph(&self) -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        crate::delta::replicate_dictionaries(&mut b, self.dict());
+        for g in self.entity_ids() {
+            // the home shard's local graph carries the entity's owned
+            // facets under the replicated (global) dictionary ids
+            let (shard, local) = self.home(g);
+            let le = crate::delta::replay_entity_facets(&mut b, shard.graph(), local);
+            debug_assert_eq!(le, g, "union rebuild must preserve entity ids");
+        }
+        for g in self.entity_ids() {
+            let (shard, local) = self.home(g);
+            for (p, o) in shard.graph().out_edges(local) {
+                b.triple(g, p, shard.to_global(o));
+            }
+        }
+        b.finish()
+    }
+
+    /// Re-partition into `target_shards` fresh entity-id-range shards —
+    /// the offline compaction pass for a graph whose trailing shards have
+    /// accumulated. An offline union rebuild ([`ShardedGraph::to_graph`])
+    /// feeds [`ShardedGraph::from_graph`], so the result carries all the
+    /// remap and dictionary-replication invariants of a fresh partition:
+    /// owned-first dense locals, globally sorted concatenated extents,
+    /// identical dense dictionary ids. Every global id — entity,
+    /// predicate, type, category — is unchanged, which is what makes
+    /// compaction answer-preserving: rankings, heat maps and profiles
+    /// over the compacted graph are bit-identical to the uncompacted one
+    /// (enforced by `tests/compaction_equivalence.rs` and
+    /// `tests/golden_compaction.rs`).
+    ///
+    /// The compacted graph starts a new generation (`generation + 1`),
+    /// observable through [`ShardedGraph::generation`] and, on the live
+    /// wrapper, through the shared cache's generation counter.
+    pub fn compact(&self, target_shards: usize) -> ShardedGraph {
+        let mut fresh = ShardedGraph::from_graph(&self.to_graph(), target_shards);
+        fresh.generation = self.generation + 1;
+        fresh.compaction_epoch = self.compaction_epoch + 1;
+        fresh
     }
 
     /// Append a [`DeltaBatch`], routing every statement to the shard(s)
@@ -355,8 +435,8 @@ impl ShardedGraph {
     /// Note: every batch that introduces entities appends one shard, so
     /// a long sequence of tiny deltas grows the shard count (and the
     /// per-query shard iteration) linearly — re-partition via
-    /// [`ShardedGraph::from_graph`] when the tail shards accumulate
-    /// (compaction is a ROADMAP item).
+    /// [`ShardedGraph::compact`] when [`CompactionPolicy`] judges the
+    /// tail degenerate.
     pub fn apply(&mut self, delta: &DeltaBatch) -> AppliedDelta {
         use crate::delta::DeltaOp;
         use std::collections::{HashMap, HashSet};
@@ -649,16 +729,7 @@ impl ShardedGraph {
             let mut b = KgBuilder::new();
             // replicate the updated dictionaries (shard 0 already applied
             // the declares) in global order
-            let dict = self.shards[0].graph();
-            for p in dict.predicate_ids() {
-                b.predicate(dict.predicate_name(p));
-            }
-            for t in dict.type_ids() {
-                b.declare_type(dict.type_name(t));
-            }
-            for c in dict.category_ids() {
-                b.declare_category(dict.category_name(c));
-            }
+            crate::delta::replicate_dictionaries(&mut b, self.shards[0].graph());
             // owned entities: the appended global range, dense and in
             // ascending global order
             let mut local_to_global: Vec<EntityId> = Vec::with_capacity(new_names.len());
@@ -992,6 +1063,44 @@ impl ShardedGraph {
     }
 }
 
+/// When is a grown [`ShardedGraph`] degenerate enough to re-partition?
+///
+/// Every delta batch that introduces entities appends one trailing
+/// shard, so a long-lived live graph accumulates small tail shards and
+/// every query's per-shard fan-out grows with them. The policy triggers
+/// compaction on either axis:
+///
+/// - **Count**: more than `max_trailing` trailing shards — per-query
+///   iteration cost, independent of how small the shards are.
+/// - **Mass**: trailing shards own more than `max_tail_fraction` of all
+///   entities — the uniform-range partition no longer reflects the data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Maximum tolerated number of trailing shards.
+    pub max_trailing: usize,
+    /// Maximum tolerated fraction of entities owned by trailing shards.
+    pub max_tail_fraction: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        Self {
+            max_trailing: 8,
+            max_tail_fraction: 0.1,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// Whether `sg` has degenerated past this policy's thresholds and
+    /// should be re-partitioned via [`ShardedGraph::compact`].
+    pub fn needs_compaction(&self, sg: &ShardedGraph) -> bool {
+        let trailing = sg.trailing_shard_count();
+        trailing > self.max_trailing
+            || (trailing > 0 && sg.tail_owned_fraction() > self.max_tail_fraction)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1312,6 +1421,59 @@ mod tests {
         }
 
         #[test]
+        fn ghost_lookup_stays_sorted_under_out_of_order_interning() {
+            // deltas intern ghosts in delta-op order, which is arbitrary
+            // in global-id space; the lookup vector must stay sorted on
+            // insert so GraphShard::to_local stays a binary search
+            let base = generate(&DatagenConfig::tiny());
+            let mut sg = ShardedGraph::from_graph(&base, 2);
+            let n0 = base.entity_count() as u32;
+            // apply 1: mint four fresh entities (a trailing shard owning
+            // globals n0..n0+4, guaranteed unknown to shards 0 and 1)
+            let mut d1 = DeltaBatch::new();
+            for i in 0..4 {
+                d1.entity(format!("Fresh_Ghost_{i}"));
+            }
+            sg.apply(&d1);
+            // apply 2: wire them to shard-0-owned objects with subjects
+            // in shuffled global order — shard 0 interns the four ghosts
+            // as n0+3, n0+1, n0, n0+2 and must sorted-insert each
+            let ghosts_before = sg.shard(0).ghost_lookup.len();
+            let mut d2 = DeltaBatch::new();
+            for (i, fresh) in [3u32, 1, 0, 2].into_iter().enumerate() {
+                let o = base.entity_name(EntityId::new(i as u32)).to_owned();
+                d2.triple(format!("Fresh_Ghost_{fresh}"), "p_ghostly", o);
+            }
+            sg.apply(&d2);
+
+            assert_eq!(
+                sg.shard(0).ghost_lookup.len(),
+                ghosts_before + 4,
+                "shard 0 must have interned the four appended ghosts"
+            );
+            for (i, shard) in sg.shards().iter().enumerate() {
+                assert!(
+                    shard.ghost_lookup.windows(2).all(|w| w[0].0 < w[1].0),
+                    "shard {i}: ghost_lookup must stay strictly sorted by global id"
+                );
+                // binary-search lookup round-trips every interned local
+                for raw in 0..shard.graph().entity_count() as u32 {
+                    let local = EntityId::new(raw);
+                    let g = shard.to_global(local);
+                    assert_eq!(shard.to_local(g), Some(local), "shard {i}");
+                }
+            }
+            // every out-of-order edge landed and is reachable globally
+            let p = sg.predicate("p_ghostly").unwrap();
+            for (i, fresh) in [3u32, 1, 0, 2].into_iter().enumerate() {
+                let s = EntityId::new(n0 + fresh);
+                assert_eq!(sg.entity(&format!("Fresh_Ghost_{fresh}")), Some(s));
+                let o = EntityId::new(i as u32);
+                assert!(sg.out_edges(s).contains(&(p, o)), "edge {i} lost");
+            }
+        }
+
+        #[test]
         fn repeated_appends_accumulate() {
             let base = generate(&DatagenConfig::tiny());
             let mut sg = ShardedGraph::from_graph(&base, 2);
@@ -1336,6 +1498,131 @@ mod tests {
             let out = sg.out_edges(x1);
             assert_eq!(out.len(), 2);
             assert!(out.iter().all(|&(q, _)| q == p));
+        }
+    }
+
+    mod compaction {
+        use super::*;
+        use crate::delta::DeltaBatch;
+        use crate::ntriples;
+
+        /// Grow a 2-shard graph by three entity-minting deltas.
+        fn grown() -> (KnowledgeGraph, ShardedGraph, Vec<DeltaBatch>) {
+            let base = generate(&DatagenConfig::tiny());
+            let mut sg = ShardedGraph::from_graph(&base, 2);
+            let mut deltas = Vec::new();
+            for i in 0..3 {
+                let old = base.entity_name(EntityId::new(i)).to_owned();
+                let mut d = DeltaBatch::new();
+                d.triple(format!("Grown_{i}"), "grew_from", &old)
+                    .typed(format!("Grown_{i}"), "Film")
+                    .label(format!("Grown_{i}"), format!("Grown {i}"));
+                sg.apply(&d);
+                deltas.push(d);
+            }
+            (base, sg, deltas)
+        }
+
+        #[test]
+        fn to_graph_rebuilds_the_logical_union_id_identically() {
+            let (base, sg, deltas) = grown();
+            let union = {
+                let mut kg = base;
+                for d in &deltas {
+                    kg.apply(d);
+                }
+                kg
+            };
+            let rebuilt = sg.to_graph();
+            assert_eq!(rebuilt.entity_count(), union.entity_count());
+            assert_eq!(rebuilt.relation_count(), union.relation_count());
+            assert_eq!(rebuilt.triple_count(), union.triple_count());
+            // the N-Triples serialization is a full logical fingerprint
+            assert_eq!(ntriples::serialize(&rebuilt), ntriples::serialize(&union));
+            // and ids are preserved, not just names
+            for e in union.entity_ids() {
+                assert_eq!(rebuilt.entity_name(e), union.entity_name(e));
+            }
+            for p in union.predicate_ids() {
+                assert_eq!(rebuilt.predicate_name(p), union.predicate_name(p));
+            }
+        }
+
+        #[test]
+        fn compact_repartitions_without_changing_answers() {
+            let (base, sg, deltas) = grown();
+            assert_eq!(sg.trailing_shard_count(), 3);
+            assert_eq!(sg.generation(), 3);
+            let union = {
+                let mut kg = base;
+                for d in &deltas {
+                    kg.apply(d);
+                }
+                kg
+            };
+            for target in [1usize, 2, 3, 4] {
+                let compacted = sg.compact(target);
+                assert_eq!(compacted.shard_count(), target);
+                assert_eq!(compacted.trailing_shard_count(), 0);
+                assert_eq!(compacted.generation(), 4, "new generation stamp");
+                assert_eq!(compacted.entity_count(), union.entity_count());
+                assert_eq!(compacted.relation_count(), union.relation_count());
+                assert_eq!(compacted.triple_count(), union.triple_count());
+                let mut got: BTreeSet<(EntityId, PredicateId, EntityId)> = BTreeSet::new();
+                for shard in compacted.shards() {
+                    for t in shard.graph().entity_triples() {
+                        got.insert((
+                            shard.to_global(t.subject),
+                            t.predicate,
+                            shard.to_global(t.object.as_entity().unwrap()),
+                        ));
+                    }
+                }
+                assert_eq!(got, all_triples(&union), "target={target}");
+                for t in union.type_ids() {
+                    assert_eq!(compacted.type_extent(t), union.type_extent(t).to_vec());
+                }
+                for e in union.entity_ids() {
+                    assert_eq!(compacted.degree(e), union.degree(e));
+                    assert_eq!(compacted.label(e), union.label(e));
+                }
+            }
+        }
+
+        #[test]
+        fn compacted_graph_keeps_accepting_deltas() {
+            let (_, sg, _) = grown();
+            let mut compacted = sg.compact(2);
+            let mut d = DeltaBatch::new();
+            d.triple("Post_Compact", "grew_from", "Grown_0");
+            compacted.apply(&d);
+            assert_eq!(compacted.generation(), 5);
+            assert_eq!(compacted.trailing_shard_count(), 1);
+            let e = compacted.entity("Post_Compact").unwrap();
+            assert_eq!(compacted.degree(e), 1);
+        }
+
+        #[test]
+        fn policy_triggers_on_count_or_mass() {
+            let (_, sg, _) = grown();
+            // 3 trailing shards, each owning 1 of ~hundreds of entities
+            let by_count = CompactionPolicy {
+                max_trailing: 2,
+                max_tail_fraction: 1.0,
+            };
+            assert!(by_count.needs_compaction(&sg));
+            let by_mass = CompactionPolicy {
+                max_trailing: usize::MAX,
+                max_tail_fraction: 0.0,
+            };
+            assert!(by_mass.needs_compaction(&sg));
+            let tolerant = CompactionPolicy {
+                max_trailing: 8,
+                max_tail_fraction: 0.5,
+            };
+            assert!(!tolerant.needs_compaction(&sg));
+            // a fresh partition never needs compaction
+            assert!(!CompactionPolicy::default().needs_compaction(&sg.compact(2)));
         }
     }
 

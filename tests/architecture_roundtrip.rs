@@ -65,6 +65,55 @@ fn every_ui_area_of_fig3_is_populated() {
 }
 
 #[test]
+fn append_then_save_equals_rebuild_then_save() {
+    // the incremental store's per-row storage must not drift from what a
+    // from-scratch rebuild serializes: append-then-save is *byte*
+    // identical to rebuild-then-save, and loads back to the same logical
+    // graph — the guard that keeps snapshots portable across the build
+    // paths (rebuild, append, sharded append + union rebuild, compaction)
+    let kg = generate(&DatagenConfig::tiny());
+
+    let (mut appended, delta) = pivote_kg::split_incremental(&kg, 0.5);
+    appended.apply(&delta);
+    let rebuilt = pivote_kg::split_incremental(&kg, 1.0).0;
+
+    let mut via_append = Vec::new();
+    pivote_kg::snapshot::save(&appended, &mut via_append).unwrap();
+    let mut via_rebuild = Vec::new();
+    pivote_kg::snapshot::save(&rebuilt, &mut via_rebuild).unwrap();
+    let mut via_source = Vec::new();
+    pivote_kg::snapshot::save(&kg, &mut via_source).unwrap();
+    assert_eq!(
+        via_append, via_rebuild,
+        "append-then-save must serialize the exact bytes rebuild-then-save does"
+    );
+    assert_eq!(
+        via_rebuild, via_source,
+        "rebuild preserves the source bytes"
+    );
+
+    // the loaded graph is the same logical graph (N-Triples fingerprint)
+    let loaded = pivote_kg::snapshot::load(&mut via_append.as_slice()).unwrap();
+    assert_eq!(loaded.entity_count(), kg.entity_count());
+    assert_eq!(loaded.triple_count(), kg.triple_count());
+    assert_eq!(pivote_kg::serialize(&loaded), pivote_kg::serialize(&kg));
+
+    // and the sharded growth path — apply entity-minting batches through
+    // the router, compact, union-rebuild — snapshots to the same bytes
+    let (base, batches) = pivote_kg::split_growth(&kg, 0.7, 2);
+    let mut sg = pivote_kg::ShardedGraph::from_graph(&base, 2);
+    for b in &batches {
+        sg.apply(b);
+    }
+    let mut via_sharded = Vec::new();
+    pivote_kg::snapshot::save(&sg.to_graph(), &mut via_sharded).unwrap();
+    assert_eq!(via_sharded, via_source, "sharded append + union rebuild");
+    let mut via_compacted = Vec::new();
+    pivote_kg::snapshot::save(&sg.compact(3).to_graph(), &mut via_compacted).unwrap();
+    assert_eq!(via_compacted, via_source, "compaction + union rebuild");
+}
+
+#[test]
 fn recommendations_are_deterministic_across_sessions() {
     let kg = kg();
     let film = kg.type_id("Film").unwrap();

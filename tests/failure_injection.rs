@@ -2,8 +2,9 @@
 //! queries must degrade gracefully, never panic.
 
 use pivote::prelude::*;
-use pivote_core::Direction;
-use pivote_kg::parse;
+use pivote_core::{Direction, LiveShardedGraph, RankedEntity};
+use pivote_kg::{parse, DeltaBatch, ShardedGraph};
+use std::sync::Arc;
 
 #[test]
 fn malformed_ntriples_report_line_numbers() {
@@ -117,6 +118,95 @@ fn session_survives_nonsense_actions() {
     // lookup still works afterwards
     s.lookup(e);
     assert!(s.view().focus.is_some());
+}
+
+#[test]
+fn compaction_racing_queries_never_tears() {
+    // readers hammer a grown LiveShardedGraph while a compactor swaps in
+    // the re-partitioned graph; every reader must see either the old or
+    // the new generation — never a torn view — and because compaction is
+    // answer-preserving, every reader's rankings must equal the union's
+    // regardless of which side of the swap its read guard landed on
+    let kg = generate(&DatagenConfig::tiny());
+    let film = kg.type_id("Film").unwrap();
+    let seeds: Vec<EntityId> = kg.type_extent(film)[..2].to_vec();
+    let cfg = RankingConfig::default();
+
+    let live = Arc::new(LiveShardedGraph::with_threads(
+        ShardedGraph::from_graph(&kg, 2),
+        1,
+    ));
+    // grow four trailing shards, each minting a film wired to a seed
+    let mut deltas: Vec<DeltaBatch> = Vec::new();
+    for i in 0..4 {
+        let mut d = DeltaBatch::new();
+        d.triple(
+            format!("Raced_Compaction_Film_{i}"),
+            "starring",
+            kg.entity_name(seeds[i % 2]).to_owned(),
+        )
+        .typed(format!("Raced_Compaction_Film_{i}"), "Film");
+        live.append(&d);
+        deltas.push(d);
+    }
+    assert_eq!(live.shard_count(), 6);
+    let gen_before = live.generation();
+
+    // ground truth: the from-scratch union — valid before AND after the
+    // swap, which is exactly what makes the race assertable
+    let mut union = generate(&DatagenConfig::tiny());
+    for d in &deltas {
+        union.apply(d);
+    }
+    let fresh = pivote_core::QueryContext::with_threads(&union, 1);
+    let want_f = fresh.rank_features(&cfg, &seeds);
+    let want_e = fresh.rank_entities(&cfg, &seeds, &want_f);
+    let assert_matches = |entities: &[RankedEntity], what: &str| {
+        assert_eq!(entities.len(), want_e.len(), "{what}");
+        for (a, b) in entities.iter().zip(&want_e) {
+            assert_eq!(a.entity, b.entity, "{what}");
+            assert!((a.score - b.score).abs() == 0.0, "{what}: score tore");
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let live = Arc::clone(&live);
+            let seeds = seeds.clone();
+            let want_f = &want_f;
+            let assert_matches = &assert_matches;
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    let reader = live.read();
+                    let generation = reader.generation();
+                    assert!(
+                        generation == gen_before || generation == gen_before + 1,
+                        "readers see the old or the new generation, nothing else"
+                    );
+                    let ctx = reader.ctx();
+                    let features = ctx.rank_features(&cfg, &seeds);
+                    assert_eq!(&features, want_f, "features tore during the swap");
+                    let entities = ctx.rank_entities(&cfg, &seeds, &features);
+                    assert_matches(&entities, "racing reader");
+                }
+            });
+        }
+        let live = Arc::clone(&live);
+        scope.spawn(move || {
+            let receipt = live.compact_in_place(2);
+            assert_eq!(receipt.shards_before, 6);
+            assert_eq!(receipt.trailing_before, 4);
+        });
+    });
+
+    // converged: the swap landed, and the quiescent answer is the union's
+    assert_eq!(live.generation(), gen_before + 1);
+    assert_eq!(live.shard_count(), 2);
+    let reader = live.read();
+    let ctx = reader.ctx();
+    let features = ctx.rank_features(&cfg, &seeds);
+    assert_eq!(features, want_f);
+    assert_matches(&ctx.rank_entities(&cfg, &seeds, &features), "post-swap");
 }
 
 #[test]
