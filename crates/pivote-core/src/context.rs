@@ -143,6 +143,17 @@ impl Default for SharedCache {
     }
 }
 
+impl std::fmt::Debug for SharedCache {
+    /// Aggregate counters only — the maps are large and lock-guarded.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedCache")
+            .field("generation", &self.generation())
+            .field("features", &self.feature_count())
+            .field("cached_probabilities", &self.cached_probability_count())
+            .finish()
+    }
+}
+
 impl SharedCache {
     /// A fresh, empty cache at generation 0.
     pub fn new() -> Self {
@@ -316,6 +327,52 @@ impl SharedCache {
     /// cannot outlive the swap.
     pub fn note_compaction(&self) -> u64 {
         self.generation.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Export the cache's warm state: every interned feature in dense-id
+    /// order and every cached `p(π|c)` density, sorted by key so the
+    /// serialized sidecar is deterministic. The backing store for
+    /// [`crate::warm`]'s persisted warm-state files.
+    pub(crate) fn export_entries(&self) -> (Vec<SemanticFeature>, Vec<(u64, f64)>) {
+        let features = self
+            .registry
+            .read()
+            .expect("registry poisoned")
+            .features
+            .clone();
+        let mut probs: Vec<(u64, f64)> = self
+            .prob_shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("prob shard poisoned")
+                    .iter()
+                    .map(|(&k, &v)| (k, v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        probs.sort_unstable_by_key(|&(k, _)| k);
+        (features, probs)
+    }
+
+    /// Rebuild a cache from exported warm state. Features are re-interned
+    /// in their original dense-id order (feature ids are append-stable,
+    /// so the keys of `probs` resolve to the same `(π, c)` pairs), and
+    /// the generation restarts at 0 — the caller pairs the cache with a
+    /// graph whose generation the sidecar's header was checked against.
+    pub(crate) fn import_entries(features: Vec<SemanticFeature>, probs: Vec<(u64, f64)>) -> Self {
+        let cache = Self::new();
+        {
+            let mut reg = cache.registry.write().expect("registry poisoned");
+            for (i, sf) in features.iter().enumerate() {
+                reg.ids.insert(*sf, i as u32);
+            }
+            reg.features = features;
+        }
+        for (key, p) in probs {
+            cache.prob_insert(key, p);
+        }
+        cache
     }
 }
 

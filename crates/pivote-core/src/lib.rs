@@ -16,9 +16,13 @@
 //!   per-shard top-k heaps into bit-identical global rankings;
 //! - [`handle`]: [`GraphHandle`], the backend-agnostic enum (single |
 //!   sharded) every engine holds;
-//! - [`live`]: [`LiveGraph`]/[`LiveShardedGraph`] — append-while-querying
-//!   wrappers whose guard-scoped contexts share one generation-stamped
-//!   [`SharedCache`] across queries, sessions and appends;
+//! - [`live`]: [`LiveStore`] — the append-while-querying wrapper over
+//!   either backend whose guard-scoped handles share one
+//!   generation-stamped [`SharedCache`] across queries, sessions,
+//!   appends *and* compactions, with off-lock concurrent compaction and
+//!   a background [`MaintenanceHandle`];
+//! - [`warm`]: persisted context warm-state — the `p(π|c)` cache as a
+//!   generation-checked sidecar next to the graph snapshot;
 //! - [`ranking`]: `r(π,Q) = d(π)·c(π,Q)` and
 //!   `r(e,Q) = Σ p(π|e)·r(π,Q)` with error-tolerant category smoothing;
 //! - [`expansion`]: entity set expansion over structured queries (seeds +
@@ -54,6 +58,7 @@ pub mod heatmap;
 pub mod live;
 pub mod ranking;
 pub mod sharded;
+pub mod warm;
 
 pub use config::RankingConfig;
 pub use context::{top_k_ranked, FeatureId, QueryContext, SharedCache};
@@ -62,6 +67,11 @@ pub use explain::{explain_cell, explain_pair, CellExplanation, PairExplanation};
 pub use feature::{features_of, Direction, SemanticFeature};
 pub use handle::GraphHandle;
 pub use heatmap::{HeatMap, HEAT_LEVELS};
-pub use live::{LiveGraph, LiveReader, LiveShardedGraph, LiveShardedReader};
+pub use live::{
+    maintenance_from_env, LiveReader, LiveStore, MaintenanceHandle, MAX_OFFLOCK_ATTEMPTS,
+};
+#[allow(deprecated)]
+pub use live::{LiveGraph, LiveShardedGraph, LiveShardedReader};
 pub use ranking::{RankedEntity, RankedFeature, Ranker};
 pub use sharded::ShardedContext;
+pub use warm::{load_warm_state, save_warm_state, warm_sidecar_path, WarmStateError};

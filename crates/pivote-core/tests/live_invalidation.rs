@@ -6,11 +6,11 @@
 //!   observable through the [`SharedCache`] probe API and its generation
 //!   counter — and every untouched density survives;
 //! - the same precision holds for the sharded backend's shared cache;
-//! - appends racing queries on one shared [`LiveGraph`] never produce a
+//! - appends racing queries on one shared [`LiveStore`] never produce a
 //!   torn read: at quiescence the rankings equal a from-scratch rebuild
 //!   of the union.
 
-use pivote_core::{LiveGraph, QueryContext, RankingConfig, SemanticFeature, ShardedContext};
+use pivote_core::{LiveStore, QueryContext, RankingConfig, SemanticFeature, ShardedContext};
 use pivote_kg::{generate, DatagenConfig, DeltaBatch, EntityId, KnowledgeGraph, ShardedGraph};
 use std::sync::Arc;
 
@@ -35,7 +35,7 @@ fn fixture(kg: &KnowledgeGraph) -> (SemanticFeature, SemanticFeature) {
 
 #[test]
 fn append_drops_exactly_the_touched_densities() {
-    let live = LiveGraph::with_threads(base(), 1);
+    let live = LiveStore::with_threads(base(), 1);
     let (touched_sf, untouched_sf, cat_touched, cat_untouched, anchor_name) = {
         let reader = live.read();
         let kg = reader.kg();
@@ -154,7 +154,7 @@ fn sharded_cache_invalidates_with_the_same_precision() {
 #[test]
 fn appends_racing_queries_converge_to_the_union() {
     let cfg = RankingConfig::default();
-    let live = Arc::new(LiveGraph::with_threads(base(), 1));
+    let live = Arc::new(LiveStore::with_threads(base(), 1));
     let (seeds, star_names) = {
         let reader = live.read();
         let kg = reader.kg();

@@ -35,12 +35,13 @@
 //!
 //! Usage: `cargo run --release -p pivote-eval --bin exp_scaling [max_films]`
 
-use pivote_core::{Expander, GraphHandle, HeatMap, RankingConfig, SfQuery};
+use pivote_core::{Expander, GraphHandle, HeatMap, LiveStore, RankingConfig, SfQuery};
 use pivote_kg::{
     generate, split_growth, split_incremental, DatagenConfig, EntityId, KnowledgeGraph,
     ShardedGraph,
 };
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 #[derive(Clone, Copy)]
@@ -401,6 +402,143 @@ fn write_compact_json(rows: &[CompactRow], cores: usize, path: &str) {
     }
 }
 
+/// One blocked-time measurement: queries hammering a live store while a
+/// compaction pass runs, under the stop-the-world path
+/// (`compact_in_place`) vs the off-lock path (`compact_concurrent`).
+/// On a single-core host throughput is meaningless, so the row reports
+/// **blocked time**: how long each query waited to acquire its read
+/// guard while the pass was in flight.
+struct LiveCompactRow {
+    films: usize,
+    mode: &'static str,
+    trailing: usize,
+    compact_ms: f64,
+    queries: usize,
+    max_blocked_ms: f64,
+    mean_blocked_ms: f64,
+}
+
+fn live_compaction_sweep(kg: &KnowledgeGraph, films: usize) -> Vec<LiveCompactRow> {
+    let film = kg.type_id("Film").expect("Film type");
+    let seeds: Vec<EntityId> = kg.type_extent(film)[..3].to_vec();
+    let cfg = RankingConfig::default();
+    ["in_place", "concurrent"]
+        .into_iter()
+        .map(|mode| {
+            let (base, batches) = split_growth(kg, 0.9, 32);
+            let store = LiveStore::with_threads(ShardedGraph::from_graph(&base, 2), 1);
+            for b in &batches {
+                store.append(b);
+            }
+            let trailing = store.trailing_shard_count();
+            // warm the shared cache so the racing queries measure lock
+            // acquisition + steady-state ranking, not first-touch fills
+            {
+                let reader = store.read();
+                let handle = reader.handle();
+                let f = handle.rank_features(&cfg, &seeds);
+                let _ = handle.rank_entities(&cfg, &seeds, &f);
+            }
+            let done = AtomicBool::new(false);
+            let mut blocked_ms: Vec<f64> = Vec::new();
+            let mut compact_ms = 0.0f64;
+            std::thread::scope(|scope| {
+                let compactor = scope.spawn(|| {
+                    let t = Instant::now();
+                    let receipt = match mode {
+                        "in_place" => store.compact_in_place(2),
+                        _ => store.compact_concurrent(2),
+                    };
+                    let ms = t.elapsed().as_secs_f64() * 1e3;
+                    done.store(true, Ordering::SeqCst);
+                    assert_eq!(receipt.shards_after, 2);
+                    ms
+                });
+                // issue queries until the pass lands, timing how long
+                // each one waits for its read guard
+                while !done.load(Ordering::SeqCst) {
+                    let t0 = Instant::now();
+                    let reader = store.read();
+                    blocked_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                    let _ = reader.handle().rank_features(&cfg, &seeds);
+                    drop(reader);
+                    // yield so the compactor makes progress on a
+                    // single-core host
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                compact_ms = compactor.join().expect("compactor thread");
+            });
+            let queries = blocked_ms.len();
+            let max_blocked_ms = blocked_ms.iter().copied().fold(0.0, f64::max);
+            let mean_blocked_ms = if queries == 0 {
+                0.0
+            } else {
+                blocked_ms.iter().sum::<f64>() / queries as f64
+            };
+            LiveCompactRow {
+                films,
+                mode,
+                trailing,
+                compact_ms,
+                queries,
+                max_blocked_ms,
+                mean_blocked_ms,
+            }
+        })
+        .collect()
+}
+
+fn print_live_compact_row(r: &LiveCompactRow) {
+    println!(
+        "{:>8} {:>11} {:>9} {:>11.2} {:>8} {:>15.2} {:>15.3}",
+        r.films, r.mode, r.trailing, r.compact_ms, r.queries, r.max_blocked_ms, r.mean_blocked_ms
+    );
+}
+
+fn write_live_compact_json(rows: &[LiveCompactRow], cores: usize, path: &str) {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"schema\": \"pivote-live-compaction-blocked-time/1\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"label\": \"query blocked-time while a live compaction pass runs: \
+         stop-the-world LiveStore::compact_in_place (rebuild under the write lock) vs \
+         LiveStore::compact_concurrent (off-lock rebuild, generation-validated swap); \
+         single-core host, so blocked-time — not throughput — is the comparable metric\","
+    );
+    let _ = writeln!(out, "  \"host_cpus\": {cores},");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p pivote-eval --bin exp_scaling\","
+    );
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"films\": {}, \"mode\": \"{}\", \"trailing_shards\": {}, \
+             \"compact_ms\": {:.3}, \"queries_during_pass\": {}, \
+             \"max_blocked_ms\": {:.3}, \"mean_blocked_ms\": {:.3}}}{comma}",
+            r.films,
+            r.mode,
+            r.trailing,
+            r.compact_ms,
+            r.queries,
+            r.max_blocked_ms,
+            r.mean_blocked_ms
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("\nwrote {} rows to {path}", rows.len());
+    }
+}
+
 fn main() {
     let max_films: usize = std::env::args()
         .nth(1)
@@ -428,6 +566,7 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut append_rows: Vec<AppendRow> = Vec::new();
     let mut compact_rows: Vec<CompactRow> = Vec::new();
+    let mut live_compact_rows: Vec<LiveCompactRow> = Vec::new();
     let last_size = sizes.last().copied();
     for films in sizes {
         let kg = generate(&DatagenConfig::scaled(films, 7));
@@ -437,10 +576,11 @@ fn main() {
         // splice's work counter must stay far below the graph size
         append_rows.push(append_sweep(&kg, films, 0.9));
         append_rows.push(append_sweep(&kg, films, 0.998));
-        // compaction sweep only at the largest size, inside the loop so
+        // compaction sweeps only at the largest size, inside the loop so
         // the graph is dropped with its iteration (no doubled peak RSS)
         if Some(films) == last_size {
             compact_rows = compaction_sweep(&kg, films, cores);
+            live_compact_rows = live_compaction_sweep(&kg, films);
         }
     }
     write_json(&rows, cores, &out_path);
@@ -477,5 +617,27 @@ fn main() {
         }
         let compact_out = std::env::var("BENCH4_OUT").unwrap_or_else(|_| "BENCH_4.json".to_owned());
         write_compact_json(&compact_rows, cores, &compact_out);
+    }
+
+    // blocked-time during a live compaction pass: stop-the-world
+    // compact_in_place vs off-lock compact_concurrent — the payoff of
+    // moving the rebuild off the write lock
+    if !live_compact_rows.is_empty() {
+        println!("\n== live compaction: query blocked-time, in_place vs concurrent ==");
+        println!(
+            "{:>8} {:>11} {:>9} {:>11} {:>8} {:>15} {:>15}",
+            "films",
+            "mode",
+            "trailing",
+            "compact_ms",
+            "queries",
+            "max_blocked_ms",
+            "mean_blocked_ms"
+        );
+        for r in &live_compact_rows {
+            print_live_compact_row(r);
+        }
+        let live_out = std::env::var("BENCH5_OUT").unwrap_or_else(|_| "BENCH_5.json".to_owned());
+        write_live_compact_json(&live_compact_rows, cores, &live_out);
     }
 }

@@ -31,9 +31,61 @@ use std::collections::HashSet;
 /// union-rebuild with `ShardedGraph::to_graph`. Compaction is
 /// answer-preserving (see `tests/compaction_equivalence.rs`), so this
 /// leg too must reproduce every metric and golden ranking unchanged.
+///
+/// Under `PIVOTE_MAINTENANCE=1` (taking precedence over both) the same
+/// growth batches are driven through a live
+/// [`pivote_core::LiveStore`] with a background
+/// [`pivote_core::MaintenanceHandle`] ticking an aggressive
+/// [`pivote_kg::CompactionPolicy`]: the maintenance thread — not the
+/// append path — absorbs every trailing shard via the off-lock
+/// concurrent compaction, and the union the store then holds must
+/// still reproduce every metric and golden ranking unchanged.
 pub fn eval_graph(cfg: &pivote_kg::DatagenConfig) -> KnowledgeGraph {
     let kg = pivote_kg::generate(cfg);
-    if pivote_kg::compact_from_env() {
+    if pivote_core::maintenance_from_env() {
+        use std::sync::Arc;
+        use std::time::{Duration, Instant};
+        let (base, batches) = pivote_kg::split_growth(&kg, 0.6, 3);
+        let store = Arc::new(pivote_core::LiveStore::with_threads(
+            pivote_kg::ShardedGraph::from_graph(&base, 2),
+            1,
+        ));
+        let mut maintenance = pivote_core::MaintenanceHandle::spawn(
+            Arc::clone(&store),
+            pivote_kg::CompactionPolicy {
+                max_trailing: 0,
+                max_tail_fraction: 1.0,
+            },
+            2,
+            Duration::from_millis(1),
+        );
+        for batch in &batches {
+            store.append(batch);
+        }
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while store.trailing_shard_count() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        maintenance.stop();
+        assert_eq!(
+            store.trailing_shard_count(),
+            0,
+            "the maintenance thread must absorb every trailing shard"
+        );
+        assert!(maintenance.passes() >= 1, "at least one background pass");
+        let out = Arc::try_unwrap(store)
+            .ok()
+            .expect("maintenance thread joined — no other store owners")
+            .into_inner()
+            .into_single();
+        assert_eq!(
+            out.triple_count(),
+            kg.triple_count(),
+            "maintained eval graph must reconstruct the generated graph"
+        );
+        assert_eq!(out.entity_count(), kg.entity_count());
+        out
+    } else if pivote_kg::compact_from_env() {
         let (base, batches) = pivote_kg::split_growth(&kg, 0.6, 3);
         let mut sg = pivote_kg::ShardedGraph::from_graph(&base, 2);
         for batch in &batches {

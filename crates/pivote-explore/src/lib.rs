@@ -30,13 +30,17 @@ pub mod session;
 pub mod timeline;
 
 pub use events::UserAction;
-pub use live::{LiveEvent, LiveLog, LiveSession, LiveShardedSession};
+#[allow(deprecated)]
+pub use live::LiveShardedSession;
+pub use live::{LiveEvent, LiveLog, LiveSession};
 pub use path::{ExplorationPath, NodeKind, PathEdge, PathNode};
 pub use profile::{build_profile, EntityProfile};
 pub use query::ExplorationQuery;
+#[allow(deprecated)]
+pub use replay::replay_live_sharded;
 pub use replay::{
-    replay, replay_live, replay_live_sharded, replay_with_context, replay_with_handle,
-    session_stats, ActionLog, SessionStats,
+    replay, replay_live, replay_with_context, replay_with_handle, session_stats, ActionLog,
+    SessionStats,
 };
 pub use session::{SearchBackend, Session, SessionConfig, SessionState, ViewState};
 pub use timeline::{Timeline, TimelineEntry};

@@ -1,60 +1,62 @@
-//! Live exploration sessions: explore a graph that grows mid-session.
+//! Live exploration sessions: explore a store that grows mid-session.
 //!
 //! A [`LiveSession`] drives the full [`Session`] interaction loop over a
-//! [`LiveGraph`]: every user action runs against a consistent read-locked
-//! snapshot, and [`LiveSession::append`] grows the graph *between*
-//! actions — the paper's fixed-snapshot exploration model extended to a
-//! store serving live traffic. The session's durable state (timeline,
-//! exploratory path, current query, action log) survives appends; the
+//! [`LiveStore`] — single **or** sharded layout, one implementation:
+//! every user action runs against a consistent read-locked snapshot, and
+//! [`LiveSession::append`] grows the store *between* actions — the
+//! paper's fixed-snapshot exploration model extended to a store serving
+//! live traffic. The session's durable state (timeline, exploratory
+//! path, current query, action log) survives appends **and compactions**
+//! untouched, because compaction changes no global id and no answer; the
 //! per-snapshot machinery (query context, extent handles) is rebuilt per
-//! action from the live graph's [`SharedCache`](pivote_core::SharedCache),
-//! so untouched `p(π|c)` densities stay warm across generations. The
-//! keyword-search index is cached per generation and re-indexed only when
-//! an append actually happened.
+//! action from the live store's
+//! [`SharedCache`](pivote_core::SharedCache), so untouched `p(π|c)`
+//! densities stay warm across generations.
 //!
-//! Everything a live session does — actions *and* appends — is recorded
-//! in a [`LiveLog`], so [`replay_live`](crate::replay::replay_live) can
-//! reproduce an entire live exploration (growth included) from the same
-//! base graph.
+//! The keyword-search index is cached per layout: one engine tagged with
+//! the graph generation on the single layout; one engine **per shard**
+//! on the sharded layout, each tagged with its shard's local generation
+//! and all tagged with the store's compaction epoch — after an append
+//! only the delta-touched shards (plus the appended tail) re-index, and
+//! a compaction starts a new epoch that re-indexes the fresh partition
+//! wholesale.
 //!
-//! [`LiveShardedSession`] is the sharded sibling over a
-//! [`LiveShardedGraph`]: the same contract, extended to partitions that
-//! are **re-partitioned mid-session** — [`LiveShardedSession::compact`]
-//! records a [`LiveEvent::Compact`] and
-//! [`replay_live_sharded`](crate::replay::replay_live_sharded) replays
-//! growth *and* compaction bit-identically.
+//! Everything a live session does — actions, appends *and* compactions —
+//! is recorded in a [`LiveLog`], so
+//! [`replay_live`](crate::replay::replay_live) can reproduce an entire
+//! live exploration (growth and re-partitioning included) from the same
+//! base store, on either layout.
 
 use crate::events::UserAction;
 use crate::path::ExplorationPath;
 use crate::replay::ActionLog;
 use crate::session::{SearchBackend, Session, SessionConfig, SessionState, ViewState};
 use crate::timeline::Timeline;
-use pivote_core::{LiveGraph, LiveShardedGraph};
-use pivote_kg::{AppliedDelta, CompactionReceipt, DeltaBatch};
+use pivote_core::LiveStore;
+use pivote_kg::{AppliedDelta, CompactionReceipt, DeltaBatch, GraphBackend};
 use pivote_search::SearchEngine;
 use serde::{Deserialize, Serialize};
 
-/// One event of a live session: a user action, a graph append, or a
-/// compaction of the backing sharded partition.
+/// One event of a live session: a user action, a store append, or a
+/// compaction of the backing partition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum LiveEvent {
     /// A user action applied to the session.
     Action(UserAction),
-    /// A delta batch appended to the live graph.
+    /// A delta batch appended to the live store.
     Append(DeltaBatch),
-    /// A re-partition of the backing [`LiveShardedGraph`] to
-    /// `target_shards` fresh range shards. Compaction is
-    /// answer-preserving, so replaying it reproduces the exact rankings;
-    /// on a single-graph replay target it is a no-op (a single graph is
-    /// always one partition).
+    /// A re-partition of the backing store to `target_shards` fresh
+    /// range shards. Compaction is answer-preserving, so replaying it
+    /// reproduces the exact rankings; on a single-layout replay target
+    /// it is a no-op (a single graph is always one partition).
     Compact {
-        /// The shard count the graph was re-partitioned to.
+        /// The shard count the store was re-partitioned to.
         target_shards: usize,
     },
 }
 
 /// The ordered record of everything a live session did — the replayable
-/// artifact of an exploration over a growing graph.
+/// artifact of an exploration over a growing store.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LiveLog {
     /// Events in application order.
@@ -90,9 +92,9 @@ impl LiveLog {
 
 /// Run one action on a transient [`Session`] over a read-guard handle,
 /// moving the durable state (timeline/path/query/log) and the rendered
-/// view in and back out without copies — the shared half of both live
-/// sessions' `apply`. Returns the dissolved [`SearchBackend`] so the
-/// caller can stash its engine(s) for the next action.
+/// view in and back out without copies. Returns the dissolved
+/// [`SearchBackend`] so the caller can stash its engine(s) for the next
+/// action.
 fn drive_transient(
     state: &mut SessionState,
     log: &mut ActionLog,
@@ -121,22 +123,48 @@ fn drive_transient(
     search
 }
 
-/// An exploration session over a [`LiveGraph`] that may grow mid-session.
+/// The cached keyword-search component, per layout, tagged with the
+/// store version it was indexed at.
+enum SearchCache {
+    /// One engine over the single graph, tagged with the generation it
+    /// was built at; re-indexed lazily after an append.
+    Single {
+        /// Graph generation at indexing time.
+        generation: u64,
+        /// The prebuilt engine (boxed, like [`SearchBackend::Single`]:
+        /// the one-engine variant is much larger than the per-shard
+        /// vector).
+        engine: Box<SearchEngine>,
+    },
+    /// One engine per shard, each tagged with the local graph generation
+    /// it was built at, all tagged with the compaction epoch. Within one
+    /// epoch shards are only ever appended, so position `i` still names
+    /// the same shard and an engine is stale exactly when its shard's
+    /// local generation moved; across epochs the shard list was rebuilt
+    /// wholesale and nothing is reusable.
+    Sharded {
+        /// Compaction epoch at indexing time.
+        epoch: u64,
+        /// `(local generation, engine)` per shard, in shard order.
+        engines: Vec<(u64, SearchEngine)>,
+    },
+}
+
+/// An exploration session over a [`LiveStore`] that may grow *and be
+/// re-partitioned* mid-session — one implementation for both layouts.
 pub struct LiveSession<'g> {
-    live: &'g LiveGraph,
+    live: &'g LiveStore,
     config: SessionConfig,
     state: SessionState,
     log: ActionLog,
     view: ViewState,
-    /// Search index cached with the generation it was built at;
-    /// re-indexed lazily after an append.
-    search: Option<(u64, SearchEngine)>,
+    search: Option<SearchCache>,
     events: LiveLog,
 }
 
 impl<'g> LiveSession<'g> {
     /// A fresh live session over `live`.
-    pub fn new(live: &'g LiveGraph, config: SessionConfig) -> Self {
+    pub fn new(live: &'g LiveStore, config: SessionConfig) -> Self {
         Self {
             live,
             config,
@@ -152,125 +180,8 @@ impl<'g> LiveSession<'g> {
         }
     }
 
-    /// The live graph under exploration.
-    pub fn live(&self) -> &'g LiveGraph {
-        self.live
-    }
-
-    /// The current view.
-    pub fn view(&self) -> &ViewState {
-        &self.view
-    }
-
-    /// The durable session state (timeline, path, current query).
-    pub fn state(&self) -> &SessionState {
-        &self.state
-    }
-
-    /// The user-action log (appends excluded; see [`LiveSession::events`]).
-    pub fn action_log(&self) -> &ActionLog {
-        &self.log
-    }
-
-    /// Every event — actions and appends — in order.
-    pub fn events(&self) -> &LiveLog {
-        &self.events
-    }
-
-    /// Apply one user action against the current graph snapshot and
-    /// return the updated view. The heavy lifting runs on a transient
-    /// [`Session`] scoped to a read guard; timeline/path/query/log and
-    /// the rendered view **move** in and back out (no per-action copies
-    /// of the session history), and the live graph's shared cache keeps
-    /// densities warm.
-    pub fn apply(&mut self, action: UserAction) -> &ViewState {
-        self.events.events.push(LiveEvent::Action(action.clone()));
-        let reader = self.live.read();
-        let generation = reader.generation();
-        let engine = match self.search.take() {
-            Some((built_at, engine)) if built_at == generation => engine,
-            _ => SearchEngine::build(reader.kg(), self.config.search),
-        };
-        let session = Session::with_single_engine(reader.handle(), self.config, engine);
-        let search = drive_transient(
-            &mut self.state,
-            &mut self.log,
-            &mut self.view,
-            session,
-            action,
-        );
-        let SearchBackend::Single(engine) = search else {
-            unreachable!("live sessions run on the single backend")
-        };
-        self.search = Some((generation, *engine));
-        &self.view
-    }
-
-    /// Append a delta to the live graph (recorded in the event log). The
-    /// view is *not* recomputed — like every store mutation it becomes
-    /// visible at the next action, keeping actions the only points where
-    /// the interface changes under the user.
-    pub fn append(&mut self, delta: &DeltaBatch) -> AppliedDelta {
-        self.events.events.push(LiveEvent::Append(delta.clone()));
-        self.live.append(delta)
-    }
-
-    /// Convenience: submit a keyword query.
-    pub fn submit_keywords(&mut self, q: &str) -> &ViewState {
-        self.apply(UserAction::SubmitKeywords { query: q.into() })
-    }
-
-    /// Convenience: click an entity (investigation).
-    pub fn click_entity(&mut self, entity: pivote_kg::EntityId) -> &ViewState {
-        self.apply(UserAction::ClickEntity { entity })
-    }
-}
-
-/// An exploration session over a [`LiveShardedGraph`] that may grow
-/// *and be re-partitioned* mid-session — the sharded sibling of
-/// [`LiveSession`], with the same durable-state contract: timeline,
-/// exploratory path, query and log survive appends **and compactions**
-/// untouched, because compaction changes no global id and no answer.
-/// The per-shard search-engine set is cached **per shard**: after an
-/// append, only the shards the delta actually touched (plus the new
-/// trailing shard) are re-indexed; a compaction starts a new epoch and
-/// re-indexes the fresh partition wholesale.
-pub struct LiveShardedSession<'g> {
-    live: &'g LiveShardedGraph,
-    config: SessionConfig,
-    state: SessionState,
-    log: ActionLog,
-    view: ViewState,
-    /// Per-shard search engines, each tagged with the local graph
-    /// generation it was built at, all tagged with the compaction epoch.
-    /// Within one epoch shards are only ever appended, so position `i`
-    /// still names the same shard and an engine is stale exactly when
-    /// its shard's local generation moved; across epochs the shard list
-    /// was rebuilt wholesale and nothing is reusable.
-    search: Option<(u64, Vec<(u64, SearchEngine)>)>,
-    events: LiveLog,
-}
-
-impl<'g> LiveShardedSession<'g> {
-    /// A fresh live session over `live`.
-    pub fn new(live: &'g LiveShardedGraph, config: SessionConfig) -> Self {
-        Self {
-            live,
-            config,
-            state: SessionState {
-                timeline: Timeline::new(),
-                path: ExplorationPath::new(),
-                query: Default::default(),
-            },
-            log: ActionLog::new(),
-            view: ViewState::empty(),
-            search: None,
-            events: LiveLog::new(),
-        }
-    }
-
-    /// The live sharded graph under exploration.
-    pub fn live(&self) -> &'g LiveShardedGraph {
+    /// The live store under exploration.
+    pub fn live(&self) -> &'g LiveStore {
         self.live
     }
 
@@ -285,7 +196,7 @@ impl<'g> LiveShardedSession<'g> {
     }
 
     /// The user-action log (appends and compactions excluded; see
-    /// [`LiveShardedSession::events`]).
+    /// [`LiveSession::events`]).
     pub fn action_log(&self) -> &ActionLog {
         &self.log
     }
@@ -295,41 +206,64 @@ impl<'g> LiveShardedSession<'g> {
         &self.events
     }
 
-    /// Apply one user action against the current partition snapshot —
-    /// the same move-state-through-a-transient-[`Session`] dance as the
-    /// single-backend [`LiveSession::apply`], with a per-shard engine
-    /// set instead of one index. Engines are reused per shard: only
-    /// shards whose local generation moved since indexing (the
-    /// delta-touched ones and the appended tail) are rebuilt, unless a
-    /// compaction started a new epoch.
+    /// Apply one user action against the current store snapshot and
+    /// return the updated view. The heavy lifting runs on a transient
+    /// [`Session`] scoped to a read guard; timeline/path/query/log and
+    /// the rendered view **move** in and back out (no per-action copies
+    /// of the session history), and the live store's shared cache keeps
+    /// densities warm. The search component is reused from the cache
+    /// when its version tags still match the snapshot.
     pub fn apply(&mut self, action: UserAction) -> &ViewState {
         self.events.events.push(LiveEvent::Action(action.clone()));
         let reader = self.live.read();
-        let graph = reader.graph();
-        let epoch = graph.compaction_epoch();
-        let mut cached = match self.search.take() {
-            Some((built_epoch, engines)) if built_epoch == epoch => engines,
-            _ => Vec::new(),
-        }
-        .into_iter();
-        let mut shard_generations = Vec::with_capacity(graph.shard_count());
-        let engines: Vec<SearchEngine> = graph
-            .shards()
-            .iter()
-            .map(|s| {
-                let generation = s.graph().generation();
-                shard_generations.push(generation);
-                match cached.next() {
-                    Some((built_at, engine)) if built_at == generation => engine,
-                    _ => SearchEngine::build(s.graph(), self.config.search),
+        let (search, next_tags) = match reader.backend() {
+            GraphBackend::Single(kg) => {
+                let generation = kg.generation();
+                let engine = match self.search.take() {
+                    Some(SearchCache::Single {
+                        generation: built_at,
+                        engine,
+                    }) if built_at == generation => engine,
+                    _ => Box::new(SearchEngine::build(kg, self.config.search)),
+                };
+                (
+                    SearchBackend::Single(engine),
+                    SearchTags::Single { generation },
+                )
+            }
+            GraphBackend::Sharded(sg) => {
+                let epoch = sg.compaction_epoch();
+                let mut cached = match self.search.take() {
+                    Some(SearchCache::Sharded {
+                        epoch: built_epoch,
+                        engines,
+                    }) if built_epoch == epoch => engines,
+                    _ => Vec::new(),
                 }
-            })
-            .collect();
-        let session = Session::with_search(
-            reader.handle(),
-            self.config,
-            SearchBackend::Sharded(engines),
-        );
+                .into_iter();
+                let mut shard_generations = Vec::with_capacity(sg.shard_count());
+                let engines: Vec<SearchEngine> = sg
+                    .shards()
+                    .iter()
+                    .map(|s| {
+                        let generation = s.graph().generation();
+                        shard_generations.push(generation);
+                        match cached.next() {
+                            Some((built_at, engine)) if built_at == generation => engine,
+                            _ => SearchEngine::build(s.graph(), self.config.search),
+                        }
+                    })
+                    .collect();
+                (
+                    SearchBackend::Sharded(engines),
+                    SearchTags::Sharded {
+                        epoch,
+                        shard_generations,
+                    },
+                )
+            }
+        };
+        let session = Session::with_search(reader.handle(), self.config, search);
         let search = drive_transient(
             &mut self.state,
             &mut self.log,
@@ -337,29 +271,47 @@ impl<'g> LiveShardedSession<'g> {
             session,
             action,
         );
-        let SearchBackend::Sharded(engines) = search else {
-            unreachable!("sharded live sessions run on the sharded backend")
-        };
-        self.search = Some((epoch, shard_generations.into_iter().zip(engines).collect()));
+        self.search = Some(match (search, next_tags) {
+            (SearchBackend::Single(engine), SearchTags::Single { generation }) => {
+                SearchCache::Single { generation, engine }
+            }
+            (
+                SearchBackend::Sharded(engines),
+                SearchTags::Sharded {
+                    epoch,
+                    shard_generations,
+                },
+            ) => SearchCache::Sharded {
+                epoch,
+                engines: shard_generations.into_iter().zip(engines).collect(),
+            },
+            _ => unreachable!("the search backend variant follows the store layout"),
+        });
         &self.view
     }
 
-    /// Append a delta to the live graph (recorded in the event log);
-    /// visible at the next action, like every store mutation.
+    /// Append a delta to the live store (recorded in the event log). The
+    /// view is *not* recomputed — like every store mutation it becomes
+    /// visible at the next action, keeping actions the only points where
+    /// the interface changes under the user.
     pub fn append(&mut self, delta: &DeltaBatch) -> AppliedDelta {
         self.events.events.push(LiveEvent::Append(delta.clone()));
         self.live.append(delta)
     }
 
-    /// Re-partition the live graph to `target_shards` (recorded in the
-    /// event log). The session's durable state is untouched; the next
+    /// Re-partition the live store to `target_shards` (recorded in the
+    /// event log), through the concurrent compaction path — the rebuild
+    /// runs off the write lock, so other sessions' queries never block
+    /// behind it. The session's durable state is untouched; the next
     /// action re-indexes search against the fresh partition and answers
-    /// exactly what the uncompacted graph would have answered.
+    /// exactly what the uncompacted store would have answered. On a
+    /// single-layout store this is the identity (still recorded, so the
+    /// log replays onto sharded deployments).
     pub fn compact(&mut self, target_shards: usize) -> CompactionReceipt {
         self.events
             .events
             .push(LiveEvent::Compact { target_shards });
-        self.live.compact_in_place(target_shards)
+        self.live.compact_concurrent(target_shards)
     }
 
     /// Convenience: submit a keyword query.
@@ -371,7 +323,46 @@ impl<'g> LiveShardedSession<'g> {
     pub fn click_entity(&mut self, entity: pivote_kg::EntityId) -> &ViewState {
         self.apply(UserAction::ClickEntity { entity })
     }
+
+    /// Test/diagnostic view of the search cache's version tags: the
+    /// single-layout generation, or the sharded-layout epoch and
+    /// per-shard local generations.
+    #[cfg(test)]
+    fn search_tags(&self) -> Option<SearchTags> {
+        self.search.as_ref().map(|s| match s {
+            SearchCache::Single { generation, .. } => SearchTags::Single {
+                generation: *generation,
+            },
+            SearchCache::Sharded { epoch, engines } => SearchTags::Sharded {
+                epoch: *epoch,
+                shard_generations: engines.iter().map(|&(g, _)| g).collect(),
+            },
+        })
+    }
 }
+
+/// The version tags a rebuilt search component will be cached under.
+#[derive(Debug, PartialEq, Eq)]
+enum SearchTags {
+    /// Single layout: the graph generation.
+    Single {
+        /// Graph generation at indexing time.
+        generation: u64,
+    },
+    /// Sharded layout: compaction epoch + per-shard local generations.
+    Sharded {
+        /// Compaction epoch at indexing time.
+        epoch: u64,
+        /// Local generation per shard, in shard order.
+        shard_generations: Vec<u64>,
+    },
+}
+
+/// Deprecated name of [`LiveSession`] from before the single/sharded
+/// live stacks were unified — the one session type now serves both
+/// layouts of a [`LiveStore`].
+#[deprecated(since = "0.5.0", note = "use LiveSession — one session, both layouts")]
+pub type LiveShardedSession<'g> = LiveSession<'g>;
 
 #[cfg(test)]
 mod tests {
@@ -413,7 +404,7 @@ mod tests {
         let kg = base();
         let seed = film_seed(&kg);
         let delta = delta_for(&kg, seed);
-        let live = LiveGraph::with_threads(base(), 1);
+        let live = LiveStore::with_threads(base(), 1);
         let mut s = LiveSession::new(&live, SessionConfig::default());
 
         s.click_entity(seed);
@@ -450,7 +441,7 @@ mod tests {
         // start from empty)
         let kg = base();
         let seed = film_seed(&kg);
-        let live = LiveGraph::with_threads(base(), 1);
+        let live = LiveStore::with_threads(base(), 1);
         let mut s = LiveSession::new(&live, SessionConfig::default());
         s.click_entity(seed);
         let before: Vec<EntityId> = s.view().entities.iter().map(|re| re.entity).collect();
@@ -470,7 +461,7 @@ mod tests {
     fn replay_live_reproduces_growth_and_rankings() {
         let kg = base();
         let seed = film_seed(&kg);
-        let live = LiveGraph::with_threads(base(), 1);
+        let live = LiveStore::with_threads(base(), 1);
         let mut original = LiveSession::new(&live, SessionConfig::default());
         original.click_entity(seed);
         original.append(&delta_for(&kg, seed));
@@ -478,10 +469,10 @@ mod tests {
         original.click_entity(seed);
 
         // serialize the full event log (appends included) and replay it
-        // onto a fresh live graph built from the same base
+        // onto a fresh live store built from the same base
         let log = LiveLog::from_json(&original.events().to_json()).unwrap();
         assert_eq!(&log, original.events());
-        let live2 = LiveGraph::with_threads(base(), 1);
+        let live2 = LiveStore::with_threads(base(), 1);
         let replayed = crate::replay::replay_live(&live2, SessionConfig::default(), &log);
 
         assert_eq!(live2.generation(), 1, "the append replayed");
@@ -511,9 +502,9 @@ mod tests {
         let delta = delta_for(&kg, seed);
 
         // live path: investigate, append (new trailing shard), compact,
-        // re-investigate
-        let live = LiveShardedGraph::with_threads(ShardedGraph::from_graph(&base(), 3), 1);
-        let mut s = LiveShardedSession::new(&live, SessionConfig::default());
+        // re-investigate — all through the ONE unified session type
+        let live = LiveStore::with_threads(ShardedGraph::from_graph(&base(), 3), 1);
+        let mut s = LiveSession::new(&live, SessionConfig::default());
         s.click_entity(seed);
         let before: Vec<EntityId> = s.view().entities.iter().map(|re| re.entity).collect();
         s.append(&delta);
@@ -558,12 +549,12 @@ mod tests {
     }
 
     #[test]
-    fn replay_live_sharded_reproduces_growth_and_compaction() {
+    fn replay_live_reproduces_growth_and_compaction_on_both_layouts() {
         use pivote_kg::ShardedGraph;
         let kg = base();
         let seed = film_seed(&kg);
-        let live = LiveShardedGraph::with_threads(ShardedGraph::from_graph(&base(), 3), 1);
-        let mut original = LiveShardedSession::new(&live, SessionConfig::default());
+        let live = LiveStore::with_threads(ShardedGraph::from_graph(&base(), 3), 1);
+        let mut original = LiveSession::new(&live, SessionConfig::default());
         original.click_entity(seed);
         original.append(&delta_for(&kg, seed));
         original.compact(2);
@@ -578,8 +569,8 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e, LiveEvent::Compact { target_shards: 2 })));
-        let live2 = LiveShardedGraph::with_threads(ShardedGraph::from_graph(&base(), 3), 1);
-        let replayed = crate::replay::replay_live_sharded(&live2, SessionConfig::default(), &log);
+        let live2 = LiveStore::with_threads(ShardedGraph::from_graph(&base(), 3), 1);
+        let replayed = crate::replay::replay_live(&live2, SessionConfig::default(), &log);
         assert_eq!(live2.shard_count(), 2, "the compaction replayed");
         assert_eq!(live2.generation(), 2, "append + compaction");
         assert_eq!(replayed.state().timeline, original.state().timeline);
@@ -599,9 +590,9 @@ mod tests {
             "sharded live replay must reproduce rankings bit-identically"
         );
 
-        // the same log replays onto a *single* live graph too: Compact
-        // is a no-op there and rankings still land bit-identically
-        let live3 = LiveGraph::with_threads(base(), 1);
+        // the same log replays onto a *single-layout* store too: Compact
+        // is the identity there and rankings still land bit-identically
+        let live3 = LiveStore::with_threads(base(), 1);
         let on_single = crate::replay::replay_live(&live3, SessionConfig::default(), &log);
         assert_eq!(live3.generation(), 1, "only the append applies");
         assert_eq!(
@@ -617,7 +608,7 @@ mod tests {
                 .iter()
                 .map(|re| (re.entity, re.score))
                 .collect::<Vec<_>>(),
-            "a compaction-bearing log must replay identically on the single backend"
+            "a compaction-bearing log must replay identically on the single layout"
         );
     }
 
@@ -626,11 +617,21 @@ mod tests {
         use pivote_kg::ShardedGraph;
         let kg = base();
         let seed = film_seed(&kg);
-        let live = LiveShardedGraph::with_threads(ShardedGraph::from_graph(&base(), 3), 1);
-        let mut s = LiveShardedSession::new(&live, SessionConfig::default());
+        let live = LiveStore::with_threads(ShardedGraph::from_graph(&base(), 3), 1);
+        let mut s = LiveSession::new(&live, SessionConfig::default());
         s.submit_keywords(&kg.display_name(seed));
-        let (epoch, engines) = s.search.as_ref().unwrap();
-        assert_eq!((*epoch, engines.len()), (0, 3), "one engine per shard");
+        let Some(SearchTags::Sharded {
+            epoch,
+            shard_generations,
+        }) = s.search_tags()
+        else {
+            panic!("sharded store must cache a per-shard engine set");
+        };
+        assert_eq!(
+            (epoch, shard_generations.len()),
+            (0, 3),
+            "one engine per shard"
+        );
 
         let mut d = DeltaBatch::new();
         d.triple(
@@ -653,14 +654,24 @@ mod tests {
             view.entities.iter().any(|re| re.entity == fresh),
             "appended film must be searchable at the next action"
         );
-        let (epoch, engines) = s.search.as_ref().unwrap();
-        assert_eq!(*epoch, 0, "appends do not change the epoch");
-        assert_eq!(engines.len(), 4, "trailing shard gained an engine");
+        let Some(SearchTags::Sharded {
+            epoch,
+            shard_generations,
+        }) = s.search_tags()
+        else {
+            panic!("still sharded");
+        };
+        assert_eq!(epoch, 0, "appends do not change the epoch");
+        assert_eq!(
+            shard_generations.len(),
+            4,
+            "trailing shard gained an engine"
+        );
         {
             let reader = live.read();
             for (i, shard) in reader.graph().shards().iter().enumerate() {
                 assert_eq!(
-                    engines[i].0,
+                    shard_generations[i],
                     shard.graph().generation(),
                     "engine {i} must be tagged with its shard's local generation"
                 );
@@ -668,7 +679,7 @@ mod tests {
             // the untouched shards were NOT re-indexed: their local
             // generation never moved, so their tags still read 0
             assert!(
-                engines.iter().any(|&(g, _)| g == 0),
+                shard_generations.contains(&0),
                 "some shard must have been untouched by the delta"
             );
         }
@@ -677,16 +688,22 @@ mod tests {
         s.compact(2);
         let view = s.submit_keywords("Zanzibar Premiere");
         assert!(view.entities.iter().any(|re| re.entity == fresh));
-        let (epoch, engines) = s.search.as_ref().unwrap();
-        assert_eq!(*epoch, 1, "compaction bumps the epoch");
-        assert_eq!(engines.len(), 2, "one engine per compacted shard");
+        let Some(SearchTags::Sharded {
+            epoch,
+            shard_generations,
+        }) = s.search_tags()
+        else {
+            panic!("still sharded");
+        };
+        assert_eq!(epoch, 1, "compaction bumps the epoch");
+        assert_eq!(shard_generations.len(), 2, "one engine per compacted shard");
     }
 
     #[test]
     fn timeline_and_path_survive_appends() {
         let kg = base();
         let seed = film_seed(&kg);
-        let live = LiveGraph::with_threads(base(), 1);
+        let live = LiveStore::with_threads(base(), 1);
         let mut s = LiveSession::new(&live, SessionConfig::default());
         s.submit_keywords(&kg.display_name(seed));
         s.append(&delta_for(&kg, seed));
@@ -695,6 +712,6 @@ mod tests {
         assert_eq!(s.action_log().len(), 2);
         assert_eq!(s.events().len(), 3, "two actions + one append");
         // the search index was rebuilt exactly once for the new generation
-        assert_eq!(s.search.as_ref().unwrap().0, 1);
+        assert_eq!(s.search_tags(), Some(SearchTags::Single { generation: 1 }));
     }
 }

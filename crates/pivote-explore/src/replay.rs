@@ -84,54 +84,27 @@ pub fn replay_with_handle<'kg>(
     session
 }
 
-/// Replay a [`LiveLog`](crate::live::LiveLog) — user actions *and* graph
-/// appends, in their original order — onto a fresh
-/// [`LiveSession`](crate::live::LiveSession) over `live`. Starting from
-/// the same base graph this reproduces the entire live exploration,
-/// growth included: the replayed session's rankings are bit-identical
-/// because appends are deterministic splices and actions are
-/// deterministic queries.
+/// Replay a [`LiveLog`](crate::live::LiveLog) — user actions, store
+/// appends **and compactions**, in their original order — onto a fresh
+/// [`LiveSession`](crate::live::LiveSession) over `live`, whichever
+/// layout it holds. Starting from the same base store this reproduces
+/// the entire live exploration — growth and re-partitioning included —
+/// with bit-identical rankings, heat maps and profiles: appends are
+/// deterministic splices, compaction is an answer-preserving offline
+/// rebuild, and actions are deterministic queries.
 ///
-/// [`LiveEvent::Compact`](crate::live::LiveEvent::Compact) events —
-/// recorded by sharded live sessions — are no-ops here: a single graph
-/// is always one partition, and compaction changes no answer, so a log
-/// containing compactions still replays to bit-identical rankings (the
-/// cross-backend twin of
-/// [`replay_with_handle`]'s single-vs-sharded guarantee).
+/// [`LiveEvent::Compact`](crate::live::LiveEvent::Compact) events are
+/// the identity on a single-layout store (a single graph is always one
+/// partition, and compaction changes no answer), so a log recorded
+/// against a sharded deployment still replays to bit-identical rankings
+/// on a single one — the live twin of [`replay_with_handle`]'s
+/// single-vs-sharded guarantee.
 pub fn replay_live<'g>(
-    live: &'g pivote_core::LiveGraph,
+    live: &'g pivote_core::LiveStore,
     config: crate::session::SessionConfig,
     log: &crate::live::LiveLog,
 ) -> crate::live::LiveSession<'g> {
     let mut session = crate::live::LiveSession::new(live, config);
-    for event in &log.events {
-        match event {
-            crate::live::LiveEvent::Action(action) => {
-                session.apply(action.clone());
-            }
-            crate::live::LiveEvent::Append(delta) => {
-                session.append(delta);
-            }
-            crate::live::LiveEvent::Compact { .. } => {}
-        }
-    }
-    session
-}
-
-/// [`replay_live`] over a [`LiveShardedGraph`](pivote_core::LiveShardedGraph):
-/// replays actions, appends **and compactions** in their original order
-/// onto a fresh [`LiveShardedSession`](crate::live::LiveShardedSession).
-/// Starting from the same base partition this reproduces the entire
-/// exploration — growth and re-partitioning included — with
-/// bit-identical rankings, heat maps and profiles: appends are
-/// deterministic splices, compaction is an answer-preserving offline
-/// rebuild, and actions are deterministic queries.
-pub fn replay_live_sharded<'g>(
-    live: &'g pivote_core::LiveShardedGraph,
-    config: crate::session::SessionConfig,
-    log: &crate::live::LiveLog,
-) -> crate::live::LiveShardedSession<'g> {
-    let mut session = crate::live::LiveShardedSession::new(live, config);
     for event in &log.events {
         match event {
             crate::live::LiveEvent::Action(action) => {
@@ -146,6 +119,22 @@ pub fn replay_live_sharded<'g>(
         }
     }
     session
+}
+
+/// Deprecated name of [`replay_live`] from before the single/sharded
+/// live stacks were unified — the one replay path now handles both
+/// layouts (and compaction events) itself.
+#[deprecated(
+    since = "0.5.0",
+    note = "use replay_live — one replay path, both layouts"
+)]
+#[allow(deprecated)]
+pub fn replay_live_sharded<'g>(
+    live: &'g pivote_core::LiveStore,
+    config: crate::session::SessionConfig,
+    log: &crate::live::LiveLog,
+) -> crate::live::LiveShardedSession<'g> {
+    replay_live(live, config, log)
 }
 
 /// Aggregate statistics of an exploration session, computed from its

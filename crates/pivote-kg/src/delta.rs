@@ -369,6 +369,12 @@ pub struct CompactionReceipt {
     /// Entities re-homed into the fresh entity-id-range partition (all
     /// of them — compaction is an offline rebuild).
     pub entities: usize,
+    /// How many rebuild attempts the pass took. Always 1 for a
+    /// stop-the-world pass; a concurrent pass retries (discarding the
+    /// losing rebuild) every time an append moves the generation between
+    /// its off-lock rebuild and its swap, so values above 1 count lost
+    /// races — appends always win.
+    pub attempts: u64,
 }
 
 /// Whether the `=1`-valued environment flag `name` is set — the one

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod datagen;
 pub mod delta;
 pub mod id;
@@ -46,6 +47,7 @@ pub mod stats;
 pub mod store;
 pub mod triple;
 
+pub use backend::GraphBackend;
 pub use datagen::{generate, DatagenConfig, Zipf};
 pub use delta::{
     incremental_from_env, split_growth, split_incremental, AppliedDelta, CompactionReceipt,
@@ -54,11 +56,12 @@ pub use delta::{
 pub use id::{CategoryId, EntityId, LiteralId, PredicateId, TypeId};
 pub use interner::Interner;
 pub use ntriples::{parse, parse_into_builder, parse_into_delta, serialize, ParseError};
+pub use shard::maintenance_from_env;
 pub use shard::{
     compact_from_env, shard_counts_from_env, CompactionPolicy, GraphShard, ShardRouter,
     ShardedGraph,
 };
-pub use snapshot::{load_from_path, save_to_path, SnapshotError};
+pub use snapshot::{fingerprint, load_from_path, save_to_path, SnapshotError};
 pub use stats::{Coupling, TypeCouplingStats};
 pub use store::{GraphSummary, KgBuilder, KnowledgeGraph};
 pub use triple::{Literal, LiteralKind, Object, Triple};

@@ -228,6 +228,15 @@ pub fn load(r: &mut impl Read) -> Result<KnowledgeGraph, SnapshotError> {
     for _ in 0..n_cats {
         cat_names.push(read_str(r)?);
     }
+    // declare the dictionaries in stored id order, so the loaded graph's
+    // dense type/category ids equal the saved graph's — required by
+    // derived state keyed on those ids (the persisted warm-state sidecar)
+    for name in &type_names {
+        b.declare_type(name);
+    }
+    for name in &cat_names {
+        b.declare_category(name);
+    }
 
     let lookup_entity = |id: u32, n: usize| -> Result<EntityId, SnapshotError> {
         if (id as usize) < n {
@@ -289,6 +298,34 @@ pub fn load(r: &mut impl Read) -> Result<KnowledgeGraph, SnapshotError> {
     Ok(b.finish())
 }
 
+/// A 64-bit FNV-1a fingerprint of the logical graph — hashed over the
+/// exact bytes [`save`] would write. Restart-stable: a loaded snapshot
+/// fingerprints identically to the graph that saved it, and every
+/// id-preserving build path (rebuild, append, sharded union rebuild,
+/// compaction) fingerprints identically too, because they all
+/// serialize byte-identically. The mutation *generation* deliberately
+/// does not participate (it resets to 0 on load, and persisting it
+/// would break append-vs-rebuild byte identity) — this fingerprint is
+/// the pairing key for sidecar artifacts like the persisted warm-state
+/// cache.
+pub fn fingerprint(kg: &KnowledgeGraph) -> u64 {
+    struct FnvWriter(u64);
+    impl Write for FnvWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            for &b in buf {
+                self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+    let mut w = FnvWriter(0xcbf2_9ce4_8422_2325);
+    save(kg, &mut w).expect("in-memory fingerprint write cannot fail");
+    w.0
+}
+
 /// Save to a file path.
 pub fn save_to_path(
     kg: &KnowledgeGraph,
@@ -323,6 +360,31 @@ mod tests {
         assert_eq!(kg2.triple_count(), kg.triple_count());
         // the N-Triples serialization is a full logical fingerprint
         assert_eq!(ntriples::serialize(&kg2), ntriples::serialize(&kg));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_build_paths_and_loads() {
+        let kg = generate(&DatagenConfig::tiny());
+        let fp = fingerprint(&kg);
+        // load roundtrip preserves the fingerprint
+        let mut buf = Vec::new();
+        save(&kg, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice()).unwrap();
+        assert_eq!(
+            fingerprint(&loaded),
+            fp,
+            "load must preserve the fingerprint"
+        );
+        // append == rebuild fingerprints identically
+        let (mut appended, delta) = crate::delta::split_incremental(&kg, 0.5);
+        appended.apply(&delta);
+        assert_eq!(fingerprint(&appended), fp, "append path must match");
+        // any logical change moves it
+        let mut grown = load(&mut buf.as_slice()).unwrap();
+        let mut d = crate::delta::DeltaBatch::new();
+        d.entity("Fingerprint_Probe");
+        grown.apply(&d);
+        assert_ne!(fingerprint(&grown), fp, "a grown graph must not collide");
     }
 
     #[test]

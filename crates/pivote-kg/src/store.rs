@@ -432,7 +432,7 @@ impl KgBuilder {
 /// `category_extent`) return slices **sorted by entity id with no
 /// duplicates** — the invariant the ranking layer's set intersections rely
 /// on.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct KnowledgeGraph {
     /// Bumped by every [`KnowledgeGraph::apply`]; 0 for a fresh build.
     generation: u64,

@@ -114,6 +114,82 @@ fn append_then_save_equals_rebuild_then_save() {
 }
 
 #[test]
+fn warm_state_sidecar_survives_a_restart_with_bit_identical_rankings() {
+    // persisted context warm-state: serialize the p(π|c) cache next to
+    // the snapshot, reload both, and the warm rankings must be *byte*
+    // identical to the cold ones — with zero densities recomputed
+    use pivote_core::QueryContext;
+    use std::sync::Arc;
+
+    let kg = generate(&DatagenConfig::tiny());
+    let film = kg.type_id("Film").unwrap();
+    let seeds = kg.type_extent(film)[..2].to_vec();
+    let cfg = RankingConfig::default();
+
+    let dir = std::env::temp_dir();
+    let snapshot_path = dir.join("pivote_warm_arch.pvte");
+    let sidecar = pivote_core::warm_sidecar_path(&snapshot_path);
+    pivote_kg::snapshot::save_to_path(&kg, &snapshot_path).unwrap();
+
+    // cold run: fill the cache, record the rankings, persist the sidecar
+    // stamped with the snapshot's content fingerprint
+    let cache = Arc::new(pivote_core::SharedCache::new());
+    let (cold_f, cold_e) = {
+        let ctx = QueryContext::with_cache(&kg, 1, Arc::clone(&cache));
+        let f = ctx.rank_features(&cfg, &seeds);
+        let e = ctx.rank_entities(&cfg, &seeds, &f);
+        (f, e)
+    };
+    let filled = cache.cached_probability_count();
+    assert!(filled > 0, "the cold run must fill the cache");
+    pivote_core::save_warm_state(&cache, pivote_kg::fingerprint(&kg), &sidecar).unwrap();
+
+    // "server restart": reload the snapshot and the warm sidecar — the
+    // loaded graph's fingerprint must accept the sidecar (the mutation
+    // generation resets on load, which is exactly why the pairing key
+    // is the content fingerprint)
+    let kg2 = pivote_kg::snapshot::load_from_path(&snapshot_path).unwrap();
+    assert_eq!(pivote_kg::fingerprint(&kg2), pivote_kg::fingerprint(&kg));
+    let warm = pivote_core::load_warm_state(&sidecar, pivote_kg::fingerprint(&kg2)).unwrap();
+    assert_eq!(
+        warm.cached_probability_count(),
+        filled,
+        "every persisted density must survive the roundtrip"
+    );
+    let ctx = QueryContext::with_cache(&kg2, 1, Arc::clone(&warm));
+    let warm_f = ctx.rank_features(&cfg, &seeds);
+    assert_eq!(warm_f, cold_f, "warm features must equal cold features");
+    let warm_e = ctx.rank_entities(&cfg, &seeds, &warm_f);
+    assert_eq!(warm_e.len(), cold_e.len());
+    for (a, b) in warm_e.iter().zip(&cold_e) {
+        assert_eq!(a.entity, b.entity);
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "warm score must be bit-identical to cold"
+        );
+    }
+    assert_eq!(
+        warm.cached_probability_count(),
+        filled,
+        "the warm run must be pure cache hits — no density recomputed"
+    );
+
+    // a logically different graph refuses the sidecar (start cold)
+    let mut grown = pivote_kg::snapshot::load_from_path(&snapshot_path).unwrap();
+    let mut d = pivote_kg::DeltaBatch::new();
+    d.entity("Warm_Staleness_Probe");
+    grown.apply(&d);
+    assert!(matches!(
+        pivote_core::load_warm_state(&sidecar, pivote_kg::fingerprint(&grown)),
+        Err(pivote_core::WarmStateError::StaleSidecar { .. })
+    ));
+
+    let _ = std::fs::remove_file(&snapshot_path);
+    let _ = std::fs::remove_file(&sidecar);
+}
+
+#[test]
 fn recommendations_are_deterministic_across_sessions() {
     let kg = kg();
     let film = kg.type_id("Film").unwrap();

@@ -9,11 +9,11 @@
 //!
 //! This is the regression net for the whole compaction path: the union
 //! rebuild (`to_graph`), the fresh partition (`from_graph` invariants),
-//! the generation stamping, and `LiveShardedGraph::compact_in_place`'s
-//! cache carry-over. Any drift in any of them breaks exact score
-//! equality here.
+//! the generation stamping, and `LiveStore::compact_concurrent`'s
+//! off-lock rebuild + validated swap with wholesale cache carry-over.
+//! Any drift in any of them breaks exact score equality here.
 
-use pivote_core::{Expander, GraphHandle, HeatMap, LiveShardedGraph, RankingConfig, SfQuery};
+use pivote_core::{Expander, GraphHandle, HeatMap, LiveStore, RankingConfig, SfQuery};
 use pivote_explore::{build_profile, EntityProfile};
 use pivote_kg::{shard_counts_from_env, DeltaBatch, EntityId, KgBuilder, Literal, ShardedGraph};
 use proptest::prelude::*;
@@ -268,10 +268,11 @@ proptest! {
         }
 
         // the live wrapper: append → query (warm the shared cache) →
-        // compact in place → query — the migrated cache must keep every
-        // answer exact, before and after more growth
+        // concurrent compaction (off-lock rebuild + validated swap) →
+        // query — the migrated cache must keep every answer exact,
+        // before and after more growth
         let target = shard_counts_from_env(&[1, 2, 3, 4])[0];
-        let live = LiveShardedGraph::with_threads(
+        let live = LiveStore::with_threads(
             ShardedGraph::from_graph(&base_builder(&base).finish(), 2),
             1,
         );
@@ -282,7 +283,7 @@ proptest! {
             assert_snapshots_equal(&got, &want1, "live pre-compact");
         }
         let warm = live.cache().cached_probability_count();
-        let receipt = live.compact_in_place(target);
+        let receipt = live.compact_concurrent(target);
         prop_assert_eq!(receipt.shards_after, target);
         prop_assert_eq!(
             live.cache().cached_probability_count(),

@@ -2,8 +2,9 @@
 //! queries must degrade gracefully, never panic.
 
 use pivote::prelude::*;
-use pivote_core::{Direction, LiveShardedGraph, RankedEntity};
+use pivote_core::{Direction, LiveStore, RankedEntity};
 use pivote_kg::{parse, DeltaBatch, ShardedGraph};
+use proptest::prelude::*;
 use std::sync::Arc;
 
 #[test]
@@ -122,20 +123,18 @@ fn session_survives_nonsense_actions() {
 
 #[test]
 fn compaction_racing_queries_never_tears() {
-    // readers hammer a grown LiveShardedGraph while a compactor swaps in
-    // the re-partitioned graph; every reader must see either the old or
-    // the new generation — never a torn view — and because compaction is
-    // answer-preserving, every reader's rankings must equal the union's
-    // regardless of which side of the swap its read guard landed on
+    // readers hammer a grown live store while a concurrent compactor
+    // rebuilds off-lock and swaps in the re-partitioned graph; every
+    // reader must see either the old or the new generation — never a
+    // torn view — and because compaction is answer-preserving, every
+    // reader's rankings must equal the union's regardless of which side
+    // of the swap its read guard landed on
     let kg = generate(&DatagenConfig::tiny());
     let film = kg.type_id("Film").unwrap();
     let seeds: Vec<EntityId> = kg.type_extent(film)[..2].to_vec();
     let cfg = RankingConfig::default();
 
-    let live = Arc::new(LiveShardedGraph::with_threads(
-        ShardedGraph::from_graph(&kg, 2),
-        1,
-    ));
+    let live = Arc::new(LiveStore::with_threads(ShardedGraph::from_graph(&kg, 2), 1));
     // grow four trailing shards, each minting a film wired to a seed
     let mut deltas: Vec<DeltaBatch> = Vec::new();
     for i in 0..4 {
@@ -193,7 +192,7 @@ fn compaction_racing_queries_never_tears() {
         }
         let live = Arc::clone(&live);
         scope.spawn(move || {
-            let receipt = live.compact_in_place(2);
+            let receipt = live.compact_concurrent(2);
             assert_eq!(receipt.shards_before, 6);
             assert_eq!(receipt.trailing_before, 4);
         });
@@ -207,6 +206,155 @@ fn compaction_racing_queries_never_tears() {
     let features = ctx.rank_features(&cfg, &seeds);
     assert_eq!(features, want_f);
     assert_matches(&ctx.rank_entities(&cfg, &seeds, &features), "post-swap");
+}
+
+/// Decode a delta spec: edges over `e0..e11` (e8..e11 are brand-new
+/// entities that mint a trailing shard) × predicates `p0..p3`.
+fn race_delta(spec: &[(u8, u8, u8)]) -> DeltaBatch {
+    let mut d = DeltaBatch::new();
+    for &(s, p, o) in spec {
+        d.triple(
+            format!("e{}", s % 12),
+            format!("p{}", p % 4),
+            format!("e{}", o % 12),
+        );
+    }
+    d
+}
+
+/// The base graph for the swap-race property: `e0..e7` plus the spec'd
+/// edges over them.
+fn race_base(edges: &[(u8, u8, u8)]) -> KnowledgeGraph {
+    let mut b = KgBuilder::new();
+    for i in 0..8u8 {
+        b.entity(&format!("e{i}"));
+    }
+    for &(s, p, o) in edges {
+        let s = b.entity(&format!("e{}", s % 8));
+        let p = b.predicate(&format!("p{}", p % 4));
+        let o = b.entity(&format!("e{}", o % 8));
+        b.triple(s, p, o);
+    }
+    b.finish()
+}
+
+fn race_rankings(
+    kg: &KnowledgeGraph,
+    seeds: &[EntityId],
+) -> (Vec<RankedFeature>, Vec<RankedEntity>) {
+    let cfg = RankingConfig::default();
+    let ctx = pivote_core::QueryContext::with_threads(kg, 1);
+    let f = ctx.rank_features(&cfg, seeds);
+    let e = ctx.rank_entities(&cfg, seeds, &f);
+    (f, e)
+}
+
+fn assert_rankings(
+    got: (&[RankedFeature], &[RankedEntity]),
+    want: (&[RankedFeature], &[RankedEntity]),
+    what: &str,
+) {
+    assert_eq!(got.0, want.0, "{what}: features");
+    assert_eq!(got.1.len(), want.1.len(), "{what}: entity count");
+    for (a, b) in got.1.iter().zip(want.1) {
+        assert_eq!(a.entity, b.entity, "{what}: entity order");
+        assert!((a.score - b.score).abs() == 0.0, "{what}: score tore");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Appends racing `compact_concurrent`: the hook fires between each
+    /// attempt's off-lock rebuild and its swap — mid-compaction — where
+    /// the test (a) probes that a query issued right there completes
+    /// against the *pre-swap* generation without waiting (the hook runs
+    /// on the compactor's own thread, so if the rebuild held either
+    /// lock, the probe's read guard — and the injected append's write
+    /// guard — would deadlock rather than proceed; the generation
+    /// assertion additionally pins that the reader was admitted before
+    /// the swap), and (b) injects an append, so the first rebuild is
+    /// guaranteed to lose the race and retry. Rankings must equal the
+    /// from-scratch union on both sides of the swap, and the losing
+    /// compaction must land on the grown state. (The wall-clock
+    /// blocked-time comparison against the stop-the-world pass lives in
+    /// `exp_scaling`'s BENCH_5 sweep, where a reader thread races the
+    /// rebuild itself.)
+    #[test]
+    fn prop_appends_racing_concurrent_compaction(
+        base_edges in proptest::collection::vec((0u8..8, 0u8..4, 0u8..8), 1..24),
+        d1 in proptest::collection::vec((0u8..12, 0u8..4, 0u8..12), 1..12),
+        d2 in proptest::collection::vec((0u8..12, 0u8..4, 0u8..12), 1..12),
+    ) {
+        let delta1 = race_delta(&d1);
+        let delta2 = race_delta(&d2);
+        let seeds: Vec<EntityId> = {
+            let kg = race_base(&base_edges);
+            vec![kg.entity("e0").unwrap(), kg.entity("e1").unwrap()]
+        };
+
+        // ground truths: from-scratch apply unions at both swap sides
+        let union1 = {
+            let mut kg = race_base(&base_edges);
+            kg.apply(&delta1);
+            kg
+        };
+        let union2 = {
+            let mut kg = race_base(&base_edges);
+            kg.apply(&delta1);
+            kg.apply(&delta2);
+            kg
+        };
+        let want1 = race_rankings(&union1, &seeds);
+        let want2 = race_rankings(&union2, &seeds);
+
+        let live = LiveStore::with_threads(
+            ShardedGraph::from_graph(&race_base(&base_edges), 2),
+            1,
+        );
+        live.append(&delta1);
+        let mut hook_calls = 0u32;
+        let receipt = live.compact_concurrent_hooked(2, |base_generation| {
+            hook_calls += 1;
+            // mid-compaction probe: this closure runs on the compactor's
+            // thread, so merely *acquiring* this read guard (and the
+            // write guard of the append below) proves the rebuild holds
+            // no lock here — a rebuild-under-lock regression deadlocks
+            // this line; the generation proves the reader was admitted
+            // before the swap, i.e. it never queued behind the rebuild
+            let reader = live.read();
+            assert_eq!(
+                reader.generation(),
+                base_generation,
+                "the probe reader must land on the pre-swap snapshot"
+            );
+            let cfg = RankingConfig::default();
+            let ctx = reader.ctx();
+            let f = ctx.rank_features(&cfg, &seeds);
+            let e = ctx.rank_entities(&cfg, &seeds, &f);
+            let want = if hook_calls == 1 { &want1 } else { &want2 };
+            assert_rankings((&f, &e), (&want.0, &want.1), "mid-compaction query");
+            drop(reader);
+            if hook_calls == 1 {
+                // inject the racing append: the rebuild this hook
+                // interrupted is now stale and must be discarded
+                live.append(&delta2);
+            }
+        });
+        prop_assert_eq!(receipt.attempts, 2, "the losing rebuild must retry");
+        prop_assert_eq!(hook_calls, 2);
+        prop_assert_eq!(receipt.shards_after, 2);
+        prop_assert_eq!(live.shard_count(), 2);
+        prop_assert_eq!(live.generation(), 3, "2 appends + 1 winning compaction");
+
+        // post-swap: the compacted store answers exactly the full union
+        let reader = live.read();
+        let cfg = RankingConfig::default();
+        let ctx = reader.ctx();
+        let f = ctx.rank_features(&cfg, &seeds);
+        let e = ctx.rank_entities(&cfg, &seeds, &f);
+        assert_rankings((&f, &e), (&want2.0, &want2.1), "post-swap query");
+    }
 }
 
 #[test]

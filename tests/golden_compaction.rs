@@ -122,3 +122,46 @@ fn golden_rankings_reproduce_through_the_compaction_path() {
         }
     }
 }
+
+#[test]
+fn golden_rankings_reproduce_through_the_concurrent_live_compaction_path() {
+    // the same four-quarter growth, driven through the unified live
+    // store with the off-lock concurrent compaction (rebuild off the
+    // write lock, generation-validated pointer swap): the rankings on
+    // both sides of the swap must still reproduce the golden file byte
+    // for byte — concurrent compaction is as answer-preserving as the
+    // offline pass
+    let golden_json = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file exists — regenerate with PIVOTE_GOLDEN_WRITE=1");
+    let golden: Golden = serde_json::from_str(&golden_json).expect("golden parses");
+
+    for shards in shard_counts_from_env(&[1, 3]) {
+        let (base, deltas) = quarters();
+        let live = pivote_core::LiveStore::with_threads(ShardedGraph::from_graph(&base, shards), 1);
+        for d in &deltas {
+            live.append(d);
+        }
+        {
+            let reader = live.read();
+            assert!(reader.graph().trailing_shard_count() > 0);
+            let pre = snapshot(&reader.handle());
+            assert_eq!(pre, golden, "pre-swap rankings (shards={shards})");
+        }
+        let warm = live.cache().cached_probability_count();
+        let receipt = live.compact_concurrent(2);
+        assert_eq!(receipt.shards_after, 2);
+        assert_eq!(receipt.attempts, 1, "no contention, no retries");
+        assert_eq!(
+            live.cache().cached_probability_count(),
+            warm,
+            "the swap must not drop any surviving density"
+        );
+        let reader = live.read();
+        assert_eq!(reader.graph().trailing_shard_count(), 0);
+        let post = snapshot(&reader.handle());
+        assert_eq!(
+            post, golden,
+            "post-swap rankings (shards={shards}) drifted from the golden file"
+        );
+    }
+}
