@@ -21,6 +21,9 @@
 //!   generation-stamped [`SharedCache`] across queries, sessions,
 //!   appends *and* compactions, with off-lock concurrent compaction and
 //!   a background [`MaintenanceHandle`];
+//! - [`ingest`]: [`StreamingIngest`] — bounded-memory N-Triples ingest
+//!   from any reader into a [`LiveStore`], composing with the
+//!   maintenance thread so shards stay balanced mid-ingest;
 //! - [`warm`]: persisted context warm-state — the `p(π|c)` cache as a
 //!   generation-checked sidecar next to the graph snapshot;
 //! - [`ranking`]: `r(π,Q) = d(π)·c(π,Q)` and
@@ -55,6 +58,7 @@ pub mod extent;
 pub mod feature;
 pub mod handle;
 pub mod heatmap;
+pub mod ingest;
 pub mod live;
 pub mod ranking;
 pub mod sharded;
@@ -67,6 +71,7 @@ pub use explain::{explain_cell, explain_pair, CellExplanation, PairExplanation};
 pub use feature::{features_of, Direction, SemanticFeature};
 pub use handle::GraphHandle;
 pub use heatmap::{HeatMap, HEAT_LEVELS};
+pub use ingest::{IngestReport, StreamingIngest, DEFAULT_BATCH_OPS};
 pub use live::{
     maintenance_from_env, LiveReader, LiveStore, MaintenanceHandle, MAX_OFFLOCK_ATTEMPTS,
 };

@@ -33,16 +33,109 @@
 //! at the same shard count: post-compaction must sit within noise of
 //! fresh. Rows go to `BENCH_4.json` (override with `BENCH4_OUT`).
 //!
+//! A fifth sweep measures **streaming ingest** at the 1M+-triple scale:
+//! each size's dump is serialized to a temp file, dropped from memory,
+//! and streamed back through `StreamingIngest` over a `LiveStore` in
+//! bounded batches — recording triples/sec, peak/final resident bytes
+//! (via a counting global allocator), the stream-side overhead above the
+//! store (the bounded-by-batch witness), and `rank_entities` latency
+//! sampled from live readers *during* the ingest. A `per_op` row
+//! (`max_ops = 1`) at the ~100k-triple scale is the pre-batching
+//! baseline the intern/splice optimization is measured against, and a
+//! `maintained` row streams through a 2-shard partition with the
+//! background maintenance thread absorbing trailing shards mid-ingest.
+//! Rows go to `BENCH_6.json` (override with `BENCH6_OUT`; cap the sweep
+//! with `PIVOTE_SCALE_FILMS`).
+//!
 //! Usage: `cargo run --release -p pivote-eval --bin exp_scaling [max_films]`
 
-use pivote_core::{Expander, GraphHandle, HeatMap, LiveStore, RankingConfig, SfQuery};
+use pivote_core::{
+    Expander, GraphHandle, HeatMap, LiveStore, MaintenanceHandle, RankingConfig, SfQuery,
+    StreamingIngest,
+};
 use pivote_kg::{
-    generate, split_growth, split_incremental, DatagenConfig, EntityId, KnowledgeGraph,
-    ShardedGraph,
+    generate, ntriples, split_growth, split_incremental, CompactionPolicy, DatagenConfig, EntityId,
+    KgBuilder, KnowledgeGraph, ShardedGraph,
 };
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Counting wrapper over the system allocator: tracks current and peak
+/// resident bytes so the streaming sweep can report real memory numbers
+/// without an external profiler. Relaxed atomics — the bench is
+/// effectively single-threaded and the counters are indicative, not a
+/// synchronization mechanism.
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    pub struct CountingAlloc;
+
+    static CURRENT: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    // SAFETY: delegates every allocation verbatim to `System`; the
+    // default `realloc`/`alloc_zeroed` route through `alloc`/`dealloc`,
+    // so the counters see every byte.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = unsafe { System.alloc(layout) };
+            if !p.is_null() {
+                let now = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+                PEAK.fetch_max(now, Ordering::Relaxed);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) };
+            CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn current() -> usize {
+        CURRENT.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since the last [`reset_peak`].
+    pub fn peak() -> usize {
+        PEAK.load(Ordering::Relaxed)
+    }
+
+    /// Restart peak tracking from the current level.
+    pub fn reset_peak() {
+        PEAK.store(current(), Ordering::Relaxed);
+    }
+}
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
+
+/// The shared JSON preamble of every `BENCH_*.json` this binary writes:
+/// schema, label, host cpu count, the thread accounting, and the
+/// single-core caveat — uniform across writers so no bench file ships
+/// without its host context again.
+fn bench_header(schema: &str, label: &str, cores: usize, threads: &str) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{schema}\",");
+    let _ = writeln!(out, "  \"label\": \"{label}\",");
+    let _ = writeln!(out, "  \"host_cpus\": {cores},");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(
+        out,
+        "  \"cpu_caveat\": \"measured on a {cores}-core host; on a single-core host every \
+         parallel fan-out (threads, shards, background maintenance) serializes, so scaling \
+         rows measure overhead rather than speedup\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p pivote-eval --bin exp_scaling\","
+    );
+    out
+}
 
 #[derive(Clone, Copy)]
 struct Measured {
@@ -101,16 +194,11 @@ fn print_row(r: &Row) {
 }
 
 fn write_json(rows: &[Row], cores: usize, path: &str) {
-    let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"pivote-shard-scaling/1\",");
-    let _ = writeln!(
-        out,
-        "  \"label\": \"Q3 scaling sweep: single vs sharded backend (shards=0 means single)\","
-    );
-    let _ = writeln!(out, "  \"host_cpus\": {cores},");
-    let _ = writeln!(
-        out,
-        "  \"command\": \"cargo run --release -p pivote-eval --bin exp_scaling\","
+    let mut out = bench_header(
+        "pivote-shard-scaling/2",
+        "Q3 scaling sweep: single vs sharded backend (shards=0 means single)",
+        cores,
+        "\"per-row (threads field)\"",
     );
     let _ = writeln!(out, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -241,18 +329,13 @@ fn print_append_row(r: &AppendRow) {
 }
 
 fn write_append_json(rows: &[AppendRow], cores: usize, path: &str) {
-    let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"pivote-append-throughput/1\",");
-    let _ = writeln!(
-        out,
-        "  \"label\": \"incremental store: apply() of the trailing delta_fraction of the \
-         entity triples (bulk 10% and small-batch 0.2% rows per size) vs from-scratch \
-         rebuild; work is the splice's element counter\","
-    );
-    let _ = writeln!(out, "  \"host_cpus\": {cores},");
-    let _ = writeln!(
-        out,
-        "  \"command\": \"cargo run --release -p pivote-eval --bin exp_scaling\","
+    let mut out = bench_header(
+        "pivote-append-throughput/2",
+        "incremental store: apply() of the trailing delta_fraction of the entity triples \
+         (bulk 10% and small-batch 0.2% rows per size) vs from-scratch rebuild; work is \
+         the splice's element counter",
+        cores,
+        "1",
     );
     let _ = writeln!(out, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -355,18 +438,13 @@ fn print_compact_row(r: &CompactRow) {
 }
 
 fn write_compact_json(rows: &[CompactRow], cores: usize, path: &str) {
-    let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"pivote-compaction/1\",");
-    let _ = writeln!(
-        out,
-        "  \"label\": \"live shard compaction: rank latency on a partition grown by N \
-         trailing shards (pre), after ShardedGraph::compact(2) (post), and on a fresh \
-         from_graph at the same shard count; compact_ms is the re-partition wall-clock\","
-    );
-    let _ = writeln!(out, "  \"host_cpus\": {cores},");
-    let _ = writeln!(
-        out,
-        "  \"command\": \"cargo run --release -p pivote-eval --bin exp_scaling\","
+    let mut out = bench_header(
+        "pivote-compaction/2",
+        "live shard compaction: rank latency on a partition grown by N trailing shards \
+         (pre), after ShardedGraph::compact(2) (post), and on a fresh from_graph at the \
+         same shard count; compact_ms is the re-partition wall-clock",
+        cores,
+        "\"per-row (threads field)\"",
     );
     let _ = writeln!(out, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -496,22 +574,14 @@ fn print_live_compact_row(r: &LiveCompactRow) {
 }
 
 fn write_live_compact_json(rows: &[LiveCompactRow], cores: usize, path: &str) {
-    let mut out = String::from("{\n");
-    let _ = writeln!(
-        out,
-        "  \"schema\": \"pivote-live-compaction-blocked-time/1\","
-    );
-    let _ = writeln!(
-        out,
-        "  \"label\": \"query blocked-time while a live compaction pass runs: \
-         stop-the-world LiveStore::compact_in_place (rebuild under the write lock) vs \
+    let mut out = bench_header(
+        "pivote-live-compaction-blocked-time/2",
+        "query blocked-time while a live compaction pass runs: stop-the-world \
+         LiveStore::compact_in_place (rebuild under the write lock) vs \
          LiveStore::compact_concurrent (off-lock rebuild, generation-validated swap); \
-         single-core host, so blocked-time — not throughput — is the comparable metric\","
-    );
-    let _ = writeln!(out, "  \"host_cpus\": {cores},");
-    let _ = writeln!(
-        out,
-        "  \"command\": \"cargo run --release -p pivote-eval --bin exp_scaling\","
+         single-core host, so blocked-time — not throughput — is the comparable metric",
+        cores,
+        "\"2 (1 query thread + 1 compactor)\"",
     );
     let _ = writeln!(out, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
@@ -537,6 +607,247 @@ fn write_live_compact_json(rows: &[LiveCompactRow], cores: usize, path: &str) {
     } else {
         println!("\nwrote {} rows to {path}", rows.len());
     }
+}
+
+/// One streaming-ingest measurement. `mode` is `stream` (batched ingest,
+/// single-graph store), `per_op` (`max_ops = 1` — the pre-batching
+/// baseline every per-statement apply pays), or `maintained` (2-shard
+/// store with the background maintenance thread absorbing trailing
+/// shards mid-ingest).
+struct ScaleRow {
+    films: usize,
+    triples: usize,
+    mode: &'static str,
+    batch_ops: usize,
+    shards: usize,
+    ingest_ms: f64,
+    triples_per_sec: f64,
+    /// High-water allocation during the ingest, store included.
+    peak_resident_bytes: usize,
+    /// Allocation level once the store holds the whole dump.
+    final_resident_bytes: usize,
+    /// `peak - final`: what the streaming pipeline transiently needs
+    /// *above* the store itself. Bounded by batch size, not dump size.
+    ingest_overhead_bytes: usize,
+    /// `final / triples` — the store's marginal cost per statement.
+    bytes_per_triple: f64,
+    rank_samples: usize,
+    rank_entities_mean_ms: f64,
+    maintenance_passes: u64,
+    work: u64,
+}
+
+/// Serialize a generated graph of `films` films to a temp file and
+/// return its path — the dump leaves memory before the ingest starts, so
+/// resident measurements see only the streaming pipeline and the store.
+fn write_scale_dump(films: usize) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("pivote_scale_{films}.nt"));
+    let kg = generate(&DatagenConfig::scaled(films, 7));
+    let dump = ntriples::serialize(&kg);
+    std::fs::write(&path, &dump).expect("write scale dump");
+    path
+}
+
+fn scale_ingest(films: usize, mode: &'static str, batch_ops: usize) -> ScaleRow {
+    let path = write_scale_dump(films);
+    let file = std::fs::File::open(&path).expect("open scale dump");
+    let reader = std::io::BufReader::with_capacity(1 << 16, file);
+
+    alloc_counter::reset_peak();
+    let before = alloc_counter::current();
+
+    let shards = if mode == "maintained" { 2 } else { 0 };
+    let store = if mode == "maintained" {
+        Arc::new(LiveStore::with_threads(
+            ShardedGraph::from_graph(&KgBuilder::new().finish(), 2),
+            1,
+        ))
+    } else {
+        Arc::new(LiveStore::with_threads(KgBuilder::new().finish(), 1))
+    };
+    let mut maintenance = (mode == "maintained").then(|| {
+        MaintenanceHandle::spawn(
+            Arc::clone(&store),
+            CompactionPolicy::default(),
+            2,
+            Duration::from_millis(1),
+        )
+    });
+
+    // sample rank_entities from a live reader at most every 100ms — the
+    // latency queries see while the ingest keeps invalidating the cache.
+    // Seeds spread over the already-ingested id range so the candidate
+    // pool grows with the store, like Q3's seed selection does.
+    let cfg = RankingConfig::default();
+    let sample_every = Duration::from_millis(100);
+    let mut last_sample = Instant::now();
+    let mut rank_ms: Vec<f64> = Vec::new();
+    // wall time the sampler itself spends (cold-cache rank_features +
+    // rank_entities), excluded from the throughput denominator so the
+    // sampling cadence doesn't skew triples/sec
+    let mut sample_overhead = Duration::ZERO;
+    let ingest = StreamingIngest::with_batch_size(Arc::clone(&store), batch_ops);
+    let t = Instant::now();
+    let report = ingest
+        .ingest_with(reader, |_| {
+            if last_sample.elapsed() >= sample_every {
+                let s0 = Instant::now();
+                let reader = store.read();
+                let handle = reader.handle();
+                // seed like Q3's sweep does — the first films of the
+                // (partially ingested) Film extent — so the sample is the
+                // real interactive operation, not a degenerate no-feature
+                // query
+                let seeds: Vec<EntityId> = handle
+                    .type_id("Film")
+                    .map(|t| handle.type_extent(t).iter().take(3).copied().collect())
+                    .unwrap_or_default();
+                if !seeds.is_empty() {
+                    let f = handle.rank_features(&cfg, &seeds);
+                    let t0 = Instant::now();
+                    let _ = handle.rank_entities(&cfg, &seeds, &f);
+                    rank_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                sample_overhead += s0.elapsed();
+                last_sample = Instant::now();
+            }
+        })
+        .expect("scale ingest");
+    let ingest_ms = t.elapsed().saturating_sub(sample_overhead).as_secs_f64() * 1e3;
+
+    let mut passes = 0;
+    if let Some(m) = maintenance.as_mut() {
+        let deadline = Instant::now() + Duration::from_secs(300);
+        while store.trailing_shard_count() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        m.stop();
+        passes = m.passes();
+        assert_eq!(store.trailing_shard_count(), 0, "maintenance fell behind");
+    }
+
+    let peak = alloc_counter::peak().saturating_sub(before);
+    let final_resident = alloc_counter::current().saturating_sub(before);
+    drop(ingest);
+    drop(maintenance);
+    drop(store);
+    let _ = std::fs::remove_file(&path);
+
+    let triples = report.stats.statements;
+    let rank_samples = rank_ms.len();
+    ScaleRow {
+        films,
+        triples,
+        mode,
+        batch_ops,
+        shards,
+        ingest_ms,
+        triples_per_sec: triples as f64 / (ingest_ms / 1e3).max(1e-9),
+        peak_resident_bytes: peak,
+        final_resident_bytes: final_resident,
+        ingest_overhead_bytes: peak.saturating_sub(final_resident),
+        bytes_per_triple: final_resident as f64 / triples.max(1) as f64,
+        rank_samples,
+        rank_entities_mean_ms: if rank_samples == 0 {
+            0.0
+        } else {
+            rank_ms.iter().sum::<f64>() / rank_samples as f64
+        },
+        maintenance_passes: passes,
+        work: report.work,
+    }
+}
+
+fn print_scale_row(r: &ScaleRow) {
+    println!(
+        "{:>8} {:>9} {:>10} {:>9} {:>10.0} {:>11.1} {:>11.1} {:>10.1} {:>7.1} {:>8} {:>9.3}",
+        r.films,
+        r.triples,
+        r.mode,
+        r.batch_ops,
+        r.triples_per_sec,
+        r.peak_resident_bytes as f64 / 1e6,
+        r.final_resident_bytes as f64 / 1e6,
+        r.ingest_overhead_bytes as f64 / 1e6,
+        r.bytes_per_triple,
+        r.rank_samples,
+        r.rank_entities_mean_ms
+    );
+}
+
+fn write_scale_json(rows: &[ScaleRow], cores: usize, path: &str) {
+    let mut out = bench_header(
+        "pivote-streaming-ingest/1",
+        "streaming N-Triples ingest from a temp-file dump through StreamingIngest over a \
+         LiveStore: batched stream rows (single store), batch-size sweep (overhead must \
+         track batch_ops, not dump size), a per_op baseline (max_ops=1 — what every \
+         statement-at-a-time apply pays), and a maintained row (2-shard store, background \
+         maintenance absorbing trailing shards mid-ingest); rank_entities sampled from \
+         live readers during the ingest",
+        cores,
+        "\"1 ingest thread (+1 maintenance thread in maintained rows)\"",
+    );
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"films\": {}, \"triples\": {}, \"mode\": \"{}\", \"batch_ops\": {}, \
+             \"shards\": {}, \"ingest_ms\": {:.3}, \"triples_per_sec\": {:.1}, \
+             \"peak_resident_bytes\": {}, \"final_resident_bytes\": {}, \
+             \"ingest_overhead_bytes\": {}, \"bytes_per_triple\": {:.2}, \
+             \"rank_samples\": {}, \"rank_entities_mean_ms\": {:.3}, \
+             \"maintenance_passes\": {}, \"apply_work\": {}}}{comma}",
+            r.films,
+            r.triples,
+            r.mode,
+            r.batch_ops,
+            r.shards,
+            r.ingest_ms,
+            r.triples_per_sec,
+            r.peak_resident_bytes,
+            r.final_resident_bytes,
+            r.ingest_overhead_bytes,
+            r.bytes_per_triple,
+            r.rank_samples,
+            r.rank_entities_mean_ms,
+            r.maintenance_passes,
+            r.work
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("\nwrote {} rows to {path}", rows.len());
+    }
+}
+
+fn scale_sweep(scale_max: usize) -> Vec<ScaleRow> {
+    let mut rows = Vec::new();
+    // the throughput/memory ladder up to 1M+ triples (32k films)
+    for films in [4_000usize, 8_000, 16_000, 32_000] {
+        if films > scale_max {
+            continue;
+        }
+        rows.push(scale_ingest(films, "stream", 16_384));
+    }
+    if scale_max >= 8_000 {
+        // batch-size sweep at a fixed scale: the overhead column must
+        // move with batch_ops while final resident stays put
+        rows.push(scale_ingest(8_000, "stream", 1_024));
+        rows.push(scale_ingest(8_000, "stream", 131_072));
+    }
+    if scale_max >= 4_000 {
+        // the 100k+-scale baseline the intern/splice batching is
+        // measured against: one append per statement
+        rows.push(scale_ingest(4_000, "per_op", 1));
+    }
+    if scale_max >= 8_000 {
+        rows.push(scale_ingest(8_000, "maintained", 16_384));
+    }
+    rows
 }
 
 fn main() {
@@ -639,5 +950,37 @@ fn main() {
         }
         let live_out = std::env::var("BENCH5_OUT").unwrap_or_else(|_| "BENCH_5.json".to_owned());
         write_live_compact_json(&live_compact_rows, cores, &live_out);
+    }
+
+    // streaming ingest at the 1M+-triple scale: throughput, resident
+    // memory (peak vs final — overhead must track batch size, not dump
+    // size), mid-ingest rank latency, and the per_op baseline
+    let scale_max: usize = std::env::var("PIVOTE_SCALE_FILMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32_000);
+    println!("\n== streaming ingest: throughput and resident memory vs scale and batch size ==");
+    println!(
+        "{:>8} {:>9} {:>10} {:>9} {:>10} {:>11} {:>11} {:>10} {:>7} {:>8} {:>9}",
+        "films",
+        "triples",
+        "mode",
+        "batch_ops",
+        "tripl/s",
+        "peak_MB",
+        "final_MB",
+        "ovhd_MB",
+        "B/tripl",
+        "samples",
+        "rank_ms"
+    );
+    let mut scale_rows = Vec::new();
+    for row in scale_sweep(scale_max) {
+        print_scale_row(&row);
+        scale_rows.push(row);
+    }
+    if !scale_rows.is_empty() {
+        let scale_out = std::env::var("BENCH6_OUT").unwrap_or_else(|_| "BENCH_6.json".to_owned());
+        write_scale_json(&scale_rows, cores, &scale_out);
     }
 }

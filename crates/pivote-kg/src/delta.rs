@@ -389,6 +389,13 @@ pub fn incremental_from_env() -> bool {
     env_flag("PIVOTE_INCREMENTAL")
 }
 
+/// Whether the `PIVOTE_SCALE=1` environment leg is active — the CI hook
+/// that enables the streaming-ingest scale smoke (a ~100k-triple dump
+/// streamed through `StreamingIngest` with background maintenance).
+pub fn scale_from_env() -> bool {
+    env_flag("PIVOTE_SCALE")
+}
+
 /// Replicate `kg`'s predicate/type/category dictionaries into `b` in
 /// global id order, so the builder's dense dictionary ids equal the
 /// source graph's — the first half of every id-preserving rebuild

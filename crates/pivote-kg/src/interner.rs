@@ -3,8 +3,49 @@
 //! The store dictionary-encodes every entity/predicate/type/category name
 //! once, so all downstream structures work on compact integer ids. Lookup
 //! by name is a single hash probe; lookup by id is an array index.
+//!
+//! Interning is the hottest dictionary operation of the ingest path
+//! (every op of every [`DeltaBatch`](crate::DeltaBatch) resolves 1–3
+//! names), so the table is hand-rolled rather than a
+//! `HashMap<String, u32>`:
+//!
+//! - **one hash, one probe** per intern — open addressing over a dense
+//!   `u32` slot array, with the full 64-bit hash stored per id so probe
+//!   collisions are rejected by an integer compare before any string
+//!   compare, and table growth re-files slots from stored hashes without
+//!   re-hashing a single string;
+//! - **one allocation per unique name** — the name lives only in the
+//!   id-indexed `names` vec (a `HashMap` key would duplicate it);
+//! - **pre-sizing** — [`Interner::reserve`] lets a batch apply grow the
+//!   table once up front instead of rehashing mid-splice.
 
-use std::collections::HashMap;
+/// Multiplier of the FxHash-style mix (the golden-ratio constant rustc's
+/// hasher uses); string hashing cost is on the ingest critical path, so
+/// the default SipHash is deliberately avoided.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Hash a name: FxHash-style 8-byte folding with a final length mix and
+/// bit spread. Not DoS-resistant — fine for dictionary encoding, where a
+/// collision costs one string compare, not correctness.
+#[inline]
+fn hash_name(name: &str) -> u64 {
+    let bytes = name.as_bytes();
+    let mut h = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = (h.rotate_left(5) ^ w).wrapping_mul(FX_SEED);
+    }
+    let mut tail = 0u64;
+    for &b in chunks.remainder() {
+        tail = (tail << 8) | u64::from(b);
+    }
+    h = (h.rotate_left(5) ^ tail).wrapping_mul(FX_SEED);
+    h = (h.rotate_left(5) ^ bytes.len() as u64).wrapping_mul(FX_SEED);
+    // spread the multiply's high-bit entropy into the low bits the table
+    // indexes with
+    h ^ (h >> 32)
+}
 
 /// A bijective `String <-> u32` interner.
 ///
@@ -12,9 +53,20 @@ use std::collections::HashMap;
 /// what lets extents be plain sorted `u32` slices.
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
-    by_name: HashMap<String, u32>,
+    /// Name per id — the only copy of each string.
     names: Vec<String>,
+    /// Hash per id, parallel to `names`: probe rejection and growth
+    /// re-filing never touch string bytes.
+    hashes: Vec<u64>,
+    /// Open-addressing slots holding `id + 1` (0 = empty). Power-of-two
+    /// length; empty until the first insert.
+    table: Vec<u32>,
+    /// `table.len() - 1` (0 while the table is empty).
+    mask: usize,
 }
+
+/// Smallest non-empty table; grows by doubling at 7/8 load.
+const MIN_TABLE: usize = 16;
 
 impl Interner {
     /// Create an empty interner.
@@ -24,28 +76,58 @@ impl Interner {
 
     /// Create an empty interner with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self {
-            by_name: HashMap::with_capacity(cap),
+        let mut s = Self {
             names: Vec::with_capacity(cap),
+            hashes: Vec::with_capacity(cap),
+            table: Vec::new(),
+            mask: 0,
+        };
+        s.grow_table(table_size_for(cap));
+        s
+    }
+
+    /// Pre-size the table for `additional` more names, so a batch of
+    /// interns triggers at most one rehash up front instead of several
+    /// mid-batch. Re-files existing slots from stored hashes — no string
+    /// is re-hashed.
+    pub fn reserve(&mut self, additional: usize) {
+        let want = table_size_for(self.names.len() + additional);
+        if want > self.table.len() {
+            self.names.reserve(additional);
+            self.hashes.reserve(additional);
+            self.grow_table(want);
         }
     }
 
     /// Intern `name`, returning its dense id. Repeated calls with the same
     /// name return the same id.
     pub fn intern(&mut self, name: &str) -> u32 {
-        if let Some(&id) = self.by_name.get(name) {
-            return id;
+        let hash = hash_name(name);
+        match self.probe(hash, name) {
+            Ok(id) => id,
+            Err(_) => self.insert_new(hash, name),
         }
-        let id =
-            u32::try_from(self.names.len()).expect("interner overflow: more than u32::MAX names");
-        self.names.push(name.to_owned());
-        self.by_name.insert(name.to_owned(), id);
-        id
+    }
+
+    /// Intern with a caller-computed [`Interner::hash_of`] value — the
+    /// batch-apply fast path when one name is resolved against several
+    /// dictionaries or memo tables without re-hashing.
+    pub fn intern_prehashed(&mut self, hash: u64, name: &str) -> u32 {
+        debug_assert_eq!(hash, hash_name(name), "prehashed value mismatch");
+        match self.probe(hash, name) {
+            Ok(id) => id,
+            Err(_) => self.insert_new(hash, name),
+        }
+    }
+
+    /// The hash [`Interner::intern_prehashed`] expects for `name`.
+    pub fn hash_of(name: &str) -> u64 {
+        hash_name(name)
     }
 
     /// Look up an already-interned name.
     pub fn get(&self, name: &str) -> Option<u32> {
-        self.by_name.get(name).copied()
+        self.probe(hash_name(name), name).ok()
     }
 
     /// Resolve an id back to its name. Panics if `id` was never issued.
@@ -75,6 +157,66 @@ impl Interner {
             .enumerate()
             .map(|(i, n)| (i as u32, n.as_str()))
     }
+
+    /// Find `name`'s id (`Ok`) or the empty slot it belongs in (`Err`).
+    #[inline]
+    fn probe(&self, hash: u64, name: &str) -> Result<u32, usize> {
+        if self.table.is_empty() {
+            return Err(usize::MAX);
+        }
+        let mut slot = (hash as usize) & self.mask;
+        loop {
+            match self.table[slot] {
+                0 => return Err(slot),
+                stored => {
+                    let id = stored - 1;
+                    if self.hashes[id as usize] == hash && self.names[id as usize] == name {
+                        return Ok(id);
+                    }
+                }
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Append a new name and file it into the table (growing first if the
+    /// insert would cross 7/8 load).
+    fn insert_new(&mut self, hash: u64, name: &str) -> u32 {
+        let id =
+            u32::try_from(self.names.len()).expect("interner overflow: more than u32::MAX names");
+        if self.table.is_empty() || (self.names.len() + 1) * 8 > self.table.len() * 7 {
+            self.grow_table((self.table.len() * 2).max(MIN_TABLE));
+        }
+        let slot = self
+            .probe(hash, name)
+            .expect_err("insert_new called for an absent name");
+        self.table[slot] = id + 1;
+        self.names.push(name.to_owned());
+        self.hashes.push(hash);
+        id
+    }
+
+    /// Replace the slot array with one of `size` slots (power of two) and
+    /// re-file every id from its stored hash.
+    fn grow_table(&mut self, size: usize) {
+        debug_assert!(size.is_power_of_two());
+        let mask = size - 1;
+        let mut table = vec![0u32; size];
+        for (id, &hash) in self.hashes.iter().enumerate() {
+            let mut slot = (hash as usize) & mask;
+            while table[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = id as u32 + 1;
+        }
+        self.table = table;
+        self.mask = mask;
+    }
+}
+
+/// Table size whose 7/8 load bound holds `n` names.
+fn table_size_for(n: usize) -> usize {
+    (n * 8 / 7 + 1).next_power_of_two().max(MIN_TABLE)
 }
 
 #[cfg(test)]
@@ -126,6 +268,49 @@ mod tests {
             collected,
             vec![(0, "x".into()), (1, "y".into()), (2, "z".into())]
         );
+    }
+
+    #[test]
+    fn prehashed_matches_plain_intern() {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        for name in ["x", "y", "x", "longer_name_beyond_one_chunk", "y"] {
+            assert_eq!(
+                a.intern(name),
+                b.intern_prehashed(Interner::hash_of(name), name)
+            );
+        }
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn reserve_preserves_contents_and_ids() {
+        let mut i = Interner::new();
+        for n in 0..100 {
+            i.intern(&format!("name_{n}"));
+        }
+        i.reserve(10_000);
+        for n in 0..100 {
+            assert_eq!(i.get(&format!("name_{n}")), Some(n));
+        }
+        assert_eq!(i.intern("name_5"), 5);
+        assert_eq!(i.intern("fresh"), 100);
+    }
+
+    #[test]
+    fn survives_many_grows_across_chunked_name_lengths() {
+        // names spanning the 8-byte folding boundary (7, 8, 9, 16, 17
+        // bytes) through several table doublings
+        let mut i = Interner::new();
+        let mut expect = Vec::new();
+        for n in 0..5000u32 {
+            let name = format!("{}{}", "x".repeat((n % 20) as usize), n);
+            expect.push((i.intern(&name), name));
+        }
+        for (id, name) in &expect {
+            assert_eq!(i.get(name), Some(*id));
+            assert_eq!(i.resolve(*id), name);
+        }
     }
 
     proptest! {

@@ -50,12 +50,15 @@ pub mod triple;
 pub use backend::GraphBackend;
 pub use datagen::{generate, DatagenConfig, Zipf};
 pub use delta::{
-    incremental_from_env, split_growth, split_incremental, AppliedDelta, CompactionReceipt,
-    DeltaBatch, DeltaOp,
+    incremental_from_env, scale_from_env, split_growth, split_incremental, AppliedDelta,
+    CompactionReceipt, DeltaBatch, DeltaOp,
 };
 pub use id::{CategoryId, EntityId, LiteralId, PredicateId, TypeId};
 pub use interner::Interner;
-pub use ntriples::{parse, parse_into_builder, parse_into_delta, serialize, ParseError};
+pub use ntriples::{
+    parse, parse_into_builder, parse_into_delta, parse_stream, serialize, ParseError, StreamError,
+    StreamStats,
+};
 pub use shard::maintenance_from_env;
 pub use shard::{
     compact_from_env, shard_counts_from_env, CompactionPolicy, GraphShard, ShardRouter,

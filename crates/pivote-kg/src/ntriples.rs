@@ -6,12 +6,26 @@
 //! ([`crate::schema`]) are routed into the store's dedicated indexes
 //! (types, categories, labels, aliases) instead of generic edges, matching
 //! how PivotE treats DBpedia input.
+//!
+//! Three entry points share one statement parser and one line filter:
+//!
+//! - [`parse`] / [`parse_into_builder`] — whole document to a fresh graph;
+//! - [`parse_into_delta`] — whole document to one [`DeltaBatch`];
+//! - [`parse_stream`] — any [`io::BufRead`] to a series of bounded
+//!   [`DeltaBatch`]es, for dumps too large to hold in memory.
+//!
+//! The parser works on borrowed slices of the current line: terms are
+//! never copied into intermediate `String`s (literals allocate only when
+//! they actually contain escapes), and the streaming path reuses one line
+//! buffer and one batch for the whole document.
 
 use crate::delta::DeltaBatch;
 use crate::schema;
 use crate::store::{KgBuilder, KnowledgeGraph};
 use crate::triple::{Literal, LiteralKind};
+use std::borrow::Cow;
 use std::fmt::Write as _;
+use std::io;
 
 /// A parse error with 1-based line number and message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,11 +48,78 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// One parsed term.
+/// Failure of a streaming parse: either the underlying reader or the
+/// N-Triples syntax.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The reader failed.
+    Io(io::Error),
+    /// A statement failed to parse (with its 1-based line number).
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "N-Triples stream read error: {e}"),
+            StreamError::Parse(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io(e) => Some(e),
+            StreamError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl From<ParseError> for StreamError {
+    fn from(e: ParseError) -> Self {
+        StreamError::Parse(e)
+    }
+}
+
+/// What a completed [`parse_stream`] run saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Statements parsed (one delta op each).
+    pub statements: usize,
+    /// Input lines read, including skipped comments and blanks.
+    pub lines: usize,
+    /// Batches handed to the sink.
+    pub batches: usize,
+}
+
+/// One parsed term, borrowing from the current line. Literal lexical forms
+/// stay borrowed unless the source contained escapes.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Term {
-    Iri(String),
-    Literal(Literal),
+enum TermRef<'a> {
+    Iri(&'a str),
+    Literal {
+        lexical: Cow<'a, str>,
+        kind: LiteralKind,
+    },
+}
+
+/// The single line filter every entry point routes through: returns the
+/// statement body, or `None` for blank lines and `# comment` lines.
+#[inline]
+fn statement_body(raw: &str) -> Option<&str> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        None
+    } else {
+        Some(line)
+    }
 }
 
 /// Parse an N-Triples document into a fresh [`KgBuilder`].
@@ -54,10 +135,9 @@ pub fn parse_into_builder(input: &str) -> Result<KgBuilder, ParseError> {
     let mut b = KgBuilder::new();
     let mut line_batch = DeltaBatch::new();
     for (lineno, raw) in input.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
+        let Some(line) = statement_body(raw) else {
             continue;
-        }
+        };
         parse_line_delta(line, lineno + 1, &mut line_batch)?;
         line_batch.apply_to_builder(&mut b);
         line_batch.clear();
@@ -79,57 +159,112 @@ pub fn parse(input: &str) -> Result<KnowledgeGraph, ParseError> {
 pub fn parse_into_delta(input: &str) -> Result<DeltaBatch, ParseError> {
     let mut d = DeltaBatch::new();
     for (lineno, raw) in input.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
+        let Some(line) = statement_body(raw) else {
             continue;
-        }
+        };
         parse_line_delta(line, lineno + 1, &mut d)?;
     }
     Ok(d)
 }
 
+/// Parse N-Triples from any buffered reader, handing the sink one
+/// [`DeltaBatch`] of at most `max_ops` ops at a time.
+///
+/// This is the bounded-memory ingest path: the document is never held in
+/// memory — one line buffer and one batch are reused for the whole
+/// stream, so peak memory is O(`max_ops`), not O(document). Ops arrive at
+/// the sink in exact line order and batch boundaries fall at fixed op
+/// counts, so splitting the same document into any sequence of read
+/// chunks yields the identical op sequence (and therefore an identical
+/// graph) as [`parse_into_delta`] — chunk boundaries cannot change
+/// interning order.
+///
+/// The batch passed to the sink is cleared and reused afterwards; sinks
+/// that need to keep ops must copy them out. `max_ops` is clamped to at
+/// least 1. The final partial batch is flushed before returning.
+pub fn parse_stream<R, F>(
+    reader: R,
+    max_ops: usize,
+    mut sink: F,
+) -> Result<StreamStats, StreamError>
+where
+    R: io::BufRead,
+    F: FnMut(&mut DeltaBatch),
+{
+    let max_ops = max_ops.max(1);
+    let mut reader = reader;
+    let mut line = String::new();
+    let mut batch = DeltaBatch::new();
+    let mut stats = StreamStats::default();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        stats.lines += 1;
+        if let Some(body) = statement_body(&line) {
+            parse_line_delta(body, stats.lines, &mut batch)?;
+            stats.statements += 1;
+            if batch.len() >= max_ops {
+                stats.batches += 1;
+                sink(&mut batch);
+                batch.clear();
+            }
+        }
+    }
+    if !batch.is_empty() {
+        stats.batches += 1;
+        sink(&mut batch);
+        batch.clear();
+    }
+    Ok(stats)
+}
+
 fn parse_line_delta(line: &str, lineno: usize, d: &mut DeltaBatch) -> Result<(), ParseError> {
     let (subject, predicate, object) = parse_statement(line, lineno)?;
-    match (predicate.as_str(), object) {
+    match (predicate, object) {
         // Redirect/disambiguation subjects are alias pages, not entities
         // of the graph proper — they become alias strings on the target,
         // so `parse(serialize(kg))` preserves the entity count.
-        (schema::DBO_REDIRECT, Term::Iri(o)) => {
+        (schema::DBO_REDIRECT, TermRef::Iri(o)) => {
             d.redirect(
-                schema::local_name(&subject).replace('_', " "),
-                schema::local_name(&o),
+                schema::local_name(subject).replace('_', " "),
+                schema::local_name(o),
             );
         }
-        (schema::DBO_DISAMBIGUATES, Term::Iri(o)) => {
+        (schema::DBO_DISAMBIGUATES, TermRef::Iri(o)) => {
             d.disambiguation(
-                schema::local_name(&subject).replace('_', " "),
-                schema::local_name(&o),
+                schema::local_name(subject).replace('_', " "),
+                schema::local_name(o),
             );
         }
-        (schema::RDF_TYPE, Term::Iri(o)) => {
-            d.typed(schema::local_name(&subject), schema::local_name(&o));
+        (schema::RDF_TYPE, TermRef::Iri(o)) => {
+            d.typed(schema::local_name(subject), schema::local_name(o));
         }
-        (schema::RDFS_LABEL, Term::Literal(l)) => {
-            d.label(schema::local_name(&subject), l.lexical);
+        (schema::RDFS_LABEL, TermRef::Literal { lexical, .. }) => {
+            d.label(schema::local_name(subject), lexical);
         }
-        (schema::DCT_SUBJECT, Term::Iri(o)) => {
+        (schema::DCT_SUBJECT, TermRef::Iri(o)) => {
             d.categorized(
-                schema::local_name(&subject),
-                schema::category_name(&o).replace('_', " "),
+                schema::local_name(subject),
+                schema::category_name(o).replace('_', " "),
             );
         }
-        (_, Term::Iri(o)) => {
+        (_, TermRef::Iri(o)) => {
             d.triple(
-                schema::local_name(&subject),
-                schema::local_name(&predicate),
-                schema::local_name(&o),
+                schema::local_name(subject),
+                schema::local_name(predicate),
+                schema::local_name(o),
             );
         }
-        (_, Term::Literal(l)) => {
+        (_, TermRef::Literal { lexical, kind }) => {
             d.literal(
-                schema::local_name(&subject),
-                schema::local_name(&predicate),
-                l,
+                schema::local_name(subject),
+                schema::local_name(predicate),
+                Literal {
+                    lexical: lexical.into_owned(),
+                    kind,
+                },
             );
         }
     }
@@ -143,16 +278,17 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
-/// Parse one statement into `(subject IRI, predicate IRI, object term)`.
-fn parse_statement(line: &str, lineno: usize) -> Result<(String, String, Term), ParseError> {
+/// Parse one statement into `(subject IRI, predicate IRI, object term)`,
+/// borrowing everything from `line`.
+fn parse_statement(line: &str, lineno: usize) -> Result<(&str, &str, TermRef<'_>), ParseError> {
     let mut rest = line;
     let subject = match take_term(&mut rest, lineno)? {
-        Term::Iri(iri) => iri,
-        Term::Literal(_) => return Err(err(lineno, "subject must be an IRI")),
+        TermRef::Iri(iri) => iri,
+        TermRef::Literal { .. } => return Err(err(lineno, "subject must be an IRI")),
     };
     let predicate = match take_term(&mut rest, lineno)? {
-        Term::Iri(iri) => iri,
-        Term::Literal(_) => return Err(err(lineno, "predicate must be an IRI")),
+        TermRef::Iri(iri) => iri,
+        TermRef::Literal { .. } => return Err(err(lineno, "predicate must be an IRI")),
     };
     let object = take_term(&mut rest, lineno)?;
     let rest = rest.trim_start();
@@ -163,7 +299,7 @@ fn parse_statement(line: &str, lineno: usize) -> Result<(String, String, Term), 
 }
 
 /// Consume one term (IRI or literal) from the front of `rest`.
-fn take_term(rest: &mut &str, lineno: usize) -> Result<Term, ParseError> {
+fn take_term<'a>(rest: &mut &'a str, lineno: usize) -> Result<TermRef<'a>, ParseError> {
     *rest = rest.trim_start();
     let bytes = rest.as_bytes();
     match bytes.first() {
@@ -171,12 +307,12 @@ fn take_term(rest: &mut &str, lineno: usize) -> Result<Term, ParseError> {
             let end = rest
                 .find('>')
                 .ok_or_else(|| err(lineno, "unterminated IRI"))?;
-            let iri = rest[1..end].to_owned();
+            let iri = &rest[1..end];
             if iri.is_empty() {
                 return Err(err(lineno, "empty IRI"));
             }
             *rest = &rest[end + 1..];
-            Ok(Term::Iri(iri))
+            Ok(TermRef::Iri(iri))
         }
         Some(b'"') => {
             let (lexical, consumed) = take_quoted(rest, lineno)?;
@@ -194,7 +330,7 @@ fn take_term(rest: &mut &str, lineno: usize) -> Result<Term, ParseError> {
                 kind = datatype_kind(dt);
                 *rest = &stripped[end + 1..];
             }
-            Ok(Term::Literal(Literal { lexical, kind }))
+            Ok(TermRef::Literal { lexical, kind })
         }
         Some(_) => Err(err(lineno, format!("unexpected term start: {rest:.20}"))),
         None => Err(err(lineno, "unexpected end of statement")),
@@ -202,15 +338,24 @@ fn take_term(rest: &mut &str, lineno: usize) -> Result<Term, ParseError> {
 }
 
 /// Parse a double-quoted string with `\"`, `\\`, `\n`, `\t`, `\r` escapes.
-/// Returns the unescaped content and how many input bytes were consumed
-/// (including both quotes).
-fn take_quoted(input: &str, lineno: usize) -> Result<(String, usize), ParseError> {
+/// Returns the content — borrowed when the source contains no escapes —
+/// and how many input bytes were consumed (including both quotes).
+fn take_quoted<'a>(input: &'a str, lineno: usize) -> Result<(Cow<'a, str>, usize), ParseError> {
     debug_assert!(input.starts_with('"'));
-    let mut out = String::new();
-    let mut chars = input.char_indices().skip(1).peekable();
+    let body = &input[1..];
+    let Some(stop) = body.find(['"', '\\']) else {
+        return Err(err(lineno, "unterminated string literal"));
+    };
+    if body.as_bytes()[stop] == b'"' {
+        // fast path: no escapes, borrow straight from the line
+        return Ok((Cow::Borrowed(&body[..stop]), stop + 2));
+    }
+    let mut out = String::with_capacity(body.len());
+    out.push_str(&body[..stop]);
+    let mut chars = body[stop..].char_indices();
     while let Some((i, c)) = chars.next() {
         match c {
-            '"' => return Ok((out, i + 1)),
+            '"' => return Ok((Cow::Owned(out), 1 + stop + i + 1)),
             '\\' => {
                 let (_, esc) = chars.next().ok_or_else(|| err(lineno, "dangling escape"))?;
                 out.push(match esc {
@@ -411,5 +556,80 @@ mod tests {
     fn empty_input_gives_empty_graph() {
         let kg = parse("").unwrap();
         assert_eq!(kg.entity_count(), 0);
+    }
+
+    /// Comments and blank lines (including indented and whitespace-only
+    /// ones) are skipped by every entry point identically.
+    #[test]
+    fn comments_and_blanks_skipped_in_all_entry_points() {
+        let src = "\n# leading comment\n  \t \n<http://s> <http://p> <http://o> .\n   # indented comment\n\n<http://s2> <http://p> <http://o> .\n\t\n# trailing comment";
+        let via_builder = parse_into_builder(src).unwrap().finish();
+        assert_eq!(via_builder.entity_count(), 3); // s, s2, o
+
+        let via_delta = parse_into_delta(src).unwrap();
+        assert_eq!(via_delta.len(), 2);
+
+        let mut streamed = DeltaBatch::new();
+        let stats = parse_stream(src.as_bytes(), 1, |b| {
+            for op in b.ops() {
+                streamed.push(op.clone());
+            }
+        })
+        .unwrap();
+        assert_eq!(stats.statements, 2);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(streamed.ops(), via_delta.ops());
+    }
+
+    /// The streamed op sequence equals the bulk `parse_into_delta` op
+    /// sequence regardless of batch size, and the final partial batch is
+    /// flushed.
+    #[test]
+    fn parse_stream_matches_bulk_parse() {
+        let bulk = parse_into_delta(SAMPLE).unwrap();
+        for max_ops in [1, 2, 3, 100] {
+            let mut streamed = DeltaBatch::new();
+            let mut sizes = Vec::new();
+            let stats = parse_stream(SAMPLE.as_bytes(), max_ops, |b| {
+                sizes.push(b.len());
+                for op in b.ops() {
+                    streamed.push(op.clone());
+                }
+            })
+            .unwrap();
+            assert_eq!(streamed.ops(), bulk.ops(), "max_ops={max_ops}");
+            assert_eq!(stats.statements, bulk.len());
+            assert_eq!(stats.batches, sizes.len());
+            assert!(sizes.iter().all(|&s| s <= max_ops.max(1)));
+        }
+    }
+
+    #[test]
+    fn parse_stream_reports_parse_errors_with_line_numbers() {
+        let src = "<http://s> <http://p> <http://o> .\n<http://s> bad .\n";
+        let e = parse_stream(src.as_bytes(), 8, |_| {}).unwrap_err();
+        match e {
+            StreamError::Parse(p) => assert_eq!(p.line, 2),
+            StreamError::Io(_) => panic!("expected parse error"),
+        }
+    }
+
+    #[test]
+    fn parse_stream_empty_input_sends_no_batches() {
+        let stats = parse_stream("".as_bytes(), 8, |_| panic!("no batch expected")).unwrap();
+        assert_eq!(stats, StreamStats::default());
+    }
+
+    /// Borrowed-literal fast path and escaped slow path agree with the
+    /// old always-owned behaviour.
+    #[test]
+    fn quoted_fast_and_slow_paths() {
+        let (plain, n) = take_quoted(r#""hello world" ."#, 1).unwrap();
+        assert!(matches!(plain, Cow::Borrowed("hello world")));
+        assert_eq!(n, 13);
+        let (esc, n) = take_quoted(r#""a\"b\\c" ."#, 1).unwrap();
+        assert_eq!(esc.as_ref(), "a\"b\\c");
+        assert!(matches!(esc, Cow::Owned(_)));
+        assert_eq!(n, 9);
     }
 }

@@ -690,9 +690,41 @@ impl KnowledgeGraph {
         let mut work: u64 = 0;
         let base_entities = self.entities.len() as u32;
 
+        // Pre-size the entity dictionary for the batch so interning never
+        // rehashes mid-apply. A batch of n ops introduces at most ~n new
+        // entity names, so the table overshoot is O(batch), never
+        // O(graph). The other dictionaries (predicates, types,
+        // categories) are small and self-size adequately.
+        self.entities.reserve(delta.len());
+
         // Pass 1: intern every name in op order and resolve ops to dense
         // ids. New entities/predicates/types/categories get exactly the
         // ids a rebuild replaying these ops into a KgBuilder would assign.
+        //
+        // Dump batches are heavily run-structured (N-Triples groups
+        // statements by subject), so each dictionary keeps a last-name
+        // memo per role: a repeated consecutive name resolves with one
+        // string compare and no hashing. Memoization can't perturb id
+        // assignment — interning is idempotent, so a memo hit returns
+        // exactly what a fresh intern would.
+        let mut memo_subject: Option<(&str, u32)> = None;
+        let mut memo_object: Option<(&str, u32)> = None;
+        let mut memo_pred: Option<(&str, u32)> = None;
+        let mut memo_type: Option<(&str, u32)> = None;
+        let mut memo_cat: Option<(&str, u32)> = None;
+        macro_rules! memoized {
+            ($memo:ident, $dict:expr, $name:expr) => {{
+                let name: &str = $name;
+                match $memo {
+                    Some((last, id)) if last == name => id,
+                    _ => {
+                        let id = $dict.intern(name);
+                        $memo = Some((name, id));
+                        id
+                    }
+                }
+            }};
+        }
         let mut edges: Vec<(EntityId, PredicateId, EntityId)> = Vec::new();
         let mut lit_adds: Vec<(EntityId, PredicateId, &Literal)> = Vec::new();
         let mut type_adds: Vec<(EntityId, TypeId)> = Vec::new();
@@ -702,44 +734,44 @@ impl KnowledgeGraph {
         for op in delta.ops() {
             match op {
                 DeltaOp::Entity { name } => {
-                    self.entities.intern(name);
+                    memoized!(memo_subject, self.entities, name);
                 }
                 DeltaOp::DeclarePredicate { name } => {
-                    self.predicates.intern(name);
+                    memoized!(memo_pred, self.predicates, name);
                 }
                 DeltaOp::DeclareType { name } => {
-                    self.types.intern(name);
+                    memoized!(memo_type, self.types, name);
                 }
                 DeltaOp::DeclareCategory { name } => {
-                    self.categories.intern(name);
+                    memoized!(memo_cat, self.categories, name);
                 }
                 DeltaOp::Triple { s, p, o } => {
-                    let s = EntityId::new(self.entities.intern(s));
-                    let p = PredicateId::new(self.predicates.intern(p));
-                    let o = EntityId::new(self.entities.intern(o));
+                    let s = EntityId::new(memoized!(memo_subject, self.entities, s));
+                    let p = PredicateId::new(memoized!(memo_pred, self.predicates, p));
+                    let o = EntityId::new(memoized!(memo_object, self.entities, o));
                     edges.push((s, p, o));
                 }
                 DeltaOp::LiteralTriple { s, p, value } => {
-                    let s = EntityId::new(self.entities.intern(s));
-                    let p = PredicateId::new(self.predicates.intern(p));
+                    let s = EntityId::new(memoized!(memo_subject, self.entities, s));
+                    let p = PredicateId::new(memoized!(memo_pred, self.predicates, p));
                     lit_adds.push((s, p, value));
                 }
                 DeltaOp::Typed { entity, type_name } => {
-                    let e = EntityId::new(self.entities.intern(entity));
-                    let t = TypeId::new(self.types.intern(type_name));
+                    let e = EntityId::new(memoized!(memo_subject, self.entities, entity));
+                    let t = TypeId::new(memoized!(memo_type, self.types, type_name));
                     type_adds.push((e, t));
                 }
                 DeltaOp::Categorized { entity, category } => {
-                    let e = EntityId::new(self.entities.intern(entity));
-                    let c = CategoryId::new(self.categories.intern(category));
+                    let e = EntityId::new(memoized!(memo_subject, self.entities, entity));
+                    let c = CategoryId::new(memoized!(memo_cat, self.categories, category));
                     cat_adds.push((e, c));
                 }
                 DeltaOp::Label { entity, label } => {
-                    let e = EntityId::new(self.entities.intern(entity));
+                    let e = EntityId::new(memoized!(memo_subject, self.entities, entity));
                     label_sets.push((e, label));
                 }
                 DeltaOp::Redirect { alias, target } | DeltaOp::Disambiguation { alias, target } => {
-                    let t = EntityId::new(self.entities.intern(target));
+                    let t = EntityId::new(memoized!(memo_subject, self.entities, target));
                     alias_adds.push((t, alias));
                 }
             }
@@ -809,26 +841,34 @@ impl KnowledgeGraph {
             self.pred_freq[p.index()] += 1;
         }
 
-        // Type / category assertions: membership rows + sorted extents.
-        let mut touched_types: Vec<TypeId> = Vec::new();
+        // Type / category assertions: membership rows per op (rows are
+        // per-entity and tiny), then one sort-and-merge splice per
+        // *touched extent* instead of a binary insert per op — a batch
+        // adding k members to one extent of n entities costs O(n + k)
+        // moves, not O(n·k).
+        let mut new_type_members: Vec<(TypeId, EntityId)> = Vec::new();
         for &(e, t) in &type_adds {
             if self.entity_types.insert(e, t.raw(), &mut work) {
-                let ext = &mut self.type_extents[t.index()];
-                let at = ext.partition_point(|&x| x < e);
-                work += (ext.len() - at) as u64 + 1;
-                ext.insert(at, e);
-                touched_types.push(t);
+                new_type_members.push((t, e));
             }
         }
-        let mut touched_categories: Vec<CategoryId> = Vec::new();
+        new_type_members.sort_unstable();
+        let mut touched_types: Vec<TypeId> = Vec::new();
+        for (t, adds) in group_pairs(&new_type_members) {
+            splice_extent(&mut self.type_extents[t.index()], adds, &mut work);
+            touched_types.push(t);
+        }
+        let mut new_cat_members: Vec<(CategoryId, EntityId)> = Vec::new();
         for &(e, c) in &cat_adds {
             if self.entity_cats.insert(e, c.raw(), &mut work) {
-                let ext = &mut self.cat_extents[c.index()];
-                let at = ext.partition_point(|&x| x < e);
-                work += (ext.len() - at) as u64 + 1;
-                ext.insert(at, e);
-                touched_categories.push(c);
+                new_cat_members.push((c, e));
             }
+        }
+        new_cat_members.sort_unstable();
+        let mut touched_categories: Vec<CategoryId> = Vec::new();
+        for (c, adds) in group_pairs(&new_cat_members) {
+            splice_extent(&mut self.cat_extents[c.index()], adds, &mut work);
+            touched_categories.push(c);
         }
 
         // Labels and aliases.
@@ -893,6 +933,61 @@ impl KnowledgeGraph {
             max_in_degree: max_in,
         }
     }
+}
+
+/// Iterate maximal runs of equal keys in a sorted pair slice, yielding
+/// each key once with its run (whose second elements are sorted and
+/// distinct, since the pairs are sorted and deduplicated upstream by the
+/// membership-row insert).
+fn group_pairs<K: Copy + PartialEq>(
+    pairs: &[(K, EntityId)],
+) -> impl Iterator<Item = (K, &[(K, EntityId)])> {
+    let mut i = 0;
+    std::iter::from_fn(move || {
+        if i >= pairs.len() {
+            return None;
+        }
+        let k = pairs[i].0;
+        let start = i;
+        while i < pairs.len() && pairs[i].0 == k {
+            i += 1;
+        }
+        Some((k, &pairs[start..i]))
+    })
+}
+
+/// Merge `adds` (second elements sorted, strictly increasing, disjoint
+/// from `ext`) into the sorted extent with a single backward in-place
+/// pass: elements below the lowest add never move, everything above it
+/// moves exactly once. The batched counterpart of a per-element
+/// binary-insert, whose repeated tail shifts are O(extent) *per add*.
+fn splice_extent<K: Copy>(ext: &mut Vec<EntityId>, adds: &[(K, EntityId)], work: &mut u64) {
+    debug_assert!(adds.windows(2).all(|w| w[0].1 < w[1].1));
+    let old_len = ext.len();
+    *work += adds.len() as u64;
+    if old_len == 0 || ext[old_len - 1] < adds[0].1 {
+        // pure append — the common case for dense-id batches, since new
+        // entities get ids above every existing extent member
+        ext.extend(adds.iter().map(|&(_, e)| e));
+        return;
+    }
+    let start = ext.partition_point(|&x| x < adds[0].1);
+    *work += (old_len - start) as u64;
+    ext.resize(old_len + adds.len(), adds[0].1);
+    let mut w = old_len + adds.len();
+    let mut r = old_len;
+    let mut a = adds.len();
+    while a > 0 {
+        while r > start && ext[r - 1] > adds[a - 1].1 {
+            w -= 1;
+            ext[w] = ext[r - 1];
+            r -= 1;
+        }
+        w -= 1;
+        ext[w] = adds[a - 1].1;
+        a -= 1;
+    }
+    debug_assert_eq!(w, r, "merge must consume exactly the shifted tail");
 }
 
 /// Aggregate statistics returned by [`KnowledgeGraph::summary`].
@@ -1222,6 +1317,39 @@ mod tests {
                  that smells like a rebuild",
                 receipt.work,
                 m
+            );
+        }
+
+        /// Regression guard for the batched extent splice: 10k `Typed`
+        /// ops into one extent, asserted in *descending* entity-id order
+        /// (the worst case for a per-op binary insert, which would shift
+        /// the whole tail on every add — ~50M element moves here). The
+        /// sort-then-merge splice does one O(extent + adds) pass per
+        /// touched extent, so total work stays within a small constant of
+        /// the op count.
+        #[test]
+        fn bulk_extent_work_is_linear_in_batch_size() {
+            let n: u32 = 10_000;
+            let mut b = KgBuilder::new();
+            for i in 0..n {
+                b.entity(&format!("e{i}"));
+            }
+            let mut kg = b.finish();
+            let mut d = DeltaBatch::new();
+            for i in (0..n).rev() {
+                d.typed(format!("e{i}"), "Big");
+            }
+            let receipt = kg.apply(&d);
+            assert_eq!(receipt.touched_types.len(), 1);
+            let big = kg.type_id("Big").unwrap();
+            let ext = kg.type_extent(big);
+            assert_eq!(ext.len(), n as usize);
+            assert!(ext.windows(2).all(|w| w[0] < w[1]), "extent stays sorted");
+            assert!(
+                receipt.work < 100_000,
+                "10k-op extent batch did {} work — that smells like a per-op \
+                 binary insert (quadratic tail shifting)",
+                receipt.work
             );
         }
 
