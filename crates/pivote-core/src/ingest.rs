@@ -35,10 +35,52 @@
 //! assert_eq!(report.added_relations, 1);
 //! ```
 
-use crate::live::LiveStore;
+use crate::live::{LiveStore, StoreError};
 use pivote_kg::{parse_stream, AppliedDelta, StreamError, StreamStats};
 use std::io;
 use std::sync::Arc;
+
+/// Why a streaming ingest stopped.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Reading or parsing the N-Triples stream failed (line-numbered
+    /// parse errors surface here).
+    Stream(StreamError),
+    /// The store refused an append — it was poisoned by a writer panic.
+    /// Batches applied before the refusal remain applied; no further
+    /// batch is attempted.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Stream(e) => e.fmt(f),
+            IngestError::Store(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Stream(e) => Some(e),
+            IngestError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<StreamError> for IngestError {
+    fn from(e: StreamError) -> Self {
+        IngestError::Stream(e)
+    }
+}
+
+impl From<StoreError> for IngestError {
+    fn from(e: StoreError) -> Self {
+        IngestError::Store(e)
+    }
+}
 
 /// Default ops per batch: large enough to amortize lock acquisition and
 /// per-extent splices, small enough that the in-flight batch stays a few
@@ -104,27 +146,41 @@ impl StreamingIngest {
     }
 
     /// Stream an N-Triples document from `reader` into the store.
-    pub fn ingest<R: io::BufRead>(&self, reader: R) -> Result<IngestReport, StreamError> {
+    pub fn ingest<R: io::BufRead>(&self, reader: R) -> Result<IngestReport, IngestError> {
         self.ingest_with(reader, |_| {})
     }
 
     /// Stream with an observer called after every applied batch — the
     /// hook mid-ingest latency sampling and progress reporting attach to.
-    pub fn ingest_with<R, F>(&self, reader: R, mut observer: F) -> Result<IngestReport, StreamError>
+    pub fn ingest_with<R, F>(&self, reader: R, mut observer: F) -> Result<IngestReport, IngestError>
     where
         R: io::BufRead,
         F: FnMut(&AppliedDelta),
     {
         let mut report = IngestReport::default();
+        // a refused append (poisoned store) stops all further appends;
+        // the error is surfaced after the parse loop unwinds
+        let mut store_error: Option<StoreError> = None;
         let stats = parse_stream(reader, self.max_ops, |batch| {
-            let applied = self.store.append(batch);
-            report.new_entities += (applied.new_entities.end - applied.new_entities.start) as usize;
-            report.added_relations += applied.added_relations;
-            report.added_literals += applied.added_literals;
-            report.work += applied.work;
-            report.final_generation = applied.generation;
-            observer(&applied);
+            if store_error.is_some() {
+                return;
+            }
+            match self.store.append(batch) {
+                Ok(applied) => {
+                    report.new_entities +=
+                        (applied.new_entities.end - applied.new_entities.start) as usize;
+                    report.added_relations += applied.added_relations;
+                    report.added_literals += applied.added_literals;
+                    report.work += applied.work;
+                    report.final_generation = applied.generation;
+                    observer(&applied);
+                }
+                Err(e) => store_error = Some(e),
+            }
         })?;
+        if let Some(e) = store_error {
+            return Err(e.into());
+        }
         report.stats = stats;
         Ok(report)
     }

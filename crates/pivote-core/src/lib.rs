@@ -71,9 +71,10 @@ pub use explain::{explain_cell, explain_pair, CellExplanation, PairExplanation};
 pub use feature::{features_of, Direction, SemanticFeature};
 pub use handle::GraphHandle;
 pub use heatmap::{HeatMap, HEAT_LEVELS};
-pub use ingest::{IngestReport, StreamingIngest, DEFAULT_BATCH_OPS};
+pub use ingest::{IngestError, IngestReport, StreamingIngest, DEFAULT_BATCH_OPS};
 pub use live::{
-    maintenance_from_env, LiveReader, LiveStore, MaintenanceHandle, MAX_OFFLOCK_ATTEMPTS,
+    maintenance_from_env, LiveReader, LiveStore, MaintenanceHandle, StoreError,
+    MAX_OFFLOCK_ATTEMPTS,
 };
 #[allow(deprecated)]
 pub use live::{LiveGraph, LiveShardedGraph, LiveShardedReader};

@@ -52,6 +52,42 @@ use std::time::Duration;
 /// `PIVOTE_*` CI-leg flag.)
 pub use pivote_kg::maintenance_from_env;
 
+/// Why a live-store write was refused.
+///
+/// The store's poisoning policy (exercised by
+/// `tests/failure_injection.rs`): when a writer thread panics while
+/// holding the write lock, **writes fail closed** — every subsequent
+/// [`LiveStore::append`] and compaction returns
+/// [`StoreError::Poisoned`] instead of splicing into state the store can
+/// no longer vouch for — while **reads recover** and keep serving the
+/// snapshot behind the lock. The read side is safe to serve because the
+/// graph's delta splice completes before the append path runs anything
+/// else (cache invalidation, hooks), so a panic on those trailing steps
+/// leaves a fully consistent store; refusing reads would turn one
+/// poisoned writer into a full outage for no integrity gain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// A writer panicked while holding the store's write lock; the store
+    /// is read-only until the process restarts (e.g. from a warm-state
+    /// snapshot).
+    Poisoned,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Poisoned => {
+                write!(
+                    f,
+                    "live store poisoned: a writer panicked; store is read-only"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
 /// An in-memory knowledge-graph store — single or sharded layout — that
 /// can grow (and be re-partitioned) while sessions query it.
 pub struct LiveStore {
@@ -73,9 +109,22 @@ impl LiveStore {
 
     /// Wrap a store with an explicit per-context worker-thread count.
     pub fn with_threads(store: impl Into<GraphBackend>, threads: usize) -> Self {
+        Self::with_cache(store, threads, Arc::new(SharedCache::new()))
+    }
+
+    /// Wrap a store around an **existing** shared cache — the warm-restart
+    /// path: pair a freshly opened snapshot with the cache rebuilt from
+    /// its warm-state sidecar ([`crate::load_warm_state`]), so the first
+    /// queries after a restart hit memoized densities instead of
+    /// recomputing every `p(π|c)` from the extents.
+    pub fn with_cache(
+        store: impl Into<GraphBackend>,
+        threads: usize,
+        cache: Arc<SharedCache>,
+    ) -> Self {
         Self {
             store: RwLock::new(store.into()),
-            cache: Arc::new(SharedCache::new()),
+            cache,
             threads: threads.max(1),
         }
     }
@@ -86,45 +135,68 @@ impl LiveStore {
         &self.cache
     }
 
+    /// Read-side lock acquisition under the poisoning policy: reads
+    /// recover ([`StoreError`] explains why that is sound) and keep the
+    /// store queryable after a writer panic.
+    fn read_store(&self) -> RwLockReadGuard<'_, GraphBackend> {
+        self.store.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Whether a writer panic has poisoned the store (reads still work;
+    /// writes return [`StoreError::Poisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.store.is_poisoned()
+    }
+
     /// The store's current mutation generation.
     pub fn generation(&self) -> u64 {
-        self.store.read().expect("live store poisoned").generation()
+        self.read_store().generation()
     }
 
     /// The current shard count (1 for the single layout).
     pub fn shard_count(&self) -> usize {
-        self.store
-            .read()
-            .expect("live store poisoned")
-            .shard_count()
+        self.read_store().shard_count()
     }
 
     /// Trailing shards appended by deltas since the last deliberate
     /// partition (always 0 for the single layout).
     pub fn trailing_shard_count(&self) -> usize {
-        self.store
-            .read()
-            .expect("live store poisoned")
-            .trailing_shard_count()
+        self.read_store().trailing_shard_count()
     }
 
     /// Append a batch: write-locks the store, splices the delta in place
     /// and drops exactly the touched cache entries before readers can see
-    /// the new extents.
-    pub fn append(&self, delta: &DeltaBatch) -> AppliedDelta {
-        let mut store = self.store.write().expect("live store poisoned");
+    /// the new extents. Fails closed with [`StoreError::Poisoned`] after
+    /// a writer panic — the store is read-only from then on.
+    pub fn append(&self, delta: &DeltaBatch) -> Result<AppliedDelta, StoreError> {
+        self.append_hooked(delta, |_| {})
+    }
+
+    /// [`LiveStore::append`] with a test seam: `hook` runs under the
+    /// write lock *after* the splice and the cache invalidation, at a
+    /// point where the store is complete and consistent. The
+    /// failure-injection suite panics inside it to poison the lock
+    /// deterministically; production code wants [`LiveStore::append`].
+    pub fn append_hooked(
+        &self,
+        delta: &DeltaBatch,
+        hook: impl FnOnce(&AppliedDelta),
+    ) -> Result<AppliedDelta, StoreError> {
+        let mut store = self.store.write().map_err(|_| StoreError::Poisoned)?;
         let applied = store.apply(delta);
         self.cache.invalidate(&applied);
-        applied
+        hook(&applied);
+        Ok(applied)
     }
 
     /// Take a read guard for one query (or a batch of queries). Appends
     /// and compaction swaps block until every outstanding reader is done;
     /// the concurrent compaction *rebuild* does not take the write lock,
-    /// so it never blocks on readers nor readers on it.
+    /// so it never blocks on readers nor readers on it. Reads survive a
+    /// writer panic (see [`StoreError`]).
     pub fn read(&self) -> LiveReader<'_> {
         LiveReader {
-            guard: self.store.read().expect("live store poisoned"),
+            guard: self.read_store(),
             cache: Arc::clone(&self.cache),
             threads: self.threads,
         }
@@ -132,7 +204,7 @@ impl LiveStore {
 
     /// Unwrap the owned backend (consumes the wrapper).
     pub fn into_inner(self) -> GraphBackend {
-        self.store.into_inner().expect("live store poisoned")
+        self.store.into_inner().unwrap_or_else(|p| p.into_inner())
     }
 
     // ---- compaction ----------------------------------------------------
@@ -148,23 +220,26 @@ impl LiveStore {
     ///
     /// On the single layout compaction is the identity (a single graph
     /// is always one partition): no generation bump, a 1→1 receipt.
-    pub fn compact_in_place(&self, target_shards: usize) -> CompactionReceipt {
-        let mut store = self.store.write().expect("live store poisoned");
+    ///
+    /// Like every write, compaction fails closed with
+    /// [`StoreError::Poisoned`] after a writer panic.
+    pub fn compact_in_place(&self, target_shards: usize) -> Result<CompactionReceipt, StoreError> {
+        let mut store = self.store.write().map_err(|_| StoreError::Poisoned)?;
         if let GraphBackend::Single(kg) = &*store {
-            return single_noop_receipt(kg);
+            return Ok(single_noop_receipt(kg));
         }
         let shards_before = store.shard_count();
         let trailing_before = store.trailing_shard_count();
         *store = store.compact(target_shards);
         self.cache.note_compaction();
-        CompactionReceipt {
+        Ok(CompactionReceipt {
             generation: store.generation(),
             shards_before,
             shards_after: store.shard_count(),
             trailing_before,
             entities: store.entity_count(),
             attempts: 1,
-        }
+        })
     }
 
     /// Off-lock re-partition: clone the store under a read guard (cheap
@@ -187,7 +262,10 @@ impl LiveStore {
     /// partitioning, so nothing is dropped and answers before and after
     /// the swap are bit-identical (`tests/compaction_equivalence.rs`,
     /// `tests/failure_injection.rs`).
-    pub fn compact_concurrent(&self, target_shards: usize) -> CompactionReceipt {
+    pub fn compact_concurrent(
+        &self,
+        target_shards: usize,
+    ) -> Result<CompactionReceipt, StoreError> {
         self.compact_concurrent_hooked(target_shards, |_| {})
     }
 
@@ -202,15 +280,15 @@ impl LiveStore {
         &self,
         target_shards: usize,
         mut mid_rebuild: impl FnMut(u64),
-    ) -> CompactionReceipt {
+    ) -> Result<CompactionReceipt, StoreError> {
         let mut attempts = 0u64;
         loop {
             attempts += 1;
             // phase 1: consistent snapshot under a read guard
             let (clone, base_generation) = {
-                let guard = self.store.read().expect("live store poisoned");
+                let guard = self.read_store();
                 if let GraphBackend::Single(kg) = &*guard {
-                    return single_noop_receipt(kg);
+                    return Ok(single_noop_receipt(kg));
                 }
                 (guard.clone(), guard.generation())
             };
@@ -222,8 +300,9 @@ impl LiveStore {
             let fresh = clone.compact(target_shards);
             mid_rebuild(base_generation);
 
-            // phase 3: validate + swap under the write lock
-            let mut store = self.store.write().expect("live store poisoned");
+            // phase 3: validate + swap under the write lock (a write, so
+            // a poisoned lock fails the pass closed)
+            let mut store = self.store.write().map_err(|_| StoreError::Poisoned)?;
             if store.generation() != base_generation {
                 if attempts < MAX_OFFLOCK_ATTEMPTS {
                     continue; // a racing append won; rebuild against the new state
@@ -235,25 +314,25 @@ impl LiveStore {
                 let trailing_before = store.trailing_shard_count();
                 *store = store.compact(target_shards);
                 self.cache.note_compaction();
-                return CompactionReceipt {
+                return Ok(CompactionReceipt {
                     generation: store.generation(),
                     shards_before,
                     shards_after: store.shard_count(),
                     trailing_before,
                     entities: store.entity_count(),
                     attempts: attempts + 1,
-                };
+                });
             }
             *store = fresh;
             self.cache.note_compaction();
-            return CompactionReceipt {
+            return Ok(CompactionReceipt {
                 generation: store.generation(),
                 shards_before,
                 shards_after: store.shard_count(),
                 trailing_before,
                 entities: store.entity_count(),
                 attempts,
-            };
+            });
         }
     }
 
@@ -269,12 +348,17 @@ impl LiveStore {
         target_shards: usize,
     ) -> Option<CompactionReceipt> {
         {
-            let guard = self.store.read().expect("live store poisoned");
+            // a poisoned store is read-only: never schedule a compaction
+            // for it (the maintenance thread keeps ticking harmlessly)
+            let guard = match self.store.read() {
+                Ok(guard) => guard,
+                Err(_) => return None,
+            };
             if !guard.needs_compaction(policy) {
                 return None;
             }
         }
-        Some(self.compact_concurrent(target_shards))
+        self.compact_concurrent(target_shards).ok()
     }
 }
 
@@ -471,7 +555,7 @@ mod tests {
             "brand_new_link",
             &names[3],
         );
-        let receipt = live.append(&delta);
+        let receipt = live.append(&delta).expect("store healthy");
         assert_eq!(receipt.generation, 1);
         assert_eq!(live.generation(), 1);
         assert_eq!(live.cache().generation(), 1);
@@ -518,7 +602,7 @@ mod tests {
             "fresh_live_pred",
             "Fresh_Live_Entity",
         );
-        live.append(&delta);
+        live.append(&delta).expect("store healthy");
         assert_eq!(live.generation(), 1);
 
         let mut union = generate(&DatagenConfig::tiny());
@@ -548,7 +632,7 @@ mod tests {
                 "fresh_live_pred",
                 kg.entity_name(s[0]).to_owned(),
             );
-            live.append(&d);
+            live.append(&d).expect("store healthy");
         }
         assert_eq!(live.shard_count(), 5);
         // warm the cache and take the pre-compaction answer
@@ -596,12 +680,12 @@ mod tests {
 
     #[test]
     fn compact_in_place_swaps_the_partition_and_keeps_the_cache_warm() {
-        compaction_keeps_cache_and_answers(|live, target| live.compact_in_place(target));
+        compaction_keeps_cache_and_answers(|live, target| live.compact_in_place(target).unwrap());
     }
 
     #[test]
     fn compact_concurrent_swaps_the_partition_and_keeps_the_cache_warm() {
-        compaction_keeps_cache_and_answers(|live, target| live.compact_concurrent(target));
+        compaction_keeps_cache_and_answers(|live, target| live.compact_concurrent(target).unwrap());
     }
 
     #[test]
@@ -610,7 +694,7 @@ mod tests {
         let live = LiveStore::with_threads(ShardedGraph::from_graph(&kg, 2), 1);
         let mut d = DeltaBatch::new();
         d.entity("Race_Seed_Entity");
-        live.append(&d);
+        live.append(&d).expect("store healthy");
         assert_eq!(live.shard_count(), 3);
 
         // inject an append between the rebuild and the swap: the first
@@ -622,9 +706,10 @@ mod tests {
                 assert_eq!(base_generation, 1);
                 let mut d = DeltaBatch::new();
                 d.entity("Racing_Append_Entity");
-                live.append(&d);
+                live.append(&d).expect("store healthy");
             }
         });
+        let receipt = receipt.unwrap();
         assert_eq!(receipt.attempts, 2, "the losing rebuild must retry");
         assert_eq!(receipt.shards_after, 2);
         assert_eq!(live.shard_count(), 2);
@@ -646,9 +731,10 @@ mod tests {
         let receipt = live.compact_concurrent_hooked(2, |_| {
             let mut d = DeltaBatch::new();
             d.entity(format!("Sustained_Append_{appended}"));
-            live.append(&d);
+            live.append(&d).expect("store healthy");
             appended += 1;
         });
+        let receipt = receipt.unwrap();
         assert_eq!(
             receipt.attempts,
             MAX_OFFLOCK_ATTEMPTS + 1,
@@ -672,7 +758,10 @@ mod tests {
     fn compaction_is_the_identity_on_the_single_layout() {
         let live = LiveStore::with_threads(generate(&DatagenConfig::tiny()), 1);
         let cache_gen = live.cache().generation();
-        for receipt in [live.compact_in_place(4), live.compact_concurrent(4)] {
+        for receipt in [
+            live.compact_in_place(4).unwrap(),
+            live.compact_concurrent(4).unwrap(),
+        ] {
             assert_eq!(receipt.shards_before, 1);
             assert_eq!(receipt.shards_after, 1);
             assert_eq!(receipt.generation, 0, "no generation bump on single");
@@ -699,7 +788,7 @@ mod tests {
         for i in 0..2 {
             let mut d = DeltaBatch::new();
             d.entity(format!("Policy_Grown_{i}"));
-            live.append(&d);
+            live.append(&d).expect("store healthy");
         }
         let receipt = live
             .maybe_compact(&policy, 3)
@@ -725,7 +814,7 @@ mod tests {
         for i in 0..3 {
             let mut d = DeltaBatch::new();
             d.entity(format!("Maintained_{i}"));
-            live.append(&d);
+            live.append(&d).expect("store healthy");
         }
         // the background thread must absorb the tail without any caller
         // ever invoking a compaction entry point

@@ -78,7 +78,7 @@ fn append_drops_exactly_the_touched_densities() {
     delta
         .triple("Freshly_Appended_Film", "starring", &anchor_name)
         .categorized("Freshly_Appended_Film", cat_name);
-    let receipt = live.append(&delta);
+    let receipt = live.append(&delta).expect("store healthy");
     assert_eq!(receipt.touched_in.len(), 1, "one feature extent touched");
     assert_eq!(receipt.touched_categories.len(), 1);
 
@@ -206,7 +206,7 @@ fn appends_racing_queries_converge_to_the_union() {
         let deltas = &deltas;
         scope.spawn(move || {
             for d in deltas {
-                live.append(d);
+                live.append(d).expect("store healthy");
             }
         });
     });

@@ -118,7 +118,29 @@ static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
 /// schema, label, host cpu count, the thread accounting, and the
 /// single-core caveat — uniform across writers so no bench file ships
 /// without its host context again.
+///
+/// Schema and label collisions are a **hard error**: two writers
+/// claiming the same identity means two bench files shadowing each
+/// other (exactly how the serving bench almost shipped as the already
+/// taken `BENCH_6.json`), so the process aborts rather than publishing
+/// ambiguous results.
 fn bench_header(schema: &str, label: &str, cores: usize, threads: &str) -> String {
+    use std::sync::Mutex;
+    static CLAIMED: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+    {
+        let mut claimed = CLAIMED.lock().expect("bench registry healthy");
+        for (s, l) in claimed.iter() {
+            assert!(
+                s != schema,
+                "bench_header schema collision: {schema:?} already written under label {l:?}"
+            );
+            assert!(
+                l != label,
+                "bench_header label collision: {label:?} already written under schema {s:?}"
+            );
+        }
+        claimed.push((schema.to_owned(), label.to_owned()));
+    }
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema\": \"{schema}\",");
     let _ = writeln!(out, "  \"label\": \"{label}\",");
@@ -506,7 +528,7 @@ fn live_compaction_sweep(kg: &KnowledgeGraph, films: usize) -> Vec<LiveCompactRo
             let (base, batches) = split_growth(kg, 0.9, 32);
             let store = LiveStore::with_threads(ShardedGraph::from_graph(&base, 2), 1);
             for b in &batches {
-                store.append(b);
+                store.append(b).expect("store healthy");
             }
             let trailing = store.trailing_shard_count();
             // warm the shared cache so the racing queries measure lock
@@ -526,7 +548,8 @@ fn live_compaction_sweep(kg: &KnowledgeGraph, films: usize) -> Vec<LiveCompactRo
                     let receipt = match mode {
                         "in_place" => store.compact_in_place(2),
                         _ => store.compact_concurrent(2),
-                    };
+                    }
+                    .expect("store healthy");
                     let ms = t.elapsed().as_secs_f64() * 1e3;
                     done.store(true, Ordering::SeqCst);
                     assert_eq!(receipt.shards_after, 2);

@@ -1,0 +1,360 @@
+//! Serving-layer latency benchmark (`BENCH_7.json`).
+//!
+//! Spawns a real `pivote-serve` [`Server`] on an ephemeral port and
+//! drives it over TCP with a mixed read+append load: reader clients
+//! issue `rank` and `search` requests while a writer client appends
+//! N-Triples deltas, all timed end to end (request line out → response
+//! line in). Halfway through, the benchmark **stops the server
+//! gracefully and restarts it from the warm-state sidecar**, asserting
+//! through the `stats` probe that repeat queries recompute **zero**
+//! `p(π|c)` densities — the cold-cache-free restart the serving layer
+//! promises — then finishes the load against the second life.
+//!
+//! The final served state is diffed against a library-only replay of
+//! the same deltas (exact serialized bit-identity: one writer means one
+//! deterministic append order), so the CI serve leg doubles as an
+//! end-to-end equivalence check.
+//!
+//! Output: p50/p99/max per op class to `BENCH_7.json` (override with
+//! `BENCH7_OUT`; shrink the load with `PIVOTE_SERVE_OPS`).
+
+use pivote_core::LiveStore;
+use pivote_kg::{generate, DatagenConfig, KnowledgeGraph, ShardedGraph};
+use pivote_serve::{
+    num_field, response_ok, store_with_warm_state, Client, MaintenanceConfig, ServeConfig, Server,
+};
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const READERS: usize = 2;
+
+fn usize_env(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One timed request class.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Op {
+    Rank,
+    Search,
+    Append,
+}
+
+impl Op {
+    fn name(self) -> &'static str {
+        match self {
+            Op::Rank => "rank",
+            Op::Search => "search",
+            Op::Append => "append",
+        }
+    }
+}
+
+type Samples = Mutex<Vec<(Op, f64)>>;
+
+fn timed(samples: &Samples, op: Op, f: impl FnOnce() -> serde::Value) {
+    let t = Instant::now();
+    let v = f();
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(response_ok(&v), "{op:?} failed: {v:?}");
+    samples.lock().expect("sample sink healthy").push((op, ms));
+}
+
+/// The N-Triples body of append number `i` of life `life`: a fresh
+/// entity plus one edge onto an existing seed — deltas that commute and
+/// replay deterministically.
+fn append_body(life: usize, i: usize, seed: &str) -> String {
+    format!(
+        "<http://dbpedia.org/resource/ServedBench_{life}_{i}> \
+         <http://dbpedia.org/ontology/servedBy> \
+         <http://dbpedia.org/resource/{seed}> .\n"
+    )
+}
+
+/// Drive one life's worth of mixed load: `READERS` reader connections
+/// interleaving rank+search with one writer connection appending
+/// `appends` deltas.
+fn mixed_load(
+    addr: SocketAddr,
+    seeds: &[String],
+    queries: &[&str],
+    reads_per_reader: usize,
+    appends: usize,
+    life: usize,
+    samples: &Samples,
+) {
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut client = Client::connect(addr).expect("writer connects");
+            for i in 0..appends {
+                let nt = append_body(life, i, &seeds[i % seeds.len()]);
+                timed(samples, Op::Append, || {
+                    client.append(&nt).expect("append answers")
+                });
+            }
+        });
+        for r in 0..READERS {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("reader connects");
+                for i in 0..reads_per_reader {
+                    let seed = &seeds[(r + i) % seeds.len()];
+                    timed(samples, Op::Rank, || {
+                        client.rank(&[seed], 10, 10).expect("rank answers")
+                    });
+                    let query = queries[(r + i) % queries.len()];
+                    timed(samples, Op::Search, || {
+                        client.search(query, 10).expect("search answers")
+                    });
+                }
+            });
+        }
+    });
+}
+
+/// Memoize (life 1) / replay (life 2) the fixed probe queries whose
+/// densities the warm sidecar must carry across the restart.
+fn probe_queries(addr: SocketAddr, seeds: &[String]) {
+    let mut client = Client::connect(addr).expect("probe connects");
+    for seed in seeds {
+        let v = client.rank(&[seed], 10, 10).expect("probe rank");
+        assert!(response_ok(&v), "{v:?}");
+    }
+}
+
+fn cached_probabilities(addr: SocketAddr) -> u64 {
+    let mut client = Client::connect(addr).expect("stats connects");
+    let stats = client.stats().expect("stats answers");
+    assert!(response_ok(&stats), "{stats:?}");
+    num_field(&stats, "cached_probabilities").expect("cached_probabilities")
+}
+
+fn graceful_stop(server: Server) -> pivote_serve::ShutdownReport {
+    let mut client = Client::connect(server.local_addr()).expect("shutdown connects");
+    let ack = client.shutdown().expect("shutdown acked");
+    assert!(response_ok(&ack), "{ack:?}");
+    server.shutdown()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let reads_per_reader = usize_env("PIVOTE_SERVE_OPS", 40);
+    let appends_per_life = usize_env("PIVOTE_SERVE_APPENDS", 30);
+
+    let kg = generate(&DatagenConfig::small());
+    let film = kg.type_id("Film").expect("Film type");
+    let seed_ids: Vec<pivote_kg::EntityId> = kg.type_extent(film)[..4].to_vec();
+    let seeds: Vec<String> = {
+        let handle = pivote_core::GraphHandle::single_with_threads(&kg, 1);
+        seed_ids
+            .iter()
+            .map(|&e| handle.entity_name(e).to_owned())
+            .collect()
+    };
+    let queries = ["film actor", "director", "award film"];
+
+    let warm_path = PathBuf::from(
+        std::env::var("PIVOTE_SERVE_WARM")
+            .unwrap_or_else(|_| format!("serve_bench_{}.warm", std::process::id())),
+    );
+    let _ = std::fs::remove_file(&warm_path);
+
+    let maintenance = MaintenanceConfig {
+        policy: pivote_kg::CompactionPolicy {
+            max_trailing: 8,
+            max_tail_fraction: 0.5,
+        },
+        target_shards: 2,
+        tick: Duration::from_millis(5),
+    };
+    let config = ServeConfig {
+        workers: 4,
+        warm_path: Some(warm_path.clone()),
+        maintenance: Some(maintenance),
+        ..ServeConfig::default()
+    };
+
+    let samples: Samples = Mutex::new(Vec::new());
+
+    // ---- life 1: cold start, first half of the load ----
+    let store = Arc::new(LiveStore::with_threads(
+        ShardedGraph::from_graph(&kg, 2),
+        cores,
+    ));
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&store), config.clone()).expect("bind life 1");
+    let addr = server.local_addr();
+    println!("life 1 (cold) on {addr}: {READERS} readers × {reads_per_reader} rank+search, 1 writer × {appends_per_life} appends");
+    mixed_load(
+        addr,
+        &seeds,
+        &queries,
+        reads_per_reader,
+        appends_per_life,
+        1,
+        &samples,
+    );
+    // memoize the probe set at the post-append content, then stop
+    // gracefully so the sidecar carries exactly those densities
+    probe_queries(addr, &seeds);
+    let report = graceful_stop(server);
+    let saved = report
+        .warm_densities_saved
+        .unwrap_or_else(|| panic!("warm save failed: {:?}", report.warm_error));
+    println!(
+        "life 1 stopped at generation {}; {saved} densities persisted",
+        report.generation
+    );
+    let final_life1: KnowledgeGraph = {
+        let reader = store.read();
+        reader.backend().to_single()
+    };
+    drop(store);
+
+    // ---- kill/restart mid-benchmark: resume from the warm sidecar ----
+    let (store, started_warm) = store_with_warm_state(final_life1, cores, &warm_path);
+    assert!(started_warm, "restart must resume from the warm sidecar");
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&store), config).expect("bind life 2");
+    let addr = server.local_addr();
+    let before = cached_probabilities(addr);
+    assert_eq!(
+        before, saved as u64,
+        "the restarted cache must hold every persisted density"
+    );
+    probe_queries(addr, &seeds);
+    let after = cached_probabilities(addr);
+    assert_eq!(
+        after, before,
+        "repeat queries after a warm restart must recompute zero p(π|c) densities"
+    );
+    println!("life 2 (warm) on {addr}: {before} densities resumed, 0 recomputed");
+
+    // ---- life 2: second half of the load ----
+    mixed_load(
+        addr,
+        &seeds,
+        &queries,
+        reads_per_reader,
+        appends_per_life,
+        2,
+        &samples,
+    );
+    let report = graceful_stop(server);
+    println!("life 2 stopped at generation {}", report.generation);
+
+    // ---- equivalence: served state == library-only replay ----
+    // one writer per life ⇒ one deterministic append order ⇒ the
+    // serialized graphs must be bit-identical, not merely set-equal
+    let mut replay = kg;
+    for life in 1..=2 {
+        for i in 0..appends_per_life {
+            let mut d = pivote_kg::DeltaBatch::new();
+            d.triple(
+                format!("ServedBench_{life}_{i}"),
+                "servedBy",
+                seeds[i % seeds.len()].clone(),
+            );
+            replay.apply(&d);
+        }
+    }
+    let served = {
+        let reader = store.read();
+        pivote_kg::serialize(&reader.backend().to_single())
+    };
+    assert_eq!(
+        served,
+        pivote_kg::serialize(&replay),
+        "served state must equal the library-only replay"
+    );
+    println!(
+        "served state equals the library-only replay ({} entities)",
+        replay.entity_count()
+    );
+    let _ = std::fs::remove_file(&warm_path);
+
+    // ---- report ----
+    let mut by_op: Vec<(Op, Vec<f64>)> = [Op::Rank, Op::Search, Op::Append]
+        .into_iter()
+        .map(|op| (op, Vec::new()))
+        .collect();
+    for (op, ms) in samples.into_inner().expect("sample sink healthy") {
+        by_op
+            .iter_mut()
+            .find(|(o, _)| *o == op)
+            .expect("known op")
+            .1
+            .push(ms);
+    }
+
+    println!(
+        "\n{:>8} {:>6} {:>10} {:>10} {:>10}",
+        "op", "n", "p50_ms", "p99_ms", "max_ms"
+    );
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"pivote-serve-latency/1\",");
+    let _ = writeln!(
+        out,
+        "  \"label\": \"serving-layer latency under mixed read+append load, with a warm kill/restart mid-benchmark\","
+    );
+    let _ = writeln!(out, "  \"host_cpus\": {cores},");
+    let _ = writeln!(out, "  \"workers\": 4,");
+    let _ = writeln!(out, "  \"readers\": {READERS},");
+    let _ = writeln!(out, "  \"reads_per_reader_per_life\": {reads_per_reader},");
+    let _ = writeln!(out, "  \"appends_per_life\": {appends_per_life},");
+    let _ = writeln!(out, "  \"warm_densities_saved\": {saved},");
+    let _ = writeln!(out, "  \"density_recomputes_after_restart\": 0,");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p pivote-eval --bin exp_serve\","
+    );
+    let _ = writeln!(out, "  \"results\": [");
+    let groups = by_op.len();
+    for (g, (op, mut ms)) in by_op.into_iter().enumerate() {
+        assert!(!ms.is_empty(), "no samples for {op:?}");
+        ms.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let (p50, p99, max) = (
+            percentile(&ms, 0.50),
+            percentile(&ms, 0.99),
+            *ms.last().expect("non-empty"),
+        );
+        println!(
+            "{:>8} {:>6} {:>10.3} {:>10.3} {:>10.3}",
+            op.name(),
+            ms.len(),
+            p50,
+            p99,
+            max
+        );
+        let comma = if g + 1 == groups { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"op\": \"{}\", \"requests\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"max_ms\": {:.3}}}{comma}",
+            op.name(),
+            ms.len(),
+            p50,
+            p99,
+            max
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+
+    let out_path = std::env::var("BENCH7_OUT").unwrap_or_else(|_| "BENCH_7.json".to_owned());
+    match std::fs::write(&out_path, &out) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("warning: could not write {out_path}: {e}"),
+    }
+}

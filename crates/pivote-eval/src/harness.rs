@@ -60,7 +60,7 @@ pub fn eval_graph(cfg: &pivote_kg::DatagenConfig) -> KnowledgeGraph {
             Duration::from_millis(1),
         );
         for batch in &batches {
-            store.append(batch);
+            store.append(batch).expect("store healthy");
         }
         let deadline = Instant::now() + Duration::from_secs(60);
         while store.trailing_shard_count() > 0 && Instant::now() < deadline {

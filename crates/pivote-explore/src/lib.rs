@@ -32,7 +32,7 @@ pub mod timeline;
 pub use events::UserAction;
 #[allow(deprecated)]
 pub use live::LiveShardedSession;
-pub use live::{LiveEvent, LiveLog, LiveSession};
+pub use live::{LiveEvent, LiveLog, LiveSearchCache, LiveSession};
 pub use path::{ExplorationPath, NodeKind, PathEdge, PathNode};
 pub use profile::{build_profile, EntityProfile};
 pub use query::ExplorationQuery;
@@ -42,5 +42,8 @@ pub use replay::{
     replay, replay_live, replay_with_context, replay_with_handle, session_stats, ActionLog,
     SessionStats,
 };
-pub use session::{SearchBackend, Session, SessionConfig, SessionState, ViewState};
+pub use session::{
+    merge_corpus_stats, search_backend_hits, SearchBackend, Session, SessionConfig, SessionState,
+    ViewState,
+};
 pub use timeline::{Timeline, TimelineEntry};

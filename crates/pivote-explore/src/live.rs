@@ -30,12 +30,16 @@
 use crate::events::UserAction;
 use crate::path::ExplorationPath;
 use crate::replay::ActionLog;
-use crate::session::{SearchBackend, Session, SessionConfig, SessionState, ViewState};
+use crate::session::{
+    merge_corpus_stats, search_backend_hits, SearchBackend, Session, SessionConfig, SessionState,
+    ViewState,
+};
 use crate::timeline::Timeline;
-use pivote_core::LiveStore;
+use pivote_core::{LiveStore, StoreError};
 use pivote_kg::{AppliedDelta, CompactionReceipt, DeltaBatch, GraphBackend};
-use pivote_search::SearchEngine;
+use pivote_search::{CorpusStats, Hit, SearchConfig, SearchEngine};
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// One event of a live session: a user action, a store append, or a
 /// compaction of the backing partition.
@@ -147,7 +151,146 @@ enum SearchCache {
         epoch: u64,
         /// `(local generation, engine)` per shard, in shard order.
         engines: Vec<(u64, SearchEngine)>,
+        /// The globally-merged corpus statistics the engines score
+        /// against; recomputed whenever any engine is rebuilt (boxed,
+        /// like [`SearchBackend::Sharded`]).
+        corpus: Box<CorpusStats>,
     },
+}
+
+/// Build — or reuse from `cache`, when the version tags still match the
+/// snapshot — the search backend for `backend`, returning it together
+/// with the tags to cache it under. Shared by [`LiveSession::apply`] and
+/// [`LiveSearchCache::search`].
+fn refresh_search(
+    cache: Option<SearchCache>,
+    backend: &GraphBackend,
+    config: SearchConfig,
+) -> (SearchBackend, SearchTags) {
+    match backend {
+        GraphBackend::Single(kg) => {
+            let generation = kg.generation();
+            let engine = match cache {
+                Some(SearchCache::Single {
+                    generation: built_at,
+                    engine,
+                }) if built_at == generation => engine,
+                _ => Box::new(SearchEngine::build(kg, config)),
+            };
+            (
+                SearchBackend::Single(engine),
+                SearchTags::Single { generation },
+            )
+        }
+        GraphBackend::Sharded(sg) => {
+            let epoch = sg.compaction_epoch();
+            let (cached, cached_corpus) = match cache {
+                Some(SearchCache::Sharded {
+                    epoch: built_epoch,
+                    engines,
+                    corpus,
+                }) if built_epoch == epoch => (engines, Some(corpus)),
+                _ => (Vec::new(), None),
+            };
+            let mut all_reused = cached.len() == sg.shard_count();
+            let mut cached = cached.into_iter();
+            let mut shard_generations = Vec::with_capacity(sg.shard_count());
+            let engines: Vec<SearchEngine> = sg
+                .shards()
+                .iter()
+                .map(|s| {
+                    let generation = s.graph().generation();
+                    shard_generations.push(generation);
+                    match cached.next() {
+                        Some((built_at, engine)) if built_at == generation => engine,
+                        _ => {
+                            all_reused = false;
+                            SearchEngine::build_keyed(s.graph(), config, |local| {
+                                s.to_global(local).raw()
+                            })
+                        }
+                    }
+                })
+                .collect();
+            // the corpus merges owned documents of EVERY shard, so a
+            // rebuild of any one engine stales it
+            let corpus = match cached_corpus {
+                Some(c) if all_reused => c,
+                _ => Box::new(merge_corpus_stats(&engines, sg)),
+            };
+            (
+                SearchBackend::Sharded { engines, corpus },
+                SearchTags::Sharded {
+                    epoch,
+                    shard_generations,
+                },
+            )
+        }
+    }
+}
+
+/// Re-tag a dissolved [`SearchBackend`] for the cache.
+fn stash_search(search: SearchBackend, tags: SearchTags) -> SearchCache {
+    match (search, tags) {
+        (SearchBackend::Single(engine), SearchTags::Single { generation }) => {
+            SearchCache::Single { generation, engine }
+        }
+        (
+            SearchBackend::Sharded { engines, corpus },
+            SearchTags::Sharded {
+                epoch,
+                shard_generations,
+            },
+        ) => SearchCache::Sharded {
+            epoch,
+            engines: shard_generations.into_iter().zip(engines).collect(),
+            corpus,
+        },
+        _ => unreachable!("the search backend variant follows the store layout"),
+    }
+}
+
+/// A self-contained, thread-safe keyword-search component over a
+/// [`LiveStore`] — the serving layer's search path. It keeps the same
+/// lazily re-indexed engine cache a [`LiveSession`] maintains (per
+/// generation on the single layout; per shard-generation within a
+/// compaction epoch on the sharded layout, scored against globally
+/// merged corpus statistics) but carries **no** session state, so many
+/// connections can share one instance behind an `Arc`.
+pub struct LiveSearchCache {
+    config: SearchConfig,
+    cache: Mutex<Option<SearchCache>>,
+}
+
+impl LiveSearchCache {
+    /// An empty cache; the first search indexes the store.
+    pub fn new(config: SearchConfig) -> Self {
+        Self {
+            config,
+            cache: Mutex::new(None),
+        }
+    }
+
+    /// Top-`k` keyword hits against the store's current snapshot.
+    /// Re-indexes lazily when the store moved since the last call;
+    /// sharded stores answer bit-identically to a single-graph engine
+    /// over the same data.
+    pub fn search(&self, live: &LiveStore, query: &str, k: usize) -> Vec<Hit> {
+        let reader = live.read();
+        // a poisoned cache only means a panic mid-rebuild dropped a
+        // partially-stale engine set; the tags guard staleness, so
+        // recovering the inner value is safe
+        let mut guard = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+        let backend = reader.backend();
+        let (search, tags) = refresh_search(guard.take(), backend, self.config);
+        let sharded = match backend {
+            GraphBackend::Sharded(sg) => Some(sg),
+            GraphBackend::Single(_) => None,
+        };
+        let hits = search_backend_hits(&search, sharded, query, k);
+        *guard = Some(stash_search(search, tags));
+        hits
+    }
 }
 
 /// An exploration session over a [`LiveStore`] that may grow *and be
@@ -216,53 +359,8 @@ impl<'g> LiveSession<'g> {
     pub fn apply(&mut self, action: UserAction) -> &ViewState {
         self.events.events.push(LiveEvent::Action(action.clone()));
         let reader = self.live.read();
-        let (search, next_tags) = match reader.backend() {
-            GraphBackend::Single(kg) => {
-                let generation = kg.generation();
-                let engine = match self.search.take() {
-                    Some(SearchCache::Single {
-                        generation: built_at,
-                        engine,
-                    }) if built_at == generation => engine,
-                    _ => Box::new(SearchEngine::build(kg, self.config.search)),
-                };
-                (
-                    SearchBackend::Single(engine),
-                    SearchTags::Single { generation },
-                )
-            }
-            GraphBackend::Sharded(sg) => {
-                let epoch = sg.compaction_epoch();
-                let mut cached = match self.search.take() {
-                    Some(SearchCache::Sharded {
-                        epoch: built_epoch,
-                        engines,
-                    }) if built_epoch == epoch => engines,
-                    _ => Vec::new(),
-                }
-                .into_iter();
-                let mut shard_generations = Vec::with_capacity(sg.shard_count());
-                let engines: Vec<SearchEngine> = sg
-                    .shards()
-                    .iter()
-                    .map(|s| {
-                        let generation = s.graph().generation();
-                        shard_generations.push(generation);
-                        match cached.next() {
-                            Some((built_at, engine)) if built_at == generation => engine,
-                            _ => SearchEngine::build(s.graph(), self.config.search),
-                        }
-                    })
-                    .collect();
-                (
-                    SearchBackend::Sharded(engines),
-                    SearchTags::Sharded {
-                        epoch,
-                        shard_generations,
-                    },
-                )
-            }
-        };
+        let (search, next_tags) =
+            refresh_search(self.search.take(), reader.backend(), self.config.search);
         let session = Session::with_search(reader.handle(), self.config, search);
         let search = drive_transient(
             &mut self.state,
@@ -271,32 +369,20 @@ impl<'g> LiveSession<'g> {
             session,
             action,
         );
-        self.search = Some(match (search, next_tags) {
-            (SearchBackend::Single(engine), SearchTags::Single { generation }) => {
-                SearchCache::Single { generation, engine }
-            }
-            (
-                SearchBackend::Sharded(engines),
-                SearchTags::Sharded {
-                    epoch,
-                    shard_generations,
-                },
-            ) => SearchCache::Sharded {
-                epoch,
-                engines: shard_generations.into_iter().zip(engines).collect(),
-            },
-            _ => unreachable!("the search backend variant follows the store layout"),
-        });
+        self.search = Some(stash_search(search, next_tags));
         &self.view
     }
 
     /// Append a delta to the live store (recorded in the event log). The
     /// view is *not* recomputed — like every store mutation it becomes
     /// visible at the next action, keeping actions the only points where
-    /// the interface changes under the user.
-    pub fn append(&mut self, delta: &DeltaBatch) -> AppliedDelta {
+    /// the interface changes under the user. A refused write (poisoned
+    /// store) is **not** recorded, so the replay log only ever carries
+    /// mutations that actually happened.
+    pub fn append(&mut self, delta: &DeltaBatch) -> Result<AppliedDelta, StoreError> {
+        let applied = self.live.append(delta)?;
         self.events.events.push(LiveEvent::Append(delta.clone()));
-        self.live.append(delta)
+        Ok(applied)
     }
 
     /// Re-partition the live store to `target_shards` (recorded in the
@@ -307,11 +393,12 @@ impl<'g> LiveSession<'g> {
     /// exactly what the uncompacted store would have answered. On a
     /// single-layout store this is the identity (still recorded, so the
     /// log replays onto sharded deployments).
-    pub fn compact(&mut self, target_shards: usize) -> CompactionReceipt {
+    pub fn compact(&mut self, target_shards: usize) -> Result<CompactionReceipt, StoreError> {
+        let receipt = self.live.compact_concurrent(target_shards)?;
         self.events
             .events
             .push(LiveEvent::Compact { target_shards });
-        self.live.compact_concurrent(target_shards)
+        Ok(receipt)
     }
 
     /// Convenience: submit a keyword query.
@@ -333,7 +420,7 @@ impl<'g> LiveSession<'g> {
             SearchCache::Single { generation, .. } => SearchTags::Single {
                 generation: *generation,
             },
-            SearchCache::Sharded { epoch, engines } => SearchTags::Sharded {
+            SearchCache::Sharded { epoch, engines, .. } => SearchTags::Sharded {
                 epoch: *epoch,
                 shard_generations: engines.iter().map(|&(g, _)| g).collect(),
             },
@@ -409,7 +496,7 @@ mod tests {
 
         s.click_entity(seed);
         let before: Vec<EntityId> = s.view().entities.iter().map(|re| re.entity).collect();
-        s.append(&delta);
+        s.append(&delta).expect("store healthy");
         // the view does not change until the next action
         let unchanged: Vec<EntityId> = s.view().entities.iter().map(|re| re.entity).collect();
         assert_eq!(before, unchanged);
@@ -464,7 +551,9 @@ mod tests {
         let live = LiveStore::with_threads(base(), 1);
         let mut original = LiveSession::new(&live, SessionConfig::default());
         original.click_entity(seed);
-        original.append(&delta_for(&kg, seed));
+        original
+            .append(&delta_for(&kg, seed))
+            .expect("store healthy");
         original.apply(UserAction::RemoveSeed { entity: seed });
         original.click_entity(seed);
 
@@ -507,9 +596,9 @@ mod tests {
         let mut s = LiveSession::new(&live, SessionConfig::default());
         s.click_entity(seed);
         let before: Vec<EntityId> = s.view().entities.iter().map(|re| re.entity).collect();
-        s.append(&delta);
+        s.append(&delta).expect("store healthy");
         assert_eq!(live.shard_count(), 4, "append minted a trailing shard");
-        let receipt = s.compact(2);
+        let receipt = s.compact(2).expect("store healthy");
         assert_eq!(receipt.shards_after, 2);
         assert_eq!(live.shard_count(), 2);
         // like an append, a compaction does not change the view until
@@ -556,8 +645,10 @@ mod tests {
         let live = LiveStore::with_threads(ShardedGraph::from_graph(&base(), 3), 1);
         let mut original = LiveSession::new(&live, SessionConfig::default());
         original.click_entity(seed);
-        original.append(&delta_for(&kg, seed));
-        original.compact(2);
+        original
+            .append(&delta_for(&kg, seed))
+            .expect("store healthy");
+        original.compact(2).expect("store healthy");
         original.apply(UserAction::RemoveSeed { entity: seed });
         original.click_entity(seed);
 
@@ -641,7 +732,7 @@ mod tests {
         )
         .typed("Fresh_Search_Film", "Film")
         .label("Fresh_Search_Film", "Zanzibar Premiere");
-        s.append(&d);
+        s.append(&d).expect("store healthy");
 
         // the next action re-indexes only the delta-touched shards and
         // the appended tail — and the new film is immediately findable
@@ -685,7 +776,7 @@ mod tests {
         }
 
         // compaction starts a new epoch: wholesale re-index, same answers
-        s.compact(2);
+        s.compact(2).expect("store healthy");
         let view = s.submit_keywords("Zanzibar Premiere");
         assert!(view.entities.iter().any(|re| re.entity == fresh));
         let Some(SearchTags::Sharded {
@@ -706,7 +797,7 @@ mod tests {
         let live = LiveStore::with_threads(base(), 1);
         let mut s = LiveSession::new(&live, SessionConfig::default());
         s.submit_keywords(&kg.display_name(seed));
-        s.append(&delta_for(&kg, seed));
+        s.append(&delta_for(&kg, seed)).expect("store healthy");
         s.click_entity(seed);
         assert_eq!(s.state().timeline.len(), 2, "search + investigate");
         assert_eq!(s.action_log().len(), 2);

@@ -111,10 +111,12 @@ pub fn replay_live<'g>(
                 session.apply(action.clone());
             }
             crate::live::LiveEvent::Append(delta) => {
-                session.append(delta);
+                session.append(delta).expect("replayed append applies");
             }
             crate::live::LiveEvent::Compact { target_shards } => {
-                session.compact(*target_shards);
+                session
+                    .compact(*target_shards)
+                    .expect("replayed compaction applies");
             }
         }
     }

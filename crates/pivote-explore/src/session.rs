@@ -17,7 +17,7 @@ use pivote_core::{
     SemanticFeature, SfQuery,
 };
 use pivote_kg::{EntityId, KnowledgeGraph, ShardedGraph, TypeId};
-use pivote_search::{Hit, SearchConfig, SearchEngine};
+use pivote_search::{CorpusStats, Hit, Scorer, SearchConfig, SearchEngine};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -114,13 +114,78 @@ pub enum SearchBackend {
     /// One engine over the whole graph (boxed: the single-engine variant
     /// is much larger than the per-shard vector).
     Single(Box<SearchEngine>),
-    /// One engine per shard (indexed over the shard-local graph). Hits
-    /// are filtered to owned entities (ghosts are re-indexed by their
-    /// home shard), remapped to global ids and merged by
-    /// `(score desc, id asc)`. Scores use per-shard corpus statistics, so
-    /// — unlike the ranking paths — sharded search is deterministic but
-    /// not bit-identical to single-graph search.
-    Sharded(Vec<SearchEngine>),
+    /// One engine per shard (indexed over the shard-local graph, with
+    /// related-names neighbours selected in global-id order) plus the
+    /// globally-merged corpus statistics every shard scores against.
+    /// Hits are filtered to owned entities (ghosts are re-indexed by
+    /// their home shard), remapped to global ids and merged by
+    /// `(score desc, id asc)` — the same scores and order as the
+    /// single-graph engine, bit for bit.
+    Sharded {
+        /// One engine per shard, in shard order.
+        engines: Vec<SearchEngine>,
+        /// Merged owned-document statistics across all shards (boxed to
+        /// keep the variant near the single-engine one in size).
+        corpus: Box<CorpusStats>,
+    },
+}
+
+/// Merge per-shard indexes into the global corpus statistics, counting
+/// each owned document once (ghost copies are skipped — their home shard
+/// re-indexes them).
+pub fn merge_corpus_stats(engines: &[SearchEngine], sg: &ShardedGraph) -> CorpusStats {
+    let mut corpus = CorpusStats::new();
+    for (engine, shard) in engines.iter().zip(sg.shards()) {
+        corpus.absorb(engine.index(), |d| shard.is_owned(EntityId::new(d)));
+    }
+    corpus
+}
+
+/// Top-`k` keyword hits of a [`SearchBackend`] — the merge logic shared
+/// by [`Session::search_hits`] and the serving layer (which queries the
+/// backend directly, without building a session).
+///
+/// # Panics
+/// When the backend is sharded and `sharded` is `None`.
+pub fn search_backend_hits(
+    search: &SearchBackend,
+    sharded: Option<&ShardedGraph>,
+    query: &str,
+    k: usize,
+) -> Vec<Hit> {
+    match search {
+        SearchBackend::Single(engine) => engine.search(query, k),
+        SearchBackend::Sharded { engines, corpus } => {
+            let sg = sharded.expect("sharded search backend needs its sharded graph");
+            let mut hits: Vec<Hit> = engines
+                .iter()
+                .zip(sg.shards())
+                .flat_map(|(engine, shard)| {
+                    // fetch ALL of the shard's matches, not the top k:
+                    // ghost hits are dropped below, and truncating
+                    // before the ghost filter could starve owned
+                    // matches ranked behind k ghosts
+                    engine
+                        .search_in(query, usize::MAX, Scorer::MixtureLm, corpus.as_ref())
+                        .into_iter()
+                        // drop ghost hits: the home shard re-indexes them
+                        .filter(|h| shard.is_owned(h.entity))
+                        .map(|h| Hit {
+                            entity: shard.to_global(h.entity),
+                            score: h.score,
+                        })
+                })
+                .collect();
+            hits.sort_unstable_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.entity.cmp(&b.entity))
+            });
+            hits.truncate(k);
+            hits
+        }
+    }
 }
 
 /// An interactive exploration session over one knowledge graph — single
@@ -161,13 +226,20 @@ impl<'kg> Session<'kg> {
             GraphHandle::Single(ctx) => {
                 SearchBackend::Single(Box::new(SearchEngine::build(ctx.kg(), config.search)))
             }
-            GraphHandle::Sharded(ctx) => SearchBackend::Sharded(
-                ctx.graph()
+            GraphHandle::Sharded(ctx) => {
+                let sg = ctx.graph();
+                let engines: Vec<SearchEngine> = sg
                     .shards()
                     .iter()
-                    .map(|s| SearchEngine::build(s.graph(), config.search))
-                    .collect(),
-            ),
+                    .map(|s| {
+                        SearchEngine::build_keyed(s.graph(), config.search, |local| {
+                            s.to_global(local).raw()
+                        })
+                    })
+                    .collect();
+                let corpus = Box::new(merge_corpus_stats(&engines, sg));
+                SearchBackend::Sharded { engines, corpus }
+            }
         };
         Self {
             search,
@@ -218,7 +290,7 @@ impl<'kg> Session<'kg> {
     ) -> Self {
         match (&handle, &search) {
             (GraphHandle::Single(_), SearchBackend::Single(_)) => {}
-            (GraphHandle::Sharded(ctx), SearchBackend::Sharded(engines)) => {
+            (GraphHandle::Sharded(ctx), SearchBackend::Sharded { engines, .. }) => {
                 assert_eq!(
                     engines.len(),
                     ctx.graph().shard_count(),
@@ -327,7 +399,7 @@ impl<'kg> Session<'kg> {
     pub fn search_engine(&self) -> &SearchEngine {
         match &self.search {
             SearchBackend::Single(engine) => engine,
-            SearchBackend::Sharded(_) => {
+            SearchBackend::Sharded { .. } => {
                 panic!("Session::search_engine is single-backend only")
             }
         }
@@ -335,42 +407,7 @@ impl<'kg> Session<'kg> {
 
     /// Top-`k` keyword hits on whichever search backend this session has.
     pub fn search_hits(&self, query: &str, k: usize) -> Vec<Hit> {
-        match &self.search {
-            SearchBackend::Single(engine) => engine.search(query, k),
-            SearchBackend::Sharded(engines) => {
-                let sg = self
-                    .handle
-                    .sharded_graph()
-                    .expect("sharded search backend implies sharded handle");
-                let mut hits: Vec<Hit> = engines
-                    .iter()
-                    .zip(sg.shards())
-                    .flat_map(|(engine, shard)| {
-                        // fetch ALL of the shard's matches, not the top k:
-                        // ghost hits are dropped below, and truncating
-                        // before the ghost filter could starve owned
-                        // matches ranked behind k ghosts
-                        engine
-                            .search(query, usize::MAX)
-                            .into_iter()
-                            // drop ghost hits: the home shard re-indexes them
-                            .filter(|h| shard.is_owned(h.entity))
-                            .map(|h| Hit {
-                                entity: shard.to_global(h.entity),
-                                score: h.score,
-                            })
-                    })
-                    .collect();
-                hits.sort_unstable_by(|a, b| {
-                    b.score
-                        .partial_cmp(&a.score)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| a.entity.cmp(&b.entity))
-                });
-                hits.truncate(k);
-                hits
-            }
-        }
+        search_backend_hits(&self.search, self.handle.sharded_graph(), query, k)
     }
 
     /// The recommendation engine component.
@@ -853,11 +890,47 @@ mod tests {
         let profile = sharded.view().focus.as_ref().unwrap();
         assert_eq!(profile.label, kg.display_name(f));
 
-        // keyword search on the sharded backend: deterministic per-shard
-        // merge that still finds the entity (scores use per-shard corpus
-        // stats, so only membership is asserted)
-        let hits = sharded.search_hits(&kg.display_name(f), 10);
-        assert!(hits.iter().any(|h| h.entity == f), "sharded search miss");
+        // keyword search merges per-shard hits scored against the global
+        // corpus statistics — bit-identical to the single-graph engine
+        for query in [kg.display_name(f), "the film".to_owned()] {
+            let sh = sharded.search_hits(&query, 10);
+            let si = single.search_hits(&query, 10);
+            assert_eq!(sh.len(), si.len(), "hit count for {query:?}");
+            for (x, y) in sh.iter().zip(&si) {
+                assert_eq!(x.entity, y.entity, "hit order for {query:?}");
+                assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "search score for {query:?} not bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_search_is_bit_identical_at_every_shard_count() {
+        let kg = session_kg();
+        let single = Session::with_defaults(&kg);
+        let film = kg.type_id("Film").unwrap();
+        let label = kg.display_name(kg.type_extent(film)[0]);
+        let queries = [label.as_str(), "the film", "american work"];
+        for shards in 1..=4 {
+            let sg = pivote_kg::ShardedGraph::from_graph(&kg, shards);
+            let sharded = Session::sharded(&sg, SessionConfig::default());
+            for query in queries {
+                let sh = sharded.search_hits(query, 25);
+                let si = single.search_hits(query, 25);
+                assert_eq!(sh.len(), si.len(), "{shards} shards, {query:?}");
+                for (x, y) in sh.iter().zip(&si) {
+                    assert_eq!(x.entity, y.entity, "{shards} shards, {query:?}");
+                    assert_eq!(
+                        x.score.to_bits(),
+                        y.score.to_bits(),
+                        "{shards} shards, {query:?}: score drift"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

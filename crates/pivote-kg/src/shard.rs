@@ -288,7 +288,13 @@ impl ShardedGraph {
                 ghosts[i].sort_unstable();
                 ghosts[i].dedup();
                 for &ge in &ghosts[i] {
-                    b.entity(kg.entity_name(ge));
+                    let le = b.entity(kg.entity_name(ge));
+                    // ghosts carry their entity's label so shard-local
+                    // display names — and the search documents built from
+                    // them — match the source graph exactly
+                    if let Some(l) = kg.label(ge) {
+                        b.label(le, l);
+                    }
                     local_to_global.push(ge);
                 }
                 let ghost_list = &local_to_global[owned_count..];
@@ -669,6 +675,33 @@ impl ShardedGraph {
                 d.declare_category(c);
             }
         }
+        // shards that gain a ghost copy of an entity through this batch's
+        // cross-shard triples — every `(shard, foreign endpoint)` pair
+        let mut ghost_sites: HashSet<(usize, EntityId)> = HashSet::new();
+        for &(s, _, o, _) in &kept_triples {
+            let (ss, os) = (shard_of(s), shard_of(o));
+            if ss != os {
+                ghost_sites.insert((ss, o));
+                ghost_sites.insert((os, s));
+            }
+        }
+        // Fresh ghosts of *existing* entities copy their current label
+        // first (before any batch statement), so shard-local display
+        // names stay globally consistent; label ops in the batch itself
+        // are routed to ghost holders below and override these.
+        let mut label_seeds: Vec<(usize, EntityId)> = ghost_sites
+            .iter()
+            .filter(|&&(i, e)| {
+                i < n_old_shards && e.raw() < old_count && self.shards[i].to_local(e).is_none()
+            })
+            .copied()
+            .collect();
+        label_seeds.sort_unstable_by_key(|&(i, e)| (i, e));
+        for (i, e) in label_seeds {
+            if let Some(l) = self.label_of(e) {
+                local_deltas[i].label(self.entity_name_of(e), l);
+            }
+        }
         let route_facet = |e: EntityId, op: &DeltaOp, deltas: &mut Vec<DeltaBatch>| {
             deltas[shard_of(e)].push(op.clone());
         };
@@ -705,7 +738,24 @@ impl ShardedGraph {
                     }
                 }
                 DeltaOp::Label { entity, .. } => {
-                    route_facet(name_ids[entity.as_str()], op, &mut local_deltas);
+                    // the owning shard, plus every shard holding (or
+                    // gaining) a ghost copy — ghost labels must track the
+                    // owned label for display names to stay consistent
+                    let e = name_ids[entity.as_str()];
+                    let home = shard_of(e);
+                    local_deltas[home].push(op.clone());
+                    for (j, local) in local_deltas.iter_mut().enumerate() {
+                        if j == home {
+                            continue;
+                        }
+                        let holds_ghost = (j < n_old_shards
+                            && e.raw() < old_count
+                            && self.shards[j].to_local(e).is_some())
+                            || ghost_sites.contains(&(j, e));
+                        if holds_ghost {
+                            local.push(op.clone());
+                        }
+                    }
                 }
                 DeltaOp::Redirect { target, .. } | DeltaOp::Disambiguation { target, .. } => {
                     route_facet(name_ids[target.as_str()], op, &mut local_deltas);
@@ -774,7 +824,12 @@ impl ShardedGraph {
             ghosts.sort_unstable();
             ghosts.dedup();
             for &g in &ghosts {
-                b.entity(&self.entity_name_of(g));
+                let le = b.entity(&self.entity_name_of(g));
+                // ghost copies of pre-existing entities keep their label
+                // (batch label ops replayed below override)
+                if let Some(l) = self.label_of(g) {
+                    b.label(le, l);
+                }
                 local_to_global.push(g);
             }
             // replay the shard's statements through the builder
@@ -829,6 +884,13 @@ impl ShardedGraph {
             added_literals: n_literals,
             work,
         }
+    }
+
+    /// Label of a global entity, read from its home shard (helper for
+    /// the ghost-label replication in the apply path).
+    fn label_of(&self, e: EntityId) -> Option<String> {
+        let (shard, local) = self.home(e);
+        shard.graph().label(local).map(str::to_owned)
     }
 
     /// Name of a global entity without borrowing `self` mutably twice
@@ -1191,6 +1253,60 @@ mod tests {
                 }
             }
             assert_eq!(got, all_triples(&kg), "n={n}");
+        }
+    }
+
+    #[test]
+    fn ghosts_carry_labels_from_construction_and_appends() {
+        // construction: every ghost's label must equal the source label
+        let kg = generate(&DatagenConfig::tiny());
+        let sg = ShardedGraph::from_graph(&kg, 3);
+        for shard in sg.shards() {
+            for local in shard.graph().entity_ids() {
+                let global = shard.to_global(local);
+                assert_eq!(
+                    shard.graph().label(local),
+                    kg.label(global),
+                    "label of {} (owned={})",
+                    kg.entity_name(global),
+                    shard.is_owned(local)
+                );
+            }
+        }
+
+        // appends: a delta that (a) references an existing labelled
+        // entity cross-shard, (b) creates a labelled entity that ghosts
+        // into an old shard, and (c) relabels an existing entity that
+        // has ghost copies
+        let mut sg = sg;
+        let e0 = EntityId::new(0);
+        let last = EntityId::new(kg.entity_count() as u32 - 1);
+        let mut d = DeltaBatch::new();
+        d.triple("Brand_New_Node", "linksTo", kg.entity_name(e0).to_owned())
+            .triple("Brand_New_Node", "linksTo", kg.entity_name(last).to_owned())
+            // a cross-shard triple between two pre-existing entities mints
+            // fresh ghosts in old shards, which must copy the current label
+            .triple(
+                kg.entity_name(e0).to_owned(),
+                "linksTo",
+                kg.entity_name(last).to_owned(),
+            )
+            .label("Brand_New_Node", "A Very Fresh Label")
+            .label(kg.entity_name(e0).to_owned(), "Renamed Zero");
+        sg.apply(&d);
+        let mut union = kg.clone();
+        union.apply(&d);
+        for shard in sg.shards() {
+            for local in shard.graph().entity_ids() {
+                let global = shard.to_global(local);
+                assert_eq!(
+                    shard.graph().label(local),
+                    union.label(global),
+                    "post-append label of {} (owned={})",
+                    union.entity_name(global),
+                    shard.is_owned(local)
+                );
+            }
         }
     }
 

@@ -6,6 +6,7 @@
 //! into a pseudo-frequency, then scored with the usual BM25 saturation
 //! and a cross-field IDF.
 
+use crate::corpus::CollectionView;
 use crate::fields::Field;
 use crate::index::FieldedIndex;
 use crate::lm::FieldWeights;
@@ -34,7 +35,25 @@ impl Default for Bm25 {
 impl Bm25 {
     /// BM25F score of `doc` for the analyzed query `terms`.
     pub fn score(&self, index: &FieldedIndex, doc: u32, terms: &[String]) -> f64 {
-        let n = index.doc_count() as f64;
+        self.score_in(index, index, doc, terms)
+    }
+
+    /// Like [`Bm25::score`], but the collection-level inputs (document
+    /// count, document frequencies, average field lengths) come from an
+    /// explicit [`CollectionView`] — the sharded path scores every shard
+    /// against the globally-merged statistics. A term absent from the
+    /// local shard but present elsewhere in the collection still
+    /// contributes its global document frequency, exactly as it does in
+    /// the single index. With `collection = index` this is exactly
+    /// [`Bm25::score`].
+    pub fn score_in<C: CollectionView + ?Sized>(
+        &self,
+        index: &FieldedIndex,
+        collection: &C,
+        doc: u32,
+        terms: &[String],
+    ) -> f64 {
+        let n = collection.n_docs() as f64;
         let mut score = 0.0;
         for term in terms {
             // pseudo term frequency: field-weighted, length-normalized
@@ -45,16 +64,19 @@ impl Bm25 {
                 if w == 0.0 {
                     continue;
                 }
-                let fi = index.field(field);
-                let Some(posting) = fi.posting(term) else {
+                let Some(df) = collection.df(field, term) else {
                     continue;
                 };
-                df_union = df_union.max(posting.df());
-                let tf = f64::from(posting.tf(doc));
+                df_union = df_union.max(df);
+                let fi = index.field(field);
+                let tf = fi
+                    .posting(term)
+                    .map(|p| f64::from(p.tf(doc)))
+                    .unwrap_or(0.0);
                 if tf == 0.0 {
                     continue;
                 }
-                let avg = fi.avg_len().max(1e-9);
+                let avg = collection.avg_len(field).max(1e-9);
                 let norm = 1.0 - self.b + self.b * f64::from(fi.doc_len(doc)) / avg;
                 pseudo_tf += w * tf / norm;
             }

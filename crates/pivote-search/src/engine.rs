@@ -3,6 +3,7 @@
 //! the BM25F baseline.
 
 use crate::bm25::Bm25;
+use crate::corpus::CollectionView;
 use crate::fields::FiveFieldRepr;
 use crate::index::FieldedIndex;
 use crate::lm::MixtureLm;
@@ -67,6 +68,19 @@ impl SearchEngine {
         Self { index, config }
     }
 
+    /// Index `kg` selecting capped related-names neighbours in
+    /// `(predicate, key)` order — shard-local engines pass their
+    /// local→global id map so the indexed documents are bit-identical to
+    /// the single-graph ones (see [`FieldedIndex::build_keyed`]).
+    pub fn build_keyed(
+        kg: &KnowledgeGraph,
+        config: SearchConfig,
+        key: impl Fn(EntityId) -> u32 + Copy,
+    ) -> Self {
+        let index = FieldedIndex::build_keyed(kg, &config.analyzer, config.max_related, key);
+        Self { index, config }
+    }
+
     /// Index with default configuration.
     pub fn with_defaults(kg: &KnowledgeGraph) -> Self {
         Self::build(kg, SearchConfig::default())
@@ -89,6 +103,21 @@ impl SearchEngine {
 
     /// Top-k with an explicit scorer choice.
     pub fn search_with(&self, query: &str, k: usize, scorer: Scorer) -> Vec<Hit> {
+        self.search_in(query, k, scorer, &self.index)
+    }
+
+    /// Top-k with an explicit scorer, scored against an explicit
+    /// collection view. The sharded path passes the globally-merged
+    /// [`CorpusStats`](crate::corpus::CorpusStats) so every shard's
+    /// scores match the single-graph engine bit-for-bit; with the
+    /// engine's own index this is exactly [`SearchEngine::search_with`].
+    pub fn search_in<C: CollectionView + ?Sized>(
+        &self,
+        query: &str,
+        k: usize,
+        scorer: Scorer,
+        collection: &C,
+    ) -> Vec<Hit> {
         let terms = self.config.analyzer.analyze(query);
         if terms.is_empty() || k == 0 {
             return Vec::new();
@@ -98,8 +127,16 @@ impl SearchEngine {
             .into_iter()
             .map(|e| {
                 let score = match scorer {
-                    Scorer::MixtureLm => self.config.lm.score(&self.index, e.raw(), &terms),
-                    Scorer::Bm25 => self.config.bm25.score(&self.index, e.raw(), &terms),
+                    Scorer::MixtureLm => {
+                        self.config
+                            .lm
+                            .score_in(&self.index, collection, e.raw(), &terms)
+                    }
+                    Scorer::Bm25 => {
+                        self.config
+                            .bm25
+                            .score_in(&self.index, collection, e.raw(), &terms)
+                    }
                 };
                 Hit { entity: e, score }
             })

@@ -80,6 +80,26 @@ impl FiveFieldRepr {
     /// megabyte-scale documents (the paper's DBpedia hubs have thousands
     /// of neighbours).
     pub fn build(kg: &KnowledgeGraph, e: EntityId, max_related: usize) -> Self {
+        Self::build_keyed(kg, e, max_related, |id| id.raw())
+    }
+
+    /// Like [`FiveFieldRepr::build`], but the capped related-names
+    /// neighbours are selected in `(predicate, key(neighbour))` order.
+    ///
+    /// The adjacency rows enumerate neighbours sorted by their ids *in
+    /// `kg`'s own id space*, so a shard-local graph (whose ghosts sit
+    /// above the owned range) would truncate a hub entity's neighbour
+    /// list differently than the global graph does. Passing the shard's
+    /// local→global map as `key` restores the global selection order,
+    /// making the shard-built document bit-identical to the single-graph
+    /// one. With the identity key this is exactly [`FiveFieldRepr::build`]
+    /// (rows are already sorted by `(predicate, id)`).
+    pub fn build_keyed(
+        kg: &KnowledgeGraph,
+        e: EntityId,
+        max_related: usize,
+        key: impl Fn(EntityId) -> u32,
+    ) -> Self {
         let mut fields: [Vec<String>; 5] = Default::default();
         fields[Field::Names.index()].push(kg.display_name(e));
         let name = kg.entity_name(e);
@@ -97,17 +117,19 @@ impl FiveFieldRepr {
             fields[Field::SimilarNames.index()].push(alias.clone());
         }
         let related = &mut fields[Field::RelatedNames.index()];
-        for (_, o) in kg.out_edges(e) {
-            if related.len() >= max_related {
-                break;
+        let push_sorted = |edges: &mut Vec<(u32, u32, EntityId)>, related: &mut Vec<String>| {
+            edges.sort_unstable_by_key(|&(p, k, _)| (p, k));
+            for &(_, _, n) in edges.iter().take(max_related.saturating_sub(related.len())) {
+                related.push(kg.display_name(n));
             }
-            related.push(kg.display_name(o));
-        }
-        for (_, s) in kg.in_edges(e) {
-            if related.len() >= max_related {
-                break;
-            }
-            related.push(kg.display_name(s));
+        };
+        let mut out: Vec<(u32, u32, EntityId)> =
+            kg.out_edges(e).map(|(p, o)| (p.raw(), key(o), o)).collect();
+        push_sorted(&mut out, related);
+        if related.len() < max_related {
+            let mut inc: Vec<(u32, u32, EntityId)> =
+                kg.in_edges(e).map(|(p, s)| (p.raw(), key(s), s)).collect();
+            push_sorted(&mut inc, related);
         }
         Self { fields }
     }

@@ -75,6 +75,12 @@ impl FieldIndex {
     pub fn vocabulary_size(&self) -> usize {
         self.postings.len()
     }
+
+    /// All `(term, posting)` pairs, in arbitrary order — the iteration
+    /// corpus-statistics merging is built on.
+    pub fn postings(&self) -> impl Iterator<Item = (&str, &Posting)> {
+        self.postings.iter().map(|(t, p)| (t.as_str(), p))
+    }
 }
 
 /// The full five-field index over every entity of a knowledge graph.
@@ -88,6 +94,21 @@ impl FieldedIndex {
     /// Index every entity of `kg`. `max_related` caps the related-names
     /// field per entity (see [`FiveFieldRepr::build`]).
     pub fn build(kg: &KnowledgeGraph, analyzer: &Analyzer, max_related: usize) -> Self {
+        Self::build_keyed(kg, analyzer, max_related, |e| e.raw())
+    }
+
+    /// Index every entity of `kg`, selecting capped related-names
+    /// neighbours in `(predicate, key)` order (see
+    /// [`FiveFieldRepr::build_keyed`]). Shard-local indexes pass the
+    /// local→global id map here so the documents they build are
+    /// bit-identical to the single-graph documents; [`Self::build`] is
+    /// the identity-key special case.
+    pub fn build_keyed(
+        kg: &KnowledgeGraph,
+        analyzer: &Analyzer,
+        max_related: usize,
+        key: impl Fn(EntityId) -> u32 + Copy,
+    ) -> Self {
         let n = kg.entity_count();
         let mut fields: [FieldIndex; 5] = Default::default();
         for f in &mut fields {
@@ -96,7 +117,7 @@ impl FieldedIndex {
         // term -> tf accumulation per doc, reused across docs
         let mut tf_buf: HashMap<String, u32> = HashMap::new();
         for e in kg.entity_ids() {
-            let repr = FiveFieldRepr::build(kg, e, max_related);
+            let repr = FiveFieldRepr::build_keyed(kg, e, max_related, key);
             for field in Field::ALL {
                 let fi = &mut fields[field.index()];
                 tf_buf.clear();

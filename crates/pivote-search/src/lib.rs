@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod bm25;
+pub mod corpus;
 pub mod engine;
 pub mod fields;
 pub mod index;
@@ -26,6 +27,7 @@ pub mod lm;
 pub mod querylang;
 
 pub use bm25::Bm25;
+pub use corpus::{CollectionView, CorpusStats, FieldCorpus, TermStats};
 pub use engine::{Hit, Scorer, SearchConfig, SearchEngine};
 pub use fields::{Field, FiveFieldRepr};
 pub use index::{FieldIndex, FieldedIndex, Posting};

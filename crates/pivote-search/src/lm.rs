@@ -13,6 +13,7 @@
 //! with per-field smoothing of `p(t | θ_{e,f})` against the field's
 //! collection model (Dirichlet or Jelinek–Mercer).
 
+use crate::corpus::CollectionView;
 use crate::fields::Field;
 use crate::index::FieldedIndex;
 use serde::{Deserialize, Serialize};
@@ -117,6 +118,22 @@ impl MixtureLm {
     /// mixture. Documents sharing no term still get a finite background
     /// score, so callers should restrict scoring to candidate documents.
     pub fn score(&self, index: &FieldedIndex, doc: u32, terms: &[String]) -> f64 {
+        self.score_in(index, index, doc, terms)
+    }
+
+    /// Like [`MixtureLm::score`], but collection-level statistics come
+    /// from an explicit [`CollectionView`] while term frequencies and
+    /// document lengths stay with `index`. Sharded deployments pass the
+    /// globally-merged [`CorpusStats`](crate::corpus::CorpusStats) here
+    /// so every shard scores against the same collection model; with
+    /// `collection = index` this is exactly [`MixtureLm::score`].
+    pub fn score_in<C: CollectionView + ?Sized>(
+        &self,
+        index: &FieldedIndex,
+        collection: &C,
+        doc: u32,
+        terms: &[String],
+    ) -> f64 {
         let w = self.weights.normalized();
         let mut score = 0.0;
         for term in terms {
@@ -128,9 +145,11 @@ impl MixtureLm {
                 }
                 let fi = index.field(field);
                 let tf = fi.posting(term).map(|p| p.tf(doc)).unwrap_or(0);
-                let p = self
-                    .smoothing
-                    .prob(tf, fi.doc_len(doc), fi.collection_prob(term));
+                let p = self.smoothing.prob(
+                    tf,
+                    fi.doc_len(doc),
+                    collection.collection_prob(field, term),
+                );
                 mix += weight * p;
             }
             // mix > 0 because collection probs are floored.

@@ -1,0 +1,134 @@
+//! Standalone server binary.
+//!
+//! ```text
+//! pivote-serve [--addr 127.0.0.1:7878] [--data graph.nt | --tiny]
+//!              [--shards N] [--workers N] [--warm sidecar.warm]
+//! ```
+//!
+//! Loads an N-Triples graph (or the tiny synthetic one), optionally
+//! resumes the density cache from a warm-state sidecar, serves until a
+//! client sends `{"op":"shutdown"}`, then persists the warm state back.
+
+use pivote_kg::{generate, DatagenConfig, GraphBackend, ShardedGraph};
+use pivote_serve::{store_with_warm_state, ServeConfig, Server};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    data: Option<PathBuf>,
+    shards: usize,
+    workers: usize,
+    warm: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_owned(),
+        data: None,
+        shards: 1,
+        workers: 4,
+        warm: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--data" => args.data = Some(PathBuf::from(value("--data")?)),
+            "--tiny" => args.data = None,
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--warm" => args.warm = Some(PathBuf::from(value("--warm")?)),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("pivote-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let kg = match &args.data {
+        Some(path) => {
+            let nt = match std::fs::read_to_string(path) {
+                Ok(nt) => nt,
+                Err(e) => {
+                    eprintln!("pivote-serve: cannot read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match pivote_kg::parse(&nt) {
+                Ok(kg) => kg,
+                Err(e) => {
+                    eprintln!("pivote-serve: {}:{}: {}", path.display(), e.line, e.message);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => generate(&DatagenConfig::tiny()),
+    };
+    let backend: GraphBackend = if args.shards > 1 {
+        ShardedGraph::from_graph(&kg, args.shards).into()
+    } else {
+        kg.into()
+    };
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (store, warm) = match &args.warm {
+        Some(path) => store_with_warm_state(backend, threads, path),
+        None => (
+            Arc::new(pivote_core::LiveStore::with_threads(backend, threads)),
+            false,
+        ),
+    };
+
+    let config = ServeConfig {
+        workers: args.workers,
+        warm_path: args.warm.clone(),
+        ..ServeConfig::default()
+    };
+    let server = match Server::bind(&args.addr, store, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("pivote-serve: bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "pivote-serve: listening on {} ({} start, {} workers)",
+        server.local_addr(),
+        if warm { "warm" } else { "cold" },
+        args.workers,
+    );
+    server.wait_shutdown();
+    let report = server.shutdown();
+    match (report.warm_densities_saved, report.warm_error) {
+        (Some(n), _) => eprintln!(
+            "pivote-serve: stopped at generation {}; {n} densities persisted",
+            report.generation
+        ),
+        (None, Some(e)) => eprintln!(
+            "pivote-serve: stopped at generation {}; warm-state save failed: {e}",
+            report.generation
+        ),
+        (None, None) => eprintln!("pivote-serve: stopped at generation {}", report.generation),
+    }
+    ExitCode::SUCCESS
+}

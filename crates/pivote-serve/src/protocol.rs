@@ -1,0 +1,289 @@
+//! The wire protocol: one JSON object per line, in both directions.
+//!
+//! Every request is an object with an `"op"` discriminator; every
+//! response is an object with an `"ok"` bool. Scores cross the wire as
+//! raw JSON numbers rendered with shortest-round-trip formatting, so a
+//! client reading a score back gets the **bit-identical** `f64` the
+//! engine computed — the serving layer inherits the workspace's
+//! bit-identity contracts instead of weakening them to "approximately
+//! equal after a network hop".
+//!
+//! Requests (fields marked `?` are optional):
+//!
+//! ```text
+//! {"op":"rank",    "seeds":[names], "k_features"?:10, "k_entities"?:10}
+//! {"op":"expand",  "seeds":[names], "type"?:"Film", "k"?:10}
+//! {"op":"heatmap", "seeds":[names], "k_features"?:10, "k_entities"?:10}
+//! {"op":"search",  "query":"...", "k"?:10}
+//! {"op":"append",  "ntriples":"<s> <p> <o> .\n..."}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Error responses are `{"ok":false,"error":"..."}`; a malformed
+//! N-Triples append body additionally carries the 1-based `"line"`
+//! within the submitted body, straight from the parser's
+//! [`pivote_kg::ParseError`].
+
+use serde::Value;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Rank features and entities for a seed set (the paper's core
+    /// recommendation operation).
+    Rank {
+        /// Seed entity names.
+        seeds: Vec<String>,
+        /// How many features to return.
+        k_features: usize,
+        /// How many entities to return.
+        k_entities: usize,
+    },
+    /// Entity-set expansion: entities only, with an optional type filter.
+    Expand {
+        /// Seed entity names.
+        seeds: Vec<String>,
+        /// Restrict results to this type, when present.
+        type_filter: Option<String>,
+        /// How many entities to return.
+        k: usize,
+    },
+    /// The entity × feature correlation matrix (paper Fig. 3-f).
+    Heatmap {
+        /// Seed entity names.
+        seeds: Vec<String>,
+        /// Feature axis length.
+        k_features: usize,
+        /// Entity axis length.
+        k_entities: usize,
+    },
+    /// Keyword search over the five-field entity representation.
+    Search {
+        /// The keyword query.
+        query: String,
+        /// How many hits to return.
+        k: usize,
+    },
+    /// Append an N-Triples delta to the live store.
+    Append {
+        /// The N-Triples body (may span many lines via `\n` escapes).
+        ntriples: String,
+    },
+    /// Server/store observability snapshot.
+    Stats,
+    /// Graceful stop: persist warm state, then stop accepting.
+    Shutdown,
+}
+
+fn str_field(v: &Value, name: &str) -> Result<String, String> {
+    match v.field(name).map_err(|e| e.to_string())? {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(format!(
+            "field `{name}` must be a string, got {}",
+            other.kind()
+        )),
+    }
+}
+
+fn opt_str_field(v: &Value, name: &str) -> Result<Option<String>, String> {
+    match v.field_opt(name) {
+        Value::Null => Ok(None),
+        Value::Str(s) => Ok(Some(s.clone())),
+        other => Err(format!(
+            "field `{name}` must be a string, got {}",
+            other.kind()
+        )),
+    }
+}
+
+fn usize_field_or(v: &Value, name: &str, default: usize) -> Result<usize, String> {
+    match v.field_opt(name) {
+        Value::Null => Ok(default),
+        Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 => Ok(*n as usize),
+        other => Err(format!(
+            "field `{name}` must be a non-negative integer, got {}",
+            other.kind()
+        )),
+    }
+}
+
+fn name_list_field(v: &Value, name: &str) -> Result<Vec<String>, String> {
+    match v.field(name).map_err(|e| e.to_string())? {
+        Value::Arr(items) => items
+            .iter()
+            .map(|item| match item {
+                Value::Str(s) => Ok(s.clone()),
+                other => Err(format!(
+                    "field `{name}` must be an array of strings, got a {} element",
+                    other.kind()
+                )),
+            })
+            .collect(),
+        other => Err(format!(
+            "field `{name}` must be an array, got {}",
+            other.kind()
+        )),
+    }
+}
+
+impl Request {
+    /// Parse one request line. Errors are client-facing messages for an
+    /// `{"ok":false}` response — malformed JSON or an unknown/ill-typed
+    /// op must never take the connection (or the server) down.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v: Value = serde_json::from_str(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        let op = str_field(&v, "op")?;
+        match op.as_str() {
+            "rank" => Ok(Request::Rank {
+                seeds: name_list_field(&v, "seeds")?,
+                k_features: usize_field_or(&v, "k_features", 10)?,
+                k_entities: usize_field_or(&v, "k_entities", 10)?,
+            }),
+            "expand" => Ok(Request::Expand {
+                seeds: name_list_field(&v, "seeds")?,
+                type_filter: opt_str_field(&v, "type")?,
+                k: usize_field_or(&v, "k", 10)?,
+            }),
+            "heatmap" => Ok(Request::Heatmap {
+                seeds: name_list_field(&v, "seeds")?,
+                k_features: usize_field_or(&v, "k_features", 10)?,
+                k_entities: usize_field_or(&v, "k_entities", 10)?,
+            }),
+            "search" => Ok(Request::Search {
+                query: str_field(&v, "query")?,
+                k: usize_field_or(&v, "k", 10)?,
+            }),
+            "append" => Ok(Request::Append {
+                ntriples: str_field(&v, "ntriples")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// An outgoing response under construction — an ordered JSON object that
+/// always leads with `"ok"`.
+#[derive(Debug, Clone)]
+pub struct Reply(Vec<(String, Value)>);
+
+impl Reply {
+    /// A success response.
+    pub fn ok() -> Self {
+        Reply(vec![("ok".to_owned(), Value::Bool(true))])
+    }
+
+    /// An error response carrying a client-facing message.
+    pub fn error(message: impl Into<String>) -> Self {
+        Reply(vec![
+            ("ok".to_owned(), Value::Bool(false)),
+            ("error".to_owned(), Value::Str(message.into())),
+        ])
+    }
+
+    /// Attach a field.
+    pub fn with(mut self, key: &str, value: Value) -> Self {
+        self.0.push((key.to_owned(), value));
+        self
+    }
+
+    /// Attach an integer field.
+    pub fn num(self, key: &str, n: u64) -> Self {
+        self.with(key, Value::Num(n as f64))
+    }
+
+    /// Render to the single line that goes on the wire (no trailing
+    /// newline).
+    pub fn render(self) -> String {
+        serde_json::to_string(&Value::Obj(self.0)).expect("reply serializes")
+    }
+}
+
+/// `[[name, score], ...]` — the shape every ranked list crosses the wire
+/// in.
+pub fn scored_names(items: impl IntoIterator<Item = (String, f64)>) -> Value {
+    Value::Arr(
+        items
+            .into_iter()
+            .map(|(name, score)| Value::Arr(vec![Value::Str(name), Value::Num(score)]))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_with_defaults() {
+        let r = Request::parse(r#"{"op":"rank","seeds":["A","B"]}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Rank {
+                seeds: vec!["A".into(), "B".into()],
+                k_features: 10,
+                k_entities: 10
+            }
+        );
+        let r = Request::parse(r#"{"op":"search","query":"tom hanks","k":3}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Search {
+                query: "tom hanks".into(),
+                k: 3
+            }
+        );
+        assert_eq!(Request::parse(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        let r = Request::parse(r#"{"op":"expand","seeds":["A"],"type":"Film"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Expand {
+                seeds: vec!["A".into()],
+                type_filter: Some("Film".into()),
+                k: 10
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_messages_not_panics() {
+        for bad in [
+            "not json at all",
+            "{}",
+            r#"{"op":"no_such_op"}"#,
+            r#"{"op":"rank"}"#,
+            r#"{"op":"rank","seeds":"A"}"#,
+            r#"{"op":"rank","seeds":[1]}"#,
+            r#"{"op":"search","query":"x","k":-1}"#,
+            r#"{"op":"search","query":"x","k":1.5}"#,
+            r#"{"op":"append"}"#,
+        ] {
+            let err = Request::parse(bad).expect_err(bad);
+            assert!(!err.is_empty());
+        }
+    }
+
+    #[test]
+    fn replies_render_ok_first() {
+        let line = Reply::ok().num("generation", 3).render();
+        assert_eq!(line, r#"{"ok":true,"generation":3}"#);
+        let line = Reply::error("boom").render();
+        assert_eq!(line, r#"{"ok":false,"error":"boom"}"#);
+    }
+
+    #[test]
+    fn scores_roundtrip_bit_identically_through_json() {
+        let score = -7.581_504_805_231_83_f64;
+        let line = Reply::ok()
+            .with("hits", scored_names([("Forrest_Gump".to_owned(), score)]))
+            .render();
+        let v: Value = serde_json::from_str(&line).unwrap();
+        let hits = v.field("hits").unwrap();
+        let Value::Arr(hits) = hits else { panic!() };
+        let Value::Arr(hit) = &hits[0] else { panic!() };
+        let Value::Num(got) = hit[1] else { panic!() };
+        assert_eq!(got.to_bits(), score.to_bits());
+    }
+}

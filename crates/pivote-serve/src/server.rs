@@ -1,0 +1,527 @@
+//! The server: a `std::net::TcpListener` + worker-thread pool around one
+//! shared [`LiveStore`].
+//!
+//! Every worker accepts connections from the same (non-blocking)
+//! listener and serves one connection at a time, line by line: read a
+//! request line, execute it against a guard-scoped snapshot of the
+//! store, write one response line, flush. All workers share
+//!
+//! - one [`LiveStore`] (graph + the generation-stamped `p(π|c)`
+//!   [`SharedCache`](pivote_core::SharedCache)), so a density memoized
+//!   for any connection is a hit for every later query on any
+//!   connection, and
+//! - one [`LiveSearchCache`], so the keyword index is built once per
+//!   store generation, not once per request.
+//!
+//! The server also owns the background [`MaintenanceHandle`] (when
+//! configured): compaction is scheduled off every request path, exactly
+//! as the library contract prescribes.
+//!
+//! **Shutdown semantics.** A `{"op":"shutdown"}` request is
+//! acknowledged, then the server stops accepting; in-flight connections
+//! finish their current request. [`Server::shutdown`] (the graceful
+//! path) persists the density cache as a warm-state sidecar
+//! ([`pivote_core::save_warm_state`]) when a `warm_path` is configured,
+//! so the next process starts with every memoized density intact —
+//! [`store_with_warm_state`] is the matching startup half. Dropping the
+//! [`Server`] without calling `shutdown` is the *kill* path: threads are
+//! joined but nothing is persisted.
+//!
+//! A panic while serving one request poisons nothing global: writes
+//! fail closed per the store's poisoning policy
+//! ([`pivote_core::StoreError`]) and reads keep answering, so the
+//! process keeps serving the last consistent snapshot.
+
+use crate::protocol::{scored_names, Reply, Request};
+use pivote_core::{
+    load_warm_state, save_warm_state, Expander, HeatMap, LiveStore, MaintenanceHandle,
+    RankingConfig, SfQuery, WarmStateError,
+};
+use pivote_explore::LiveSearchCache;
+use pivote_kg::{fingerprint, parse_into_delta, CompactionPolicy, GraphBackend};
+use pivote_search::SearchConfig;
+use serde::Value;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Background compaction driven by the server's own
+/// [`MaintenanceHandle`].
+#[derive(Debug, Clone)]
+pub struct MaintenanceConfig {
+    /// When the tail is degenerate enough to repartition.
+    pub policy: CompactionPolicy,
+    /// Shard count a compaction pass re-partitions to.
+    pub target_shards: usize,
+    /// Poll interval of the maintenance thread.
+    pub tick: Duration,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads accepting and serving connections.
+    pub workers: usize,
+    /// Ranking model configuration shared by rank/expand/heatmap.
+    pub ranking: RankingConfig,
+    /// Keyword-search engine configuration.
+    pub search: SearchConfig,
+    /// Warm-state sidecar persisted by [`Server::shutdown`]; `None`
+    /// skips persistence (pair with [`store_with_warm_state`] at
+    /// startup).
+    pub warm_path: Option<PathBuf>,
+    /// Background compaction; `None` leaves the partition to grow.
+    pub maintenance: Option<MaintenanceConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            ranking: RankingConfig::default(),
+            search: SearchConfig::default(),
+            warm_path: None,
+            maintenance: None,
+        }
+    }
+}
+
+/// What a graceful [`Server::shutdown`] did.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Store generation at shutdown.
+    pub generation: u64,
+    /// Densities persisted to the warm sidecar (`None` when no
+    /// `warm_path` was configured or the save failed).
+    pub warm_densities_saved: Option<usize>,
+    /// The warm-state save error, when one occurred.
+    pub warm_error: Option<WarmStateError>,
+}
+
+/// The snapshot fingerprint of whatever layout the backend holds — the
+/// pairing key between a graph and its warm-state sidecar. The sharded
+/// layout fingerprints its union rebuild, which by the append==rebuild
+/// guarantee equals the single graph over the same logical content.
+pub fn backend_fingerprint(backend: &GraphBackend) -> u64 {
+    match backend {
+        GraphBackend::Single(kg) => fingerprint(kg),
+        GraphBackend::Sharded(sg) => fingerprint(&sg.to_graph()),
+    }
+}
+
+/// Open a [`LiveStore`] over `backend`, resuming the density cache from
+/// the warm-state sidecar at `warm_path` when it matches this graph.
+/// Returns the store and whether it started warm; any sidecar problem
+/// (missing file, stale fingerprint, corrupt bytes) silently starts
+/// cold — the sidecar is a latency artifact, never a correctness input.
+pub fn store_with_warm_state(
+    backend: impl Into<GraphBackend>,
+    threads: usize,
+    warm_path: &Path,
+) -> (Arc<LiveStore>, bool) {
+    let backend = backend.into();
+    let fp = backend_fingerprint(&backend);
+    match load_warm_state(warm_path, fp) {
+        Ok(cache) => (
+            Arc::new(LiveStore::with_cache(backend, threads, cache)),
+            true,
+        ),
+        Err(_) => (Arc::new(LiveStore::with_threads(backend, threads)), false),
+    }
+}
+
+struct Shared {
+    store: Arc<LiveStore>,
+    search: LiveSearchCache,
+    ranking: RankingConfig,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Keep it alive for as long as you serve; consume it
+/// with [`Server::shutdown`] for the graceful (warm-state-persisting)
+/// stop, or drop it for the kill path.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    workers: Vec<JoinHandle<()>>,
+    maintenance: Option<MaintenanceHandle>,
+    warm_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start the worker pool over `store`.
+    pub fn bind(addr: &str, store: Arc<LiveStore>, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store: Arc::clone(&store),
+            search: LiveSearchCache::new(config.search),
+            ranking: config.ranking,
+            shutdown: AtomicBool::new(false),
+        });
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("pivote-serve-{i}"))
+                    .spawn(move || worker_loop(&listener, &shared))?,
+            );
+        }
+        let maintenance = config.maintenance.map(|m| {
+            MaintenanceHandle::spawn(Arc::clone(&store), m.policy, m.target_shards, m.tick)
+        });
+        Ok(Server {
+            shared,
+            addr: local,
+            workers,
+            maintenance,
+            warm_path: config.warm_path,
+        })
+    }
+
+    /// The bound address (resolves the port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served store.
+    pub fn store(&self) -> &Arc<LiveStore> {
+        &self.shared.store
+    }
+
+    /// Whether a client has requested shutdown (or [`Server::shutdown`]
+    /// began).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block until a client issues `{"op":"shutdown"}`.
+    pub fn wait_shutdown(&self) {
+        while !self.shutdown_requested() {
+            std::thread::park_timeout(Duration::from_millis(10));
+        }
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(mut maintenance) = self.maintenance.take() {
+            maintenance.stop();
+        }
+    }
+
+    /// Graceful stop: stop accepting, join every worker, stop
+    /// maintenance, and persist the density cache to the configured
+    /// warm-state sidecar so a restart serves warm from the first query.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.stop_threads();
+        let store = &self.shared.store;
+        let mut report = ShutdownReport {
+            generation: store.generation(),
+            warm_densities_saved: None,
+            warm_error: None,
+        };
+        if let Some(path) = &self.warm_path {
+            let fp = {
+                let reader = store.read();
+                backend_fingerprint(reader.backend())
+            };
+            match save_warm_state(store.cache(), fp, path) {
+                Ok(()) => {
+                    report.warm_densities_saved = Some(store.cache().cached_probability_count());
+                }
+                Err(e) => report.warm_error = Some(e),
+            }
+        }
+        report
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // the kill path: join threads, persist nothing
+        self.stop_threads();
+    }
+}
+
+fn worker_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // a broken connection is the client's problem, not the
+                // server's: drop it and accept the next one
+                let _ = handle_conn(stream, shared);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::park_timeout(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::park_timeout(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn handle_conn(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = handle_request(shared, trimmed);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+fn handle_request(shared: &Shared, line: &str) -> String {
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(message) => return Reply::error(message).render(),
+    };
+    match request {
+        Request::Rank {
+            seeds,
+            k_features,
+            k_entities,
+        } => op_rank(shared, &seeds, k_features, k_entities),
+        Request::Expand {
+            seeds,
+            type_filter,
+            k,
+        } => op_expand(shared, &seeds, type_filter.as_deref(), k),
+        Request::Heatmap {
+            seeds,
+            k_features,
+            k_entities,
+        } => op_heatmap(shared, &seeds, k_features, k_entities),
+        Request::Search { query, k } => op_search(shared, &query, k),
+        Request::Append { ntriples } => op_append(shared, &ntriples),
+        Request::Stats => op_stats(shared),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Reply::ok().with("stopping", Value::Bool(true)).render()
+        }
+    }
+}
+
+/// Resolve seed names against one snapshot, erroring on the first
+/// unknown name.
+fn resolve_seeds(
+    handle: &pivote_core::GraphHandle<'_>,
+    seeds: &[String],
+) -> Result<Vec<pivote_kg::EntityId>, String> {
+    if seeds.is_empty() {
+        return Err("`seeds` must not be empty".to_owned());
+    }
+    seeds
+        .iter()
+        .map(|name| {
+            handle
+                .entity(name)
+                .ok_or_else(|| format!("unknown entity {name:?}"))
+        })
+        .collect()
+}
+
+fn op_rank(shared: &Shared, seeds: &[String], k_features: usize, k_entities: usize) -> String {
+    let reader = shared.store.read();
+    let handle = reader.handle();
+    let ids = match resolve_seeds(&handle, seeds) {
+        Ok(ids) => ids,
+        Err(message) => return Reply::error(message).render(),
+    };
+    let expander = Expander::with_handle(handle.clone(), shared.ranking);
+    let res = expander.expand(&SfQuery::from_seeds(ids), k_entities, k_features);
+    Reply::ok()
+        .num("generation", reader.generation())
+        .with(
+            "features",
+            scored_names(
+                res.features
+                    .iter()
+                    .map(|rf| (handle.feature_display(rf.feature), rf.score)),
+            ),
+        )
+        .with(
+            "entities",
+            scored_names(
+                res.entities
+                    .iter()
+                    .map(|re| (handle.entity_name(re.entity).to_owned(), re.score)),
+            ),
+        )
+        .render()
+}
+
+fn op_expand(shared: &Shared, seeds: &[String], type_filter: Option<&str>, k: usize) -> String {
+    let reader = shared.store.read();
+    let handle = reader.handle();
+    let ids = match resolve_seeds(&handle, seeds) {
+        Ok(ids) => ids,
+        Err(message) => return Reply::error(message).render(),
+    };
+    let mut query = SfQuery::from_seeds(ids);
+    if let Some(name) = type_filter {
+        match handle.type_id(name) {
+            Some(t) => query = query.with_type(t),
+            None => return Reply::error(format!("unknown type {name:?}")).render(),
+        }
+    }
+    let expander = Expander::with_handle(handle.clone(), shared.ranking);
+    let res = expander.expand(&query, k, k);
+    Reply::ok()
+        .num("generation", reader.generation())
+        .with(
+            "entities",
+            scored_names(
+                res.entities
+                    .iter()
+                    .map(|re| (handle.entity_name(re.entity).to_owned(), re.score)),
+            ),
+        )
+        .render()
+}
+
+fn op_heatmap(shared: &Shared, seeds: &[String], k_features: usize, k_entities: usize) -> String {
+    let reader = shared.store.read();
+    let handle = reader.handle();
+    let ids = match resolve_seeds(&handle, seeds) {
+        Ok(ids) => ids,
+        Err(message) => return Reply::error(message).render(),
+    };
+    let expander = Expander::with_handle(handle.clone(), shared.ranking);
+    let res = expander.expand(&SfQuery::from_seeds(ids), k_entities, k_features);
+    let axis: Vec<pivote_kg::EntityId> = res.entities.iter().map(|re| re.entity).collect();
+    let hm = HeatMap::compute(expander.ranker(), &axis, &res.features);
+    Reply::ok()
+        .num("generation", reader.generation())
+        .with(
+            "features",
+            Value::Arr(
+                res.features
+                    .iter()
+                    .map(|rf| Value::Str(handle.feature_display(rf.feature)))
+                    .collect(),
+            ),
+        )
+        .with(
+            "entities",
+            Value::Arr(
+                axis.iter()
+                    .map(|&e| Value::Str(handle.entity_name(e).to_owned()))
+                    .collect(),
+            ),
+        )
+        .with(
+            "levels",
+            Value::Arr(
+                (0..hm.height())
+                    .map(|row| {
+                        Value::Arr(
+                            (0..hm.width())
+                                .map(|col| Value::Num(f64::from(hm.level(row, col))))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        )
+        .with(
+            "values",
+            Value::Arr(
+                (0..hm.height())
+                    .map(|row| {
+                        Value::Arr(
+                            (0..hm.width())
+                                .map(|col| Value::Num(hm.value(row, col)))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        )
+        .render()
+}
+
+fn op_search(shared: &Shared, query: &str, k: usize) -> String {
+    let hits = shared.search.search(&shared.store, query, k);
+    // entity names are append-only and ids are stable, so resolving the
+    // hit names under a second read guard can never mislabel a hit
+    let reader = shared.store.read();
+    let handle = reader.handle();
+    Reply::ok()
+        .num("generation", reader.generation())
+        .with(
+            "hits",
+            scored_names(
+                hits.iter()
+                    .map(|h| (handle.entity_name(h.entity).to_owned(), h.score)),
+            ),
+        )
+        .render()
+}
+
+fn op_append(shared: &Shared, ntriples: &str) -> String {
+    let delta = match parse_into_delta(ntriples) {
+        Ok(delta) => delta,
+        Err(e) => {
+            // the parser's 1-based line within the submitted body
+            return Reply::error(format!("N-Triples parse error: {}", e.message))
+                .num("line", e.line as u64)
+                .render();
+        }
+    };
+    match shared.store.append(&delta) {
+        Ok(applied) => Reply::ok()
+            .num("generation", applied.generation)
+            .num(
+                "new_entities",
+                u64::from(applied.new_entities.end - applied.new_entities.start),
+            )
+            .num("added_relations", applied.added_relations as u64)
+            .num("added_literals", applied.added_literals as u64)
+            .render(),
+        Err(e) => Reply::error(e.to_string()).render(),
+    }
+}
+
+fn op_stats(shared: &Shared) -> String {
+    let store = &shared.store;
+    let reader = store.read();
+    Reply::ok()
+        .num("generation", reader.generation())
+        .num("shard_count", reader.backend().shard_count() as u64)
+        .num(
+            "trailing_shards",
+            reader.backend().trailing_shard_count() as u64,
+        )
+        .num("entities", reader.backend().entity_count() as u64)
+        .num(
+            "cached_probabilities",
+            store.cache().cached_probability_count() as u64,
+        )
+        .num("cache_generation", store.cache().generation())
+        .with("poisoned", Value::Bool(store.is_poisoned()))
+        .render()
+}

@@ -14,6 +14,7 @@
 //! | [`pivote_explore`] | session engine: dynamic query formulation, timeline, pivot, path (§2.1, §3) |
 //! | [`pivote_baselines`] | Jaccard / PPR / frequency-overlap comparison systems |
 //! | [`pivote_eval`] | metrics, ground truth and experiment harness |
+//! | [`pivote_serve`] | TCP serving layer: line-JSON rank/expand/heatmap/search/append |
 //! | [`pivote_viz`] | ASCII/SVG/DOT renderers for the paper's figures |
 //!
 //! The [`prelude`] re-exports the types most applications need.
@@ -37,6 +38,7 @@ pub use pivote_eval;
 pub use pivote_explore;
 pub use pivote_kg;
 pub use pivote_search;
+pub use pivote_serve;
 pub use pivote_sparql;
 pub use pivote_text;
 pub use pivote_viz;

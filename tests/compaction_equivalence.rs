@@ -276,14 +276,14 @@ proptest! {
             ShardedGraph::from_graph(&base_builder(&base).finish(), 2),
             1,
         );
-        live.append(&delta1);
+        live.append(&delta1).expect("store healthy");
         {
             let reader = live.read();
             let got = snapshot(&reader.handle(), &seeds, &probes1);
             assert_snapshots_equal(&got, &want1, "live pre-compact");
         }
         let warm = live.cache().cached_probability_count();
-        let receipt = live.compact_concurrent(target);
+        let receipt = live.compact_concurrent(target).expect("store healthy");
         prop_assert_eq!(receipt.shards_after, target);
         prop_assert_eq!(
             live.cache().cached_probability_count(),
@@ -295,7 +295,7 @@ proptest! {
             let got = snapshot(&reader.handle(), &seeds, &probes1);
             assert_snapshots_equal(&got, &want1, "live post-compact (warm cache)");
         }
-        live.append(&delta2);
+        live.append(&delta2).expect("store healthy");
         {
             let reader = live.read();
             let got = snapshot(&reader.handle(), &seeds, &probes2);

@@ -145,7 +145,7 @@ fn compaction_racing_queries_never_tears() {
             kg.entity_name(seeds[i % 2]).to_owned(),
         )
         .typed(format!("Raced_Compaction_Film_{i}"), "Film");
-        live.append(&d);
+        live.append(&d).expect("store healthy");
         deltas.push(d);
     }
     assert_eq!(live.shard_count(), 6);
@@ -192,7 +192,7 @@ fn compaction_racing_queries_never_tears() {
         }
         let live = Arc::clone(&live);
         scope.spawn(move || {
-            let receipt = live.compact_concurrent(2);
+            let receipt = live.compact_concurrent(2).expect("store healthy");
             assert_eq!(receipt.shards_before, 6);
             assert_eq!(receipt.trailing_before, 4);
         });
@@ -312,9 +312,9 @@ proptest! {
             ShardedGraph::from_graph(&race_base(&base_edges), 2),
             1,
         );
-        live.append(&delta1);
+        live.append(&delta1).expect("store healthy");
         let mut hook_calls = 0u32;
-        let receipt = live.compact_concurrent_hooked(2, |base_generation| {
+        let receipt_result = live.compact_concurrent_hooked(2, |base_generation| {
             hook_calls += 1;
             // mid-compaction probe: this closure runs on the compactor's
             // thread, so merely *acquiring* this read guard (and the
@@ -338,9 +338,10 @@ proptest! {
             if hook_calls == 1 {
                 // inject the racing append: the rebuild this hook
                 // interrupted is now stale and must be discarded
-                live.append(&delta2);
+                live.append(&delta2).expect("store healthy");
             }
         });
+        let receipt = receipt_result.expect("store healthy");
         prop_assert_eq!(receipt.attempts, 2, "the losing rebuild must retry");
         prop_assert_eq!(hook_calls, 2);
         prop_assert_eq!(receipt.shards_after, 2);
@@ -364,4 +365,87 @@ fn unknown_names_resolve_to_none_not_panic() {
     assert!(kg.predicate("noSuchPredicate").is_none());
     assert!(kg.type_id("NoSuchType").is_none());
     assert!(kg.category_id("No such category").is_none());
+}
+
+/// A writer panicking mid-append poisons the store: later writes are
+/// refused with a typed error instead of panicking their own threads,
+/// while reads recover the lock and keep answering — the serving layer
+/// stays up on the last consistent snapshot.
+#[test]
+fn panicked_append_fails_writes_closed_and_keeps_reads_up() {
+    use pivote_core::StoreError;
+
+    let cfg = RankingConfig::default();
+    let live = Arc::new(LiveStore::with_threads(
+        ShardedGraph::from_graph(&generate(&DatagenConfig::tiny()), 2),
+        1,
+    ));
+    let seeds = {
+        let kg = generate(&DatagenConfig::tiny());
+        let film = kg.type_id("Film").unwrap();
+        kg.type_extent(film)[..2].to_vec()
+    };
+    let (want_f, want_e) = {
+        // a healthy append first, so the poisoned snapshot is not the base
+        let mut d = DeltaBatch::new();
+        d.entity("Pre_Poison_Entity");
+        live.append(&d).expect("store still healthy");
+        let reader = live.read();
+        let ctx = reader.ctx();
+        let f = ctx.rank_features(&cfg, &seeds);
+        let e = ctx.rank_entities(&cfg, &seeds, &f);
+        (f, e)
+    };
+
+    // inject the panic mid-append, on its own thread, at the hook seam —
+    // after the splice and cache invalidation, i.e. at a consistent point
+    let injected = {
+        let live = Arc::clone(&live);
+        std::thread::spawn(move || {
+            let mut d = DeltaBatch::new();
+            d.entity("Poisoning_Entity");
+            let _ = live.append_hooked(&d, |_| panic!("injected writer crash"));
+        })
+        .join()
+    };
+    assert!(injected.is_err(), "the injected panic must propagate");
+    assert!(live.is_poisoned(), "the writer died holding the lock");
+
+    // writes fail closed with the typed error — no panic, no partial apply
+    let mut d = DeltaBatch::new();
+    d.entity("Refused_Entity");
+    assert_eq!(live.append(&d).unwrap_err(), StoreError::Poisoned);
+    assert_eq!(
+        live.compact_concurrent(2).unwrap_err(),
+        StoreError::Poisoned
+    );
+    assert_eq!(live.compact_in_place(2).unwrap_err(), StoreError::Poisoned);
+    let policy = pivote_kg::CompactionPolicy {
+        max_trailing: 0,
+        max_tail_fraction: 0.0,
+    };
+    assert!(
+        live.maybe_compact(&policy, 2).is_none(),
+        "maintenance declines instead of panicking"
+    );
+
+    // reads recover the lock: the last consistent snapshot (poisoning
+    // append included — it completed its splice before the panic) keeps
+    // answering, bit-identically
+    assert_eq!(live.generation(), 2, "healthy append + poisoning append");
+    let reader = live.read();
+    assert!(reader.backend().entity("Poisoning_Entity").is_some());
+    assert!(reader.backend().entity("Refused_Entity").is_none());
+    let ctx = reader.ctx();
+    let got_f = ctx.rank_features(&cfg, &seeds);
+    assert_eq!(got_f, want_f, "post-poison features drifted");
+    let got_e = ctx.rank_entities(&cfg, &seeds, &got_f);
+    assert_eq!(got_e.len(), want_e.len());
+    for (a, b) in got_e.iter().zip(&want_e) {
+        assert_eq!(a.entity, b.entity);
+        assert!(
+            (a.score - b.score).abs() == 0.0,
+            "post-poison score drifted"
+        );
+    }
 }

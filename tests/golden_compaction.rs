@@ -139,7 +139,7 @@ fn golden_rankings_reproduce_through_the_concurrent_live_compaction_path() {
         let (base, deltas) = quarters();
         let live = pivote_core::LiveStore::with_threads(ShardedGraph::from_graph(&base, shards), 1);
         for d in &deltas {
-            live.append(d);
+            live.append(d).expect("store healthy");
         }
         {
             let reader = live.read();
@@ -148,7 +148,7 @@ fn golden_rankings_reproduce_through_the_concurrent_live_compaction_path() {
             assert_eq!(pre, golden, "pre-swap rankings (shards={shards})");
         }
         let warm = live.cache().cached_probability_count();
-        let receipt = live.compact_concurrent(2);
+        let receipt = live.compact_concurrent(2).expect("store healthy");
         assert_eq!(receipt.shards_after, 2);
         assert_eq!(receipt.attempts, 1, "no contention, no retries");
         assert_eq!(

@@ -104,6 +104,74 @@ fn golden_sample_rankings_reproduce_on_every_backend() {
     }
 }
 
+const SEARCH_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/sample_search.json"
+);
+
+/// Golden snapshot of keyword-search rankings: per query, the top hits
+/// as `(entity name, full-precision score)`. Sharded search merges
+/// per-shard hits scored against globally-merged corpus statistics, so
+/// its contract is the same as the ranking layer's: bit-identity.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct SearchGolden {
+    queries: Vec<(String, Vec<(String, f64)>)>,
+}
+
+fn search_snapshot(handle: &GraphHandle<'_>) -> SearchGolden {
+    use pivote_explore::{Session, SessionConfig};
+    let session = Session::with_handle(handle.clone(), SessionConfig::default());
+    let queries = ["forrest gump", "tom hanks", "film", "american hollywood"];
+    SearchGolden {
+        queries: queries
+            .iter()
+            .map(|q| {
+                let hits = session
+                    .search_hits(q, 10)
+                    .iter()
+                    .map(|h| (handle.entity_name(h.entity).to_owned(), h.score))
+                    .collect();
+                ((*q).to_owned(), hits)
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn golden_search_rankings_reproduce_on_every_backend() {
+    let kg = sample();
+    let single = search_snapshot(&GraphHandle::single_with_threads(&kg, 1));
+
+    if std::env::var("PIVOTE_GOLDEN_WRITE").is_ok() {
+        std::fs::write(
+            SEARCH_GOLDEN_PATH,
+            serde_json::to_string_pretty(&single).expect("search golden serializes"),
+        )
+        .expect("search golden written");
+    }
+
+    let golden_json = std::fs::read_to_string(SEARCH_GOLDEN_PATH)
+        .expect("search golden exists — regenerate with PIVOTE_GOLDEN_WRITE=1");
+    let golden: SearchGolden = serde_json::from_str(&golden_json).expect("search golden parses");
+    assert!(
+        golden.queries.iter().all(|(_, hits)| !hits.is_empty()),
+        "every golden query must have hits"
+    );
+    assert_eq!(
+        single, golden,
+        "single-graph search drifted from the golden rankings"
+    );
+
+    for shards in shard_counts_from_env(&[1, 2, 3, 4]) {
+        let sg = ShardedGraph::from_graph(&kg, shards);
+        let got = search_snapshot(&GraphHandle::sharded(&sg));
+        assert_eq!(
+            got, golden,
+            "sharded search (shards={shards}) drifted from the golden rankings"
+        );
+    }
+}
+
 #[test]
 fn golden_file_is_checked_in_and_nonempty() {
     if std::env::var("PIVOTE_GOLDEN_WRITE").is_ok() {

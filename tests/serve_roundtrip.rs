@@ -1,0 +1,322 @@
+//! The serving layer end to end, over real TCP connections:
+//!
+//! - every op answers **bit-identically** to the same call made through
+//!   the library (the network hop adds no drift — scores cross the wire
+//!   as shortest-round-trip JSON numbers);
+//! - protocol abuse (malformed JSON, unknown ops, bad N-Triples,
+//!   clients hanging up mid-exchange) produces per-request error
+//!   responses and never takes the server down;
+//! - concurrent appends and ranked reads observe one serial generation
+//!   order;
+//! - a graceful shutdown persists the density cache, and a restart from
+//!   the warm sidecar answers repeat queries with **zero** `p(π|c)`
+//!   recomputes (pinned through the stats probe).
+
+use pivote_core::{Expander, GraphHandle, HeatMap, LiveStore, RankingConfig, SfQuery};
+use pivote_explore::{Session, SessionConfig};
+use pivote_kg::KnowledgeGraph;
+use pivote_serve::{
+    num_field, response_ok, scored_list, store_with_warm_state, Client, ServeConfig, Server,
+};
+use std::sync::Arc;
+
+fn sample() -> KnowledgeGraph {
+    let nt = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/data/sample.nt"))
+        .expect("bundled sample exists");
+    pivote_kg::parse(&nt).expect("sample parses")
+}
+
+fn serve_sample() -> Server {
+    let store = Arc::new(LiveStore::with_threads(sample(), 1));
+    Server::bind("127.0.0.1:0", store, ServeConfig::default()).expect("bind ephemeral port")
+}
+
+#[test]
+fn every_op_matches_the_library_bit_for_bit() {
+    let server = serve_sample();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // library-side ground truth on an identical graph
+    let kg = sample();
+    let handle = GraphHandle::single_with_threads(&kg, 1);
+    let gump = handle.entity("Forrest_Gump").expect("Forrest_Gump");
+    let expander = Expander::with_handle(handle.clone(), RankingConfig::default());
+    let want = expander.expand(&SfQuery::from_seeds(vec![gump]), 10, 10);
+
+    let ranked = client.rank(&["Forrest_Gump"], 10, 10).expect("rank");
+    assert!(response_ok(&ranked), "{ranked:?}");
+    let got_features = scored_list(&ranked, "features");
+    assert_eq!(got_features.len(), want.features.len());
+    for (got, want_rf) in got_features.iter().zip(&want.features) {
+        assert_eq!(got.0, handle.feature_display(want_rf.feature));
+        assert_eq!(
+            got.1.to_bits(),
+            want_rf.score.to_bits(),
+            "feature score drifted"
+        );
+    }
+    let got_entities = scored_list(&ranked, "entities");
+    assert_eq!(got_entities.len(), want.entities.len());
+    for (got, want_re) in got_entities.iter().zip(&want.entities) {
+        assert_eq!(got.0, handle.entity_name(want_re.entity));
+        assert_eq!(
+            got.1.to_bits(),
+            want_re.score.to_bits(),
+            "entity score drifted"
+        );
+    }
+
+    // expand mirrors the entity half
+    let expanded = client.expand(&["Forrest_Gump"], None, 10).expect("expand");
+    assert!(response_ok(&expanded));
+    assert_eq!(scored_list(&expanded, "entities"), got_entities);
+
+    // heatmap levels match the library's quantization exactly
+    let axis: Vec<_> = want.entities.iter().map(|re| re.entity).collect();
+    let hm = HeatMap::compute(expander.ranker(), &axis, &want.features);
+    let heat = client.heatmap(&["Forrest_Gump"], 10, 10).expect("heatmap");
+    assert!(response_ok(&heat));
+    let serde::Value::Arr(rows) = heat.field("levels").expect("levels") else {
+        panic!("levels must be an array");
+    };
+    assert_eq!(rows.len(), hm.height());
+    for (r, row) in rows.iter().enumerate() {
+        let serde::Value::Arr(cols) = row else {
+            panic!("level rows must be arrays");
+        };
+        assert_eq!(cols.len(), hm.width());
+        for (c, level) in cols.iter().enumerate() {
+            let serde::Value::Num(n) = level else {
+                panic!("levels must be numbers");
+            };
+            assert_eq!(*n as u8, hm.level(r, c), "level drifted at ({r},{c})");
+        }
+    }
+
+    // search equals the session engine's hits
+    let session = Session::with_handle(handle.clone(), SessionConfig::default());
+    for query in ["forrest gump", "tom hanks", "film"] {
+        let want_hits: Vec<(String, f64)> = session
+            .search_hits(query, 10)
+            .iter()
+            .map(|h| (handle.entity_name(h.entity).to_owned(), h.score))
+            .collect();
+        let got = client.search(query, 10).expect("search");
+        assert!(response_ok(&got));
+        let got_hits = scored_list(&got, "hits");
+        assert_eq!(got_hits.len(), want_hits.len(), "{query}");
+        for (g, w) in got_hits.iter().zip(&want_hits) {
+            assert_eq!(g.0, w.0, "{query}");
+            assert_eq!(
+                g.1.to_bits(),
+                w.1.to_bits(),
+                "{query}: search score drifted"
+            );
+        }
+    }
+
+    // stats reflects the fresh store
+    let stats = client.stats().expect("stats");
+    assert!(response_ok(&stats));
+    assert_eq!(num_field(&stats, "generation"), Some(0));
+    assert_eq!(num_field(&stats, "shard_count"), Some(1));
+    assert_eq!(
+        num_field(&stats, "entities"),
+        Some(kg.entity_count() as u64)
+    );
+}
+
+#[test]
+fn malformed_requests_answer_errors_and_keep_the_connection() {
+    let server = serve_sample();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    for bad in [
+        "this is not json",
+        r#"{"op":"no_such_op"}"#,
+        r#"{"no_op_at_all":1}"#,
+        r#"{"op":"rank","seeds":[]}"#,
+        r#"{"op":"rank","seeds":["No_Such_Entity_Anywhere"]}"#,
+        r#"{"op":"expand","seeds":["Forrest_Gump"],"type":"NoSuchType"}"#,
+        r#"{"op":"search","query":"x","k":"ten"}"#,
+    ] {
+        let v = client.request(bad).expect(bad);
+        assert!(!response_ok(&v), "{bad} must be refused: {v:?}");
+        assert!(
+            matches!(v.field_opt("error"), serde::Value::Str(_)),
+            "{bad} must carry an error message"
+        );
+    }
+
+    // a bad N-Triples body reports the 1-based line inside the body
+    let v = client
+        .append("<http://a> <http://p> <http://b> .\nnot a triple\n")
+        .expect("append");
+    assert!(!response_ok(&v));
+    assert_eq!(num_field(&v, "line"), Some(2), "{v:?}");
+
+    // the same connection still serves after every refusal
+    let stats = client.stats().expect("stats after garbage");
+    assert!(response_ok(&stats));
+    assert_eq!(
+        num_field(&stats, "generation"),
+        Some(0),
+        "no refused request may have mutated the store"
+    );
+}
+
+#[test]
+fn clients_hanging_up_mid_exchange_leave_the_server_serving() {
+    let server = serve_sample();
+    // several clients connect, fire a request, and vanish without ever
+    // reading the response
+    for _ in 0..4 {
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        use std::io::Write as _;
+        let stream = std::net::TcpStream::connect(server.local_addr()).expect("raw connect");
+        let mut raw = stream;
+        raw.write_all(b"{\"op\":\"rank\",\"seeds\":[\"Forrest_Gump\"]}\n")
+            .expect("fire");
+        drop(raw); // gone before the response is written
+        drop(client.stats()); // normal client, also abandoned mid-life
+    }
+    // a fresh, well-behaved client is unaffected
+    let mut client = Client::connect(server.local_addr()).expect("connect after chaos");
+    let stats = client.stats().expect("stats");
+    assert!(response_ok(&stats));
+}
+
+#[test]
+fn concurrent_appends_and_reads_observe_one_serial_order() {
+    let server = serve_sample();
+    let addr = server.local_addr();
+    let appends_per_writer = 8;
+    let writers = 3;
+
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("writer connects");
+                for i in 0..appends_per_writer {
+                    let nt = format!(
+                        "<http://dbpedia.org/resource/Served_{w}_{i}> \
+                         <http://dbpedia.org/ontology/servedBy> \
+                         <http://dbpedia.org/resource/Forrest_Gump> .\n"
+                    );
+                    let v = client.append(&nt).expect("append");
+                    assert!(response_ok(&v), "{v:?}");
+                }
+            });
+        }
+        for _ in 0..2 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("reader connects");
+                let mut last_generation = 0;
+                for _ in 0..12 {
+                    let ranked = client.rank(&["Forrest_Gump"], 5, 5).expect("rank");
+                    assert!(response_ok(&ranked));
+                    let generation = num_field(&ranked, "generation").expect("generation");
+                    assert!(
+                        generation >= last_generation,
+                        "generations ran backwards: {last_generation} then {generation}"
+                    );
+                    last_generation = generation;
+                }
+            });
+        }
+    });
+
+    // quiescent: every append landed, exactly once, in one serial order
+    let total = (writers * appends_per_writer) as u64;
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(num_field(&stats, "generation"), Some(total));
+
+    // the server state equals a library-only replay of the same deltas
+    // (appends commute here: each adds a disjoint entity + one edge)
+    let mut replay = sample();
+    for w in 0..writers {
+        for i in 0..appends_per_writer {
+            let mut d = pivote_kg::DeltaBatch::new();
+            d.triple(format!("Served_{w}_{i}"), "servedBy", "Forrest_Gump");
+            replay.apply(&d);
+        }
+    }
+    assert_eq!(
+        num_field(&stats, "entities"),
+        Some(replay.entity_count() as u64)
+    );
+    let reader = server.store().read();
+    // line-set equality: the appends commute, so the interleaving only
+    // permutes entity insertion order, never the triple set
+    let mut got: Vec<&str> = Vec::new();
+    let got_nt = pivote_kg::serialize(&reader.backend().to_single());
+    got.extend(got_nt.lines());
+    got.sort_unstable();
+    let want_nt = pivote_kg::serialize(&replay);
+    let mut want: Vec<&str> = want_nt.lines().collect();
+    want.sort_unstable();
+    assert_eq!(got, want, "served state must equal the library-only replay");
+}
+
+#[test]
+fn restart_from_the_warm_sidecar_recomputes_nothing() {
+    let warm_path = std::env::temp_dir().join(format!(
+        "pivote_serve_warm_{}_{:?}.warm",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&warm_path);
+
+    // first life: serve cold, warm the cache through real queries, stop
+    // gracefully
+    let store = Arc::new(LiveStore::with_threads(sample(), 1));
+    let config = ServeConfig {
+        warm_path: Some(warm_path.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", store, config.clone()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let first = client.rank(&["Forrest_Gump"], 10, 10).expect("rank");
+    assert!(response_ok(&first));
+    let stats = client.stats().expect("stats");
+    let warmed = num_field(&stats, "cached_probabilities").expect("probe");
+    assert!(warmed > 0, "queries must fill the density cache");
+    let ack = client.shutdown().expect("shutdown ack");
+    assert!(response_ok(&ack));
+    server.wait_shutdown();
+    let report = server.shutdown();
+    assert_eq!(report.warm_densities_saved, Some(warmed as usize));
+
+    // second life: a new process would reopen the graph and the sidecar
+    let (store, warm) = store_with_warm_state(sample(), 1, &warm_path);
+    assert!(warm, "the sidecar must match the reopened graph");
+    let server = Server::bind("127.0.0.1:0", store, config).expect("rebind");
+    let mut client = Client::connect(server.local_addr()).expect("reconnect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        num_field(&stats, "cached_probabilities"),
+        Some(warmed),
+        "every density must be back before any query runs"
+    );
+    let again = client.rank(&["Forrest_Gump"], 10, 10).expect("rank again");
+    assert!(response_ok(&again));
+    // bit-identical answers out of the warm cache…
+    assert_eq!(
+        scored_list(&again, "features"),
+        scored_list(&first, "features")
+    );
+    assert_eq!(
+        scored_list(&again, "entities"),
+        scored_list(&first, "entities")
+    );
+    // …and zero recomputes: the repeat query needed no density that the
+    // sidecar did not already carry
+    let stats = client.stats().expect("stats after warm query");
+    assert_eq!(
+        num_field(&stats, "cached_probabilities"),
+        Some(warmed),
+        "a warm restart must not recompute (or add) a single density"
+    );
+    let _ = std::fs::remove_file(&warm_path);
+}
