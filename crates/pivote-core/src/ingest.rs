@@ -36,7 +36,7 @@
 //! ```
 
 use crate::live::{LiveStore, StoreError};
-use pivote_kg::{parse_stream, AppliedDelta, StreamError, StreamStats};
+use pivote_kg::{parse_removed_stream, parse_stream, AppliedDelta, StreamError, StreamStats};
 use std::io;
 use std::sync::Arc;
 
@@ -99,6 +99,13 @@ pub struct IngestReport {
     pub added_relations: usize,
     /// Literal statements inserted.
     pub added_literals: usize,
+    /// Entity-to-entity relations retracted (retracts of statements the
+    /// store never held don't count).
+    pub removed_relations: usize,
+    /// Literal statement copies retracted.
+    pub removed_literals: usize,
+    /// Type/category assertions retracted.
+    pub removed_assertions: usize,
     /// Total splice work across all appends (see
     /// [`AppliedDelta::work`](pivote_kg::AppliedDelta)).
     pub work: u64,
@@ -152,7 +159,42 @@ impl StreamingIngest {
 
     /// Stream with an observer called after every applied batch — the
     /// hook mid-ingest latency sampling and progress reporting attach to.
-    pub fn ingest_with<R, F>(&self, reader: R, mut observer: F) -> Result<IngestReport, IngestError>
+    pub fn ingest_with<R, F>(&self, reader: R, observer: F) -> Result<IngestReport, IngestError>
+    where
+        R: io::BufRead,
+        F: FnMut(&AppliedDelta),
+    {
+        self.run(reader, observer, false)
+    }
+
+    /// Stream a *removed-triples* document (the `removed.nt` half of a
+    /// DBpedia-Live style changeset) from `reader`: every statement is
+    /// applied as a retract ([`pivote_kg::parse_removed_stream`]), with
+    /// the same bounded-memory batching as [`StreamingIngest::ingest`].
+    /// Statements the store never held are no-ops.
+    pub fn ingest_removed<R: io::BufRead>(&self, reader: R) -> Result<IngestReport, IngestError> {
+        self.ingest_removed_with(reader, |_| {})
+    }
+
+    /// [`StreamingIngest::ingest_removed`] with a per-batch observer.
+    pub fn ingest_removed_with<R, F>(
+        &self,
+        reader: R,
+        observer: F,
+    ) -> Result<IngestReport, IngestError>
+    where
+        R: io::BufRead,
+        F: FnMut(&AppliedDelta),
+    {
+        self.run(reader, observer, true)
+    }
+
+    fn run<R, F>(
+        &self,
+        reader: R,
+        mut observer: F,
+        removed: bool,
+    ) -> Result<IngestReport, IngestError>
     where
         R: io::BufRead,
         F: FnMut(&AppliedDelta),
@@ -161,7 +203,7 @@ impl StreamingIngest {
         // a refused append (poisoned store) stops all further appends;
         // the error is surfaced after the parse loop unwinds
         let mut store_error: Option<StoreError> = None;
-        let stats = parse_stream(reader, self.max_ops, |batch| {
+        let sink = |batch: &mut pivote_kg::DeltaBatch| {
             if store_error.is_some() {
                 return;
             }
@@ -171,13 +213,21 @@ impl StreamingIngest {
                         (applied.new_entities.end - applied.new_entities.start) as usize;
                     report.added_relations += applied.added_relations;
                     report.added_literals += applied.added_literals;
+                    report.removed_relations += applied.removed_relations;
+                    report.removed_literals += applied.removed_literals;
+                    report.removed_assertions += applied.removed_assertions;
                     report.work += applied.work;
                     report.final_generation = applied.generation;
                     observer(&applied);
                 }
                 Err(e) => store_error = Some(e),
             }
-        })?;
+        };
+        let stats = if removed {
+            parse_removed_stream(reader, self.max_ops, sink)?
+        } else {
+            parse_stream(reader, self.max_ops, sink)?
+        };
         if let Some(e) = store_error {
             return Err(e.into());
         }
@@ -244,6 +294,51 @@ mod tests {
         assert_eq!(batches_seen, 60usize.div_ceil(16));
         let reader = store.read();
         assert_eq!(reader.handle().entity_count(), 60);
+    }
+
+    /// Ingesting a changeset's `added` half then its `removed` half
+    /// leaves the store bit-identical to never having held the removed
+    /// statements at all (modulo tombstones, which compaction reclaims).
+    #[test]
+    fn removed_ingest_undoes_the_added_half() {
+        let base = dump(40);
+        let churn = {
+            use std::fmt::Write as _;
+            let mut out = String::new();
+            for i in 0..25 {
+                let _ = writeln!(
+                    out,
+                    "<http://dbpedia.org/resource/e{i}> <http://dbpedia.org/ontology/churn> \
+                     <http://dbpedia.org/resource/e{}> .",
+                    (i + 3) % 40
+                );
+            }
+            out
+        };
+        let store = Arc::new(LiveStore::new(KgBuilder::new().finish()));
+        let ingest = StreamingIngest::with_batch_size(Arc::clone(&store), 9);
+        ingest.ingest(base.as_bytes()).unwrap();
+        ingest.ingest(churn.as_bytes()).unwrap();
+        let report = ingest.ingest_removed(churn.as_bytes()).unwrap();
+        assert_eq!(report.stats.statements, 25);
+        assert_eq!(report.removed_relations, 25);
+        assert_eq!(report.new_entities, 0, "retracts never intern");
+        drop(ingest);
+
+        // a build that never saw the churn serializes identically — the
+        // live view excludes tombstones, and reclaim drops them outright
+        let mut clean = KgBuilder::new().finish();
+        clean.apply(&parse_into_delta(&base).unwrap());
+        let got = Arc::try_unwrap(store)
+            .unwrap_or_else(|_| panic!("store still shared"))
+            .into_inner()
+            .into_single();
+        assert!(got.tombstone_count() > 0);
+        assert_eq!(ntriples::serialize(&got), ntriples::serialize(&clean));
+        assert_eq!(
+            ntriples::serialize(&got.reclaim()),
+            ntriples::serialize(&clean)
+        );
     }
 
     #[test]

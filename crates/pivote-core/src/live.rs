@@ -219,14 +219,19 @@ impl LiveStore {
     /// swap.
     ///
     /// On the single layout compaction is the identity (a single graph
-    /// is always one partition): no generation bump, a 1→1 receipt.
+    /// is always one partition): no generation bump, a 1→1 receipt —
+    /// *unless* the graph holds tombstones from retractions, in which
+    /// case the pass is an id-preserving reclaim rebuild (same answers,
+    /// dead rows returned, generation bumped).
     ///
     /// Like every write, compaction fails closed with
     /// [`StoreError::Poisoned`] after a writer panic.
     pub fn compact_in_place(&self, target_shards: usize) -> Result<CompactionReceipt, StoreError> {
         let mut store = self.store.write().map_err(|_| StoreError::Poisoned)?;
         if let GraphBackend::Single(kg) = &*store {
-            return Ok(single_noop_receipt(kg));
+            if kg.tombstone_count() == 0 {
+                return Ok(single_noop_receipt(kg));
+            }
         }
         let shards_before = store.shard_count();
         let trailing_before = store.trailing_shard_count();
@@ -288,7 +293,9 @@ impl LiveStore {
             let (clone, base_generation) = {
                 let guard = self.read_store();
                 if let GraphBackend::Single(kg) = &*guard {
-                    return Ok(single_noop_receipt(kg));
+                    if kg.tombstone_count() == 0 {
+                        return Ok(single_noop_receipt(kg));
+                    }
                 }
                 (guard.clone(), guard.generation())
             };
@@ -771,6 +778,7 @@ mod tests {
         let policy = CompactionPolicy {
             max_trailing: 0,
             max_tail_fraction: 0.0,
+            max_tombstone_fraction: 0.0,
         };
         assert!(live.maybe_compact(&policy, 2).is_none());
     }
@@ -782,6 +790,7 @@ mod tests {
         let policy = CompactionPolicy {
             max_trailing: 1,
             max_tail_fraction: 1.0,
+            max_tombstone_fraction: 1.0,
         };
         assert!(live.maybe_compact(&policy, 2).is_none(), "fresh partition");
         assert_eq!(live.generation(), 0, "a declined pass must not bump");
@@ -807,6 +816,7 @@ mod tests {
             CompactionPolicy {
                 max_trailing: 0,
                 max_tail_fraction: 1.0,
+                max_tombstone_fraction: 1.0,
             },
             2,
             Duration::from_millis(1),
@@ -834,5 +844,77 @@ mod tests {
                 .entity(&format!("Maintained_{i}"))
                 .is_some());
         }
+    }
+
+    /// Retract through the live store: the receipt-named invalidation
+    /// drops the stale densities (append+retract answers equal a rebuild
+    /// from the surviving triples), and compaction on the single layout
+    /// is no longer the identity when tombstones are held — it reclaims
+    /// them with a generation bump, bit-identical answers, and a live
+    /// cache.
+    #[test]
+    fn retract_then_compact_reclaims_on_the_single_layout() {
+        let live = LiveStore::with_threads(generate(&DatagenConfig::tiny()), 1);
+        let (s, names) = {
+            let reader = live.read();
+            let s = seeds(reader.kg(), 2);
+            let names: Vec<String> = (0..2)
+                .map(|i| reader.kg().entity_name(EntityId::new(i)).to_owned())
+                .collect();
+            (s, names)
+        };
+        let cfg = RankingConfig::default();
+        // insert an edge, warm the cache on it, then retract it
+        let mut d = DeltaBatch::new();
+        d.triple(&names[0], "ephemeral_link", &names[1]);
+        live.append(&d).expect("store healthy");
+        {
+            let reader = live.read();
+            let f = reader.ctx().rank_features(&cfg, &s);
+            reader.ctx().rank_entities(&cfg, &s, &f);
+        }
+        let mut r = DeltaBatch::new();
+        r.retract_triple(&names[0], "ephemeral_link", &names[1]);
+        let receipt = live.append(&r).expect("store healthy");
+        assert_eq!(receipt.removed_relations, 1);
+        assert_eq!(live.generation(), 2);
+
+        // answers equal a fresh build from the surviving statements
+        let union = generate(&DatagenConfig::tiny());
+        let fresh = QueryContext::with_threads(&union, 1);
+        let want_f = fresh.rank_features(&cfg, &s);
+        let want_e = fresh.rank_entities(&cfg, &s, &want_f);
+        {
+            let reader = live.read();
+            let got_f = reader.ctx().rank_features(&cfg, &s);
+            assert_eq!(got_f, want_f, "retract must invalidate stale densities");
+            let got_e = reader.ctx().rank_entities(&cfg, &s, &got_f);
+            for (a, b) in got_e.iter().zip(&want_e) {
+                assert_eq!(a.entity, b.entity);
+                assert!((a.score - b.score).abs() == 0.0);
+            }
+        }
+
+        // the tombstone trips the policy and compaction reclaims it
+        let policy = CompactionPolicy {
+            max_trailing: usize::MAX,
+            max_tail_fraction: 1.0,
+            max_tombstone_fraction: 0.0,
+        };
+        let receipt = live
+            .maybe_compact(&policy, 1)
+            .expect("a held tombstone must trip the tombstone axis");
+        assert_eq!(receipt.shards_before, 1);
+        assert_eq!(receipt.shards_after, 1);
+        assert_eq!(receipt.generation, 3, "reclaim bumps the generation");
+        {
+            let reader = live.read();
+            assert_eq!(reader.backend().tombstone_count(), 0);
+            let got_f = reader.ctx().rank_features(&cfg, &s);
+            assert_eq!(got_f, want_f, "reclaim must not change answers");
+        }
+        // a tombstone-free single store is the identity again
+        let receipt = live.compact_in_place(1).unwrap();
+        assert_eq!(receipt.generation, 3, "no bump without tombstones");
     }
 }

@@ -1,0 +1,188 @@
+//! Mixed insert/delete workload benchmark (`BENCH_8.json`).
+//!
+//! Grows a generated graph through `split_growth` batches and, after
+//! each insert batch, retracts a sweep-controlled fraction of the
+//! triples that batch just introduced — the INSERT/DELETE stream the
+//! retraction subsystem exists for. Per delete-fraction row it records
+//! retract throughput, the tombstone mass the workload leaves behind,
+//! whether the default `CompactionPolicy` tombstone trigger fires, the
+//! `reclaim` cost that returns the memory, and the post-compaction rank
+//! latency against a from-scratch rebuild of the same survivors — with
+//! the scores checked bit-identical, so the bench doubles as an
+//! end-to-end equivalence probe.
+//!
+//! Output: `BENCH_8.json` (override with `BENCH8_OUT`; shrink with
+//! `PIVOTE_RETRACT_FILMS`).
+
+use pivote_core::{Expander, GraphHandle, RankingConfig, SfQuery};
+use pivote_kg::{
+    generate, split_growth, CompactionPolicy, DatagenConfig, DeltaBatch, DeltaOp, KnowledgeGraph,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const DELETE_FRACTIONS: [f64; 3] = [0.1, 0.3, 0.5];
+
+fn rank_once(kg: &KnowledgeGraph, seeds: &[String]) -> (f64, Vec<(String, u64)>) {
+    let handle = GraphHandle::single_with_threads(kg, 1);
+    let ids: Vec<_> = seeds
+        .iter()
+        .map(|s| handle.entity(s).expect("seed survives the workload"))
+        .collect();
+    let expander = Expander::with_handle(handle.clone(), RankingConfig::default());
+    let t = Instant::now();
+    let res = expander.expand(&SfQuery::from_seeds(ids), 10, 10);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    let scores = res
+        .entities
+        .iter()
+        .map(|re| (handle.entity_name(re.entity).to_owned(), re.score.to_bits()))
+        .collect();
+    (ms, scores)
+}
+
+/// The retract mirror of an insert batch's first `fraction` triples.
+fn retract_batch(insert: &DeltaBatch, fraction: f64) -> DeltaBatch {
+    let triples: Vec<(&str, &str, &str)> = insert
+        .ops()
+        .iter()
+        .filter_map(|op| match op {
+            DeltaOp::Triple { s, p, o } => Some((s.as_str(), p.as_str(), o.as_str())),
+            _ => None,
+        })
+        .collect();
+    let keep = ((triples.len() as f64) * fraction).round() as usize;
+    let mut d = DeltaBatch::new();
+    for &(s, p, o) in triples.iter().take(keep) {
+        d.retract_triple(s, p, o);
+    }
+    d
+}
+
+fn main() {
+    let films: usize = std::env::var("PIVOTE_RETRACT_FILMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let config = if films > 0 {
+        DatagenConfig {
+            films,
+            ..DatagenConfig::small()
+        }
+    } else {
+        DatagenConfig::small()
+    };
+    let kg = generate(&config);
+    let film = kg.type_id("Film").expect("Film type");
+    let seeds: Vec<String> = kg.type_extent(film)[..4]
+        .iter()
+        .map(|&e| kg.entity_name(e).to_owned())
+        .collect();
+    let seed_refs: Vec<String> = seeds.clone();
+    let policy = CompactionPolicy::default();
+
+    println!(
+        "{:>6} {:>9} {:>9} {:>11} {:>10} {:>10} {:>10} {:>10}",
+        "del%",
+        "inserts",
+        "retracts",
+        "ret/s",
+        "tombstones",
+        "reclaim_ms",
+        "rank_c_ms",
+        "rank_f_ms"
+    );
+    let mut rows = Vec::new();
+    for fraction in DELETE_FRACTIONS {
+        let (base, batches) = split_growth(&kg, 0.5, 4);
+        let mut live = base;
+        let mut inserted_ops = 0usize;
+        let mut retract_ops = 0usize;
+        let mut insert_ms = 0.0f64;
+        let mut retract_ms = 0.0f64;
+        for batch in &batches {
+            inserted_ops += batch.ops().len();
+            let t = Instant::now();
+            live.apply(batch);
+            insert_ms += t.elapsed().as_secs_f64() * 1e3;
+
+            let undo = retract_batch(batch, fraction);
+            retract_ops += undo.ops().len();
+            let t = Instant::now();
+            live.apply(&undo);
+            retract_ms += t.elapsed().as_secs_f64() * 1e3;
+        }
+        let tombstones = live.tombstone_count();
+        let tripped = policy.tombstones_trip(tombstones, live.triple_count());
+        let t = Instant::now();
+        let reclaimed = live.reclaim();
+        let reclaim_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            reclaimed.tombstone_count(),
+            0,
+            "reclaim must drop every tombstone"
+        );
+
+        // a from-scratch rebuild of the same survivors, via the
+        // serialized dump — the freshest build there is
+        let fresh = pivote_kg::parse(&pivote_kg::serialize(&reclaimed)).expect("dump reparses");
+        let (rank_compacted_ms, scores_compacted) = rank_once(&reclaimed, &seed_refs);
+        let (rank_fresh_ms, scores_fresh) = rank_once(&fresh, &seed_refs);
+        assert_eq!(
+            scores_compacted, scores_fresh,
+            "post-compaction ranking must be bit-identical to the fresh build"
+        );
+
+        let retracts_per_sec = if retract_ms > 0.0 {
+            retract_ops as f64 / (retract_ms / 1e3)
+        } else {
+            0.0
+        };
+        println!(
+            "{:>6.2} {:>9} {:>9} {:>11.1} {:>10} {:>10.3} {:>10.3} {:>10.3}",
+            fraction,
+            inserted_ops,
+            retract_ops,
+            retracts_per_sec,
+            tombstones,
+            reclaim_ms,
+            rank_compacted_ms,
+            rank_fresh_ms
+        );
+        rows.push(format!(
+            "    {{\"delete_fraction\": {fraction}, \"insert_ops\": {inserted_ops}, \
+             \"retract_ops\": {retract_ops}, \"insert_ms\": {insert_ms:.3}, \
+             \"retract_ms\": {retract_ms:.3}, \"retracts_per_sec\": {retracts_per_sec:.1}, \
+             \"tombstones\": {tombstones}, \"policy_tripped\": {tripped}, \
+             \"reclaim_ms\": {reclaim_ms:.3}, \"rank_ms_compacted\": {rank_compacted_ms:.3}, \
+             \"rank_ms_fresh\": {rank_fresh_ms:.3}, \"rank_bit_identical\": true}}"
+        ));
+    }
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"pivote-retract-sweep/1\",");
+    let _ = writeln!(
+        out,
+        "  \"label\": \"mixed insert/delete workload: split_growth batches with a per-batch retract of a swept fraction of the just-inserted triples; tombstone mass, default-policy trigger, reclaim cost, and post-compaction rank latency vs a from-scratch rebuild (scores bit-checked)\","
+    );
+    let _ = writeln!(out, "  \"films\": {},", config.films);
+    let _ = writeln!(out, "  \"triples\": {},", kg.triple_count());
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p pivote-eval --bin exp_retract\","
+    );
+    let _ = writeln!(out, "  \"results\": [");
+    let n = rows.len();
+    for (i, row) in rows.into_iter().enumerate() {
+        let comma = if i + 1 == n { "" } else { "," };
+        let _ = writeln!(out, "{row}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+
+    let out_path = std::env::var("BENCH8_OUT").unwrap_or_else(|_| "BENCH_8.json".to_owned());
+    match std::fs::write(&out_path, &out) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("warning: could not write {out_path}: {e}"),
+    }
+}

@@ -141,9 +141,15 @@ fn graceful_stop(server: Server) -> pivote_serve::ShutdownReport {
     server.shutdown()
 }
 
+/// Nearest-rank percentile of an ascending-sorted slice. An empty slice
+/// yields NaN instead of the `len() - 1` underflow panic the old
+/// midpoint-rounding version hit.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 fn main() {
@@ -175,6 +181,7 @@ fn main() {
         policy: pivote_kg::CompactionPolicy {
             max_trailing: 8,
             max_tail_fraction: 0.5,
+            max_tombstone_fraction: 0.5,
         },
         target_shards: 2,
         tick: Duration::from_millis(5),

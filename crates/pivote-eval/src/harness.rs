@@ -40,9 +40,72 @@ use std::collections::HashSet;
 /// append path — absorbs every trailing shard via the off-lock
 /// concurrent compaction, and the union the store then holds must
 /// still reproduce every metric and golden ranking unchanged.
+///
+/// Under `PIVOTE_RETRACT=1` (highest precedence) the graph takes a full
+/// **mixed insert/delete** route: the same growth batches are
+/// interleaved with generated churn — noise statements (edges, literals,
+/// type and category assertions on existing entities under churn-only
+/// dictionary names) inserted and then retracted batch by batch — and
+/// the store finishes with a [`KnowledgeGraph::reclaim`] that must hold
+/// zero tombstones. Retraction is exact (`tests/retraction_equivalence.rs`),
+/// so the surviving graph — and therefore every metric and golden
+/// ranking — must come out unchanged.
 pub fn eval_graph(cfg: &pivote_kg::DatagenConfig) -> KnowledgeGraph {
     let kg = pivote_kg::generate(cfg);
-    if pivote_core::maintenance_from_env() {
+    if pivote_kg::retract_from_env() {
+        let (base, batches) = pivote_kg::split_growth(&kg, 0.6, 3);
+        let mut out = base;
+        let churn_targets = out.entity_count().min(32);
+        for batch in &batches {
+            out.apply(batch);
+            // churn: noise statements on long-existing entities, under
+            // dictionary names no real statement uses (so the retract
+            // can never swallow a genuine statement deduplicated away
+            // by the insert)
+            let mut noise = pivote_kg::DeltaBatch::new();
+            let mut undo = pivote_kg::DeltaBatch::new();
+            for i in 0..churn_targets {
+                let s = kg.entity_name(EntityId::new(i as u32)).to_owned();
+                let o = kg
+                    .entity_name(EntityId::new(((i + 7) % churn_targets) as u32))
+                    .to_owned();
+                noise.triple(&s, "churn_retract_leg", &o);
+                undo.retract_triple(&s, "churn_retract_leg", &o);
+                if i % 2 == 0 {
+                    let v = pivote_kg::Literal::integer(i as i64);
+                    noise.literal(&s, "churn_retract_leg", v.clone());
+                    undo.retract_literal(&s, "churn_retract_leg", v);
+                }
+                if i % 3 == 0 {
+                    noise.typed(&s, "Churn_Retract_Type");
+                    undo.retract_typed(&s, "Churn_Retract_Type");
+                }
+                if i % 4 == 0 {
+                    noise.categorized(&s, "Churn retract category");
+                    undo.retract_categorized(&s, "Churn retract category");
+                }
+            }
+            out.apply(&noise);
+            out.apply(&undo);
+        }
+        assert!(
+            out.tombstone_count() > 0,
+            "the churn batches must have left tombstones"
+        );
+        let out = out.reclaim();
+        assert_eq!(
+            out.tombstone_count(),
+            0,
+            "reclaim must drop every tombstone"
+        );
+        assert_eq!(
+            out.triple_count(),
+            kg.triple_count(),
+            "retract eval graph must reconstruct the generated graph"
+        );
+        assert_eq!(out.entity_count(), kg.entity_count());
+        out
+    } else if pivote_core::maintenance_from_env() {
         use std::sync::Arc;
         use std::time::{Duration, Instant};
         let (base, batches) = pivote_kg::split_growth(&kg, 0.6, 3);
@@ -55,6 +118,7 @@ pub fn eval_graph(cfg: &pivote_kg::DatagenConfig) -> KnowledgeGraph {
             pivote_kg::CompactionPolicy {
                 max_trailing: 0,
                 max_tail_fraction: 1.0,
+                max_tombstone_fraction: 1.0,
             },
             2,
             Duration::from_millis(1),

@@ -120,24 +120,42 @@ impl GraphBackend {
         }
     }
 
-    /// Whether `policy` judges this store degenerate enough to
-    /// re-partition. Always `false` for the single layout — there is no
-    /// partition to degenerate.
+    /// Whether `policy` judges this store degenerate enough to compact.
+    /// The single layout has no partition to degenerate, so only the
+    /// tombstone-mass axis can fire there — a retract-heavy single store
+    /// still compacts to reclaim its dead rows.
     pub fn needs_compaction(&self, policy: &CompactionPolicy) -> bool {
         match self {
-            GraphBackend::Single(_) => false,
+            GraphBackend::Single(kg) => {
+                policy.tombstones_trip(kg.tombstone_count(), kg.triple_count())
+            }
             GraphBackend::Sharded(sg) => policy.needs_compaction(sg),
+        }
+    }
+
+    /// Retracted-but-unreclaimed statements held by the store (the mass
+    /// the tombstone compaction axis watches). Zero for any store that
+    /// has never seen a retract since its last compaction.
+    pub fn tombstone_count(&self) -> usize {
+        match self {
+            GraphBackend::Single(kg) => kg.tombstone_count(),
+            GraphBackend::Sharded(sg) => sg.tombstone_count(),
         }
     }
 
     /// Re-partition into `target_shards` fresh range shards
     /// (answer-preserving; see [`ShardedGraph::compact`]). On the single
-    /// layout this is the identity: a single graph is always one
-    /// partition, and compaction never changes an answer, so the result
-    /// is a clone at the same generation.
+    /// layout a single graph is always one partition, so compaction is
+    /// the identity — a clone at the same generation — unless tombstones
+    /// are held, in which case it is an id-preserving
+    /// [`KnowledgeGraph::reclaim`] (same answers, dead rows returned,
+    /// generation bumped like the sharded compaction).
     pub fn compact(&self, target_shards: usize) -> GraphBackend {
         match self {
-            GraphBackend::Single(kg) => GraphBackend::Single(kg.clone()),
+            GraphBackend::Single(kg) if kg.tombstone_count() == 0 => {
+                GraphBackend::Single(kg.clone())
+            }
+            GraphBackend::Single(kg) => GraphBackend::Single(kg.reclaim()),
             GraphBackend::Sharded(sg) => GraphBackend::Sharded(sg.compact(target_shards)),
         }
     }
@@ -265,6 +283,7 @@ mod tests {
         let policy = CompactionPolicy {
             max_trailing: 0,
             max_tail_fraction: 1.0,
+            max_tombstone_fraction: 1.0,
         };
         assert!(!single.needs_compaction(&policy));
         assert!(sharded.needs_compaction(&policy));

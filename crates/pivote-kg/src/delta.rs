@@ -101,6 +101,77 @@ pub enum DeltaOp {
         /// Target entity name.
         target: String,
     },
+    /// Retract an entity-to-entity statement `<s, p, o>`. Retractions
+    /// never intern new dictionary terms: naming an unknown entity or
+    /// predicate makes the op a no-op, so an apply containing retracts
+    /// assigns exactly the same dense ids as one without them.
+    RetractTriple {
+        /// Subject entity name.
+        s: String,
+        /// Predicate name.
+        p: String,
+        /// Object entity name.
+        o: String,
+    },
+    /// Retract **all** matching copies of a literal-valued statement
+    /// `<s, p, "value">` (literal statements are not deduplicated on
+    /// insert, so the retract removes every copy).
+    RetractLiteral {
+        /// Subject entity name.
+        s: String,
+        /// Predicate name.
+        p: String,
+        /// Literal value.
+        value: Literal,
+    },
+    /// Retract an `rdf:type` assertion.
+    RetractTyped {
+        /// Entity name.
+        entity: String,
+        /// Type name.
+        type_name: String,
+    },
+    /// Retract a category (`dct:subject`) assertion.
+    RetractCategorized {
+        /// Entity name.
+        entity: String,
+        /// Category name.
+        category: String,
+    },
+    /// Clear the `rdfs:label` of an entity, but only if the current
+    /// label equals `label` (so a stale retraction cannot clobber a
+    /// newer label set after it was issued).
+    RetractLabel {
+        /// Entity name.
+        entity: String,
+        /// The label value being retracted.
+        label: String,
+    },
+    /// Remove a redirect/disambiguation alias from `target`'s alias
+    /// list (no-op if absent).
+    RetractAlias {
+        /// The alias string.
+        alias: String,
+        /// Target entity name.
+        target: String,
+    },
+}
+
+impl DeltaOp {
+    /// Whether this op removes statements rather than adding them. An
+    /// apply splits its batch into maximal same-polarity runs and
+    /// applies each run with the matching (insert or retract) pass.
+    pub fn is_retract(&self) -> bool {
+        matches!(
+            self,
+            DeltaOp::RetractTriple { .. }
+                | DeltaOp::RetractLiteral { .. }
+                | DeltaOp::RetractTyped { .. }
+                | DeltaOp::RetractCategorized { .. }
+                | DeltaOp::RetractLabel { .. }
+                | DeltaOp::RetractAlias { .. }
+        )
+    }
 }
 
 /// An ordered batch of statements to append to a live graph.
@@ -250,6 +321,94 @@ impl DeltaBatch {
         self
     }
 
+    /// Retract an entity-to-entity statement `<s, p, o>`.
+    pub fn retract_triple(
+        &mut self,
+        s: impl Into<String>,
+        p: impl Into<String>,
+        o: impl Into<String>,
+    ) -> &mut Self {
+        self.ops.push(DeltaOp::RetractTriple {
+            s: s.into(),
+            p: p.into(),
+            o: o.into(),
+        });
+        self
+    }
+
+    /// Retract all copies of a literal-valued statement.
+    pub fn retract_literal(
+        &mut self,
+        s: impl Into<String>,
+        p: impl Into<String>,
+        value: Literal,
+    ) -> &mut Self {
+        self.ops.push(DeltaOp::RetractLiteral {
+            s: s.into(),
+            p: p.into(),
+            value,
+        });
+        self
+    }
+
+    /// Retract an `rdf:type` assertion.
+    pub fn retract_typed(
+        &mut self,
+        entity: impl Into<String>,
+        type_name: impl Into<String>,
+    ) -> &mut Self {
+        self.ops.push(DeltaOp::RetractTyped {
+            entity: entity.into(),
+            type_name: type_name.into(),
+        });
+        self
+    }
+
+    /// Retract a category assertion.
+    pub fn retract_categorized(
+        &mut self,
+        entity: impl Into<String>,
+        category: impl Into<String>,
+    ) -> &mut Self {
+        self.ops.push(DeltaOp::RetractCategorized {
+            entity: entity.into(),
+            category: category.into(),
+        });
+        self
+    }
+
+    /// Retract the label of an entity (cleared only if it still equals
+    /// `label`).
+    pub fn retract_label(
+        &mut self,
+        entity: impl Into<String>,
+        label: impl Into<String>,
+    ) -> &mut Self {
+        self.ops.push(DeltaOp::RetractLabel {
+            entity: entity.into(),
+            label: label.into(),
+        });
+        self
+    }
+
+    /// Retract an alias from `target`.
+    pub fn retract_alias(
+        &mut self,
+        alias: impl Into<String>,
+        target: impl Into<String>,
+    ) -> &mut Self {
+        self.ops.push(DeltaOp::RetractAlias {
+            alias: alias.into(),
+            target: target.into(),
+        });
+        self
+    }
+
+    /// Whether the batch holds at least one retract op.
+    pub fn has_retracts(&self) -> bool {
+        self.ops.iter().any(|op| op.is_retract())
+    }
+
     /// Replay the batch into a [`KgBuilder`], interning names in exactly
     /// the order [`KnowledgeGraph::apply`] does — the rebuild side of the
     /// append/rebuild equivalence contract: building `base ops + delta
@@ -301,9 +460,40 @@ impl DeltaBatch {
                     let t = b.entity(target);
                     b.disambiguation(alias.clone(), t);
                 }
+                DeltaOp::RetractTriple { .. }
+                | DeltaOp::RetractLiteral { .. }
+                | DeltaOp::RetractTyped { .. }
+                | DeltaOp::RetractCategorized { .. }
+                | DeltaOp::RetractLabel { .. }
+                | DeltaOp::RetractAlias { .. } => {
+                    panic!(
+                        "retract ops cannot be replayed into an append-only builder; \
+                         rebuild from the surviving statements instead"
+                    );
+                }
             }
         }
     }
+}
+
+/// Split `ops` into maximal runs of equal polarity (insert vs retract),
+/// preserving order. An apply walks these runs so that a mixed batch
+/// interleaves insert and retract passes in exactly op order — which is
+/// what makes apply-then-query equivalent to replaying the ops against a
+/// shadow statement set and rebuilding from the survivors.
+pub(crate) fn polarity_runs(ops: &[DeltaOp]) -> Vec<(bool, &[DeltaOp])> {
+    let mut runs = Vec::new();
+    let mut start = 0usize;
+    while start < ops.len() {
+        let retract = ops[start].is_retract();
+        let mut end = start + 1;
+        while end < ops.len() && ops[end].is_retract() == retract {
+            end += 1;
+        }
+        runs.push((retract, &ops[start..end]));
+        start = end;
+    }
+    runs
 }
 
 /// The receipt of one applied [`DeltaBatch`]: what changed, and how much
@@ -333,6 +523,13 @@ pub struct AppliedDelta {
     pub added_relations: usize,
     /// Literal statements appended.
     pub added_literals: usize,
+    /// Entity-to-entity statements tombstoned by retract ops.
+    pub removed_relations: usize,
+    /// Literal statements tombstoned by retract ops.
+    pub removed_literals: usize,
+    /// Type/category assertions tombstoned plus labels/aliases cleared
+    /// by retract ops.
+    pub removed_assertions: usize,
     /// Elements examined or moved while splicing rows and extents — the
     /// sublinearity witness: appending N triples to a graph of M ≫ N
     /// triples does work proportional to the touched rows, not to M.
@@ -394,6 +591,14 @@ pub fn incremental_from_env() -> bool {
 /// streamed through `StreamingIngest` with background maintenance).
 pub fn scale_from_env() -> bool {
     env_flag("PIVOTE_SCALE")
+}
+
+/// Whether the `PIVOTE_RETRACT=1` environment leg is active — the CI
+/// hook that routes graph construction through a mixed insert/delete
+/// workload (growth batches interleaved with noise inserts that are
+/// then retracted, finishing with a tombstone-reclaiming compaction).
+pub fn retract_from_env() -> bool {
+    env_flag("PIVOTE_RETRACT")
 }
 
 /// Replicate `kg`'s predicate/type/category dictionaries into `b` in

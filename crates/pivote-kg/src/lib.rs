@@ -50,14 +50,14 @@ pub mod triple;
 pub use backend::GraphBackend;
 pub use datagen::{generate, DatagenConfig, Zipf};
 pub use delta::{
-    incremental_from_env, scale_from_env, split_growth, split_incremental, AppliedDelta,
-    CompactionReceipt, DeltaBatch, DeltaOp,
+    incremental_from_env, retract_from_env, scale_from_env, split_growth, split_incremental,
+    AppliedDelta, CompactionReceipt, DeltaBatch, DeltaOp,
 };
 pub use id::{CategoryId, EntityId, LiteralId, PredicateId, TypeId};
 pub use interner::Interner;
 pub use ntriples::{
-    parse, parse_into_builder, parse_into_delta, parse_stream, serialize, ParseError, StreamError,
-    StreamStats,
+    parse, parse_into_builder, parse_into_delta, parse_removed_into_delta, parse_removed_stream,
+    parse_stream, serialize, ParseError, StreamError, StreamStats,
 };
 pub use shard::maintenance_from_env;
 pub use shard::{

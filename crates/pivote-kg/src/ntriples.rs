@@ -167,6 +167,67 @@ pub fn parse_into_delta(input: &str) -> Result<DeltaBatch, ParseError> {
     Ok(d)
 }
 
+/// Parse a *removed-triples* N-Triples document (the `removed.nt` half of
+/// a DBpedia-Live style changeset) into a [`DeltaBatch`] of retract ops.
+/// Each statement is routed through the same well-known-predicate schema
+/// as [`parse_into_delta`], but to the retract form of the op: `rdf:type`
+/// becomes a type retraction, `rdfs:label` a label retraction, redirects
+/// and disambiguations alias retractions, and everything else a triple or
+/// literal retraction. Statements naming unknown entities are no-ops at
+/// apply time — a retract never interns.
+pub fn parse_removed_into_delta(input: &str) -> Result<DeltaBatch, ParseError> {
+    let mut d = DeltaBatch::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let Some(line) = statement_body(raw) else {
+            continue;
+        };
+        parse_line_retract(line, lineno + 1, &mut d)?;
+    }
+    Ok(d)
+}
+
+/// [`parse_stream`] for a removed-triples source: every batch handed to
+/// the sink holds retract ops routed exactly as
+/// [`parse_removed_into_delta`] routes them, with the same bounded-memory
+/// and batch-boundary guarantees as the insert-polarity stream.
+pub fn parse_removed_stream<R, F>(
+    reader: R,
+    max_ops: usize,
+    mut sink: F,
+) -> Result<StreamStats, StreamError>
+where
+    R: io::BufRead,
+    F: FnMut(&mut DeltaBatch),
+{
+    let max_ops = max_ops.max(1);
+    let mut reader = reader;
+    let mut line = String::new();
+    let mut batch = DeltaBatch::new();
+    let mut stats = StreamStats::default();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        stats.lines += 1;
+        if let Some(body) = statement_body(&line) {
+            parse_line_retract(body, stats.lines, &mut batch)?;
+            stats.statements += 1;
+            if batch.len() >= max_ops {
+                stats.batches += 1;
+                sink(&mut batch);
+                batch.clear();
+            }
+        }
+    }
+    if !batch.is_empty() {
+        stats.batches += 1;
+        sink(&mut batch);
+        batch.clear();
+    }
+    Ok(stats)
+}
+
 /// Parse N-Triples from any buffered reader, handing the sink one
 /// [`DeltaBatch`] of at most `max_ops` ops at a time.
 ///
@@ -259,6 +320,50 @@ fn parse_line_delta(line: &str, lineno: usize, d: &mut DeltaBatch) -> Result<(),
         }
         (_, TermRef::Literal { lexical, kind }) => {
             d.literal(
+                schema::local_name(subject),
+                schema::local_name(predicate),
+                Literal {
+                    lexical: lexical.into_owned(),
+                    kind,
+                },
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Retract-polarity twin of [`parse_line_delta`]: identical statement
+/// parsing and schema routing, emitting the retract form of each op.
+fn parse_line_retract(line: &str, lineno: usize, d: &mut DeltaBatch) -> Result<(), ParseError> {
+    let (subject, predicate, object) = parse_statement(line, lineno)?;
+    match (predicate, object) {
+        (schema::DBO_REDIRECT, TermRef::Iri(o)) | (schema::DBO_DISAMBIGUATES, TermRef::Iri(o)) => {
+            d.retract_alias(
+                schema::local_name(subject).replace('_', " "),
+                schema::local_name(o),
+            );
+        }
+        (schema::RDF_TYPE, TermRef::Iri(o)) => {
+            d.retract_typed(schema::local_name(subject), schema::local_name(o));
+        }
+        (schema::RDFS_LABEL, TermRef::Literal { lexical, .. }) => {
+            d.retract_label(schema::local_name(subject), lexical);
+        }
+        (schema::DCT_SUBJECT, TermRef::Iri(o)) => {
+            d.retract_categorized(
+                schema::local_name(subject),
+                schema::category_name(o).replace('_', " "),
+            );
+        }
+        (_, TermRef::Iri(o)) => {
+            d.retract_triple(
+                schema::local_name(subject),
+                schema::local_name(predicate),
+                schema::local_name(o),
+            );
+        }
+        (_, TermRef::Literal { lexical, kind }) => {
+            d.retract_literal(
                 schema::local_name(subject),
                 schema::local_name(predicate),
                 Literal {
@@ -602,6 +707,42 @@ mod tests {
             assert_eq!(stats.batches, sizes.len());
             assert!(sizes.iter().all(|&s| s <= max_ops.max(1)));
         }
+    }
+
+    /// A removed-triples document routes every statement to the retract
+    /// twin of the op the added-triples parser would emit, and applying
+    /// `added` then `removed` of the same document leaves the store
+    /// holding only tombstones (the dictionaries survive — a retract
+    /// never removes a name).
+    #[test]
+    fn parse_removed_mirrors_parse_added() {
+        use crate::delta::DeltaOp;
+        let removed = parse_removed_into_delta(SAMPLE).unwrap();
+        let added = parse_into_delta(SAMPLE).unwrap();
+        assert_eq!(removed.len(), added.len());
+        assert!(removed.ops().iter().all(DeltaOp::is_retract));
+
+        let mut streamed = DeltaBatch::new();
+        let stats = parse_removed_stream(SAMPLE.as_bytes(), 2, |b| {
+            for op in b.ops() {
+                streamed.push(op.clone());
+            }
+        })
+        .unwrap();
+        assert_eq!(streamed.ops(), removed.ops());
+        assert_eq!(stats.statements, removed.len());
+
+        let mut kg = parse(SAMPLE).unwrap();
+        let gump = kg.entity("Forrest_Gump").unwrap();
+        kg.apply(&removed);
+        assert_eq!(kg.relation_count(), 0);
+        assert_eq!(kg.label(gump), None);
+        assert_eq!(kg.types_of(gump).count(), 0);
+        assert_eq!(kg.categories_of(gump).count(), 0);
+        assert_eq!(kg.literals(gump).count(), 0);
+        assert!(kg.aliases(gump).is_empty());
+        assert!(kg.tombstone_count() > 0);
+        assert_eq!(kg.entity("Forrest_Gump"), Some(gump));
     }
 
     #[test]

@@ -35,9 +35,9 @@
 //! error), which is what makes sharded rankings bit-identical to
 //! single-graph rankings.
 
-use crate::delta::{AppliedDelta, DeltaBatch};
+use crate::delta::{polarity_runs, AppliedDelta, DeltaBatch, DeltaOp};
 use crate::id::{CategoryId, EntityId, PredicateId, TypeId};
-use crate::store::{KgBuilder, KnowledgeGraph};
+use crate::store::{DeltaAcc, KgBuilder, KnowledgeGraph};
 use crate::triple::Literal;
 
 /// Whether the `PIVOTE_COMPACT=1` environment leg is active — the CI
@@ -457,8 +457,30 @@ impl ShardedGraph {
     /// per-query shard iteration) linearly — re-partition via
     /// [`ShardedGraph::compact`] when [`CompactionPolicy`] judges the
     /// tail degenerate.
+    ///
+    /// Retract ops are routed to the shard(s) storing the statement —
+    /// the subject's *and* object's home shards for a triple (cross-shard
+    /// triples live in both), every ghost-holding shard for a label, and
+    /// the owning shard for the other facets — with ghost-consistent
+    /// semantics: a ghost copy loses exactly the statements its owned
+    /// copy loses, so the decomposition invariants survive retraction.
+    /// Like the single-graph apply, the batch is split into maximal
+    /// same-polarity runs and the generation is bumped exactly once.
     pub fn apply(&mut self, delta: &DeltaBatch) -> AppliedDelta {
-        use crate::delta::DeltaOp;
+        let mut acc = DeltaAcc::new(self.router.entity_count() as u32);
+        for (retract, run) in polarity_runs(delta.ops()) {
+            if retract {
+                self.apply_retract_run(run, &mut acc);
+            } else {
+                self.apply_insert_run(run, &mut acc);
+            }
+        }
+        self.generation += 1;
+        acc.finish(self.generation, self.router.entity_count() as u32)
+    }
+
+    /// One maximal insert-polarity run of [`ShardedGraph::apply`].
+    fn apply_insert_run(&mut self, ops: &[DeltaOp], acc: &mut DeltaAcc) {
         use std::collections::{HashMap, HashSet};
 
         let old_count = self.router.entity_count() as u32;
@@ -512,7 +534,7 @@ impl ShardedGraph {
         let mut touched_categories: Vec<CategoryId> = Vec::new();
         let mut n_literals = 0usize;
 
-        for (idx, op) in delta.ops().iter().enumerate() {
+        for (idx, op) in ops.iter().enumerate() {
             match op {
                 DeltaOp::Entity { name } => {
                     resolve!(name.as_str());
@@ -648,6 +670,7 @@ impl ShardedGraph {
                 DeltaOp::Redirect { target, .. } | DeltaOp::Disambiguation { target, .. } => {
                     resolve!(target.as_str());
                 }
+                _ => unreachable!("retract op in an insert-polarity run"),
             }
         }
 
@@ -711,7 +734,7 @@ impl ShardedGraph {
             .collect();
         let kept_type_idx: HashSet<usize> = kept_types.iter().map(|&(_, i)| i).collect();
         let kept_cat_idx: HashSet<usize> = kept_cats.iter().map(|&(_, i)| i).collect();
-        for (idx, op) in delta.ops().iter().enumerate() {
+        for (idx, op) in ops.iter().enumerate() {
             match op {
                 DeltaOp::Triple { .. } => {
                     let Some(&(s, o)) = triple_by_idx.get(&idx) else {
@@ -771,6 +794,7 @@ impl ShardedGraph {
                 DeltaOp::DeclarePredicate { .. }
                 | DeltaOp::DeclareType { .. }
                 | DeltaOp::DeclareCategory { .. } => {}
+                _ => unreachable!("retract op in an insert-polarity run"),
             }
         }
 
@@ -854,36 +878,194 @@ impl ShardedGraph {
         // ---- receipt ---------------------------------------------------
         self.relation_count += kept_triples.len();
         self.triple_count += kept_triples.len() + n_literals + kept_types.len() + kept_cats.len();
-        self.generation += 1;
 
-        let mut touched_out: Vec<(EntityId, PredicateId)> = kept_triples
-            .iter()
-            .map(|&(s, p, ..)| (s, PredicateId::new(p)))
-            .collect();
-        touched_out.sort_unstable();
-        touched_out.dedup();
-        let mut touched_in: Vec<(EntityId, PredicateId)> = kept_triples
-            .iter()
-            .map(|&(_, p, o, _)| (o, PredicateId::new(p)))
-            .collect();
-        touched_in.sort_unstable();
-        touched_in.dedup();
-        touched_types.sort_unstable();
-        touched_types.dedup();
-        touched_categories.sort_unstable();
-        touched_categories.dedup();
+        acc.touched_out.extend(
+            kept_triples
+                .iter()
+                .map(|&(s, p, ..)| (s, PredicateId::new(p))),
+        );
+        acc.touched_in.extend(
+            kept_triples
+                .iter()
+                .map(|&(_, p, o, _)| (o, PredicateId::new(p))),
+        );
+        acc.touched_types.extend(touched_types);
+        acc.touched_categories.extend(touched_categories);
+        acc.added_relations += kept_triples.len();
+        acc.added_literals += n_literals;
+        acc.work += work;
+    }
 
-        AppliedDelta {
-            generation: self.generation,
-            new_entities: old_count..old_count + new_names.len() as u32,
-            touched_out,
-            touched_in,
-            touched_types,
-            touched_categories,
-            added_relations: kept_triples.len(),
-            added_literals: n_literals,
-            work,
+    /// One maximal retract-polarity run of [`ShardedGraph::apply`].
+    ///
+    /// Names are resolved lookup-only (a retract never interns — an
+    /// unknown name makes the op a no-op) and presence is checked against
+    /// the subject's home shard *before* routing, so the receipt counts
+    /// exactly what the equivalent single-graph apply would count. Each
+    /// surviving op is re-issued as a name-based retract to the shard(s)
+    /// storing the statement: both endpoint home shards for a triple
+    /// (cross-shard triples live in both), every ghost-holding shard for
+    /// a label, and the owning shard for the other facets.
+    fn apply_retract_run(&mut self, ops: &[DeltaOp], acc: &mut DeltaAcc) {
+        use std::collections::HashSet;
+
+        let n_shards = self.shards.len();
+        let mut local_deltas: Vec<DeltaBatch> = vec![DeltaBatch::new(); n_shards];
+        let mut seen_triples: HashSet<(EntityId, PredicateId, EntityId)> = HashSet::new();
+        let mut seen_literals: HashSet<(EntityId, PredicateId, &Literal)> = HashSet::new();
+        let mut seen_types: HashSet<(EntityId, TypeId)> = HashSet::new();
+        let mut seen_cats: HashSet<(EntityId, CategoryId)> = HashSet::new();
+        let mut seen_labels: HashSet<(EntityId, &str)> = HashSet::new();
+        let mut seen_aliases: HashSet<(&str, EntityId)> = HashSet::new();
+        let mut removed_relations = 0usize;
+        let mut removed_literals = 0usize;
+        let mut removed_assertions = 0usize;
+        // label/alias clears: counted in the receipt's assertion total but
+        // never in `triple_count`, which tracks statements only
+        let mut removed_meta = 0usize;
+        for op in ops {
+            acc.work += 1;
+            match op {
+                DeltaOp::RetractTriple { s, p, o } => {
+                    let (Some(sg), Some(pg), Some(og)) =
+                        (self.entity(s), self.predicate(p), self.entity(o))
+                    else {
+                        continue;
+                    };
+                    if !seen_triples.insert((sg, pg, og)) {
+                        continue;
+                    }
+                    // stored? a stored triple forces a copy of the object
+                    // in the subject's home shard
+                    let (shard, ls) = self.home(sg);
+                    let Some(lo) = shard.to_local(og) else {
+                        continue;
+                    };
+                    if shard.graph().objects(ls, pg).binary_search(&lo).is_err() {
+                        continue;
+                    }
+                    let (hs, ho) = (self.router.shard_of(sg), self.router.shard_of(og));
+                    local_deltas[hs].retract_triple(s, p, o);
+                    if ho != hs {
+                        local_deltas[ho].retract_triple(s, p, o);
+                    }
+                    acc.touched_out.push((sg, pg));
+                    acc.touched_in.push((og, pg));
+                    removed_relations += 1;
+                }
+                DeltaOp::RetractLiteral { s, p, value } => {
+                    let (Some(sg), Some(pg)) = (self.entity(s), self.predicate(p)) else {
+                        continue;
+                    };
+                    if !seen_literals.insert((sg, pg, value)) {
+                        continue;
+                    }
+                    // a retract removes every stored copy whose value
+                    // matches; literals live only in the subject's home
+                    let (shard, ls) = self.home(sg);
+                    let copies = shard
+                        .graph()
+                        .literals(ls)
+                        .filter(|&(q, v)| q == pg && v == value)
+                        .count();
+                    if copies == 0 {
+                        continue;
+                    }
+                    local_deltas[self.router.shard_of(sg)].retract_literal(s, p, value.clone());
+                    removed_literals += copies;
+                }
+                DeltaOp::RetractTyped { entity, type_name } => {
+                    let (Some(e), Some(t)) = (self.entity(entity), self.type_id(type_name)) else {
+                        continue;
+                    };
+                    if !seen_types.insert((e, t)) || !self.has_type(e, t) {
+                        continue;
+                    }
+                    local_deltas[self.router.shard_of(e)].retract_typed(entity, type_name);
+                    acc.touched_types.push(t);
+                    removed_assertions += 1;
+                }
+                DeltaOp::RetractCategorized { entity, category } => {
+                    let (Some(e), Some(c)) = (self.entity(entity), self.category_id(category))
+                    else {
+                        continue;
+                    };
+                    if !seen_cats.insert((e, c)) || !self.has_category(e, c) {
+                        continue;
+                    }
+                    local_deltas[self.router.shard_of(e)].retract_categorized(entity, category);
+                    acc.touched_categories.push(c);
+                    removed_assertions += 1;
+                }
+                DeltaOp::RetractLabel { entity, label } => {
+                    // every holder — the home shard plus ghost copies,
+                    // whose labels track the owned label
+                    let Some(e) = self.entity(entity) else {
+                        continue;
+                    };
+                    if !seen_labels.insert((e, label.as_str())) {
+                        continue;
+                    }
+                    let (shard, local) = self.home(e);
+                    if shard.graph().label(local) != Some(label.as_str()) {
+                        continue;
+                    }
+                    for (j, local) in local_deltas.iter_mut().enumerate() {
+                        if self.shards[j].to_local(e).is_some() {
+                            local.retract_label(entity, label);
+                        }
+                    }
+                    removed_meta += 1;
+                }
+                DeltaOp::RetractAlias { alias, target } => {
+                    let Some(t) = self.entity(target) else {
+                        continue;
+                    };
+                    if !seen_aliases.insert((alias.as_str(), t)) {
+                        continue;
+                    }
+                    let (shard, local) = self.home(t);
+                    if shard
+                        .graph()
+                        .aliases(local)
+                        .binary_search_by(|a| a.as_str().cmp(alias))
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    local_deltas[self.router.shard_of(t)].retract_alias(alias, target);
+                    removed_meta += 1;
+                }
+                _ => unreachable!("insert op in a retract-polarity run"),
+            }
         }
+
+        for (i, d) in local_deltas.iter().enumerate() {
+            if d.is_empty() {
+                continue;
+            }
+            let applied = self.shards[i].graph.apply(d);
+            acc.work += applied.work;
+        }
+
+        acc.removed_relations += removed_relations;
+        acc.removed_literals += removed_literals;
+        acc.removed_assertions += removed_assertions + removed_meta;
+        self.relation_count -= removed_relations;
+        self.triple_count -= removed_relations + removed_literals + removed_assertions;
+    }
+
+    /// Number of tombstoned statements held across all shards since
+    /// their last compaction. A relation retracted from a cross-shard
+    /// pair is tombstoned in both endpoint shards, so this can
+    /// over-count relative to [`KnowledgeGraph::tombstone_count`] on the
+    /// equivalent single graph — acceptable for the compaction-pressure
+    /// heuristic it feeds, which only needs "how much dead mass is held".
+    pub fn tombstone_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.graph().tombstone_count())
+            .sum()
     }
 
     /// Label of a global entity, read from its home shard (helper for
@@ -1150,12 +1332,19 @@ impl ShardedGraph {
 ///   iteration cost, independent of how small the shards are.
 /// - **Mass**: trailing shards own more than `max_tail_fraction` of all
 ///   entities — the uniform-range partition no longer reflects the data.
+/// - **Tombstones**: retracted statements hold more than
+///   `max_tombstone_fraction` of the stored rows — a retract-heavy store
+///   must compact to return the dead rows' memory even if it never grew
+///   a single trailing shard.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompactionPolicy {
     /// Maximum tolerated number of trailing shards.
     pub max_trailing: usize,
     /// Maximum tolerated fraction of entities owned by trailing shards.
     pub max_tail_fraction: f64,
+    /// Maximum tolerated fraction of stored rows that are tombstones
+    /// (retracted but not yet reclaimed). `1.0` disables the axis.
+    pub max_tombstone_fraction: f64,
 }
 
 impl Default for CompactionPolicy {
@@ -1163,6 +1352,7 @@ impl Default for CompactionPolicy {
         Self {
             max_trailing: 8,
             max_tail_fraction: 0.1,
+            max_tombstone_fraction: 0.25,
         }
     }
 }
@@ -1174,6 +1364,15 @@ impl CompactionPolicy {
         let trailing = sg.trailing_shard_count();
         trailing > self.max_trailing
             || (trailing > 0 && sg.tail_owned_fraction() > self.max_tail_fraction)
+            || self.tombstones_trip(sg.tombstone_count(), sg.triple_count())
+    }
+
+    /// Whether `tombstones` dead rows against `live` surviving rows trip
+    /// the tombstone-mass axis. Shared with the single-layout backend so
+    /// both layouts compact under the same retraction pressure.
+    pub fn tombstones_trip(&self, tombstones: usize, live: usize) -> bool {
+        tombstones > 0
+            && (tombstones as f64) / ((live + tombstones) as f64) > self.max_tombstone_fraction
     }
 }
 
@@ -1430,6 +1629,7 @@ mod tests {
             CompactionPolicy {
                 max_trailing: 0,
                 max_tail_fraction: 0.0,
+                max_tombstone_fraction: 0.0,
             },
             CompactionPolicy::default(),
         ] {
@@ -1449,6 +1649,7 @@ mod tests {
         let count_only = CompactionPolicy {
             max_trailing: 0,
             max_tail_fraction: 1.0,
+            max_tombstone_fraction: 1.0,
         };
         assert!(count_only.needs_compaction(&grown));
 
@@ -1457,6 +1658,7 @@ mod tests {
         let mass_only = CompactionPolicy {
             max_trailing: usize::MAX,
             max_tail_fraction: 0.0,
+            max_tombstone_fraction: 1.0,
         };
         assert!(grown.tail_owned_fraction() > 0.0);
         assert!(mass_only.needs_compaction(&grown));
@@ -1607,6 +1809,129 @@ mod tests {
                     }
                 }
             }
+        }
+
+        /// Retract-polarity twin of
+        /// [`sharded_apply_matches_single_graph_apply`]: a mixed retract
+        /// batch — cross-shard triple, facets, label, alias, literal, an
+        /// in-batch duplicate, and unknown names — produces the identical
+        /// receipt and the identical logical graph at every shard count.
+        #[test]
+        fn sharded_retract_matches_single_graph_retract() {
+            let mut single = generate(&DatagenConfig::tiny());
+            let grow = delta(&single);
+            single.apply(&grow);
+            let n0 = single.entity_name(EntityId::new(0)).to_owned();
+            let n1 = single.entity_name(EntityId::new(1)).to_owned();
+            let mut d = DeltaBatch::new();
+            d.retract_triple(&n0, "collaborated_with", &n1)
+                .retract_triple("Fresh_Entity_A", "collaborated_with", "Fresh_Entity_B")
+                .retract_triple(&n0, "collaborated_with", &n1) // duplicate
+                .retract_typed("Fresh_Entity_A", "Film")
+                .retract_categorized("Fresh_Entity_B", "Fresh category")
+                .retract_label("Fresh_Entity_A", "Fresh Entity A")
+                .retract_alias("FreshA", "Fresh_Entity_A")
+                .retract_literal("Fresh_Entity_A", "runtime", Literal::integer(99))
+                .retract_triple("No_Such_Entity", "collaborated_with", &n0)
+                .retract_typed(&n0, "No_Such_Type");
+            let receipt_single = single.apply(&d);
+            assert_eq!(receipt_single.removed_relations, 2);
+
+            for n in [1, 2, 3, 4] {
+                let base = generate(&DatagenConfig::tiny());
+                let mut sg = ShardedGraph::from_graph(&base, n);
+                sg.apply(&grow);
+                let receipt = sg.apply(&d);
+
+                assert_eq!(receipt.new_entities, receipt_single.new_entities, "n={n}");
+                assert_eq!(receipt.touched_out, receipt_single.touched_out, "n={n}");
+                assert_eq!(receipt.touched_in, receipt_single.touched_in, "n={n}");
+                assert_eq!(receipt.touched_types, receipt_single.touched_types);
+                assert_eq!(
+                    receipt.touched_categories,
+                    receipt_single.touched_categories
+                );
+                assert_eq!(receipt.removed_relations, receipt_single.removed_relations);
+                assert_eq!(receipt.removed_literals, receipt_single.removed_literals);
+                assert_eq!(
+                    receipt.removed_assertions,
+                    receipt_single.removed_assertions
+                );
+                assert_eq!(receipt.generation, receipt_single.generation);
+
+                assert_eq!(sg.entity_count(), single.entity_count(), "n={n}");
+                assert_eq!(sg.relation_count(), single.relation_count());
+                assert_eq!(sg.triple_count(), single.triple_count());
+                let mut got: BTreeSet<(EntityId, PredicateId, EntityId)> = BTreeSet::new();
+                for shard in sg.shards() {
+                    for t in shard.graph().entity_triples() {
+                        got.insert((
+                            shard.to_global(t.subject),
+                            t.predicate,
+                            shard.to_global(t.object.as_entity().unwrap()),
+                        ));
+                    }
+                }
+                assert_eq!(got, all_triples(&single), "n={n}");
+                for e in single.entity_ids() {
+                    assert_eq!(sg.label(e), single.label(e));
+                    assert_eq!(sg.degree(e), single.degree(e), "degree n={n} e={e}");
+                    assert_eq!(sg.aliases(e), single.aliases(e));
+                    let st: Vec<TypeId> = sg.types_of(e).collect();
+                    let kt: Vec<TypeId> = single.types_of(e).collect();
+                    assert_eq!(st, kt);
+                    assert_eq!(sg.literals(e).count(), single.literals(e).count());
+                }
+                for t in single.type_ids() {
+                    assert_eq!(sg.type_extent(t), single.type_extent(t).to_vec());
+                }
+                for c in single.category_ids() {
+                    assert_eq!(sg.category_extent(c), single.category_extent(c).to_vec());
+                }
+                assert!(sg.tombstone_count() > 0, "n={n}");
+                // compaction reclaims every tombstone without changing
+                // the logical graph
+                let compacted = sg.compact(n);
+                assert_eq!(compacted.tombstone_count(), 0, "n={n}");
+                assert_eq!(compacted.relation_count(), single.relation_count());
+                assert_eq!(compacted.triple_count(), single.triple_count());
+            }
+        }
+
+        /// A retract-only workload on a store that never grew a trailing
+        /// shard must still trip the policy once the tombstone fraction
+        /// passes the threshold (the satellite bugfix: dead rows count
+        /// toward compaction pressure).
+        #[test]
+        fn retract_only_workload_trips_the_policy() {
+            let kg = generate(&DatagenConfig::tiny());
+            let mut sg = ShardedGraph::from_graph(&kg, 2);
+            let policy = CompactionPolicy::default();
+            assert!(!policy.needs_compaction(&sg));
+
+            // retract edges until >25% of stored rows are dead
+            let mut d = DeltaBatch::new();
+            let victims: Vec<_> = kg
+                .entity_triples()
+                .take(kg.triple_count() / 3 + 1)
+                .collect();
+            for t in &victims {
+                d.retract_triple(
+                    kg.entity_name(t.subject),
+                    kg.predicate_name(t.predicate),
+                    kg.entity_name(t.object.as_entity().unwrap()),
+                );
+            }
+            sg.apply(&d);
+            assert_eq!(sg.trailing_shard_count(), 0, "retracts mint no shards");
+            assert!(sg.tombstone_count() >= victims.len());
+            assert!(
+                policy.needs_compaction(&sg),
+                "tombstone mass must trip the default policy"
+            );
+            let compacted = sg.compact(2);
+            assert_eq!(compacted.tombstone_count(), 0);
+            assert!(!policy.needs_compaction(&compacted));
         }
 
         #[test]
@@ -1798,16 +2123,19 @@ mod tests {
             let by_count = CompactionPolicy {
                 max_trailing: 2,
                 max_tail_fraction: 1.0,
+                max_tombstone_fraction: 1.0,
             };
             assert!(by_count.needs_compaction(&sg));
             let by_mass = CompactionPolicy {
                 max_trailing: usize::MAX,
                 max_tail_fraction: 0.0,
+                max_tombstone_fraction: 1.0,
             };
             assert!(by_mass.needs_compaction(&sg));
             let tolerant = CompactionPolicy {
                 max_trailing: 8,
                 max_tail_fraction: 0.5,
+                max_tombstone_fraction: 1.0,
             };
             assert!(!tolerant.needs_compaction(&sg));
             // a fresh partition never needs compaction

@@ -15,7 +15,9 @@
 //! `‖E(π) ∩ E(c)‖` becomes a linear/galloping merge of two sorted slices
 //! with no hashing.
 
-use crate::delta::{AppliedDelta, DeltaBatch};
+use crate::delta::{
+    polarity_runs, replay_entity_facets, replicate_dictionaries, AppliedDelta, DeltaBatch, DeltaOp,
+};
 use crate::id::{CategoryId, EntityId, LiteralId, PredicateId, TypeId};
 use crate::interner::Interner;
 use crate::triple::{Literal, Object, Triple};
@@ -112,6 +114,43 @@ impl EdgeCsr {
         self.total += preds.len() - row.preds.len();
         row.preds = preds;
         row.targets = targets;
+    }
+
+    /// Remove sorted, deduplicated `(pred, target)` pairs from `e`'s row
+    /// with a single forward in-place pass. Pairs actually present (and
+    /// therefore removed) are appended to `removed`; absent pairs are
+    /// ignored. The row stays sorted, so every read path sees only live
+    /// edges — the removed pairs become tombstones only in the sense
+    /// that the graph keeps their memory until a compaction reclaims it.
+    fn unsplice(
+        &mut self,
+        e: EntityId,
+        remove: &[(PredicateId, EntityId)],
+        removed: &mut Vec<(PredicateId, EntityId)>,
+        work: &mut u64,
+    ) {
+        let row = &mut self.rows[e.index()];
+        *work += (row.preds.len() + remove.len()) as u64;
+        let before = removed.len();
+        let mut w = 0usize;
+        let mut j = 0usize;
+        for i in 0..row.preds.len() {
+            let cur = (row.preds[i], row.targets[i]);
+            while j < remove.len() && remove[j] < cur {
+                j += 1;
+            }
+            if j < remove.len() && remove[j] == cur {
+                removed.push(cur);
+                j += 1;
+                continue;
+            }
+            row.preds[w] = cur.0;
+            row.targets[w] = cur.1;
+            w += 1;
+        }
+        row.preds.truncate(w);
+        row.targets.truncate(w);
+        self.total -= removed.len() - before;
     }
 
     /// All `(predicate, target)` pairs of `e`.
@@ -240,6 +279,21 @@ impl Membership {
                 self.total += 1;
                 true
             }
+        }
+    }
+
+    /// Remove `item` from `e`'s row; returns whether it was present.
+    fn remove(&mut self, e: EntityId, item: u32, work: &mut u64) -> bool {
+        let row = &mut self.rows[e.index()];
+        *work += 1;
+        match row.binary_search(&item) {
+            Ok(at) => {
+                *work += (row.len() - at) as u64;
+                row.remove(at);
+                self.total -= 1;
+                true
+            }
+            Err(_) => false,
         }
     }
 
@@ -422,6 +476,10 @@ impl KgBuilder {
             cat_extents,
             aliases,
             pred_freq,
+            dead_relations: Vec::new(),
+            dead_literals: Vec::new(),
+            dead_type_asserts: Vec::new(),
+            dead_cat_asserts: Vec::new(),
         }
     }
 }
@@ -451,6 +509,16 @@ pub struct KnowledgeGraph {
     cat_extents: Vec<Vec<EntityId>>,
     aliases: Vec<Vec<String>>,
     pred_freq: Vec<u64>,
+    /// Tombstones: statements retracted since the last compaction. Every
+    /// read path already sees only live rows (retracts splice the live
+    /// arrays immediately), but the retracted statements' memory — these
+    /// logs plus the slack they leave in the row allocations and the
+    /// literal arena — is only returned by [`KnowledgeGraph::reclaim`].
+    /// Their mass feeds the compaction policy's tombstone trigger.
+    dead_relations: Vec<(EntityId, PredicateId, EntityId)>,
+    dead_literals: Vec<(EntityId, PredicateId, LiteralId)>,
+    dead_type_asserts: Vec<(EntityId, TypeId)>,
+    dead_cat_asserts: Vec<(EntityId, CategoryId)>,
 }
 
 impl KnowledgeGraph {
@@ -672,12 +740,19 @@ impl KnowledgeGraph {
         self.generation
     }
 
-    /// Append a [`DeltaBatch`] in place: new triples, literal statements,
+    /// Apply a [`DeltaBatch`] in place: new triples, literal statements,
     /// type/category assertions, labels and aliases — possibly
     /// introducing new entities and new dictionary terms, which are
     /// interned **in op order** (exactly the ids a from-scratch rebuild
     /// of `base ops + delta ops` would assign, so the appended graph is
-    /// bit-identical to the rebuilt union).
+    /// bit-identical to the rebuilt union) — plus retract ops, which
+    /// tombstone matching statements. The batch is split into maximal
+    /// same-polarity runs applied in op order, so a mixed insert/delete
+    /// batch is equivalent to replaying its ops against a shadow
+    /// statement set and rebuilding from the survivors. Retracts never
+    /// intern names (an unknown name makes the op a no-op), so the id
+    /// assignment is unchanged by their presence, and the generation is
+    /// bumped exactly once per apply regardless of run count.
     ///
     /// The work done is proportional to the touched rows and extents
     /// (per-predicate extent splicing), *not* to the size of the graph;
@@ -685,17 +760,28 @@ impl KnowledgeGraph {
     /// the receipt lists exactly which feature and context extents
     /// changed so execution-layer caches can invalidate precisely.
     pub fn apply(&mut self, delta: &DeltaBatch) -> AppliedDelta {
-        use crate::delta::DeltaOp;
+        let mut acc = DeltaAcc::new(self.entities.len() as u32);
+        for (retract, run) in polarity_runs(delta.ops()) {
+            if retract {
+                self.apply_retract_run(run, &mut acc);
+            } else {
+                self.apply_insert_run(run, &mut acc);
+            }
+        }
+        self.generation += 1;
+        acc.finish(self.generation, self.entities.len() as u32)
+    }
 
+    /// One maximal insert-polarity run of [`KnowledgeGraph::apply`].
+    fn apply_insert_run(&mut self, ops: &[DeltaOp], acc: &mut DeltaAcc) {
         let mut work: u64 = 0;
-        let base_entities = self.entities.len() as u32;
 
-        // Pre-size the entity dictionary for the batch so interning never
-        // rehashes mid-apply. A batch of n ops introduces at most ~n new
+        // Pre-size the entity dictionary for the run so interning never
+        // rehashes mid-apply. A run of n ops introduces at most ~n new
         // entity names, so the table overshoot is O(batch), never
         // O(graph). The other dictionaries (predicates, types,
         // categories) are small and self-size adequately.
-        self.entities.reserve(delta.len());
+        self.entities.reserve(ops.len());
 
         // Pass 1: intern every name in op order and resolve ops to dense
         // ids. New entities/predicates/types/categories get exactly the
@@ -731,7 +817,7 @@ impl KnowledgeGraph {
         let mut cat_adds: Vec<(EntityId, CategoryId)> = Vec::new();
         let mut label_sets: Vec<(EntityId, &str)> = Vec::new();
         let mut alias_adds: Vec<(EntityId, &str)> = Vec::new();
-        for op in delta.ops() {
+        for op in ops {
             match op {
                 DeltaOp::Entity { name } => {
                     memoized!(memo_subject, self.entities, name);
@@ -774,6 +860,7 @@ impl KnowledgeGraph {
                     let t = EntityId::new(memoized!(memo_subject, self.entities, target));
                     alias_adds.push((t, alias));
                 }
+                _ => unreachable!("retract op in an insert-polarity run"),
             }
         }
 
@@ -883,30 +970,230 @@ impl KnowledgeGraph {
             }
         }
 
-        let mut touched_out: Vec<(EntityId, PredicateId)> =
-            inserted.iter().map(|&(s, p, _)| (s, p)).collect();
-        touched_out.dedup();
-        let mut touched_in: Vec<(EntityId, PredicateId)> =
-            inserted.iter().map(|&(_, p, o)| (o, p)).collect();
-        touched_in.sort_unstable();
-        touched_in.dedup();
-        touched_types.sort_unstable();
-        touched_types.dedup();
-        touched_categories.sort_unstable();
-        touched_categories.dedup();
+        acc.touched_out
+            .extend(inserted.iter().map(|&(s, p, _)| (s, p)));
+        acc.touched_in
+            .extend(inserted.iter().map(|&(_, p, o)| (o, p)));
+        acc.touched_types.extend(touched_types);
+        acc.touched_categories.extend(touched_categories);
+        acc.added_relations += inserted.len();
+        acc.added_literals += lit_adds.len();
+        acc.work += work;
+    }
 
-        self.generation += 1;
-        AppliedDelta {
-            generation: self.generation,
-            new_entities: base_entities..self.entities.len() as u32,
-            touched_out,
-            touched_in,
-            touched_types,
-            touched_categories,
-            added_relations: inserted.len(),
-            added_literals: lit_adds.len(),
-            work,
+    /// One maximal retract-polarity run of [`KnowledgeGraph::apply`].
+    ///
+    /// Resolution is lookup-only: a retract naming an unknown entity,
+    /// predicate, type or category is a no-op (nothing is interned), so
+    /// runs of retracts can never perturb the dense-id assignment of the
+    /// inserts around them. Matching statements are spliced out of the
+    /// live rows and extents immediately and logged as tombstones until
+    /// the next compaction reclaims their memory.
+    fn apply_retract_run(&mut self, ops: &[DeltaOp], acc: &mut DeltaAcc) {
+        let mut work: u64 = 0;
+        let mut edge_removes: Vec<(EntityId, PredicateId, EntityId)> = Vec::new();
+        let mut lit_removes: Vec<(EntityId, PredicateId, &Literal)> = Vec::new();
+        let mut type_removes: Vec<(EntityId, TypeId)> = Vec::new();
+        let mut cat_removes: Vec<(EntityId, CategoryId)> = Vec::new();
+        for op in ops {
+            work += 1;
+            match op {
+                DeltaOp::RetractTriple { s, p, o } => {
+                    let (Some(s), Some(p), Some(o)) = (
+                        self.entities.get(s),
+                        self.predicates.get(p),
+                        self.entities.get(o),
+                    ) else {
+                        continue;
+                    };
+                    edge_removes.push((EntityId::new(s), PredicateId::new(p), EntityId::new(o)));
+                }
+                DeltaOp::RetractLiteral { s, p, value } => {
+                    let (Some(s), Some(p)) = (self.entities.get(s), self.predicates.get(p)) else {
+                        continue;
+                    };
+                    lit_removes.push((EntityId::new(s), PredicateId::new(p), value));
+                }
+                DeltaOp::RetractTyped { entity, type_name } => {
+                    let (Some(e), Some(t)) = (self.entities.get(entity), self.types.get(type_name))
+                    else {
+                        continue;
+                    };
+                    type_removes.push((EntityId::new(e), TypeId::new(t)));
+                }
+                DeltaOp::RetractCategorized { entity, category } => {
+                    let (Some(e), Some(c)) =
+                        (self.entities.get(entity), self.categories.get(category))
+                    else {
+                        continue;
+                    };
+                    cat_removes.push((EntityId::new(e), CategoryId::new(c)));
+                }
+                DeltaOp::RetractLabel { entity, label } => {
+                    let Some(e) = self.entities.get(entity) else {
+                        continue;
+                    };
+                    let slot = &mut self.labels[e as usize];
+                    if slot.as_deref() == Some(label.as_str()) {
+                        *slot = None;
+                        acc.removed_assertions += 1;
+                    }
+                }
+                DeltaOp::RetractAlias { alias, target } => {
+                    let Some(t) = self.entities.get(target) else {
+                        continue;
+                    };
+                    let row = &mut self.aliases[t as usize];
+                    if let Ok(at) = row.binary_search_by(|a| a.as_str().cmp(alias)) {
+                        row.remove(at);
+                        acc.removed_assertions += 1;
+                        work += 1;
+                    }
+                }
+                _ => unreachable!("insert op in a retract-polarity run"),
+            }
         }
+
+        // Entity edges: per-row unsplice, both directions, mirroring the
+        // insert pass. Only pairs actually present count as removed.
+        edge_removes.sort_unstable();
+        edge_removes.dedup();
+        let mut removed: Vec<(EntityId, PredicateId, EntityId)> = Vec::new();
+        let mut row_removes: Vec<(PredicateId, EntityId)> = Vec::new();
+        let mut row_removed: Vec<(PredicateId, EntityId)> = Vec::new();
+        let mut i = 0;
+        while i < edge_removes.len() {
+            let s = edge_removes[i].0;
+            row_removes.clear();
+            row_removed.clear();
+            while i < edge_removes.len() && edge_removes[i].0 == s {
+                row_removes.push((edge_removes[i].1, edge_removes[i].2));
+                i += 1;
+            }
+            self.out
+                .unsplice(s, &row_removes, &mut row_removed, &mut work);
+            for &(p, o) in &row_removed {
+                removed.push((s, p, o));
+                self.pred_freq[p.index()] -= 1;
+            }
+        }
+        let mut inverted: Vec<(EntityId, PredicateId, EntityId)> =
+            removed.iter().map(|&(s, p, o)| (o, p, s)).collect();
+        inverted.sort_unstable();
+        let mut i = 0;
+        while i < inverted.len() {
+            let o = inverted[i].0;
+            row_removes.clear();
+            row_removed.clear();
+            while i < inverted.len() && inverted[i].0 == o {
+                row_removes.push((inverted[i].1, inverted[i].2));
+                i += 1;
+            }
+            self.inc
+                .unsplice(o, &row_removes, &mut row_removed, &mut work);
+            debug_assert_eq!(
+                row_removed.len(),
+                row_removes.len(),
+                "incoming rows must mirror outgoing rows"
+            );
+        }
+        acc.touched_out
+            .extend(removed.iter().map(|&(s, p, _)| (s, p)));
+        acc.touched_in
+            .extend(removed.iter().map(|&(_, p, o)| (o, p)));
+        acc.removed_relations += removed.len();
+        self.dead_relations.extend(removed);
+
+        // Literal statements: a retract removes *every* stored copy whose
+        // value matches (inserts do not deduplicate literals). The dead
+        // literal ids keep their arena slots until compaction re-densifies
+        // the arena.
+        for (s, p, value) in lit_removes {
+            let row = &mut self.lit.rows[s.index()];
+            let lo = row.preds.partition_point(|&q| q < p);
+            let hi = row.preds.partition_point(|&q| q <= p);
+            work += (hi - lo + 1) as u64;
+            let mut w = lo;
+            for i in lo..row.preds.len() {
+                if i < hi && self.literals[row.lits[i].index()] == *value {
+                    self.dead_literals.push((s, p, row.lits[i]));
+                    self.pred_freq[p.index()] -= 1;
+                    self.lit.total -= 1;
+                    acc.removed_literals += 1;
+                    continue;
+                }
+                row.preds[w] = row.preds[i];
+                row.lits[w] = row.lits[i];
+                w += 1;
+            }
+            row.preds.truncate(w);
+            row.lits.truncate(w);
+        }
+
+        // Type / category assertions: membership rows per op, then one
+        // merge unsplice per touched extent (the retract mirror of the
+        // batched insert splice).
+        let mut gone_type_members: Vec<(TypeId, EntityId)> = Vec::new();
+        for &(e, t) in &type_removes {
+            if self.entity_types.remove(e, t.raw(), &mut work) {
+                gone_type_members.push((t, e));
+                self.dead_type_asserts.push((e, t));
+            }
+        }
+        gone_type_members.sort_unstable();
+        for (t, dels) in group_pairs(&gone_type_members) {
+            unsplice_extent(&mut self.type_extents[t.index()], dels, &mut work);
+            acc.touched_types.push(t);
+        }
+        let mut gone_cat_members: Vec<(CategoryId, EntityId)> = Vec::new();
+        for &(e, c) in &cat_removes {
+            if self.entity_cats.remove(e, c.raw(), &mut work) {
+                gone_cat_members.push((c, e));
+                self.dead_cat_asserts.push((e, c));
+            }
+        }
+        gone_cat_members.sort_unstable();
+        for (c, dels) in group_pairs(&gone_cat_members) {
+            unsplice_extent(&mut self.cat_extents[c.index()], dels, &mut work);
+            acc.touched_categories.push(c);
+        }
+        acc.removed_assertions += gone_type_members.len() + gone_cat_members.len();
+        acc.work += work;
+    }
+
+    /// Number of tombstoned statements held since the last compaction
+    /// (retracted relations, literal statements, and type/category
+    /// assertions — each relation counted once, not per direction). Feeds
+    /// the compaction policy's tombstone-mass trigger; a graph fresh from
+    /// a build or a [`KnowledgeGraph::reclaim`] holds zero.
+    pub fn tombstone_count(&self) -> usize {
+        self.dead_relations.len()
+            + self.dead_literals.len()
+            + self.dead_type_asserts.len()
+            + self.dead_cat_asserts.len()
+    }
+
+    /// Compact away every tombstone: an id-preserving rebuild from the
+    /// surviving statements. Entity and dictionary ids are unchanged
+    /// (retraction removes statements, never dictionary entries), every
+    /// extent is bit-identical to the live view of `self`, literal ids
+    /// are re-densified, and the result holds zero tombstones — the
+    /// memory of the retracted statements is returned. The rebuilt
+    /// graph's generation is `self.generation() + 1`, mirroring the
+    /// sharded compaction's generation stamp.
+    pub fn reclaim(&self) -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        replicate_dictionaries(&mut b, self);
+        for e in self.entity_ids() {
+            replay_entity_facets(&mut b, self, e);
+        }
+        for t in self.entity_triples() {
+            let o = t.object.as_entity().expect("entity triple");
+            b.triple(t.subject, t.predicate, o);
+        }
+        let mut out = b.finish();
+        out.generation = self.generation + 1;
+        out
     }
 
     /// Aggregate size/shape statistics of the graph.
@@ -988,6 +1275,92 @@ fn splice_extent<K: Copy>(ext: &mut Vec<EntityId>, adds: &[(K, EntityId)], work:
         a -= 1;
     }
     debug_assert_eq!(w, r, "merge must consume exactly the shifted tail");
+}
+
+/// Remove `dels` (second elements sorted, strictly increasing, all
+/// present in `ext`) from the sorted extent with a single forward
+/// in-place pass — the retract mirror of [`splice_extent`].
+fn unsplice_extent<K: Copy>(ext: &mut Vec<EntityId>, dels: &[(K, EntityId)], work: &mut u64) {
+    debug_assert!(dels.windows(2).all(|w| w[0].1 < w[1].1));
+    *work += dels.len() as u64;
+    if dels.is_empty() {
+        return;
+    }
+    let start = ext.partition_point(|&x| x < dels[0].1);
+    *work += (ext.len() - start) as u64;
+    let mut w = start;
+    let mut j = 0;
+    for r in start..ext.len() {
+        if j < dels.len() && ext[r] == dels[j].1 {
+            j += 1;
+            continue;
+        }
+        ext[w] = ext[r];
+        w += 1;
+    }
+    debug_assert_eq!(j, dels.len(), "every removal must have been present");
+    ext.truncate(w);
+}
+
+/// Receipt accumulator shared by the polarity runs of one
+/// [`KnowledgeGraph::apply`]: runs append raw touched entries and
+/// counters, and [`DeltaAcc::finish`] sorts, deduplicates and stamps the
+/// final [`AppliedDelta`] once per apply.
+pub(crate) struct DeltaAcc {
+    base_entities: u32,
+    pub(crate) touched_out: Vec<(EntityId, PredicateId)>,
+    pub(crate) touched_in: Vec<(EntityId, PredicateId)>,
+    pub(crate) touched_types: Vec<TypeId>,
+    pub(crate) touched_categories: Vec<CategoryId>,
+    pub(crate) added_relations: usize,
+    pub(crate) added_literals: usize,
+    pub(crate) removed_relations: usize,
+    pub(crate) removed_literals: usize,
+    pub(crate) removed_assertions: usize,
+    pub(crate) work: u64,
+}
+
+impl DeltaAcc {
+    pub(crate) fn new(base_entities: u32) -> Self {
+        Self {
+            base_entities,
+            touched_out: Vec::new(),
+            touched_in: Vec::new(),
+            touched_types: Vec::new(),
+            touched_categories: Vec::new(),
+            added_relations: 0,
+            added_literals: 0,
+            removed_relations: 0,
+            removed_literals: 0,
+            removed_assertions: 0,
+            work: 0,
+        }
+    }
+
+    pub(crate) fn finish(mut self, generation: u64, end_entities: u32) -> AppliedDelta {
+        self.touched_out.sort_unstable();
+        self.touched_out.dedup();
+        self.touched_in.sort_unstable();
+        self.touched_in.dedup();
+        self.touched_types.sort_unstable();
+        self.touched_types.dedup();
+        self.touched_categories.sort_unstable();
+        self.touched_categories.dedup();
+        AppliedDelta {
+            generation,
+            new_entities: self.base_entities..end_entities,
+            touched_out: self.touched_out,
+            touched_in: self.touched_in,
+            touched_types: self.touched_types,
+            touched_categories: self.touched_categories,
+            added_relations: self.added_relations,
+            added_literals: self.added_literals,
+            removed_relations: self.removed_relations,
+            removed_literals: self.removed_literals,
+            removed_assertions: self.removed_assertions,
+            work: self.work,
+        }
+    }
 }
 
 /// Aggregate statistics returned by [`KnowledgeGraph::summary`].
@@ -1433,6 +1806,180 @@ mod tests {
                     prop_assert_eq!(kg.degree(e), expected);
                 }
             }
+        }
+    }
+
+    mod retract {
+        use super::*;
+
+        #[test]
+        fn retract_triple_removes_both_directions() {
+            let mut kg = toy_kg();
+            let gump = kg.entity("Forrest_Gump").unwrap();
+            let hanks = kg.entity("Tom_Hanks").unwrap();
+            let starring = kg.predicate("starring").unwrap();
+            let mut d = DeltaBatch::new();
+            d.retract_triple("Forrest_Gump", "starring", "Tom_Hanks");
+            let r = kg.apply(&d);
+            assert_eq!(r.removed_relations, 1);
+            assert_eq!(r.touched_out, vec![(gump, starring)]);
+            assert_eq!(r.touched_in, vec![(hanks, starring)]);
+            assert_eq!(r.generation, 1);
+            assert!(kg.objects(gump, starring).binary_search(&hanks).is_err());
+            assert!(kg.subjects(hanks, starring).binary_search(&gump).is_err());
+            assert_eq!(kg.relation_count(), 4);
+            assert_eq!(kg.predicate_frequency(starring), 3);
+            assert_eq!(kg.tombstone_count(), 1);
+            // the untouched co-starring edge survives
+            let sinise = kg.entity("Gary_Sinise").unwrap();
+            assert!(kg.objects(gump, starring).binary_search(&sinise).is_ok());
+        }
+
+        #[test]
+        fn retract_of_unknown_names_is_a_no_op_and_never_interns() {
+            let mut kg = toy_kg();
+            let entities = kg.entity_count();
+            let mut d = DeltaBatch::new();
+            d.retract_triple("No_Such_Subject", "starring", "Tom_Hanks")
+                .retract_triple("Forrest_Gump", "no_such_pred", "Tom_Hanks")
+                .retract_typed("Forrest_Gump", "No_Such_Type")
+                .retract_categorized("No_Such_Entity", "American films")
+                .retract_label("No_Such_Entity", "x")
+                .retract_alias("Geenbow", "No_Such_Entity")
+                .retract_literal("No_Such_Entity", "runtime", Literal::integer(1));
+            let r = kg.apply(&d);
+            assert_eq!(
+                r.removed_relations + r.removed_literals + r.removed_assertions,
+                0
+            );
+            assert!(r.touched_out.is_empty() && r.touched_in.is_empty());
+            assert_eq!(kg.entity_count(), entities);
+            assert_eq!(kg.entity("No_Such_Subject"), None);
+            assert_eq!(kg.tombstone_count(), 0);
+            assert_eq!(kg.triple_count(), toy_kg().triple_count());
+        }
+
+        #[test]
+        fn retract_facets_and_label_and_alias() {
+            let mut kg = toy_kg();
+            let gump = kg.entity("Forrest_Gump").unwrap();
+            let film = kg.type_id("Film").unwrap();
+            let cat = kg.category_id("American films").unwrap();
+            let mut d = DeltaBatch::new();
+            d.retract_typed("Forrest_Gump", "Film")
+                .retract_categorized("Forrest_Gump", "American films")
+                .retract_label("Forrest_Gump", "Forrest Gump")
+                .retract_alias("Geenbow", "Forrest_Gump")
+                .retract_literal("Forrest_Gump", "runtime", Literal::integer(142));
+            let r = kg.apply(&d);
+            // type + category + label + alias each count as one assertion
+            assert_eq!(r.removed_assertions, 4);
+            assert_eq!(r.removed_literals, 1);
+            assert_eq!(r.touched_types, vec![film]);
+            assert_eq!(r.touched_categories, vec![cat]);
+            assert!(!kg.has_type(gump, film));
+            assert!(!kg.has_category(gump, cat));
+            assert_eq!(
+                kg.type_extent(film),
+                &[kg.entity("Apollo_13_(film)").unwrap()]
+            );
+            assert_eq!(kg.label(gump), None);
+            assert!(kg.aliases(gump).is_empty());
+            assert_eq!(kg.literals(gump).count(), 0);
+            // type + category + literal tombstone; labels and aliases are
+            // cleared in place, not tombstoned
+            assert_eq!(kg.tombstone_count(), 3);
+        }
+
+        #[test]
+        fn retract_label_only_clears_a_matching_value() {
+            let mut kg = toy_kg();
+            let gump = kg.entity("Forrest_Gump").unwrap();
+            let mut d = DeltaBatch::new();
+            d.retract_label("Forrest_Gump", "Stale Label");
+            kg.apply(&d);
+            assert_eq!(kg.label(gump), Some("Forrest Gump"));
+        }
+
+        #[test]
+        fn retract_literal_removes_every_matching_copy() {
+            let mut b = KgBuilder::new();
+            let e = b.entity("e");
+            let p = b.predicate("p");
+            b.literal_triple(e, p, Literal::integer(7));
+            b.literal_triple(e, p, Literal::integer(7));
+            b.literal_triple(e, p, Literal::integer(9));
+            let mut kg = b.finish();
+            let mut d = DeltaBatch::new();
+            d.retract_literal("e", "p", Literal::integer(7));
+            let r = kg.apply(&d);
+            assert_eq!(r.removed_literals, 2);
+            let lits: Vec<_> = kg.literals(e).map(|(_, l)| l.clone()).collect();
+            assert_eq!(lits, vec![Literal::integer(9)]);
+        }
+
+        #[test]
+        fn mixed_polarity_batch_applies_in_order_with_one_generation_bump() {
+            let mut kg = toy_kg();
+            let mut d = DeltaBatch::new();
+            // insert, retract the inserted edge, insert it again: order matters
+            d.triple("Forrest_Gump", "starring", "Robert_Zemeckis");
+            d.retract_triple("Forrest_Gump", "starring", "Robert_Zemeckis");
+            d.triple("Forrest_Gump", "starring", "Robert_Zemeckis");
+            let r = kg.apply(&d);
+            assert_eq!(r.generation, 1);
+            assert_eq!(kg.generation(), 1);
+            assert_eq!(r.added_relations, 2);
+            assert_eq!(r.removed_relations, 1);
+            let gump = kg.entity("Forrest_Gump").unwrap();
+            let zemeckis = kg.entity("Robert_Zemeckis").unwrap();
+            let starring = kg.predicate("starring").unwrap();
+            assert!(kg.objects(gump, starring).binary_search(&zemeckis).is_ok());
+        }
+
+        #[test]
+        fn reinsert_after_retract_restores_the_row() {
+            let mut kg = toy_kg();
+            let mut d = DeltaBatch::new();
+            d.retract_triple("Forrest_Gump", "starring", "Tom_Hanks");
+            kg.apply(&d);
+            let mut d2 = DeltaBatch::new();
+            d2.triple("Forrest_Gump", "starring", "Tom_Hanks");
+            kg.apply(&d2);
+            let gump = kg.entity("Forrest_Gump").unwrap();
+            let hanks = kg.entity("Tom_Hanks").unwrap();
+            let starring = kg.predicate("starring").unwrap();
+            assert!(kg.objects(gump, starring).binary_search(&hanks).is_ok());
+            assert_eq!(kg.relation_count(), 5);
+            // the tombstone of the retracted row survives until reclaim
+            assert_eq!(kg.tombstone_count(), 1);
+        }
+
+        #[test]
+        fn reclaim_drops_tombstones_and_preserves_answers() {
+            let mut kg = toy_kg();
+            let mut d = DeltaBatch::new();
+            d.retract_triple("Forrest_Gump", "starring", "Gary_Sinise")
+                .retract_typed("Zemeckis_Wrong", "Film") // unknown: no-op
+                .retract_categorized("Apollo_13_(film)", "American films")
+                .retract_literal("Forrest_Gump", "runtime", Literal::integer(142));
+            kg.apply(&d);
+            assert_eq!(kg.tombstone_count(), 3);
+            let r = kg.reclaim();
+            assert_eq!(r.tombstone_count(), 0);
+            assert_eq!(r.generation(), kg.generation() + 1);
+            // identical live view, identical ids
+            assert_eq!(r.entity_count(), kg.entity_count());
+            assert_eq!(r.triple_count(), kg.triple_count());
+            for e in kg.entity_ids() {
+                assert_eq!(r.entity_name(e), kg.entity_name(e));
+                assert_eq!(r.label(e), kg.label(e));
+                assert_eq!(r.degree(e), kg.degree(e));
+            }
+            assert_eq!(
+                crate::ntriples::serialize(&r),
+                crate::ntriples::serialize(&kg)
+            );
         }
     }
 }

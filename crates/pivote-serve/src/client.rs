@@ -124,6 +124,15 @@ impl Client {
         ])
     }
 
+    /// `{"op":"retract", ...}` — retract the statements of an N-Triples
+    /// body.
+    pub fn retract(&mut self, ntriples: &str) -> io::Result<Value> {
+        self.request_obj(vec![
+            ("op", Value::Str("retract".to_owned())),
+            ("ntriples", Value::Str(ntriples.to_owned())),
+        ])
+    }
+
     /// `{"op":"stats"}` — store/cache observability snapshot.
     pub fn stats(&mut self) -> io::Result<Value> {
         self.request_obj(vec![("op", Value::Str("stats".to_owned()))])

@@ -16,14 +16,17 @@
 //! {"op":"heatmap", "seeds":[names], "k_features"?:10, "k_entities"?:10}
 //! {"op":"search",  "query":"...", "k"?:10}
 //! {"op":"append",  "ntriples":"<s> <p> <o> .\n..."}
+//! {"op":"retract", "ntriples":"<s> <p> <o> .\n..."}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! Error responses are `{"ok":false,"error":"..."}`; a malformed
-//! N-Triples append body additionally carries the 1-based `"line"`
-//! within the submitted body, straight from the parser's
-//! [`pivote_kg::ParseError`].
+//! N-Triples append or retract body additionally carries the 1-based
+//! `"line"` within the submitted body, straight from the parser's
+//! [`pivote_kg::ParseError`]. A retract body none of whose statements
+//! matched anything stored is also an error response — the client
+//! asked to delete something that does not exist.
 
 use serde::Value;
 
@@ -68,6 +71,12 @@ pub enum Request {
     /// Append an N-Triples delta to the live store.
     Append {
         /// The N-Triples body (may span many lines via `\n` escapes).
+        ntriples: String,
+    },
+    /// Retract the statements of an N-Triples body from the live store
+    /// (tombstoning them until the next compaction reclaims the space).
+    Retract {
+        /// The N-Triples body naming the statements to remove.
         ntriples: String,
     },
     /// Server/store observability snapshot.
@@ -157,6 +166,9 @@ impl Request {
             "append" => Ok(Request::Append {
                 ntriples: str_field(&v, "ntriples")?,
             }),
+            "retract" => Ok(Request::Retract {
+                ntriples: str_field(&v, "ntriples")?,
+            }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op {other:?}")),
@@ -236,6 +248,13 @@ mod tests {
             }
         );
         assert_eq!(Request::parse(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        let r = Request::parse(r#"{"op":"retract","ntriples":"<a> <b> <c> ."}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Retract {
+                ntriples: "<a> <b> <c> .".into()
+            }
+        );
         let r = Request::parse(r#"{"op":"expand","seeds":["A"],"type":"Film"}"#).unwrap();
         assert_eq!(
             r,
@@ -259,6 +278,8 @@ mod tests {
             r#"{"op":"search","query":"x","k":-1}"#,
             r#"{"op":"search","query":"x","k":1.5}"#,
             r#"{"op":"append"}"#,
+            r#"{"op":"retract"}"#,
+            r#"{"op":"retract","ntriples":7}"#,
         ] {
             let err = Request::parse(bad).expect_err(bad);
             assert!(!err.is_empty());

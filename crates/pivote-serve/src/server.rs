@@ -38,7 +38,9 @@ use pivote_core::{
     RankingConfig, SfQuery, WarmStateError,
 };
 use pivote_explore::LiveSearchCache;
-use pivote_kg::{fingerprint, parse_into_delta, CompactionPolicy, GraphBackend};
+use pivote_kg::{
+    fingerprint, parse_into_delta, parse_removed_into_delta, CompactionPolicy, GraphBackend,
+};
 use pivote_search::SearchConfig;
 use serde::Value;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -294,7 +296,17 @@ fn handle_conn(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     }
 }
 
+/// Serve one request line. Any panic a request provokes below the
+/// protocol layer is caught here and answered as `{"ok":false,...}` —
+/// a hostile request may cost itself an error, never a worker thread.
+/// (Writes stay safe to catch: a writer panic poisons the store lock
+/// and later writes fail closed per [`pivote_core::StoreError`].)
 fn handle_request(shared: &Shared, line: &str) -> String {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(shared, line)))
+        .unwrap_or_else(|_| Reply::error("internal error serving this request").render())
+}
+
+fn dispatch(shared: &Shared, line: &str) -> String {
     let request = match Request::parse(line) {
         Ok(request) => request,
         Err(message) => return Reply::error(message).render(),
@@ -317,6 +329,7 @@ fn handle_request(shared: &Shared, line: &str) -> String {
         } => op_heatmap(shared, &seeds, k_features, k_entities),
         Request::Search { query, k } => op_search(shared, &query, k),
         Request::Append { ntriples } => op_append(shared, &ntriples),
+        Request::Retract { ntriples } => op_retract(shared, &ntriples),
         Request::Stats => op_stats(shared),
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
@@ -502,6 +515,38 @@ fn op_append(shared: &Shared, ntriples: &str) -> String {
             .num("added_relations", applied.added_relations as u64)
             .num("added_literals", applied.added_literals as u64)
             .render(),
+        Err(e) => Reply::error(e.to_string()).render(),
+    }
+}
+
+fn op_retract(shared: &Shared, ntriples: &str) -> String {
+    let delta = match parse_removed_into_delta(ntriples) {
+        Ok(delta) => delta,
+        Err(e) => {
+            // the parser's 1-based line within the submitted body
+            return Reply::error(format!("N-Triples parse error: {}", e.message))
+                .num("line", e.line as u64)
+                .render();
+        }
+    };
+    match shared.store.append(&delta) {
+        Ok(applied) => {
+            let removed =
+                applied.removed_relations + applied.removed_literals + applied.removed_assertions;
+            if removed == 0 && !delta.ops().is_empty() {
+                // deleting nothing that exists is the client's error, and
+                // answering it must not take the connection down
+                return Reply::error("no stored statement matched the retract body")
+                    .num("generation", applied.generation)
+                    .render();
+            }
+            Reply::ok()
+                .num("generation", applied.generation)
+                .num("removed_relations", applied.removed_relations as u64)
+                .num("removed_literals", applied.removed_literals as u64)
+                .num("removed_assertions", applied.removed_assertions as u64)
+                .render()
+        }
         Err(e) => Reply::error(e.to_string()).render(),
     }
 }

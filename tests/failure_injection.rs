@@ -423,6 +423,7 @@ fn panicked_append_fails_writes_closed_and_keeps_reads_up() {
     let policy = pivote_kg::CompactionPolicy {
         max_trailing: 0,
         max_tail_fraction: 0.0,
+        max_tombstone_fraction: 0.0,
     };
     assert!(
         live.maybe_compact(&policy, 2).is_none(),

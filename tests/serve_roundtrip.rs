@@ -139,6 +139,9 @@ fn malformed_requests_answer_errors_and_keep_the_connection() {
         r#"{"op":"rank","seeds":["No_Such_Entity_Anywhere"]}"#,
         r#"{"op":"expand","seeds":["Forrest_Gump"],"type":"NoSuchType"}"#,
         r#"{"op":"search","query":"x","k":"ten"}"#,
+        r#"{"op":"retract"}"#,
+        r#"{"op":"retract","ntriples":"garbage"}"#,
+        r#"{"op":"retract","ntriples":7}"#,
     ] {
         let v = client.request(bad).expect(bad);
         assert!(!response_ok(&v), "{bad} must be refused: {v:?}");
@@ -155,6 +158,13 @@ fn malformed_requests_answer_errors_and_keep_the_connection() {
     assert!(!response_ok(&v));
     assert_eq!(num_field(&v, "line"), Some(2), "{v:?}");
 
+    // absurd k values are clamped by the engine's bounded selection,
+    // answered, and never cost the worker thread
+    let v = client
+        .request(r#"{"op":"rank","seeds":["Forrest_Gump"],"k_entities":100000000000000000}"#)
+        .expect("huge k");
+    assert!(response_ok(&v), "{v:?}");
+
     // the same connection still serves after every refusal
     let stats = client.stats().expect("stats after garbage");
     assert!(response_ok(&stats));
@@ -163,6 +173,51 @@ fn malformed_requests_answer_errors_and_keep_the_connection() {
         Some(0),
         "no refused request may have mutated the store"
     );
+}
+
+#[test]
+fn retract_over_tcp_matches_the_library_and_refuses_missing_triples() {
+    let server = serve_sample();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let nt = "<http://dbpedia.org/resource/Served_Churn> \
+              <http://dbpedia.org/ontology/servedBy> \
+              <http://dbpedia.org/resource/Forrest_Gump> .\n";
+    let v = client.append(nt).expect("append");
+    assert!(response_ok(&v), "{v:?}");
+    let v = client.retract(nt).expect("retract");
+    assert!(response_ok(&v), "{v:?}");
+    assert_eq!(num_field(&v, "removed_relations"), Some(1), "{v:?}");
+    assert_eq!(num_field(&v, "generation"), Some(2));
+
+    // the same retract again names nothing stored: a per-request error,
+    // never a dropped connection (the no-op apply still ticks the
+    // generation, exactly as an empty append would)
+    let v = client.retract(nt).expect("retract again");
+    assert!(!response_ok(&v), "{v:?}");
+    assert!(matches!(v.field_opt("error"), serde::Value::Str(_)));
+
+    // a malformed retract body reports the 1-based line inside the body
+    let v = client.retract("not a triple\n").expect("bad retract");
+    assert!(!response_ok(&v));
+    assert_eq!(num_field(&v, "line"), Some(1), "{v:?}");
+
+    // served state is bit-identical to the library-side replay of the
+    // same append + retract
+    let mut replay = sample();
+    replay.apply(&pivote_kg::parse_into_delta(nt).expect("parses"));
+    replay.apply(&pivote_kg::parse_removed_into_delta(nt).expect("parses"));
+    let reader = server.store().read();
+    assert_eq!(
+        pivote_kg::serialize(&reader.backend().to_single()),
+        pivote_kg::serialize(&replay),
+        "retract over TCP must equal the library-side retract"
+    );
+    drop(reader);
+
+    // the connection that issued the refused retracts still serves
+    let stats = client.stats().expect("stats after refused retracts");
+    assert!(response_ok(&stats));
 }
 
 #[test]

@@ -241,6 +241,7 @@ fn scale_smoke_streams_generated_dump_with_maintenance() {
         pivote_kg::CompactionPolicy {
             max_trailing: 0,
             max_tail_fraction: 1.0,
+            max_tombstone_fraction: 1.0,
         },
         2,
         Duration::from_millis(1),
