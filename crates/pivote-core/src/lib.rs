@@ -26,6 +26,10 @@
 //!   maintenance thread so shards stay balanced mid-ingest;
 //! - [`warm`]: persisted context warm-state — the `p(π|c)` cache as a
 //!   generation-checked sidecar next to the graph snapshot;
+//! - [`replica`]: read replicas and crash recovery — follower
+//!   [`ReplicaStore`]s tail a leader's durable delta log
+//!   ([`pivote_kg::wal`]) and are provably fingerprint-equal to the
+//!   leader at every synced generation;
 //! - [`ranking`]: `r(π,Q) = d(π)·c(π,Q)` and
 //!   `r(e,Q) = Σ p(π|e)·r(π,Q)` with error-tolerant category smoothing;
 //! - [`expansion`]: entity set expansion over structured queries (seeds +
@@ -61,6 +65,7 @@ pub mod heatmap;
 pub mod ingest;
 pub mod live;
 pub mod ranking;
+pub mod replica;
 pub mod sharded;
 pub mod warm;
 
@@ -79,5 +84,6 @@ pub use live::{
 #[allow(deprecated)]
 pub use live::{LiveGraph, LiveShardedGraph, LiveShardedReader};
 pub use ranking::{RankedEntity, RankedFeature, Ranker};
+pub use replica::{recover, RecoveryReport, ReplicaError, ReplicaHandle, ReplicaStore};
 pub use sharded::ShardedContext;
 pub use warm::{load_warm_state, save_warm_state, warm_sidecar_path, WarmStateError};

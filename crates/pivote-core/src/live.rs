@@ -36,12 +36,13 @@
 use crate::context::{QueryContext, SharedCache};
 use crate::handle::GraphHandle;
 use crate::sharded::ShardedContext;
+use pivote_kg::wal::{WalEvent, WalHeader, WalWriter};
 use pivote_kg::{
     AppliedDelta, CompactionPolicy, CompactionReceipt, DeltaBatch, GraphBackend, KnowledgeGraph,
     ShardedGraph,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::time::Duration;
 
 /// Whether the `PIVOTE_MAINTENANCE=1` environment leg is active — the CI
@@ -65,12 +66,17 @@ pub use pivote_kg::maintenance_from_env;
 /// else (cache invalidation, hooks), so a panic on those trailing steps
 /// leaves a fully consistent store; refusing reads would turn one
 /// poisoned writer into a full outage for no integrity gain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
     /// A writer panicked while holding the store's write lock; the store
     /// is read-only until the process restarts (e.g. from a warm-state
     /// snapshot).
     Poisoned,
+    /// The store's durable delta log refused the record (disk full,
+    /// permissions, …). The write is **not** applied — the log is
+    /// written ahead of the splice, so the log never lags the store and
+    /// a follower can always reach every state the leader served.
+    Wal(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -81,6 +87,9 @@ impl std::fmt::Display for StoreError {
                     f,
                     "live store poisoned: a writer panicked; store is read-only"
                 )
+            }
+            StoreError::Wal(m) => {
+                write!(f, "delta log append failed, write refused: {m}")
             }
         }
     }
@@ -94,6 +103,10 @@ pub struct LiveStore {
     store: RwLock<GraphBackend>,
     cache: Arc<SharedCache>,
     threads: usize,
+    /// The optional durable delta log. Lock order: store write lock
+    /// first, then this mutex — every writer appends the record *before*
+    /// splicing, under the store lock, so log order equals apply order.
+    wal: Mutex<Option<WalWriter>>,
 }
 
 impl LiveStore {
@@ -126,7 +139,72 @@ impl LiveStore {
             store: RwLock::new(store.into()),
             cache,
             threads: threads.max(1),
+            wal: Mutex::new(None),
         }
+    }
+
+    /// The WAL mutex, recovering from a poisoned lock: the log file is
+    /// only ever touched by whole-record `write_all` calls, so a panic
+    /// between them cannot leave a writer mid-frame.
+    fn wal_guard(&self) -> MutexGuard<'_, Option<WalWriter>> {
+        self.wal.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Start logging every write to a fresh durable delta log at `path`
+    /// (truncating any existing file), based at the store's **current**
+    /// state: the log header records the current [`snapshot
+    /// fingerprint`](pivote_kg::snapshot::fingerprint) and generation,
+    /// and a follower must start from a snapshot with that exact
+    /// fingerprint. Holds the write lock while fingerprinting so no
+    /// append can slip between the fingerprint and the first record.
+    ///
+    /// Returns the header the log was created with. Pair it with
+    /// [`GraphBackend::save_snapshot`] of the same state to give
+    /// followers (and crash recovery) their starting point.
+    pub fn log_to(&self, path: impl AsRef<std::path::Path>) -> Result<WalHeader, StoreError> {
+        let store = self.store.write().map_err(|_| StoreError::Poisoned)?;
+        let writer = WalWriter::create(path, store.generation(), store.fingerprint())
+            .map_err(|e| StoreError::Wal(e.to_string()))?;
+        let header = writer.header();
+        *self.wal_guard() = Some(writer);
+        Ok(header)
+    }
+
+    /// Attach an already-positioned [`WalWriter`] — the leader-restart
+    /// path: recover the store by replaying the log (see
+    /// `pivote_core::replica`), then [`WalWriter::resume`] the file and
+    /// hand it here so new writes continue the same log. The write lock
+    /// is held so no append can slip in unlogged.
+    pub fn attach_wal(&self, writer: WalWriter) -> Result<(), StoreError> {
+        let _store = self.store.write().map_err(|_| StoreError::Poisoned)?;
+        *self.wal_guard() = Some(writer);
+        Ok(())
+    }
+
+    /// Whether writes are currently being logged.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal_guard().is_some()
+    }
+
+    /// Generation stamp of the last record written to the delta log
+    /// (`None` when logging is off). Equals the store generation on a
+    /// leader that has logged from birth; stays monotonic across leader
+    /// restarts even though the in-memory generation resets.
+    pub fn wal_generation(&self) -> Option<u64> {
+        self.wal_guard().as_ref().map(|w| w.last_generation())
+    }
+
+    /// Append `event` to the log if one is attached. Called under the
+    /// store write lock, *before* the mutation is applied — so an IO
+    /// failure refuses the write and the log never lags the store.
+    fn log_event(&self, event: impl FnOnce() -> WalEvent) -> Result<(), StoreError> {
+        let mut wal = self.wal_guard();
+        if let Some(writer) = wal.as_mut() {
+            writer
+                .append_event(event())
+                .map_err(|e| StoreError::Wal(e.to_string()))?;
+        }
+        Ok(())
     }
 
     /// The persistent cross-generation cache (observability: generation
@@ -183,6 +261,10 @@ impl LiveStore {
         hook: impl FnOnce(&AppliedDelta),
     ) -> Result<AppliedDelta, StoreError> {
         let mut store = self.store.write().map_err(|_| StoreError::Poisoned)?;
+        // write-ahead: the record lands in the log before the splice, so
+        // a crash between the two leaves a logged-but-unapplied batch —
+        // recovery replays it, and the log never misses a served state
+        self.log_event(|| WalEvent::Delta(delta.clone()))?;
         let applied = store.apply(delta);
         self.cache.invalidate(&applied);
         hook(&applied);
@@ -235,6 +317,7 @@ impl LiveStore {
         }
         let shards_before = store.shard_count();
         let trailing_before = store.trailing_shard_count();
+        self.log_event(|| WalEvent::Compact { target_shards })?;
         *store = store.compact(target_shards);
         self.cache.note_compaction();
         Ok(CompactionReceipt {
@@ -319,6 +402,7 @@ impl LiveStore {
                 // bounded stop-the-world rebuild instead of a livelock)
                 let shards_before = store.shard_count();
                 let trailing_before = store.trailing_shard_count();
+                self.log_event(|| WalEvent::Compact { target_shards })?;
                 *store = store.compact(target_shards);
                 self.cache.note_compaction();
                 return Ok(CompactionReceipt {
@@ -330,6 +414,7 @@ impl LiveStore {
                     attempts: attempts + 1,
                 });
             }
+            self.log_event(|| WalEvent::Compact { target_shards })?;
             *store = fresh;
             self.cache.note_compaction();
             return Ok(CompactionReceipt {

@@ -1,0 +1,221 @@
+//! Replication benchmark (`BENCH_9.json`).
+//!
+//! Drives a mixed insert/retract workload through a leader
+//! [`pivote_core::LiveStore`] recording every write in a durable delta
+//! log, with a follower [`pivote_core::ReplicaStore`] tailing the log on
+//! a background thread. Measures the two numbers that matter for a read
+//! replica:
+//!
+//! - **append → follower-visible lag**: per leader write, the time until
+//!   the follower has applied it (p50 / max, µs);
+//! - **recovery replay vs snapshot**: replaying the whole log from the
+//!   base snapshot, against saving + loading a binary snapshot of the
+//!   final graph — the durability trade the log buys.
+//!
+//! Every comparison is fingerprint-checked: the follower, the recovered
+//! store and the snapshot roundtrip must all land on the leader's exact
+//! state, so the bench doubles as an end-to-end replication probe.
+//!
+//! Output: `BENCH_9.json` (override with `BENCH9_OUT`; shrink with
+//! `PIVOTE_REPLICA_FILMS`).
+
+use pivote_core::{recover, LiveStore, ReplicaHandle, ReplicaStore};
+use pivote_kg::{
+    generate, split_growth, DatagenConfig, DeltaBatch, DeltaOp, KnowledgeGraph, ShardedGraph,
+};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn backend_fp(store: &LiveStore) -> u64 {
+    let reader = store.read();
+    reader.backend().fingerprint()
+}
+
+/// The retract mirror of an insert batch's first `fraction` triples —
+/// the same churn shape `exp_retract` sweeps.
+fn retract_batch(insert: &DeltaBatch, fraction: f64) -> DeltaBatch {
+    let triples: Vec<(&str, &str, &str)> = insert
+        .ops()
+        .iter()
+        .filter_map(|op| match op {
+            DeltaOp::Triple { s, p, o } => Some((s.as_str(), p.as_str(), o.as_str())),
+            _ => None,
+        })
+        .collect();
+    let keep = ((triples.len() as f64) * fraction).round() as usize;
+    let mut d = DeltaBatch::new();
+    for &(s, p, o) in triples.iter().take(keep) {
+        d.retract_triple(s, p, o);
+    }
+    d
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let films: usize = std::env::var("PIVOTE_REPLICA_FILMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let config = if films > 0 {
+        DatagenConfig {
+            films,
+            ..DatagenConfig::small()
+        }
+    } else {
+        DatagenConfig::small()
+    };
+    let kg = generate(&config);
+    let (base, batches) = split_growth(&kg, 0.5, 12);
+    let wal_path =
+        std::env::temp_dir().join(format!("pivote_exp_replica_{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal_path);
+    let snap_path =
+        std::env::temp_dir().join(format!("pivote_exp_replica_{}.snap", std::process::id()));
+    let _ = std::fs::remove_file(&snap_path);
+
+    // leader: 2-shard live store, every write logged
+    let leader = Arc::new(LiveStore::with_threads(
+        ShardedGraph::from_graph(&base, 2),
+        1,
+    ));
+    leader.log_to(&wal_path).expect("leader delta log opens");
+
+    // follower: single-layout base, tailed on a 1ms tick
+    let replica = ReplicaStore::open(base.clone(), 1, &wal_path).expect("follower opens");
+    let tailer = ReplicaHandle::spawn(replica, Duration::from_millis(1));
+
+    // the workload: every insert batch followed by a 20% retract mirror,
+    // each append timed to follower visibility
+    let mut lags_us: Vec<f64> = Vec::new();
+    let mut applied_batches = 0usize;
+    for batch in &batches {
+        for delta in [batch.clone(), retract_batch(batch, 0.2)] {
+            if delta.ops().is_empty() {
+                continue;
+            }
+            let t = Instant::now();
+            leader.append(&delta).expect("leader healthy");
+            let target = leader.wal_generation().expect("leader logs");
+            assert!(
+                tailer.wait_for_generation(target, Duration::from_secs(30)),
+                "follower never caught up: {:?}",
+                tailer.last_error()
+            );
+            lags_us.push(t.elapsed().as_secs_f64() * 1e6);
+            applied_batches += 1;
+        }
+    }
+    // close with a logged compaction, shipped like any other record
+    leader.compact_in_place(2).expect("leader compaction");
+    let final_generation = leader.wal_generation().expect("leader logs");
+    assert!(
+        tailer.wait_for_generation(final_generation, Duration::from_secs(30)),
+        "follower must apply the compaction"
+    );
+
+    let leader_fp = backend_fp(&leader);
+    assert_eq!(
+        backend_fp(tailer.store()),
+        leader_fp,
+        "follower must be fingerprint-equal to the leader"
+    );
+
+    lags_us.sort_by(|a, b| a.partial_cmp(b).expect("finite lags"));
+    let lag_p50 = percentile(&lags_us, 0.5);
+    let lag_p95 = percentile(&lags_us, 0.95);
+    let lag_max = lags_us.last().copied().unwrap_or(0.0);
+
+    // recovery: replay the whole log from the base snapshot…
+    let t = Instant::now();
+    let report = recover(base.clone(), 1, &wal_path).expect("recovery replays");
+    let replay_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.synced_generation, final_generation);
+    assert_eq!(
+        backend_fp(&report.store),
+        leader_fp,
+        "recovery must land on the leader's exact state"
+    );
+
+    // …against saving + loading a binary snapshot of the final graph
+    let final_graph: KnowledgeGraph = {
+        let reader = leader.read();
+        reader.backend().to_single()
+    };
+    let t = Instant::now();
+    pivote_kg::save_to_path(&final_graph, &snap_path).expect("snapshot saves");
+    let snapshot_save_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let reloaded = pivote_kg::load_from_path(&snap_path).expect("snapshot loads");
+    let snapshot_load_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(pivote_kg::fingerprint(&reloaded), leader_fp);
+
+    let log_bytes = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
+    let snap_bytes = std::fs::metadata(&snap_path).map(|m| m.len()).unwrap_or(0);
+
+    println!(
+        "{:>8} {:>9} {:>11} {:>11} {:>11} {:>10} {:>10} {:>9}",
+        "appends",
+        "records",
+        "lag_p50_us",
+        "lag_p95_us",
+        "lag_max_us",
+        "replay_ms",
+        "snap_ms",
+        "log_KiB"
+    );
+    println!(
+        "{:>8} {:>9} {:>11.1} {:>11.1} {:>11.1} {:>10.3} {:>10.3} {:>9}",
+        applied_batches,
+        report.records_applied,
+        lag_p50,
+        lag_p95,
+        lag_max,
+        replay_ms,
+        snapshot_save_ms + snapshot_load_ms,
+        log_bytes / 1024
+    );
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"pivote-replica/1\",");
+    let _ = writeln!(
+        out,
+        "  \"label\": \"read replica over the durable delta log: mixed insert/retract batches through a 2-shard logging leader, follower tailing on a 1ms tick; per-append follower-visible lag, then crash-recovery replay of the whole log vs a binary snapshot save+load — every state fingerprint-checked against the leader\","
+    );
+    let _ = writeln!(out, "  \"films\": {},", config.films);
+    let _ = writeln!(out, "  \"triples\": {},", kg.triple_count());
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p pivote-eval --bin exp_replica\","
+    );
+    let _ = writeln!(out, "  \"results\": {{");
+    let _ = writeln!(out, "    \"appends\": {applied_batches},");
+    let _ = writeln!(out, "    \"log_records\": {},", report.records_applied);
+    let _ = writeln!(out, "    \"final_generation\": {final_generation},");
+    let _ = writeln!(out, "    \"lag_us_p50\": {lag_p50:.1},");
+    let _ = writeln!(out, "    \"lag_us_p95\": {lag_p95:.1},");
+    let _ = writeln!(out, "    \"lag_us_max\": {lag_max:.1},");
+    let _ = writeln!(out, "    \"recovery_replay_ms\": {replay_ms:.3},");
+    let _ = writeln!(out, "    \"snapshot_save_ms\": {snapshot_save_ms:.3},");
+    let _ = writeln!(out, "    \"snapshot_load_ms\": {snapshot_load_ms:.3},");
+    let _ = writeln!(out, "    \"log_bytes\": {log_bytes},");
+    let _ = writeln!(out, "    \"snapshot_bytes\": {snap_bytes},");
+    let _ = writeln!(out, "    \"fingerprint_equal\": true");
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+
+    let out_path = std::env::var("BENCH9_OUT").unwrap_or_else(|_| "BENCH_9.json".to_owned());
+    match std::fs::write(&out_path, &out) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("warning: could not write {out_path}: {e}"),
+    }
+    let _ = std::fs::remove_file(&wal_path);
+    let _ = std::fs::remove_file(&snap_path);
+}

@@ -50,9 +50,66 @@ use std::collections::HashSet;
 /// zero tombstones. Retraction is exact (`tests/retraction_equivalence.rs`),
 /// so the surviving graph — and therefore every metric and golden
 /// ranking — must come out unchanged.
+///
+/// Under `PIVOTE_REPLICA=1` (highest precedence) the graph is the one a
+/// **read replica** serves: the growth batches are applied through a
+/// 2-shard leader [`pivote_core::LiveStore`] that records every write
+/// (and the closing compaction) in a durable delta log
+/// ([`pivote_kg::wal`]), a follower [`pivote_core::ReplicaStore`] tails
+/// the log from the single-layout base, and the follower's graph — which
+/// must be fingerprint-equal to the leader's — is what every experiment
+/// then runs on. Replication is exact (`tests/replica_equivalence.rs`),
+/// so this leg too must reproduce every metric and golden ranking
+/// unchanged.
 pub fn eval_graph(cfg: &pivote_kg::DatagenConfig) -> KnowledgeGraph {
     let kg = pivote_kg::generate(cfg);
-    if pivote_kg::retract_from_env() {
+    if pivote_kg::replica_from_env() {
+        let (base, batches) = pivote_kg::split_growth(&kg, 0.6, 3);
+        let wal_path = std::env::temp_dir().join(format!(
+            "pivote_eval_replica_{}_{:?}.wal",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&wal_path);
+        let leader =
+            pivote_core::LiveStore::with_threads(pivote_kg::ShardedGraph::from_graph(&base, 2), 1);
+        leader.log_to(&wal_path).expect("leader delta log opens");
+        let mut follower =
+            pivote_core::ReplicaStore::open(base, 1, &wal_path).expect("follower opens the log");
+        for batch in &batches {
+            leader.append(batch).expect("leader healthy");
+        }
+        leader
+            .compact_in_place(2)
+            .expect("leader compaction succeeds");
+        let applied = follower.sync().expect("follower replays the log");
+        assert_eq!(
+            applied,
+            batches.len() + 1,
+            "every growth batch plus the compaction must ship"
+        );
+        let (leader_fp, follower_fp) = {
+            let lr = leader.read();
+            let fr = follower.store().read();
+            (lr.backend().fingerprint(), fr.backend().fingerprint())
+        };
+        assert_eq!(
+            follower_fp, leader_fp,
+            "the follower must be fingerprint-equal to the leader"
+        );
+        let out = {
+            let reader = follower.store().read();
+            reader.backend().to_single()
+        };
+        let _ = std::fs::remove_file(&wal_path);
+        assert_eq!(
+            out.triple_count(),
+            kg.triple_count(),
+            "replica eval graph must reconstruct the generated graph"
+        );
+        assert_eq!(out.entity_count(), kg.entity_count());
+        out
+    } else if pivote_kg::retract_from_env() {
         let (base, batches) = pivote_kg::split_growth(&kg, 0.6, 3);
         let mut out = base;
         let churn_targets = out.entity_count().min(32);

@@ -160,6 +160,20 @@ impl GraphBackend {
         }
     }
 
+    /// [`snapshot::fingerprint`] of the *logical* graph behind this
+    /// store: the restart-stable hash of its exact snapshot bytes,
+    /// independent of layout, partitioning and mutation generation. Two
+    /// backends with equal fingerprints serve bit-identical answers —
+    /// the equality the delta-log replication contract is stated in.
+    /// Linear in graph size (the sharded layout union-rebuilds first);
+    /// call at durability points, not per query.
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            GraphBackend::Single(kg) => snapshot::fingerprint(kg),
+            GraphBackend::Sharded(sg) => snapshot::fingerprint(&sg.to_graph()),
+        }
+    }
+
     /// Total number of entities.
     pub fn entity_count(&self) -> usize {
         match self {

@@ -601,6 +601,15 @@ pub fn retract_from_env() -> bool {
     env_flag("PIVOTE_RETRACT")
 }
 
+/// Whether the `PIVOTE_REPLICA=1` environment leg is active — the CI
+/// hook that routes graph construction through a leader `LiveStore`
+/// writing a durable delta log and a follower that tails it, asserting
+/// the follower fingerprint-equal to the leader before handing the
+/// replicated graph to the experiments.
+pub fn replica_from_env() -> bool {
+    env_flag("PIVOTE_REPLICA")
+}
+
 /// Replicate `kg`'s predicate/type/category dictionaries into `b` in
 /// global id order, so the builder's dense dictionary ids equal the
 /// source graph's — the first half of every id-preserving rebuild

@@ -46,12 +46,13 @@ pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod triple;
+pub mod wal;
 
 pub use backend::GraphBackend;
 pub use datagen::{generate, DatagenConfig, Zipf};
 pub use delta::{
-    incremental_from_env, retract_from_env, scale_from_env, split_growth, split_incremental,
-    AppliedDelta, CompactionReceipt, DeltaBatch, DeltaOp,
+    incremental_from_env, replica_from_env, retract_from_env, scale_from_env, split_growth,
+    split_incremental, AppliedDelta, CompactionReceipt, DeltaBatch, DeltaOp,
 };
 pub use id::{CategoryId, EntityId, LiteralId, PredicateId, TypeId};
 pub use interner::Interner;
@@ -68,3 +69,4 @@ pub use snapshot::{fingerprint, load_from_path, save_to_path, SnapshotError};
 pub use stats::{Coupling, TypeCouplingStats};
 pub use store::{GraphSummary, KgBuilder, KnowledgeGraph};
 pub use triple::{Literal, LiteralKind, Object, Triple};
+pub use wal::{read_records, WalError, WalEvent, WalHeader, WalReader, WalRecord, WalWriter};

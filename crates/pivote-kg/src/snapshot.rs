@@ -35,6 +35,16 @@ pub enum SnapshotError {
     Io(io::Error),
     /// Not a snapshot file, or an unsupported version.
     Format(String),
+    /// A section holds more items (or a string more bytes) than the
+    /// format's 32-bit counters can record. Refusing to save beats
+    /// silently truncating the count and producing a snapshot that
+    /// loads wrong.
+    TooLarge {
+        /// Which section overflowed.
+        what: &'static str,
+        /// The length that did not fit.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -42,6 +52,10 @@ impl std::fmt::Display for SnapshotError {
         match self {
             SnapshotError::Io(e) => write!(f, "snapshot IO error: {e}"),
             SnapshotError::Format(m) => write!(f, "snapshot format error: {m}"),
+            SnapshotError::TooLarge { what, len } => write!(
+                f,
+                "snapshot section `{what}` has {len} items — past the format's u32 counter"
+            ),
         }
     }
 }
@@ -58,9 +72,19 @@ fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
-    write_u32(w, s.len() as u32)?;
-    w.write_all(s.as_bytes())
+/// Write a section length as the format's u32 counter, refusing lengths
+/// it cannot represent — the one place every count in [`save`] funnels
+/// through, so no `as u32` truncation survives anywhere in the writer.
+fn write_count(w: &mut impl Write, n: usize, what: &'static str) -> Result<(), SnapshotError> {
+    let v = u32::try_from(n).map_err(|_| SnapshotError::TooLarge { what, len: n })?;
+    write_u32(w, v)?;
+    Ok(())
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> Result<(), SnapshotError> {
+    write_count(w, s.len(), "string bytes")?;
+    w.write_all(s.as_bytes())?;
+    Ok(())
 }
 
 fn read_u32(r: &mut impl Read) -> Result<u32, SnapshotError> {
@@ -103,7 +127,7 @@ pub fn save(kg: &KnowledgeGraph, w: &mut impl Write) -> Result<(), SnapshotError
     w.write_all(MAGIC)?;
     write_u32(w, VERSION)?;
 
-    write_u32(w, kg.entity_count() as u32)?;
+    write_count(w, kg.entity_count(), "entities")?;
     for e in kg.entity_ids() {
         write_str(w, kg.entity_name(e))?;
     }
@@ -116,15 +140,15 @@ pub fn save(kg: &KnowledgeGraph, w: &mut impl Write) -> Result<(), SnapshotError
             None => w.write_all(&[0])?,
         }
     }
-    write_u32(w, kg.predicate_count() as u32)?;
+    write_count(w, kg.predicate_count(), "predicates")?;
     for p in kg.predicate_ids() {
         write_str(w, kg.predicate_name(p))?;
     }
-    write_u32(w, kg.type_count() as u32)?;
+    write_count(w, kg.type_count(), "types")?;
     for t in kg.type_ids() {
         write_str(w, kg.type_name(t))?;
     }
-    write_u32(w, kg.category_count() as u32)?;
+    write_count(w, kg.category_count(), "categories")?;
     for c in kg.category_ids() {
         write_str(w, kg.category_name(c))?;
     }
@@ -133,7 +157,7 @@ pub fn save(kg: &KnowledgeGraph, w: &mut impl Write) -> Result<(), SnapshotError
     let literal_edges: Vec<(EntityId, PredicateId, &Literal)> = kg.literal_triples().collect();
     let entity_edges: Vec<_> = kg.entity_triples().collect();
 
-    write_u32(w, entity_edges.len() as u32)?;
+    write_count(w, entity_edges.len(), "entity edges")?;
     for t in &entity_edges {
         write_u32(w, t.subject.raw())?;
         write_u32(w, t.predicate.raw())?;
@@ -142,7 +166,7 @@ pub fn save(kg: &KnowledgeGraph, w: &mut impl Write) -> Result<(), SnapshotError
             crate::triple::Object::Literal(_) => unreachable!("entity_triples yields entities"),
         }
     }
-    write_u32(w, literal_edges.len() as u32)?;
+    write_count(w, literal_edges.len(), "literal edges")?;
     for (s, p, lit) in &literal_edges {
         write_u32(w, s.raw())?;
         write_u32(w, p.raw())?;
@@ -154,7 +178,7 @@ pub fn save(kg: &KnowledgeGraph, w: &mut impl Write) -> Result<(), SnapshotError
         .entity_ids()
         .flat_map(|e| kg.types_of(e).map(move |t| (e.raw(), t.raw())))
         .collect();
-    write_u32(w, type_assertions.len() as u32)?;
+    write_count(w, type_assertions.len(), "type assertions")?;
     for (e, t) in type_assertions {
         write_u32(w, e)?;
         write_u32(w, t)?;
@@ -163,7 +187,7 @@ pub fn save(kg: &KnowledgeGraph, w: &mut impl Write) -> Result<(), SnapshotError
         .entity_ids()
         .flat_map(|e| kg.categories_of(e).map(move |c| (e.raw(), c.raw())))
         .collect();
-    write_u32(w, cat_assertions.len() as u32)?;
+    write_count(w, cat_assertions.len(), "category assertions")?;
     for (e, c) in cat_assertions {
         write_u32(w, e)?;
         write_u32(w, c)?;
@@ -173,7 +197,7 @@ pub fn save(kg: &KnowledgeGraph, w: &mut impl Write) -> Result<(), SnapshotError
         .entity_ids()
         .flat_map(|e| kg.aliases(e).iter().map(move |a| (e.raw(), a)))
         .collect();
-    write_u32(w, aliases.len() as u32)?;
+    write_count(w, aliases.len(), "aliases")?;
     for (e, alias) in aliases {
         write_u32(w, e)?;
         write_str(w, alias)?;
@@ -322,6 +346,8 @@ pub fn fingerprint(kg: &KnowledgeGraph) -> u64 {
         }
     }
     let mut w = FnvWriter(0xcbf2_9ce4_8422_2325);
+    // the sink cannot fail, and a graph held in memory is orders of
+    // magnitude below the format's u32 section counters
     save(kg, &mut w).expect("in-memory fingerprint write cannot fail");
     w.0
 }
@@ -437,6 +463,30 @@ mod tests {
         buf.extend_from_slice(&(u32::MAX).to_le_bytes()); // absurd name length
         let err = load(&mut buf.as_slice()).unwrap_err();
         assert!(matches!(err, SnapshotError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn counts_past_u32_are_refused_not_truncated() {
+        // the writer path with a mocked length: every section counter
+        // funnels through write_count, so driving it past u32::MAX must
+        // surface TooLarge — previously `len() as u32` wrapped silently
+        // and produced a snapshot that loads wrong
+        let mut sink = Vec::new();
+        write_count(&mut sink, u32::MAX as usize, "entities").unwrap();
+        assert_eq!(sink, (u32::MAX).to_le_bytes());
+        let err = write_count(&mut sink, u32::MAX as usize + 1, "entities").unwrap_err();
+        match err {
+            SnapshotError::TooLarge { what, len } => {
+                assert_eq!(what, "entities");
+                assert_eq!(len, u32::MAX as usize + 1);
+            }
+            other => panic!("expected TooLarge, got {other}"),
+        }
+        let err = write_count(&mut sink, usize::MAX, "aliases").unwrap_err();
+        assert!(err.to_string().contains("aliases"), "{err}");
+        // nothing is written on refusal — the snapshot stays a prefix of
+        // valid sections, never a frame with a wrapped counter
+        assert_eq!(sink.len(), 4);
     }
 
     #[test]

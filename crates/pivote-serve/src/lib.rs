@@ -35,7 +35,7 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{num_field, response_ok, scored_list, Client};
-pub use protocol::{Reply, Request};
+pub use protocol::{Reply, Request, MAX_REQUEST_COUNT};
 pub use server::{
     backend_fingerprint, store_with_warm_state, MaintenanceConfig, ServeConfig, Server,
     ShutdownReport,

@@ -106,10 +106,26 @@ fn opt_str_field(v: &Value, name: &str) -> Result<Option<String>, String> {
     }
 }
 
+/// The largest count any request may ask for. A `k` above this is a
+/// client error, not a bigger allocation: counts arrive as JSON doubles,
+/// so without a ceiling `{"k":1e18}` is a perfectly integral number that
+/// `as usize` happily saturates into a near-`usize::MAX` top-k budget.
+pub const MAX_REQUEST_COUNT: usize = 10_000;
+
 fn usize_field_or(v: &Value, name: &str, default: usize) -> Result<usize, String> {
     match v.field_opt(name) {
         Value::Null => Ok(default),
-        Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 => Ok(*n as usize),
+        Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 => {
+            // compare in f64: MAX_REQUEST_COUNT is exactly representable,
+            // and `*n as usize` on a huge double would saturate first
+            if *n > MAX_REQUEST_COUNT as f64 {
+                Err(format!(
+                    "field `{name}` must be at most {MAX_REQUEST_COUNT}, got {n}"
+                ))
+            } else {
+                Ok(*n as usize)
+            }
+        }
         other => Err(format!(
             "field `{name}` must be a non-negative integer, got {}",
             other.kind()
@@ -277,6 +293,12 @@ mod tests {
             r#"{"op":"rank","seeds":[1]}"#,
             r#"{"op":"search","query":"x","k":-1}"#,
             r#"{"op":"search","query":"x","k":1.5}"#,
+            r#"{"op":"search","query":"x","k":10001}"#,
+            r#"{"op":"search","query":"x","k":1e18}"#,
+            r#"{"op":"rank","seeds":["A"],"k_entities":100000000000000000}"#,
+            r#"{"op":"rank","seeds":["A"],"k_features":1e300}"#,
+            r#"{"op":"expand","seeds":["A"],"k":1e18}"#,
+            r#"{"op":"heatmap","seeds":["A"],"k_entities":99999999999}"#,
             r#"{"op":"append"}"#,
             r#"{"op":"retract"}"#,
             r#"{"op":"retract","ntriples":7}"#,
@@ -284,6 +306,27 @@ mod tests {
             let err = Request::parse(bad).expect_err(bad);
             assert!(!err.is_empty());
         }
+    }
+
+    #[test]
+    fn count_ceiling_is_inclusive() {
+        let r = Request::parse(&format!(
+            r#"{{"op":"search","query":"x","k":{MAX_REQUEST_COUNT}}}"#
+        ))
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Search {
+                query: "x".into(),
+                k: MAX_REQUEST_COUNT
+            }
+        );
+        let err = Request::parse(&format!(
+            r#"{{"op":"search","query":"x","k":{}}}"#,
+            MAX_REQUEST_COUNT + 1
+        ))
+        .unwrap_err();
+        assert!(err.contains("at most"), "{err}");
     }
 
     #[test]

@@ -38,9 +38,7 @@ use pivote_core::{
     RankingConfig, SfQuery, WarmStateError,
 };
 use pivote_explore::LiveSearchCache;
-use pivote_kg::{
-    fingerprint, parse_into_delta, parse_removed_into_delta, CompactionPolicy, GraphBackend,
-};
+use pivote_kg::{parse_into_delta, parse_removed_into_delta, CompactionPolicy, GraphBackend};
 use pivote_search::SearchConfig;
 use serde::Value;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -78,6 +76,17 @@ pub struct ServeConfig {
     pub warm_path: Option<PathBuf>,
     /// Background compaction; `None` leaves the partition to grow.
     pub maintenance: Option<MaintenanceConfig>,
+    /// Serve reads only: `append`/`retract` are answered with a
+    /// per-request error instead of mutating the store. The replica
+    /// server mode — a follower's store is written exclusively by the
+    /// delta-log tailer, never by clients.
+    pub read_only: bool,
+    /// How long a connection may sit without delivering a complete
+    /// request line before the worker closes it and serves someone
+    /// else. Bounds the damage of idle (and slow-loris) clients: with
+    /// `workers` connections each pinned by a silent peer, the pool
+    /// would otherwise starve forever.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +97,8 @@ impl Default for ServeConfig {
             search: SearchConfig::default(),
             warm_path: None,
             maintenance: None,
+            read_only: false,
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -109,10 +120,7 @@ pub struct ShutdownReport {
 /// layout fingerprints its union rebuild, which by the append==rebuild
 /// guarantee equals the single graph over the same logical content.
 pub fn backend_fingerprint(backend: &GraphBackend) -> u64 {
-    match backend {
-        GraphBackend::Single(kg) => fingerprint(kg),
-        GraphBackend::Sharded(sg) => fingerprint(&sg.to_graph()),
-    }
+    backend.fingerprint()
 }
 
 /// Open a [`LiveStore`] over `backend`, resuming the density cache from
@@ -141,6 +149,8 @@ struct Shared {
     search: LiveSearchCache,
     ranking: RankingConfig,
     shutdown: AtomicBool,
+    read_only: bool,
+    idle_timeout: Duration,
 }
 
 /// A running server. Keep it alive for as long as you serve; consume it
@@ -166,6 +176,8 @@ impl Server {
             search: LiveSearchCache::new(config.search),
             ranking: config.ranking,
             shutdown: AtomicBool::new(false),
+            read_only: config.read_only,
+            idle_timeout: config.idle_timeout,
         });
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
@@ -272,17 +284,59 @@ fn worker_loop(listener: &TcpListener, shared: &Shared) {
     }
 }
 
+/// How often a blocked read wakes to check for shutdown and count idle
+/// time. The socket read timeout — NOT the idle budget (that is
+/// [`ServeConfig::idle_timeout`]).
+const READ_TICK: Duration = Duration::from_millis(25);
+
 fn handle_conn(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     stream.set_nodelay(true).ok();
+    // without a read timeout, a client that connects and sends nothing
+    // pins this worker in read_line forever — `workers` such clients
+    // starve the whole pool and shutdown never reaches the thread
+    stream.set_read_timeout(Some(READ_TICK))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
+    // raw bytes, not a String: read_until keeps everything read so far
+    // in the buffer across timeout retries, where read_line would drop
+    // a partial read that happens to end mid-UTF-8-character
+    let mut line = Vec::new();
     loop {
         line.clear();
-        if reader.read_line(&mut line)? == 0 {
+        let mut idle = Duration::ZERO;
+        // idle-retry loop: each timeout tick keeps the connection alive
+        // (bytes already read stay accumulated in `line`), frees the
+        // worker to notice shutdown, and charges the tick against the
+        // idle budget. A connection must deliver a complete request line
+        // within `idle_timeout`, which also caps a slow-loris trickling
+        // bytes below line speed.
+        let n = loop {
+            match reader.read_until(b'\n', &mut line) {
+                Ok(n) => break n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    idle += READ_TICK;
+                    if idle >= shared.idle_timeout {
+                        return Ok(()); // idle client: free the worker
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        };
+        if n == 0 && line.is_empty() {
             return Ok(()); // client hung up
         }
-        let trimmed = line.trim();
+        let text = std::str::from_utf8(&line)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "request is not UTF-8"))?;
+        let trimmed = text.trim();
         if trimmed.is_empty() {
             continue;
         }
@@ -328,8 +382,20 @@ fn dispatch(shared: &Shared, line: &str) -> String {
             k_entities,
         } => op_heatmap(shared, &seeds, k_features, k_entities),
         Request::Search { query, k } => op_search(shared, &query, k),
-        Request::Append { ntriples } => op_append(shared, &ntriples),
-        Request::Retract { ntriples } => op_retract(shared, &ntriples),
+        Request::Append { ntriples } => {
+            if shared.read_only {
+                Reply::error("read-only replica: writes go to the leader").render()
+            } else {
+                op_append(shared, &ntriples)
+            }
+        }
+        Request::Retract { ntriples } => {
+            if shared.read_only {
+                Reply::error("read-only replica: writes go to the leader").render()
+            } else {
+                op_retract(shared, &ntriples)
+            }
+        }
         Request::Stats => op_stats(shared),
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
@@ -568,5 +634,6 @@ fn op_stats(shared: &Shared) -> String {
         )
         .num("cache_generation", store.cache().generation())
         .with("poisoned", Value::Bool(store.is_poisoned()))
+        .with("read_only", Value::Bool(shared.read_only))
         .render()
 }

@@ -12,13 +12,16 @@
 //!   the warm sidecar answers repeat queries with **zero** `p(π|c)`
 //!   recomputes (pinned through the stats probe).
 
-use pivote_core::{Expander, GraphHandle, HeatMap, LiveStore, RankingConfig, SfQuery};
+use pivote_core::{
+    Expander, GraphHandle, HeatMap, LiveStore, RankingConfig, ReplicaHandle, ReplicaStore, SfQuery,
+};
 use pivote_explore::{Session, SessionConfig};
 use pivote_kg::KnowledgeGraph;
 use pivote_serve::{
     num_field, response_ok, scored_list, store_with_warm_state, Client, ServeConfig, Server,
 };
 use std::sync::Arc;
+use std::time::Duration;
 
 fn sample() -> KnowledgeGraph {
     let nt = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/data/sample.nt"))
@@ -158,11 +161,27 @@ fn malformed_requests_answer_errors_and_keep_the_connection() {
     assert!(!response_ok(&v));
     assert_eq!(num_field(&v, "line"), Some(2), "{v:?}");
 
-    // absurd k values are clamped by the engine's bounded selection,
-    // answered, and never cost the worker thread
+    // absurd k values are refused at the protocol edge: counts arrive
+    // as JSON doubles, and without the ceiling `1e18` saturates `as
+    // usize` into a near-usize::MAX top-k budget
+    for huge in [
+        r#"{"op":"rank","seeds":["Forrest_Gump"],"k_entities":100000000000000000}"#,
+        r#"{"op":"rank","seeds":["Forrest_Gump"],"k_features":1e18}"#,
+        r#"{"op":"search","query":"film","k":10001}"#,
+        r#"{"op":"expand","seeds":["Forrest_Gump"],"k":1e300}"#,
+        r#"{"op":"heatmap","seeds":["Forrest_Gump"],"k_entities":99999999999}"#,
+    ] {
+        let v = client.request(huge).expect(huge);
+        assert!(!response_ok(&v), "{huge} must be refused: {v:?}");
+        assert!(matches!(v.field_opt("error"), serde::Value::Str(_)));
+    }
+    // the largest permitted k still answers
     let v = client
-        .request(r#"{"op":"rank","seeds":["Forrest_Gump"],"k_entities":100000000000000000}"#)
-        .expect("huge k");
+        .request(&format!(
+            r#"{{"op":"search","query":"film","k":{}}}"#,
+            pivote_serve::MAX_REQUEST_COUNT
+        ))
+        .expect("max k");
     assert!(response_ok(&v), "{v:?}");
 
     // the same connection still serves after every refusal
@@ -239,6 +258,116 @@ fn clients_hanging_up_mid_exchange_leave_the_server_serving() {
     let mut client = Client::connect(server.local_addr()).expect("connect after chaos");
     let stats = client.stats().expect("stats");
     assert!(response_ok(&stats));
+}
+
+#[test]
+fn slow_loris_clients_cannot_pin_the_worker_pool() {
+    // ONE worker, a short idle budget: any connection that fails to
+    // deliver a complete request line within the budget is dropped,
+    // freeing the worker for clients that actually speak
+    let store = Arc::new(LiveStore::with_threads(sample(), 1));
+    let config = ServeConfig {
+        workers: 1,
+        idle_timeout: Duration::from_millis(500),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", store, config).expect("bind");
+    let addr = server.local_addr();
+
+    // attacker 1: connects and never sends a byte
+    let silent = std::net::TcpStream::connect(addr).expect("silent connect");
+    // attacker 2: trickles a partial request and never the newline —
+    // partial progress must NOT reset the idle budget
+    let mut trickle = std::net::TcpStream::connect(addr).expect("trickle connect");
+    use std::io::Write as _;
+    trickle.write_all(b"{\"op\":\"sta").expect("partial bytes");
+
+    // before the fix the single worker blocked forever in read_line on
+    // the silent connection and this client would never be answered
+    let mut client = Client::connect(addr).expect("connect behind the loris");
+    let stats = client.stats().expect("stats despite the loris");
+    assert!(response_ok(&stats));
+    drop(silent);
+    drop(trickle);
+
+    // pauses shorter than the budget never kill a well-behaved client:
+    // the budget restarts with every complete request line
+    std::thread::sleep(Duration::from_millis(120));
+    let stats = client.stats().expect("stats after a pause");
+    assert!(response_ok(&stats));
+}
+
+#[test]
+fn a_read_only_replica_server_tails_the_leader_over_tcp() {
+    let wal_path = std::env::temp_dir().join(format!(
+        "pivote_serve_replica_{}_{:?}.wal",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&wal_path);
+
+    // leader: a store recording every write in the delta log (the
+    // serving layer rides the exact same write path)
+    let leader = Arc::new(LiveStore::with_threads(sample(), 1));
+    leader.log_to(&wal_path).expect("leader logs");
+
+    // follower: a read-only server over a ReplicaStore tailing the log
+    let replica = ReplicaStore::open(sample(), 1, &wal_path).expect("replica opens");
+    let tailer = ReplicaHandle::spawn(replica, Duration::from_millis(5));
+    let config = ServeConfig {
+        read_only: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(tailer.store()), config).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // writes are refused over the wire with a per-request error…
+    let nt = "<http://dbpedia.org/resource/Replica_Visible> \
+              <http://dbpedia.org/ontology/servedBy> \
+              <http://dbpedia.org/resource/Forrest_Gump> .\n";
+    for refused in [client.append(nt).expect("append answered"), {
+        client.retract(nt).expect("retract answered")
+    }] {
+        assert!(!response_ok(&refused), "{refused:?}");
+        let serde::Value::Str(message) = refused.field_opt("error") else {
+            panic!("refusal must carry an error message: {refused:?}");
+        };
+        assert!(message.contains("read-only"), "{message}");
+    }
+    // …and stats advertises the mode
+    let stats = client.stats().expect("stats");
+    assert!(
+        matches!(stats.field_opt("read_only"), serde::Value::Bool(true)),
+        "{stats:?}"
+    );
+
+    // a leader write ships through the log and becomes a served read
+    let delta = pivote_kg::parse_into_delta(nt).expect("parses");
+    leader.append(&delta).expect("leader append");
+    let target = leader.wal_generation().expect("leader logs generations");
+    assert!(
+        tailer.wait_for_generation(target, Duration::from_secs(10)),
+        "follower never caught up: {:?}",
+        tailer.last_error()
+    );
+    let stats = client.stats().expect("stats after sync");
+    assert_eq!(
+        num_field(&stats, "entities"),
+        Some(sample().entity_count() as u64 + 1),
+        "the shipped entity must be visible over TCP"
+    );
+
+    // served follower state is fingerprint-equal to the leader
+    let leader_fp = {
+        let reader = leader.read();
+        reader.backend().fingerprint()
+    };
+    let follower_fp = {
+        let reader = tailer.store().read();
+        reader.backend().fingerprint()
+    };
+    assert_eq!(follower_fp, leader_fp, "replica drifted from the leader");
+    let _ = std::fs::remove_file(&wal_path);
 }
 
 #[test]
