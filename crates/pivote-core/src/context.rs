@@ -110,6 +110,10 @@ impl Hasher for DenseKeyHasher {
 
 pub(crate) type DenseMap = HashMap<u64, f64, BuildHasherDefault<DenseKeyHasher>>;
 
+/// Shared global-extent registry map: dense feature id → owned, sorted
+/// global extent.
+pub(crate) type ExtentMap = HashMap<u64, Arc<[EntityId]>, BuildHasherDefault<DenseKeyHasher>>;
+
 /// The bijective feature registry inside a [`SharedCache`].
 struct FeatureRegistry {
     ids: HashMap<SemanticFeature, u32>,
@@ -133,6 +137,14 @@ pub struct SharedCache {
     registry: RwLock<FeatureRegistry>,
     /// `p(π|c)` cache, sharded by key hash.
     prob_shards: Vec<RwLock<DenseMap>>,
+    /// Resolved **global** extents (owned, in global-id order), sharded
+    /// by feature id — the promotion of what used to be per-context
+    /// memos: one context resolves a feature's materialized extent, every
+    /// sibling context (and every prepared snapshot) over the same
+    /// logical graph reuses it. Invalidated receipt-exactly like the
+    /// densities; a compaction keeps it (global ids are partition-
+    /// independent, and the compacted resolution is value-equal).
+    extent_shards: Vec<RwLock<ExtentMap>>,
     /// Bumped by every [`SharedCache::invalidate`] call.
     generation: AtomicU64,
 }
@@ -150,6 +162,7 @@ impl std::fmt::Debug for SharedCache {
             .field("generation", &self.generation())
             .field("features", &self.feature_count())
             .field("cached_probabilities", &self.cached_probability_count())
+            .field("cached_extents", &self.cached_extent_count())
             .finish()
     }
 }
@@ -164,6 +177,9 @@ impl SharedCache {
             }),
             prob_shards: (0..SHARDS)
                 .map(|_| RwLock::new(DenseMap::default()))
+                .collect(),
+            extent_shards: (0..SHARDS)
+                .map(|_| RwLock::new(ExtentMap::default()))
                 .collect(),
             generation: AtomicU64::new(0),
         }
@@ -189,6 +205,14 @@ impl SharedCache {
         self.prob_shards
             .iter()
             .map(|s| s.read().expect("prob shard poisoned").len())
+            .sum()
+    }
+
+    /// Number of cached global extent resolutions.
+    pub fn cached_extent_count(&self) -> usize {
+        self.extent_shards
+            .iter()
+            .map(|s| s.read().expect("extent shard poisoned").len())
             .sum()
     }
 
@@ -248,6 +272,61 @@ impl SharedCache {
             .insert(key, p);
     }
 
+    /// [`SharedCache::prob_insert`] gated on the cache still being at
+    /// `born_gen` — the insert path for contexts that run **off** the
+    /// store's write-lock exclusion (prepared snapshots). Checked under
+    /// the shard write lock: [`SharedCache::invalidate`] bumps the
+    /// generation *before* its retain sweep (which takes the same shard
+    /// locks), so either this insert lands before the sweep and is
+    /// swept if touched, or the generation already moved and the stale
+    /// value is refused. Lock-scoped contexts pass trivially (the write
+    /// lock excludes invalidation for their whole lifetime).
+    #[inline]
+    pub(crate) fn prob_insert_if_current(&self, key: u64, p: f64, born_gen: u64) {
+        let mut map = self.shard_for(key).write().expect("prob shard poisoned");
+        if self.generation.load(Ordering::SeqCst) == born_gen {
+            map.insert(key, p);
+        }
+    }
+
+    /// The extent-registry shard holding `fid` (same middle-bit pick as
+    /// [`SharedCache::shard_for`]).
+    #[inline]
+    fn extent_shard_for(&self, fid: u32) -> &RwLock<ExtentMap> {
+        let mut h = DenseKeyHasher::default();
+        h.write_u64(fid as u64);
+        &self.extent_shards[(h.finish() >> 32) as usize & (SHARDS - 1)]
+    }
+
+    /// Cached global extent resolution for a feature, if present.
+    #[inline]
+    pub(crate) fn extent_get(&self, fid: u32) -> Option<Arc<[EntityId]>> {
+        self.extent_shard_for(fid)
+            .read()
+            .expect("extent shard poisoned")
+            .get(&(fid as u64))
+            .cloned()
+    }
+
+    /// Insert a resolved global extent, gated on the cache still being
+    /// at `born_gen` (same protocol as
+    /// [`SharedCache::prob_insert_if_current`]).
+    #[inline]
+    pub(crate) fn extent_insert_if_current(
+        &self,
+        fid: u32,
+        extent: Arc<[EntityId]>,
+        born_gen: u64,
+    ) {
+        let mut map = self
+            .extent_shard_for(fid)
+            .write()
+            .expect("extent shard poisoned");
+        if self.generation.load(Ordering::SeqCst) == born_gen {
+            map.insert(fid as u64, extent);
+        }
+    }
+
     /// Probe the cache for `p(π|c)` of a category context **without**
     /// computing or interning anything — the observability hook the
     /// invalidation tests use.
@@ -266,9 +345,10 @@ impl SharedCache {
         self.prob_get(prob_key(fid, Ctx::Type(t)))
     }
 
-    /// Drop exactly the cached densities an append touched — entries
-    /// whose feature extent (`touched_out`/`touched_in`) or context
-    /// extent (`touched_types`/`touched_categories`) changed — bump the
+    /// Drop exactly the cached densities **and global extent
+    /// resolutions** an append touched — entries whose feature extent
+    /// (`touched_out`/`touched_in`) or context extent
+    /// (`touched_types`/`touched_categories`) changed — bump the
     /// generation, and return how many entries were dropped. Everything
     /// else survives.
     pub fn invalidate(&self, delta: &AppliedDelta) -> usize {
@@ -298,6 +378,14 @@ impl SharedCache {
                     .map(|t| (1u64 << 32) | t.raw() as u64),
             )
             .collect();
+        // bump FIRST: contexts pinned to an older generation (prepared
+        // snapshots running off the store lock) gate their cache reads
+        // and inserts on `generation() == born generation`, so bumping
+        // before the retains closes both race windows — a stale context
+        // can neither insert a pre-delta value after the retain swept,
+        // nor observe a post-delta value as if it were its own
+        // generation's (see `prob_insert_if_current`).
+        self.generation.fetch_add(1, Ordering::SeqCst);
         let mut dropped = 0usize;
         if !touched_fids.is_empty() || !touched_ctxs.is_empty() {
             for shard in &self.prob_shards {
@@ -310,7 +398,17 @@ impl SharedCache {
                 dropped += before - map.len();
             }
         }
-        self.generation.fetch_add(1, Ordering::SeqCst);
+        if !touched_fids.is_empty() {
+            // the extent registry is keyed by bare feature id: only a
+            // changed *feature* extent stales a resolution (context
+            // extents never enter it)
+            for shard in &self.extent_shards {
+                let mut map = shard.write().expect("extent shard poisoned");
+                let before = map.len();
+                map.retain(|&key, _| !touched_fids.contains(&key));
+                dropped += before - map.len();
+            }
+        }
         dropped
     }
 
@@ -321,10 +419,15 @@ impl SharedCache {
     /// global quantity (integer intersection sums over the whole
     /// partition, identical to the single-graph value bit for bit) and
     /// every feature id is partition-independent, so re-sharding the
-    /// same logical graph invalidates neither. The only state a
-    /// compaction obsoletes is each context's *shard-local* resolved
-    /// extents — and those are per-context, scoped to a read guard that
-    /// cannot outlive the swap.
+    /// same logical graph invalidates neither. The **global extent
+    /// registry survives too**: a registered resolution lists global
+    /// entity ids in global order, and compaction changes no global id
+    /// and drops no live row (retracted rows were already spliced out of
+    /// the extents at retract time — compaction only reclaims their
+    /// memory), so the re-resolved value is equal element for element. The
+    /// only state a compaction obsoletes is each context's *shard-local*
+    /// resolved extents — and those are per-context, scoped to a read
+    /// guard that cannot outlive the swap.
     pub fn note_compaction(&self) -> u64 {
         self.generation.fetch_add(1, Ordering::SeqCst) + 1
     }
@@ -386,6 +489,13 @@ pub struct QueryContext<'kg> {
     threads: usize,
     /// Shared (possibly cross-context, append-surviving) memoized state.
     cache: Arc<SharedCache>,
+    /// Cache generation at construction. While the cache is still at
+    /// this generation its entries are exact for this context's graph
+    /// snapshot; once it moves (an append invalidated behind our back —
+    /// only possible for contexts running off the store lock) this
+    /// context computes locally and neither trusts nor writes the
+    /// shared maps.
+    born_gen: u64,
     /// Per-context extent resolutions, indexed by dense feature id. The
     /// slices borrow this context's graph snapshot, so they are exact for
     /// its lifetime; a context built after an append re-resolves lazily.
@@ -412,10 +522,12 @@ impl<'kg> QueryContext<'kg> {
     /// queries, earlier sessions, or earlier graph generations whose
     /// extents were not touched since) is a hit for this context.
     pub fn with_cache(kg: &'kg KnowledgeGraph, threads: usize, cache: Arc<SharedCache>) -> Self {
+        let born_gen = cache.generation();
         Self {
             kg,
             threads: threads.max(1),
             cache,
+            born_gen,
             extents: RwLock::new(Vec::new()),
         }
     }
@@ -493,8 +605,14 @@ impl<'kg> QueryContext<'kg> {
     /// hot-loop entry that skips re-hashing the feature.
     fn p_by_fid(&self, fid: FeatureId, ctx: Ctx) -> f64 {
         let key = prob_key(fid.0, ctx);
+        // seqlock-style validity: the hit is trustworthy only if the
+        // cache generation still equals this context's birth generation
+        // *after* the read — otherwise an invalidation ran and the value
+        // may belong to a different graph snapshot
         if let Some(p) = self.cache.prob_get(key) {
-            return p;
+            if self.cache.generation() == self.born_gen {
+                return p;
+            }
         }
         let ctx_extent = match ctx {
             Ctx::Cat(c) => self.kg.category_extent(c),
@@ -505,7 +623,7 @@ impl<'kg> QueryContext<'kg> {
         } else {
             intersect_len(self.extent(fid), ctx_extent) as f64 / ctx_extent.len() as f64
         };
-        self.cache.prob_insert(key, p);
+        self.cache.prob_insert_if_current(key, p, self.born_gen);
         p
     }
 

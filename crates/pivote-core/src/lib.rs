@@ -24,6 +24,10 @@
 //! - [`ingest`]: [`StreamingIngest`] — bounded-memory N-Triples ingest
 //!   from any reader into a [`LiveStore`], composing with the
 //!   maintenance thread so shards stay balanced mid-ingest;
+//! - [`prepared`]: [`PreparedSnapshot`] — the generation-pinned serving
+//!   read path: an immutable graph + prebuilt context (+ search slot)
+//!   published once per write and acquired by readers with one atomic
+//!   load, off the store lock and off per-request setup;
 //! - [`warm`]: persisted context warm-state — the `p(π|c)` cache as a
 //!   generation-checked sidecar next to the graph snapshot;
 //! - [`replica`]: read replicas and crash recovery — follower
@@ -64,6 +68,7 @@ pub mod handle;
 pub mod heatmap;
 pub mod ingest;
 pub mod live;
+pub mod prepared;
 pub mod ranking;
 pub mod replica;
 pub mod sharded;
@@ -78,11 +83,12 @@ pub use handle::GraphHandle;
 pub use heatmap::{HeatMap, HEAT_LEVELS};
 pub use ingest::{IngestError, IngestReport, StreamingIngest, DEFAULT_BATCH_OPS};
 pub use live::{
-    maintenance_from_env, LiveReader, LiveStore, MaintenanceHandle, StoreError,
+    maintenance_from_env, snapshot_from_env, LiveReader, LiveStore, MaintenanceHandle, StoreError,
     MAX_OFFLOCK_ATTEMPTS,
 };
 #[allow(deprecated)]
 pub use live::{LiveGraph, LiveShardedGraph, LiveShardedReader};
+pub use prepared::PreparedSnapshot;
 pub use ranking::{RankedEntity, RankedFeature, Ranker};
 pub use replica::{recover, RecoveryReport, ReplicaError, ReplicaHandle, ReplicaStore};
 pub use sharded::ShardedContext;

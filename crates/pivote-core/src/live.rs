@@ -35,6 +35,7 @@
 
 use crate::context::{QueryContext, SharedCache};
 use crate::handle::GraphHandle;
+use crate::prepared::PreparedSnapshot;
 use crate::sharded::ShardedContext;
 use pivote_kg::wal::{WalEvent, WalHeader, WalWriter};
 use pivote_kg::{
@@ -52,6 +53,13 @@ use std::time::Duration;
 /// [`pivote_kg::maintenance_from_env`], the one parser behind every
 /// `PIVOTE_*` CI-leg flag.)
 pub use pivote_kg::maintenance_from_env;
+
+/// Whether the `PIVOTE_SNAPSHOT=1` environment leg is active — the CI
+/// hook that routes the eval harness' queries through the
+/// prepared-snapshot read path ([`LiveStore::enable_snapshots`] +
+/// [`LiveStore::snapshot`]) instead of fresh lock-scoped contexts.
+/// (Re-exported from [`pivote_kg::snapshot_from_env`].)
+pub use pivote_kg::snapshot_from_env;
 
 /// Why a live-store write was refused.
 ///
@@ -107,6 +115,14 @@ pub struct LiveStore {
     /// first, then this mutex — every writer appends the record *before*
     /// splicing, under the store lock, so log order equals apply order.
     wal: Mutex<Option<WalWriter>>,
+    /// The serving read path ([`LiveStore::enable_snapshots`]): the
+    /// current [`PreparedSnapshot`], republished by every writer under
+    /// the store write lock *after* apply + invalidation, acquired by
+    /// readers with one read-and-clone — never the store lock.
+    published: RwLock<Option<Arc<PreparedSnapshot>>>,
+    /// Whether publication is on. Off by default: publication clones the
+    /// backend once per write, which bulk ingest shouldn't pay for.
+    publish: AtomicBool,
 }
 
 impl LiveStore {
@@ -140,7 +156,64 @@ impl LiveStore {
             cache,
             threads: threads.max(1),
             wal: Mutex::new(None),
+            published: RwLock::new(None),
+            publish: AtomicBool::new(false),
         }
+    }
+
+    // ---- prepared-snapshot publication ---------------------------------
+
+    /// Opt this store into generation-pinned snapshot publication and
+    /// publish the current state immediately. From here on every
+    /// successful write republishes under the write lock it already
+    /// holds, *after* the splice and the cache invalidation — so
+    /// [`LiveStore::snapshot`] always reflects every completed write
+    /// (strict read-your-writes), and the prepared context is born at
+    /// the post-invalidation cache generation, keeping its shared-cache
+    /// reads trusted until the next write.
+    ///
+    /// The cost is one backend clone per write; leave it off for bulk
+    /// ingest and turn it on when the store starts serving.
+    pub fn enable_snapshots(&self) {
+        self.publish.store(true, Ordering::SeqCst);
+        // a read guard excludes writers, so the state published here is
+        // current; a writer admitted later republishes on its own
+        let store = self.read_store();
+        self.republish(&store);
+    }
+
+    /// Whether snapshot publication is on.
+    pub fn snapshots_enabled(&self) -> bool {
+        self.publish.load(Ordering::SeqCst)
+    }
+
+    /// The current prepared snapshot — the serving read path. One
+    /// read-and-clone of the publication slot; never touches the store
+    /// lock, so a request served from here cannot wait behind an append
+    /// doing WAL IO under the write lock. `None` until
+    /// [`LiveStore::enable_snapshots`].
+    pub fn snapshot(&self) -> Option<Arc<PreparedSnapshot>> {
+        self.published
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Publish a fresh snapshot of `store`. Called by every writer while
+    /// it still holds the store write lock (and by `enable_snapshots`
+    /// under a read guard), so publications are totally ordered with
+    /// mutations and the slot never lags a completed write.
+    fn republish(&self, store: &GraphBackend) {
+        if !self.publish.load(Ordering::SeqCst) {
+            return;
+        }
+        let snap = PreparedSnapshot::prepare(
+            Arc::new(store.clone()),
+            store.generation(),
+            self.threads,
+            Arc::clone(&self.cache),
+        );
+        *self.published.write().unwrap_or_else(|p| p.into_inner()) = Some(snap);
     }
 
     /// The WAL mutex, recovering from a poisoned lock: the log file is
@@ -268,6 +341,7 @@ impl LiveStore {
         let applied = store.apply(delta);
         self.cache.invalidate(&applied);
         hook(&applied);
+        self.republish(&store);
         Ok(applied)
     }
 
@@ -277,10 +351,19 @@ impl LiveStore {
     /// so it never blocks on readers nor readers on it. Reads survive a
     /// writer panic (see [`StoreError`]).
     pub fn read(&self) -> LiveReader<'_> {
+        // cheap when publication is off (one atomic load); when on, carry
+        // the current snapshot so handle() can reuse its prepared context
+        // instead of building one per call
+        let prepared = if self.publish.load(Ordering::SeqCst) {
+            self.snapshot()
+        } else {
+            None
+        };
         LiveReader {
             guard: self.read_store(),
             cache: Arc::clone(&self.cache),
             threads: self.threads,
+            prepared,
         }
     }
 
@@ -320,6 +403,7 @@ impl LiveStore {
         self.log_event(|| WalEvent::Compact { target_shards })?;
         *store = store.compact(target_shards);
         self.cache.note_compaction();
+        self.republish(&store);
         Ok(CompactionReceipt {
             generation: store.generation(),
             shards_before,
@@ -405,6 +489,7 @@ impl LiveStore {
                 self.log_event(|| WalEvent::Compact { target_shards })?;
                 *store = store.compact(target_shards);
                 self.cache.note_compaction();
+                self.republish(&store);
                 return Ok(CompactionReceipt {
                     generation: store.generation(),
                     shards_before,
@@ -417,6 +502,7 @@ impl LiveStore {
             self.log_event(|| WalEvent::Compact { target_shards })?;
             *store = fresh;
             self.cache.note_compaction();
+            self.republish(&store);
             return Ok(CompactionReceipt {
                 generation: store.generation(),
                 shards_before,
@@ -478,6 +564,10 @@ pub struct LiveReader<'a> {
     guard: RwLockReadGuard<'a, GraphBackend>,
     cache: Arc<SharedCache>,
     threads: usize,
+    /// The published snapshot at acquisition time, when the store has
+    /// snapshots on — [`LiveReader::handle`] reuses its prepared context
+    /// when the generations agree instead of building one per call.
+    prepared: Option<Arc<PreparedSnapshot>>,
 }
 
 impl LiveReader<'_> {
@@ -516,8 +606,17 @@ impl LiveReader<'_> {
     /// A backend-agnostic [`GraphHandle`] over this snapshot sharing the
     /// live store's persistent cache. Cheap to build (the heavy state
     /// lives in the cache); scoped to the guard, so it can never observe
-    /// an append or a compaction swap.
+    /// an append or a compaction swap. When the store publishes prepared
+    /// snapshots and the published generation matches the locked one —
+    /// publication happens under the write lock, so it always does in
+    /// practice — the snapshot's prepared context is reused outright and
+    /// this is a clone, not a construction.
     pub fn handle(&self) -> GraphHandle<'_> {
+        if let Some(snap) = &self.prepared {
+            if snap.generation() == self.guard.generation() {
+                return snap.handle();
+            }
+        }
         match &*self.guard {
             GraphBackend::Single(kg) => GraphHandle::Single(Arc::new(QueryContext::with_cache(
                 kg,
@@ -1001,5 +1100,104 @@ mod tests {
         // a tombstone-free single store is the identity again
         let receipt = live.compact_in_place(1).unwrap();
         assert_eq!(receipt.generation, 3, "no bump without tombstones");
+    }
+
+    #[test]
+    fn snapshots_are_off_by_default_and_publish_once_enabled() {
+        let live = LiveStore::with_threads(generate(&DatagenConfig::tiny()), 1);
+        assert!(!live.snapshots_enabled());
+        assert!(live.snapshot().is_none());
+        let mut d = DeltaBatch::new();
+        d.entity("Unpublished_Entity");
+        live.append(&d).expect("store healthy");
+        assert!(live.snapshot().is_none(), "no publication while disabled");
+
+        live.enable_snapshots();
+        let snap = live.snapshot().expect("enabling publishes current state");
+        assert_eq!(snap.generation(), 1);
+        assert!(snap.backend().entity("Unpublished_Entity").is_some());
+    }
+
+    /// Every write path republishes: the published snapshot tracks the
+    /// store generation through appends, retractions and both compaction
+    /// entry points, and old snapshots stay queryable after the slot
+    /// moves on (that is the whole point — a served request pins its
+    /// generation for its own duration).
+    #[test]
+    fn every_write_republishes_and_old_snapshots_stay_queryable() {
+        let kg = generate(&DatagenConfig::tiny());
+        let s = seeds(&kg, 2);
+        let cfg = RankingConfig::default();
+        let live = LiveStore::with_threads(ShardedGraph::from_graph(&kg, 2), 1);
+        live.enable_snapshots();
+
+        let mut d = DeltaBatch::new();
+        d.triple(
+            kg.entity_name(s[0]).to_owned(),
+            "snapshot_pred",
+            "Snapshot_Entity",
+        );
+        live.append(&d).expect("store healthy");
+        let at_append = live.snapshot().unwrap();
+        assert_eq!(at_append.generation(), 1);
+        let before_f = at_append.handle().rank_features(&cfg, &s);
+
+        let mut r = DeltaBatch::new();
+        r.retract_triple(
+            kg.entity_name(s[0]).to_owned(),
+            "snapshot_pred",
+            "Snapshot_Entity",
+        );
+        live.append(&r).expect("store healthy");
+        let at_retract = live.snapshot().unwrap();
+        assert_eq!(at_retract.generation(), 2);
+
+        let receipt = live.compact_concurrent(2).expect("store healthy");
+        let at_compact = live.snapshot().unwrap();
+        assert_eq!(at_compact.generation(), receipt.generation);
+        let receipt = live.compact_in_place(3).expect("store healthy");
+        assert_eq!(live.snapshot().unwrap().generation(), receipt.generation);
+
+        // the generation-1 snapshot still answers — pinned, immutable,
+        // bit-identical to what a fresh context over that state computes
+        let mut union = generate(&DatagenConfig::tiny());
+        union.apply(&d);
+        let fresh = QueryContext::with_threads(&union, 1);
+        assert_eq!(before_f, fresh.rank_features(&cfg, &s));
+        assert_eq!(at_append.handle().rank_features(&cfg, &s), before_f);
+    }
+
+    /// The snapshot path and the lock path agree bit-for-bit at the same
+    /// generation, and the reader's handle() reuses the prepared context
+    /// when snapshots are on.
+    #[test]
+    fn snapshot_answers_match_the_lock_path() {
+        let kg = generate(&DatagenConfig::tiny());
+        let s = seeds(&kg, 2);
+        for backend in [
+            GraphBackend::Single(kg.clone()),
+            GraphBackend::Sharded(ShardedGraph::from_graph(&kg, 3)),
+        ] {
+            let live = LiveStore::with_threads(backend, 1);
+            live.enable_snapshots();
+            let mut d = DeltaBatch::new();
+            d.entity("Snapshot_Vs_Lock_Entity");
+            live.append(&d).expect("store healthy");
+
+            let cfg = RankingConfig::default();
+            let snap = live.snapshot().unwrap();
+            let reader = live.read();
+            assert_eq!(snap.generation(), reader.generation());
+            let want_f = reader.handle().rank_features(&cfg, &s);
+            let got_f = snap.handle().rank_features(&cfg, &s);
+            assert_eq!(got_f, want_f);
+            let want_e = reader.handle().rank_entities(&cfg, &s, &want_f);
+            let got_e = snap.handle().rank_entities(&cfg, &s, &got_f);
+            assert_eq!(got_e.len(), want_e.len());
+            for (a, b) in got_e.iter().zip(&want_e) {
+                assert_eq!(a.entity, b.entity);
+                assert!((a.score - b.score).abs() == 0.0);
+            }
+        }
     }
 }

@@ -76,6 +76,11 @@ pub struct ShardedContext<'g> {
     /// exact global quantities, independent of shard count and
     /// `RankingConfig`).
     cache: Arc<SharedCache>,
+    /// Cache generation at construction — same seqlock-style staleness
+    /// gate as `QueryContext::born_gen`: once the shared cache moves past
+    /// it, this context computes locally and neither trusts nor writes
+    /// the shared maps.
+    born_gen: u64,
     features: RwLock<FeatureTable<'g>>,
 }
 
@@ -97,10 +102,12 @@ impl<'g> ShardedContext<'g> {
     /// point, sharing densities across queries, sessions and appends
     /// exactly like the single-graph `QueryContext::with_cache`.
     pub fn with_cache(sg: &'g ShardedGraph, threads: usize, cache: Arc<SharedCache>) -> Self {
+        let born_gen = cache.generation();
         Self {
             sg,
             threads: threads.max(1),
             cache,
+            born_gen,
             features: RwLock::new(FeatureTable {
                 entries: Vec::new(),
             }),
@@ -207,12 +214,26 @@ impl<'g> ShardedContext<'g> {
     }
 
     /// [`ShardedContext::extent_global`] as a shared, memoized slice —
-    /// the remap runs once per feature, later queries clone the `Arc`.
+    /// the remap runs at most once per feature *per cache*, not per
+    /// context: resolutions are promoted to the [`SharedCache`]'s global
+    /// extent registry, so a fresh context over the same logical graph
+    /// (a new read guard, a new prepared snapshot) reuses the `Arc`
+    /// instead of re-running the per-shard remap. The registry is
+    /// invalidated receipt-exactly when a delta touches the feature's
+    /// extent and survives compaction (global ids are partition-
+    /// independent).
     fn extent_global_shared(&self, sf: SemanticFeature) -> Arc<[EntityId]> {
-        let entry = self.entry(self.intern(sf));
+        let fid = self.intern(sf);
+        let entry = self.entry(fid);
         entry
             .global
             .get_or_init(|| {
+                // seqlock-style validity check — see QueryContext::p_by_fid
+                if let Some(shared) = self.cache.extent_get(fid) {
+                    if self.cache.generation() == self.born_gen {
+                        return shared;
+                    }
+                }
                 let mut out = Vec::with_capacity(entry.global_len);
                 for ((shard, &extent), &owned) in self
                     .sg
@@ -223,7 +244,10 @@ impl<'g> ShardedContext<'g> {
                 {
                     out.extend(extent[..owned].iter().map(|&e| shard.to_global(e)));
                 }
-                out.into()
+                let out: Arc<[EntityId]> = out.into();
+                self.cache
+                    .extent_insert_if_current(fid, Arc::clone(&out), self.born_gen);
+                out
             })
             .clone()
     }
@@ -264,8 +288,11 @@ impl<'g> ShardedContext<'g> {
     /// interner.
     fn p_by_fid(&self, fid: u32, ctx: Ctx) -> f64 {
         let key = prob_key(fid, ctx);
+        // seqlock-style validity check — see QueryContext::p_by_fid
         if let Some(p) = self.cache.prob_get(key) {
-            return p;
+            if self.cache.generation() == self.born_gen {
+                return p;
+            }
         }
         let entry = self.entry(fid);
         let mut num = 0usize;
@@ -285,7 +312,7 @@ impl<'g> ShardedContext<'g> {
         } else {
             num as f64 / den as f64
         };
-        self.cache.prob_insert(key, p);
+        self.cache.prob_insert_if_current(key, p, self.born_gen);
         p
     }
 
@@ -751,5 +778,31 @@ mod tests {
         assert!(filled > 0, "smoothing must populate the global cache");
         let _ = ctx.rank_features(&cfg, &seeds);
         assert_eq!(ctx.cached_probability_count(), filled, "no recompute");
+    }
+
+    /// The global-extent resolutions a sharded context computes are
+    /// promoted to the shared cache: a second context on the same cache
+    /// gets the **same allocation** back (`Arc::ptr_eq`), not a re-merge.
+    #[test]
+    fn global_extent_registry_is_shared_across_contexts() {
+        let kg = fixture();
+        let sg = ShardedGraph::from_graph(&kg, 3);
+        let cache = Arc::new(SharedCache::new());
+        let sf = features_of(&kg, seeds(&kg, 1)[0])[0];
+
+        let first = {
+            let ctx = ShardedContext::with_cache(&sg, 1, Arc::clone(&cache));
+            ctx.extent_global_shared(sf)
+        };
+        assert!(cache.cached_extent_count() > 0, "resolution must register");
+        let second = {
+            let ctx = ShardedContext::with_cache(&sg, 1, Arc::clone(&cache));
+            ctx.extent_global_shared(sf)
+        };
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second context must reuse the registered allocation"
+        );
+        assert_eq!(first.to_vec(), sf.extent(&kg).to_vec());
     }
 }

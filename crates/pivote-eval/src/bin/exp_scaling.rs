@@ -146,12 +146,18 @@ fn bench_header(schema: &str, label: &str, cores: usize, threads: &str) -> Strin
     let _ = writeln!(out, "  \"label\": \"{label}\",");
     let _ = writeln!(out, "  \"host_cpus\": {cores},");
     let _ = writeln!(out, "  \"threads\": {threads},");
-    let _ = writeln!(
-        out,
-        "  \"cpu_caveat\": \"measured on a {cores}-core host; on a single-core host every \
-         parallel fan-out (threads, shards, background maintenance) serializes, so scaling \
-         rows measure overhead rather than speedup\","
-    );
+    let caveat = if cores == 1 {
+        "measured on a single-core host: every parallel fan-out (threads, shards, background \
+         maintenance) serializes, so scaling rows measure overhead rather than speedup and no \
+         threads_{1,N} pair exists"
+            .to_owned()
+    } else {
+        format!(
+            "measured on a {cores}-core host; threads_{{1,N}} pairs record genuine parallel \
+             speedup"
+        )
+    };
+    let _ = writeln!(out, "  \"cpu_caveat\": \"{caveat}\",");
     let _ = writeln!(
         out,
         "  \"command\": \"cargo run --release -p pivote-eval --bin exp_scaling\","
@@ -217,7 +223,7 @@ fn print_row(r: &Row) {
 
 fn write_json(rows: &[Row], cores: usize, path: &str) {
     let mut out = bench_header(
-        "pivote-shard-scaling/2",
+        "pivote-shard-scaling/3",
         "Q3 scaling sweep: single vs sharded backend (shards=0 means single)",
         cores,
         "\"per-row (threads field)\"",
@@ -238,6 +244,41 @@ fn write_json(rows: &[Row], cores: usize, path: &str) {
             r.m.feat_ms,
             r.m.ent_ms,
             r.m.matrix_ms
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    // `thread_pairs` joins each configuration's 1-thread row with its
+    // full-fan-out row so a multi-core host records *speedup* directly
+    // (ROADMAP: every bench host so far was single-core, where these
+    // pairs cannot exist and the cpu_caveat explains the absence).
+    let pairs: Vec<(&Row, &Row)> = rows
+        .iter()
+        .filter(|lo| lo.threads == 1)
+        .filter_map(|lo| {
+            rows.iter()
+                .find(|hi| hi.films == lo.films && hi.shards == lo.shards && hi.threads > 1)
+                .map(|hi| (lo, hi))
+        })
+        .collect();
+    let _ = writeln!(out, "  \"thread_pairs\": [");
+    for (i, (lo, hi)) in pairs.iter().enumerate() {
+        let comma = if i + 1 == pairs.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"films\": {}, \"shards\": {}, \"threads_hi\": {}, \
+             \"rank_entities_threads_1_ms\": {:.3}, \"rank_entities_threads_{}_ms\": {:.3}, \
+             \"rank_entities_speedup\": {:.3}}}{comma}",
+            lo.films,
+            lo.shards,
+            hi.threads,
+            lo.m.ent_ms,
+            hi.threads,
+            hi.m.ent_ms,
+            if hi.m.ent_ms > 0.0 {
+                lo.m.ent_ms / hi.m.ent_ms
+            } else {
+                0.0
+            }
         );
     }
     let _ = writeln!(out, "  ]");
@@ -273,23 +314,32 @@ fn sweep(kg: &KnowledgeGraph, films: usize, cores: usize, rows: &mut Vec<Row>) {
         rows.push(row);
     }
 
-    // sharded backend: 1, 2 and 4 shards (threads = min(shards, cores)
-    // workers drive the per-shard fan-out; on a single-core host this
-    // measures the sharded layer's overhead, not a speedup)
+    // sharded backend: 1, 2 and 4 shards. On a multi-core host each
+    // shard count is measured at 1 thread AND at the full fan-out
+    // (min(shards, cores)), so every sharded configuration carries a
+    // threads_{1,N} pair and the first multi-core run records speedup;
+    // on a single-core host only the 1-thread row exists and the
+    // cpu_caveat says why
     for shards in [1usize, 2, 4] {
         let sg = ShardedGraph::from_graph(kg, shards);
-        let threads = shards.min(cores.max(1));
-        let handle = GraphHandle::sharded_with_threads(&sg, threads);
-        let row = Row {
-            films,
-            entities,
-            triples,
-            shards,
-            threads,
-            m: measure(&handle, &seeds),
-        };
-        print_row(&row);
-        rows.push(row);
+        let mut shard_threads = vec![1usize];
+        let fanout = shards.min(cores.max(1));
+        if fanout > 1 {
+            shard_threads.push(fanout);
+        }
+        for &threads in &shard_threads {
+            let handle = GraphHandle::sharded_with_threads(&sg, threads);
+            let row = Row {
+                films,
+                entities,
+                triples,
+                shards,
+                threads,
+                m: measure(&handle, &seeds),
+            };
+            print_row(&row);
+            rows.push(row);
+        }
     }
 }
 

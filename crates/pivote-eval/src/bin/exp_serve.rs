@@ -17,6 +17,16 @@
 //!
 //! Output: p50/p99/max per op class to `BENCH_7.json` (override with
 //! `BENCH7_OUT`; shrink the load with `PIVOTE_SERVE_OPS`).
+//!
+//! A second phase then A/Bs the **read path itself** (`BENCH_10.json`,
+//! override with `BENCH10_OUT`): the same mixed load runs once against
+//! a lock-path server (`snapshots: false` — every read takes the store
+//! lock and builds its context per request, the pre-PR-10 behaviour)
+//! and once against the prepared-snapshot path (generation-pinned
+//! snapshots, response memo, pre-built search engines), followed by a
+//! write-free concurrent-search burst per mode. The snapshot leg is
+//! asserted to serve a nonzero memo hit rate and **zero** lock reads —
+//! the serve-smoke contract.
 
 use pivote_core::LiveStore;
 use pivote_kg::{generate, DatagenConfig, KnowledgeGraph, ShardedGraph};
@@ -79,7 +89,12 @@ fn append_body(life: usize, i: usize, seed: &str) -> String {
 
 /// Drive one life's worth of mixed load: `READERS` reader connections
 /// interleaving rank+search with one writer connection appending
-/// `appends` deltas.
+/// `appends` deltas. `pace` sleeps the writer between appends and
+/// `think` sleeps each reader between iterations, so the load models
+/// steady traffic *pressure* (reads racing a continuous write stream)
+/// rather than a stampede — on a single-core host an unpaced client
+/// swarm turns every sample into a CPU-queueing measurement.
+#[allow(clippy::too_many_arguments)]
 fn mixed_load(
     addr: SocketAddr,
     seeds: &[String],
@@ -87,16 +102,21 @@ fn mixed_load(
     reads_per_reader: usize,
     appends: usize,
     life: usize,
+    pace: Option<Duration>,
+    think: Option<Duration>,
     samples: &Samples,
 ) {
     std::thread::scope(|scope| {
-        scope.spawn(|| {
+        scope.spawn(move || {
             let mut client = Client::connect(addr).expect("writer connects");
             for i in 0..appends {
                 let nt = append_body(life, i, &seeds[i % seeds.len()]);
                 timed(samples, Op::Append, || {
                     client.append(&nt).expect("append answers")
                 });
+                if let Some(pace) = pace {
+                    std::thread::sleep(pace);
+                }
             }
         });
         for r in 0..READERS {
@@ -111,6 +131,9 @@ fn mixed_load(
                     timed(samples, Op::Search, || {
                         client.search(query, 10).expect("search answers")
                     });
+                    if let Some(think) = think {
+                        std::thread::sleep(think);
+                    }
                 }
             });
         }
@@ -150,6 +173,153 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     }
     let rank = (p * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Sorted per-op latency rows `(op, n, p50, p99, max)` from a drained
+/// sample sink.
+fn op_rows(samples: Samples) -> Vec<(Op, usize, f64, f64, f64)> {
+    let mut by_op: Vec<(Op, Vec<f64>)> = [Op::Rank, Op::Search, Op::Append]
+        .into_iter()
+        .map(|op| (op, Vec::new()))
+        .collect();
+    for (op, ms) in samples.into_inner().expect("sample sink healthy") {
+        by_op
+            .iter_mut()
+            .find(|(o, _)| *o == op)
+            .expect("known op")
+            .1
+            .push(ms);
+    }
+    by_op
+        .into_iter()
+        .map(|(op, mut ms)| {
+            assert!(!ms.is_empty(), "no samples for {op:?}");
+            ms.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            let max = *ms.last().expect("non-empty");
+            (
+                op,
+                ms.len(),
+                percentile(&ms, 0.50),
+                percentile(&ms, 0.99),
+                max,
+            )
+        })
+        .collect()
+}
+
+/// One mode's outcome in the lock-vs-snapshot A/B.
+struct ModeOutcome {
+    mode: &'static str,
+    rows: Vec<(Op, usize, f64, f64, f64)>,
+    memo_hits: u64,
+    memo_misses: u64,
+    snapshot_reads: u64,
+    lock_reads: u64,
+    searches_per_s: f64,
+}
+
+/// Run the full mixed load plus a write-free concurrent-search burst
+/// against a fresh server in the given read-path mode.
+#[allow(clippy::too_many_arguments)]
+fn run_mode(
+    kg: &KnowledgeGraph,
+    cores: usize,
+    seeds: &[String],
+    queries: &[&str],
+    reads_per_reader: usize,
+    appends: usize,
+    snapshots: bool,
+    life: usize,
+) -> ModeOutcome {
+    let mode = if snapshots { "snapshot" } else { "lock" };
+    let store = Arc::new(LiveStore::with_threads(
+        ShardedGraph::from_graph(kg, 2),
+        cores,
+    ));
+    let config = ServeConfig {
+        workers: 4,
+        snapshots,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", store, config).expect("bind A/B server");
+    let addr = server.local_addr();
+    println!("\nBENCH_10 {mode} path on {addr}");
+
+    let samples: Samples = Mutex::new(Vec::new());
+    // paced writer + reader think time: identical steady-state traffic
+    // in both modes. The write pace spreads the append stream across
+    // the whole read phase (~reads × think), so every percentile
+    // measures reads *under write pressure* — a front-loaded append
+    // burst would leave most samples in a write-free tail and hand the
+    // p99 to scheduling luck inside a short churn window
+    mixed_load(
+        addr,
+        seeds,
+        queries,
+        reads_per_reader,
+        appends,
+        life,
+        Some(Duration::from_millis(40)),
+        Some(Duration::from_millis(2)),
+        &samples,
+    );
+
+    // write-free burst: READERS connections hammering the same queries
+    // measures concurrent-search throughput (and, in snapshot mode,
+    // guarantees repeat requests land inside one generation)
+    let burst = (reads_per_reader * 2).max(8);
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for r in 0..READERS {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("burst connects");
+                for i in 0..burst {
+                    let v = client
+                        .search(queries[(r + i) % queries.len()], 10)
+                        .expect("burst search answers");
+                    assert!(response_ok(&v), "{v:?}");
+                }
+            });
+        }
+    });
+    let searches_per_s = (READERS * burst) as f64 / t.elapsed().as_secs_f64();
+
+    let mut client = Client::connect(addr).expect("stats connects");
+    let stats = client.stats().expect("stats answers");
+    assert!(response_ok(&stats), "{stats:?}");
+    let memo_hits = num_field(&stats, "memo_hits").expect("memo_hits");
+    let memo_misses = num_field(&stats, "memo_misses").expect("memo_misses");
+    let snapshot_reads = num_field(&stats, "snapshot_reads").expect("snapshot_reads");
+    let lock_reads = num_field(&stats, "lock_reads").expect("lock_reads");
+    if snapshots {
+        // the serve-smoke contract: the snapshot leg must actually be
+        // serving off the snapshot path, memo included
+        assert!(
+            memo_hits > 0,
+            "snapshot mode must serve memo hits under this load: {stats:?}"
+        );
+        assert_eq!(
+            lock_reads, 0,
+            "snapshot mode must never take the store lock for a read: {stats:?}"
+        );
+    } else {
+        assert_eq!(
+            snapshot_reads, 0,
+            "lock mode must never touch the snapshot path: {stats:?}"
+        );
+        assert_eq!(memo_hits, 0, "lock mode must bypass the memo: {stats:?}");
+    }
+    drop(graceful_stop(server));
+
+    ModeOutcome {
+        mode,
+        rows: op_rows(samples),
+        memo_hits,
+        memo_misses,
+        snapshot_reads,
+        lock_reads,
+        searches_per_s,
+    }
 }
 
 fn main() {
@@ -211,6 +381,8 @@ fn main() {
         reads_per_reader,
         appends_per_life,
         1,
+        None,
+        None,
         &samples,
     );
     // memoize the probe set at the post-append content, then stop
@@ -256,6 +428,8 @@ fn main() {
         reads_per_reader,
         appends_per_life,
         2,
+        None,
+        None,
         &samples,
     );
     let report = graceful_stop(server);
@@ -360,6 +534,109 @@ fn main() {
     out.push_str("}\n");
 
     let out_path = std::env::var("BENCH7_OUT").unwrap_or_else(|_| "BENCH_7.json".to_owned());
+    match std::fs::write(&out_path, &out) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("warning: could not write {out_path}: {e}"),
+    }
+
+    // ---- BENCH_10: lock path vs prepared-snapshot path, same load ----
+    // 25× the BENCH_7 read count: with nearest-rank percentiles the
+    // tail must be a population deep enough that the p99 is an
+    // averaged quantile of steady-state behaviour, not a handful of
+    // scheduler-jitter outliers (single-core hosts). The append count
+    // scales with it — one append per ~12 read iterations per
+    // connection — so the paced write stream spans the entire read
+    // phase and every percentile measures reads under write pressure
+    let ab_reads = usize_env("PIVOTE_SERVE_AB_OPS", reads_per_reader * 25);
+    let ab_appends = (ab_reads / 12).max(appends_per_life);
+    let modes = [
+        run_mode(
+            &replay, cores, &seeds, &queries, ab_reads, ab_appends, false, 3,
+        ),
+        run_mode(
+            &replay, cores, &seeds, &queries, ab_reads, ab_appends, true, 4,
+        ),
+    ];
+
+    println!(
+        "\n{:>10} {:>8} {:>6} {:>10} {:>10} {:>10}",
+        "mode", "op", "n", "p50_ms", "p99_ms", "max_ms"
+    );
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"pivote-serve-snapshot-path/1\",");
+    let _ = writeln!(
+        out,
+        "  \"label\": \"lock-path vs prepared-snapshot read path under the same mixed read+append load, plus a write-free concurrent-search burst\","
+    );
+    let _ = writeln!(out, "  \"host_cpus\": {cores},");
+    let _ = writeln!(out, "  \"workers\": 4,");
+    let _ = writeln!(out, "  \"readers\": {READERS},");
+    let _ = writeln!(out, "  \"reads_per_reader\": {ab_reads},");
+    let _ = writeln!(out, "  \"appends\": {ab_appends},");
+    let _ = writeln!(
+        out,
+        "  \"search_burst_per_reader\": {},",
+        (ab_reads * 2).max(8)
+    );
+    if cores == 1 {
+        let _ = writeln!(
+            out,
+            "  \"cpu_caveat\": \"single-core host: snapshot-path wins come from memo hits, \
+             pre-built search engines and lock avoidance, not from parallel search\","
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p pivote-eval --bin exp_serve\","
+    );
+    let _ = writeln!(out, "  \"modes\": [");
+    for (m, outcome) in modes.iter().enumerate() {
+        let served = outcome.memo_hits + outcome.memo_misses;
+        let hit_rate = if served == 0 {
+            0.0
+        } else {
+            outcome.memo_hits as f64 / served as f64
+        };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"mode\": \"{}\",", outcome.mode);
+        let _ = writeln!(out, "      \"memo_hits\": {},", outcome.memo_hits);
+        let _ = writeln!(out, "      \"memo_misses\": {},", outcome.memo_misses);
+        let _ = writeln!(out, "      \"memo_hit_rate\": {hit_rate:.4},");
+        let _ = writeln!(out, "      \"snapshot_reads\": {},", outcome.snapshot_reads);
+        let _ = writeln!(out, "      \"lock_reads\": {},", outcome.lock_reads);
+        let _ = writeln!(
+            out,
+            "      \"concurrent_search_throughput_per_s\": {:.1},",
+            outcome.searches_per_s
+        );
+        let _ = writeln!(out, "      \"results\": [");
+        let rows = outcome.rows.len();
+        for (g, (op, n, p50, p99, max)) in outcome.rows.iter().enumerate() {
+            println!(
+                "{:>10} {:>8} {:>6} {:>10.3} {:>10.3} {:>10.3}",
+                outcome.mode,
+                op.name(),
+                n,
+                p50,
+                p99,
+                max
+            );
+            let comma = if g + 1 == rows { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "        {{\"op\": \"{}\", \"requests\": {n}, \"p50_ms\": {p50:.3}, \
+                 \"p99_ms\": {p99:.3}, \"max_ms\": {max:.3}}}{comma}",
+                op.name()
+            );
+        }
+        let _ = writeln!(out, "      ]");
+        let comma = if m + 1 == modes.len() { "" } else { "," };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+
+    let out_path = std::env::var("BENCH10_OUT").unwrap_or_else(|_| "BENCH_10.json".to_owned());
     match std::fs::write(&out_path, &out) {
         Ok(()) => println!("\nwrote {out_path}"),
         Err(e) => eprintln!("warning: could not write {out_path}: {e}"),

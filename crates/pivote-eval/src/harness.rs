@@ -61,9 +61,63 @@ use std::collections::HashSet;
 /// then runs on. Replication is exact (`tests/replica_equivalence.rs`),
 /// so this leg too must reproduce every metric and golden ranking
 /// unchanged.
+///
+/// Under `PIVOTE_SNAPSHOT=1` (highest precedence of all) the graph is
+/// the one the **prepared-snapshot read path** serves: the growth
+/// batches are applied through a 2-shard live store with
+/// [`pivote_core::LiveStore::enable_snapshots`] on, publication is
+/// asserted to track every write, and the graph handed to the
+/// experiments is the published snapshot's pinned backend — with its
+/// prepared-context answers asserted bit-identical to a fresh context
+/// over the union rebuild first. Snapshot serving is exact
+/// (`tests/snapshot_equivalence.rs`), so this leg too must reproduce
+/// every metric and golden ranking unchanged.
 pub fn eval_graph(cfg: &pivote_kg::DatagenConfig) -> KnowledgeGraph {
     let kg = pivote_kg::generate(cfg);
-    if pivote_kg::replica_from_env() {
+    if pivote_core::snapshot_from_env() {
+        let (base, batches) = pivote_kg::split_growth(&kg, 0.6, 3);
+        let store =
+            pivote_core::LiveStore::with_threads(pivote_kg::ShardedGraph::from_graph(&base, 2), 1);
+        store.enable_snapshots();
+        for batch in &batches {
+            store.append(batch).expect("store healthy");
+            let snap = store.snapshot().expect("publication enabled");
+            assert_eq!(
+                snap.generation(),
+                store.generation(),
+                "publication must track every append"
+            );
+        }
+        store
+            .compact_in_place(2)
+            .expect("snapshot-leg compaction succeeds");
+        let snap = store.snapshot().expect("publication enabled");
+        assert_eq!(
+            snap.generation(),
+            store.generation(),
+            "publication must track the compaction"
+        );
+        let out = snap.backend().to_single();
+        // the prepared context answers bit-identically to a fresh
+        // single-layout context over the union rebuild — the snapshot
+        // read path must not change a single score
+        let probe = vec![EntityId::new(0), EntityId::new(1)];
+        let rcfg = RankingConfig::default();
+        let fresh = pivote_core::QueryContext::with_threads(&out, 1);
+        let want_f = fresh.rank_features(&rcfg, &probe);
+        let got_f = snap.handle().rank_features(&rcfg, &probe);
+        assert_eq!(got_f, want_f, "snapshot features diverged from fresh");
+        let want_e = fresh.rank_entities(&rcfg, &probe, &want_f);
+        let got_e = snap.handle().rank_entities(&rcfg, &probe, &got_f);
+        assert_eq!(got_e, want_e, "snapshot entities diverged from fresh");
+        assert_eq!(
+            out.triple_count(),
+            kg.triple_count(),
+            "snapshot eval graph must reconstruct the generated graph"
+        );
+        assert_eq!(out.entity_count(), kg.entity_count());
+        out
+    } else if pivote_kg::replica_from_env() {
         let (base, batches) = pivote_kg::split_growth(&kg, 0.6, 3);
         let wal_path = std::env::temp_dir().join(format!(
             "pivote_eval_replica_{}_{:?}.wal",

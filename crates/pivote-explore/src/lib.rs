@@ -32,7 +32,7 @@ pub mod timeline;
 pub use events::UserAction;
 #[allow(deprecated)]
 pub use live::LiveShardedSession;
-pub use live::{LiveEvent, LiveLog, LiveSearchCache, LiveSession};
+pub use live::{LiveEvent, LiveLog, LiveSearchCache, LiveSession, SearchWarmer};
 pub use path::{ExplorationPath, NodeKind, PathEdge, PathNode};
 pub use profile::{build_profile, EntityProfile};
 pub use query::ExplorationQuery;

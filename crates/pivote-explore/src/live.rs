@@ -35,11 +35,11 @@ use crate::session::{
     ViewState,
 };
 use crate::timeline::Timeline;
-use pivote_core::{LiveStore, StoreError};
-use pivote_kg::{AppliedDelta, CompactionReceipt, DeltaBatch, GraphBackend};
+use pivote_core::{LiveStore, PreparedSnapshot, StoreError};
+use pivote_kg::{AppliedDelta, CompactionReceipt, DeltaBatch, EntityId, GraphBackend};
 use pivote_search::{CorpusStats, Hit, SearchConfig, SearchEngine};
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One event of a live session: a user action, a store append, or a
 /// compaction of the backing partition.
@@ -128,17 +128,18 @@ fn drive_transient(
 }
 
 /// The cached keyword-search component, per layout, tagged with the
-/// store version it was indexed at.
+/// store version it was indexed at. Cloning is cheap — the engines and
+/// corpus statistics are `Arc`-shared.
+#[derive(Clone)]
 enum SearchCache {
     /// One engine over the single graph, tagged with the generation it
     /// was built at; re-indexed lazily after an append.
     Single {
         /// Graph generation at indexing time.
         generation: u64,
-        /// The prebuilt engine (boxed, like [`SearchBackend::Single`]:
-        /// the one-engine variant is much larger than the per-shard
-        /// vector).
-        engine: Box<SearchEngine>,
+        /// The prebuilt engine (`Arc`-shared with every search still
+        /// running on it, like [`SearchBackend::Single`]).
+        engine: Arc<SearchEngine>,
     },
     /// One engine per shard, each tagged with the local graph generation
     /// it was built at, all tagged with the compaction epoch. Within one
@@ -150,11 +151,10 @@ enum SearchCache {
         /// Compaction epoch at indexing time.
         epoch: u64,
         /// `(local generation, engine)` per shard, in shard order.
-        engines: Vec<(u64, SearchEngine)>,
+        engines: Vec<(u64, Arc<SearchEngine>)>,
         /// The globally-merged corpus statistics the engines score
-        /// against; recomputed whenever any engine is rebuilt (boxed,
-        /// like [`SearchBackend::Sharded`]).
-        corpus: Box<CorpusStats>,
+        /// against; recomputed whenever any engine is rebuilt.
+        corpus: Arc<CorpusStats>,
     },
 }
 
@@ -175,7 +175,7 @@ fn refresh_search(
                     generation: built_at,
                     engine,
                 }) if built_at == generation => engine,
-                _ => Box::new(SearchEngine::build(kg, config)),
+                _ => Arc::new(SearchEngine::build(kg, config)),
             };
             (
                 SearchBackend::Single(engine),
@@ -192,31 +192,43 @@ fn refresh_search(
                 }) if built_epoch == epoch => (engines, Some(corpus)),
                 _ => (Vec::new(), None),
             };
-            let mut all_reused = cached.len() == sg.shard_count();
+            let n_cached = cached.len();
+            let mut reused = 0usize;
             let mut cached = cached.into_iter();
             let mut shard_generations = Vec::with_capacity(sg.shard_count());
-            let engines: Vec<SearchEngine> = sg
+            let engines: Vec<Arc<SearchEngine>> = sg
                 .shards()
                 .iter()
                 .map(|s| {
                     let generation = s.graph().generation();
                     shard_generations.push(generation);
                     match cached.next() {
-                        Some((built_at, engine)) if built_at == generation => engine,
-                        _ => {
-                            all_reused = false;
-                            SearchEngine::build_keyed(s.graph(), config, |local| {
-                                s.to_global(local).raw()
-                            })
+                        Some((built_at, engine)) if built_at == generation => {
+                            reused += 1;
+                            engine
                         }
+                        _ => Arc::new(SearchEngine::build_keyed(s.graph(), config, |local| {
+                            s.to_global(local).raw()
+                        })),
                     }
                 })
                 .collect();
             // the corpus merges owned documents of EVERY shard, so a
-            // rebuild of any one engine stales it
+            // rebuild of any one engine stales it — but when the only
+            // change is appended trailing shards (the common shape of a
+            // live write), absorbing just the new engines into the
+            // cached merge is O(delta) instead of O(partition)
+            let prefix_reused = reused == n_cached;
             let corpus = match cached_corpus {
-                Some(c) if all_reused => c,
-                _ => Box::new(merge_corpus_stats(&engines, sg)),
+                Some(c) if prefix_reused && n_cached == sg.shard_count() => c,
+                Some(c) if prefix_reused && n_cached < sg.shard_count() => {
+                    let mut merged = (*c).clone();
+                    for (engine, shard) in engines.iter().zip(sg.shards()).skip(n_cached) {
+                        merged.absorb(engine.index(), |d| shard.is_owned(EntityId::new(d)));
+                    }
+                    Arc::new(merged)
+                }
+                _ => Arc::new(merge_corpus_stats(&engines, sg)),
             };
             (
                 SearchBackend::Sharded { engines, corpus },
@@ -225,6 +237,49 @@ fn refresh_search(
                     shard_generations,
                 },
             )
+        }
+    }
+}
+
+impl SearchCache {
+    /// Whether `self` indexes a store state at least as new as `other`.
+    /// Guards the stash against going *backwards*: a request pinned to
+    /// a slightly-stale snapshot must not clobber the engine set the
+    /// warmer just built for the latest generation, or the two would
+    /// ping-pong the stash and rebuild the same engines on every
+    /// request that races a write (the `BENCH_10` search-tail
+    /// pathology). Within a compaction epoch shards only append and
+    /// local generations only grow, so "newer" is well-ordered.
+    fn at_least_as_fresh(&self, other: Option<&SearchCache>) -> bool {
+        let Some(other) = other else { return true };
+        match (self, other) {
+            (
+                SearchCache::Single { generation: a, .. },
+                SearchCache::Single { generation: b, .. },
+            ) => a >= b,
+            (
+                SearchCache::Sharded {
+                    epoch: ea,
+                    engines: xa,
+                    ..
+                },
+                SearchCache::Sharded {
+                    epoch: eb,
+                    engines: xb,
+                    ..
+                },
+            ) => {
+                if ea != eb {
+                    return ea > eb;
+                }
+                if xa.len() != xb.len() {
+                    return xa.len() > xb.len();
+                }
+                xa.iter().zip(xb).all(|((ga, _), (gb, _))| ga >= gb)
+            }
+            // the layout changed under the cache: the store was rebuilt
+            // wholesale, nothing in the stash is reusable either way
+            _ => true,
         }
     }
 }
@@ -257,6 +312,11 @@ fn stash_search(search: SearchBackend, tags: SearchTags) -> SearchCache {
 /// compaction epoch on the sharded layout, scored against globally
 /// merged corpus statistics) but carries **no** session state, so many
 /// connections can share one instance behind an `Arc`.
+///
+/// The mutex guards only the refresh bookkeeping: each search takes a
+/// cheap `Arc` clone of the backend and runs **unlocked**, so N
+/// concurrent searches share one index and run concurrently instead of
+/// serializing on the cache.
 pub struct LiveSearchCache {
     config: SearchConfig,
     cache: Mutex<Option<SearchCache>>,
@@ -271,25 +331,152 @@ impl LiveSearchCache {
         }
     }
 
+    /// Refresh the cached engines against `backend` and hand back a
+    /// shared clone to search with. The lock is held for the refresh
+    /// only — on the hot path (tags match) that is a couple of integer
+    /// compares and `Arc` bumps.
+    /// The cache mutex, recovering from poisoning: a poisoned cache only
+    /// means a panic dropped a partially-stale engine set; the version
+    /// tags guard staleness, so the inner value is safe to keep using.
+    fn stash(&self) -> std::sync::MutexGuard<'_, Option<SearchCache>> {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn refreshed(&self, backend: &GraphBackend) -> SearchBackend {
+        // snapshot the stash (cheap `Arc` clones), then build OUTSIDE
+        // the lock: a slow re-index must not head-of-line-block every
+        // other thread's refresh behind the mutex
+        let prior = self.stash().clone();
+        let (search, tags) = refresh_search(prior, backend, self.config);
+        let candidate = stash_search(search.clone(), tags);
+        // the stash only ever moves *forward*: a refresh against a
+        // stale backend still reuses every tag-matching engine, but its
+        // (older) result does not replace a newer stash
+        let mut guard = self.stash();
+        if candidate.at_least_as_fresh(guard.as_ref()) {
+            *guard = Some(candidate);
+        }
+        search
+    }
+
     /// Top-`k` keyword hits against the store's current snapshot.
     /// Re-indexes lazily when the store moved since the last call;
     /// sharded stores answer bit-identically to a single-graph engine
     /// over the same data.
     pub fn search(&self, live: &LiveStore, query: &str, k: usize) -> Vec<Hit> {
         let reader = live.read();
-        // a poisoned cache only means a panic mid-rebuild dropped a
-        // partially-stale engine set; the tags guard staleness, so
-        // recovering the inner value is safe
-        let mut guard = self.cache.lock().unwrap_or_else(|p| p.into_inner());
         let backend = reader.backend();
-        let (search, tags) = refresh_search(guard.take(), backend, self.config);
-        let sharded = match backend {
-            GraphBackend::Sharded(sg) => Some(sg),
-            GraphBackend::Single(_) => None,
+        let search = self.refreshed(backend);
+        search_backend_hits(&search, backend.as_sharded(), query, k)
+    }
+
+    /// Top-`k` keyword hits against a prepared snapshot — the serving
+    /// read path. Uses the engines attached to the snapshot when a
+    /// warmer (or an earlier search) already built them; otherwise
+    /// refreshes from the cache against the snapshot's pinned backend
+    /// and attaches the result, so the build cost is paid **once per
+    /// generation** no matter how many requests land on it.
+    pub fn search_prepared(&self, snap: &PreparedSnapshot, query: &str, k: usize) -> Vec<Hit> {
+        let search = self.prepare(snap);
+        search_backend_hits(&search, snap.backend().as_sharded(), query, k)
+    }
+
+    /// Ensure `snap` carries a ready search backend and return it — the
+    /// hook the background [`SearchWarmer`] drives so the first search
+    /// after a write does not pay the re-index inline. Builders
+    /// coordinate on the snapshot's write-once slot: when a request
+    /// races the warmer to a fresh generation, one of them builds and
+    /// the other parks until the engines are ready, instead of both
+    /// grinding out the same index concurrently.
+    pub fn prepare(&self, snap: &PreparedSnapshot) -> SearchBackend {
+        let attached = snap.search_or_init(|| Arc::new(self.refreshed(snap.backend())));
+        match attached.downcast::<SearchBackend>() {
+            Ok(search) => (*search).clone(),
+            // a foreign layer attached its own payload: serve from the
+            // shared cache directly
+            Err(_) => self.refreshed(snap.backend()),
+        }
+    }
+}
+
+/// A background thread that pre-builds search engines into freshly
+/// published [`PreparedSnapshot`]s, so the re-index after a write runs
+/// **off the request path**: the first search against a new generation
+/// finds its engines already attached instead of rebuilding inline —
+/// the fix for the search-p99 head-of-line stall `BENCH_7` measured.
+///
+/// Stop it explicitly with [`SearchWarmer::stop`] (also invoked on
+/// drop), which wakes the thread and joins it.
+pub struct SearchWarmer {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    warmed: Arc<std::sync::atomic::AtomicU64>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SearchWarmer {
+    /// Spawn the warmer: every `tick`, if the store's published snapshot
+    /// has no search attached yet, build (or reuse from `search`'s
+    /// cache) the engines and attach them.
+    pub fn spawn(
+        store: Arc<LiveStore>,
+        search: Arc<LiveSearchCache>,
+        tick: std::time::Duration,
+    ) -> Self {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        let stop = Arc::new(AtomicBool::new(false));
+        let warmed = Arc::new(AtomicU64::new(0));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let warmed = Arc::clone(&warmed);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    if let Some(snap) = store.snapshot() {
+                        if snap.attached_search().is_none() {
+                            search.prepare(&snap);
+                            warmed.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    std::thread::park_timeout(tick);
+                }
+            })
         };
-        let hits = search_backend_hits(&search, sharded, query, k);
-        *guard = Some(stash_search(search, tags));
-        hits
+        Self {
+            stop,
+            warmed,
+            thread: Some(thread),
+        }
+    }
+
+    /// How many snapshots this warmer has attached engines to.
+    pub fn warmed(&self) -> u64 {
+        self.warmed.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// A handle that wakes the warmer *now* instead of at its next tick
+    /// — hand it to the write path so a freshly published generation
+    /// starts warming the moment it exists, not up to one tick later.
+    /// Unparking an already-stopped warmer is harmless.
+    pub fn waker(&self) -> std::thread::Thread {
+        self.thread
+            .as_ref()
+            .expect("warmer thread runs until stop")
+            .thread()
+            .clone()
+    }
+
+    /// Signal the thread to stop and join it (idempotent).
+    pub fn stop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            thread.thread().unpark();
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for SearchWarmer {
+    fn drop(&mut self) {
+        self.stop();
     }
 }
 
@@ -804,5 +991,102 @@ mod tests {
         assert_eq!(s.events().len(), 3, "two actions + one append");
         // the search index was rebuilt exactly once for the new generation
         assert_eq!(s.search_tags(), Some(SearchTags::Single { generation: 1 }));
+    }
+
+    /// The prepared-snapshot search path answers bit-identically to the
+    /// lock path, and the built engines attach to the snapshot exactly
+    /// once — the second search reuses the attached backend (same
+    /// engine allocation) instead of consulting the cache again.
+    #[test]
+    fn search_prepared_matches_lock_path_and_attaches_once() {
+        for shards in [1usize, 3] {
+            let kg = base();
+            let live = if shards == 1 {
+                LiveStore::with_threads(kg.clone(), 1)
+            } else {
+                LiveStore::with_threads(pivote_kg::ShardedGraph::from_graph(&kg, shards), 1)
+            };
+            live.enable_snapshots();
+            let cache = LiveSearchCache::new(SearchConfig::default());
+
+            let want = cache.search(&live, "film", 10);
+            let snap = live.snapshot().expect("snapshots enabled");
+            assert!(snap.attached_search().is_none());
+            let got = cache.search_prepared(&snap, "film", 10);
+            assert_eq!(got, want, "shards={shards}");
+            assert!(snap.attached_search().is_some(), "first search attaches");
+
+            // second search on the same snapshot reuses the attachment:
+            // the backends share the same engine allocation
+            let a = cache.prepare(&snap);
+            let b = cache.prepare(&snap);
+            match (&a, &b) {
+                (SearchBackend::Single(x), SearchBackend::Single(y)) => {
+                    assert!(Arc::ptr_eq(x, y));
+                }
+                (
+                    SearchBackend::Sharded { engines: x, .. },
+                    SearchBackend::Sharded { engines: y, .. },
+                ) => {
+                    for (ex, ey) in x.iter().zip(y) {
+                        assert!(Arc::ptr_eq(ex, ey));
+                    }
+                }
+                _ => panic!("layout changed between prepares"),
+            }
+
+            // after an append the fresh snapshot starts unattached and
+            // the stale one keeps answering for its own pinned graph
+            let mut d = DeltaBatch::new();
+            d.typed("Snapshot_Search_Film", "Film")
+                .label("Snapshot_Search_Film", "Snapshot Search Film");
+            live.append(&d).expect("store healthy");
+            let fresh = live.snapshot().expect("republished");
+            assert!(fresh.attached_search().is_none());
+            assert_eq!(cache.search_prepared(&snap, "film", 10), want);
+            let new_hits = cache.search_prepared(&fresh, "Snapshot Search Film", 5);
+            assert!(
+                !new_hits.is_empty(),
+                "fresh snapshot must see the appended film (shards={shards})"
+            );
+        }
+    }
+
+    /// The background warmer attaches engines to freshly published
+    /// snapshots off the request path: after a write, the request thread
+    /// finds the index prebuilt.
+    #[test]
+    fn search_warmer_prebuilds_engines_off_the_request_path() {
+        let live = Arc::new(LiveStore::with_threads(base(), 1));
+        live.enable_snapshots();
+        let cache = Arc::new(LiveSearchCache::new(SearchConfig::default()));
+        let mut warmer = SearchWarmer::spawn(
+            Arc::clone(&live),
+            Arc::clone(&cache),
+            std::time::Duration::from_millis(1),
+        );
+
+        let mut d = DeltaBatch::new();
+        d.typed("Warmed_Film", "Film")
+            .label("Warmed_Film", "Warmed Film");
+        live.append(&d).expect("store healthy");
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        loop {
+            let snap = live.snapshot().expect("snapshots enabled");
+            if snap.generation() == 1 && snap.attached_search().is_some() {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "warmer never attached engines"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(warmer.warmed() >= 1);
+        warmer.stop();
+        let snap = live.snapshot().unwrap();
+        let hits = cache.search_prepared(&snap, "Warmed Film", 5);
+        assert!(!hits.is_empty());
     }
 }

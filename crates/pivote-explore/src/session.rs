@@ -110,10 +110,18 @@ pub struct SessionState {
 /// the live-session layer can carry prebuilt engines across graph
 /// generations (and across compactions, which change the shard count)
 /// without re-indexing when nothing changed.
+///
+/// Engines are `Arc`-held, so the backend is `Clone` at pointer cost:
+/// the live search cache hands each concurrent search its own cheap
+/// clone and N searches index-share while running **concurrently** —
+/// the cache's mutex guards only the refresh bookkeeping, never a
+/// query.
+#[derive(Clone)]
 pub enum SearchBackend {
-    /// One engine over the whole graph (boxed: the single-engine variant
-    /// is much larger than the per-shard vector).
-    Single(Box<SearchEngine>),
+    /// One engine over the whole graph (`Arc`: shared, not copied, by
+    /// every concurrent search and every prepared snapshot it is
+    /// attached to).
+    Single(Arc<SearchEngine>),
     /// One engine per shard (indexed over the shard-local graph, with
     /// related-names neighbours selected in global-id order) plus the
     /// globally-merged corpus statistics every shard scores against.
@@ -123,17 +131,16 @@ pub enum SearchBackend {
     /// single-graph engine, bit for bit.
     Sharded {
         /// One engine per shard, in shard order.
-        engines: Vec<SearchEngine>,
-        /// Merged owned-document statistics across all shards (boxed to
-        /// keep the variant near the single-engine one in size).
-        corpus: Box<CorpusStats>,
+        engines: Vec<Arc<SearchEngine>>,
+        /// Merged owned-document statistics across all shards.
+        corpus: Arc<CorpusStats>,
     },
 }
 
 /// Merge per-shard indexes into the global corpus statistics, counting
 /// each owned document once (ghost copies are skipped — their home shard
 /// re-indexes them).
-pub fn merge_corpus_stats(engines: &[SearchEngine], sg: &ShardedGraph) -> CorpusStats {
+pub fn merge_corpus_stats(engines: &[Arc<SearchEngine>], sg: &ShardedGraph) -> CorpusStats {
     let mut corpus = CorpusStats::new();
     for (engine, shard) in engines.iter().zip(sg.shards()) {
         corpus.absorb(engine.index(), |d| shard.is_owned(EntityId::new(d)));
@@ -224,20 +231,22 @@ impl<'kg> Session<'kg> {
     pub fn with_handle(handle: GraphHandle<'kg>, config: SessionConfig) -> Self {
         let search = match &handle {
             GraphHandle::Single(ctx) => {
-                SearchBackend::Single(Box::new(SearchEngine::build(ctx.kg(), config.search)))
+                SearchBackend::Single(Arc::new(SearchEngine::build(ctx.kg(), config.search)))
             }
             GraphHandle::Sharded(ctx) => {
                 let sg = ctx.graph();
-                let engines: Vec<SearchEngine> = sg
+                let engines: Vec<Arc<SearchEngine>> = sg
                     .shards()
                     .iter()
                     .map(|s| {
-                        SearchEngine::build_keyed(s.graph(), config.search, |local| {
-                            s.to_global(local).raw()
-                        })
+                        Arc::new(SearchEngine::build_keyed(
+                            s.graph(),
+                            config.search,
+                            |local| s.to_global(local).raw(),
+                        ))
                     })
                     .collect();
-                let corpus = Box::new(merge_corpus_stats(&engines, sg));
+                let corpus = Arc::new(merge_corpus_stats(&engines, sg));
                 SearchBackend::Sharded { engines, corpus }
             }
         };
@@ -271,7 +280,7 @@ impl<'kg> Session<'kg> {
         config: SessionConfig,
         engine: SearchEngine,
     ) -> Self {
-        Self::with_search(handle, config, SearchBackend::Single(Box::new(engine)))
+        Self::with_search(handle, config, SearchBackend::Single(Arc::new(engine)))
     }
 
     /// Build a session around a **prebuilt** [`SearchBackend`] — the

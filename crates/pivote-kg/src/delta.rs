@@ -610,6 +610,16 @@ pub fn replica_from_env() -> bool {
     env_flag("PIVOTE_REPLICA")
 }
 
+/// Whether the `PIVOTE_SNAPSHOT=1` environment leg is active — the CI
+/// hook that routes the eval harness' queries through the live store's
+/// generation-pinned prepared-snapshot read path (publication enabled,
+/// every query answered off a published snapshot instead of a fresh
+/// lock-scoped context), asserting snapshot-path answers against the
+/// lock path along the way.
+pub fn snapshot_from_env() -> bool {
+    env_flag("PIVOTE_SNAPSHOT")
+}
+
 /// Replicate `kg`'s predicate/type/category dictionaries into `b` in
 /// global id order, so the builder's dense dictionary ids equal the
 /// source graph's — the first half of every id-preserving rebuild

@@ -51,8 +51,8 @@ pub mod wal;
 pub use backend::GraphBackend;
 pub use datagen::{generate, DatagenConfig, Zipf};
 pub use delta::{
-    incremental_from_env, replica_from_env, retract_from_env, scale_from_env, split_growth,
-    split_incremental, AppliedDelta, CompactionReceipt, DeltaBatch, DeltaOp,
+    incremental_from_env, replica_from_env, retract_from_env, scale_from_env, snapshot_from_env,
+    split_growth, split_incremental, AppliedDelta, CompactionReceipt, DeltaBatch, DeltaOp,
 };
 pub use id::{CategoryId, EntityId, LiteralId, PredicateId, TypeId};
 pub use interner::Interner;

@@ -139,9 +139,15 @@ impl ShardRouter {
 /// One shard: a self-contained [`KnowledgeGraph`] over the owned entity
 /// range plus ghost copies of cross-shard neighbours, with the local ↔
 /// global id remap table.
+///
+/// The shard graph lives behind an [`Arc`](std::sync::Arc) so cloning a
+/// shard (and so a whole [`ShardedGraph`]) is a reference bump plus the
+/// remap metadata — a published snapshot shares every shard with the
+/// live partition, and a later mutation copies only the shard(s) it
+/// actually touches (copy-on-write via `Arc::make_mut`).
 #[derive(Debug, Clone)]
 pub struct GraphShard {
-    graph: KnowledgeGraph,
+    graph: std::sync::Arc<KnowledgeGraph>,
     /// Local id → global id. Owned locals (`0..owned_count`) are the
     /// shard's range in ascending order; ghost locals follow in the order
     /// they were interned (ascending at construction; appended ghosts
@@ -221,9 +227,12 @@ impl GraphShard {
 /// All public accessors speak **global ids** (the id space of the source
 /// graph); per-shard access via [`ShardedGraph::shard`] speaks local ids.
 ///
-/// `Clone` copies the whole partition — how the live layer's concurrent
-/// compaction takes a consistent snapshot under a read guard and then
-/// rebuilds off-lock.
+/// `Clone` is cheap: shard graphs are `Arc`-shared, so a clone copies
+/// the router and remap metadata plus one reference bump per shard —
+/// how the live layer's concurrent compaction takes a consistent
+/// snapshot under a read guard (and the serving layer publishes one per
+/// write) without copying any graph. Mutating a clone copies only the
+/// shard(s) the mutation touches.
 #[derive(Debug, Clone)]
 pub struct ShardedGraph {
     router: ShardRouter,
@@ -321,7 +330,7 @@ impl ShardedGraph {
                     .map(|(i, &g)| (g, EntityId::new((owned_count + i) as u32)))
                     .collect();
                 GraphShard {
-                    graph: b.finish(),
+                    graph: std::sync::Arc::new(b.finish()),
                     local_to_global,
                     ghost_lookup,
                     base,
@@ -804,7 +813,8 @@ impl ShardedGraph {
             if local_deltas[i].is_empty() {
                 continue;
             }
-            let applied = self.shards[i].graph.apply(&local_deltas[i]);
+            let applied =
+                std::sync::Arc::make_mut(&mut self.shards[i].graph).apply(&local_deltas[i]);
             work += applied.work;
             for raw in applied.new_entities.clone() {
                 let local = EntityId::new(raw);
@@ -866,7 +876,7 @@ impl ShardedGraph {
                 .map(|(i, &g)| (g, EntityId::new((new_names.len() + i) as u32)))
                 .collect();
             self.shards.push(GraphShard {
-                graph,
+                graph: std::sync::Arc::new(graph),
                 local_to_global,
                 ghost_lookup,
                 base: old_count,
@@ -1044,7 +1054,7 @@ impl ShardedGraph {
             if d.is_empty() {
                 continue;
             }
-            let applied = self.shards[i].graph.apply(d);
+            let applied = std::sync::Arc::make_mut(&mut self.shards[i].graph).apply(d);
             acc.work += applied.work;
         }
 

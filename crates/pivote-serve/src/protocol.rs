@@ -190,6 +190,21 @@ impl Request {
             other => Err(format!("unknown op {other:?}")),
         }
     }
+
+    /// Whether this op is a pure function of the store at one generation
+    /// — the ops the server may serve from its generation-keyed response
+    /// memo. Writes mutate, `stats` reads live counters, and `shutdown`
+    /// has a side effect: none of them may ever be replayed from a
+    /// cache.
+    pub fn is_deterministic_read(&self) -> bool {
+        matches!(
+            self,
+            Request::Rank { .. }
+                | Request::Expand { .. }
+                | Request::Heatmap { .. }
+                | Request::Search { .. }
+        )
+    }
 }
 
 /// An outgoing response under construction — an ordered JSON object that

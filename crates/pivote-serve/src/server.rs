@@ -34,18 +34,19 @@
 
 use crate::protocol::{scored_names, Reply, Request};
 use pivote_core::{
-    load_warm_state, save_warm_state, Expander, HeatMap, LiveStore, MaintenanceHandle,
-    RankingConfig, SfQuery, WarmStateError,
+    load_warm_state, save_warm_state, Expander, GraphHandle, HeatMap, LiveReader, LiveStore,
+    MaintenanceHandle, PreparedSnapshot, RankingConfig, SfQuery, WarmStateError,
 };
-use pivote_explore::LiveSearchCache;
+use pivote_explore::{LiveSearchCache, SearchWarmer};
 use pivote_kg::{parse_into_delta, parse_removed_into_delta, CompactionPolicy, GraphBackend};
 use pivote_search::SearchConfig;
 use serde::Value;
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -87,6 +88,14 @@ pub struct ServeConfig {
     /// `workers` connections each pinned by a silent peer, the pool
     /// would otherwise starve forever.
     pub idle_timeout: Duration,
+    /// Serve reads from generation-pinned [`PreparedSnapshot`]s: the
+    /// store publishes a prepared context per write, read requests
+    /// acquire it with one atomic load (never the store lock), a
+    /// background [`SearchWarmer`] pre-builds the keyword index per
+    /// generation, and deterministic read responses are memoized per
+    /// generation. On by default — turn off to serve every read through
+    /// the store lock (the pre-PR-10 path, kept for A/B benchmarks).
+    pub snapshots: bool,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +108,7 @@ impl Default for ServeConfig {
             maintenance: None,
             read_only: false,
             idle_timeout: Duration::from_secs(30),
+            snapshots: true,
         }
     }
 }
@@ -144,13 +154,151 @@ pub fn store_with_warm_state(
     }
 }
 
+/// How many canonicalized responses the per-generation memo holds
+/// before evicting the least recently used one.
+const MEMO_CAPACITY: usize = 256;
+
+/// A bounded, generation-keyed memo of rendered responses for the
+/// deterministic read ops (rank / expand / heatmap / search). Keyed by
+/// the parsed request's canonical `Debug` form — two raw lines that
+/// parse to the same request share one entry regardless of key order —
+/// and dropped **wholesale** the moment a response for a newer
+/// generation is observed: a memoized answer is only ever served at the
+/// exact generation it was computed at, so memoized and fresh responses
+/// are bit-identical by construction.
+struct ResponseMemo {
+    /// Store generation every held entry was computed at.
+    generation: u64,
+    /// LRU clock; bumped per touch.
+    stamp: u64,
+    /// canonical request → (last-touched stamp, rendered response).
+    entries: HashMap<String, (u64, String)>,
+}
+
+impl ResponseMemo {
+    fn new() -> Self {
+        Self {
+            generation: 0,
+            stamp: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Drop everything when `generation` moved past the held one.
+    fn roll_to(&mut self, generation: u64) {
+        if self.generation != generation {
+            self.generation = generation;
+            self.entries.clear();
+        }
+    }
+
+    fn get(&mut self, generation: u64, key: &str) -> Option<String> {
+        self.roll_to(generation);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.entries.get_mut(key).map(|(touched, response)| {
+            *touched = stamp;
+            response.clone()
+        })
+    }
+
+    fn insert(&mut self, generation: u64, key: String, response: String) {
+        self.roll_to(generation);
+        if self.entries.len() >= MEMO_CAPACITY && !self.entries.contains_key(&key) {
+            // O(capacity) min-scan eviction: at 256 entries that is
+            // noise next to rendering one response
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (touched, _))| *touched)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.stamp += 1;
+        self.entries.insert(key, (self.stamp, response));
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 struct Shared {
     store: Arc<LiveStore>,
-    search: LiveSearchCache,
+    search: Arc<LiveSearchCache>,
     ranking: RankingConfig,
     shutdown: AtomicBool,
     read_only: bool,
     idle_timeout: Duration,
+    /// Whether reads go through the prepared-snapshot path.
+    snapshots: bool,
+    memo: Mutex<ResponseMemo>,
+    /// Deterministic read responses served straight from the memo.
+    memo_hits: AtomicU64,
+    /// Deterministic read responses that had to be computed.
+    memo_misses: AtomicU64,
+    /// Read ops served from a prepared snapshot (no store lock).
+    snapshot_reads: AtomicU64,
+    /// Read ops that fell back to (or were configured onto) the store's
+    /// read lock.
+    lock_reads: AtomicU64,
+    /// Handle to the [`SearchWarmer`] thread, when one runs. The write
+    /// path unparks it right after publishing a new generation so the
+    /// engine rebuild starts immediately instead of at the warmer's
+    /// next tick — requests arriving behind a write then park on the
+    /// snapshot's build slot and share the result, rather than racing
+    /// the warmer with a duplicate build.
+    warm_waker: Option<std::thread::Thread>,
+}
+
+impl Shared {
+    /// Nudge the background warmer after a successful write.
+    fn kick_warmer(&self) {
+        if let Some(w) = &self.warm_waker {
+            w.unpark();
+        }
+    }
+}
+
+/// One request's read context: a generation-pinned prepared snapshot
+/// (no store lock, prebuilt query context) or a guard on the store's
+/// read lock — the op handlers are identical over either.
+enum ReadCtx<'a> {
+    Snapshot(Arc<PreparedSnapshot>),
+    Lock(LiveReader<'a>),
+}
+
+impl ReadCtx<'_> {
+    fn handle(&self) -> GraphHandle<'_> {
+        match self {
+            ReadCtx::Snapshot(snap) => snap.handle(),
+            ReadCtx::Lock(reader) => reader.handle(),
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        match self {
+            ReadCtx::Snapshot(snap) => snap.generation(),
+            ReadCtx::Lock(reader) => reader.generation(),
+        }
+    }
+}
+
+/// Acquire the read context for one request, counting which path served
+/// it. Snapshot mode degrades soundly: if no snapshot is published yet
+/// (publication disabled, or a race with `enable_snapshots`), the read
+/// lock serves instead.
+fn read_ctx(shared: &Shared) -> ReadCtx<'_> {
+    if shared.snapshots {
+        if let Some(snap) = shared.store.snapshot() {
+            shared.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+            return ReadCtx::Snapshot(snap);
+        }
+    }
+    shared.lock_reads.fetch_add(1, Ordering::Relaxed);
+    ReadCtx::Lock(shared.store.read())
 }
 
 /// A running server. Keep it alive for as long as you serve; consume it
@@ -161,23 +309,53 @@ pub struct Server {
     addr: SocketAddr,
     workers: Vec<JoinHandle<()>>,
     maintenance: Option<MaintenanceHandle>,
+    warmer: Option<SearchWarmer>,
     warm_path: Option<PathBuf>,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// start the worker pool over `store`.
+    /// start the worker pool over `store`. With
+    /// [`ServeConfig::snapshots`] on (the default), the store is opted
+    /// into prepared-snapshot publication and a background
+    /// [`SearchWarmer`] pre-builds the keyword index for every new
+    /// generation off the request path.
     pub fn bind(addr: &str, store: Arc<LiveStore>, config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        let search = Arc::new(LiveSearchCache::new(config.search));
+        if config.snapshots {
+            store.enable_snapshots();
+            // build the initial generation's search engines before any
+            // worker answers: the first search request must not pay the
+            // full index build inline (BENCH_7's 33 ms head-of-line
+            // stall); later generations are rebuilt by the SearchWarmer
+            if let Some(snap) = store.snapshot() {
+                let _ = search.prepare(&snap);
+            }
+        }
+        let warmer = config.snapshots.then(|| {
+            SearchWarmer::spawn(
+                Arc::clone(&store),
+                Arc::clone(&search),
+                Duration::from_millis(2),
+            )
+        });
         let shared = Arc::new(Shared {
             store: Arc::clone(&store),
-            search: LiveSearchCache::new(config.search),
+            search: Arc::clone(&search),
             ranking: config.ranking,
             shutdown: AtomicBool::new(false),
             read_only: config.read_only,
             idle_timeout: config.idle_timeout,
+            snapshots: config.snapshots,
+            memo: Mutex::new(ResponseMemo::new()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+            snapshot_reads: AtomicU64::new(0),
+            lock_reads: AtomicU64::new(0),
+            warm_waker: warmer.as_ref().map(SearchWarmer::waker),
         });
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
@@ -197,6 +375,7 @@ impl Server {
             addr: local,
             workers,
             maintenance,
+            warmer,
             warm_path: config.warm_path,
         })
     }
@@ -231,6 +410,9 @@ impl Server {
         }
         if let Some(mut maintenance) = self.maintenance.take() {
             maintenance.stop();
+        }
+        if let Some(mut warmer) = self.warmer.take() {
+            warmer.stop();
         }
     }
 
@@ -365,23 +547,14 @@ fn dispatch(shared: &Shared, line: &str) -> String {
         Ok(request) => request,
         Err(message) => return Reply::error(message).render(),
     };
+    if request.is_deterministic_read() {
+        return serve_read(shared, &request);
+    }
     match request {
-        Request::Rank {
-            seeds,
-            k_features,
-            k_entities,
-        } => op_rank(shared, &seeds, k_features, k_entities),
-        Request::Expand {
-            seeds,
-            type_filter,
-            k,
-        } => op_expand(shared, &seeds, type_filter.as_deref(), k),
-        Request::Heatmap {
-            seeds,
-            k_features,
-            k_entities,
-        } => op_heatmap(shared, &seeds, k_features, k_entities),
-        Request::Search { query, k } => op_search(shared, &query, k),
+        Request::Rank { .. }
+        | Request::Expand { .. }
+        | Request::Heatmap { .. }
+        | Request::Search { .. } => unreachable!("deterministic reads served above"),
         Request::Append { ntriples } => {
             if shared.read_only {
                 Reply::error("read-only replica: writes go to the leader").render()
@@ -404,6 +577,58 @@ fn dispatch(shared: &Shared, line: &str) -> String {
     }
 }
 
+/// Serve one deterministic read op through the read context and the
+/// response memo. The generation is pinned **before** the memo probe,
+/// so a memoized response is only ever replayed at the exact generation
+/// it was rendered at — bit-identical to recomputing it there. With
+/// snapshots off the memo is bypassed entirely: lock mode is the
+/// pre-PR-10 serving path, kept honest for A/B benchmarks.
+fn serve_read(shared: &Shared, request: &Request) -> String {
+    let ctx = read_ctx(shared);
+    if !shared.snapshots {
+        return compute_read(shared, &ctx, request);
+    }
+    let generation = ctx.generation();
+    // the parsed request's Debug form is the canonical key: raw lines
+    // with different key order or whitespace collapse to one entry
+    let key = format!("{request:?}");
+    if let Some(hit) = {
+        let mut memo = shared.memo.lock().unwrap_or_else(|p| p.into_inner());
+        memo.get(generation, &key)
+    } {
+        shared.memo_hits.fetch_add(1, Ordering::Relaxed);
+        return hit;
+    }
+    shared.memo_misses.fetch_add(1, Ordering::Relaxed);
+    let response = compute_read(shared, &ctx, request);
+    let mut memo = shared.memo.lock().unwrap_or_else(|p| p.into_inner());
+    memo.insert(generation, key, response.clone());
+    response
+}
+
+/// Compute one deterministic read against an already-acquired context.
+fn compute_read(shared: &Shared, ctx: &ReadCtx<'_>, request: &Request) -> String {
+    match request {
+        Request::Rank {
+            seeds,
+            k_features,
+            k_entities,
+        } => op_rank(shared, ctx, seeds, *k_features, *k_entities),
+        Request::Expand {
+            seeds,
+            type_filter,
+            k,
+        } => op_expand(shared, ctx, seeds, type_filter.as_deref(), *k),
+        Request::Heatmap {
+            seeds,
+            k_features,
+            k_entities,
+        } => op_heatmap(shared, ctx, seeds, *k_features, *k_entities),
+        Request::Search { query, k } => op_search(shared, ctx, query, *k),
+        _ => unreachable!("compute_read only handles deterministic reads"),
+    }
+}
+
 /// Resolve seed names against one snapshot, erroring on the first
 /// unknown name.
 fn resolve_seeds(
@@ -423,9 +648,14 @@ fn resolve_seeds(
         .collect()
 }
 
-fn op_rank(shared: &Shared, seeds: &[String], k_features: usize, k_entities: usize) -> String {
-    let reader = shared.store.read();
-    let handle = reader.handle();
+fn op_rank(
+    shared: &Shared,
+    ctx: &ReadCtx<'_>,
+    seeds: &[String],
+    k_features: usize,
+    k_entities: usize,
+) -> String {
+    let handle = ctx.handle();
     let ids = match resolve_seeds(&handle, seeds) {
         Ok(ids) => ids,
         Err(message) => return Reply::error(message).render(),
@@ -433,7 +663,7 @@ fn op_rank(shared: &Shared, seeds: &[String], k_features: usize, k_entities: usi
     let expander = Expander::with_handle(handle.clone(), shared.ranking);
     let res = expander.expand(&SfQuery::from_seeds(ids), k_entities, k_features);
     Reply::ok()
-        .num("generation", reader.generation())
+        .num("generation", ctx.generation())
         .with(
             "features",
             scored_names(
@@ -453,9 +683,14 @@ fn op_rank(shared: &Shared, seeds: &[String], k_features: usize, k_entities: usi
         .render()
 }
 
-fn op_expand(shared: &Shared, seeds: &[String], type_filter: Option<&str>, k: usize) -> String {
-    let reader = shared.store.read();
-    let handle = reader.handle();
+fn op_expand(
+    shared: &Shared,
+    ctx: &ReadCtx<'_>,
+    seeds: &[String],
+    type_filter: Option<&str>,
+    k: usize,
+) -> String {
+    let handle = ctx.handle();
     let ids = match resolve_seeds(&handle, seeds) {
         Ok(ids) => ids,
         Err(message) => return Reply::error(message).render(),
@@ -470,7 +705,7 @@ fn op_expand(shared: &Shared, seeds: &[String], type_filter: Option<&str>, k: us
     let expander = Expander::with_handle(handle.clone(), shared.ranking);
     let res = expander.expand(&query, k, k);
     Reply::ok()
-        .num("generation", reader.generation())
+        .num("generation", ctx.generation())
         .with(
             "entities",
             scored_names(
@@ -482,9 +717,14 @@ fn op_expand(shared: &Shared, seeds: &[String], type_filter: Option<&str>, k: us
         .render()
 }
 
-fn op_heatmap(shared: &Shared, seeds: &[String], k_features: usize, k_entities: usize) -> String {
-    let reader = shared.store.read();
-    let handle = reader.handle();
+fn op_heatmap(
+    shared: &Shared,
+    ctx: &ReadCtx<'_>,
+    seeds: &[String],
+    k_features: usize,
+    k_entities: usize,
+) -> String {
+    let handle = ctx.handle();
     let ids = match resolve_seeds(&handle, seeds) {
         Ok(ids) => ids,
         Err(message) => return Reply::error(message).render(),
@@ -494,7 +734,7 @@ fn op_heatmap(shared: &Shared, seeds: &[String], k_features: usize, k_entities: 
     let axis: Vec<pivote_kg::EntityId> = res.entities.iter().map(|re| re.entity).collect();
     let hm = HeatMap::compute(expander.ranker(), &axis, &res.features);
     Reply::ok()
-        .num("generation", reader.generation())
+        .num("generation", ctx.generation())
         .with(
             "features",
             Value::Arr(
@@ -543,14 +783,19 @@ fn op_heatmap(shared: &Shared, seeds: &[String], k_features: usize, k_entities: 
         .render()
 }
 
-fn op_search(shared: &Shared, query: &str, k: usize) -> String {
-    let hits = shared.search.search(&shared.store, query, k);
+fn op_search(shared: &Shared, ctx: &ReadCtx<'_>, query: &str, k: usize) -> String {
+    let hits = match ctx {
+        // the snapshot path searches the pinned backend with engines
+        // attached to the snapshot (usually prebuilt by the warmer), so
+        // hits, names and generation all come from one immutable state
+        ReadCtx::Snapshot(snap) => shared.search.search_prepared(snap, query, k),
+        ReadCtx::Lock(_) => shared.search.search(&shared.store, query, k),
+    };
     // entity names are append-only and ids are stable, so resolving the
-    // hit names under a second read guard can never mislabel a hit
-    let reader = shared.store.read();
-    let handle = reader.handle();
+    // hit names against this context can never mislabel a hit
+    let handle = ctx.handle();
     Reply::ok()
-        .num("generation", reader.generation())
+        .num("generation", ctx.generation())
         .with(
             "hits",
             scored_names(
@@ -572,15 +817,18 @@ fn op_append(shared: &Shared, ntriples: &str) -> String {
         }
     };
     match shared.store.append(&delta) {
-        Ok(applied) => Reply::ok()
-            .num("generation", applied.generation)
-            .num(
-                "new_entities",
-                u64::from(applied.new_entities.end - applied.new_entities.start),
-            )
-            .num("added_relations", applied.added_relations as u64)
-            .num("added_literals", applied.added_literals as u64)
-            .render(),
+        Ok(applied) => {
+            shared.kick_warmer();
+            Reply::ok()
+                .num("generation", applied.generation)
+                .num(
+                    "new_entities",
+                    u64::from(applied.new_entities.end - applied.new_entities.start),
+                )
+                .num("added_relations", applied.added_relations as u64)
+                .num("added_literals", applied.added_literals as u64)
+                .render()
+        }
         Err(e) => Reply::error(e.to_string()).render(),
     }
 }
@@ -597,6 +845,7 @@ fn op_retract(shared: &Shared, ntriples: &str) -> String {
     };
     match shared.store.append(&delta) {
         Ok(applied) => {
+            shared.kick_warmer();
             let removed =
                 applied.removed_relations + applied.removed_literals + applied.removed_assertions;
             if removed == 0 && !delta.ops().is_empty() {
@@ -635,5 +884,17 @@ fn op_stats(shared: &Shared) -> String {
         .num("cache_generation", store.cache().generation())
         .with("poisoned", Value::Bool(store.is_poisoned()))
         .with("read_only", Value::Bool(shared.read_only))
+        .with("snapshots", Value::Bool(shared.snapshots))
+        .num("memo_hits", shared.memo_hits.load(Ordering::Relaxed))
+        .num("memo_misses", shared.memo_misses.load(Ordering::Relaxed))
+        .num(
+            "memo_entries",
+            shared.memo.lock().unwrap_or_else(|p| p.into_inner()).len() as u64,
+        )
+        .num(
+            "snapshot_reads",
+            shared.snapshot_reads.load(Ordering::Relaxed),
+        )
+        .num("lock_reads", shared.lock_reads.load(Ordering::Relaxed))
         .render()
 }
